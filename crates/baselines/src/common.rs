@@ -1,0 +1,318 @@
+//! Row codecs and helpers shared by the baseline generators.
+
+use doppelganger::{FeatureSpec, Segment};
+use fieldcodec::{BitCodec, ByteCodec, ContinuousCodec, OneHotCodec};
+use nettrace::{AttackType, FiveTuple, FlowRecord, FlowTrace, PacketRecord, PacketTrace, Protocol, TrafficLabel};
+use nnet::Tensor;
+use rand::prelude::*;
+use rand_distr::{Distribution, Normal};
+
+/// Protocol numbers the baselines one-hot over (TCP, UDP, ICMP, other).
+pub const PROTO_VOCAB: [u8; 3] = [6, 17, 1];
+
+/// Builds the protocol one-hot codec used across the baselines.
+pub fn proto_codec() -> OneHotCodec<u8> {
+    OneHotCodec::new(PROTO_VOCAB.to_vec(), true)
+}
+
+/// Bit-level flow-row codec (the paper's CTGAN adaptation): 32+32 IP bits,
+/// 16+16 port bits, protocol one-hot, then `log(1+x)`+min-max continuous
+/// fields `[start, duration, packets, bytes]`.
+pub struct FlowBitCodec {
+    ip: BitCodec,
+    port: BitCodec,
+    proto: OneHotCodec<u8>,
+    start: ContinuousCodec,
+    duration: ContinuousCodec,
+    packets: ContinuousCodec,
+    bytes: ContinuousCodec,
+    /// Whether rows carry the benign/attack label one-hot (labeled
+    /// NetFlow datasets include the label field, so the paper's baselines
+    /// model it like any other column).
+    with_labels: bool,
+}
+
+impl FlowBitCodec {
+    /// Fits the continuous ranges on a trace. Labels are modeled whenever
+    /// the trace carries any.
+    pub fn fit(trace: &FlowTrace) -> Self {
+        let field = |f: fn(&FlowRecord) -> f64| -> Vec<f64> { trace.flows.iter().map(f).collect() };
+        FlowBitCodec {
+            ip: BitCodec::ipv4(),
+            port: BitCodec::port(),
+            proto: proto_codec(),
+            start: ContinuousCodec::fit(&field(|f| f.start_ms), false),
+            duration: ContinuousCodec::fit(&field(|f| f.duration_ms), true),
+            packets: ContinuousCodec::fit(&field(|f| f.packets as f64), true),
+            bytes: ContinuousCodec::fit(&field(|f| f.bytes as f64), true),
+            with_labels: trace.flows.iter().any(|f| f.label.is_some()),
+        }
+    }
+
+    /// Row layout.
+    pub fn spec(&self) -> FeatureSpec {
+        let mut segs = vec![
+            Segment::Continuous { dim: 96 }, // ip+ip+port+port bits
+            Segment::Categorical { dim: self.proto.dim() },
+            Segment::Continuous { dim: 4 },
+        ];
+        if self.with_labels {
+            segs.push(Segment::Categorical {
+                dim: TrafficLabel::NUM_CLASSES,
+            });
+        }
+        FeatureSpec::new(segs)
+    }
+
+    /// Row width.
+    pub fn dim(&self) -> usize {
+        self.spec().dim()
+    }
+
+    /// Encodes a flow record into a row.
+    pub fn encode(&self, f: &FlowRecord) -> Vec<f32> {
+        let mut row = Vec::with_capacity(self.dim());
+        self.ip.encode_into(f.five_tuple.src_ip as u64, &mut row);
+        self.ip.encode_into(f.five_tuple.dst_ip as u64, &mut row);
+        self.port.encode_into(f.five_tuple.src_port as u64, &mut row);
+        self.port.encode_into(f.five_tuple.dst_port as u64, &mut row);
+        self.proto.encode_into(&f.five_tuple.proto.number(), &mut row);
+        row.push(self.start.encode(f.start_ms));
+        row.push(self.duration.encode(f.duration_ms));
+        row.push(self.packets.encode(f.packets as f64));
+        row.push(self.bytes.encode(f.bytes as f64));
+        if self.with_labels {
+            let mut onehot = vec![0.0; TrafficLabel::NUM_CLASSES];
+            onehot[f.label.map(|l| l.class_index()).unwrap_or(0)] = 1.0;
+            row.extend(onehot);
+        }
+        row
+    }
+
+    /// Encodes a whole trace into a row tensor.
+    pub fn encode_trace(&self, trace: &FlowTrace) -> Tensor {
+        let mut t = Tensor::zeros(trace.len(), self.dim());
+        for (i, f) in trace.flows.iter().enumerate() {
+            t.row_mut(i).copy_from_slice(&self.encode(f));
+        }
+        t
+    }
+
+    /// Decodes a generated row back to a flow record.
+    pub fn decode(&self, row: &[f32]) -> FlowRecord {
+        let src_ip = self.ip.decode(&row[0..32]) as u32;
+        let dst_ip = self.ip.decode(&row[32..64]) as u32;
+        let src_port = self.port.decode(&row[64..80]) as u16;
+        let dst_port = self.port.decode(&row[80..96]) as u16;
+        let pd = self.proto.dim();
+        let proto_num = self.proto.decode(&row[96..96 + pd]).copied().unwrap_or(6);
+        let c = &row[96 + pd..];
+        let mut rec = FlowRecord::new(
+            FiveTuple::new(src_ip, dst_ip, src_port, dst_port, Protocol::from_number(proto_num)),
+            self.start.decode(c[0]),
+            self.duration.decode(c[1]).max(0.0),
+            self.packets.decode(c[2]).round().max(1.0) as u64,
+            self.bytes.decode(c[3]).round().max(1.0) as u64,
+        );
+        if self.with_labels && c.len() >= 4 + TrafficLabel::NUM_CLASSES {
+            let onehot = &c[4..4 + TrafficLabel::NUM_CLASSES];
+            let cls = onehot
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            rec.label = Some(if cls == 0 {
+                TrafficLabel::Benign
+            } else {
+                TrafficLabel::Attack(AttackType::ALL[cls - 1])
+            });
+        }
+        rec
+    }
+}
+
+/// Byte-level packet-row codec (PAC-GAN / PacketCGAN / Flow-WGAN): IPs,
+/// ports, protocol, and size as `[0,1]`-scaled bytes, plus a normalized
+/// timestamp dimension appended "during training" as the paper describes
+/// for the baselines that don't natively generate timestamps.
+pub struct PacketByteCodec {
+    ip: ByteCodec,
+    port: ByteCodec,
+    size: ByteCodec,
+    ts: ContinuousCodec,
+    /// Whether the timestamp dimension is part of the row (PacketCGAN,
+    /// Flow-WGAN) or absent (PAC-GAN, which draws it from a Gaussian
+    /// after generation).
+    pub with_ts: bool,
+}
+
+impl PacketByteCodec {
+    /// Fits the timestamp range on a trace.
+    pub fn fit(trace: &PacketTrace, with_ts: bool) -> Self {
+        let ts: Vec<f64> = trace.packets.iter().map(|p| p.ts_millis()).collect();
+        PacketByteCodec {
+            ip: ByteCodec::ipv4(),
+            port: ByteCodec::port(),
+            size: ByteCodec::new(2),
+            ts: ContinuousCodec::fit(&ts, false),
+            with_ts,
+        }
+    }
+
+    /// Row layout: 13 byte dims (4+4+2+2+1-proto-byte... see `dim`) + size
+    /// bytes + optional ts.
+    pub fn spec(&self) -> FeatureSpec {
+        FeatureSpec::continuous(self.dim())
+    }
+
+    /// Row width: 4+4 IP bytes, 2+2 port bytes, 1 proto byte, 2 size
+    /// bytes (+1 timestamp).
+    pub fn dim(&self) -> usize {
+        4 + 4 + 2 + 2 + 1 + 2 + usize::from(self.with_ts)
+    }
+
+    /// Encodes a packet into a row.
+    pub fn encode(&self, p: &PacketRecord) -> Vec<f32> {
+        let mut row = Vec::with_capacity(self.dim());
+        self.ip.encode_into(p.five_tuple.src_ip as u64, &mut row);
+        self.ip.encode_into(p.five_tuple.dst_ip as u64, &mut row);
+        self.port.encode_into(p.five_tuple.src_port as u64, &mut row);
+        self.port.encode_into(p.five_tuple.dst_port as u64, &mut row);
+        row.push(p.five_tuple.proto.number() as f32 / 255.0);
+        self.size.encode_into(p.packet_len as u64, &mut row);
+        if self.with_ts {
+            row.push(self.ts.encode(p.ts_millis()));
+        }
+        row
+    }
+
+    /// Encodes a whole trace.
+    pub fn encode_trace(&self, trace: &PacketTrace) -> Tensor {
+        let mut t = Tensor::zeros(trace.len(), self.dim());
+        for (i, p) in trace.packets.iter().enumerate() {
+            t.row_mut(i).copy_from_slice(&self.encode(p));
+        }
+        t
+    }
+
+    /// Decodes a generated row; `ts_override` supplies the timestamp for
+    /// codecs without a ts dimension.
+    pub fn decode(&self, row: &[f32], ts_override: Option<f64>) -> PacketRecord {
+        let src_ip = self.ip.decode(&row[0..4]) as u32;
+        let dst_ip = self.ip.decode(&row[4..8]) as u32;
+        let src_port = self.port.decode(&row[8..10]) as u16;
+        let dst_port = self.port.decode(&row[10..12]) as u16;
+        let proto = Protocol::from_number((row[12].clamp(0.0, 1.0) * 255.0).round() as u8);
+        let size = self.size.decode(&row[13..15]).clamp(20, 65_535) as u16;
+        let ts_ms = match (self.with_ts, ts_override) {
+            (true, None) => self.ts.decode(row[15]),
+            (_, Some(t)) => t,
+            (false, None) => 0.0,
+        };
+        PacketRecord::new(
+            (ts_ms.max(0.0) * 1000.0) as u64,
+            FiveTuple::new(src_ip, dst_ip, src_port, dst_port, proto),
+            size,
+        )
+    }
+
+    /// The fitted timestamp range (ms).
+    pub fn ts_range(&self) -> (f64, f64) {
+        self.ts.range()
+    }
+}
+
+/// A Gaussian timestamp model fit on training data — PAC-GAN's
+/// out-of-band timestamp mechanism ("randomly drawn from a Gaussian
+/// distribution learned from training data").
+#[derive(Debug, Clone, Copy)]
+pub struct GaussianTs {
+    mean: f64,
+    std: f64,
+}
+
+impl GaussianTs {
+    /// Fits mean/std of arrival times (ms).
+    pub fn fit(trace: &PacketTrace) -> Self {
+        let ts: Vec<f64> = trace.packets.iter().map(|p| p.ts_millis()).collect();
+        let n = ts.len().max(1) as f64;
+        let mean = ts.iter().sum::<f64>() / n;
+        let var = ts.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / n;
+        GaussianTs {
+            mean,
+            std: var.sqrt().max(1e-9),
+        }
+    }
+
+    /// Samples one timestamp (ms, floored at 0).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        Normal::new(self.mean, self.std).unwrap().sample(rng).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> FlowRecord {
+        FlowRecord::new(
+            FiveTuple::new(0x0a000001, 0xc0a80102, 44_123, 443, Protocol::Tcp),
+            123.0,
+            456.0,
+            42,
+            31_000,
+        )
+    }
+
+    #[test]
+    fn flow_bit_codec_round_trips() {
+        let trace = FlowTrace::from_records(vec![flow()]);
+        let c = FlowBitCodec::fit(&trace);
+        let row = c.encode(&flow());
+        assert_eq!(row.len(), c.dim());
+        let back = c.decode(&row);
+        assert_eq!(back.five_tuple, flow().five_tuple);
+        assert!((back.start_ms - 123.0).abs() < 2.0);
+        let rel = (back.packets as f64 - 42.0).abs() / 42.0;
+        assert!(rel < 0.2, "packets {} vs 42", back.packets);
+    }
+
+    #[test]
+    fn packet_byte_codec_round_trips() {
+        let p = PacketRecord::new(
+            5_000_000,
+            FiveTuple::new(0x01020304, 0x05060708, 1234, 53, Protocol::Udp),
+            512,
+        );
+        let trace = PacketTrace::from_records(vec![p]);
+        for with_ts in [true, false] {
+            let c = PacketByteCodec::fit(&trace, with_ts);
+            let row = c.encode(&p);
+            assert_eq!(row.len(), c.dim());
+            let back = c.decode(&row, if with_ts { None } else { Some(5_000.0) });
+            assert_eq!(back.five_tuple, p.five_tuple);
+            assert_eq!(back.packet_len, 512);
+        }
+    }
+
+    #[test]
+    fn gaussian_ts_matches_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let trace = PacketTrace::from_records(
+            (0..1000)
+                .map(|_| {
+                    PacketRecord::new(
+                        rng.gen_range(1_000_000u64..2_000_000),
+                        FiveTuple::new(1, 2, 3, 4, Protocol::Udp),
+                        100,
+                    )
+                })
+                .collect(),
+        );
+        let g = GaussianTs::fit(&trace);
+        let samples: Vec<f64> = (0..5000).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / 5000.0;
+        assert!((mean - 1500.0).abs() < 30.0, "mean {mean}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Field-codec throughput — the Table 2 scalability column, measured: how
+//! fast each encoding turns header fields into GAN features and back,
+//! plus pcap serialization (the post-processing path).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fieldcodec::{BitCodec, ByteCodec, Ip2Vec, Ip2VecConfig, Word};
+use std::hint::black_box;
+
+const N: usize = 50_000;
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("field_codec");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(N as u64));
+    let values: Vec<u64> = (0..N as u64).map(|i| i.wrapping_mul(2654435761) % (1 << 32)).collect();
+
+    let bit = BitCodec::ipv4();
+    group.bench_function("bit32_round_trip", |b| {
+        b.iter(|| {
+            for &v in &values {
+                let e = bit.encode(black_box(v));
+                black_box(bit.decode(&e));
+            }
+        })
+    });
+    let byte = ByteCodec::ipv4();
+    group.bench_function("byte4_round_trip", |b| {
+        b.iter(|| {
+            for &v in &values {
+                let e = byte.encode(black_box(v));
+                black_box(byte.decode(&e));
+            }
+        })
+    });
+    group.finish();
+
+    // IP2Vec nearest-neighbour decode is the expensive path (dictionary
+    // scan per record).
+    let mut group = c.benchmark_group("ip2vec_decode");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(1_000));
+    let corpus = trace_synth::public::ip2vec_public_corpus(4_000, 1);
+    let model = Ip2Vec::train_on_packets(&corpus, Ip2VecConfig::default());
+    let query = model.embedding(&Word::Port(443)).unwrap().to_vec();
+    group.bench_function("nearest_port_1000_queries", |b| {
+        b.iter(|| {
+            for _ in 0..1_000 {
+                black_box(model.nearest_port(black_box(&query)));
+            }
+        })
+    });
+    group.finish();
+
+    // pcap write/read (post-processing serialization with checksums).
+    let mut group = c.benchmark_group("pcap");
+    group.sample_size(20);
+    let trace = trace_synth::generate_packets(trace_synth::DatasetKind::Caida, 10_000, 2);
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("write_10k_packets", |b| {
+        b.iter(|| black_box(nettrace::pcap::write_pcap(black_box(&trace))))
+    });
+    let bytes = nettrace::pcap::write_pcap(&trace);
+    group.bench_function("read_10k_packets", |b| {
+        b.iter(|| black_box(nettrace::pcap::read_pcap(black_box(&bytes)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Fidelity-metric throughput: JSD and EMD over realistic sample sizes —
+//! every experiment in this repo computes these dozens of times, so they
+//! must be cheap relative to GAN training.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use distmetrics::{emd_1d, jsd_from_samples};
+use rand::prelude::*;
+use std::hint::black_box;
+
+const N: usize = 50_000;
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let p: Vec<f64> = (0..N).map(|_| rng.gen_range(0.0..1e6)).collect();
+    let q: Vec<f64> = (0..N).map(|_| rng.gen_range(0.0..1e6)).collect();
+    let cat_p: Vec<u16> = (0..N).map(|_| rng.gen_range(0..2000)).collect();
+    let cat_q: Vec<u16> = (0..N).map(|_| rng.gen_range(0..2000)).collect();
+
+    let mut group = c.benchmark_group("distmetrics");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("emd_50k_samples", |b| {
+        b.iter(|| black_box(emd_1d(black_box(&p), black_box(&q))))
+    });
+    group.bench_function("jsd_50k_samples_2k_categories", |b| {
+        b.iter(|| black_box(jsd_from_samples(black_box(&cat_p), black_box(&cat_q))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

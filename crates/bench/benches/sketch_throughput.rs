@@ -1,0 +1,58 @@
+//! Sketch update/estimate throughput — the practical footing of the
+//! Fig. 13 telemetry experiments (all four sketches process the same
+//! stream under the same memory budget).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sketch::{CountMin, CountSketch, NitroSketch, Sketch, UnivMon};
+use std::hint::black_box;
+
+const N: u64 = 100_000;
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch_update");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(N));
+    let keys: Vec<u64> = (0..N).map(|i| i.wrapping_mul(0x9e3779b97f4a7c15) % 10_000).collect();
+
+    group.bench_function("countmin_4x512", |b| {
+        b.iter(|| {
+            let mut s = CountMin::new(4, 512);
+            for &k in &keys {
+                s.update(black_box(k), 1);
+            }
+            black_box(s.estimate(keys[0]))
+        })
+    });
+    group.bench_function("countsketch_4x512", |b| {
+        b.iter(|| {
+            let mut s = CountSketch::new(4, 512);
+            for &k in &keys {
+                s.update(black_box(k), 1);
+            }
+            black_box(s.estimate(keys[0]))
+        })
+    });
+    group.bench_function("univmon_4x512x8", |b| {
+        b.iter(|| {
+            let mut s = UnivMon::new(4, 512, 8);
+            for &k in &keys {
+                s.update(black_box(k), 1);
+            }
+            black_box(s.estimate(keys[0]))
+        })
+    });
+    group.bench_function("nitrosketch_p0.1", |b| {
+        b.iter(|| {
+            // NitroSketch's selling point: sampled updates are cheaper.
+            let mut s = NitroSketch::new(4, 512, 0.1, 7);
+            for &k in &keys {
+                s.update(black_box(k), 1);
+            }
+            black_box(s.estimate(keys[0]))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Training-cost micro-benchmarks behind Fig. 4's scalability axis:
+//! the per-step cost of each model family, and the end-to-end fit cost of
+//! chunked NetShare vs the monolithic NetShare-V0 on the same data.
+
+use baselines::tabular::{GanLoss, TabularGan, TabularGanConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use doppelganger::{DgConfig, DoppelGanger, FeatureSpec, TimeSeriesDataset};
+use netshare::NetShareConfig;
+use nnet::Tensor;
+use rand::prelude::*;
+use std::hint::black_box;
+
+fn tabular_dataset(n: usize, dim: usize) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut t = Tensor::zeros(n, dim);
+    for r in 0..n {
+        for c in 0..dim {
+            t.set(r, c, rng.gen());
+        }
+    }
+    t
+}
+
+fn timeseries_dataset(n: usize, meta_dim: usize, rec_dim: usize, max_len: usize) -> TimeSeriesDataset {
+    let mut rng = StdRng::seed_from_u64(2);
+    let meta = (0..n).map(|_| (0..meta_dim).map(|_| rng.gen()).collect()).collect();
+    let seqs = (0..n)
+        .map(|_| {
+            let len = rng.gen_range(1..=max_len);
+            (0..len)
+                .map(|_| (0..rec_dim).map(|_| rng.gen()).collect())
+                .collect()
+        })
+        .collect();
+    TimeSeriesDataset::new(meta, seqs, max_len)
+}
+
+fn bench_gan_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gan_step");
+    group.sample_size(10);
+
+    // Tabular GAN: 10 generator steps on a CTGAN-shaped row width.
+    group.bench_function("tabular_10_steps_dim100", |b| {
+        let rows = tabular_dataset(512, 100);
+        b.iter(|| {
+            let mut cfg =
+                TabularGanConfig::small(FeatureSpec::continuous(100), GanLoss::Wasserstein, 3);
+            cfg.steps = 10;
+            let mut gan = TabularGan::new(cfg);
+            gan.fit(black_box(&rows), &Tensor::zeros(rows.rows(), 0));
+        })
+    });
+
+    // Time-series GAN: 10 generator steps — the paper's point is that this
+    // is an order of magnitude costlier than the tabular step.
+    group.bench_function("doppelganger_10_steps", |b| {
+        let data = timeseries_dataset(512, 100, 5, 8);
+        b.iter(|| {
+            let mut cfg = DgConfig::small(
+                FeatureSpec::continuous(100),
+                FeatureSpec::continuous(5),
+                8,
+            );
+            cfg.gen_steps = 10;
+            let mut model = DoppelGanger::new(cfg);
+            model.train(black_box(&data));
+        })
+    });
+    group.finish();
+}
+
+fn bench_netshare_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netshare_fit");
+    group.sample_size(10);
+    let real = trace_synth::generate_flows(trace_synth::DatasetKind::Ugr16, 600, 5);
+    let base = || {
+        let mut cfg = NetShareConfig::fast();
+        cfg.seed_steps = 30;
+        cfg.finetune_steps = 8;
+        cfg.ip2vec_public_packets = 1_500;
+        cfg
+    };
+    group.bench_function("chunked_m4", |b| {
+        b.iter(|| {
+            let cfg = base();
+            black_box(netshare::NetShare::fit_flows(&real, &cfg).unwrap());
+        })
+    });
+    group.bench_function("monolithic_v0", |b| {
+        b.iter(|| {
+            let cfg = base().v0_from();
+            black_box(netshare::NetShare::fit_flows(&real, &cfg).unwrap());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gan_steps, bench_netshare_fit);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Ablation — Insight 3's knobs on UGR16:
+//!
+//! * the number of chunks `M` (1 = NetShare-V0 … 10), trading total CPU
+//!   seconds against fidelity;
+//! * flow tags on vs off at the default `M`, measuring the cross-chunk
+//!   consistency the tags exist to preserve (the records-per-five-tuple
+//!   distribution, Fig. 1a's quantity).
+
+use baselines::FlowSynthesizer;
+use bench::{f3, print_table, save_json, ExpScale, NetShareFlow};
+use distmetrics::fields::flow_records_per_tuple;
+use distmetrics::{emd_1d, fidelity_flow};
+use serde::Serialize;
+use trace_synth::{generate_flows, DatasetKind};
+
+#[derive(Serialize)]
+struct ChunkPoint {
+    variant: String,
+    n_chunks: usize,
+    flow_tags: bool,
+    cpu_seconds: f64,
+    mean_jsd: f64,
+    records_per_tuple_emd: f64,
+}
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let real = generate_flows(DatasetKind::Ugr16, scale.n, 42);
+    let real_rpt = flow_records_per_tuple(&real);
+
+    let mut points = Vec::new();
+    let mut run = |variant: String, m: usize, tags: bool| {
+        let mut cfg = scale.netshare_config(false, 300 + m as u64);
+        cfg.n_chunks = m;
+        cfg.use_flow_tags = tags;
+        let mut model = NetShareFlow::fit(&real, &cfg);
+        let secs = model.cpu_seconds();
+        let synth = model.generate_flows(scale.n);
+        let r = fidelity_flow(&real, &synth);
+        points.push(ChunkPoint {
+            variant,
+            n_chunks: m,
+            flow_tags: tags,
+            cpu_seconds: secs,
+            mean_jsd: r.mean_jsd(),
+            records_per_tuple_emd: emd_1d(&real_rpt, &flow_records_per_tuple(&synth)),
+        });
+    };
+
+    for m in [1usize, 2, 5, 10] {
+        let name = if m == 1 { "M=1 (V0)".to_string() } else { format!("M={m}") };
+        run(name, m, true);
+    }
+    run("M=5, no flow tags".into(), 5, false);
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.variant.clone(),
+                f3(p.cpu_seconds),
+                f3(p.mean_jsd),
+                f3(p.records_per_tuple_emd),
+            ]
+        })
+        .collect();
+    print_table(
+        "Ablation — chunk count M and flow tags (UGR16)",
+        &["variant", "cpu_s", "meanJSD", "rec/tuple EMD"],
+        &rows,
+    );
+    save_json("ablation_chunks", &points);
+}

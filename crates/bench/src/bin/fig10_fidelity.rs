@@ -1,0 +1,47 @@
+//! Figure 10 — per-field Jensen-Shannon divergence and normalized EMD on
+//! UGR16 (NetFlow) and CAIDA (PCAP), every model vs the real trace.
+//! The paper's headline Finding 1 ("46% better fidelity than baselines")
+//! aggregates exactly these numbers.
+
+use bench::{
+    flow_fidelity_suite, packet_fidelity_suite, print_fidelity_tables, save_json, ExpScale,
+};
+use trace_synth::DatasetKind;
+
+fn main() {
+    let scale = ExpScale::from_env();
+
+    let (_, flow_suite) = flow_fidelity_suite(DatasetKind::Ugr16, scale, 42);
+    print_fidelity_tables("Fig. 10a/10b — UGR16 (NetFlow) JSD + normalized EMD", &flow_suite);
+
+    let (_, pkt_suite) = packet_fidelity_suite(DatasetKind::Caida, scale, 43);
+    print_fidelity_tables("Fig. 10c/10d — CAIDA (PCAP) JSD + normalized EMD", &pkt_suite);
+
+    // Finding-1 headline: NetShare's improvement over the mean baseline.
+    let improvement = |suite: &[(String, distmetrics::FidelityReport)]| -> f64 {
+        let ns = suite
+            .iter()
+            .find(|(n, _)| n == "NetShare")
+            .map(|(_, r)| r.mean_jsd())
+            .unwrap_or(f64::NAN);
+        let base: Vec<f64> = suite
+            .iter()
+            .filter(|(n, _)| n != "NetShare" && n != "Real-holdout")
+            .map(|(_, r)| r.mean_jsd())
+            .collect();
+        let base_mean = base.iter().sum::<f64>() / base.len().max(1) as f64;
+        (base_mean - ns) / base_mean * 100.0
+    };
+    println!(
+        "\nNetShare mean-JSD improvement vs baselines: UGR16 {:.1}%, CAIDA {:.1}%",
+        improvement(&flow_suite),
+        improvement(&pkt_suite)
+    );
+
+    let summary: Vec<(String, f64, f64)> = flow_suite
+        .iter()
+        .chain(&pkt_suite)
+        .map(|(n, r)| (n.clone(), r.mean_jsd(), 0.0))
+        .collect();
+    save_json("fig10_fidelity_summary", &summary);
+}

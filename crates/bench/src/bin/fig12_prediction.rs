@@ -1,0 +1,69 @@
+//! Figure 12 — NetFlow traffic-type prediction accuracy on TON: the five
+//! classifiers trained on real data (train A / test A′) vs trained on
+//! each model's synthetic data (train B / test A′), following the Fig. 11
+//! protocol (time-sorted 80/20 splits).
+
+use baselines::FlowSynthesizer;
+use bench::{f3, fit_flow_baselines, print_table, save_json, ExpScale, NetShareFlow};
+use mlkit::taskharness::{accuracy_train_a_test_b, classifier_suite, flow_prediction_dataset};
+use serde::Serialize;
+use trace_synth::{generate_flows, DatasetKind};
+
+#[derive(Serialize)]
+struct AccuracyRow {
+    training_source: String,
+    per_classifier: Vec<(String, f64)>,
+}
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let real = generate_flows(DatasetKind::Ton, scale.n, 42);
+    let real_data = flow_prediction_dataset(&real);
+    // Real data A: earlier 80% trains, later 20% (A') tests.
+    let (train_real, test_real) = real_data.split_ordered(0.8);
+
+    let mut sources: Vec<(String, mlkit::Dataset)> = vec![("Real".into(), train_real)];
+    for baseline in fit_flow_baselines(&real, scale.steps, 31).iter_mut() {
+        let synth = baseline.generate_flows(scale.n);
+        let (train_b, _) = flow_prediction_dataset(&synth).split_ordered(0.8);
+        sources.push((baseline.name().to_string(), train_b));
+    }
+    {
+        let mut ns = NetShareFlow::fit(&real, &scale.netshare_config(true, 6));
+        let synth = ns.generate_flows(scale.n);
+        let (train_b, _) = flow_prediction_dataset(&synth).split_ordered(0.8);
+        sources.push(("NetShare".into(), train_b));
+    }
+
+    let mut results = Vec::new();
+    for (name, train) in &sources {
+        let mut per_classifier = Vec::new();
+        for clf in classifier_suite().iter_mut() {
+            let acc = accuracy_train_a_test_b(clf.as_mut(), train, &test_real);
+            per_classifier.push((clf.name().to_string(), acc));
+        }
+        results.push(AccuracyRow {
+            training_source: name.clone(),
+            per_classifier,
+        });
+    }
+
+    let header: Vec<String> = std::iter::once("train on".to_string())
+        .chain(results[0].per_classifier.iter().map(|(n, _)| n.clone()))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            std::iter::once(r.training_source.clone())
+                .chain(r.per_classifier.iter().map(|(_, a)| f3(*a)))
+                .collect()
+        })
+        .collect();
+    print_table(
+        "Fig. 12 — traffic-type prediction accuracy on TON (test on real A')",
+        &header_refs,
+        &rows,
+    );
+    save_json("fig12_prediction", &results);
+}

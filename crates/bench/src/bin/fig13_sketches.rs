@@ -1,0 +1,141 @@
+//! Figure 13 — relative error of heavy-hitter count estimation by the
+//! four sketching algorithms on real vs synthetic PCAP datasets:
+//! CAIDA (destination-IP heavy hitters), DC (source IP), CA (five-tuple).
+//! Threshold 0.1%, equal memory, each sketch run independently several
+//! times; a model is dropped from a dataset when its synthetic trace has
+//! no heavy hitters at the threshold (as in the paper).
+
+use baselines::PacketSynthesizer;
+use bench::{f3, fit_packet_baselines, print_table, save_json, ExpScale, NetSharePacket};
+use distmetrics::spearman_rank_correlation;
+use nettrace::PacketTrace;
+use serde::Serialize;
+use sketch::{hh_estimation_error, CountMin, CountSketch, HhKey, NitroSketch, Sketch, UnivMon};
+
+const THRESHOLD: f64 = 0.001;
+const RUNS: u64 = 10;
+
+fn sketch_zoo(run: u64) -> Vec<Box<dyn Sketch>> {
+    // Equal memory: 4 × 512 counters each.
+    vec![
+        Box::new(CountMin::new(4, 512)),
+        Box::new(CountSketch::new(4, 512)),
+        Box::new(UnivMon::new(4, 512, 8)),
+        Box::new(NitroSketch::new(4, 512, 0.5, run)),
+    ]
+}
+
+/// Mean (over runs) HH estimation error per sketch for a trace.
+fn sketch_errors(trace: &PacketTrace, key: HhKey) -> Vec<Option<f64>> {
+    (0..4usize)
+        .map(|si| {
+            let mut acc = Vec::new();
+            for run in 0..RUNS {
+                let mut zoo = sketch_zoo(run);
+                if let Some(e) = hh_estimation_error(trace, zoo[si].as_mut(), key, THRESHOLD) {
+                    acc.push(e);
+                }
+            }
+            if acc.is_empty() {
+                None
+            } else {
+                Some(acc.iter().sum::<f64>() / acc.len() as f64)
+            }
+        })
+        .collect()
+}
+
+#[derive(Serialize)]
+struct HhRow {
+    dataset: String,
+    model: String,
+    /// Relative error |err_syn − err_real| / err_real per sketch
+    /// (CMS, CS, UnivMon, NitroSketch); `None` = no HH found.
+    relative_errors: Vec<Option<f64>>,
+    rank_correlation: Option<f64>,
+}
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let sketch_names = ["CMS", "CS", "UnivMon", "NitroSketch"];
+    let mut results: Vec<HhRow> = Vec::new();
+
+    for (kind, key, seed) in [
+        (trace_synth::DatasetKind::Caida, HhKey::DstIp, 42u64),
+        (trace_synth::DatasetKind::Dc, HhKey::SrcIp, 43),
+        (trace_synth::DatasetKind::Ca, HhKey::FiveTuple, 44),
+    ] {
+        let real = trace_synth::generate_packets(kind, scale.n, seed);
+        let real_errors = sketch_errors(&real, key);
+
+        let mut models: Vec<(String, PacketTrace)> = Vec::new();
+        for baseline in fit_packet_baselines(&real, scale.steps, seed ^ 0x60).iter_mut() {
+            models.push((baseline.name().to_string(), baseline.generate_packets(scale.n)));
+        }
+        let mut ns = NetSharePacket::fit(&real, &scale.netshare_config(false, seed ^ 0x70));
+        models.push(("NetShare".into(), ns.generate_packets(scale.n)));
+
+        for (name, synth) in &models {
+            let syn_errors = sketch_errors(synth, key);
+            let relative_errors: Vec<Option<f64>> = real_errors
+                .iter()
+                .zip(&syn_errors)
+                .map(|(r, s)| match (r, s) {
+                    // 1%-floor on the denominator: at laptop scale the
+                    // real sketch error is often ~0 (exact sketches), and
+                    // the paper's |err_syn−err_real|/err_real would blow up.
+                    (Some(r), Some(s)) => Some((s - r).abs() / r.max(0.01)),
+                    _ => None,
+                })
+                .collect();
+            // Order preservation: rank sketches by their error on real vs
+            // synthetic data.
+            let paired: Vec<(f64, f64)> = real_errors
+                .iter()
+                .zip(&syn_errors)
+                .filter_map(|(r, s)| Some((((*r)?), ((*s)?))))
+                .collect();
+            let rank_correlation = if paired.len() >= 2 {
+                let (a, b): (Vec<f64>, Vec<f64>) = paired.into_iter().unzip();
+                spearman_rank_correlation(&a, &b)
+            } else {
+                None
+            };
+            results.push(HhRow {
+                dataset: kind.name().to_string(),
+                model: name.clone(),
+                relative_errors,
+                rank_correlation,
+            });
+        }
+    }
+
+    let header: Vec<String> = ["dataset", "model"]
+        .iter()
+        .map(|s| s.to_string())
+        .chain(sketch_names.iter().map(|s| s.to_string()))
+        .chain(std::iter::once("rank".into()))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![r.dataset.clone(), r.model.clone()]
+                .into_iter()
+                .chain(r.relative_errors.iter().map(|e| match e {
+                    Some(v) => format!("{:.1}%", v * 100.0),
+                    None => "N/A".into(),
+                }))
+                .chain(std::iter::once(
+                    r.rank_correlation.map(f3).unwrap_or_else(|| "N/A".into()),
+                ))
+                .collect()
+        })
+        .collect();
+    print_table(
+        "Fig. 13 — heavy-hitter estimation relative error (real vs synthetic)",
+        &header_refs,
+        &rows,
+    );
+    save_json("fig13_sketches", &results);
+}

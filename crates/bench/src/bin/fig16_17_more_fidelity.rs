@@ -1,0 +1,35 @@
+//! Figures 16 & 17 (Appendix A) — the Fig. 10 fidelity comparison on the
+//! remaining four datasets: CIDDS and TON (NetFlow), DC and CA (PCAP).
+
+use bench::{
+    flow_fidelity_suite, packet_fidelity_suite, print_fidelity_tables, save_json, ExpScale,
+};
+use trace_synth::DatasetKind;
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let mut summary: Vec<(String, String, f64)> = Vec::new();
+
+    for (kind, fig) in [(DatasetKind::Cidds, "16a/16b"), (DatasetKind::Ton, "16c/16d")] {
+        let (_, suite) = flow_fidelity_suite(kind, scale, 60 + kind.name().len() as u64);
+        print_fidelity_tables(
+            &format!("Fig. {fig} — {} (NetFlow) JSD + normalized EMD", kind.name()),
+            &suite,
+        );
+        for (n, r) in &suite {
+            summary.push((kind.name().to_string(), n.clone(), r.mean_jsd()));
+        }
+    }
+
+    for (kind, fig) in [(DatasetKind::Dc, "17a/17b"), (DatasetKind::Ca, "17c/17d")] {
+        let (_, suite) = packet_fidelity_suite(kind, scale, 70 + kind.name().len() as u64);
+        print_fidelity_tables(
+            &format!("Fig. {fig} — {} (PCAP) JSD + normalized EMD", kind.name()),
+            &suite,
+        );
+        for (n, r) in &suite {
+            summary.push((kind.name().to_string(), n.clone(), r.mean_jsd()));
+        }
+    }
+    save_json("fig16_17_more_fidelity", &summary);
+}

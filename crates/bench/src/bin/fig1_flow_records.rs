@@ -1,0 +1,101 @@
+//! Figure 1 — distribution of records/packets sharing a five-tuple.
+//!
+//! * Fig. 1a: CDF of NetFlow records with the same five-tuple (UGR16).
+//!   Baselines either blow up (CTGAN: thousands of records per tuple) or
+//!   stay short; NetShare tracks the real CDF.
+//! * Fig. 1b: CDF of flow size in packets (CAIDA). The packet baselines
+//!   generate essentially no multi-packet flows ("all baselines are
+//!   missing in Fig. 1b as they don't generate flows with > 1 packet").
+
+use baselines::{FlowSynthesizer, PacketSynthesizer};
+use bench::{
+    f3, fit_flow_baselines, fit_packet_baselines, print_table, save_json, ExpScale, NetShareFlow,
+    NetSharePacket,
+};
+use distmetrics::cdf::Ecdf;
+use distmetrics::fields::{flow_records_per_tuple, packet_continuous};
+use serde::Serialize;
+use trace_synth::{generate_flows, generate_packets, DatasetKind};
+
+#[derive(Serialize)]
+struct Series {
+    model: String,
+    /// `(x, F(x))` on a log grid.
+    cdf: Vec<(f64, f64)>,
+    p50: f64,
+    p90: f64,
+    p99: f64,
+    max: f64,
+    multi_record_fraction: f64,
+}
+
+fn series(model: &str, samples: &[f64]) -> Series {
+    let e = Ecdf::new(samples);
+    let max = samples.iter().cloned().fold(0.0, f64::max).max(1.0);
+    Series {
+        model: model.to_string(),
+        cdf: e.log_grid(1.0, max.max(2.0), 24),
+        p50: e.quantile(0.5).unwrap_or(0.0),
+        p90: e.quantile(0.9).unwrap_or(0.0),
+        p99: e.quantile(0.99).unwrap_or(0.0),
+        max,
+        multi_record_fraction: samples.iter().filter(|&&x| x > 1.0).count() as f64
+            / samples.len().max(1) as f64,
+    }
+}
+
+fn rows(series: &[Series]) -> Vec<Vec<String>> {
+    series
+        .iter()
+        .map(|s| {
+            vec![
+                s.model.clone(),
+                f3(s.p50),
+                f3(s.p90),
+                f3(s.p99),
+                f3(s.max),
+                f3(s.multi_record_fraction),
+            ]
+        })
+        .collect()
+}
+
+fn main() {
+    let scale = ExpScale::from_env();
+
+    // ---- Fig. 1a: UGR16 records per five-tuple -------------------------
+    let real = generate_flows(DatasetKind::Ugr16, scale.n, 42);
+    let mut all = vec![series("Real", &flow_records_per_tuple(&real))];
+    for baseline in fit_flow_baselines(&real, scale.steps, 7).iter_mut() {
+        let synth = baseline.generate_flows(scale.n);
+        all.push(series(baseline.name(), &flow_records_per_tuple(&synth)));
+    }
+    let mut ns = NetShareFlow::fit(&real, &scale.netshare_config(false, 1));
+    let synth = ns.generate_flows(scale.n);
+    all.push(series("NetShare", &flow_records_per_tuple(&synth)));
+
+    print_table(
+        "Fig. 1a — records per five-tuple, UGR16 (NetFlow)",
+        &["model", "p50", "p90", "p99", "max", "frac>1"],
+        &rows(&all),
+    );
+    save_json("fig1a_records_per_tuple", &all);
+
+    // ---- Fig. 1b: CAIDA flow size (packets per tuple) ------------------
+    let real = generate_packets(DatasetKind::Caida, scale.n, 43);
+    let mut all = vec![series("Real", &packet_continuous(&real, "FS"))];
+    for baseline in fit_packet_baselines(&real, scale.steps, 9).iter_mut() {
+        let synth = baseline.generate_packets(scale.n);
+        all.push(series(baseline.name(), &packet_continuous(&synth, "FS")));
+    }
+    let mut ns = NetSharePacket::fit(&real, &scale.netshare_config(false, 2));
+    let synth = ns.generate_packets(scale.n);
+    all.push(series("NetShare", &packet_continuous(&synth, "FS")));
+
+    print_table(
+        "Fig. 1b — flow size (packets per flow), CAIDA (PCAP)",
+        &["model", "p50", "p90", "p99", "max", "frac>1"],
+        &rows(&all),
+    );
+    save_json("fig1b_flow_size", &all);
+}

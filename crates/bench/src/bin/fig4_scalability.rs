@@ -1,0 +1,123 @@
+//! Figure 4 — scalability–fidelity trade-offs on UGR16 (NetFlow) and
+//! CAIDA (PCAP). The paper's shape to reproduce: simple tabular GANs are
+//! cheapest but least faithful; the monolithic time-series model
+//! ("NetShare-V0") is most expensive (≈10× NetShare); chunked fine-tuned
+//! NetShare gets V0-class fidelity at a fraction of the CPU cost.
+//!
+//! Cost is *total CPU seconds* (summed across parallel chunk training),
+//! matching the paper's total-CPU-hours axis.
+
+use baselines::{
+    ctgan::CtGanPacket, CtGan, EWganGp, FlowSynthesizer, FlowWgan, PacGan, PacketCGan,
+    PacketSynthesizer, Stan,
+};
+use bench::{f3, print_table, save_json, ExpScale, NetShareFlow, NetSharePacket};
+use distmetrics::report::mean_normalized_emd;
+use distmetrics::{fidelity_flow, fidelity_packet, FidelityReport};
+use serde::Serialize;
+use std::time::Instant;
+use trace_synth::{generate_flows, generate_packets, DatasetKind};
+
+#[derive(Serialize)]
+struct Point {
+    model: String,
+    cpu_seconds: f64,
+    mean_jsd: f64,
+    mean_norm_emd: f64,
+}
+
+fn tabulate(title: &str, named: Vec<(String, f64, FidelityReport)>) -> Vec<Point> {
+    let reports: Vec<&FidelityReport> = named.iter().map(|(_, _, r)| r).collect();
+    let emds = mean_normalized_emd(&reports);
+    let points: Vec<Point> = named
+        .iter()
+        .zip(emds)
+        .map(|((name, secs, r), emd)| Point {
+            model: name.clone(),
+            cpu_seconds: *secs,
+            mean_jsd: r.mean_jsd(),
+            mean_norm_emd: emd,
+        })
+        .collect();
+    let rows = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.model.clone(),
+                f3(p.cpu_seconds),
+                f3(p.mean_jsd),
+                f3(p.mean_norm_emd),
+            ]
+        })
+        .collect::<Vec<_>>();
+    print_table(title, &["model", "cpu_s", "meanJSD", "meanNEMD"], &rows);
+    points
+}
+
+fn main() {
+    let scale = ExpScale::from_env();
+
+    // ---- Fig. 4a/4b: UGR16 ---------------------------------------------
+    let real = generate_flows(DatasetKind::Ugr16, scale.n, 42);
+    let mut named: Vec<(String, f64, FidelityReport)> = Vec::new();
+
+    let mut timed_flow = |name: &str, f: &mut dyn FnMut() -> Box<dyn FlowSynthesizer>| {
+        let t = Instant::now();
+        let mut model = f();
+        let secs = t.elapsed().as_secs_f64();
+        let synth = model.generate_flows(scale.n);
+        named.push((name.to_string(), secs, fidelity_flow(&real, &synth)));
+    };
+    timed_flow("CTGAN", &mut || Box::new(CtGan::fit_flows(&real, scale.steps, 1)));
+    timed_flow("STAN", &mut || Box::new(Stan::fit_flows(&real, scale.steps, 2)));
+    timed_flow("E-WGAN-GP", &mut || Box::new(EWganGp::fit_flows(&real, scale.steps, 3)));
+    {
+        // NetShare-V0: one monolithic model over the whole trace, trained
+        // at full depth — the 10×-cost intermediate design.
+        let cfg = scale.netshare_config(true, 4).v0_from();
+        let mut v0 = NetShareFlow::fit(&real, &cfg).with_label("NetShare-V0");
+        let secs = v0.cpu_seconds();
+        let synth = v0.generate_flows(scale.n);
+        named.push(("NetShare-V0".into(), secs, fidelity_flow(&real, &synth)));
+    }
+    {
+        let cfg = scale.netshare_config(true, 5);
+        let mut ns = NetShareFlow::fit(&real, &cfg);
+        let secs = ns.cpu_seconds();
+        let synth = ns.generate_flows(scale.n);
+        named.push(("NetShare".into(), secs, fidelity_flow(&real, &synth)));
+    }
+    let flow_points = tabulate("Fig. 4a/4b — UGR16 (NetFlow) scalability-fidelity", named);
+
+    // ---- Fig. 4c/4d: CAIDA ----------------------------------------------
+    let real = generate_packets(DatasetKind::Caida, scale.n, 43);
+    let mut named: Vec<(String, f64, FidelityReport)> = Vec::new();
+    let mut timed_pkt = |name: &str, f: &mut dyn FnMut() -> Box<dyn PacketSynthesizer>| {
+        let t = Instant::now();
+        let mut model = f();
+        let secs = t.elapsed().as_secs_f64();
+        let synth = model.generate_packets(scale.n);
+        named.push((name.to_string(), secs, fidelity_packet(&real, &synth)));
+    };
+    timed_pkt("CTGAN", &mut || Box::new(CtGanPacket::fit_packets(&real, scale.steps, 1)));
+    timed_pkt("PAC-GAN", &mut || Box::new(PacGan::fit_packets(&real, scale.steps, 2)));
+    timed_pkt("PacketCGAN", &mut || Box::new(PacketCGan::fit_packets(&real, scale.steps, 3)));
+    timed_pkt("Flow-WGAN", &mut || Box::new(FlowWgan::fit_packets(&real, scale.steps, 4)));
+    {
+        let cfg = scale.netshare_config(false, 5).v0_from();
+        let mut v0 = NetSharePacket::fit(&real, &cfg).with_label("NetShare-V0");
+        let secs = v0.cpu_seconds();
+        let synth = v0.generate_packets(scale.n);
+        named.push(("NetShare-V0".into(), secs, fidelity_packet(&real, &synth)));
+    }
+    {
+        let cfg = scale.netshare_config(false, 6);
+        let mut ns = NetSharePacket::fit(&real, &cfg);
+        let secs = ns.cpu_seconds();
+        let synth = ns.generate_packets(scale.n);
+        named.push(("NetShare".into(), secs, fidelity_packet(&real, &synth)));
+    }
+    let pkt_points = tabulate("Fig. 4c/4d — CAIDA (PCAP) scalability-fidelity", named);
+
+    save_json("fig4_scalability", &(flow_points, pkt_points));
+}

@@ -1,0 +1,134 @@
+//! Figure 5 + Table 5 — privacy–fidelity trade-offs. For a ladder of
+//! DP-SGD noise multipliers (⇒ a ladder of ε at δ=10⁻⁵), train NetShare
+//! three ways and measure fidelity:
+//!
+//! * **Naive DP** — DP-SGD from scratch (no public pre-training);
+//! * **DP Pretrained-SAME** — pre-train on same-domain public data
+//!   (CAIDA-Chicago-like), DP fine-tune;
+//! * **DP Pretrained-DIFF** — pre-train on different-domain public data
+//!   (data-center trace), DP fine-tune.
+//!
+//! The paper's shape: fidelity degrades as ε shrinks; SAME-domain
+//! pre-training dominates naive DP; DIFF-domain pre-training helps less.
+
+use bench::{f3, print_table, save_json, ExpScale, NetShareFlow, NetSharePacket};
+use baselines::{FlowSynthesizer, PacketSynthesizer};
+use distmetrics::{fidelity_flow, fidelity_packet};
+use netshare::{DpOptions, DpPretrainSource};
+use serde::Serialize;
+use trace_synth::{generate_flows, generate_packets, DatasetKind};
+
+#[derive(Serialize)]
+struct DpPoint {
+    variant: String,
+    sigma: f32,
+    epsilon: f64,
+    mean_jsd: f64,
+    mean_emd_ts: f64,
+}
+
+const SIGMAS: [f32; 4] = [4.0, 2.0, 1.0, 0.5];
+
+fn variants() -> Vec<(&'static str, usize, DpPretrainSource)> {
+    vec![
+        ("Naive DP", 0, DpPretrainSource::SameDomain),
+        ("DP Pretrained-SAME", 60, DpPretrainSource::SameDomain),
+        ("DP Pretrained-DIFF", 60, DpPretrainSource::DifferentDomain),
+    ]
+}
+
+fn main() {
+    let scale = ExpScale::from_env();
+
+    // ---- Fig. 5a/5b: UGR16 (NetFlow) -----------------------------------
+    let real = generate_flows(DatasetKind::Ugr16, scale.n, 42);
+    let mut points: Vec<DpPoint> = Vec::new();
+    for (name, pretrain, source) in variants() {
+        for &sigma in &SIGMAS {
+            let mut cfg = scale.netshare_config(false, 100 + sigma as u64);
+            cfg.n_chunks = 2; // fewer, larger chunks: better DP sampling rate
+            cfg.dp = Some(DpOptions {
+                noise_multiplier: sigma,
+                clip_norm: 1.0,
+                delta: 1e-5,
+                public_pretrain_steps: pretrain,
+                pretrain_source: source,
+            });
+            let mut model = NetShareFlow::fit(&real, &cfg);
+            let eps = model.epsilon().unwrap_or(f64::INFINITY);
+            let synth = model.generate_flows(scale.n);
+            let r = fidelity_flow(&real, &synth);
+            points.push(DpPoint {
+                variant: name.to_string(),
+                sigma,
+                epsilon: eps,
+                mean_jsd: r.mean_jsd(),
+                mean_emd_ts: r.emd_for("PKT").unwrap_or(f64::NAN),
+            });
+        }
+    }
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.variant.clone(),
+                f3(p.sigma as f64),
+                format!("{:.2}", p.epsilon),
+                f3(p.mean_jsd),
+                f3(p.mean_emd_ts),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 5a/5b — UGR16 (NetFlow) privacy-fidelity (δ=1e-5)",
+        &["variant", "sigma", "epsilon", "meanJSD", "EMD(PKT)"],
+        &rows,
+    );
+    save_json("fig5_privacy_ugr16", &points);
+
+    // ---- Fig. 5c/5d + Table 5: CAIDA (PCAP) ----------------------------
+    let real = generate_packets(DatasetKind::Caida, scale.n, 43);
+    let mut points: Vec<DpPoint> = Vec::new();
+    for (name, pretrain, source) in variants() {
+        for &sigma in &SIGMAS {
+            let mut cfg = scale.netshare_config(false, 200 + sigma as u64);
+            cfg.n_chunks = 2;
+            cfg.dp = Some(DpOptions {
+                noise_multiplier: sigma,
+                clip_norm: 1.0,
+                delta: 1e-5,
+                public_pretrain_steps: pretrain,
+                pretrain_source: source,
+            });
+            let mut model = NetSharePacket::fit(&real, &cfg);
+            let eps = model.epsilon().unwrap_or(f64::INFINITY);
+            let synth = model.generate_packets(scale.n);
+            let r = fidelity_packet(&real, &synth);
+            points.push(DpPoint {
+                variant: name.to_string(),
+                sigma,
+                epsilon: eps,
+                mean_jsd: r.mean_jsd(),
+                mean_emd_ts: r.emd_for("PS").unwrap_or(f64::NAN),
+            });
+        }
+    }
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.variant.clone(),
+                f3(p.sigma as f64),
+                format!("{:.2}", p.epsilon),
+                f3(p.mean_jsd),
+                f3(p.mean_emd_ts),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 5c/5d + Table 5 — CAIDA (PCAP) privacy-fidelity (δ=1e-5)",
+        &["variant", "sigma", "epsilon", "meanJSD", "EMD(PS)"],
+        &rows,
+    );
+    save_json("fig5_privacy_caida", &points);
+}

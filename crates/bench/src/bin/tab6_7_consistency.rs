@@ -1,0 +1,104 @@
+//! Tables 6 & 7 (Appendix B) — protocol/consistency checks on generated
+//! traces: Test 1 (IP validity), Test 2 (bytes/packets relationship),
+//! Test 3 (port/protocol consistency), Test 4 (packet minimum size, PCAP
+//! only). NetFlow checks run on UGR16; PCAP checks on CAIDA.
+
+use baselines::{FlowSynthesizer, PacketSynthesizer};
+use bench::{
+    fit_flow_baselines, fit_packet_baselines, print_table, save_json, ExpScale, NetShareFlow,
+    NetSharePacket,
+};
+use nettrace::validity::{check_flow_trace, check_packet_trace};
+use nettrace::{aggregate_flows, AggregationConfig};
+use serde::Serialize;
+use trace_synth::{generate_flows, generate_packets, DatasetKind};
+
+#[derive(Serialize)]
+struct ConsistencyRow {
+    model: String,
+    test1: f64,
+    test2: f64,
+    test3: f64,
+    test4: Option<f64>,
+}
+
+fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+fn main() {
+    let scale = ExpScale::from_env();
+
+    // ---- Table 6: UGR16 (NetFlow) ---------------------------------------
+    let real = generate_flows(DatasetKind::Ugr16, scale.n, 42);
+    let mut rows6 = Vec::new();
+    let mut record = |name: &str, trace: &nettrace::FlowTrace| {
+        let r = check_flow_trace(trace);
+        rows6.push(ConsistencyRow {
+            model: name.to_string(),
+            test1: r.test1,
+            test2: r.test2,
+            test3: r.test3,
+            test4: None,
+        });
+    };
+    record("Real", &real);
+    for baseline in fit_flow_baselines(&real, scale.steps, 51).iter_mut() {
+        let synth = baseline.generate_flows(scale.n);
+        record(baseline.name(), &synth);
+    }
+    let mut ns = NetShareFlow::fit(&real, &scale.netshare_config(false, 8));
+    let synth = ns.generate_flows(scale.n);
+    record("NetShare", &synth);
+
+    print_table(
+        "Table 6 — NetFlow consistency checks on UGR16",
+        &["model", "Test1", "Test2", "Test3"],
+        &rows6
+            .iter()
+            .map(|r| vec![r.model.clone(), pct(r.test1), pct(r.test2), pct(r.test3)])
+            .collect::<Vec<_>>(),
+    );
+    save_json("tab6_netflow_consistency", &rows6);
+
+    // ---- Table 7: CAIDA (PCAP) ------------------------------------------
+    let real = generate_packets(DatasetKind::Caida, scale.n, 43);
+    let mut rows7 = Vec::new();
+    let mut record = |name: &str, trace: &nettrace::PacketTrace| {
+        let flows = aggregate_flows(trace, AggregationConfig::default());
+        let r = check_packet_trace(trace, &flows);
+        rows7.push(ConsistencyRow {
+            model: name.to_string(),
+            test1: r.test1,
+            test2: r.test2,
+            test3: r.test3,
+            test4: r.test4,
+        });
+    };
+    record("Real", &real);
+    for baseline in fit_packet_baselines(&real, scale.steps, 53).iter_mut() {
+        let synth = baseline.generate_packets(scale.n);
+        record(baseline.name(), &synth);
+    }
+    let mut ns = NetSharePacket::fit(&real, &scale.netshare_config(false, 9));
+    let synth = ns.generate_packets(scale.n);
+    record("NetShare", &synth);
+
+    print_table(
+        "Table 7 — PCAP consistency checks on CAIDA",
+        &["model", "Test1", "Test2", "Test3", "Test4"],
+        &rows7
+            .iter()
+            .map(|r| {
+                vec![
+                    r.model.clone(),
+                    pct(r.test1),
+                    pct(r.test2),
+                    pct(r.test3),
+                    r.test4.map(pct).unwrap_or_else(|| "N/A".into()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    save_json("tab7_pcap_consistency", &rows7);
+}

@@ -1,0 +1,184 @@
+//! `netshare_cli` — one-shot synthetic trace generation from the command
+//! line, the workflow the paper envisions for data holders (§5: share the
+//! *generated traces*, not the model).
+//!
+//! ```text
+//! netshare_cli synth-flows   real.csv  synthetic.csv  [options]
+//! netshare_cli synth-packets real.pcap synthetic.pcap [options]
+//!
+//! options:
+//!   --n <count>        records/packets to generate (default: input size)
+//!   --chunks <M>       time chunks (default 10)
+//!   --steps <S>        seed-chunk generator steps (default 300)
+//!   --labels           model the benign/attack labels (flow CSV only)
+//!   --dp <sigma>       train with DP-SGD at noise multiplier sigma
+//!   --private-ips      remap generated IPs into 10.0.0.0/8
+//!   --seed <u64>       RNG seed (default 17)
+//! ```
+
+use netshare::{postprocess, DpOptions, NetShare, NetShareConfig};
+use std::process::ExitCode;
+
+struct Options {
+    n: Option<usize>,
+    cfg: NetShareConfig,
+    private_ips: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: netshare_cli <synth-flows|synth-packets> <input> <output> \
+         [--n N] [--chunks M] [--steps S] [--labels] [--dp SIGMA] [--private-ips] [--seed U64]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut cfg = NetShareConfig::default_config();
+    let mut n = None;
+    let mut private_ips = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--n" => n = Some(value("--n")?.parse().map_err(|e| format!("--n: {e}"))?),
+            "--chunks" => {
+                cfg.n_chunks = value("--chunks")?.parse().map_err(|e| format!("--chunks: {e}"))?
+            }
+            "--steps" => {
+                cfg.seed_steps = value("--steps")?.parse().map_err(|e| format!("--steps: {e}"))?;
+                cfg.finetune_steps = (cfg.seed_steps / 5).max(10);
+            }
+            "--labels" => cfg.with_labels = true,
+            "--dp" => {
+                let sigma: f32 = value("--dp")?.parse().map_err(|e| format!("--dp: {e}"))?;
+                cfg.dp = Some(DpOptions {
+                    noise_multiplier: sigma,
+                    clip_norm: 1.0,
+                    delta: 1e-5,
+                    public_pretrain_steps: cfg.seed_steps / 2,
+                    pretrain_source: Default::default(),
+                });
+            }
+            "--private-ips" => private_ips = true,
+            "--seed" => cfg.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(Options { n, cfg, private_ips })
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 3 {
+        return Err("missing arguments".into());
+    }
+    let (mode, input, output) = (&args[0], &args[1], &args[2]);
+    let opts = parse_options(&args[3..])?;
+
+    match mode.as_str() {
+        "synth-flows" => {
+            let csv = std::fs::read_to_string(input).map_err(|e| format!("read {input}: {e}"))?;
+            let real = nettrace::netflow::read_netflow_csv(&csv)
+                .map_err(|e| format!("parse {input}: {e}"))?;
+            eprintln!("read {} flow records from {input}", real.len());
+            let mut model =
+                NetShare::fit_flows(&real, &opts.cfg).map_err(|e| e.to_string())?;
+            if let Some(eps) = model.epsilon() {
+                eprintln!("DP guarantee: (ε = {eps:.2}, δ = 1e-5)");
+            }
+            let mut synth = model.generate_flows(opts.n.unwrap_or(real.len()));
+            if opts.private_ips {
+                postprocess::transform_ips_flow(
+                    &mut synth,
+                    postprocess::DEFAULT_PRIVATE_BASE,
+                    postprocess::DEFAULT_PRIVATE_PREFIX,
+                    opts.cfg.seed,
+                );
+            }
+            std::fs::write(output, postprocess::to_netflow_csv(&synth))
+                .map_err(|e| format!("write {output}: {e}"))?;
+            eprintln!("wrote {} synthetic records to {output}", synth.len());
+        }
+        "synth-packets" => {
+            let bytes = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
+            let real =
+                nettrace::pcap::read_pcap(&bytes).map_err(|e| format!("parse {input}: {e}"))?;
+            eprintln!("read {} packets from {input}", real.len());
+            let mut model =
+                NetShare::fit_packets(&real, &opts.cfg).map_err(|e| e.to_string())?;
+            if let Some(eps) = model.epsilon() {
+                eprintln!("DP guarantee: (ε = {eps:.2}, δ = 1e-5)");
+            }
+            let mut synth = model.generate_packets(opts.n.unwrap_or(real.len()));
+            if opts.private_ips {
+                postprocess::transform_ips_packet(
+                    &mut synth,
+                    postprocess::DEFAULT_PRIVATE_BASE,
+                    postprocess::DEFAULT_PRIVATE_PREFIX,
+                    opts.cfg.seed,
+                );
+            }
+            std::fs::write(output, postprocess::to_pcap_bytes(&synth))
+                .map_err(|e| format!("write {output}: {e}"))?;
+            eprintln!("wrote {} synthetic packets to {output}", synth.len());
+        }
+        other => return Err(format!("unknown mode {other}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Result<Options, String> {
+        parse_options(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults_when_no_options() {
+        let o = opts(&[]).unwrap();
+        assert_eq!(o.n, None);
+        assert!(!o.private_ips);
+        assert!(o.cfg.dp.is_none());
+    }
+
+    #[test]
+    fn parses_all_options() {
+        let o = opts(&[
+            "--n", "500", "--chunks", "3", "--steps", "100", "--labels",
+            "--dp", "1.5", "--private-ips", "--seed", "99",
+        ])
+        .unwrap();
+        assert_eq!(o.n, Some(500));
+        assert_eq!(o.cfg.n_chunks, 3);
+        assert_eq!(o.cfg.seed_steps, 100);
+        assert!(o.cfg.with_labels);
+        assert!(o.private_ips);
+        assert_eq!(o.cfg.seed, 99);
+        let dp = o.cfg.dp.unwrap();
+        assert_eq!(dp.noise_multiplier, 1.5);
+    }
+
+    #[test]
+    fn rejects_unknown_and_missing_values() {
+        assert!(opts(&["--bogus"]).is_err());
+        assert!(opts(&["--n"]).is_err());
+        assert!(opts(&["--dp", "not-a-number"]).is_err());
+    }
+}

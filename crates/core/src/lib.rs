@@ -1,0 +1,44 @@
+//! # netshare
+//!
+//! The end-to-end NetShare pipeline (paper §4), assembled from the
+//! substrate crates:
+//!
+//! 1. **Pre-processing** (Insight 1): merge measurement epochs into one
+//!    giant trace, split it into per-five-tuple sequences, and encode
+//!    header fields (Insight 2: bit-encoded IPs, IP2Vec-embedded
+//!    ports/protocols trained on public data, `log(1+x)`+min-max
+//!    continuous fields) — [`flowcodec`], [`packetcodec`], [`tuplecodec`].
+//! 2. **Training** (Insights 1/3/4): slice the flow trace into `M`
+//!    fixed-time chunks with explicit flow tags, train a DoppelGANger
+//!    time-series GAN on the first ("seed") chunk, then fine-tune the
+//!    remaining chunks *in parallel* from the seed model — [`chunking`],
+//!    [`pipeline`]. In DP mode, pre-train on a public trace and fine-tune
+//!    with DP-SGD, with ε reported by the RDP accountant.
+//! 3. **Post-processing**: map embeddings back to words via
+//!    nearest-neighbour search, regenerate derived fields (IPv4 checksum),
+//!    remerge by raw timestamp, and optionally apply the privacy
+//!    extensions (IP-range transformation, attribute retraining) —
+//!    [`postprocess`].
+//!
+//! The quickest way in is [`NetShare`] in [`pipeline`]:
+//!
+//! ```no_run
+//! use netshare::{NetShare, NetShareConfig};
+//! use trace_synth::{generate_flows, DatasetKind};
+//!
+//! let real = generate_flows(DatasetKind::Ugr16, 5_000, 1);
+//! let cfg = NetShareConfig::fast();
+//! let mut model = NetShare::fit_flows(&real, &cfg).unwrap();
+//! let synthetic = model.generate_flows(5_000);
+//! ```
+
+pub mod chunking;
+pub mod config;
+pub mod flowcodec;
+pub mod packetcodec;
+pub mod pipeline;
+pub mod postprocess;
+pub mod tuplecodec;
+
+pub use config::{DpOptions, DpPretrainSource, NetShareConfig};
+pub use pipeline::{NetShare, PipelineError};

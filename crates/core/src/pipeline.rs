@@ -1,0 +1,586 @@
+//! The end-to-end NetShare pipeline (paper Fig. 9).
+
+use crate::chunking::{chunk_flows, chunk_packets, Chunked};
+use crate::config::NetShareConfig;
+use crate::flowcodec::FlowCodec;
+use crate::packetcodec::PacketCodec;
+use crate::tuplecodec::TupleCodec;
+use doppelganger::{DgConfig, DoppelGanger, TimeSeriesDataset};
+use nettrace::{aggregate_flows, AggregationConfig, FlowTrace, PacketTrace};
+use rand::prelude::*;
+use rayon::prelude::*;
+use std::fmt;
+use std::time::Instant;
+
+/// Pipeline errors.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The input trace has no records.
+    EmptyTrace,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::EmptyTrace => write!(f, "cannot fit NetShare on an empty trace"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+enum Codec {
+    Flow(FlowCodec),
+    Packet(PacketCodec),
+}
+
+/// A fitted NetShare model: one DoppelGANger per chunk, plus the codec and
+/// chunk geometry needed to decode generated samples back into a trace.
+pub struct NetShare {
+    cfg: NetShareConfig,
+    codec: Codec,
+    /// Per-chunk models (`None` for chunks with no training data).
+    models: Vec<Option<DoppelGanger>>,
+    bounds: Vec<(f64, f64)>,
+    /// Real record/packet counts per chunk (drives proportional sampling).
+    chunk_counts: Vec<usize>,
+    rng: StdRng,
+    /// Wall-clock seconds of the fit call (parallel chunks overlap).
+    pub wall_seconds: f64,
+    /// Summed per-chunk training seconds — the "total CPU hours" axis of
+    /// the paper's Fig. 4 (machines run chunks simultaneously, so wall
+    /// time underestimates cost).
+    pub cpu_seconds: f64,
+    /// Sampling rates (batch/chunk size) per trained chunk, for the DP
+    /// accountant.
+    dp_rates: Vec<(f64, u64)>,
+}
+
+impl NetShare {
+    /// Fits on a flow-header trace (the NetFlow pipeline).
+    pub fn fit_flows(trace: &FlowTrace, cfg: &NetShareConfig) -> Result<NetShare, PipelineError> {
+        if trace.is_empty() {
+            return Err(PipelineError::EmptyTrace);
+        }
+        let public_pkts =
+            trace_synth::public::ip2vec_public_corpus(cfg.ip2vec_public_packets, cfg.seed ^ 0xab);
+        let tuples = TupleCodec::fit_public(&public_pkts, cfg.embed_dim, cfg.seed ^ 0xcd);
+        // In DP mode, normalization ranges must not depend on private data.
+        let mut codec = if cfg.dp.is_some() {
+            let public_flows = aggregate_flows(&public_pkts, AggregationConfig::default());
+            FlowCodec::fit(&public_flows, tuples, cfg.n_chunks, cfg.with_labels)
+        } else {
+            FlowCodec::fit(trace, tuples, cfg.n_chunks, cfg.with_labels)
+        };
+        codec.tags_enabled = cfg.use_flow_tags;
+
+        let chunked = chunk_flows(trace, cfg.n_chunks);
+        let datasets: Vec<Option<TimeSeriesDataset>> = chunked
+            .chunks
+            .iter()
+            .enumerate()
+            .map(|(ci, groups)| {
+                if groups.is_empty() {
+                    return None;
+                }
+                let mut meta = Vec::with_capacity(groups.len());
+                let mut seqs = Vec::with_capacity(groups.len());
+                for g in groups {
+                    let (m, s) = codec.encode_group(g, chunked.bounds[ci]);
+                    meta.push(m);
+                    seqs.push(s);
+                }
+                Some(TimeSeriesDataset::new(meta, seqs, cfg.max_seq_len))
+            })
+            .collect();
+
+        let (models, cpu_seconds, wall_seconds, dp_rates) = Self::train_chunks(
+            cfg,
+            codec.meta_spec(),
+            codec.record_spec(),
+            &datasets,
+            || {
+                // Public pre-training dataset for DP mode: the chosen
+                // public trace run through the same encode path.
+                let src = pretrain_packets(cfg, &public_pkts);
+                let public_flows = aggregate_flows(&src, AggregationConfig::default());
+                let pc = chunk_flows(&public_flows, cfg.n_chunks);
+                let mut meta = Vec::new();
+                let mut seqs = Vec::new();
+                for (ci, groups) in pc.chunks.iter().enumerate() {
+                    for g in groups {
+                        let (m, s) = codec.encode_group(g, pc.bounds[ci]);
+                        meta.push(m);
+                        seqs.push(s);
+                    }
+                }
+                TimeSeriesDataset::new(meta, seqs, cfg.max_seq_len)
+            },
+        );
+
+        Ok(NetShare {
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0xef),
+            codec: Codec::Flow(codec),
+            models,
+            bounds: chunked.bounds.clone(),
+            chunk_counts: chunk_item_counts(&chunked),
+            wall_seconds,
+            cpu_seconds,
+            dp_rates,
+            cfg: cfg.clone(),
+        })
+    }
+
+    /// Fits on per-epoch flow traces by first merging them (Insight 1).
+    pub fn fit_flow_epochs(
+        epochs: &[FlowTrace],
+        cfg: &NetShareConfig,
+    ) -> Result<NetShare, PipelineError> {
+        let merged = nettrace::epoch::merge_flow_epochs(epochs);
+        NetShare::fit_flows(&merged, cfg)
+    }
+
+    /// Fits on a packet-header trace (the PCAP pipeline).
+    pub fn fit_packets(
+        trace: &PacketTrace,
+        cfg: &NetShareConfig,
+    ) -> Result<NetShare, PipelineError> {
+        if trace.is_empty() {
+            return Err(PipelineError::EmptyTrace);
+        }
+        let public_pkts =
+            trace_synth::public::ip2vec_public_corpus(cfg.ip2vec_public_packets, cfg.seed ^ 0xab);
+        let tuples = TupleCodec::fit_public(&public_pkts, cfg.embed_dim, cfg.seed ^ 0xcd);
+        let mut codec = if cfg.dp.is_some() {
+            PacketCodec::fit(&public_pkts, tuples, cfg.n_chunks)
+        } else {
+            PacketCodec::fit(trace, tuples, cfg.n_chunks)
+        };
+        codec.tags_enabled = cfg.use_flow_tags;
+
+        let chunked = chunk_packets(trace, cfg.n_chunks);
+        let datasets: Vec<Option<TimeSeriesDataset>> = chunked
+            .chunks
+            .iter()
+            .enumerate()
+            .map(|(ci, groups)| {
+                if groups.is_empty() {
+                    return None;
+                }
+                let mut meta = Vec::with_capacity(groups.len());
+                let mut seqs = Vec::with_capacity(groups.len());
+                for g in groups {
+                    let (m, s) = codec.encode_group(g, chunked.bounds[ci]);
+                    meta.push(m);
+                    seqs.push(s);
+                }
+                Some(TimeSeriesDataset::new(meta, seqs, cfg.max_seq_len))
+            })
+            .collect();
+
+        let (models, cpu_seconds, wall_seconds, dp_rates) = Self::train_chunks(
+            cfg,
+            codec.meta_spec(),
+            codec.record_spec(),
+            &datasets,
+            || {
+                let src = pretrain_packets(cfg, &public_pkts);
+                let pc = chunk_packets(&src, cfg.n_chunks);
+                let mut meta = Vec::new();
+                let mut seqs = Vec::new();
+                for (ci, groups) in pc.chunks.iter().enumerate() {
+                    for g in groups {
+                        let (m, s) = codec.encode_group(g, pc.bounds[ci]);
+                        meta.push(m);
+                        seqs.push(s);
+                    }
+                }
+                TimeSeriesDataset::new(meta, seqs, cfg.max_seq_len)
+            },
+        );
+
+        Ok(NetShare {
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0xef),
+            codec: Codec::Packet(codec),
+            models,
+            bounds: chunked.bounds.clone(),
+            chunk_counts: chunk_item_counts(&chunked),
+            wall_seconds,
+            cpu_seconds,
+            dp_rates,
+            cfg: cfg.clone(),
+        })
+    }
+
+    /// Shared chunk-training logic: seed-chunk full training, parallel
+    /// fine-tuning of the rest; or public-pretrain + per-chunk DP
+    /// fine-tuning in DP mode.
+    fn train_chunks(
+        cfg: &NetShareConfig,
+        meta_spec: doppelganger::FeatureSpec,
+        record_spec: doppelganger::FeatureSpec,
+        datasets: &[Option<TimeSeriesDataset>],
+        build_public: impl Fn() -> TimeSeriesDataset,
+    ) -> (
+        Vec<Option<DoppelGanger>>,
+        f64,
+        f64,
+        Vec<(f64, u64)>,
+    ) {
+        let wall_start = Instant::now();
+        let base_dg = |steps: usize, seed: u64, dp: Option<nnet::dpsgd::DpSgdConfig>| {
+            let mut dg = DgConfig::small(meta_spec.clone(), record_spec.clone(), cfg.max_seq_len);
+            dg.gen_steps = steps;
+            dg.batch_size = cfg.batch_size;
+            // DP fine-tuning uses a reduced learning rate so the noisy
+            // gradients refine (rather than overwrite) the pre-trained
+            // weights — the mechanism behind the Insight-4 gains.
+            dg.lr = if dp.is_some() { cfg.lr * 0.3 } else { cfg.lr };
+            dg.n_critic = cfg.n_critic;
+            dg.weight_clip = cfg.weight_clip;
+            dg.aux_weight = cfg.aux_weight;
+            dg.seed = seed;
+            dg.dp = dp;
+            dg
+        };
+        // Steps are specified for the *whole* trace and scaled to each
+        // chunk's share of the data (training effort ∝ data seen, like the
+        // epoch-based training in the paper). This is what makes chunking
+        // cheaper in total CPU: the seed chunk gets full-depth training on
+        // 1/M of the data and every other chunk only a short fine-tune.
+        let total_items: usize = datasets
+            .iter()
+            .flatten()
+            .map(|d| d.len())
+            .sum::<usize>()
+            .max(1);
+        let scaled = |steps: usize, len: usize| -> usize {
+            let v = ((steps as f64 * len as f64 / total_items as f64).ceil() as usize).max(5);
+            if std::env::var("NETSHARE_DEBUG_STEPS").is_ok() {
+                eprintln!("[netshare] chunk len {len}/{total_items}: {steps} -> {v} steps");
+            }
+            v
+        };
+
+        // The pretrained model every chunk fine-tunes from.
+        let seed_idx = datasets.iter().position(|d| d.is_some());
+        let mut cpu_seconds = 0.0;
+
+        let pretrained: Option<DoppelGanger> = match (cfg.dp, seed_idx) {
+            (_, None) => None,
+            (Some(dp_opts), Some(_)) => {
+                // DP: pre-train (non-privately) on public data.
+                let public = build_public();
+                let (model, secs) = measure(|| {
+                    let mut model = DoppelGanger::new(base_dg(0, cfg.seed ^ 0x91, None));
+                    model.train_steps(&public, dp_opts.public_pretrain_steps);
+                    model
+                });
+                cpu_seconds += secs;
+                Some(model)
+            }
+            (None, Some(si)) => {
+                // Non-DP: seed chunk trains from scratch at full depth
+                // (scaled to its data share).
+                let data = datasets[si].as_ref().unwrap();
+                let (model, secs) = measure(|| {
+                    let mut model = DoppelGanger::new(base_dg(0, cfg.seed ^ 0x91, None));
+                    model.train_steps(data, scaled(cfg.seed_steps, data.len()));
+                    model
+                });
+                cpu_seconds += secs;
+                Some(model)
+            }
+        };
+
+        let mut dp_rates = Vec::new();
+        let models: Vec<Option<DoppelGanger>> = match pretrained {
+            None => datasets.iter().map(|_| None).collect(),
+            Some(seed_model) => {
+                let results: Vec<Option<(DoppelGanger, f64, Option<(f64, u64)>)>> = datasets
+                    .par_iter()
+                    .enumerate()
+                    .map(|(ci, data)| {
+                        let data = data.as_ref()?;
+                        let ((model, rate), secs) = measure(|| match cfg.dp {
+                            Some(dp_opts) => {
+                                // Every chunk (including the first) DP
+                                // fine-tunes from the public model.
+                                let mut m = DoppelGanger::from_pretrained(
+                                    base_dg(0, cfg.seed ^ (ci as u64) << 8, Some(dp_opts.dpsgd())),
+                                    &seed_model,
+                                );
+                                m.train_steps(data, scaled(cfg.finetune_steps, data.len()));
+                                let q = (cfg.batch_size as f64 / data.len() as f64).min(1.0);
+                                let steps = m.dp_steps();
+                                (m, Some((q, steps)))
+                            }
+                            None => {
+                                if Some(ci) == seed_idx {
+                                    // The seed model *is* chunk si's model.
+                                    // (Cloning is avoided by retraining 0
+                                    // extra steps from its checkpoint.)
+                                    let mut m = DoppelGanger::from_pretrained(
+                                        base_dg(0, seed_model.cfg.seed, None),
+                                        &seed_model,
+                                    );
+                                    m.train_steps(data, 0);
+                                    (m, None)
+                                } else {
+                                    let mut m = DoppelGanger::from_pretrained(
+                                        base_dg(0, cfg.seed ^ (ci as u64) << 8, None),
+                                        &seed_model,
+                                    );
+                                    m.train_steps(data, scaled(cfg.finetune_steps, data.len()));
+                                    (m, None)
+                                }
+                            }
+                        });
+                        Some((model, secs, rate))
+                    })
+                    .collect();
+                let mut out = Vec::with_capacity(results.len());
+                for r in results {
+                    match r {
+                        None => out.push(None),
+                        Some((m, secs, rate)) => {
+                            cpu_seconds += secs;
+                            if let Some(rate) = rate {
+                                dp_rates.push(rate);
+                            }
+                            out.push(Some(m));
+                        }
+                    }
+                }
+                out
+            }
+        };
+
+        let wall = wall_start.elapsed().as_secs_f64();
+        (models, cpu_seconds, wall, dp_rates)
+    }
+
+    /// Generates a synthetic flow trace of approximately `n` records,
+    /// remerged in start-time order (the post-processing step).
+    ///
+    /// # Panics
+    /// Panics if the model was fit on packets.
+    pub fn generate_flows(&mut self, n: usize) -> FlowTrace {
+        let codec = match &self.codec {
+            Codec::Flow(c) => c,
+            Codec::Packet(_) => panic!("model was fit on packets; call generate_packets"),
+        };
+        let total: usize = self.chunk_counts.iter().sum::<usize>().max(1);
+        let mut flows = Vec::with_capacity(n);
+        for ci in 0..self.models.len() {
+            let want = (n as f64 * self.chunk_counts[ci] as f64 / total as f64).round() as usize;
+            let Some(model) = self.models[ci].as_mut() else {
+                continue;
+            };
+            let bounds = self.bounds[ci];
+            let mut got = 0usize;
+            while got < want {
+                let batch = model.sample(((want - got) / 2 + 1).clamp(1, 64));
+                for s in batch {
+                    let recs = codec.decode_sample(&s.meta, &s.records, bounds);
+                    got += recs.len();
+                    flows.extend(recs);
+                }
+            }
+        }
+        let mut trace = FlowTrace::from_records(flows);
+        trace.truncate(n);
+        trace
+    }
+
+    /// Generates a synthetic packet trace of approximately `n` packets,
+    /// remerged by raw timestamp.
+    ///
+    /// # Panics
+    /// Panics if the model was fit on flows.
+    pub fn generate_packets(&mut self, n: usize) -> PacketTrace {
+        let codec = match &self.codec {
+            Codec::Packet(c) => c,
+            Codec::Flow(_) => panic!("model was fit on flows; call generate_flows"),
+        };
+        let total: usize = self.chunk_counts.iter().sum::<usize>().max(1);
+        let mut packets = Vec::with_capacity(n);
+        for ci in 0..self.models.len() {
+            let want = (n as f64 * self.chunk_counts[ci] as f64 / total as f64).round() as usize;
+            let Some(model) = self.models[ci].as_mut() else {
+                continue;
+            };
+            let bounds = self.bounds[ci];
+            let mut got = 0usize;
+            while got < want {
+                let batch = model.sample(((want - got) / 2 + 1).clamp(1, 64));
+                for s in batch {
+                    let recs = codec.decode_sample(&s.meta, &s.records, bounds);
+                    got += recs.len();
+                    packets.extend(recs);
+                }
+            }
+        }
+        let mut trace = PacketTrace::from_records(packets);
+        trace.truncate(n);
+        let _ = &self.rng; // reserved for future stochastic post-processing
+        trace
+    }
+
+    /// The (ε, δ) privacy guarantee of the fitted model, `None` when DP is
+    /// off. Chunks train on *disjoint* time slices, so parallel
+    /// composition applies: ε is the maximum over chunks.
+    pub fn epsilon(&self) -> Option<f64> {
+        let dp = self.cfg.dp?;
+        let eps = self
+            .dp_rates
+            .iter()
+            .map(|&(q, steps)| {
+                privacy::compute_epsilon(q, dp.noise_multiplier as f64, steps, dp.delta)
+            })
+            .fold(0.0f64, f64::max);
+        Some(eps)
+    }
+
+    /// Number of chunk models actually trained.
+    pub fn trained_chunks(&self) -> usize {
+        self.models.iter().filter(|m| m.is_some()).count()
+    }
+}
+
+/// Selects the DP pre-training packet source per the configured
+/// [`crate::config::DpPretrainSource`].
+fn pretrain_packets(cfg: &NetShareConfig, same_domain: &PacketTrace) -> PacketTrace {
+    match cfg.dp.map(|d| d.pretrain_source) {
+        Some(crate::config::DpPretrainSource::DifferentDomain) => {
+            trace_synth::dc::generate(same_domain.len().max(1_000), cfg.seed ^ 0x0d1ff)
+        }
+        _ => same_domain.clone(),
+    }
+}
+
+/// CPU seconds consumed by the *calling thread* so far (Linux:
+/// utime+stime from `/proc/thread-self/stat`). Under rayon, per-chunk
+/// wall time overcounts on oversubscribed cores — thread CPU time is the
+/// honest "total CPU hours" measure the paper's Fig. 4 uses. Falls back
+/// to 0 (caller then uses wall time) when the proc file is unavailable.
+fn thread_cpu_seconds() -> Option<f64> {
+    let stat = std::fs::read_to_string("/proc/thread-self/stat").ok()?;
+    // Fields after the parenthesized comm: utime is field 14, stime 15
+    // (1-based over the whole line).
+    let rest = stat.rsplit_once(')')?.1;
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    let utime: f64 = fields.get(11)?.parse().ok()?;
+    let stime: f64 = fields.get(12)?.parse().ok()?;
+    Some((utime + stime) / 100.0) // CLK_TCK = 100 on Linux
+}
+
+/// Measures `f`, preferring thread CPU time over wall time.
+fn measure<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let wall = Instant::now();
+    let cpu0 = thread_cpu_seconds();
+    let out = f();
+    let secs = match (cpu0, thread_cpu_seconds()) {
+        (Some(a), Some(b)) if b >= a => b - a,
+        _ => wall.elapsed().as_secs_f64(),
+    };
+    (out, secs)
+}
+
+fn chunk_item_counts<T>(chunked: &Chunked<T>) -> Vec<usize> {
+    chunked
+        .chunks
+        .iter()
+        .map(|c| c.iter().map(|g| g.items.len()).sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DpOptions;
+    use trace_synth::{generate_flows as synth_flows, generate_packets as synth_packets, DatasetKind};
+
+    fn tiny_cfg() -> NetShareConfig {
+        let mut cfg = NetShareConfig::fast();
+        cfg.n_chunks = 2;
+        cfg.seed_steps = 12;
+        cfg.finetune_steps = 4;
+        cfg.ip2vec_public_packets = 1_200;
+        cfg.max_seq_len = 4;
+        cfg
+    }
+
+    #[test]
+    fn flow_pipeline_end_to_end() {
+        let real = synth_flows(DatasetKind::Ugr16, 600, 1);
+        let mut model = NetShare::fit_flows(&real, &tiny_cfg()).unwrap();
+        assert!(model.trained_chunks() >= 1);
+        let synth = model.generate_flows(300);
+        assert!(synth.len() >= 250 && synth.len() <= 300, "got {}", synth.len());
+        assert!(synth
+            .flows
+            .windows(2)
+            .all(|w| w[0].start_ms <= w[1].start_ms), "time-sorted output");
+        assert!(synth.flows.iter().all(|f| f.packets >= 1));
+    }
+
+    #[test]
+    fn packet_pipeline_end_to_end() {
+        let real = synth_packets(DatasetKind::Caida, 600, 2);
+        let mut model = NetShare::fit_packets(&real, &tiny_cfg()).unwrap();
+        let synth = model.generate_packets(300);
+        assert!(synth.len() >= 250 && synth.len() <= 300);
+        assert!(synth.packets.iter().all(|p| p.packet_len >= 20));
+    }
+
+    #[test]
+    fn empty_trace_is_an_error() {
+        assert!(matches!(
+            NetShare::fit_flows(&FlowTrace::new(), &tiny_cfg()),
+            Err(PipelineError::EmptyTrace)
+        ));
+    }
+
+    #[test]
+    fn dp_mode_reports_epsilon() {
+        let real = synth_flows(DatasetKind::Ugr16, 400, 3);
+        let mut cfg = tiny_cfg();
+        cfg.dp = Some(DpOptions {
+            noise_multiplier: 1.0,
+            clip_norm: 1.0,
+            delta: 1e-5,
+            public_pretrain_steps: 6,
+            pretrain_source: Default::default(),
+        });
+        let mut model = NetShare::fit_flows(&real, &cfg).unwrap();
+        let eps = model.epsilon().expect("DP mode must report epsilon");
+        assert!(eps.is_finite() && eps > 0.0, "ε = {eps}");
+        let synth = model.generate_flows(100);
+        assert!(!synth.is_empty());
+    }
+
+    #[test]
+    fn non_dp_has_no_epsilon() {
+        let real = synth_flows(DatasetKind::Ugr16, 300, 4);
+        let model = NetShare::fit_flows(&real, &tiny_cfg()).unwrap();
+        assert!(model.epsilon().is_none());
+    }
+
+    #[test]
+    fn v0_single_chunk_trains_one_model() {
+        let real = synth_flows(DatasetKind::Ugr16, 300, 5);
+        let cfg = tiny_cfg().v0_from();
+        let model = NetShare::fit_flows(&real, &cfg).unwrap();
+        assert_eq!(model.trained_chunks(), 1);
+    }
+
+    #[test]
+    fn epoch_merge_entry_point() {
+        let real = synth_flows(DatasetKind::Ugr16, 400, 6);
+        let epochs = nettrace::epoch::split_flow_epochs(&real, 4);
+        let mut model = NetShare::fit_flow_epochs(&epochs, &tiny_cfg()).unwrap();
+        let synth = model.generate_flows(100);
+        assert!(!synth.is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! Post-processing: derived fields and the optional privacy extensions.
+//!
+//! The paper (§5) ships two "optional domain-specific privacy extensions
+//! that can be applied to the generated traces: (1) IP transformation
+//! which transfers synthetic IPs to a user-specified range or a default
+//! private range; (2) specific attributes (e.g., IP addresses/port
+//! numbers/protocol) can be retrained to a user-desired distribution".
+//! Derived-field regeneration (the IPv4 checksum) happens in
+//! `nettrace::pcap` when a trace is serialized; [`to_pcap_bytes`] is the
+//! convenience wrapper.
+
+use nettrace::{FlowTrace, PacketTrace};
+use rand::prelude::*;
+use std::collections::HashMap;
+
+/// Default private target range: 10.0.0.0/8.
+pub const DEFAULT_PRIVATE_BASE: u32 = 0x0a00_0000;
+/// Default private prefix length.
+pub const DEFAULT_PRIVATE_PREFIX: u32 = 8;
+
+/// Deterministically remaps an IP into `base/prefix`, preserving identity
+/// structure: equal inputs map to equal outputs, distinct inputs collide
+/// only by hash accident in the smaller host space.
+fn remap_ip(ip: u32, base: u32, prefix: u32, salt: u64) -> u32 {
+    assert!(prefix <= 31, "prefix must leave host bits");
+    let host_bits = 32 - prefix;
+    let mask = if host_bits == 32 { u32::MAX } else { (1u32 << host_bits) - 1 };
+    // SplitMix64-style hash of (ip, salt).
+    let mut x = (ip as u64) ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (base & !mask) | ((x as u32) & mask)
+}
+
+/// IP transformation over a flow trace: every source/destination address
+/// is consistently remapped into `base/prefix`.
+pub fn transform_ips_flow(trace: &mut FlowTrace, base: u32, prefix: u32, salt: u64) {
+    for f in &mut trace.flows {
+        f.five_tuple.src_ip = remap_ip(f.five_tuple.src_ip, base, prefix, salt);
+        f.five_tuple.dst_ip = remap_ip(f.five_tuple.dst_ip, base, prefix, salt);
+    }
+}
+
+/// IP transformation over a packet trace.
+pub fn transform_ips_packet(trace: &mut PacketTrace, base: u32, prefix: u32, salt: u64) {
+    for p in &mut trace.packets {
+        p.five_tuple.src_ip = remap_ip(p.five_tuple.src_ip, base, prefix, salt);
+        p.five_tuple.dst_ip = remap_ip(p.five_tuple.dst_ip, base, prefix, salt);
+    }
+}
+
+/// Attribute retraining: resamples every destination port from a
+/// user-specified distribution, consistently per original port value
+/// (so flows that shared a service still do).
+pub fn retrain_dst_ports_flow(
+    trace: &mut FlowTrace,
+    distribution: &[(u16, f64)],
+    seed: u64,
+) {
+    assert!(!distribution.is_empty(), "need a non-empty distribution");
+    let total: f64 = distribution.iter().map(|(_, w)| w).sum();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mapping: HashMap<u16, u16> = HashMap::new();
+    for f in &mut trace.flows {
+        let new = *mapping.entry(f.five_tuple.dst_port).or_insert_with(|| {
+            let mut u = rng.gen::<f64>() * total;
+            for &(p, w) in distribution {
+                if u < w {
+                    return p;
+                }
+                u -= w;
+            }
+            distribution.last().unwrap().0
+        });
+        f.five_tuple.dst_port = new;
+    }
+}
+
+/// Serializes a generated packet trace to pcap bytes, regenerating the
+/// IPv4 checksum for every packet (the paper's two-step derived-field
+/// generation).
+pub fn to_pcap_bytes(trace: &PacketTrace) -> Vec<u8> {
+    nettrace::pcap::write_pcap(trace)
+}
+
+/// Serializes a generated flow trace to NetFlow CSV.
+pub fn to_netflow_csv(trace: &FlowTrace) -> String {
+    nettrace::netflow::write_netflow_csv(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettrace::{FiveTuple, FlowRecord, PacketRecord, Protocol};
+
+    fn flow_trace() -> FlowTrace {
+        let mk = |src, dst, dp| {
+            FlowRecord::new(FiveTuple::new(src, dst, 1000, dp, Protocol::Tcp), 0.0, 1.0, 1, 40)
+        };
+        FlowTrace::from_records(vec![
+            mk(0xc0a80101, 0x08080808, 80),
+            mk(0xc0a80101, 0x08080404, 443),
+            mk(0xc0a80102, 0x08080808, 80),
+        ])
+    }
+
+    #[test]
+    fn ip_transform_lands_in_range_and_preserves_identity() {
+        let mut t = flow_trace();
+        transform_ips_flow(&mut t, DEFAULT_PRIVATE_BASE, DEFAULT_PRIVATE_PREFIX, 42);
+        for f in &t.flows {
+            assert_eq!(f.five_tuple.src_ip >> 24, 10, "src in 10/8");
+            assert_eq!(f.five_tuple.dst_ip >> 24, 10, "dst in 10/8");
+        }
+        // Rows 0 and 1 shared a source; rows 0 and 2 shared a destination.
+        assert_eq!(t.flows[0].five_tuple.src_ip, t.flows[1].five_tuple.src_ip);
+        assert_eq!(t.flows[0].five_tuple.dst_ip, t.flows[2].five_tuple.dst_ip);
+        assert_ne!(t.flows[0].five_tuple.src_ip, t.flows[2].five_tuple.src_ip);
+    }
+
+    #[test]
+    fn ip_transform_is_salt_dependent() {
+        let mut a = flow_trace();
+        let mut b = flow_trace();
+        transform_ips_flow(&mut a, DEFAULT_PRIVATE_BASE, 8, 1);
+        transform_ips_flow(&mut b, DEFAULT_PRIVATE_BASE, 8, 2);
+        assert_ne!(a.flows[0].five_tuple.src_ip, b.flows[0].five_tuple.src_ip);
+    }
+
+    #[test]
+    fn packet_transform_works_too() {
+        let ft = FiveTuple::new(0x01020304, 0x05060708, 1, 2, Protocol::Udp);
+        let mut t = PacketTrace::from_records(vec![PacketRecord::new(0, ft, 100)]);
+        transform_ips_packet(&mut t, 0xac10_0000, 12, 7); // 172.16/12
+        assert_eq!(t.packets[0].five_tuple.src_ip >> 20, 0xac10_0000 >> 20);
+    }
+
+    #[test]
+    fn port_retraining_matches_target_distribution() {
+        let mut t = FlowTrace::from_records(
+            (0..2000u32)
+                .map(|i| {
+                    FlowRecord::new(
+                        FiveTuple::new(1, 2, 1000, (i % 997) as u16, Protocol::Tcp),
+                        i as f64,
+                        1.0,
+                        1,
+                        40,
+                    )
+                })
+                .collect(),
+        );
+        retrain_dst_ports_flow(&mut t, &[(80, 0.7), (443, 0.3)], 5);
+        let p80 = t.flows.iter().filter(|f| f.five_tuple.dst_port == 80).count();
+        let frac = p80 as f64 / t.len() as f64;
+        assert!((frac - 0.7).abs() < 0.08, "got {frac}");
+        assert!(t
+            .flows
+            .iter()
+            .all(|f| f.five_tuple.dst_port == 80 || f.five_tuple.dst_port == 443));
+    }
+
+    #[test]
+    fn port_retraining_is_consistent_per_original_port() {
+        let mut t = FlowTrace::from_records(vec![
+            FlowRecord::new(FiveTuple::new(1, 2, 1000, 8080, Protocol::Tcp), 0.0, 1.0, 1, 40),
+            FlowRecord::new(FiveTuple::new(3, 4, 1001, 8080, Protocol::Tcp), 1.0, 1.0, 1, 40),
+        ]);
+        retrain_dst_ports_flow(&mut t, &[(80, 0.5), (443, 0.5)], 9);
+        assert_eq!(t.flows[0].five_tuple.dst_port, t.flows[1].five_tuple.dst_port);
+    }
+
+    #[test]
+    fn pcap_bytes_have_valid_checksums() {
+        let ft = FiveTuple::new(0x0a000001, 0x0a000002, 1234, 80, Protocol::Tcp);
+        let t = PacketTrace::from_records(vec![PacketRecord::new(0, ft, 60)]);
+        let bytes = to_pcap_bytes(&t);
+        let back = nettrace::pcap::read_pcap(&bytes).unwrap();
+        assert_eq!(back.len(), 1);
+    }
+}

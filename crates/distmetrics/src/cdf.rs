@@ -1,0 +1,103 @@
+//! Empirical CDF utilities for the CDF-style figures (Figs. 1, 2, 15).
+
+/// An empirical CDF: sorted support points with cumulative probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    xs: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF of a sample (NaNs are dropped).
+    pub fn new(samples: &[f64]) -> Self {
+        let mut xs: Vec<f64> = samples.iter().cloned().filter(|v| !v.is_nan()).collect();
+        xs.sort_by(|a, b| a.total_cmp(b));
+        Ecdf { xs }
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the ECDF has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// `F(x)` — the fraction of samples ≤ `x` (0 for an empty ECDF).
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.xs.is_empty() {
+            return 0.0;
+        }
+        let idx = self.xs.partition_point(|&v| v <= x);
+        idx as f64 / self.xs.len() as f64
+    }
+
+    /// The `q`-quantile (`q ∈ [0,1]`), `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.xs.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * (self.xs.len() - 1) as f64).round()) as usize;
+        Some(self.xs[idx])
+    }
+
+    /// Evaluates the CDF on a log-spaced grid over `[lo, hi]` — the shape
+    /// of the paper's log-x CDF plots. Returns `(x, F(x))` pairs.
+    pub fn log_grid(&self, lo: f64, hi: f64, points: usize) -> Vec<(f64, f64)> {
+        assert!(lo > 0.0 && hi > lo && points >= 2, "invalid log grid");
+        let ratio = (hi / lo).ln();
+        (0..points)
+            .map(|i| {
+                // Pin the endpoint exactly — exp/ln rounding would otherwise
+                // land just below `hi` and miss samples equal to it.
+                let x = if i == points - 1 {
+                    hi
+                } else {
+                    lo * (ratio * i as f64 / (points - 1) as f64).exp()
+                };
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_matches_definition() {
+        let e = Ecdf::new(&[3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(10.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let e = Ecdf::new(&(0..101).map(|i| i as f64).collect::<Vec<_>>());
+        assert_eq!(e.quantile(0.0), Some(0.0));
+        assert_eq!(e.quantile(0.5), Some(50.0));
+        assert_eq!(e.quantile(1.0), Some(100.0));
+        assert_eq!(Ecdf::new(&[]).quantile(0.5), None);
+    }
+
+    #[test]
+    fn log_grid_is_monotone() {
+        let e = Ecdf::new(&[1.0, 10.0, 100.0, 1000.0]);
+        let grid = e.log_grid(1.0, 1000.0, 10);
+        assert_eq!(grid.len(), 10);
+        assert!(grid.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(grid.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(grid.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn nan_samples_dropped() {
+        let e = Ecdf::new(&[1.0, f64::NAN, 2.0]);
+        assert_eq!(e.len(), 2);
+    }
+}

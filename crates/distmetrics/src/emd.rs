@@ -1,0 +1,142 @@
+//! Earth Mover's Distance (1-D Wasserstein-1) for continuous fields.
+//!
+//! The paper (§6.2, footnote 7) uses EMD for continuous fields because it
+//! "is equivalent to the integrated absolute error between the CDFs of the
+//! two distributions" and is insensitive to histogram binning. That is
+//! exactly how it is computed here — exactly, from the empirical CDFs.
+
+/// Exact 1-D EMD between two sample sets: `∫ |F_p(x) − F_q(x)| dx`.
+///
+/// Returns 0 for two empty inputs; if only one side is empty the distance
+/// is undefined and this returns `f64::INFINITY` (a generator that emits
+/// nothing is infinitely far from any data).
+pub fn emd_1d(p: &[f64], q: &[f64]) -> f64 {
+    match (p.is_empty(), q.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return f64::INFINITY,
+        _ => {}
+    }
+    let mut ps = p.to_vec();
+    let mut qs = q.to_vec();
+    ps.sort_by(|a, b| a.total_cmp(b));
+    qs.sort_by(|a, b| a.total_cmp(b));
+
+    // Sweep the merged support, integrating |F_p - F_q| between breakpoints.
+    let np = ps.len() as f64;
+    let nq = qs.len() as f64;
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut emd = 0.0;
+    let mut prev_x = f64::NAN;
+    while i < ps.len() || j < qs.len() {
+        let x = match (ps.get(i), qs.get(j)) {
+            (Some(&a), Some(&b)) => a.min(b),
+            (Some(&a), None) => a,
+            (None, Some(&b)) => b,
+            (None, None) => unreachable!(),
+        };
+        if !prev_x.is_nan() && x > prev_x {
+            let fp = i as f64 / np;
+            let fq = j as f64 / nq;
+            emd += (fp - fq).abs() * (x - prev_x);
+        }
+        while i < ps.len() && ps[i] <= x {
+            i += 1;
+        }
+        while j < qs.len() && qs[j] <= x {
+            j += 1;
+        }
+        prev_x = x;
+    }
+    emd
+}
+
+/// The paper's per-field EMD normalization: given the EMDs of several
+/// models on one field, affinely map them to `[0.1, 0.9]` (min → 0.1,
+/// max → 0.9) "for better visualization". With a single value or all-equal
+/// values, everything maps to 0.5. Infinite entries (empty outputs) pin to
+/// 0.9 and are excluded from the scaling of the rest.
+pub fn normalize_emds(values: &[f64]) -> Vec<f64> {
+    let finite: Vec<f64> = values.iter().cloned().filter(|v| v.is_finite()).collect();
+    let (min, max) = finite
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                0.9
+            } else if max > min {
+                0.1 + 0.8 * (v - min) / (max - min)
+            } else {
+                0.5
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_have_zero_emd() {
+        let p = vec![1.0, 2.0, 3.0];
+        assert!(emd_1d(&p, &p) < 1e-12);
+    }
+
+    #[test]
+    fn point_masses_distance_is_shift() {
+        // δ(0) vs δ(5): EMD = 5.
+        let p = vec![0.0];
+        let q = vec![5.0];
+        assert!((emd_1d(&p, &q) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shifted_distribution_emd_equals_shift() {
+        let p: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let q: Vec<f64> = (0..100).map(|i| i as f64 + 2.5).collect();
+        assert!((emd_1d(&p, &q) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn emd_is_symmetric_and_triangleish() {
+        let p = vec![0.0, 1.0, 2.0];
+        let q = vec![0.5, 1.5, 3.0];
+        let r = vec![10.0, 11.0];
+        assert!((emd_1d(&p, &q) - emd_1d(&q, &p)).abs() < 1e-12);
+        assert!(emd_1d(&p, &r) <= emd_1d(&p, &q) + emd_1d(&q, &r) + 1e-9);
+    }
+
+    #[test]
+    fn different_sample_counts_supported() {
+        // Uniform [0,1] with 100 vs 1000 samples: EMD should be small.
+        let p: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let q: Vec<f64> = (0..1000).map(|i| i as f64 / 1000.0).collect();
+        assert!(emd_1d(&p, &q) < 0.02);
+    }
+
+    #[test]
+    fn empty_side_is_infinite() {
+        assert_eq!(emd_1d(&[], &[1.0]), f64::INFINITY);
+        assert_eq!(emd_1d(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn normalization_maps_to_paper_range() {
+        let n = normalize_emds(&[1.0, 3.0, 2.0]);
+        assert!((n[0] - 0.1).abs() < 1e-12);
+        assert!((n[1] - 0.9).abs() < 1e-12);
+        assert!((n[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_handles_degenerate_cases() {
+        assert_eq!(normalize_emds(&[2.0, 2.0]), vec![0.5, 0.5]);
+        let with_inf = normalize_emds(&[1.0, f64::INFINITY, 2.0]);
+        assert!((with_inf[1] - 0.9).abs() < 1e-12);
+        assert!((with_inf[0] - 0.1).abs() < 1e-12);
+    }
+}

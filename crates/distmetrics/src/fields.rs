@@ -1,0 +1,199 @@
+//! Named field-distribution extractors (paper §6.2, Finding 1).
+//!
+//! NetFlow metrics: SA, DA, SP, DP, PR (categorical) and TS, TD, PKT, BYT
+//! (continuous). PCAP metrics: SA, DA, SP, DP, PR (categorical) and PS,
+//! PAT, FS (continuous).
+
+use nettrace::{FlowTrace, PacketTrace};
+use std::collections::HashMap;
+
+/// Categorical field names for flow traces.
+pub const FLOW_CATEGORICAL: [&str; 5] = ["SA", "DA", "SP", "DP", "PR"];
+/// Continuous field names for flow traces.
+pub const FLOW_CONTINUOUS: [&str; 4] = ["TS", "TD", "PKT", "BYT"];
+/// Categorical field names for packet traces.
+pub const PACKET_CATEGORICAL: [&str; 5] = ["SA", "DA", "SP", "DP", "PR"];
+/// Continuous field names for packet traces.
+pub const PACKET_CONTINUOUS: [&str; 3] = ["PS", "PAT", "FS"];
+
+/// Count map of a categorical field over a flow trace.
+///
+/// SA/DA return address counts (to be compared *rank-frequency*, per the
+/// paper's "popularity rank" framing); SP/DP return port counts; PR
+/// protocol counts.
+///
+/// # Panics
+/// Panics on an unknown field name.
+pub fn flow_categorical(trace: &FlowTrace, field: &str) -> HashMap<u64, u64> {
+    let mut counts = HashMap::new();
+    for f in &trace.flows {
+        let key: u64 = match field {
+            "SA" => f.five_tuple.src_ip as u64,
+            "DA" => f.five_tuple.dst_ip as u64,
+            "SP" => f.five_tuple.src_port as u64,
+            "DP" => f.five_tuple.dst_port as u64,
+            "PR" => f.five_tuple.proto.number() as u64,
+            other => panic!("unknown flow categorical field {other}"),
+        };
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Sample vector of a continuous field over a flow trace.
+///
+/// # Panics
+/// Panics on an unknown field name.
+pub fn flow_continuous(trace: &FlowTrace, field: &str) -> Vec<f64> {
+    trace
+        .flows
+        .iter()
+        .map(|f| match field {
+            "TS" => f.start_ms,
+            "TD" => f.duration_ms,
+            "PKT" => f.packets as f64,
+            "BYT" => f.bytes as f64,
+            other => panic!("unknown flow continuous field {other}"),
+        })
+        .collect()
+}
+
+/// Count map of a categorical field over a packet trace.
+///
+/// # Panics
+/// Panics on an unknown field name.
+pub fn packet_categorical(trace: &PacketTrace, field: &str) -> HashMap<u64, u64> {
+    let mut counts = HashMap::new();
+    for p in &trace.packets {
+        let key: u64 = match field {
+            "SA" => p.five_tuple.src_ip as u64,
+            "DA" => p.five_tuple.dst_ip as u64,
+            "SP" => p.five_tuple.src_port as u64,
+            "DP" => p.five_tuple.dst_port as u64,
+            "PR" => p.five_tuple.proto.number() as u64,
+            other => panic!("unknown packet categorical field {other}"),
+        };
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Sample vector of a continuous field over a packet trace.
+///
+/// `PS` is packet size (bytes); `PAT` packet arrival time (ms); `FS` flow
+/// size — the number of packets sharing each five-tuple (one sample per
+/// flow, the Fig. 1b quantity).
+///
+/// # Panics
+/// Panics on an unknown field name.
+pub fn packet_continuous(trace: &PacketTrace, field: &str) -> Vec<f64> {
+    match field {
+        "PS" => trace.packets.iter().map(|p| p.packet_len as f64).collect(),
+        "PAT" => trace.packets.iter().map(|p| p.ts_millis()).collect(),
+        "FS" => trace
+            .group_by_five_tuple()
+            .values()
+            .map(|v| v.len() as f64)
+            .collect(),
+        other => panic!("unknown packet continuous field {other}"),
+    }
+}
+
+/// Number of flow records sharing each five-tuple (one sample per tuple) —
+/// the Fig. 1a quantity.
+pub fn flow_records_per_tuple(trace: &FlowTrace) -> Vec<f64> {
+    trace
+        .group_by_five_tuple()
+        .values()
+        .map(|v| v.len() as f64)
+        .collect()
+}
+
+/// The top-k most frequent values of a count map with their relative
+/// frequencies, most frequent first (the Fig. 3 "top-5 service ports").
+pub fn top_k(counts: &HashMap<u64, u64>, k: usize) -> Vec<(u64, f64)> {
+    let total: u64 = counts.values().sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut items: Vec<(u64, u64)> = counts.iter().map(|(&k, &v)| (k, v)).collect();
+    items.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    items
+        .into_iter()
+        .take(k)
+        .map(|(key, c)| (key, c as f64 / total as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettrace::{FiveTuple, FlowRecord, PacketRecord, Protocol};
+
+    fn flow_trace() -> FlowTrace {
+        let ft = |sp, dp| FiveTuple::new(1, 2, sp, dp, Protocol::Tcp);
+        FlowTrace::from_records(vec![
+            FlowRecord::new(ft(100, 80), 0.0, 10.0, 5, 500),
+            FlowRecord::new(ft(100, 80), 20.0, 10.0, 3, 300),
+            FlowRecord::new(ft(200, 443), 5.0, 1.0, 1, 40),
+        ])
+    }
+
+    #[test]
+    fn flow_categorical_counts() {
+        let t = flow_trace();
+        let dp = flow_categorical(&t, "DP");
+        assert_eq!(dp[&80], 2);
+        assert_eq!(dp[&443], 1);
+        let pr = flow_categorical(&t, "PR");
+        assert_eq!(pr[&6], 3);
+    }
+
+    #[test]
+    fn flow_continuous_values() {
+        let t = flow_trace();
+        let pkt = flow_continuous(&t, "PKT");
+        let mut sorted = pkt.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(sorted, vec![1.0, 3.0, 5.0]);
+        assert_eq!(flow_continuous(&t, "TS").len(), 3);
+    }
+
+    #[test]
+    fn records_per_tuple() {
+        let t = flow_trace();
+        let mut rpt = flow_records_per_tuple(&t);
+        rpt.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(rpt, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn packet_fs_counts_per_tuple() {
+        let ft = FiveTuple::new(1, 2, 3, 4, Protocol::Udp);
+        let other = FiveTuple::new(5, 6, 7, 8, Protocol::Udp);
+        let t = PacketTrace::from_records(vec![
+            PacketRecord::new(0, ft, 100),
+            PacketRecord::new(1, ft, 100),
+            PacketRecord::new(2, other, 100),
+        ]);
+        let mut fs = packet_continuous(&t, "FS");
+        fs.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(fs, vec![1.0, 2.0]);
+        assert_eq!(packet_continuous(&t, "PS"), vec![100.0, 100.0, 100.0]);
+    }
+
+    #[test]
+    fn top_k_orders_by_frequency() {
+        let t = flow_trace();
+        let top = top_k(&flow_categorical(&t, "DP"), 2);
+        assert_eq!(top[0].0, 80);
+        assert!((top[0].1 - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(top[1].0, 443);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flow categorical field")]
+    fn unknown_field_panics() {
+        let _ = flow_categorical(&flow_trace(), "XX");
+    }
+}

@@ -1,0 +1,31 @@
+//! # distmetrics
+//!
+//! The fidelity-metric layer of the evaluation (paper §6.2, Finding 1).
+//! The paper scores synthetic traces by comparing real-vs-synthetic
+//! distributions of header fields:
+//!
+//! * **categorical fields** (SA, DA, SP, DP, PR) with Jensen-Shannon
+//!   divergence ([`jsd`]);
+//! * **continuous fields** (TS, TD, PKT, BYT for NetFlow; PS, PAT, FS for
+//!   PCAP) with Earth Mover's Distance ([`emd`]), normalized per field to
+//!   `[0.1, 0.9]` across the compared models;
+//! * downstream-task *orderings* with Spearman rank correlation
+//!   ([`spearman`]).
+//!
+//! [`fields`] extracts each named distribution from a trace and
+//! [`report`] aggregates everything into the per-model numbers behind
+//! Figs. 4, 5, 10, 16, 17.
+
+pub mod cdf;
+pub mod emd;
+pub mod fields;
+pub mod jsd;
+pub mod overfitting;
+pub mod report;
+pub mod spearman;
+
+pub use emd::{emd_1d, normalize_emds};
+pub use jsd::{jsd_from_counts, jsd_from_samples};
+pub use overfitting::{flow_overlap, packet_overlap, OverlapReport};
+pub use report::{fidelity_flow, fidelity_packet, FidelityReport};
+pub use spearman::spearman_rank_correlation;

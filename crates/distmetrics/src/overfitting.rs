@@ -1,0 +1,129 @@
+//! Memorization / overfitting measurement (paper §8, "Measuring
+//! overfitting"): "Our preliminary analysis by measuring the ratio of
+//! overlap between synthetic and real values of src/dst IPs and 5-tuples
+//! suggests that NetShare is not memorizing."
+//!
+//! A generator that *memorizes* reproduces exact training values far more
+//! often than a fresh sample of the same process would; one that
+//! *generalizes* overlaps at roughly the holdout rate. These helpers
+//! compute the overlap ratios and the holdout-calibrated verdict.
+
+use crate::fields::{flow_categorical, packet_categorical};
+use nettrace::{FiveTuple, FlowTrace, PacketTrace};
+use std::collections::HashSet;
+
+/// Overlap ratios between a synthetic trace and its training trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverlapReport {
+    /// Fraction of synthetic source IPs present in the training trace.
+    pub src_ip: f64,
+    /// Fraction of synthetic destination IPs present in the training trace.
+    pub dst_ip: f64,
+    /// Fraction of synthetic full five-tuples present in the training
+    /// trace — the strongest memorization signal (an exact five-tuple
+    /// match reproduces an entire training record key).
+    pub five_tuple: f64,
+}
+
+fn overlap<T: Eq + std::hash::Hash>(synthetic: &[T], training: &HashSet<T>) -> f64 {
+    if synthetic.is_empty() {
+        return 0.0;
+    }
+    synthetic.iter().filter(|v| training.contains(v)).count() as f64 / synthetic.len() as f64
+}
+
+/// Computes overlap ratios for a flow trace.
+pub fn flow_overlap(training: &FlowTrace, synthetic: &FlowTrace) -> OverlapReport {
+    let train_src: HashSet<u64> = flow_categorical(training, "SA").into_keys().collect();
+    let train_dst: HashSet<u64> = flow_categorical(training, "DA").into_keys().collect();
+    let train_tuples: HashSet<FiveTuple> =
+        training.flows.iter().map(|f| f.five_tuple).collect();
+    let syn_src: Vec<u64> = synthetic.flows.iter().map(|f| f.five_tuple.src_ip as u64).collect();
+    let syn_dst: Vec<u64> = synthetic.flows.iter().map(|f| f.five_tuple.dst_ip as u64).collect();
+    let syn_tuples: Vec<FiveTuple> = synthetic.flows.iter().map(|f| f.five_tuple).collect();
+    OverlapReport {
+        src_ip: overlap(&syn_src, &train_src),
+        dst_ip: overlap(&syn_dst, &train_dst),
+        five_tuple: overlap(&syn_tuples, &train_tuples),
+    }
+}
+
+/// Computes overlap ratios for a packet trace.
+pub fn packet_overlap(training: &PacketTrace, synthetic: &PacketTrace) -> OverlapReport {
+    let train_src: HashSet<u64> = packet_categorical(training, "SA").into_keys().collect();
+    let train_dst: HashSet<u64> = packet_categorical(training, "DA").into_keys().collect();
+    let train_tuples: HashSet<FiveTuple> =
+        training.packets.iter().map(|p| p.five_tuple).collect();
+    let syn_src: Vec<u64> = synthetic.packets.iter().map(|p| p.five_tuple.src_ip as u64).collect();
+    let syn_dst: Vec<u64> = synthetic.packets.iter().map(|p| p.five_tuple.dst_ip as u64).collect();
+    let syn_tuples: Vec<FiveTuple> = synthetic.packets.iter().map(|p| p.five_tuple).collect();
+    OverlapReport {
+        src_ip: overlap(&syn_src, &train_src),
+        dst_ip: overlap(&syn_dst, &train_dst),
+        five_tuple: overlap(&syn_tuples, &train_tuples),
+    }
+}
+
+/// Memorization verdict calibrated against a holdout draw of the same
+/// process: a generator is flagged as memorizing when its five-tuple
+/// overlap exceeds the holdout's by more than `slack` (absolute).
+pub fn is_memorizing(
+    synthetic: &OverlapReport,
+    holdout: &OverlapReport,
+    slack: f64,
+) -> bool {
+    synthetic.five_tuple > holdout.five_tuple + slack
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettrace::{FlowRecord, Protocol};
+
+    fn trace(tuples: &[(u32, u32, u16)]) -> FlowTrace {
+        FlowTrace::from_records(
+            tuples
+                .iter()
+                .enumerate()
+                .map(|(i, &(s, d, p))| {
+                    FlowRecord::new(FiveTuple::new(s, d, 1000, p, Protocol::Tcp), i as f64, 1.0, 1, 40)
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn exact_copy_has_full_overlap() {
+        let t = trace(&[(1, 2, 80), (3, 4, 443)]);
+        let r = flow_overlap(&t, &t);
+        assert_eq!(r.src_ip, 1.0);
+        assert_eq!(r.dst_ip, 1.0);
+        assert_eq!(r.five_tuple, 1.0);
+    }
+
+    #[test]
+    fn disjoint_traces_have_zero_overlap() {
+        let a = trace(&[(1, 2, 80)]);
+        let b = trace(&[(9, 8, 22)]);
+        let r = flow_overlap(&a, &b);
+        assert_eq!(r.src_ip, 0.0);
+        assert_eq!(r.five_tuple, 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_is_fractional() {
+        let train = trace(&[(1, 2, 80), (3, 4, 443)]);
+        let synth = trace(&[(1, 2, 80), (9, 9, 22)]);
+        let r = flow_overlap(&train, &synth);
+        assert_eq!(r.five_tuple, 0.5);
+        assert_eq!(r.src_ip, 0.5);
+    }
+
+    #[test]
+    fn memorization_verdict_uses_holdout_calibration() {
+        let copy = OverlapReport { src_ip: 1.0, dst_ip: 1.0, five_tuple: 0.9 };
+        let normal = OverlapReport { src_ip: 0.6, dst_ip: 0.6, five_tuple: 0.1 };
+        assert!(is_memorizing(&copy, &normal, 0.2));
+        assert!(!is_memorizing(&normal, &normal, 0.2));
+    }
+}

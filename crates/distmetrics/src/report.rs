@@ -1,0 +1,189 @@
+//! Aggregate fidelity reports: the per-model numbers behind Figs. 4, 5,
+//! 10, 16, 17.
+
+use crate::emd::emd_1d;
+use crate::fields::{
+    flow_categorical, flow_continuous, packet_categorical, packet_continuous, FLOW_CATEGORICAL,
+    FLOW_CONTINUOUS, PACKET_CATEGORICAL, PACKET_CONTINUOUS,
+};
+use crate::jsd::jsd_rank_frequency;
+use nettrace::{FlowTrace, PacketTrace};
+
+/// Per-field fidelity of one synthetic trace against the real trace.
+#[derive(Debug, Clone)]
+pub struct FidelityReport {
+    /// `(field, JSD)` for each categorical field.
+    pub jsd: Vec<(&'static str, f64)>,
+    /// `(field, raw EMD)` for each continuous field. Normalization to
+    /// `[0.1, 0.9]` happens *across models* via
+    /// [`crate::emd::normalize_emds`], not per report.
+    pub emd: Vec<(&'static str, f64)>,
+}
+
+impl FidelityReport {
+    /// Mean JSD over categorical fields (the paper's y-axis on the JSD
+    /// panels).
+    pub fn mean_jsd(&self) -> f64 {
+        if self.jsd.is_empty() {
+            return 0.0;
+        }
+        self.jsd.iter().map(|(_, v)| v).sum::<f64>() / self.jsd.len() as f64
+    }
+
+    /// Raw EMD for a named field.
+    pub fn emd_for(&self, field: &str) -> Option<f64> {
+        self.emd.iter().find(|(f, _)| *f == field).map(|(_, v)| *v)
+    }
+
+    /// Raw JSD for a named field.
+    pub fn jsd_for(&self, field: &str) -> Option<f64> {
+        self.jsd.iter().find(|(f, _)| *f == field).map(|(_, v)| *v)
+    }
+}
+
+/// Computes the flow-trace fidelity report (SA/DA/SP/DP/PR JSD;
+/// TS/TD/PKT/BYT EMD).
+///
+/// SA and DA are compared as *rank-frequency* profiles (popularity
+/// structure); ports and protocol as identity-matched distributions.
+pub fn fidelity_flow(real: &FlowTrace, synthetic: &FlowTrace) -> FidelityReport {
+    let jsd = FLOW_CATEGORICAL
+        .iter()
+        .map(|&f| {
+            let d = if f == "SA" || f == "DA" {
+                jsd_rank_frequency(&flow_categorical(real, f), &flow_categorical(synthetic, f))
+            } else {
+                crate::jsd::jsd_from_counts(
+                    &flow_categorical(real, f),
+                    &flow_categorical(synthetic, f),
+                )
+            };
+            (f, d)
+        })
+        .collect();
+    let emd = FLOW_CONTINUOUS
+        .iter()
+        .map(|&f| {
+            (
+                f,
+                emd_1d(&flow_continuous(real, f), &flow_continuous(synthetic, f)),
+            )
+        })
+        .collect();
+    FidelityReport { jsd, emd }
+}
+
+/// Computes the packet-trace fidelity report (SA/DA/SP/DP/PR JSD;
+/// PS/PAT/FS EMD).
+pub fn fidelity_packet(real: &PacketTrace, synthetic: &PacketTrace) -> FidelityReport {
+    let jsd = PACKET_CATEGORICAL
+        .iter()
+        .map(|&f| {
+            let d = if f == "SA" || f == "DA" {
+                jsd_rank_frequency(
+                    &packet_categorical(real, f),
+                    &packet_categorical(synthetic, f),
+                )
+            } else {
+                crate::jsd::jsd_from_counts(
+                    &packet_categorical(real, f),
+                    &packet_categorical(synthetic, f),
+                )
+            };
+            (f, d)
+        })
+        .collect();
+    let emd = PACKET_CONTINUOUS
+        .iter()
+        .map(|&f| {
+            (
+                f,
+                emd_1d(
+                    &packet_continuous(real, f),
+                    &packet_continuous(synthetic, f),
+                ),
+            )
+        })
+        .collect();
+    FidelityReport { jsd, emd }
+}
+
+/// Computes the paper's summary "mean normalized EMD" for a set of models:
+/// for each continuous field, normalize the models' EMDs to `[0.1, 0.9]`,
+/// then average per model across fields. Input and output are indexed by
+/// model.
+pub fn mean_normalized_emd(reports: &[&FidelityReport]) -> Vec<f64> {
+    if reports.is_empty() {
+        return Vec::new();
+    }
+    let fields: Vec<&'static str> = reports[0].emd.iter().map(|(f, _)| *f).collect();
+    let mut sums = vec![0.0; reports.len()];
+    for field in &fields {
+        let vals: Vec<f64> = reports
+            .iter()
+            .map(|r| r.emd_for(field).expect("reports must share fields"))
+            .collect();
+        let norm = crate::emd::normalize_emds(&vals);
+        for (s, v) in sums.iter_mut().zip(norm) {
+            *s += v;
+        }
+    }
+    sums.iter().map(|s| s / fields.len() as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettrace::{FiveTuple, FlowRecord, Protocol};
+
+    fn trace(seed: u64, port: u16) -> FlowTrace {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(seed);
+        FlowTrace::from_records(
+            (0..200)
+                .map(|i| {
+                    let ft = FiveTuple::new(
+                        rng.gen_range(0..50),
+                        rng.gen_range(0..20),
+                        rng.gen_range(1024..2048),
+                        port,
+                        Protocol::Tcp,
+                    );
+                    FlowRecord::new(ft, i as f64, rng.gen_range(0.0..100.0), rng.gen_range(1..50), rng.gen_range(40..5000))
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn identical_traces_score_near_zero() {
+        let t = trace(1, 80);
+        let r = fidelity_flow(&t, &t);
+        assert!(r.mean_jsd() < 1e-9);
+        assert!(r.emd.iter().all(|(_, v)| *v < 1e-9));
+    }
+
+    #[test]
+    fn different_port_increases_dp_jsd() {
+        let a = trace(1, 80);
+        let b = trace(2, 443);
+        let r = fidelity_flow(&a, &b);
+        assert!(r.jsd_for("DP").unwrap() > 0.5, "disjoint ports diverge");
+    }
+
+    #[test]
+    fn mean_normalized_emd_ranks_models() {
+        let real = trace(1, 80);
+        let good = trace(2, 80);
+        let mut bad = trace(3, 80);
+        // Corrupt the bad model: multiply all byte counts.
+        for f in &mut bad.flows {
+            f.bytes *= 100;
+            f.duration_ms *= 50.0;
+        }
+        let r_good = fidelity_flow(&real, &good);
+        let r_bad = fidelity_flow(&real, &bad);
+        let norm = mean_normalized_emd(&[&r_good, &r_bad]);
+        assert!(norm[0] < norm[1], "good model must normalize lower: {norm:?}");
+    }
+}

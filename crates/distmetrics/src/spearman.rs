@@ -1,0 +1,99 @@
+//! Spearman rank correlation, used by the paper for *order preservation*:
+//! do algorithms rank the same on synthetic data as on real data
+//! (Tables 3 and 4)?
+
+/// Average ranks (1-based), with ties receiving the mean of their ranks.
+fn average_ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Positions i..=j share the same value; average rank (1-based).
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            ranks[idx[k]] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman's ρ between two paired score vectors (tie-aware: Pearson on
+/// average ranks). Returns a value in `[-1, 1]`; `None` for fewer than two
+/// points or zero rank variance on either side.
+pub fn spearman_rank_correlation(a: &[f64], b: &[f64]) -> Option<f64> {
+    assert_eq!(a.len(), b.len(), "paired vectors must match in length");
+    let n = a.len();
+    if n < 2 {
+        return None;
+    }
+    let ra = average_ranks(a);
+    let rb = average_ranks(b);
+    let mean = (n as f64 + 1.0) / 2.0;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for i in 0..n {
+        let da = ra[i] - mean;
+        let db = rb[i] - mean;
+        cov += da * db;
+        var_a += da * da;
+        var_b += db * db;
+    }
+    if var_a == 0.0 || var_b == 0.0 {
+        return None;
+    }
+    Some(cov / (var_a.sqrt() * var_b.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_agreement_is_one() {
+        let a = vec![0.1, 0.5, 0.9, 0.3];
+        let b = vec![1.0, 5.0, 9.0, 3.0];
+        assert!((spearman_rank_correlation(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_reversal_is_minus_one() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![3.0, 2.0, 1.0];
+        assert!((spearman_rank_correlation(&a, &b).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_value_without_ties() {
+        // a = [1,2,3,4,5], b = [3,1,2,5,4] → d = [-2,1,1,-1,1],
+        // Σd² = 8, ρ = 1 − 6·8/(5·24) = 0.6.
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = vec![3.0, 1.0, 2.0, 5.0, 4.0];
+        assert!((spearman_rank_correlation(&a, &b).unwrap() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_use_average_ranks() {
+        let r = average_ranks(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn constant_vector_has_no_correlation() {
+        let a = vec![1.0, 1.0, 1.0];
+        let b = vec![1.0, 2.0, 3.0];
+        assert_eq!(spearman_rank_correlation(&a, &b), None);
+    }
+
+    #[test]
+    fn too_few_points_is_none() {
+        assert_eq!(spearman_rank_correlation(&[1.0], &[2.0]), None);
+    }
+}

@@ -1,0 +1,168 @@
+//! Training-data container for the time-series GAN.
+
+use nnet::Tensor;
+
+/// A dataset of (metadata, record-sequence) samples, padded to a fixed
+/// maximum sequence length.
+///
+/// Record features are stored step-major per example:
+/// `records.row(i) = [step_0 ‖ step_1 ‖ … ‖ step_{Tmax−1}]`, with steps at
+/// and beyond `lengths[i]` zero-padded. The generation flag is *not*
+/// stored — the model derives it from `lengths` (1.0 for live steps, 0.0
+/// for padding).
+#[derive(Debug, Clone)]
+pub struct TimeSeriesDataset {
+    /// Metadata rows, `n × meta_dim`, already encoded into `[0, 1]`.
+    pub meta: Tensor,
+    /// Padded record features, `n × (max_len · record_dim)`.
+    pub records: Tensor,
+    /// True sequence length of each example (1..=max_len).
+    pub lengths: Vec<usize>,
+    /// Feature width of a single record step.
+    pub record_dim: usize,
+    /// Maximum sequence length (padding target).
+    pub max_len: usize,
+}
+
+impl TimeSeriesDataset {
+    /// Builds a dataset from per-example sequences.
+    ///
+    /// `sequences[i]` is the list of record feature vectors for example
+    /// `i`; sequences longer than `max_len` are truncated, and every
+    /// example must have at least one step.
+    pub fn new(meta_rows: Vec<Vec<f32>>, sequences: Vec<Vec<Vec<f32>>>, max_len: usize) -> Self {
+        assert_eq!(meta_rows.len(), sequences.len(), "meta/sequence count mismatch");
+        assert!(!meta_rows.is_empty(), "dataset must be non-empty");
+        assert!(max_len >= 1, "max_len must be at least 1");
+        let meta_dim = meta_rows[0].len();
+        let record_dim = sequences
+            .iter()
+            .flat_map(|s| s.first())
+            .map(|r| r.len())
+            .next()
+            .expect("at least one non-empty sequence");
+
+        let n = meta_rows.len();
+        let mut meta = Tensor::zeros(n, meta_dim);
+        let mut records = Tensor::zeros(n, max_len * record_dim);
+        let mut lengths = Vec::with_capacity(n);
+        for (i, (m, seq)) in meta_rows.iter().zip(&sequences).enumerate() {
+            assert_eq!(m.len(), meta_dim, "ragged metadata at {i}");
+            assert!(!seq.is_empty(), "empty sequence at {i}");
+            meta.row_mut(i).copy_from_slice(m);
+            let len = seq.len().min(max_len);
+            lengths.push(len);
+            for (t, step) in seq.iter().take(len).enumerate() {
+                assert_eq!(step.len(), record_dim, "ragged record at {i}:{t}");
+                records.row_mut(i)[t * record_dim..(t + 1) * record_dim].copy_from_slice(step);
+            }
+        }
+        TimeSeriesDataset {
+            meta,
+            records,
+            lengths,
+            record_dim,
+            max_len,
+        }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// Whether the dataset is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.lengths.is_empty()
+    }
+
+    /// Metadata width.
+    pub fn meta_dim(&self) -> usize {
+        self.meta.cols()
+    }
+
+    /// Gathers a minibatch: `(meta, padded records with gen-flag column,
+    /// lengths)`. The returned record tensor has width
+    /// `max_len · (record_dim + 1)` — each step gains a trailing flag set
+    /// to 1.0 for live steps, 0.0 for padding, which is what the
+    /// discriminator consumes and the generator must imitate.
+    pub fn batch(&self, idx: &[usize]) -> (Tensor, Tensor, Vec<usize>) {
+        let meta = self.meta.select_rows(idx);
+        let step_dim = self.record_dim + 1;
+        let mut records = Tensor::zeros(idx.len(), self.max_len * step_dim);
+        let mut lengths = Vec::with_capacity(idx.len());
+        for (bi, &i) in idx.iter().enumerate() {
+            let len = self.lengths[i];
+            lengths.push(len);
+            let src = self.records.row(i);
+            let dst = records.row_mut(bi);
+            for t in 0..len {
+                dst[t * step_dim..t * step_dim + self.record_dim]
+                    .copy_from_slice(&src[t * self.record_dim..(t + 1) * self.record_dim]);
+                dst[t * step_dim + self.record_dim] = 1.0; // gen flag
+            }
+        }
+        (meta, records, lengths)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> TimeSeriesDataset {
+        TimeSeriesDataset::new(
+            vec![vec![0.1, 0.2], vec![0.3, 0.4]],
+            vec![
+                vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
+                vec![vec![7.0, 8.0]],
+            ],
+            4,
+        )
+    }
+
+    #[test]
+    fn construction_pads_and_records_lengths() {
+        let d = dataset();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.lengths, vec![3, 1]);
+        assert_eq!(d.records.cols(), 4 * 2);
+        assert_eq!(&d.records.row(0)[..6], &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(&d.records.row(0)[6..], &[0., 0.], "padding zeroed");
+        assert_eq!(&d.records.row(1)[2..], &[0.; 6]);
+    }
+
+    #[test]
+    fn batch_adds_gen_flags() {
+        let d = dataset();
+        let (meta, rec, lens) = d.batch(&[1, 0]);
+        assert_eq!(meta.row(0), &[0.3, 0.4]);
+        assert_eq!(lens, vec![1, 3]);
+        // Row 0 (example 1, length 1): step 0 live, rest padded.
+        let r = rec.row(0);
+        assert_eq!(&r[..3], &[7.0, 8.0, 1.0]);
+        assert_eq!(&r[3..6], &[0.0, 0.0, 0.0]);
+        // Row 1 (example 0, length 3): flags 1,1,1,0.
+        let r = rec.row(1);
+        assert_eq!(r[2], 1.0);
+        assert_eq!(r[5], 1.0);
+        assert_eq!(r[8], 1.0);
+        assert_eq!(r[11], 0.0);
+    }
+
+    #[test]
+    fn long_sequences_truncate() {
+        let d = TimeSeriesDataset::new(
+            vec![vec![0.0]],
+            vec![vec![vec![1.0]; 10]],
+            3,
+        );
+        assert_eq!(d.lengths, vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_sequence_rejected() {
+        let _ = TimeSeriesDataset::new(vec![vec![0.0]], vec![vec![]], 3);
+    }
+}

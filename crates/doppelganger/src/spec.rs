@@ -1,0 +1,252 @@
+//! Feature-layout specifications and output transforms.
+//!
+//! Generator outputs are raw logits; the feature spec says how to squash
+//! them — sigmoid for `[0,1]`-normalized continuous dimensions, per-segment
+//! softmax for categorical ("soft one-hot") dimensions — and how to
+//! back-propagate through the squashing during generator updates.
+
+use nnet::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// One contiguous block of feature dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Segment {
+    /// `dim` independent continuous outputs in `[0, 1]` (sigmoid).
+    Continuous {
+        /// Number of dimensions.
+        dim: usize,
+    },
+    /// A categorical field one-hot over `dim` classes (softmax).
+    Categorical {
+        /// Number of classes.
+        dim: usize,
+    },
+}
+
+impl Segment {
+    /// Width of the segment.
+    pub fn dim(&self) -> usize {
+        match *self {
+            Segment::Continuous { dim } | Segment::Categorical { dim } => dim,
+        }
+    }
+}
+
+/// The ordered layout of a feature vector (metadata or record).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureSpec {
+    /// Segments in order of their dimensions.
+    pub segments: Vec<Segment>,
+    /// Softmax temperature for categorical segments (< 1 sharpens the
+    /// generator's soft one-hots toward the hardness of real one-hots,
+    /// which stops the discriminator from winning on "softness" alone).
+    pub temperature: f32,
+}
+
+impl FeatureSpec {
+    /// Builds a spec from segments (temperature 0.5).
+    pub fn new(segments: Vec<Segment>) -> Self {
+        FeatureSpec { segments, temperature: 0.5 }
+    }
+
+    /// A purely continuous spec of the given width.
+    pub fn continuous(dim: usize) -> Self {
+        FeatureSpec::new(vec![Segment::Continuous { dim }])
+    }
+
+    /// Total feature width.
+    pub fn dim(&self) -> usize {
+        self.segments.iter().map(|s| s.dim()).sum()
+    }
+
+    /// Applies the output transform to raw logits (batch rows), returning
+    /// squashed features.
+    pub fn transform(&self, logits: &Tensor) -> Tensor {
+        assert_eq!(logits.cols(), self.dim(), "logit width mismatch");
+        let mut out = logits.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            let mut off = 0;
+            for seg in &self.segments {
+                match *seg {
+                    Segment::Continuous { dim } => {
+                        for v in &mut row[off..off + dim] {
+                            *v = 1.0 / (1.0 + (-*v).exp());
+                        }
+                        off += dim;
+                    }
+                    Segment::Categorical { dim } => {
+                        let slice = &mut row[off..off + dim];
+                        let inv_t = 1.0 / self.temperature;
+                        let max = slice.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                        let mut sum = 0.0;
+                        for v in slice.iter_mut() {
+                            *v = ((*v - max) * inv_t).exp();
+                            sum += *v;
+                        }
+                        for v in slice.iter_mut() {
+                            *v /= sum;
+                        }
+                        off += dim;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Back-propagates through the transform: given the transformed output
+    /// `y = transform(x)` and `∂L/∂y`, returns `∂L/∂x`.
+    pub fn backward(&self, y: &Tensor, grad_y: &Tensor) -> Tensor {
+        assert_eq!(y.shape(), grad_y.shape(), "shape mismatch");
+        let mut gx = Tensor::zeros(y.rows(), y.cols());
+        for r in 0..y.rows() {
+            let yr = y.row(r);
+            let gr = grad_y.row(r);
+            let out = gx.row_mut(r);
+            let mut off = 0;
+            for seg in &self.segments {
+                match *seg {
+                    Segment::Continuous { dim } => {
+                        for i in off..off + dim {
+                            out[i] = gr[i] * yr[i] * (1.0 - yr[i]);
+                        }
+                        off += dim;
+                    }
+                    Segment::Categorical { dim } => {
+                        // Tempered-softmax jacobian:
+                        // dx_i = (1/T) · y_i (g_i − Σ_j g_j y_j).
+                        let inv_t = 1.0 / self.temperature;
+                        let dot: f32 = (off..off + dim).map(|j| gr[j] * yr[j]).sum();
+                        for i in off..off + dim {
+                            out[i] = inv_t * yr[i] * (gr[i] - dot);
+                        }
+                        off += dim;
+                    }
+                }
+            }
+        }
+        gx
+    }
+
+    /// Hardens a transformed row: categorical segments become exact
+    /// one-hots (arg-max), continuous pass through. Used at generation time
+    /// before decoding.
+    pub fn harden_row(&self, row: &mut [f32]) {
+        let mut off = 0;
+        for seg in &self.segments {
+            if let Segment::Categorical { dim } = *seg {
+                let slice = &mut row[off..off + dim];
+                let best = slice
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                for (i, v) in slice.iter_mut().enumerate() {
+                    *v = if i == best { 1.0 } else { 0.0 };
+                }
+            }
+            off += seg.dim();
+        }
+    }
+
+    /// Like [`FeatureSpec::harden_row`] but *samples* each categorical
+    /// segment from its softmax distribution instead of taking the
+    /// arg-max. Sampling preserves the learned class marginals even when
+    /// the generator has converged to emitting a near-constant soft
+    /// distribution — arg-max would collapse such outputs onto a single
+    /// class (e.g. every flow labeled benign).
+    pub fn sample_row<R: rand::Rng + ?Sized>(&self, row: &mut [f32], rng: &mut R) {
+        let mut off = 0;
+        for seg in &self.segments {
+            if let Segment::Categorical { dim } = *seg {
+                let slice = &mut row[off..off + dim];
+                let total: f32 = slice.iter().map(|v| v.max(0.0)).sum();
+                let mut pick = slice.len() - 1;
+                if total > 0.0 {
+                    let mut u = rng.gen::<f32>() * total;
+                    for (i, &v) in slice.iter().enumerate() {
+                        let v = v.max(0.0);
+                        if u < v {
+                            pick = i;
+                            break;
+                        }
+                        u -= v;
+                    }
+                }
+                for (i, v) in slice.iter_mut().enumerate() {
+                    *v = if i == pick { 1.0 } else { 0.0 };
+                }
+            }
+            off += seg.dim();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> FeatureSpec {
+        FeatureSpec::new(vec![
+            Segment::Continuous { dim: 2 },
+            Segment::Categorical { dim: 3 },
+        ])
+    }
+
+    #[test]
+    fn transform_respects_ranges() {
+        let s = spec();
+        let x = Tensor::from_vec(2, 5, vec![-5., 5., 1., 2., 3., 0., 0., -1., -1., 4.]);
+        let y = s.transform(&x);
+        for r in 0..2 {
+            let row = y.row(r);
+            assert!(row[0] > 0.0 && row[0] < 1.0);
+            assert!(row[1] > 0.0 && row[1] < 1.0);
+            let sum: f32 = row[2..5].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "softmax sums to 1");
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let s = spec();
+        let x = Tensor::from_vec(1, 5, vec![0.3, -0.7, 0.5, 1.0, -0.2]);
+        let y = s.transform(&x);
+        // L = Σ w_i y_i with arbitrary weights.
+        let w = [0.3f32, -1.0, 2.0, 0.5, -0.7];
+        let gy = Tensor::from_vec(1, 5, w.to_vec());
+        let gx = s.backward(&y, &gy);
+        let eps = 1e-3f32;
+        for i in 0..5 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let lp: f32 = s.transform(&xp).data().iter().zip(&w).map(|(a, b)| a * b).sum();
+            let lm: f32 = s.transform(&xm).data().iter().zip(&w).map(|(a, b)| a * b).sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - gx.data()[i]).abs() < 1e-3 * (1.0 + num.abs()),
+                "dim {i}: {num} vs {}",
+                gx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn harden_makes_exact_one_hot() {
+        let s = spec();
+        let mut row = vec![0.4, 0.6, 0.2, 0.5, 0.3];
+        s.harden_row(&mut row);
+        assert_eq!(&row[..2], &[0.4, 0.6], "continuous untouched");
+        assert_eq!(&row[2..], &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn dim_sums_segments() {
+        assert_eq!(spec().dim(), 5);
+        assert_eq!(FeatureSpec::continuous(7).dim(), 7);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property tests for the time-series dataset container and feature spec.
+
+use doppelganger::{FeatureSpec, Segment, TimeSeriesDataset};
+use nnet::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn batches_flag_exactly_the_live_steps(
+        lengths in prop::collection::vec(1usize..6, 1..12),
+    ) {
+        let max_len = 6;
+        let n = lengths.len();
+        let meta: Vec<Vec<f32>> = (0..n).map(|i| vec![i as f32]).collect();
+        let seqs: Vec<Vec<Vec<f32>>> = lengths
+            .iter()
+            .map(|&l| (0..l).map(|t| vec![t as f32, 1.0]).collect())
+            .collect();
+        let data = TimeSeriesDataset::new(meta, seqs, max_len);
+        let idx: Vec<usize> = (0..n).collect();
+        let (_, records, lens) = data.batch(&idx);
+        prop_assert_eq!(&lens, &lengths);
+        let step = 3; // record_dim 2 + flag
+        for (i, &l) in lengths.iter().enumerate() {
+            for t in 0..max_len {
+                let flag = records.row(i)[t * step + 2];
+                prop_assert_eq!(flag, if t < l { 1.0 } else { 0.0 }, "row {} step {}", i, t);
+            }
+        }
+    }
+
+    #[test]
+    fn transforms_always_land_on_the_simplex(
+        logits in prop::collection::vec(-30.0f32..30.0, 9),
+        temperature in 0.1f32..2.0,
+    ) {
+        let mut spec = FeatureSpec::new(vec![
+            Segment::Continuous { dim: 3 },
+            Segment::Categorical { dim: 4 },
+            Segment::Continuous { dim: 2 },
+        ]);
+        spec.temperature = temperature;
+        let x = Tensor::from_vec(1, 9, logits);
+        let y = spec.transform(&x);
+        let row = y.row(0);
+        prop_assert!(row[..3].iter().all(|&v| (0.0..=1.0).contains(&v)));
+        prop_assert!(row[7..].iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let sum: f32 = row[3..7].iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4, "softmax sum {}", sum);
+        prop_assert!(row[3..7].iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn harden_is_idempotent(values in prop::collection::vec(0.0f32..1.0, 7)) {
+        let spec = FeatureSpec::new(vec![
+            Segment::Categorical { dim: 4 },
+            Segment::Continuous { dim: 3 },
+        ]);
+        let mut once = values.clone();
+        spec.harden_row(&mut once);
+        let mut twice = once.clone();
+        spec.harden_row(&mut twice);
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,192 @@
+//! Bit and byte encodings for fixed-width integer fields.
+
+/// Encodes a `width`-bit unsigned integer as `width` values in `{0.0, 1.0}`,
+/// most-significant bit first; decodes by thresholding at 0.5.
+///
+/// This is NetShare's IP encoding (Table 2: "IP/bit" — good fidelity,
+/// good scalability, DP-compatible because the mapping is data-independent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitCodec {
+    width: u32,
+}
+
+impl BitCodec {
+    /// A codec for `width`-bit values (1..=64).
+    pub fn new(width: u32) -> Self {
+        assert!((1..=64).contains(&width), "width must be 1..=64");
+        BitCodec { width }
+    }
+
+    /// Codec for IPv4 addresses.
+    pub fn ipv4() -> Self {
+        BitCodec::new(32)
+    }
+
+    /// Codec for port numbers.
+    pub fn port() -> Self {
+        BitCodec::new(16)
+    }
+
+    /// Encoded dimensionality.
+    pub fn dim(&self) -> usize {
+        self.width as usize
+    }
+
+    /// Appends the encoding of `value` to `out`.
+    ///
+    /// # Panics
+    /// Panics if `value` does not fit in `width` bits.
+    pub fn encode_into(&self, value: u64, out: &mut Vec<f32>) {
+        if self.width < 64 {
+            assert!(value < (1u64 << self.width), "value out of range for width");
+        }
+        for i in (0..self.width).rev() {
+            out.push(((value >> i) & 1) as f32);
+        }
+    }
+
+    /// Encodes into a fresh vector.
+    pub fn encode(&self, value: u64) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.dim());
+        self.encode_into(value, &mut out);
+        out
+    }
+
+    /// Decodes by thresholding each dimension at 0.5 (accepting the soft
+    /// outputs a generator produces).
+    ///
+    /// # Panics
+    /// Panics if `bits.len() != self.dim()`.
+    pub fn decode(&self, bits: &[f32]) -> u64 {
+        assert_eq!(bits.len(), self.dim(), "bit width mismatch");
+        let mut v = 0u64;
+        for &b in bits {
+            v = (v << 1) | u64::from(b >= 0.5);
+        }
+        v
+    }
+}
+
+/// Encodes a fixed-width integer as big-endian bytes scaled to `[0, 1]`
+/// (each byte / 255) — the encoding used by the byte-level baselines
+/// (PAC-GAN, PacketCGAN, Flow-WGAN). Table 2 rates it lower-fidelity than
+/// bit encoding: a small real-valued error in one byte moves the decoded
+/// integer by a whole byte-step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ByteCodec {
+    bytes: u32,
+}
+
+impl ByteCodec {
+    /// A codec for `bytes`-byte values (1..=8).
+    pub fn new(bytes: u32) -> Self {
+        assert!((1..=8).contains(&bytes), "bytes must be 1..=8");
+        ByteCodec { bytes }
+    }
+
+    /// Codec for IPv4 addresses (4 bytes).
+    pub fn ipv4() -> Self {
+        ByteCodec::new(4)
+    }
+
+    /// Codec for port numbers (2 bytes).
+    pub fn port() -> Self {
+        ByteCodec::new(2)
+    }
+
+    /// Encoded dimensionality.
+    pub fn dim(&self) -> usize {
+        self.bytes as usize
+    }
+
+    /// Appends the encoding of `value` to `out`.
+    pub fn encode_into(&self, value: u64, out: &mut Vec<f32>) {
+        if self.bytes < 8 {
+            assert!(value < (1u64 << (8 * self.bytes)), "value out of range");
+        }
+        for i in (0..self.bytes).rev() {
+            let byte = (value >> (8 * i)) & 0xff;
+            out.push(byte as f32 / 255.0);
+        }
+    }
+
+    /// Encodes into a fresh vector.
+    pub fn encode(&self, value: u64) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.dim());
+        self.encode_into(value, &mut out);
+        out
+    }
+
+    /// Decodes by rounding each dimension back to a byte.
+    pub fn decode(&self, vals: &[f32]) -> u64 {
+        assert_eq!(vals.len(), self.dim(), "byte width mismatch");
+        let mut v = 0u64;
+        for &x in vals {
+            let byte = (x.clamp(0.0, 1.0) * 255.0).round() as u64;
+            v = (v << 8) | byte;
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_round_trip_exhaustive_small() {
+        let c = BitCodec::new(8);
+        for v in 0..256u64 {
+            assert_eq!(c.decode(&c.encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn bit_round_trip_ipv4_and_port() {
+        let ip = BitCodec::ipv4();
+        for v in [0u64, 1, 0xc0a80101, 0xffffffff, 0x08080808] {
+            assert_eq!(ip.decode(&ip.encode(v)), v);
+        }
+        let port = BitCodec::port();
+        for v in [0u64, 53, 80, 443, 65535] {
+            assert_eq!(port.decode(&port.encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn bit_decode_tolerates_soft_values() {
+        let c = BitCodec::new(4);
+        // 0b1010 encoded softly.
+        assert_eq!(c.decode(&[0.9, 0.2, 0.7, 0.1]), 0b1010);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let c = ByteCodec::ipv4();
+        for v in [0u64, 0xc0a80101, 0xffffffff] {
+            assert_eq!(c.decode(&c.encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn byte_encoding_is_sensitive_to_noise() {
+        // Documents the Table 2 fidelity weakness: ±0.004 in one dimension
+        // flips a whole byte step (≈ 1/255 ≈ 0.0039).
+        let c = ByteCodec::new(2);
+        let mut enc = c.encode(0x0100);
+        enc[0] -= 0.004;
+        assert_ne!(c.decode(&enc), 0x0100);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_rejects_oversized_values() {
+        let _ = BitCodec::new(4).encode(16);
+    }
+
+    #[test]
+    fn msb_first_layout() {
+        let c = BitCodec::new(4);
+        assert_eq!(c.encode(0b1000), vec![1.0, 0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Continuous-field transforms: `log(1+x)` range compression and `[0,1]`
+//! min-max normalization.
+//!
+//! Paper Insight 2: "For fields with numerical semantics like
+//! packets/bytes per flow with a large support, we use log transformation,
+//! i.e., log(1+x) to effectively reduce the range." Appendix C adds "\[0,1\]
+//! normalization for the continuous fields". This codec fuses both.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted continuous-field codec: optional `ln(1+x)`, then min-max to
+/// `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContinuousCodec {
+    log_transform: bool,
+    lo: f64,
+    hi: f64,
+}
+
+impl ContinuousCodec {
+    /// Fits a codec on training samples.
+    ///
+    /// * `log_transform` — apply `ln(1+x)` before normalizing (use for
+    ///   large-support non-negative fields: PKT, BYT, durations).
+    ///
+    /// Empty input fits a degenerate `[0, 1] → 0.5` codec.
+    pub fn fit(samples: &[f64], log_transform: bool) -> Self {
+        let mapped = samples.iter().map(|&x| Self::pre(x, log_transform));
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for v in mapped {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if !lo.is_finite() || !hi.is_finite() {
+            lo = 0.0;
+            hi = 1.0;
+        }
+        if hi <= lo {
+            hi = lo + 1.0;
+        }
+        ContinuousCodec {
+            log_transform,
+            lo,
+            hi,
+        }
+    }
+
+    fn pre(x: f64, log: bool) -> f64 {
+        if log {
+            (1.0 + x.max(0.0)).ln()
+        } else {
+            x
+        }
+    }
+
+    /// Encodes a raw value to `[0, 1]` (clamped: generation-time values
+    /// beyond the fitted range saturate, like the paper's bounded outputs).
+    pub fn encode(&self, x: f64) -> f32 {
+        let v = Self::pre(x, self.log_transform);
+        (((v - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0)) as f32
+    }
+
+    /// Decodes a normalized value back to the raw domain.
+    pub fn decode(&self, y: f32) -> f64 {
+        let v = self.lo + (y.clamp(0.0, 1.0) as f64) * (self.hi - self.lo);
+        if self.log_transform {
+            (v.exp() - 1.0).max(0.0)
+        } else {
+            v
+        }
+    }
+
+    /// The fitted (transformed-domain) range.
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_without_log() {
+        let c = ContinuousCodec::fit(&[0.0, 50.0, 100.0], false);
+        for &x in &[0.0, 25.0, 99.0, 100.0] {
+            let y = c.decode(c.encode(x));
+            assert!((y - x).abs() < 1e-3, "{x} -> {y}");
+        }
+    }
+
+    #[test]
+    fn round_trip_with_log_over_orders_of_magnitude() {
+        let samples: Vec<f64> = vec![1.0, 10.0, 1e3, 1e6, 1e8];
+        let c = ContinuousCodec::fit(&samples, true);
+        for &x in &samples {
+            let y = c.decode(c.encode(x));
+            assert!((y - x).abs() / x < 0.01, "{x} -> {y}");
+        }
+    }
+
+    #[test]
+    fn log_compresses_elephants() {
+        // Without log, 1e8 forces everything below 1e6 into < 1% of range.
+        let samples = vec![1.0, 100.0, 1e8];
+        let linear = ContinuousCodec::fit(&samples, false);
+        let logged = ContinuousCodec::fit(&samples, true);
+        assert!(linear.encode(100.0) < 0.01, "linear squashes the body");
+        assert!(logged.encode(100.0) > 0.2, "log spreads the body");
+    }
+
+    #[test]
+    fn out_of_range_values_saturate() {
+        let c = ContinuousCodec::fit(&[0.0, 10.0], false);
+        assert_eq!(c.encode(-5.0), 0.0);
+        assert_eq!(c.encode(100.0), 1.0);
+        assert!((c.decode(2.0) - 10.0).abs() < 1e-9, "decode clamps too");
+    }
+
+    #[test]
+    fn degenerate_fits_do_not_panic() {
+        let empty = ContinuousCodec::fit(&[], true);
+        assert!(empty.encode(5.0).is_finite());
+        let constant = ContinuousCodec::fit(&[7.0, 7.0], false);
+        let y = constant.decode(constant.encode(7.0));
+        assert!((y - 7.0).abs() < 1.0 + 1e-9);
+    }
+}

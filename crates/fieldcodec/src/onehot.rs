@@ -1,0 +1,153 @@
+//! One-hot encoding for small categorical fields (protocol, labels).
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A fitted one-hot codec over an explicit category vocabulary, with an
+/// optional "other" bucket for unseen values.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OneHotCodec<K: Eq + Hash + Clone> {
+    categories: Vec<K>,
+    #[serde(skip)]
+    index: HashMap<K, usize>,
+    with_other: bool,
+}
+
+impl<K: Eq + Hash + Clone> OneHotCodec<K> {
+    /// Builds a codec over the given categories. If `with_other` is true,
+    /// one extra dimension absorbs values outside the vocabulary.
+    pub fn new(categories: Vec<K>, with_other: bool) -> Self {
+        let index = categories
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.clone(), i))
+            .collect();
+        OneHotCodec {
+            categories,
+            index,
+            with_other,
+        }
+    }
+
+    /// Fits the vocabulary from observed values (in first-seen order).
+    pub fn fit(values: &[K], with_other: bool) -> Self {
+        let mut cats = Vec::new();
+        let mut seen = HashMap::new();
+        for v in values {
+            if !seen.contains_key(v) {
+                seen.insert(v.clone(), cats.len());
+                cats.push(v.clone());
+            }
+        }
+        OneHotCodec {
+            categories: cats,
+            index: seen,
+            with_other,
+        }
+    }
+
+    /// Rebuilds the lookup index (needed after deserialization, where the
+    /// map is skipped).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .categories
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.clone(), i))
+            .collect();
+    }
+
+    /// Encoded dimensionality.
+    pub fn dim(&self) -> usize {
+        self.categories.len() + usize::from(self.with_other)
+    }
+
+    /// Number of in-vocabulary categories.
+    pub fn vocab_len(&self) -> usize {
+        self.categories.len()
+    }
+
+    /// Appends the one-hot encoding of `value` to `out`.
+    ///
+    /// # Panics
+    /// Panics on an out-of-vocabulary value when no "other" bucket exists.
+    pub fn encode_into(&self, value: &K, out: &mut Vec<f32>) {
+        let start = out.len();
+        out.resize(start + self.dim(), 0.0);
+        match self.index.get(value) {
+            Some(&i) => out[start + i] = 1.0,
+            None if self.with_other => *out.last_mut().unwrap() = 1.0,
+            None => panic!("value outside one-hot vocabulary and no `other` bucket"),
+        }
+    }
+
+    /// Encodes into a fresh vector.
+    pub fn encode(&self, value: &K) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.dim());
+        self.encode_into(value, &mut out);
+        out
+    }
+
+    /// Decodes by arg-max (accepting soft generator outputs). Returns
+    /// `None` when the arg-max lands on the "other" bucket.
+    pub fn decode(&self, soft: &[f32]) -> Option<&K> {
+        assert_eq!(soft.len(), self.dim(), "one-hot width mismatch");
+        let (best, _) = soft
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("non-empty encoding");
+        self.categories.get(best)
+    }
+
+    /// Category at index `i`.
+    pub fn category(&self, i: usize) -> Option<&K> {
+        self.categories.get(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let c = OneHotCodec::new(vec![6u8, 17, 1], false);
+        for v in [6u8, 17, 1] {
+            assert_eq!(c.decode(&c.encode(&v)), Some(&v));
+        }
+        assert_eq!(c.dim(), 3);
+    }
+
+    #[test]
+    fn soft_decode_picks_argmax() {
+        let c = OneHotCodec::new(vec!["a", "b", "c"], false);
+        assert_eq!(c.decode(&[0.1, 0.7, 0.2]), Some(&"b"));
+    }
+
+    #[test]
+    fn other_bucket_absorbs_unknowns() {
+        let c = OneHotCodec::new(vec![6u8, 17], true);
+        assert_eq!(c.dim(), 3);
+        let enc = c.encode(&47);
+        assert_eq!(enc, vec![0.0, 0.0, 1.0]);
+        assert_eq!(c.decode(&enc), None, "other decodes to None");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside one-hot vocabulary")]
+    fn unknown_without_other_panics() {
+        let c = OneHotCodec::new(vec![6u8], false);
+        let _ = c.encode(&17);
+    }
+
+    #[test]
+    fn fit_preserves_first_seen_order() {
+        let c = OneHotCodec::fit(&["b", "a", "b", "c"], false);
+        assert_eq!(c.category(0), Some(&"b"));
+        assert_eq!(c.category(1), Some(&"a"));
+        assert_eq!(c.category(2), Some(&"c"));
+        assert_eq!(c.vocab_len(), 3);
+    }
+}

@@ -1,0 +1,53 @@
+//! Property tests for the field codecs.
+
+use fieldcodec::{BitCodec, ByteCodec, ContinuousCodec, OneHotCodec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bit_codec_round_trips_any_width(value in any::<u64>(), width in 1u32..=64) {
+        let c = BitCodec::new(width);
+        let masked = if width == 64 { value } else { value & ((1u64 << width) - 1) };
+        prop_assert_eq!(c.decode(&c.encode(masked)), masked);
+    }
+
+    #[test]
+    fn bit_codec_survives_sub_half_noise(value in any::<u32>(), noise in 0.0f32..0.49) {
+        // Any per-dimension perturbation below 0.5 cannot flip a bit.
+        let c = BitCodec::ipv4();
+        let mut enc = c.encode(value as u64);
+        for (i, v) in enc.iter_mut().enumerate() {
+            *v += if i % 2 == 0 { noise } else { -noise };
+        }
+        prop_assert_eq!(c.decode(&enc), value as u64);
+    }
+
+    #[test]
+    fn byte_codec_round_trips(value in any::<u32>()) {
+        let c = ByteCodec::ipv4();
+        prop_assert_eq!(c.decode(&c.encode(value as u64)), value as u64);
+    }
+
+    #[test]
+    fn continuous_codec_is_monotone(
+        samples in prop::collection::vec(0.0f64..1e7, 2..40),
+        log in any::<bool>(),
+        a in 0.0f64..1e7,
+        b in 0.0f64..1e7,
+    ) {
+        let c = ContinuousCodec::fit(&samples, log);
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(c.encode(lo) <= c.encode(hi), "encoding must preserve order");
+    }
+
+    #[test]
+    fn one_hot_round_trips_vocab(vocab in prop::collection::hash_set(0u16..500, 1..20)) {
+        let vocab: Vec<u16> = vocab.into_iter().collect();
+        let c = OneHotCodec::new(vocab.clone(), false);
+        for v in &vocab {
+            prop_assert_eq!(c.decode(&c.encode(v)), Some(v));
+        }
+    }
+}

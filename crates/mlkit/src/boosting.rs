@@ -1,0 +1,124 @@
+//! Gradient boosting: one-vs-rest logistic boosting with regression trees
+//! on the negative gradient (Friedman, 2001).
+
+use crate::dataset::Dataset;
+use crate::tree::RegressionTree;
+use crate::Classifier;
+
+/// A gradient-boosted classifier.
+#[derive(Debug, Clone)]
+pub struct GradientBoosting {
+    /// Boosting rounds per class.
+    pub n_rounds: usize,
+    /// Tree depth.
+    pub max_depth: usize,
+    /// Shrinkage.
+    pub learning_rate: f64,
+    /// One boosted ensemble per class (one-vs-rest).
+    ensembles: Vec<Vec<RegressionTree>>,
+    base: Vec<f64>,
+}
+
+impl GradientBoosting {
+    /// Builds a boosting configuration.
+    pub fn new(n_rounds: usize, max_depth: usize) -> Self {
+        GradientBoosting {
+            n_rounds,
+            max_depth,
+            learning_rate: 0.3,
+            ensembles: Vec::new(),
+            base: Vec::new(),
+        }
+    }
+
+    fn score(&self, row: &[f64], class: usize) -> f64 {
+        let mut f = self.base[class];
+        for tree in &self.ensembles[class] {
+            f += self.learning_rate * tree.predict(row);
+        }
+        f
+    }
+}
+
+impl Classifier for GradientBoosting {
+    fn fit(&mut self, data: &Dataset) {
+        let n_classes = data.n_classes().max(2);
+        let n = data.len();
+        self.ensembles = vec![Vec::new(); n_classes];
+        self.base = vec![0.0; n_classes];
+        for k in 0..n_classes {
+            // Base score: log-odds of the class prior.
+            let pos = data.labels.iter().filter(|&&y| y == k).count();
+            let p = (pos as f64 / n as f64).clamp(1e-6, 1.0 - 1e-6);
+            self.base[k] = (p / (1.0 - p)).ln();
+
+            let mut f: Vec<f64> = vec![self.base[k]; n];
+            for _ in 0..self.n_rounds {
+                // Negative gradient of logistic loss: y − σ(f).
+                let residuals: Vec<f64> = (0..n)
+                    .map(|i| {
+                        let y = f64::from(data.labels[i] == k);
+                        let sigma = 1.0 / (1.0 + (-f[i]).exp());
+                        y - sigma
+                    })
+                    .collect();
+                let mut tree = RegressionTree::new(self.max_depth);
+                tree.fit(data, &residuals);
+                for i in 0..n {
+                    f[i] += self.learning_rate * tree.predict(data.row(i));
+                }
+                self.ensembles[k].push(tree);
+            }
+        }
+    }
+
+    fn predict(&self, row: &[f64]) -> usize {
+        if self.ensembles.is_empty() {
+            return 0;
+        }
+        (0..self.ensembles.len())
+            .map(|k| (k, self.score(row, k)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(k, _)| k)
+            .unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "GB"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn learns_nonlinear_boundary() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..300 {
+            let x = rng.gen_range(-1.0..1.0f64);
+            let y = rng.gen_range(-1.0..1.0f64);
+            rows.push(vec![x, y]);
+            labels.push(usize::from(x * x + y * y < 0.5)); // disc vs ring
+        }
+        let data = Dataset::new(rows, labels);
+        let mut gb = GradientBoosting::new(20, 3);
+        gb.fit(&data);
+        assert!(gb.accuracy(&data) > 0.90, "accuracy {}", gb.accuracy(&data));
+    }
+
+    #[test]
+    fn handles_three_classes() {
+        let rows: Vec<Vec<f64>> = (0..120).map(|i| vec![i as f64]).collect();
+        let labels: Vec<usize> = (0..120).map(|i| i / 40).collect();
+        let data = Dataset::new(rows, labels);
+        let mut gb = GradientBoosting::new(10, 2);
+        gb.fit(&data);
+        assert!(gb.accuracy(&data) > 0.95);
+        assert_eq!(gb.predict(&[5.0]), 0);
+        assert_eq!(gb.predict(&[115.0]), 2);
+    }
+}

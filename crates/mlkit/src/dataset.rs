@@ -1,0 +1,115 @@
+//! Dense labeled datasets.
+
+/// A dense feature matrix with integer class labels.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// Row-major features, `len × n_features`.
+    pub features: Vec<f64>,
+    /// Class label per row.
+    pub labels: Vec<usize>,
+    /// Feature count per row.
+    pub n_features: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset from rows.
+    ///
+    /// # Panics
+    /// Panics on ragged rows or a rows/labels length mismatch.
+    pub fn new(rows: Vec<Vec<f64>>, labels: Vec<usize>) -> Self {
+        assert_eq!(rows.len(), labels.len(), "rows/labels mismatch");
+        let n_features = rows.first().map(|r| r.len()).unwrap_or(0);
+        let mut features = Vec::with_capacity(rows.len() * n_features);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), n_features, "ragged row {i}");
+            features.extend_from_slice(r);
+        }
+        Dataset {
+            features,
+            labels,
+            n_features,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The feature row at `i`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.features[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    /// Iterator over feature rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.features.chunks(self.n_features.max(1)).take(self.len())
+    }
+
+    /// Number of distinct classes (max label + 1).
+    pub fn n_classes(&self) -> usize {
+        self.labels.iter().max().map(|&m| m + 1).unwrap_or(0)
+    }
+
+    /// A new dataset with the selected row indices.
+    pub fn subset(&self, idx: &[usize]) -> Dataset {
+        let rows = idx.iter().map(|&i| self.row(i).to_vec()).collect();
+        let labels = idx.iter().map(|&i| self.labels[i]).collect();
+        Dataset::new(rows, labels)
+    }
+
+    /// Splits into `(first_frac, rest)` by row order (the paper's
+    /// time-sorted 80/20 protocol, Fig. 11).
+    pub fn split_ordered(&self, first_frac: f64) -> (Dataset, Dataset) {
+        let cut = ((self.len() as f64) * first_frac).round() as usize;
+        let cut = cut.min(self.len());
+        let head: Vec<usize> = (0..cut).collect();
+        let tail: Vec<usize> = (cut..self.len()).collect();
+        (self.subset(&head), self.subset(&tail))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Dataset {
+        Dataset::new(
+            vec![vec![0.0, 1.0], vec![2.0, 3.0], vec![4.0, 5.0], vec![6.0, 7.0]],
+            vec![0, 1, 1, 2],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let d = data();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.n_features, 2);
+        assert_eq!(d.row(2), &[4.0, 5.0]);
+        assert_eq!(d.n_classes(), 3);
+        assert_eq!(d.rows().count(), 4);
+    }
+
+    #[test]
+    fn subset_and_split() {
+        let d = data();
+        let s = d.subset(&[3, 0]);
+        assert_eq!(s.labels, vec![2, 0]);
+        assert_eq!(s.row(0), &[6.0, 7.0]);
+        let (train, test) = d.split_ordered(0.75);
+        assert_eq!(train.len(), 3);
+        assert_eq!(test.len(), 1);
+        assert_eq!(test.labels, vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let _ = Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0, 1]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Random forest: bootstrap-aggregated gini trees with feature
+//! subsampling.
+
+use crate::dataset::Dataset;
+use crate::tree::DecisionTree;
+use crate::Classifier;
+use rand::prelude::*;
+
+/// A random-forest classifier.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree depth limit.
+    pub max_depth: usize,
+    /// RNG seed.
+    pub seed: u64,
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+}
+
+impl RandomForest {
+    /// Builds a forest configuration.
+    pub fn new(n_trees: usize, max_depth: usize) -> Self {
+        RandomForest {
+            n_trees,
+            max_depth,
+            seed: 11,
+            trees: Vec::new(),
+            n_classes: 0,
+        }
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, data: &Dataset) {
+        self.n_classes = data.n_classes().max(1);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = data.len();
+        let n_sub_features = ((data.n_features as f64).sqrt().ceil() as usize)
+            .clamp(1, data.n_features);
+        self.trees = (0..self.n_trees)
+            .map(|_| {
+                // Bootstrap sample.
+                let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+                // Random feature subset.
+                let mut feats: Vec<usize> = (0..data.n_features).collect();
+                feats.shuffle(&mut rng);
+                feats.truncate(n_sub_features);
+                let mut t = DecisionTree::new(self.max_depth);
+                t.fit_subset(data, &idx, Some(&feats));
+                t
+            })
+            .collect();
+    }
+
+    fn predict(&self, row: &[f64]) -> usize {
+        let mut votes = vec![0usize; self.n_classes.max(1)];
+        for t in &self.trees {
+            votes[t.predict(row)] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .map(|(k, _)| k)
+            .unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "RF"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forest_beats_or_matches_a_stump_on_noisy_data() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..400 {
+            let c = rng.gen_range(0..2usize);
+            // Signal in feature 0, noise in features 1-3.
+            rows.push(vec![
+                c as f64 + rng.gen_range(-0.6..0.6),
+                rng.gen_range(0.0..1.0),
+                rng.gen_range(0.0..1.0),
+                rng.gen_range(0.0..1.0),
+            ]);
+            labels.push(c);
+        }
+        let data = Dataset::new(rows, labels);
+        let mut rf = RandomForest::new(15, 5);
+        rf.fit(&data);
+        assert!(rf.accuracy(&data) > 0.80, "accuracy {}", rf.accuracy(&data));
+    }
+
+    #[test]
+    fn forest_is_deterministic_given_seed() {
+        let data = Dataset::new(
+            (0..50).map(|i| vec![i as f64, (i * 3 % 7) as f64]).collect(),
+            (0..50).map(|i| i % 2).collect(),
+        );
+        let mut a = RandomForest::new(5, 3);
+        let mut b = RandomForest::new(5, 3);
+        a.fit(&data);
+        b.fit(&data);
+        for i in 0..50 {
+            assert_eq!(a.predict(data.row(i)), b.predict(data.row(i)));
+        }
+    }
+}

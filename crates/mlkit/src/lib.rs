@@ -1,0 +1,55 @@
+//! # mlkit
+//!
+//! From-scratch machine-learning models for the paper's downstream-task
+//! evaluation (Finding 2):
+//!
+//! * **App #1, traffic-type prediction** (Fig. 12, Table 3): the five
+//!   classifier families — Decision Tree, Logistic Regression, Random
+//!   Forest, Gradient Boosting, MLP — over the flow features the paper
+//!   names ("port number, protocol, bytes/flow, packets/flow, and flow
+//!   duration"), with the time-sorted 80/20 train/test protocol of
+//!   Fig. 11 ([`taskharness`]).
+//! * **App #3, header-based anomaly detection** (Fig. 14, Table 4): a
+//!   one-class SVM ([`ocsvm`]) over the six NetML flow representations
+//!   (IAT, SIZE, IAT_SIZE, STATS, SAMP-NUM, SAMP-SIZE) ([`netml`]).
+
+pub mod boosting;
+pub mod dataset;
+pub mod forest;
+pub mod logistic;
+pub mod mlp;
+pub mod netml;
+pub mod ocsvm;
+pub mod taskharness;
+pub mod tree;
+
+pub use boosting::GradientBoosting;
+pub use dataset::Dataset;
+pub use forest::RandomForest;
+pub use logistic::LogisticRegression;
+pub use mlp::MlpClassifier;
+pub use ocsvm::OneClassSvm;
+pub use tree::DecisionTree;
+
+/// A multi-class classifier over dense feature rows.
+pub trait Classifier {
+    /// Fits on the dataset.
+    fn fit(&mut self, data: &Dataset);
+    /// Predicts the class of one feature row.
+    fn predict(&self, row: &[f64]) -> usize;
+    /// Display name (matches the paper's Fig. 12 x-axis).
+    fn name(&self) -> &'static str;
+
+    /// Accuracy over a dataset.
+    fn accuracy(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = data
+            .rows()
+            .zip(&data.labels)
+            .filter(|(row, &y)| self.predict(row) == y)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+}

@@ -1,0 +1,171 @@
+//! MLP classifier built on the `nnet` training framework.
+
+use crate::dataset::Dataset;
+use crate::Classifier;
+use nnet::loss::softmax_cross_entropy;
+use nnet::optim::{Adam, Optimizer};
+use nnet::{Activation, Layer, Parameterized, Sequential, Tensor};
+use rand::prelude::*;
+
+/// A feed-forward classifier with standardized inputs.
+pub struct MlpClassifier {
+    /// Hidden layer sizes.
+    pub hidden: Vec<usize>,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    net: Option<Sequential>,
+    mean: Vec<f64>,
+    std: Vec<f64>,
+    n_classes: usize,
+    seed: u64,
+}
+
+impl MlpClassifier {
+    /// Builds an MLP configuration.
+    pub fn new(hidden: Vec<usize>, epochs: usize) -> Self {
+        MlpClassifier {
+            hidden,
+            epochs,
+            lr: 1e-3,
+            net: None,
+            mean: Vec::new(),
+            std: Vec::new(),
+            n_classes: 0,
+            seed: 5,
+        }
+    }
+
+    fn encode_row(&self, row: &[f64]) -> Vec<f32> {
+        row.iter()
+            .enumerate()
+            .map(|(j, &x)| ((x - self.mean[j]) / self.std[j]) as f32)
+            .collect()
+    }
+}
+
+impl Classifier for MlpClassifier {
+    fn fit(&mut self, data: &Dataset) {
+        self.n_classes = data.n_classes().max(2);
+        let nf = data.n_features;
+        self.mean = vec![0.0; nf];
+        self.std = vec![0.0; nf];
+        for row in data.rows() {
+            for (j, &x) in row.iter().enumerate() {
+                self.mean[j] += x;
+            }
+        }
+        for m in &mut self.mean {
+            *m /= data.len().max(1) as f64;
+        }
+        for row in data.rows() {
+            for (j, &x) in row.iter().enumerate() {
+                self.std[j] += (x - self.mean[j]).powi(2);
+            }
+        }
+        for s in &mut self.std {
+            *s = (*s / data.len().max(1) as f64).sqrt().max(1e-9);
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut net = Sequential::mlp(nf, &self.hidden, self.n_classes, Activation::Relu, &mut rng);
+        let mut opt = Adam::with_betas(self.lr, 0.9, 0.999);
+        let batch = 32.min(data.len().max(1));
+        for _ in 0..self.epochs {
+            for _ in 0..(data.len() / batch).max(1) {
+                let idx: Vec<usize> = (0..batch).map(|_| rng.gen_range(0..data.len())).collect();
+                let mut x = Tensor::zeros(batch, nf);
+                let mut y = Vec::with_capacity(batch);
+                for (bi, &i) in idx.iter().enumerate() {
+                    x.row_mut(bi).copy_from_slice(&self.encode_row(data.row(i)));
+                    y.push(data.labels[i]);
+                }
+                let logits = net.forward(&x);
+                let (_, grad) = softmax_cross_entropy(&logits, &y);
+                net.zero_grad();
+                let _ = net.backward(&grad);
+                opt.step(&mut net);
+            }
+        }
+        self.net = Some(net);
+    }
+
+    fn predict(&self, row: &[f64]) -> usize {
+        let Some(net) = &self.net else {
+            return 0;
+        };
+        // Forward needs &mut for caching; clone the cheap layer stack.
+        let mut net = net.clone();
+        let x = Tensor::row_vector(&self.encode_row(row));
+        let logits = net.forward(&x);
+        logits
+            .row(0)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(k, _)| k)
+            .unwrap_or(0)
+    }
+
+    fn name(&self) -> &'static str {
+        "MLP"
+    }
+
+    fn accuracy(&self, data: &Dataset) -> f64 {
+        // Batched override: one network clone and one forward pass for the
+        // whole dataset instead of per-row clones.
+        let Some(net) = &self.net else {
+            return 0.0;
+        };
+        if data.is_empty() {
+            return 0.0;
+        }
+        let mut net = net.clone();
+        let mut x = Tensor::zeros(data.len(), data.n_features);
+        for (i, row) in data.rows().enumerate() {
+            x.row_mut(i).copy_from_slice(&self.encode_row(row));
+        }
+        let logits = net.forward(&x);
+        let mut correct = 0usize;
+        for i in 0..data.len() {
+            let pred = logits
+                .row(i)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(k, _)| k)
+                .unwrap_or(0);
+            correct += usize::from(pred == data.labels[i]);
+        }
+        correct as f64 / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_circular_boundary() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..400 {
+            let x = rng.gen_range(-1.0..1.0f64);
+            let y = rng.gen_range(-1.0..1.0f64);
+            rows.push(vec![x, y]);
+            labels.push(usize::from(x * x + y * y < 0.5));
+        }
+        let data = Dataset::new(rows, labels);
+        let mut mlp = MlpClassifier::new(vec![24, 24], 60);
+        mlp.fit(&data);
+        assert!(mlp.accuracy(&data) > 0.88, "accuracy {}", mlp.accuracy(&data));
+    }
+
+    #[test]
+    fn predict_before_fit_is_safe() {
+        let mlp = MlpClassifier::new(vec![8], 1);
+        assert_eq!(mlp.predict(&[]), 0);
+    }
+}

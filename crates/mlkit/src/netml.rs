@@ -1,0 +1,189 @@
+//! NetML flow representations (Yang, Kpotufe & Feamster, 2020).
+//!
+//! The paper's App #3 runs a one-class SVM over six flow "modes". NetML
+//! "only processes flows with packet count greater than one", which is
+//! why baselines that emit only single-packet flows drop out of Fig. 14.
+
+use nettrace::PacketTrace;
+
+/// The six NetML feature modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetmlMode {
+    /// First-k inter-arrival times.
+    Iat,
+    /// First-k packet sizes.
+    Size,
+    /// IAT ‖ SIZE.
+    IatSize,
+    /// Aggregate statistics (duration, counts, moments, rates).
+    Stats,
+    /// Packet counts in q time bins (SAMP-NUM).
+    SampNum,
+    /// Byte counts in q time bins (SAMP-SIZE).
+    SampSize,
+}
+
+impl NetmlMode {
+    /// All modes, in the paper's Fig. 14 order.
+    pub const ALL: [NetmlMode; 6] = [
+        NetmlMode::Iat,
+        NetmlMode::Size,
+        NetmlMode::IatSize,
+        NetmlMode::Stats,
+        NetmlMode::SampNum,
+        NetmlMode::SampSize,
+    ];
+
+    /// Paper-style short label.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetmlMode::Iat => "IAT",
+            NetmlMode::Size => "SIZE",
+            NetmlMode::IatSize => "IAT_SIZE",
+            NetmlMode::Stats => "STATS",
+            NetmlMode::SampNum => "SAMP-NUM",
+            NetmlMode::SampSize => "SAMP-SIZE",
+        }
+    }
+}
+
+/// Packets kept for the per-packet modes.
+const K: usize = 10;
+/// Time bins for the sampling modes.
+const Q: usize = 10;
+
+/// Extracts the mode's feature vector for one flow (a time-ordered packet
+/// list). Returns `None` for flows with fewer than two packets (NetML's
+/// filter).
+pub fn flow_features(
+    packets: &[(f64, u16)], // (arrival ms, size)
+    mode: NetmlMode,
+) -> Option<Vec<f64>> {
+    if packets.len() < 2 {
+        return None;
+    }
+    let iats: Vec<f64> = packets.windows(2).map(|w| (w[1].0 - w[0].0).max(0.0)).collect();
+    let sizes: Vec<f64> = packets.iter().map(|&(_, s)| s as f64).collect();
+    let pad = |v: &[f64], k: usize| -> Vec<f64> {
+        let mut out = v.to_vec();
+        out.truncate(k);
+        out.resize(k, 0.0);
+        out
+    };
+    let duration = (packets.last().unwrap().0 - packets[0].0).max(1e-9);
+    Some(match mode {
+        NetmlMode::Iat => pad(&iats, K),
+        NetmlMode::Size => pad(&sizes, K),
+        NetmlMode::IatSize => {
+            let mut v = pad(&iats, K);
+            v.extend(pad(&sizes, K));
+            v
+        }
+        NetmlMode::Stats => {
+            let n = packets.len() as f64;
+            let bytes: f64 = sizes.iter().sum();
+            let mean_size = bytes / n;
+            let std_size =
+                (sizes.iter().map(|s| (s - mean_size).powi(2)).sum::<f64>() / n).sqrt();
+            let mean_iat = iats.iter().sum::<f64>() / iats.len() as f64;
+            let std_iat = (iats.iter().map(|t| (t - mean_iat).powi(2)).sum::<f64>()
+                / iats.len() as f64)
+                .sqrt();
+            vec![
+                duration,
+                n,
+                bytes,
+                mean_size,
+                std_size,
+                mean_iat,
+                std_iat,
+                n / duration * 1000.0,     // pkts/sec
+                bytes / duration * 1000.0, // bytes/sec
+            ]
+        }
+        NetmlMode::SampNum | NetmlMode::SampSize => {
+            let mut bins = vec![0.0; Q];
+            let t0 = packets[0].0;
+            for &(t, s) in packets {
+                let b = (((t - t0) / duration * Q as f64) as usize).min(Q - 1);
+                bins[b] += match mode {
+                    NetmlMode::SampNum => 1.0,
+                    _ => s as f64,
+                };
+            }
+            bins
+        }
+    })
+}
+
+/// Extracts the feature rows of every ≥2-packet flow in a trace.
+pub fn trace_features(trace: &PacketTrace, mode: NetmlMode) -> Vec<Vec<f64>> {
+    let mut out = Vec::new();
+    for pkts in trace.group_by_five_tuple().values() {
+        let mut series: Vec<(f64, u16)> =
+            pkts.iter().map(|p| (p.ts_millis(), p.packet_len)).collect();
+        series.sort_by(|a, b| a.0.total_cmp(&b.0));
+        if let Some(f) = flow_features(&series, mode) {
+            out.push(f);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettrace::{FiveTuple, PacketRecord, Protocol};
+
+    fn flow() -> Vec<(f64, u16)> {
+        vec![(0.0, 100), (10.0, 200), (30.0, 100), (60.0, 1400)]
+    }
+
+    #[test]
+    fn single_packet_flows_rejected() {
+        assert!(flow_features(&[(0.0, 100)], NetmlMode::Iat).is_none());
+    }
+
+    #[test]
+    fn iat_and_size_have_fixed_width() {
+        let f = flow();
+        assert_eq!(flow_features(&f, NetmlMode::Iat).unwrap().len(), K);
+        assert_eq!(flow_features(&f, NetmlMode::Size).unwrap().len(), K);
+        assert_eq!(flow_features(&f, NetmlMode::IatSize).unwrap().len(), 2 * K);
+        let iat = flow_features(&f, NetmlMode::Iat).unwrap();
+        assert_eq!(&iat[..3], &[10.0, 20.0, 30.0]);
+        assert_eq!(iat[3], 0.0, "padding");
+    }
+
+    #[test]
+    fn stats_are_correct() {
+        let f = flow();
+        let s = flow_features(&f, NetmlMode::Stats).unwrap();
+        assert_eq!(s[0], 60.0, "duration");
+        assert_eq!(s[1], 4.0, "packet count");
+        assert_eq!(s[2], 1800.0, "bytes");
+        assert!((s[3] - 450.0).abs() < 1e-9, "mean size");
+    }
+
+    #[test]
+    fn samp_bins_conserve_totals() {
+        let f = flow();
+        let num = flow_features(&f, NetmlMode::SampNum).unwrap();
+        assert_eq!(num.iter().sum::<f64>(), 4.0);
+        let size = flow_features(&f, NetmlMode::SampSize).unwrap();
+        assert_eq!(size.iter().sum::<f64>(), 1800.0);
+    }
+
+    #[test]
+    fn trace_extraction_filters_singletons() {
+        let ft = FiveTuple::new(1, 2, 3, 4, Protocol::Tcp);
+        let lone = FiveTuple::new(9, 9, 9, 9, Protocol::Udp);
+        let t = PacketTrace::from_records(vec![
+            PacketRecord::new(0, ft, 100),
+            PacketRecord::new(1_000, ft, 100),
+            PacketRecord::new(2_000, lone, 50),
+        ]);
+        let rows = trace_features(&t, NetmlMode::Stats);
+        assert_eq!(rows.len(), 1, "only the two-packet flow survives");
+    }
+}

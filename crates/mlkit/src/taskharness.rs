@@ -1,0 +1,117 @@
+//! Downstream-task protocols from the paper's Finding 2.
+//!
+//! * [`flow_prediction_dataset`]: the Fig. 11/12 traffic-type prediction
+//!   features — "port number, protocol, bytes/flow, packets/flow, and flow
+//!   duration" — with the time-sorted 80/20 split.
+//! * [`classifier_suite`]: the five model families of Fig. 12 in paper
+//!   order.
+//! * [`accuracy_train_a_test_b`]: train on one trace, test on another
+//!   (train-synthetic/test-real and its variants).
+
+use crate::boosting::GradientBoosting;
+use crate::dataset::Dataset;
+use crate::forest::RandomForest;
+use crate::logistic::LogisticRegression;
+use crate::mlp::MlpClassifier;
+use crate::tree::DecisionTree;
+use crate::Classifier;
+use nettrace::FlowTrace;
+
+/// Builds the prediction dataset from a labeled flow trace, sorted by
+/// start time (unlabeled records are treated as benign).
+pub fn flow_prediction_dataset(trace: &FlowTrace) -> Dataset {
+    let mut flows = trace.flows.clone();
+    flows.sort_by(|a, b| a.start_ms.total_cmp(&b.start_ms));
+    let rows: Vec<Vec<f64>> = flows
+        .iter()
+        .map(|f| {
+            vec![
+                f.five_tuple.src_port as f64,
+                f.five_tuple.dst_port as f64,
+                f.five_tuple.proto.number() as f64,
+                (1.0 + f.bytes as f64).ln(),
+                (1.0 + f.packets as f64).ln(),
+                (1.0 + f.duration_ms).ln(),
+            ]
+        })
+        .collect();
+    let labels = flows
+        .iter()
+        .map(|f| f.label.map(|l| l.class_index()).unwrap_or(0))
+        .collect();
+    Dataset::new(rows, labels)
+}
+
+/// The five classifiers of Fig. 12, in paper order, with CPU-scale
+/// hyper-parameters.
+pub fn classifier_suite() -> Vec<Box<dyn Classifier>> {
+    vec![
+        Box::new(DecisionTree::new(8)),
+        Box::new(LogisticRegression::new()),
+        Box::new(RandomForest::new(12, 8)),
+        Box::new(GradientBoosting::new(12, 3)),
+        Box::new(MlpClassifier::new(vec![32, 32], 30)),
+    ]
+}
+
+/// Trains a classifier on `train` (time-ordered 80%) and evaluates on
+/// `test` (later 20%) — both datasets pre-split by the caller via
+/// [`Dataset::split_ordered`].
+pub fn accuracy_train_a_test_b(
+    clf: &mut dyn Classifier,
+    train: &Dataset,
+    test: &Dataset,
+) -> f64 {
+    clf.fit(train);
+    clf.accuracy(test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettrace::TrafficLabel;
+    use trace_synth::{generate_flows, DatasetKind};
+
+    #[test]
+    fn dataset_extraction_keeps_labels_and_order() {
+        let t = generate_flows(DatasetKind::Ton, 800, 1);
+        let d = flow_prediction_dataset(&t);
+        assert_eq!(d.len(), t.len());
+        assert_eq!(d.n_features, 6);
+        assert!(d.n_classes() > 1, "TON must have multiple classes");
+        let benign = t
+            .flows
+            .iter()
+            .filter(|f| f.label == Some(TrafficLabel::Benign))
+            .count();
+        let zero_labels = d.labels.iter().filter(|&&y| y == 0).count();
+        assert_eq!(benign, zero_labels);
+    }
+
+    #[test]
+    fn suite_has_the_five_paper_classifiers() {
+        let suite = classifier_suite();
+        let names: Vec<&str> = suite.iter().map(|c| c.name()).collect();
+        assert_eq!(names, vec!["DT", "LR", "RF", "GB", "MLP"]);
+    }
+
+    #[test]
+    fn classifiers_beat_majority_on_ton_features() {
+        let t = generate_flows(DatasetKind::Ton, 1_200, 2);
+        let d = flow_prediction_dataset(&t);
+        let (train, test) = d.split_ordered(0.8);
+        let majority = {
+            let mut counts = std::collections::HashMap::new();
+            for &y in &test.labels {
+                *counts.entry(y).or_insert(0usize) += 1;
+            }
+            *counts.values().max().unwrap() as f64 / test.len() as f64
+        };
+        let mut dt = DecisionTree::new(8);
+        let acc = accuracy_train_a_test_b(&mut dt, &train, &test);
+        assert!(
+            acc > majority + 0.05,
+            "DT accuracy {acc} vs majority {majority}"
+        );
+    }
+}

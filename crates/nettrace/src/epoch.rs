@@ -1,0 +1,140 @@
+//! Measurement-epoch splitting and merging.
+//!
+//! The paper's input model (§3.1) is a trace split into `n` consecutive
+//! measurement epochs `D_t`; NetShare's Insight 1 *merges* the epochs into
+//! one giant trace `D` before the flow split, so intra- and inter-epoch
+//! correlations are captured. These helpers implement both directions for
+//! packet and flow traces.
+
+use crate::trace::{FlowTrace, PacketTrace};
+
+/// Splits a packet trace into `n` consecutive equal-duration epochs.
+///
+/// Epoch boundaries are wall-clock (equal time spans), matching how
+/// collectors bucket captures. Packets exactly on a boundary go to the
+/// later epoch; the final epoch is right-closed so no packet is dropped.
+pub fn split_packet_epochs(trace: &PacketTrace, n: usize) -> Vec<PacketTrace> {
+    assert!(n > 0, "need at least one epoch");
+    if trace.is_empty() {
+        return vec![PacketTrace::new(); n];
+    }
+    let t0 = trace.packets.iter().map(|p| p.ts_micros).min().unwrap();
+    let t1 = trace.packets.iter().map(|p| p.ts_micros).max().unwrap();
+    let span = (t1 - t0).max(1);
+    let mut epochs = vec![PacketTrace::new(); n];
+    for p in &trace.packets {
+        let idx = (((p.ts_micros - t0) as u128 * n as u128) / (span as u128 + 1)) as usize;
+        epochs[idx.min(n - 1)].packets.push(*p);
+    }
+    for e in &mut epochs {
+        e.sort_by_time();
+    }
+    epochs
+}
+
+/// Merges per-epoch packet traces back into a single time-ordered trace
+/// (NetShare Insight 1, the "merge" step).
+pub fn merge_packet_epochs(epochs: &[PacketTrace]) -> PacketTrace {
+    let mut all = Vec::with_capacity(epochs.iter().map(|e| e.len()).sum());
+    for e in epochs {
+        all.extend_from_slice(&e.packets);
+    }
+    PacketTrace::from_records(all)
+}
+
+/// Splits a flow trace into `n` consecutive equal-duration epochs by flow
+/// start time. A long-lived flow *record* belongs to the epoch its start
+/// time falls in (flows spanning epochs appear as separate records emitted
+/// by the collector, which is exactly the effect Fig. 1a studies).
+pub fn split_flow_epochs(trace: &FlowTrace, n: usize) -> Vec<FlowTrace> {
+    assert!(n > 0, "need at least one epoch");
+    if trace.is_empty() {
+        return vec![FlowTrace::new(); n];
+    }
+    let t0 = trace.flows.iter().map(|f| f.start_ms).fold(f64::INFINITY, f64::min);
+    let t1 = trace.flows.iter().map(|f| f.start_ms).fold(f64::NEG_INFINITY, f64::max);
+    let span = (t1 - t0).max(f64::MIN_POSITIVE);
+    let mut epochs = vec![FlowTrace::new(); n];
+    for f in &trace.flows {
+        let frac = (f.start_ms - t0) / span;
+        let idx = ((frac * n as f64) as usize).min(n - 1);
+        epochs[idx].flows.push(*f);
+    }
+    for e in &mut epochs {
+        e.sort_by_time();
+    }
+    epochs
+}
+
+/// Merges per-epoch flow traces into one time-ordered trace.
+pub fn merge_flow_epochs(epochs: &[FlowTrace]) -> FlowTrace {
+    let mut all = Vec::with_capacity(epochs.iter().map(|e| e.len()).sum());
+    for e in epochs {
+        all.extend_from_slice(&e.flows);
+    }
+    FlowTrace::from_records(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fivetuple::FiveTuple;
+    use crate::flow::FlowRecord;
+    use crate::packet::PacketRecord;
+    use crate::protocol::Protocol;
+
+    fn ptrace(n: u64) -> PacketTrace {
+        let ft = FiveTuple::new(1, 2, 3, 4, Protocol::Udp);
+        PacketTrace::from_records((0..n).map(|i| PacketRecord::new(i * 1000, ft, 100)).collect())
+    }
+
+    #[test]
+    fn packet_split_merge_round_trips() {
+        let t = ptrace(100);
+        let epochs = split_packet_epochs(&t, 7);
+        assert_eq!(epochs.iter().map(|e| e.len()).sum::<usize>(), 100);
+        let merged = merge_packet_epochs(&epochs);
+        assert_eq!(merged, t);
+    }
+
+    #[test]
+    fn packet_epochs_are_time_ordered_partitions() {
+        let t = ptrace(60);
+        let epochs = split_packet_epochs(&t, 3);
+        for w in epochs.windows(2) {
+            let last = w[0].packets.last().map(|p| p.ts_micros);
+            let first = w[1].packets.first().map(|p| p.ts_micros);
+            if let (Some(a), Some(b)) = (last, first) {
+                assert!(a < b, "epoch boundaries must not interleave");
+            }
+        }
+    }
+
+    #[test]
+    fn flow_split_merge_round_trips() {
+        let ft = FiveTuple::new(1, 2, 3, 4, Protocol::Tcp);
+        let t = FlowTrace::from_records(
+            (0..50)
+                .map(|i| FlowRecord::new(ft, i as f64 * 10.0, 5.0, 1, 40))
+                .collect(),
+        );
+        let epochs = split_flow_epochs(&t, 5);
+        assert_eq!(epochs.iter().map(|e| e.len()).sum::<usize>(), 50);
+        let merged = merge_flow_epochs(&epochs);
+        assert_eq!(merged.len(), 50);
+        assert!((merged.flows[0].start_ms - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_traces_split_cleanly() {
+        assert_eq!(split_packet_epochs(&PacketTrace::new(), 4).len(), 4);
+        assert_eq!(split_flow_epochs(&FlowTrace::new(), 4).len(), 4);
+    }
+
+    #[test]
+    fn single_epoch_is_identity() {
+        let t = ptrace(10);
+        let epochs = split_packet_epochs(&t, 1);
+        assert_eq!(epochs[0], t);
+    }
+}

@@ -1,0 +1,106 @@
+//! Error type shared by the trace (de)serializers.
+
+use std::fmt;
+
+/// Errors produced while parsing or serializing traces.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The byte buffer ended before a complete structure could be read.
+    Truncated {
+        /// What was being parsed when the buffer ran out.
+        context: &'static str,
+        /// Bytes required to make progress.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A magic number or fixed field did not match the expected format.
+    BadMagic {
+        /// What was being parsed.
+        context: &'static str,
+        /// The value found.
+        found: u32,
+    },
+    /// A field held a value outside its valid domain.
+    InvalidField {
+        /// Field name.
+        field: &'static str,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A CSV line could not be parsed.
+    BadCsvLine {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// Wrapped I/O error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Truncated {
+                context,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated input while reading {context}: need {needed} bytes, have {available}"
+            ),
+            TraceError::BadMagic { context, found } => {
+                write!(f, "bad magic number for {context}: {found:#010x}")
+            }
+            TraceError::InvalidField { field, reason } => {
+                write!(f, "invalid value for field `{field}`: {reason}")
+            }
+            TraceError::BadCsvLine { line, reason } => {
+                write!(f, "malformed CSV record on line {line}: {reason}")
+            }
+            TraceError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TraceError::Truncated {
+            context: "pcap record header",
+            needed: 16,
+            available: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("pcap record header"));
+        assert!(s.contains("16"));
+        assert!(s.contains('3'));
+    }
+
+    #[test]
+    fn io_errors_are_wrapped_with_source() {
+        use std::error::Error;
+        let e: TraceError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("boom"));
+    }
+}

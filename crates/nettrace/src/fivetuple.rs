@@ -1,0 +1,142 @@
+//! The IP five-tuple that keys flows.
+
+use crate::protocol::Protocol;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// The classic 5-tuple flow key: source/destination IPv4 address,
+/// source/destination port, and transport protocol.
+///
+/// For protocols without ports (e.g. ICMP) both port fields are zero by
+/// convention, matching how NetFlow collectors export them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FiveTuple {
+    /// Source IPv4 address, stored as its u32 big-endian value.
+    pub src_ip: u32,
+    /// Destination IPv4 address, stored as its u32 big-endian value.
+    pub dst_ip: u32,
+    /// Source port (0 for port-less protocols).
+    pub src_port: u16,
+    /// Destination port (0 for port-less protocols).
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub proto: Protocol,
+}
+
+impl FiveTuple {
+    /// Builds a five-tuple from address/port/protocol components.
+    pub fn new(src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16, proto: Protocol) -> Self {
+        FiveTuple {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto,
+        }
+    }
+
+    /// Builds a five-tuple from `Ipv4Addr` endpoints.
+    pub fn from_addrs(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        proto: Protocol,
+    ) -> Self {
+        FiveTuple::new(u32::from(src), u32::from(dst), src_port, dst_port, proto)
+    }
+
+    /// Source address as an `Ipv4Addr`.
+    pub fn src_addr(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.src_ip)
+    }
+
+    /// Destination address as an `Ipv4Addr`.
+    pub fn dst_addr(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.dst_ip)
+    }
+
+    /// The tuple with source and destination endpoints swapped — the reverse
+    /// direction of the same conversation.
+    pub fn reversed(&self) -> FiveTuple {
+        FiveTuple {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            proto: self.proto,
+        }
+    }
+
+    /// A direction-independent key: the lexicographically smaller of
+    /// `self` and `self.reversed()`. Useful for grouping both directions of
+    /// a conversation under one key.
+    pub fn canonical(&self) -> FiveTuple {
+        let rev = self.reversed();
+        if *self <= rev {
+            *self
+        } else {
+            rev
+        }
+    }
+}
+
+impl fmt::Display for FiveTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} -> {}:{} ({})",
+            self.src_addr(),
+            self.src_port,
+            self.dst_addr(),
+            self.dst_port,
+            self.proto
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> FiveTuple {
+        FiveTuple::from_addrs(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(192, 168, 1, 2),
+            12345,
+            80,
+            Protocol::Tcp,
+        )
+    }
+
+    #[test]
+    fn addr_round_trip() {
+        let ft = t();
+        assert_eq!(ft.src_addr(), Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(ft.dst_addr(), Ipv4Addr::new(192, 168, 1, 2));
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let ft = t();
+        let r = ft.reversed();
+        assert_eq!(r.src_ip, ft.dst_ip);
+        assert_eq!(r.dst_port, ft.src_port);
+        assert_eq!(r.reversed(), ft);
+    }
+
+    #[test]
+    fn canonical_is_direction_independent() {
+        let ft = t();
+        assert_eq!(ft.canonical(), ft.reversed().canonical());
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let s = t().to_string();
+        assert!(s.contains("10.0.0.1:12345"));
+        assert!(s.contains("192.168.1.2:80"));
+        assert!(s.contains("TCP"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Flow-header records (the rows of a NetFlow-style trace).
+
+use crate::fivetuple::FiveTuple;
+use serde::{Deserialize, Serialize};
+
+/// Attack categories used across the labeled evaluation datasets.
+///
+/// CIDDS labels DoS / brute force / port scans; TON_IoT adds nine
+/// evenly-distributed attack classes (paper §6.1). The union is modeled
+/// here so one label type serves every dataset simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AttackType {
+    /// Denial of service.
+    Dos,
+    /// Distributed denial of service.
+    Ddos,
+    /// Password brute-forcing.
+    BruteForce,
+    /// Port scanning.
+    PortScan,
+    /// Backdoor / remote-access implant traffic.
+    Backdoor,
+    /// Code / SQL injection attempts.
+    Injection,
+    /// Man-in-the-middle.
+    Mitm,
+    /// Ransomware command-and-control.
+    Ransomware,
+    /// Network scanning / reconnaissance (distinct from targeted port scans).
+    Scanning,
+    /// Cross-site scripting probes.
+    Xss,
+}
+
+impl AttackType {
+    /// All attack variants, in a stable order (used for one-hot encodings
+    /// and for the TON simulator's nine-way attack mixture).
+    pub const ALL: [AttackType; 10] = [
+        AttackType::Dos,
+        AttackType::Ddos,
+        AttackType::BruteForce,
+        AttackType::PortScan,
+        AttackType::Backdoor,
+        AttackType::Injection,
+        AttackType::Mitm,
+        AttackType::Ransomware,
+        AttackType::Scanning,
+        AttackType::Xss,
+    ];
+
+    /// Stable index of this variant within [`AttackType::ALL`].
+    pub fn index(self) -> usize {
+        AttackType::ALL.iter().position(|a| *a == self).expect("variant in ALL")
+    }
+
+    /// Short name used in CSV output.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackType::Dos => "dos",
+            AttackType::Ddos => "ddos",
+            AttackType::BruteForce => "bruteforce",
+            AttackType::PortScan => "portscan",
+            AttackType::Backdoor => "backdoor",
+            AttackType::Injection => "injection",
+            AttackType::Mitm => "mitm",
+            AttackType::Ransomware => "ransomware",
+            AttackType::Scanning => "scanning",
+            AttackType::Xss => "xss",
+        }
+    }
+
+    /// Parses the short name produced by [`AttackType::name`].
+    pub fn from_name(s: &str) -> Option<AttackType> {
+        AttackType::ALL.iter().copied().find(|a| a.name() == s)
+    }
+}
+
+/// Benign/attack label attached to labeled flow datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrafficLabel {
+    /// Normal traffic.
+    Benign,
+    /// Malicious traffic of the given category.
+    Attack(AttackType),
+}
+
+impl TrafficLabel {
+    /// True when the label is an attack of any type.
+    pub fn is_attack(self) -> bool {
+        matches!(self, TrafficLabel::Attack(_))
+    }
+
+    /// Class index for multi-class prediction: 0 = benign, 1.. = attacks in
+    /// [`AttackType::ALL`] order.
+    pub fn class_index(self) -> usize {
+        match self {
+            TrafficLabel::Benign => 0,
+            TrafficLabel::Attack(a) => 1 + a.index(),
+        }
+    }
+
+    /// Total number of classes representable by [`TrafficLabel::class_index`].
+    pub const NUM_CLASSES: usize = 1 + AttackType::ALL.len();
+}
+
+/// A NetFlow-style flow record: the five-tuple plus measured values.
+///
+/// Field list follows the paper's §6.1 (11 fields): five-tuple (5), start
+/// time, duration, packets, bytes, label, attack type — the last two fused
+/// into `label` here.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowRecord {
+    /// Flow key.
+    pub five_tuple: FiveTuple,
+    /// Flow start time in milliseconds since the start of the trace.
+    pub start_ms: f64,
+    /// Flow duration in milliseconds.
+    pub duration_ms: f64,
+    /// Number of packets in the flow.
+    pub packets: u64,
+    /// Number of bytes in the flow.
+    pub bytes: u64,
+    /// Optional benign/attack label (labeled datasets only).
+    pub label: Option<TrafficLabel>,
+}
+
+impl FlowRecord {
+    /// Builds an unlabeled flow record.
+    pub fn new(
+        five_tuple: FiveTuple,
+        start_ms: f64,
+        duration_ms: f64,
+        packets: u64,
+        bytes: u64,
+    ) -> Self {
+        FlowRecord {
+            five_tuple,
+            start_ms,
+            duration_ms,
+            packets,
+            bytes,
+            label: None,
+        }
+    }
+
+    /// The flow's end time in milliseconds.
+    pub fn end_ms(&self) -> f64 {
+        self.start_ms + self.duration_ms
+    }
+
+    /// Mean bytes per packet, `None` for empty flows.
+    pub fn mean_packet_size(&self) -> Option<f64> {
+        if self.packets == 0 {
+            None
+        } else {
+            Some(self.bytes as f64 / self.packets as f64)
+        }
+    }
+
+    /// Returns a copy with the given label attached.
+    pub fn with_label(mut self, label: TrafficLabel) -> Self {
+        self.label = Some(label);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Protocol;
+
+    fn flow() -> FlowRecord {
+        let ft = FiveTuple::new(1, 2, 1000, 80, Protocol::Tcp);
+        FlowRecord::new(ft, 250.0, 1000.0, 10, 4000)
+    }
+
+    #[test]
+    fn derived_values() {
+        let f = flow();
+        assert!((f.end_ms() - 1250.0).abs() < 1e-9);
+        assert_eq!(f.mean_packet_size(), Some(400.0));
+    }
+
+    #[test]
+    fn empty_flow_has_no_mean_size() {
+        let mut f = flow();
+        f.packets = 0;
+        assert_eq!(f.mean_packet_size(), None);
+    }
+
+    #[test]
+    fn class_indices_are_dense_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(TrafficLabel::Benign.class_index());
+        for a in AttackType::ALL {
+            seen.insert(TrafficLabel::Attack(a).class_index());
+        }
+        assert_eq!(seen.len(), TrafficLabel::NUM_CLASSES);
+        assert_eq!(*seen.iter().max().unwrap(), TrafficLabel::NUM_CLASSES - 1);
+    }
+
+    #[test]
+    fn attack_names_round_trip() {
+        for a in AttackType::ALL {
+            assert_eq!(AttackType::from_name(a.name()), Some(a));
+        }
+        assert_eq!(AttackType::from_name("nope"), None);
+    }
+}

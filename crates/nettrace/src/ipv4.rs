@@ -1,0 +1,254 @@
+//! IPv4 header construction, serialization, and checksum handling.
+//!
+//! NetShare deliberately excludes the header checksum (and the rarely-used
+//! options field) from the learned representation, and regenerates the
+//! checksum as a *derived field* in post-processing (paper §4.2, footnote 4).
+//! This module is that post-processing substrate: it builds wire-correct
+//! 20-byte IPv4 headers from generated field values.
+
+use crate::error::TraceError;
+use crate::packet::PacketRecord;
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Length of an option-less IPv4 header in bytes.
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// A decoded option-less IPv4 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// DSCP/ECN byte.
+    pub tos: u8,
+    /// Total packet length (header + payload) in bytes.
+    pub total_len: u16,
+    /// Identification field.
+    pub identification: u16,
+    /// Flags (3 bits, stored in the low bits; serialized into the top 3
+    /// bits of the flags+fragment-offset word).
+    pub flags: u8,
+    /// Fragment offset in 8-byte units (13 bits).
+    pub frag_offset: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Protocol number.
+    pub protocol: u8,
+    /// Header checksum as serialized.
+    pub checksum: u16,
+    /// Source address (big-endian u32).
+    pub src: u32,
+    /// Destination address (big-endian u32).
+    pub dst: u32,
+}
+
+impl Ipv4Header {
+    /// Builds a header for a generated packet record. The checksum is
+    /// computed, making the result wire-valid.
+    pub fn from_record(rec: &PacketRecord) -> Self {
+        let mut h = Ipv4Header {
+            tos: rec.tos,
+            total_len: rec.packet_len.max(IPV4_HEADER_LEN as u16),
+            identification: rec.ip_id,
+            flags: rec.ip_flags & 0b111,
+            frag_offset: 0,
+            ttl: rec.ttl,
+            protocol: rec.five_tuple.proto.number(),
+            checksum: 0,
+            src: rec.five_tuple.src_ip,
+            dst: rec.five_tuple.dst_ip,
+        };
+        h.checksum = h.compute_checksum();
+        h
+    }
+
+    /// The 16-bit flags+fragment-offset field as serialized on the wire.
+    fn flags_field(&self) -> u16 {
+        ((self.flags as u16) << 13) | (self.frag_offset & 0x1fff)
+    }
+
+    /// Serializes the header into `buf` (20 bytes, version=4, IHL=5).
+    pub fn write(&self, buf: &mut BytesMut) {
+        buf.put_u8(0x45); // version 4, IHL 5 words
+        buf.put_u8(self.tos);
+        buf.put_u16(self.total_len);
+        buf.put_u16(self.identification);
+        buf.put_u16(self.flags_field());
+        buf.put_u8(self.ttl);
+        buf.put_u8(self.protocol);
+        buf.put_u16(self.checksum);
+        buf.put_u32(self.src);
+        buf.put_u32(self.dst);
+    }
+
+    /// Serializes to a fresh 20-byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(IPV4_HEADER_LEN);
+        self.write(&mut buf);
+        buf.to_vec()
+    }
+
+    /// Parses an option-less IPv4 header from the front of `bytes`.
+    pub fn parse(mut bytes: &[u8]) -> Result<Ipv4Header, TraceError> {
+        if bytes.len() < IPV4_HEADER_LEN {
+            return Err(TraceError::Truncated {
+                context: "IPv4 header",
+                needed: IPV4_HEADER_LEN,
+                available: bytes.len(),
+            });
+        }
+        let ver_ihl = bytes.get_u8();
+        if ver_ihl >> 4 != 4 {
+            return Err(TraceError::InvalidField {
+                field: "version",
+                reason: format!("expected 4, found {}", ver_ihl >> 4),
+            });
+        }
+        if ver_ihl & 0x0f != 5 {
+            return Err(TraceError::InvalidField {
+                field: "ihl",
+                reason: format!("only option-less headers (IHL=5) supported, found {}", ver_ihl & 0x0f),
+            });
+        }
+        let tos = bytes.get_u8();
+        let total_len = bytes.get_u16();
+        let identification = bytes.get_u16();
+        let flags_frag = bytes.get_u16();
+        let ttl = bytes.get_u8();
+        let protocol = bytes.get_u8();
+        let checksum = bytes.get_u16();
+        let src = bytes.get_u32();
+        let dst = bytes.get_u32();
+        Ok(Ipv4Header {
+            tos,
+            total_len,
+            identification,
+            flags: (flags_frag >> 13) as u8,
+            frag_offset: flags_frag & 0x1fff,
+            ttl,
+            protocol,
+            checksum,
+            src,
+            dst,
+        })
+    }
+
+    /// Computes the RFC 1071 Internet checksum over this header with the
+    /// checksum field treated as zero.
+    pub fn compute_checksum(&self) -> u16 {
+        let words: [u16; 10] = [
+            0x4500 | self.tos as u16,
+            self.total_len,
+            self.identification,
+            self.flags_field(),
+            ((self.ttl as u16) << 8) | self.protocol as u16,
+            0, // checksum position
+            (self.src >> 16) as u16,
+            (self.src & 0xffff) as u16,
+            (self.dst >> 16) as u16,
+            (self.dst & 0xffff) as u16,
+        ];
+        internet_checksum(&words)
+    }
+
+    /// Whether the serialized checksum matches the header contents.
+    pub fn checksum_valid(&self) -> bool {
+        self.checksum == self.compute_checksum()
+    }
+}
+
+/// RFC 1071 one's-complement sum over 16-bit words.
+pub fn internet_checksum(words: &[u16]) -> u16 {
+    let mut sum: u32 = 0;
+    for &w in words {
+        sum += w as u32;
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fivetuple::FiveTuple;
+    use crate::protocol::Protocol;
+
+    fn rec() -> PacketRecord {
+        let ft = FiveTuple::new(0xc0a80001, 0x08080808, 5353, 53, Protocol::Udp);
+        PacketRecord::new(42, ft, 76)
+    }
+
+    #[test]
+    fn rfc1071_reference_vector() {
+        // Example from RFC 1071 §3: words 0x0001, 0xf203, 0xf4f5, 0xf6f7
+        // sum to 0xddf2 before complement.
+        let cs = internet_checksum(&[0x0001, 0xf203, 0xf4f5, 0xf6f7]);
+        assert_eq!(cs, !0xddf2);
+    }
+
+    #[test]
+    fn wikipedia_reference_header_checksum() {
+        // Canonical worked example: 45 00 00 73 00 00 40 00 40 11 ....
+        // src 192.168.0.1 dst 192.168.0.199 gives checksum 0xb861.
+        let h = Ipv4Header {
+            tos: 0,
+            total_len: 0x73,
+            identification: 0,
+            flags: 0b010,
+            frag_offset: 0,
+            ttl: 64,
+            protocol: 17,
+            checksum: 0,
+            src: u32::from(std::net::Ipv4Addr::new(192, 168, 0, 1)),
+            dst: u32::from(std::net::Ipv4Addr::new(192, 168, 0, 199)),
+        };
+        assert_eq!(h.compute_checksum(), 0xb861);
+    }
+
+    #[test]
+    fn serialize_parse_round_trip_preserves_everything() {
+        let h = Ipv4Header::from_record(&rec());
+        let bytes = h.to_bytes();
+        assert_eq!(bytes.len(), IPV4_HEADER_LEN);
+        let parsed = Ipv4Header::parse(&bytes).unwrap();
+        assert_eq!(parsed, h);
+        assert!(parsed.checksum_valid());
+    }
+
+    #[test]
+    fn corrupting_a_byte_invalidates_checksum() {
+        let h = Ipv4Header::from_record(&rec());
+        let mut bytes = h.to_bytes();
+        bytes[8] ^= 0xff; // TTL
+        let parsed = Ipv4Header::parse(&bytes).unwrap();
+        assert!(!parsed.checksum_valid());
+    }
+
+    #[test]
+    fn short_buffer_is_truncated_error() {
+        match Ipv4Header::parse(&[0x45, 0x00]) {
+            Err(TraceError::Truncated { needed, available, .. }) => {
+                assert_eq!(needed, IPV4_HEADER_LEN);
+                assert_eq!(available, 2);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_ipv4_version_rejected() {
+        let mut bytes = Ipv4Header::from_record(&rec()).to_bytes();
+        bytes[0] = 0x65; // version 6
+        assert!(matches!(
+            Ipv4Header::parse(&bytes),
+            Err(TraceError::InvalidField { field: "version", .. })
+        ));
+    }
+
+    #[test]
+    fn total_len_clamped_to_header_len() {
+        let mut r = rec();
+        r.packet_len = 4; // absurd
+        let h = Ipv4Header::from_record(&r);
+        assert_eq!(h.total_len as usize, IPV4_HEADER_LEN);
+    }
+}

@@ -1,0 +1,41 @@
+//! # nettrace
+//!
+//! Packet- and flow-header trace model for the NetShare reproduction.
+//!
+//! This crate is the substrate every other crate builds on. It defines:
+//!
+//! * the record model: [`FiveTuple`], [`PacketRecord`], [`FlowRecord`] and
+//!   the trace containers [`PacketTrace`] / [`FlowTrace`];
+//! * IPv4 header construction with correct checksums ([`ipv4`]) — NetShare
+//!   excludes the checksum from learning and regenerates it as a derived
+//!   field in post-processing;
+//! * classic pcap serialization ([`pcap`]) and a UGR16-style NetFlow CSV
+//!   format ([`netflow`]);
+//! * flow aggregation from packet traces with inactive/active timeouts
+//!   ([`aggregate`]), reproducing the collector behaviour the paper relies
+//!   on ("the same flow record can appear multiple times within a single
+//!   measurement epoch");
+//! * measurement-epoch splitting and merging ([`epoch`]);
+//! * the protocol-compliance predicates of the paper's Appendix B
+//!   ([`validity`]).
+
+pub mod aggregate;
+pub mod epoch;
+pub mod error;
+pub mod fivetuple;
+pub mod flow;
+pub mod ipv4;
+pub mod netflow;
+pub mod packet;
+pub mod pcap;
+pub mod protocol;
+pub mod trace;
+pub mod validity;
+
+pub use aggregate::{aggregate_flows, AggregationConfig};
+pub use error::TraceError;
+pub use fivetuple::FiveTuple;
+pub use flow::{AttackType, FlowRecord, TrafficLabel};
+pub use packet::PacketRecord;
+pub use protocol::Protocol;
+pub use trace::{FlowTrace, PacketTrace};

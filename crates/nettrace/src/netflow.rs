@@ -1,0 +1,169 @@
+//! UGR16-style NetFlow CSV serialization.
+//!
+//! UGR16 distributes NetFlow v9 exports as CSV with one flow per line.
+//! We mirror that layout (timestamps, duration, five-tuple, packets, bytes,
+//! label, attack type) so generated traces can be consumed by existing
+//! NetFlow tooling.
+
+use crate::error::TraceError;
+use crate::fivetuple::FiveTuple;
+use crate::flow::{AttackType, FlowRecord, TrafficLabel};
+use crate::protocol::Protocol;
+use crate::trace::FlowTrace;
+use std::fmt::Write as _;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// Column header line written by [`write_netflow_csv`].
+pub const CSV_HEADER: &str = "start_ms,duration_ms,src_ip,dst_ip,src_port,dst_port,proto,packets,bytes,label,attack_type";
+
+/// Serializes a flow trace to CSV (with header line).
+pub fn write_netflow_csv(trace: &FlowTrace) -> String {
+    let mut out = String::with_capacity(32 + trace.len() * 64);
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for f in &trace.flows {
+        let (label, attack) = match f.label {
+            None => ("", ""),
+            Some(TrafficLabel::Benign) => ("benign", ""),
+            Some(TrafficLabel::Attack(a)) => ("attack", a.name()),
+        };
+        let _ = writeln!(
+            out,
+            "{:.3},{:.3},{},{},{},{},{},{},{},{},{}",
+            f.start_ms,
+            f.duration_ms,
+            f.five_tuple.src_addr(),
+            f.five_tuple.dst_addr(),
+            f.five_tuple.src_port,
+            f.five_tuple.dst_port,
+            f.five_tuple.proto.number(),
+            f.packets,
+            f.bytes,
+            label,
+            attack,
+        );
+    }
+    out
+}
+
+/// Parses CSV produced by [`write_netflow_csv`] back into a [`FlowTrace`].
+pub fn read_netflow_csv(csv: &str) -> Result<FlowTrace, TraceError> {
+    let mut flows = Vec::new();
+    for (i, line) in csv.lines().enumerate() {
+        if i == 0 {
+            if line != CSV_HEADER {
+                return Err(TraceError::BadCsvLine {
+                    line: 1,
+                    reason: format!("unexpected header: {line}"),
+                });
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = i + 1;
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != 11 {
+            return Err(TraceError::BadCsvLine {
+                line: lineno,
+                reason: format!("expected 11 columns, found {}", cols.len()),
+            });
+        }
+        let parse_err = |what: &str, v: &str| TraceError::BadCsvLine {
+            line: lineno,
+            reason: format!("bad {what}: {v}"),
+        };
+        let start_ms: f64 = cols[0].parse().map_err(|_| parse_err("start_ms", cols[0]))?;
+        let duration_ms: f64 = cols[1].parse().map_err(|_| parse_err("duration_ms", cols[1]))?;
+        let src = Ipv4Addr::from_str(cols[2]).map_err(|_| parse_err("src_ip", cols[2]))?;
+        let dst = Ipv4Addr::from_str(cols[3]).map_err(|_| parse_err("dst_ip", cols[3]))?;
+        let src_port: u16 = cols[4].parse().map_err(|_| parse_err("src_port", cols[4]))?;
+        let dst_port: u16 = cols[5].parse().map_err(|_| parse_err("dst_port", cols[5]))?;
+        let proto_num: u8 = cols[6].parse().map_err(|_| parse_err("proto", cols[6]))?;
+        let packets: u64 = cols[7].parse().map_err(|_| parse_err("packets", cols[7]))?;
+        let bytes: u64 = cols[8].parse().map_err(|_| parse_err("bytes", cols[8]))?;
+        let label = match cols[9] {
+            "" => None,
+            "benign" => Some(TrafficLabel::Benign),
+            "attack" => {
+                let a = AttackType::from_name(cols[10])
+                    .ok_or_else(|| parse_err("attack_type", cols[10]))?;
+                Some(TrafficLabel::Attack(a))
+            }
+            other => return Err(parse_err("label", other)),
+        };
+        flows.push(FlowRecord {
+            five_tuple: FiveTuple::from_addrs(src, dst, src_port, dst_port, Protocol::from_number(proto_num)),
+            start_ms,
+            duration_ms,
+            packets,
+            bytes,
+            label,
+        });
+    }
+    Ok(FlowTrace { flows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FlowTrace {
+        let ft = |sp, dp, pr| FiveTuple::new(0x0a010101, 0xc0a80102, sp, dp, pr);
+        FlowTrace::from_records(vec![
+            FlowRecord::new(ft(40000, 443, Protocol::Tcp), 0.5, 120.25, 10, 9000),
+            FlowRecord::new(ft(5353, 53, Protocol::Udp), 3.0, 1.0, 1, 76)
+                .with_label(TrafficLabel::Benign),
+            FlowRecord::new(ft(1, 22, Protocol::Tcp), 5.125, 800.0, 300, 30000)
+                .with_label(TrafficLabel::Attack(AttackType::BruteForce)),
+        ])
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let t = sample();
+        let csv = write_netflow_csv(&t);
+        let back = read_netflow_csv(&csv).unwrap();
+        assert_eq!(back.len(), t.len());
+        for (a, b) in back.flows.iter().zip(&t.flows) {
+            assert_eq!(a.five_tuple, b.five_tuple);
+            assert!((a.start_ms - b.start_ms).abs() < 1e-3);
+            assert_eq!(a.packets, b.packets);
+            assert_eq!(a.bytes, b.bytes);
+            assert_eq!(a.label, b.label);
+        }
+    }
+
+    #[test]
+    fn header_mismatch_is_error() {
+        assert!(matches!(
+            read_netflow_csv("wrong,header\n"),
+            Err(TraceError::BadCsvLine { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_column_count_reports_line_number() {
+        let csv = format!("{CSV_HEADER}\n1,2,3\n");
+        match read_netflow_csv(&csv) {
+            Err(TraceError::BadCsvLine { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected BadCsvLine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_attack_type_rejected() {
+        let csv = format!(
+            "{CSV_HEADER}\n0.000,1.000,1.2.3.4,5.6.7.8,1,2,6,1,40,attack,martian\n"
+        );
+        assert!(read_netflow_csv(&csv).is_err());
+    }
+
+    #[test]
+    fn empty_trailing_lines_ignored() {
+        let csv = format!("{CSV_HEADER}\n\n");
+        assert!(read_netflow_csv(&csv).unwrap().is_empty());
+    }
+}

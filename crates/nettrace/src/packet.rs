@@ -1,0 +1,64 @@
+//! Packet-header records (the rows of a PCAP-style trace).
+
+use crate::fivetuple::FiveTuple;
+use serde::{Deserialize, Serialize};
+
+/// A single packet-header observation.
+///
+/// This mirrors the fields NetShare learns for PCAP data (paper §4.1,
+/// Insight 1): the arrival timestamp, the IPv4 header fields that are not
+/// derived (the checksum and options are excluded and regenerated in
+/// post-processing), and the L4 ports for TCP/UDP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PacketRecord {
+    /// Arrival timestamp in microseconds since the start of the capture.
+    pub ts_micros: u64,
+    /// The five-tuple identifying the packet's flow.
+    pub five_tuple: FiveTuple,
+    /// Total IP packet length in bytes (IP header + payload).
+    pub packet_len: u16,
+    /// IPv4 time-to-live.
+    pub ttl: u8,
+    /// IPv4 type-of-service / DSCP byte.
+    pub tos: u8,
+    /// IPv4 identification field.
+    pub ip_id: u16,
+    /// IPv4 flags (3 bits: reserved, DF, MF) — stored in the low 3 bits.
+    pub ip_flags: u8,
+}
+
+impl PacketRecord {
+    /// Builds a packet record with the common defaults for the fields
+    /// downstream code rarely varies (TTL 64, TOS 0, id 0, DF set).
+    pub fn new(ts_micros: u64, five_tuple: FiveTuple, packet_len: u16) -> Self {
+        PacketRecord {
+            ts_micros,
+            five_tuple,
+            packet_len,
+            ttl: 64,
+            tos: 0,
+            ip_id: 0,
+            ip_flags: 0b010, // DF
+        }
+    }
+
+    /// Timestamp in milliseconds (the unit used by the paper's PAT metric).
+    pub fn ts_millis(&self) -> f64 {
+        self.ts_micros as f64 / 1_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Protocol;
+
+    #[test]
+    fn defaults_are_sane() {
+        let ft = FiveTuple::new(1, 2, 3, 4, Protocol::Udp);
+        let p = PacketRecord::new(1_500_000, ft, 128);
+        assert_eq!(p.ttl, 64);
+        assert_eq!(p.ip_flags & 0b010, 0b010, "DF bit set by default");
+        assert!((p.ts_millis() - 1500.0).abs() < 1e-9);
+    }
+}

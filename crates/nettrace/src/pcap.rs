@@ -1,0 +1,228 @@
+//! Classic pcap (libpcap) serialization of packet traces.
+//!
+//! NetShare's post-processing converts generated records into a PCAP
+//! dataset; this module performs that conversion, writing wire-valid
+//! IPv4 headers (checksum regenerated per record) plus minimal TCP/UDP/ICMP
+//! transport headers so the five-tuple is recoverable by standard tools.
+//!
+//! The link type is `LINKTYPE_RAW` (101): packets start directly at the
+//! IPv4 header, which matches the paper's L3-only scope.
+
+use crate::error::TraceError;
+use crate::fivetuple::FiveTuple;
+use crate::ipv4::{Ipv4Header, IPV4_HEADER_LEN};
+use crate::packet::PacketRecord;
+use crate::protocol::Protocol;
+use crate::trace::PacketTrace;
+use bytes::{Buf, BufMut, BytesMut};
+
+/// pcap magic for microsecond-resolution captures, written big-endian here.
+pub const PCAP_MAGIC: u32 = 0xa1b2c3d4;
+/// LINKTYPE_RAW: packet data begins at the IP header.
+pub const LINKTYPE_RAW: u32 = 101;
+/// Per-packet bytes captured: IPv4 header + up to 20 bytes of transport.
+const SNAPLEN: u32 = 65535;
+
+/// Serializes a packet trace to classic pcap bytes.
+///
+/// Only headers are materialized (IP + minimal transport); the payload is
+/// *not* synthesized — the IP `total_len` field still records the full
+/// generated packet length, so length distributions survive, but the
+/// capture is header-truncated exactly like a typical `snaplen`-limited
+/// backbone capture (e.g. CAIDA's).
+pub fn write_pcap(trace: &PacketTrace) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(24 + trace.len() * 64);
+    // Global header.
+    buf.put_u32(PCAP_MAGIC);
+    buf.put_u16(2); // version major
+    buf.put_u16(4); // version minor
+    buf.put_i32(0); // thiszone
+    buf.put_u32(0); // sigfigs
+    buf.put_u32(SNAPLEN);
+    buf.put_u32(LINKTYPE_RAW);
+
+    for p in &trace.packets {
+        let frame = build_frame(p);
+        buf.put_u32((p.ts_micros / 1_000_000) as u32); // ts_sec
+        buf.put_u32((p.ts_micros % 1_000_000) as u32); // ts_usec
+        buf.put_u32(frame.len() as u32); // incl_len (captured)
+        buf.put_u32(p.packet_len as u32); // orig_len (full packet)
+        buf.put_slice(&frame);
+    }
+    buf.to_vec()
+}
+
+/// Builds the captured bytes for one record: IPv4 header + minimal
+/// transport header carrying the ports.
+fn build_frame(p: &PacketRecord) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(IPV4_HEADER_LEN + 20);
+    Ipv4Header::from_record(p).write(&mut buf);
+    match p.five_tuple.proto {
+        Protocol::Tcp => {
+            // 20-byte option-less TCP header; seq/ack zero, ACK flag set.
+            buf.put_u16(p.five_tuple.src_port);
+            buf.put_u16(p.five_tuple.dst_port);
+            buf.put_u32(0); // seq
+            buf.put_u32(0); // ack
+            buf.put_u8(0x50); // data offset 5
+            buf.put_u8(0x10); // ACK
+            buf.put_u16(65535); // window
+            buf.put_u16(0); // checksum (not computed for truncated capture)
+            buf.put_u16(0); // urgent
+        }
+        Protocol::Udp => {
+            buf.put_u16(p.five_tuple.src_port);
+            buf.put_u16(p.five_tuple.dst_port);
+            // UDP length = full datagram length (packet_len - IP header).
+            buf.put_u16(p.packet_len.saturating_sub(IPV4_HEADER_LEN as u16));
+            buf.put_u16(0); // checksum optional in IPv4
+        }
+        Protocol::Icmp => {
+            buf.put_u8(8); // echo request
+            buf.put_u8(0); // code
+            buf.put_u16(0); // checksum
+            buf.put_u32(0); // id/seq
+        }
+        Protocol::Other(_) => {}
+    }
+    buf.to_vec()
+}
+
+/// Parses classic pcap bytes (LINKTYPE_RAW, as produced by [`write_pcap`])
+/// back into a [`PacketTrace`].
+pub fn read_pcap(mut bytes: &[u8]) -> Result<PacketTrace, TraceError> {
+    if bytes.len() < 24 {
+        return Err(TraceError::Truncated {
+            context: "pcap global header",
+            needed: 24,
+            available: bytes.len(),
+        });
+    }
+    let magic = bytes.get_u32();
+    if magic != PCAP_MAGIC {
+        return Err(TraceError::BadMagic {
+            context: "pcap global header",
+            found: magic,
+        });
+    }
+    bytes.advance(16); // version, thiszone, sigfigs, snaplen
+    let linktype = bytes.get_u32();
+    if linktype != LINKTYPE_RAW {
+        return Err(TraceError::InvalidField {
+            field: "linktype",
+            reason: format!("only LINKTYPE_RAW (101) supported, found {linktype}"),
+        });
+    }
+
+    let mut packets = Vec::new();
+    while !bytes.is_empty() {
+        if bytes.len() < 16 {
+            return Err(TraceError::Truncated {
+                context: "pcap record header",
+                needed: 16,
+                available: bytes.len(),
+            });
+        }
+        let ts_sec = bytes.get_u32() as u64;
+        let ts_usec = bytes.get_u32() as u64;
+        let incl_len = bytes.get_u32() as usize;
+        let orig_len = bytes.get_u32() as usize;
+        if bytes.len() < incl_len {
+            return Err(TraceError::Truncated {
+                context: "pcap packet data",
+                needed: incl_len,
+                available: bytes.len(),
+            });
+        }
+        let frame = &bytes[..incl_len];
+        bytes.advance(incl_len);
+
+        let ip = Ipv4Header::parse(frame)?;
+        let l4 = &frame[IPV4_HEADER_LEN..];
+        let proto = Protocol::from_number(ip.protocol);
+        let (src_port, dst_port) = if proto.has_ports() && l4.len() >= 4 {
+            (
+                u16::from_be_bytes([l4[0], l4[1]]),
+                u16::from_be_bytes([l4[2], l4[3]]),
+            )
+        } else {
+            (0, 0)
+        };
+        packets.push(PacketRecord {
+            ts_micros: ts_sec * 1_000_000 + ts_usec,
+            five_tuple: FiveTuple::new(ip.src, ip.dst, src_port, dst_port, proto),
+            packet_len: orig_len as u16,
+            ttl: ip.ttl,
+            tos: ip.tos,
+            ip_id: ip.identification,
+            ip_flags: ip.flags,
+        });
+    }
+    Ok(PacketTrace { packets })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> PacketTrace {
+        let mk = |ts, sp, dp, proto, len| {
+            PacketRecord::new(ts, FiveTuple::new(0x0a000001, 0x0a000002, sp, dp, proto), len)
+        };
+        PacketTrace::from_records(vec![
+            mk(1_000_001, 40000, 80, Protocol::Tcp, 1500),
+            mk(2_500_000, 5353, 53, Protocol::Udp, 76),
+            mk(3_000_000, 0, 0, Protocol::Icmp, 84),
+            mk(4_000_000, 0, 0, Protocol::Other(89), 120),
+        ])
+    }
+
+    #[test]
+    fn round_trip_preserves_records() {
+        let t = sample_trace();
+        let bytes = write_pcap(&t);
+        let back = read_pcap(&bytes).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn checksums_in_output_are_valid() {
+        let bytes = write_pcap(&sample_trace());
+        // First packet's IP header starts at offset 24 (global) + 16 (record).
+        let ip = Ipv4Header::parse(&bytes[40..]).unwrap();
+        assert!(ip.checksum_valid());
+    }
+
+    #[test]
+    fn empty_trace_is_just_global_header() {
+        let bytes = write_pcap(&PacketTrace::new());
+        assert_eq!(bytes.len(), 24);
+        assert!(read_pcap(&bytes).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut bytes = write_pcap(&sample_trace());
+        bytes[0] = 0;
+        assert!(matches!(
+            read_pcap(&bytes),
+            Err(TraceError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_record_detected() {
+        let bytes = write_pcap(&sample_trace());
+        assert!(matches!(
+            read_pcap(&bytes[..bytes.len() - 5]),
+            Err(TraceError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn orig_len_preserves_full_packet_length() {
+        let t = sample_trace();
+        let back = read_pcap(&write_pcap(&t)).unwrap();
+        assert_eq!(back.packets[0].packet_len, 1500, "orig_len carries the generated length");
+    }
+}

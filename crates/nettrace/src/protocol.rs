@@ -1,0 +1,113 @@
+//! IP protocol numbers for the transport layer.
+
+use serde::{Deserialize, Serialize};
+
+/// Transport-layer protocol carried in the IPv4 `protocol` field.
+///
+/// NetShare's scope (paper §3.1) is the IPv4 five-tuple; TCP, UDP and ICMP
+/// cover the protocols present in all six evaluation traces, with
+/// [`Protocol::Other`] preserving anything else losslessly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Protocol {
+    /// ICMP (protocol number 1). ICMP packets carry no ports.
+    Icmp,
+    /// TCP (protocol number 6).
+    Tcp,
+    /// UDP (protocol number 17).
+    Udp,
+    /// Any other IP protocol, identified by its IANA number.
+    Other(u8),
+}
+
+impl Protocol {
+    /// The IANA protocol number as it appears in the IPv4 header.
+    pub fn number(self) -> u8 {
+        match self {
+            Protocol::Icmp => 1,
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+            Protocol::Other(n) => n,
+        }
+    }
+
+    /// Builds a `Protocol` from an IANA protocol number, canonicalizing the
+    /// three named variants.
+    pub fn from_number(n: u8) -> Self {
+        match n {
+            1 => Protocol::Icmp,
+            6 => Protocol::Tcp,
+            17 => Protocol::Udp,
+            other => Protocol::Other(other),
+        }
+    }
+
+    /// Whether this protocol carries L4 port numbers.
+    pub fn has_ports(self) -> bool {
+        matches!(self, Protocol::Tcp | Protocol::Udp)
+    }
+
+    /// Minimum valid IP packet size for this protocol in bytes
+    /// (paper Appendix B, Test 4): 20-byte IP header plus the minimum
+    /// transport header (20 for TCP, 8 for UDP, 8 for ICMP).
+    pub fn min_packet_size(self) -> u16 {
+        match self {
+            Protocol::Tcp => 40,
+            Protocol::Udp => 28,
+            Protocol::Icmp => 28,
+            Protocol::Other(_) => 20,
+        }
+    }
+
+    /// Canonical short name used in NetFlow CSV output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Icmp => "ICMP",
+            Protocol::Tcp => "TCP",
+            Protocol::Udp => "UDP",
+            Protocol::Other(_) => "OTHER",
+        }
+    }
+}
+
+impl std::fmt::Display for Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Protocol::Other(n) => write!(f, "OTHER({n})"),
+            p => f.write_str(p.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_round_trips() {
+        for n in 0..=255u8 {
+            assert_eq!(Protocol::from_number(n).number(), n);
+        }
+    }
+
+    #[test]
+    fn named_variants_are_canonical() {
+        assert_eq!(Protocol::from_number(6), Protocol::Tcp);
+        assert_eq!(Protocol::from_number(17), Protocol::Udp);
+        assert_eq!(Protocol::from_number(1), Protocol::Icmp);
+        assert!(matches!(Protocol::from_number(47), Protocol::Other(47)));
+    }
+
+    #[test]
+    fn only_tcp_udp_have_ports() {
+        assert!(Protocol::Tcp.has_ports());
+        assert!(Protocol::Udp.has_ports());
+        assert!(!Protocol::Icmp.has_ports());
+        assert!(!Protocol::Other(89).has_ports());
+    }
+
+    #[test]
+    fn minimum_sizes_match_appendix_b() {
+        assert_eq!(Protocol::Tcp.min_packet_size(), 40);
+        assert_eq!(Protocol::Udp.min_packet_size(), 28);
+    }
+}

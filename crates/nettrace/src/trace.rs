@@ -1,0 +1,203 @@
+//! Trace containers: ordered collections of packet or flow records.
+
+use crate::fivetuple::FiveTuple;
+use crate::flow::FlowRecord;
+use crate::packet::PacketRecord;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An ordered packet-header trace (PCAP-style).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PacketTrace {
+    /// Packets, expected (but not required) to be in timestamp order.
+    pub packets: Vec<PacketRecord>,
+}
+
+impl PacketTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        PacketTrace::default()
+    }
+
+    /// Builds a trace from records, sorting by timestamp.
+    pub fn from_records(mut packets: Vec<PacketRecord>) -> Self {
+        packets.sort_by_key(|p| p.ts_micros);
+        PacketTrace { packets }
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Whether the trace holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Sorts packets by arrival time (stable, preserving capture order for
+    /// equal timestamps). NetShare post-processing remerges generated
+    /// packets "according to the raw timestamp".
+    pub fn sort_by_time(&mut self) {
+        self.packets.sort_by_key(|p| p.ts_micros);
+    }
+
+    /// Span of the trace in microseconds (last - first timestamp), 0 if
+    /// fewer than two packets.
+    pub fn span_micros(&self) -> u64 {
+        match (
+            self.packets.iter().map(|p| p.ts_micros).min(),
+            self.packets.iter().map(|p| p.ts_micros).max(),
+        ) {
+            (Some(a), Some(b)) => b - a,
+            _ => 0,
+        }
+    }
+
+    /// Groups packets by five-tuple, preserving per-group arrival order.
+    pub fn group_by_five_tuple(&self) -> HashMap<FiveTuple, Vec<&PacketRecord>> {
+        let mut groups: HashMap<FiveTuple, Vec<&PacketRecord>> = HashMap::new();
+        for p in &self.packets {
+            groups.entry(p.five_tuple).or_default().push(p);
+        }
+        groups
+    }
+
+    /// Number of distinct five-tuples.
+    pub fn unique_flows(&self) -> usize {
+        let mut set = std::collections::HashSet::new();
+        for p in &self.packets {
+            set.insert(p.five_tuple);
+        }
+        set.len()
+    }
+
+    /// Keeps only the first `n` packets (by current order).
+    pub fn truncate(&mut self, n: usize) {
+        self.packets.truncate(n);
+    }
+}
+
+/// An ordered flow-header trace (NetFlow-style).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FlowTrace {
+    /// Flow records, expected (but not required) to be in start-time order.
+    pub flows: Vec<FlowRecord>,
+}
+
+impl FlowTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        FlowTrace::default()
+    }
+
+    /// Builds a trace from records, sorting by start time.
+    pub fn from_records(mut flows: Vec<FlowRecord>) -> Self {
+        flows.sort_by(|a, b| a.start_ms.total_cmp(&b.start_ms));
+        FlowTrace { flows }
+    }
+
+    /// Number of flow records.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether the trace holds no flows.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Sorts records by flow start time.
+    pub fn sort_by_time(&mut self) {
+        self.flows.sort_by(|a, b| a.start_ms.total_cmp(&b.start_ms));
+    }
+
+    /// Span of the trace in milliseconds (max end - min start), 0 when empty.
+    pub fn span_ms(&self) -> f64 {
+        let start = self.flows.iter().map(|f| f.start_ms).fold(f64::INFINITY, f64::min);
+        let end = self.flows.iter().map(|f| f.end_ms()).fold(f64::NEG_INFINITY, f64::max);
+        if end > start {
+            end - start
+        } else {
+            0.0
+        }
+    }
+
+    /// Groups flow records by five-tuple, preserving per-group record order.
+    ///
+    /// This is the paper's Fig. 1a quantity: multiple records sharing a
+    /// five-tuple arise from collector timeouts and epoch boundaries.
+    pub fn group_by_five_tuple(&self) -> HashMap<FiveTuple, Vec<&FlowRecord>> {
+        let mut groups: HashMap<FiveTuple, Vec<&FlowRecord>> = HashMap::new();
+        for f in &self.flows {
+            groups.entry(f.five_tuple).or_default().push(f);
+        }
+        groups
+    }
+
+    /// Number of distinct five-tuples.
+    pub fn unique_flows(&self) -> usize {
+        let mut set = std::collections::HashSet::new();
+        for f in &self.flows {
+            set.insert(f.five_tuple);
+        }
+        set.len()
+    }
+
+    /// Keeps only the first `n` records (by current order).
+    pub fn truncate(&mut self, n: usize) {
+        self.flows.truncate(n);
+    }
+
+    /// Total packets across all records.
+    pub fn total_packets(&self) -> u64 {
+        self.flows.iter().map(|f| f.packets).sum()
+    }
+
+    /// Total bytes across all records.
+    pub fn total_bytes(&self) -> u64 {
+        self.flows.iter().map(|f| f.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Protocol;
+
+    fn ft(sp: u16) -> FiveTuple {
+        FiveTuple::new(0x0a000001, 0x0a000002, sp, 80, Protocol::Tcp)
+    }
+
+    #[test]
+    fn packet_trace_sorts_and_spans() {
+        let t = PacketTrace::from_records(vec![
+            PacketRecord::new(3000, ft(1), 100),
+            PacketRecord::new(1000, ft(1), 100),
+            PacketRecord::new(2000, ft(2), 100),
+        ]);
+        assert_eq!(t.packets[0].ts_micros, 1000);
+        assert_eq!(t.span_micros(), 2000);
+        assert_eq!(t.unique_flows(), 2);
+    }
+
+    #[test]
+    fn flow_grouping_counts_repeated_records() {
+        let t = FlowTrace::from_records(vec![
+            FlowRecord::new(ft(1), 0.0, 10.0, 5, 500),
+            FlowRecord::new(ft(1), 20.0, 10.0, 3, 300),
+            FlowRecord::new(ft(2), 5.0, 1.0, 1, 40),
+        ]);
+        let g = t.group_by_five_tuple();
+        assert_eq!(g[&ft(1)].len(), 2);
+        assert_eq!(g[&ft(2)].len(), 1);
+        assert_eq!(t.total_packets(), 9);
+        assert_eq!(t.total_bytes(), 840);
+    }
+
+    #[test]
+    fn empty_traces_have_zero_span() {
+        assert_eq!(PacketTrace::new().span_micros(), 0);
+        assert_eq!(FlowTrace::new().span_ms(), 0.0);
+    }
+}

@@ -1,0 +1,283 @@
+//! 2-D convolution (stride 1, zero padding) with hand-written backprop.
+//!
+//! Exists for PAC-GAN, whose discriminator is a CNN over the packet's
+//! greyscale byte grid. Inputs and outputs are flattened channel-major:
+//! a batch row holds `c_in · h · w` values as `[channel][row][col]`.
+
+use crate::tensor::Tensor;
+use crate::Parameterized;
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A stride-1 2-D convolution layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conv2d {
+    c_in: usize,
+    c_out: usize,
+    k: usize,
+    h: usize,
+    w: usize,
+    pad: usize,
+    /// Kernels, `c_out × (c_in·k·k)` row-major.
+    weight: Tensor,
+    /// Per-output-channel bias.
+    bias: Tensor,
+    grad_w: Tensor,
+    grad_b: Tensor,
+    #[serde(skip)]
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Builds a convolution over `h × w` inputs with `c_in` channels,
+    /// `c_out` output channels, `k × k` kernels and `pad` zero padding.
+    ///
+    /// # Panics
+    /// Panics if the kernel cannot fit the padded input.
+    pub fn new<R: Rng + ?Sized>(
+        c_in: usize,
+        c_out: usize,
+        k: usize,
+        h: usize,
+        w: usize,
+        pad: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(h + 2 * pad >= k && w + 2 * pad >= k, "kernel larger than padded input");
+        Conv2d {
+            c_in,
+            c_out,
+            k,
+            h,
+            w,
+            pad,
+            weight: Tensor::he(c_in * k * k, c_out, rng).transpose(),
+            bias: Tensor::zeros(1, c_out),
+            grad_w: Tensor::zeros(c_out, c_in * k * k),
+            grad_b: Tensor::zeros(1, c_out),
+            cached_input: None,
+        }
+    }
+
+    /// Output height.
+    pub fn h_out(&self) -> usize {
+        self.h + 2 * self.pad - self.k + 1
+    }
+
+    /// Output width.
+    pub fn w_out(&self) -> usize {
+        self.w + 2 * self.pad - self.k + 1
+    }
+
+    /// Output row width (`c_out · h_out · w_out`).
+    pub fn out_dim(&self) -> usize {
+        self.c_out * self.h_out() * self.w_out()
+    }
+
+    /// Input row width (`c_in · h · w`).
+    pub fn in_dim(&self) -> usize {
+        self.c_in * self.h * self.w
+    }
+
+    #[inline]
+    fn in_px(&self, row: &[f32], c: usize, y: isize, x: isize) -> f32 {
+        if y < 0 || x < 0 || y >= self.h as isize || x >= self.w as isize {
+            0.0
+        } else {
+            row[c * self.h * self.w + y as usize * self.w + x as usize]
+        }
+    }
+}
+
+impl Parameterized for Conv2d {
+    fn parameters(&self) -> Vec<&Tensor> {
+        vec![&self.weight, &self.bias]
+    }
+    fn parameters_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+    fn gradients_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.grad_w, &mut self.grad_b]
+    }
+}
+
+impl crate::layers::Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.cols(), self.in_dim(), "conv input width mismatch");
+        let (ho, wo) = (self.h_out(), self.w_out());
+        let mut out = Tensor::zeros(input.rows(), self.out_dim());
+        for b in 0..input.rows() {
+            let row = input.row(b);
+            for co in 0..self.c_out {
+                let kernel = self.weight.row(co);
+                let bias = self.bias.data()[co];
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let mut acc = bias;
+                        for ci in 0..self.c_in {
+                            for ky in 0..self.k {
+                                for kx in 0..self.k {
+                                    let iy = oy as isize + ky as isize - self.pad as isize;
+                                    let ix = ox as isize + kx as isize - self.pad as isize;
+                                    acc += kernel[ci * self.k * self.k + ky * self.k + kx]
+                                        * self.in_px(row, ci, iy, ix);
+                                }
+                            }
+                        }
+                        out.row_mut(b)[co * ho * wo + oy * wo + ox] = acc;
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        let (ho, wo) = (self.h_out(), self.w_out());
+        assert_eq!(grad_output.cols(), self.out_dim(), "conv grad width mismatch");
+        let mut grad_in = Tensor::zeros(input.rows(), self.in_dim());
+        for b in 0..input.rows() {
+            let row = input.row(b);
+            let gout = grad_output.row(b);
+            for co in 0..self.c_out {
+                let kernel_base = co;
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let g = gout[co * ho * wo + oy * wo + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        self.grad_b.data_mut()[co] += g;
+                        for ci in 0..self.c_in {
+                            for ky in 0..self.k {
+                                for kx in 0..self.k {
+                                    let iy = oy as isize + ky as isize - self.pad as isize;
+                                    let ix = ox as isize + kx as isize - self.pad as isize;
+                                    let widx = ci * self.k * self.k + ky * self.k + kx;
+                                    let x = self.in_px(row, ci, iy, ix);
+                                    self.grad_w.row_mut(kernel_base)[widx] += g * x;
+                                    if iy >= 0
+                                        && ix >= 0
+                                        && (iy as usize) < self.h
+                                        && (ix as usize) < self.w
+                                    {
+                                        grad_in.row_mut(b)[ci * self.h * self.w
+                                            + iy as usize * self.w
+                                            + ix as usize] +=
+                                            g * self.weight.row(co)[widx];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Layer;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn output_shape_is_correct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let conv = Conv2d::new(1, 8, 3, 4, 4, 1, &mut rng);
+        assert_eq!(conv.h_out(), 4);
+        assert_eq!(conv.w_out(), 4);
+        assert_eq!(conv.out_dim(), 8 * 16);
+        let no_pad = Conv2d::new(2, 3, 3, 5, 5, 0, &mut rng);
+        assert_eq!(no_pad.h_out(), 3);
+        assert_eq!(no_pad.out_dim(), 3 * 9);
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut conv = Conv2d::new(1, 1, 1, 3, 3, 0, &mut rng);
+        conv.parameters_mut()[0].data_mut()[0] = 1.0; // 1×1 kernel = identity
+        conv.parameters_mut()[1].data_mut()[0] = 0.0;
+        let x = Tensor::from_vec(1, 9, (1..=9).map(|v| v as f32).collect());
+        let y = conv.forward(&x);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut conv = Conv2d::new(1, 1, 3, 3, 3, 0, &mut rng);
+        // All-ones kernel, zero bias → output = sum of the 3×3 input.
+        for w in conv.parameters_mut()[0].data_mut() {
+            *w = 1.0;
+        }
+        conv.parameters_mut()[1].data_mut()[0] = 0.0;
+        let x = Tensor::from_vec(1, 9, (1..=9).map(|v| v as f32).collect());
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), (1, 1));
+        assert_eq!(y.data()[0], 45.0);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut conv = Conv2d::new(2, 3, 3, 4, 4, 1, &mut rng);
+        let x = Tensor::randn(2, conv.in_dim(), &mut rng);
+        let y = conv.forward(&x);
+        let ones = Tensor::from_vec(y.rows(), y.cols(), vec![1.0; y.len()]);
+        conv.zero_grad();
+        let gx = conv.backward(&ones);
+        let flat = conv.flat_gradients();
+
+        let eps = 1e-2f32;
+        let loss = |conv: &mut Conv2d, x: &Tensor| -> f32 {
+            conv.forward(x).data().iter().sum()
+        };
+        // Input gradient spot checks.
+        for i in (0..x.len()).step_by(x.len() / 10 + 1) {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (loss(&mut conv, &xp) - loss(&mut conv, &xm)) / (2.0 * eps);
+            assert!(
+                (num - gx.data()[i]).abs() < 2e-2 * (1.0 + num.abs()),
+                "input grad {i}: numeric {num} vs analytic {}",
+                gx.data()[i]
+            );
+        }
+        // Parameter gradient spot checks.
+        let n = conv.num_parameters();
+        for i in (0..n).step_by(n / 12 + 1) {
+            let set = |conv: &mut Conv2d, delta: f32| {
+                let mut off = 0;
+                for p in conv.parameters_mut() {
+                    if i < off + p.len() {
+                        p.data_mut()[i - off] += delta;
+                        return;
+                    }
+                    off += p.len();
+                }
+            };
+            set(&mut conv, eps);
+            let fp = loss(&mut conv, &x);
+            set(&mut conv, -2.0 * eps);
+            let fm = loss(&mut conv, &x);
+            set(&mut conv, eps);
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - flat[i]).abs() < 2e-2 * (1.0 + num.abs()),
+                "param grad {i}: numeric {num} vs analytic {}",
+                flat[i]
+            );
+        }
+    }
+}

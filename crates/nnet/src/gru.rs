@@ -1,0 +1,382 @@
+//! A GRU recurrent cell with back-propagation through time.
+//!
+//! DoppelGANger's record generator is an RNN that emits a few timeseries
+//! steps per RNN pass; this GRU is that recurrent core. The cell follows
+//! Cho et al. (2014):
+//!
+//! ```text
+//! z_t = σ(x_t·Wz + h_{t-1}·Uz + bz)          (update gate)
+//! r_t = σ(x_t·Wr + h_{t-1}·Ur + br)          (reset gate)
+//! ĥ_t = tanh(x_t·Wh + (r_t ⊙ h_{t-1})·Uh + bh)
+//! h_t = (1 - z_t) ⊙ h_{t-1} + z_t ⊙ ĥ_t
+//! ```
+
+use crate::tensor::Tensor;
+use crate::Parameterized;
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Per-step cache for BPTT.
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Tensor,
+    h_prev: Tensor,
+    z: Tensor,
+    r: Tensor,
+    hhat: Tensor,
+}
+
+/// A GRU cell (single layer) operating on batched sequences.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Gru {
+    wz: Tensor,
+    uz: Tensor,
+    bz: Tensor,
+    wr: Tensor,
+    ur: Tensor,
+    br: Tensor,
+    wh: Tensor,
+    uh: Tensor,
+    bh: Tensor,
+    gwz: Tensor,
+    guz: Tensor,
+    gbz: Tensor,
+    gwr: Tensor,
+    gur: Tensor,
+    gbr: Tensor,
+    gwh: Tensor,
+    guh: Tensor,
+    gbh: Tensor,
+    #[serde(skip)]
+    cache: Vec<StepCache>,
+    input_dim: usize,
+    hidden_dim: usize,
+}
+
+impl Gru {
+    /// Builds a GRU mapping `input_dim` inputs to `hidden_dim` hidden units.
+    pub fn new<R: Rng + ?Sized>(input_dim: usize, hidden_dim: usize, rng: &mut R) -> Self {
+        let w = |r: &mut R| Tensor::xavier(input_dim, hidden_dim, r);
+        let u = |r: &mut R| Tensor::xavier(hidden_dim, hidden_dim, r);
+        Gru {
+            wz: w(rng),
+            uz: u(rng),
+            bz: Tensor::zeros(1, hidden_dim),
+            wr: w(rng),
+            ur: u(rng),
+            br: Tensor::zeros(1, hidden_dim),
+            wh: w(rng),
+            uh: u(rng),
+            bh: Tensor::zeros(1, hidden_dim),
+            gwz: Tensor::zeros(input_dim, hidden_dim),
+            guz: Tensor::zeros(hidden_dim, hidden_dim),
+            gbz: Tensor::zeros(1, hidden_dim),
+            gwr: Tensor::zeros(input_dim, hidden_dim),
+            gur: Tensor::zeros(hidden_dim, hidden_dim),
+            gbr: Tensor::zeros(1, hidden_dim),
+            gwh: Tensor::zeros(input_dim, hidden_dim),
+            guh: Tensor::zeros(hidden_dim, hidden_dim),
+            gbh: Tensor::zeros(1, hidden_dim),
+            cache: Vec::new(),
+            input_dim,
+            hidden_dim,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden-state dimensionality.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// One forward step: returns `h_t` and caches for BPTT.
+    pub fn step(&mut self, x: &Tensor, h_prev: &Tensor) -> Tensor {
+        let sigmoid = |t: Tensor| t.map(|v| 1.0 / (1.0 + (-v).exp()));
+        let mut z_in = x.matmul(&self.wz);
+        z_in.add_assign(&h_prev.matmul(&self.uz));
+        z_in.add_row_broadcast(&self.bz);
+        let z = sigmoid(z_in);
+
+        let mut r_in = x.matmul(&self.wr);
+        r_in.add_assign(&h_prev.matmul(&self.ur));
+        r_in.add_row_broadcast(&self.br);
+        let r = sigmoid(r_in);
+
+        let rh = r.hadamard(h_prev);
+        let mut h_in = x.matmul(&self.wh);
+        h_in.add_assign(&rh.matmul(&self.uh));
+        h_in.add_row_broadcast(&self.bh);
+        let hhat = h_in.map(f32::tanh);
+
+        // h = (1-z)⊙h_prev + z⊙ĥ
+        let mut h = Tensor::zeros(h_prev.rows(), h_prev.cols());
+        for i in 0..h.len() {
+            let zv = z.data()[i];
+            h.data_mut()[i] = (1.0 - zv) * h_prev.data()[i] + zv * hhat.data()[i];
+        }
+
+        self.cache.push(StepCache {
+            x: x.clone(),
+            h_prev: h_prev.clone(),
+            z,
+            r,
+            hhat,
+        });
+        h
+    }
+
+    /// Runs a full sequence from `h0`, returning all hidden states
+    /// `[h_1, …, h_T]`. Clears any previous cache.
+    pub fn forward_sequence(&mut self, xs: &[Tensor], h0: &Tensor) -> Vec<Tensor> {
+        self.cache.clear();
+        let mut hs = Vec::with_capacity(xs.len());
+        let mut h = h0.clone();
+        for x in xs {
+            h = self.step(x, &h);
+            hs.push(h.clone());
+        }
+        hs
+    }
+
+    /// BPTT over the cached sequence. `grad_hs[t]` is the gradient of the
+    /// loss w.r.t. hidden state `h_{t+1}` coming from the *outputs* (the
+    /// recurrent contribution is handled internally). Returns per-step
+    /// input gradients and the gradient w.r.t. `h0`. Consumes the cache.
+    pub fn backward_sequence(&mut self, grad_hs: &[Tensor]) -> (Vec<Tensor>, Tensor) {
+        assert_eq!(grad_hs.len(), self.cache.len(), "grad/cache length mismatch");
+        let steps = self.cache.len();
+        let mut dxs = vec![Tensor::zeros(0, 0); steps];
+        let mut dh_next = Tensor::zeros(
+            grad_hs.last().map(|g| g.rows()).unwrap_or(0),
+            self.hidden_dim,
+        );
+        for t in (0..steps).rev() {
+            let cache = self.cache[t].clone();
+            let mut dh = grad_hs[t].clone();
+            dh.add_assign(&dh_next);
+
+            let StepCache { x, h_prev, z, r, hhat } = &cache;
+
+            // dz = dh ⊙ (ĥ - h_prev); dĥ = dh ⊙ z; dh_prev = dh ⊙ (1-z)
+            let mut dz = Tensor::zeros(dh.rows(), dh.cols());
+            let mut dhhat = Tensor::zeros(dh.rows(), dh.cols());
+            let mut dh_prev = Tensor::zeros(dh.rows(), dh.cols());
+            for i in 0..dh.len() {
+                let d = dh.data()[i];
+                dz.data_mut()[i] = d * (hhat.data()[i] - h_prev.data()[i]);
+                dhhat.data_mut()[i] = d * z.data()[i];
+                dh_prev.data_mut()[i] = d * (1.0 - z.data()[i]);
+            }
+
+            // Candidate path.
+            let dhhat_raw = {
+                let mut t = Tensor::zeros(dhhat.rows(), dhhat.cols());
+                for i in 0..t.len() {
+                    let y = hhat.data()[i];
+                    t.data_mut()[i] = dhhat.data()[i] * (1.0 - y * y);
+                }
+                t
+            };
+            let rh = r.hadamard(h_prev);
+            self.gwh.add_assign(&x.t_matmul(&dhhat_raw));
+            self.guh.add_assign(&rh.t_matmul(&dhhat_raw));
+            self.gbh.add_assign(&dhhat_raw.sum_rows());
+            let drh = dhhat_raw.matmul_t(&self.uh);
+            let dr = drh.hadamard(h_prev);
+            dh_prev.add_assign(&drh.hadamard(r));
+
+            // Gate pre-activations.
+            let dz_raw = {
+                let mut t = Tensor::zeros(dz.rows(), dz.cols());
+                for i in 0..t.len() {
+                    let y = z.data()[i];
+                    t.data_mut()[i] = dz.data()[i] * y * (1.0 - y);
+                }
+                t
+            };
+            let dr_raw = {
+                let mut t = Tensor::zeros(dr.rows(), dr.cols());
+                for i in 0..t.len() {
+                    let y = r.data()[i];
+                    t.data_mut()[i] = dr.data()[i] * y * (1.0 - y);
+                }
+                t
+            };
+            self.gwz.add_assign(&x.t_matmul(&dz_raw));
+            self.guz.add_assign(&h_prev.t_matmul(&dz_raw));
+            self.gbz.add_assign(&dz_raw.sum_rows());
+            self.gwr.add_assign(&x.t_matmul(&dr_raw));
+            self.gur.add_assign(&h_prev.t_matmul(&dr_raw));
+            self.gbr.add_assign(&dr_raw.sum_rows());
+
+            // Input gradient.
+            let mut dx = dz_raw.matmul_t(&self.wz);
+            dx.add_assign(&dr_raw.matmul_t(&self.wr));
+            dx.add_assign(&dhhat_raw.matmul_t(&self.wh));
+            dxs[t] = dx;
+
+            // Recurrent gradient to the previous step.
+            dh_prev.add_assign(&dz_raw.matmul_t(&self.uz));
+            dh_prev.add_assign(&dr_raw.matmul_t(&self.ur));
+            dh_next = dh_prev;
+        }
+        self.cache.clear();
+        (dxs, dh_next)
+    }
+}
+
+impl Parameterized for Gru {
+    fn parameters(&self) -> Vec<&Tensor> {
+        vec![
+            &self.wz, &self.uz, &self.bz, &self.wr, &self.ur, &self.br, &self.wh, &self.uh,
+            &self.bh,
+        ]
+    }
+    fn parameters_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![
+            &mut self.wz, &mut self.uz, &mut self.bz, &mut self.wr, &mut self.ur, &mut self.br,
+            &mut self.wh, &mut self.uh, &mut self.bh,
+        ]
+    }
+    fn gradients_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![
+            &mut self.gwz, &mut self.guz, &mut self.gbz, &mut self.gwr, &mut self.gur,
+            &mut self.gbr, &mut self.gwh, &mut self.guh, &mut self.gbh,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    fn seq_loss(gru: &mut Gru, xs: &[Tensor], h0: &Tensor) -> f32 {
+        gru.forward_sequence(xs, h0)
+            .iter()
+            .map(|h| h.data().iter().sum::<f32>())
+            .sum()
+    }
+
+    #[test]
+    fn hidden_states_are_bounded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut gru = Gru::new(3, 4, &mut rng);
+        let xs: Vec<Tensor> = (0..5).map(|_| Tensor::randn(2, 3, &mut rng)).collect();
+        let hs = gru.forward_sequence(&xs, &Tensor::zeros(2, 4));
+        assert_eq!(hs.len(), 5);
+        for h in &hs {
+            assert!(h.data().iter().all(|v| v.abs() <= 1.0 + 1e-5), "GRU state in (-1,1)");
+        }
+    }
+
+    #[test]
+    fn input_gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut gru = Gru::new(2, 3, &mut rng);
+        let xs: Vec<Tensor> = (0..4).map(|_| Tensor::randn(1, 2, &mut rng)).collect();
+        let h0 = Tensor::zeros(1, 3);
+        let hs = gru.forward_sequence(&xs, &h0);
+        let grads: Vec<Tensor> = hs
+            .iter()
+            .map(|h| Tensor::from_vec(h.rows(), h.cols(), vec![1.0; h.len()]))
+            .collect();
+        gru.zero_grad();
+        let (dxs, _) = gru.backward_sequence(&grads);
+
+        let eps = 1e-3f32;
+        for t in 0..xs.len() {
+            for i in 0..xs[t].len() {
+                let mut xp: Vec<Tensor> = xs.clone();
+                xp[t].data_mut()[i] += eps;
+                let mut xm: Vec<Tensor> = xs.clone();
+                xm[t].data_mut()[i] -= eps;
+                let fp = seq_loss(&mut gru, &xp, &h0);
+                let fm = seq_loss(&mut gru, &xm, &h0);
+                let num = (fp - fm) / (2.0 * eps);
+                let ana = dxs[t].data()[i];
+                assert!(
+                    (num - ana).abs() < 3e-2 * (1.0 + num.abs()),
+                    "dx[{t}][{i}]: numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parameter_gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut gru = Gru::new(2, 3, &mut rng);
+        let xs: Vec<Tensor> = (0..3).map(|_| Tensor::randn(2, 2, &mut rng)).collect();
+        let h0 = Tensor::zeros(2, 3);
+        let hs = gru.forward_sequence(&xs, &h0);
+        let grads: Vec<Tensor> = hs
+            .iter()
+            .map(|h| Tensor::from_vec(h.rows(), h.cols(), vec![1.0; h.len()]))
+            .collect();
+        gru.zero_grad();
+        let _ = gru.backward_sequence(&grads);
+        let flat = gru.flat_gradients();
+
+        let eps = 1e-3f32;
+        let n = gru.num_parameters();
+        let step = (n / 20).max(1);
+        for i in (0..n).step_by(step) {
+            let set = |g: &mut Gru, delta: f32| {
+                let mut off = 0;
+                for p in g.parameters_mut() {
+                    if i < off + p.len() {
+                        p.data_mut()[i - off] += delta;
+                        return;
+                    }
+                    off += p.len();
+                }
+            };
+            set(&mut gru, eps);
+            let fp = seq_loss(&mut gru, &xs, &h0);
+            set(&mut gru, -2.0 * eps);
+            let fm = seq_loss(&mut gru, &xs, &h0);
+            set(&mut gru, eps);
+            let num = (fp - fm) / (2.0 * eps);
+            let ana = flat[i];
+            assert!(
+                (num - ana).abs() < 3e-2 * (1.0 + num.abs()),
+                "param {i}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn h0_gradient_flows() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut gru = Gru::new(2, 3, &mut rng);
+        let xs: Vec<Tensor> = (0..3).map(|_| Tensor::randn(1, 2, &mut rng)).collect();
+        let h0 = Tensor::randn(1, 3, &mut rng);
+        let hs = gru.forward_sequence(&xs, &h0);
+        let grads: Vec<Tensor> = hs
+            .iter()
+            .map(|h| Tensor::from_vec(h.rows(), h.cols(), vec![1.0; h.len()]))
+            .collect();
+        gru.zero_grad();
+        let (_, dh0) = gru.backward_sequence(&grads);
+        let eps = 1e-3f32;
+        for i in 0..h0.len() {
+            let mut hp = h0.clone();
+            hp.data_mut()[i] += eps;
+            let mut hm = h0.clone();
+            hm.data_mut()[i] -= eps;
+            let fp = seq_loss(&mut gru, &xs, &hp);
+            let fm = seq_loss(&mut gru, &xs, &hm);
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - dh0.data()[i]).abs() < 3e-2 * (1.0 + num.abs()),
+                "dh0[{i}]: numeric {num} vs analytic {}",
+                dh0.data()[i]
+            );
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Loss functions. Each returns `(loss_value, grad_wrt_input)` so training
+//! loops stay one-liners.
+
+use crate::tensor::Tensor;
+
+/// Mean-squared error against a target of the same shape.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = pred.len() as f32;
+    let mut grad = Tensor::zeros(pred.rows(), pred.cols());
+    let mut loss = 0.0;
+    for i in 0..pred.len() {
+        let d = pred.data()[i] - target.data()[i];
+        loss += d * d;
+        grad.data_mut()[i] = 2.0 * d / n;
+    }
+    (loss / n, grad)
+}
+
+/// Binary cross-entropy on *logits* (numerically stable), with per-element
+/// labels in `{0, 1}`. The classic (non-saturating) GAN loss for
+/// discriminators and generators.
+pub fn bce_with_logits(logits: &Tensor, labels: &Tensor) -> (f32, Tensor) {
+    assert_eq!(logits.shape(), labels.shape(), "bce shape mismatch");
+    let n = logits.len() as f32;
+    let mut grad = Tensor::zeros(logits.rows(), logits.cols());
+    let mut loss = 0.0;
+    for i in 0..logits.len() {
+        let x = logits.data()[i];
+        let y = labels.data()[i];
+        // log(1 + e^{-|x|}) + max(x,0) - x*y
+        loss += x.max(0.0) - x * y + (1.0 + (-x.abs()).exp()).ln();
+        let sigma = 1.0 / (1.0 + (-x).exp());
+        grad.data_mut()[i] = (sigma - y) / n;
+    }
+    (loss / n, grad)
+}
+
+/// Softmax cross-entropy on logits with integer class targets, one row per
+/// example. Returns mean loss and the gradient w.r.t. the logits.
+pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.rows(), targets.len(), "target count mismatch");
+    let mut grad = Tensor::zeros(logits.rows(), logits.cols());
+    let mut loss = 0.0;
+    let n = logits.rows() as f32;
+    for r in 0..logits.rows() {
+        let row = logits.row(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let t = targets[r];
+        assert!(t < logits.cols(), "target class out of range");
+        loss += -(exps[t] / sum).ln();
+        let grow = grad.row_mut(r);
+        for c in 0..row.len() {
+            grow[c] = (exps[c] / sum - if c == t { 1.0 } else { 0.0 }) / n;
+        }
+    }
+    (loss / n, grad)
+}
+
+/// Wasserstein critic objective pieces.
+///
+/// The critic maximizes `E[f(real)] − E[f(fake)]`; as a minimization this
+/// is `−mean(real_scores) + mean(fake_scores)`. Returns the loss and the
+/// gradients w.r.t. the two score tensors.
+pub fn wasserstein_critic(real_scores: &Tensor, fake_scores: &Tensor) -> (f32, Tensor, Tensor) {
+    let nr = real_scores.len().max(1) as f32;
+    let nf = fake_scores.len().max(1) as f32;
+    let loss = -real_scores.mean() + fake_scores.mean();
+    let grad_real = real_scores.map(|_| -1.0 / nr);
+    let grad_fake = fake_scores.map(|_| 1.0 / nf);
+    (loss, grad_real, grad_fake)
+}
+
+/// Wasserstein generator objective: minimize `−E[f(fake)]`. Returns the
+/// loss and the gradient w.r.t. the fake scores.
+pub fn wasserstein_generator(fake_scores: &Tensor) -> (f32, Tensor) {
+    let nf = fake_scores.len().max(1) as f32;
+    (-fake_scores.mean(), fake_scores.map(|_| -1.0 / nf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_at_target() {
+        let p = Tensor::row_vector(&[1., 2., 3.]);
+        let (l, g) = mse(&p, &p);
+        assert_eq!(l, 0.0);
+        assert!(g.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let p = Tensor::row_vector(&[0.5, -1.0]);
+        let t = Tensor::row_vector(&[1.0, 1.0]);
+        let (_, g) = mse(&p, &t);
+        let eps = 1e-3;
+        for i in 0..2 {
+            let mut pp = p.clone();
+            pp.data_mut()[i] += eps;
+            let mut pm = p.clone();
+            pm.data_mut()[i] -= eps;
+            let num = (mse(&pp, &t).0 - mse(&pm, &t).0) / (2.0 * eps);
+            assert!((num - g.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn bce_is_stable_for_extreme_logits() {
+        let logits = Tensor::row_vector(&[100.0, -100.0]);
+        let labels = Tensor::row_vector(&[1.0, 0.0]);
+        let (l, g) = bce_with_logits(&logits, &labels);
+        assert!(l.is_finite() && l < 1e-3, "correct confident predictions ≈ 0 loss");
+        assert!(g.data().iter().all(|x| x.is_finite()));
+
+        let wrong = Tensor::row_vector(&[0.0, 1.0]);
+        let (l2, _) = bce_with_logits(&logits, &wrong);
+        assert!(l2.is_finite() && l2 > 10.0, "confident wrong predictions are punished");
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        let logits = Tensor::row_vector(&[0.3, -0.7, 2.0]);
+        let labels = Tensor::row_vector(&[1.0, 0.0, 1.0]);
+        let (_, g) = bce_with_logits(&logits, &labels);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let num = (bce_with_logits(&lp, &labels).0 - bce_with_logits(&lm, &labels).0)
+                / (2.0 * eps);
+            assert!((num - g.data()[i]).abs() < 1e-3, "grad {i}");
+        }
+    }
+
+    #[test]
+    fn softmax_ce_gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(2, 3, vec![0.2, -0.4, 1.0, 0.0, 0.5, -0.5]);
+        let targets = vec![2usize, 1usize];
+        let (_, g) = softmax_cross_entropy(&logits, &targets);
+        let eps = 1e-3;
+        for i in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let num = (softmax_cross_entropy(&lp, &targets).0
+                - softmax_cross_entropy(&lm, &targets).0)
+                / (2.0 * eps);
+            assert!((num - g.data()[i]).abs() < 1e-3, "grad {i}");
+        }
+    }
+
+    #[test]
+    fn softmax_ce_prefers_correct_class() {
+        let good = Tensor::from_vec(1, 3, vec![5.0, 0.0, 0.0]);
+        let bad = Tensor::from_vec(1, 3, vec![0.0, 5.0, 0.0]);
+        assert!(softmax_cross_entropy(&good, &[0]).0 < softmax_cross_entropy(&bad, &[0]).0);
+    }
+
+    #[test]
+    fn wasserstein_signs() {
+        let real = Tensor::row_vector(&[2.0, 2.0]);
+        let fake = Tensor::row_vector(&[1.0]);
+        let (l, gr, gf) = wasserstein_critic(&real, &fake);
+        assert!((l - (-2.0 + 1.0)).abs() < 1e-6);
+        assert!(gr.data().iter().all(|&x| x < 0.0), "critic pushes real scores up");
+        assert!(gf.data().iter().all(|&x| x > 0.0), "critic pushes fake scores down");
+        let (lg, gg) = wasserstein_generator(&fake);
+        assert!((lg + 1.0).abs() < 1e-6);
+        assert!(gg.data().iter().all(|&x| x < 0.0), "generator pushes fake scores up");
+    }
+}

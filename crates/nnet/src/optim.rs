@@ -1,0 +1,235 @@
+//! Optimizers: SGD and Adam, plus gradient and weight clipping.
+
+use crate::tensor::Tensor;
+use crate::Parameterized;
+
+/// A first-order optimizer stepping a [`Parameterized`] model from its
+/// accumulated gradients.
+pub trait Optimizer {
+    /// Applies one update step and leaves gradients untouched (call
+    /// [`Parameterized::zero_grad`] before the next accumulation).
+    fn step(&mut self, model: &mut dyn Parameterized);
+}
+
+/// Plain stochastic gradient descent: `θ ← θ − lr·g`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Sgd {
+    /// Builds SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, model: &mut dyn Parameterized) {
+        let grads: Vec<Tensor> = model.gradients_mut().iter().map(|g| (**g).clone()).collect();
+        for (p, g) in model.parameters_mut().iter_mut().zip(&grads) {
+            p.add_scaled(g, -self.lr);
+        }
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction — the optimizer used for
+/// all GAN training here, matching DoppelGANger's configuration.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay (default 0.5, the GAN-training convention).
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability constant.
+    pub eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with GAN-style defaults (β₁ = 0.5, β₂ = 0.999).
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.5,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Adam with explicit betas.
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32) -> Self {
+        Adam {
+            beta1,
+            beta2,
+            ..Adam::new(lr)
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, model: &mut dyn Parameterized) {
+        let grads: Vec<Tensor> = model.gradients_mut().iter().map(|g| (**g).clone()).collect();
+        if self.m.is_empty() {
+            self.m = grads.iter().map(|g| Tensor::zeros(g.rows(), g.cols())).collect();
+            self.v = self.m.clone();
+        }
+        assert_eq!(self.m.len(), grads.len(), "optimizer bound to a different model");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, g), (m, v)) in model
+            .parameters_mut()
+            .iter_mut()
+            .zip(&grads)
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            for i in 0..g.len() {
+                let gi = g.data()[i];
+                m.data_mut()[i] = self.beta1 * m.data()[i] + (1.0 - self.beta1) * gi;
+                v.data_mut()[i] = self.beta2 * v.data()[i] + (1.0 - self.beta2) * gi * gi;
+                let mhat = m.data()[i] / bc1;
+                let vhat = v.data()[i] / bc2;
+                p.data_mut()[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// Global-norm gradient clipping: rescales all gradients so their joint
+/// L2 norm is at most `max_norm`. Returns the pre-clip norm.
+pub struct GradClip;
+
+impl GradClip {
+    /// Clips the model's gradients in place; returns the original norm.
+    pub fn clip_global_norm(model: &mut dyn Parameterized, max_norm: f32) -> f32 {
+        let norm: f32 = model
+            .gradients_mut()
+            .iter()
+            .map(|g| g.data().iter().map(|&x| x * x).sum::<f32>())
+            .sum::<f32>()
+            .sqrt();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            for g in model.gradients_mut() {
+                g.scale(scale);
+            }
+        }
+        norm
+    }
+}
+
+/// Clamps every parameter into `[-c, c]` — the 1-Lipschitz enforcement of
+/// the original WGAN (Arjovsky et al., 2017). This repo's substitution for
+/// the gradient penalty (see DESIGN.md §1): both constrain the critic to
+/// (approximately) unit Lipschitz constant.
+pub fn clip_weights(model: &mut dyn Parameterized, c: f32) {
+    for p in model.parameters_mut() {
+        p.clamp_inplace(-c, c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Activation, Layer, Sequential};
+    use crate::loss::mse;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    /// Trains y = 2x − 1 with each optimizer; loss must fall sharply.
+    fn train_regression(opt: &mut dyn Optimizer) -> f32 {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut net = Sequential::mlp(1, &[8], 1, Activation::Tanh, &mut rng);
+        let xs: Vec<f32> = (0..64).map(|i| i as f32 / 32.0 - 1.0).collect();
+        let ys: Vec<f32> = xs.iter().map(|&x| 2.0 * x - 1.0).collect();
+        let x = Tensor::from_vec(64, 1, xs);
+        let y = Tensor::from_vec(64, 1, ys);
+        let mut last = f32::INFINITY;
+        for _ in 0..300 {
+            let pred = net.forward(&x);
+            let (loss, grad) = mse(&pred, &y);
+            net.zero_grad();
+            let _ = net.backward(&grad);
+            opt.step(&mut net);
+            last = loss;
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_learns_linear_function() {
+        let mut opt = Sgd::new(0.05);
+        assert!(train_regression(&mut opt) < 0.05);
+    }
+
+    #[test]
+    fn adam_learns_linear_function_faster_than_sgd() {
+        let mut adam = Adam::new(0.01);
+        let adam_loss = train_regression(&mut adam);
+        assert!(adam_loss < 0.01, "adam loss {adam_loss}");
+    }
+
+    #[test]
+    fn grad_clip_caps_global_norm() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = Sequential::mlp(2, &[4], 1, Activation::Relu, &mut rng);
+        // Manufacture large gradients.
+        for g in net.gradients_mut() {
+            g.fill(10.0);
+        }
+        let pre = GradClip::clip_global_norm(&mut net, 1.0);
+        assert!(pre > 1.0);
+        let post: f32 = net
+            .gradients_mut()
+            .iter()
+            .map(|g| g.data().iter().map(|&x| x * x).sum::<f32>())
+            .sum::<f32>()
+            .sqrt();
+        assert!((post - 1.0).abs() < 1e-4, "post-clip norm {post}");
+    }
+
+    #[test]
+    fn grad_clip_leaves_small_gradients_alone() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = Sequential::mlp(2, &[3], 1, Activation::Relu, &mut rng);
+        for g in net.gradients_mut() {
+            g.fill(1e-4);
+        }
+        let before: Vec<f32> = net.flat_gradients();
+        let _ = GradClip::clip_global_norm(&mut net, 1.0);
+        assert_eq!(before, net.flat_gradients());
+    }
+
+    #[test]
+    fn weight_clipping_bounds_parameters() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = Sequential::mlp(4, &[8], 2, Activation::LeakyRelu, &mut rng);
+        for p in net.parameters_mut() {
+            p.scale(100.0);
+        }
+        clip_weights(&mut net, 0.01);
+        for p in net.parameters() {
+            assert!(p.data().iter().all(|v| v.abs() <= 0.01 + 1e-7));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different model")]
+    fn adam_detects_model_swap() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut a = Sequential::mlp(2, &[3], 1, Activation::Relu, &mut rng);
+        let mut b = Sequential::mlp(2, &[3, 3], 1, Activation::Relu, &mut rng);
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut a);
+        opt.step(&mut b);
+    }
+}

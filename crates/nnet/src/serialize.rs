@@ -1,0 +1,79 @@
+//! Parameter checkpointing.
+//!
+//! NetShare's scalability insight (I3) trains a seed chunk, then fine-tunes
+//! the remaining chunks *in parallel* from that seed model; its privacy
+//! insight (I4) fine-tunes a public pre-trained model with DP-SGD. Both
+//! need cheap save/restore of model parameters, provided here as a JSON
+//! snapshot (human-inspectable, diff-able, stable across runs).
+
+use crate::tensor::Tensor;
+use crate::Parameterized;
+use serde::{Deserialize, Serialize};
+
+/// A serialized parameter snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Parameter tensors in `Parameterized::parameters` order.
+    pub tensors: Vec<Tensor>,
+}
+
+/// Captures a model's parameters.
+pub fn snapshot(model: &dyn Parameterized) -> Checkpoint {
+    Checkpoint {
+        tensors: model.parameters().into_iter().cloned().collect(),
+    }
+}
+
+/// Restores a snapshot into a model of identical architecture.
+///
+/// # Panics
+/// Panics on a parameter count or shape mismatch.
+pub fn restore(model: &mut dyn Parameterized, ckpt: &Checkpoint) {
+    let mut params = model.parameters_mut();
+    assert_eq!(params.len(), ckpt.tensors.len(), "checkpoint parameter count mismatch");
+    for (p, t) in params.iter_mut().zip(&ckpt.tensors) {
+        assert_eq!(p.shape(), t.shape(), "checkpoint shape mismatch");
+        p.data_mut().copy_from_slice(t.data());
+    }
+}
+
+/// Serializes a checkpoint to JSON.
+pub fn to_json(ckpt: &Checkpoint) -> String {
+    serde_json::to_string(ckpt).expect("checkpoint serialization cannot fail")
+}
+
+/// Parses a checkpoint from JSON.
+pub fn from_json(s: &str) -> Result<Checkpoint, serde_json::Error> {
+    serde_json::from_str(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Activation, Sequential};
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let src = Sequential::mlp(3, &[5], 2, Activation::Tanh, &mut rng);
+        let ckpt = snapshot(&src);
+        let json = to_json(&ckpt);
+        let parsed = from_json(&json).unwrap();
+        let mut dst = Sequential::mlp(3, &[5], 2, Activation::Tanh, &mut rng);
+        restore(&mut dst, &parsed);
+        for (a, b) in src.parameters().iter().zip(dst.parameters()) {
+            assert_eq!(a.data(), b.data());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn restore_rejects_wrong_architecture() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let src = Sequential::mlp(3, &[5], 2, Activation::Tanh, &mut rng);
+        let mut dst = Sequential::mlp(3, &[6], 2, Activation::Tanh, &mut rng);
+        restore(&mut dst, &snapshot(&src));
+    }
+}

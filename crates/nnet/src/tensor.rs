@@ -1,0 +1,437 @@
+//! Row-major `f32` matrices and the linear algebra the layers need.
+
+use rand::prelude::*;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f32`. A batch of activations is a tensor
+/// with one row per example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A `rows × cols` tensor of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a tensor from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must be rows*cols");
+        Tensor { rows, cols, data }
+    }
+
+    /// A single-row tensor from a slice.
+    pub fn row_vector(data: &[f32]) -> Self {
+        Tensor::from_vec(1, data.len(), data.to_vec())
+    }
+
+    /// Xavier/Glorot-normal initialization, suitable for tanh/sigmoid nets.
+    pub fn xavier<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let std = (2.0 / (rows + cols) as f64).sqrt();
+        let dist = Normal::new(0.0, std).expect("valid normal");
+        Tensor {
+            rows,
+            cols,
+            data: (0..rows * cols).map(|_| dist.sample(rng) as f32).collect(),
+        }
+    }
+
+    /// He-normal initialization, suitable for ReLU nets.
+    pub fn he<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let std = (2.0 / rows as f64).sqrt();
+        let dist = Normal::new(0.0, std).expect("valid normal");
+        Tensor {
+            rows,
+            cols,
+            data: (0..rows * cols).map(|_| dist.sample(rng) as f32).collect(),
+        }
+    }
+
+    /// Standard-normal noise tensor (the GAN latent input).
+    pub fn randn<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let dist = Normal::new(0.0, 1.0).unwrap();
+        Tensor {
+            rows,
+            cols,
+            data: (0..rows * cols).map(|_| dist.sample(rng) as f32).collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable raw data (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Immutable view of row `r`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Sets every element to `v`.
+    pub fn fill(&mut self, v: f32) {
+        self.data.iter_mut().for_each(|x| *x = v);
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    /// Panics on an inner-dimension mismatch.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        // i-k-j loop order: streams through `other` row-wise for locality.
+        for i in 0..self.rows {
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materializing the transpose.
+    pub fn t_matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "t_matmul row mismatch");
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = other.row(r);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` without materializing the transpose.
+    pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.cols, "matmul_t col mismatch");
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.data[i * other.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Element-wise addition into `self`.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += scale * other`.
+    pub fn add_scaled(&mut self, other: &Tensor, scale: f32) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Adds a row vector to every row (bias broadcast).
+    pub fn add_row_broadcast(&mut self, bias: &Tensor) {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, self.cols, "bias width mismatch");
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (x, &b) in row.iter_mut().zip(&bias.data) {
+                *x += b;
+            }
+        }
+    }
+
+    /// Element-wise product into a new tensor.
+    pub fn hadamard(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).collect(),
+        }
+    }
+
+    /// Applies `f` element-wise into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Scales all elements in place.
+    pub fn scale(&mut self, s: f32) {
+        self.data.iter_mut().for_each(|x| *x *= s);
+    }
+
+    /// Column-wise sum, as a row vector (used for bias gradients).
+    pub fn sum_rows(&self) -> Tensor {
+        let mut out = Tensor::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c] += self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f32>() / self.data.len() as f32
+        }
+    }
+
+    /// Euclidean (Frobenius) norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Clamps every element into `[lo, hi]` (WGAN weight clipping).
+    pub fn clamp_inplace(&mut self, lo: f32, hi: f32) {
+        self.data.iter_mut().for_each(|x| *x = x.clamp(lo, hi));
+    }
+
+    /// Vertically stacks tensors (all must share the column count).
+    pub fn vstack(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "vstack needs at least one tensor");
+        let cols = parts[0].cols;
+        assert!(parts.iter().all(|p| p.cols == cols), "vstack col mismatch");
+        let rows = parts.iter().map(|p| p.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        Tensor { rows, cols, data }
+    }
+
+    /// Horizontally concatenates tensors (all must share the row count).
+    pub fn hstack(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "hstack needs at least one tensor");
+        let rows = parts[0].rows;
+        assert!(parts.iter().all(|p| p.rows == rows), "hstack row mismatch");
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Tensor::zeros(rows, cols);
+        for r in 0..rows {
+            let mut offset = 0;
+            for p in parts {
+                out.data[r * cols + offset..r * cols + offset + p.cols]
+                    .copy_from_slice(p.row(r));
+                offset += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Extracts a column range `[start, end)` into a new tensor.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Tensor {
+        assert!(start <= end && end <= self.cols, "column slice out of range");
+        let mut out = Tensor::zeros(self.rows, end - start);
+        for r in 0..self.rows {
+            out.row_mut(r)
+                .copy_from_slice(&self.row(r)[start..end]);
+        }
+        out
+    }
+
+    /// Extracts the given rows into a new tensor (minibatch gather).
+    pub fn select_rows(&self, idx: &[usize]) -> Tensor {
+        let mut out = Tensor::zeros(idx.len(), self.cols);
+        for (i, &r) in idx.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(r));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn matmul_reference() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn transpose_variants_agree() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Tensor::randn(4, 3, &mut rng);
+        let b = Tensor::randn(4, 5, &mut rng);
+        let c = Tensor::randn(6, 3, &mut rng);
+        // aᵀ·b two ways
+        let direct = a.transpose().matmul(&b);
+        let fused = a.t_matmul(&b);
+        for (x, y) in direct.data().iter().zip(fused.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+        // a·cᵀ two ways
+        let direct2 = a.matmul(&c.transpose());
+        let fused2 = a.matmul_t(&c);
+        for (x, y) in direct2.data().iter().zip(fused2.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn broadcast_and_sum_rows_are_inverse_shapes() {
+        let mut x = Tensor::from_vec(2, 3, vec![1.; 6]);
+        let bias = Tensor::row_vector(&[1., 2., 3.]);
+        x.add_row_broadcast(&bias);
+        assert_eq!(x.row(0), &[2., 3., 4.]);
+        assert_eq!(x.row(1), &[2., 3., 4.]);
+        let s = x.sum_rows();
+        assert_eq!(s.data(), &[4., 6., 8.]);
+    }
+
+    #[test]
+    fn hstack_vstack_slice_round_trip() {
+        let a = Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let b = Tensor::from_vec(2, 1, vec![5., 6.]);
+        let h = Tensor::hstack(&[&a, &b]);
+        assert_eq!(h.shape(), (2, 3));
+        assert_eq!(h.row(0), &[1., 2., 5.]);
+        assert_eq!(h.slice_cols(0, 2), a);
+        assert_eq!(h.slice_cols(2, 3), b);
+        let v = Tensor::vstack(&[&a, &a]);
+        assert_eq!(v.shape(), (4, 2));
+        assert_eq!(v.row(3), &[3., 4.]);
+    }
+
+    #[test]
+    fn select_rows_gathers() {
+        let a = Tensor::from_vec(3, 2, vec![0., 1., 10., 11., 20., 21.]);
+        let s = a.select_rows(&[2, 0]);
+        assert_eq!(s.row(0), &[20., 21.]);
+        assert_eq!(s.row(1), &[0., 1.]);
+    }
+
+    #[test]
+    fn norm_and_clamp() {
+        let mut a = Tensor::from_vec(1, 2, vec![3., 4.]);
+        assert!((a.norm() - 5.0).abs() < 1e-6);
+        a.clamp_inplace(-3.5, 3.5);
+        assert_eq!(a.data(), &[3., 3.5]);
+    }
+
+    #[test]
+    fn xavier_init_has_reasonable_scale() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = Tensor::xavier(100, 100, &mut rng);
+        let std = (w.data().iter().map(|x| x * x).sum::<f32>() / w.len() as f32).sqrt();
+        let expected = (2.0f32 / 200.0).sqrt();
+        assert!((std - expected).abs() < expected * 0.2, "std {std} vs {expected}");
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn matmul_dimension_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the tensor algebra every layer depends on.
+
+use nnet::Tensor;
+use proptest::prelude::*;
+
+fn arb_tensor(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-100.0f32..100.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_is_associative(
+        adata in prop::collection::vec(-10.0f32..10.0, 4 * 3),
+        bdata in prop::collection::vec(-10.0f32..10.0, 3 * 5),
+        cdata in prop::collection::vec(-10.0f32..10.0, 5 * 2),
+    ) {
+        let a = Tensor::from_vec(4, 3, adata);
+        let b = Tensor::from_vec(3, 5, bdata);
+        let c = Tensor::from_vec(5, 2, cdata);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-1 * (1.0 + x.abs()), "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(a in arb_tensor(6, 6)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn fused_transpose_products_match_explicit(
+        adata in prop::collection::vec(-10.0f32..10.0, 5 * 4),
+        bdata in prop::collection::vec(-10.0f32..10.0, 5 * 3),
+    ) {
+        let a = Tensor::from_vec(5, 4, adata);
+        let b = Tensor::from_vec(5, 3, bdata);
+        let fused = a.t_matmul(&b);
+        let explicit = a.transpose().matmul(&b);
+        for (x, y) in fused.data().iter().zip(explicit.data()) {
+            prop_assert!((x - y).abs() < 1e-3 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn hstack_slice_round_trip(
+        adata in prop::collection::vec(-10.0f32..10.0, 4 * 5),
+        bdata in prop::collection::vec(-10.0f32..10.0, 4 * 3),
+    ) {
+        let a = Tensor::from_vec(4, 5, adata);
+        let b = Tensor::from_vec(4, 3, bdata);
+        let h = Tensor::hstack(&[&a, &b]);
+        prop_assert_eq!(h.slice_cols(0, a.cols()), a.clone());
+        prop_assert_eq!(h.slice_cols(a.cols(), a.cols() + 3), b);
+    }
+
+    #[test]
+    fn sum_rows_matches_manual(a in arb_tensor(5, 4)) {
+        let s = a.sum_rows();
+        for c in 0..a.cols() {
+            let manual: f32 = (0..a.rows()).map(|r| a.get(r, c)).sum();
+            prop_assert!((s.get(0, c) - manual).abs() < 1e-3 * (1.0 + manual.abs()));
+        }
+    }
+
+    #[test]
+    fn clamp_bounds_hold(mut a in arb_tensor(4, 4), lo in -5.0f32..0.0, width in 0.1f32..5.0) {
+        let hi = lo + width;
+        a.clamp_inplace(lo, hi);
+        prop_assert!(a.data().iter().all(|&v| v >= lo && v <= hi));
+    }
+
+    #[test]
+    fn norm_is_scale_homogeneous(a in arb_tensor(4, 4), s in 0.1f32..10.0) {
+        let n1 = a.norm();
+        let mut b = a.clone();
+        b.scale(s);
+        prop_assert!((b.norm() - s * n1).abs() < 1e-2 * (1.0 + n1));
+    }
+}

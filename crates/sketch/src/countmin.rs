@@ -1,0 +1,86 @@
+//! Count-Min Sketch (Cormode & Muthukrishnan, 2005).
+
+use crate::hash::bucket;
+use crate::Sketch;
+
+/// A `depth × width` Count-Min Sketch: estimates are the minimum over
+/// rows, biased upward (never under-estimates).
+#[derive(Debug, Clone)]
+pub struct CountMin {
+    depth: usize,
+    width: usize,
+    table: Vec<u64>,
+}
+
+impl CountMin {
+    /// Builds a sketch with `depth` rows of `width` counters.
+    pub fn new(depth: usize, width: usize) -> Self {
+        assert!(depth >= 1 && width >= 1, "degenerate sketch");
+        CountMin {
+            depth,
+            width,
+            table: vec![0; depth * width],
+        }
+    }
+}
+
+impl Sketch for CountMin {
+    fn update(&mut self, key: u64, count: u64) {
+        for r in 0..self.depth {
+            let b = bucket(key, r as u64, self.width);
+            self.table[r * self.width + b] += count;
+        }
+    }
+
+    fn estimate(&self, key: u64) -> f64 {
+        (0..self.depth)
+            .map(|r| self.table[r * self.width + bucket(key, r as u64, self.width)])
+            .min()
+            .unwrap_or(0) as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "CMS"
+    }
+
+    fn counters(&self) -> usize {
+        self.depth * self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_underestimates() {
+        let mut s = CountMin::new(4, 64);
+        for k in 0..500u64 {
+            s.update(k, k + 1);
+        }
+        for k in 0..500u64 {
+            assert!(s.estimate(k) >= (k + 1) as f64, "key {k}");
+        }
+    }
+
+    #[test]
+    fn exact_when_sparse() {
+        let mut s = CountMin::new(4, 1024);
+        s.update(7, 100);
+        s.update(9, 5);
+        assert_eq!(s.estimate(7), 100.0);
+        assert_eq!(s.estimate(9), 5.0);
+        assert_eq!(s.estimate(1234), 0.0);
+    }
+
+    #[test]
+    fn heavy_keys_estimated_accurately_under_load() {
+        let mut s = CountMin::new(4, 512);
+        s.update(1, 100_000);
+        for k in 100..2_100u64 {
+            s.update(k, 1);
+        }
+        let est = s.estimate(1);
+        assert!(est >= 100_000.0 && est < 100_000.0 * 1.05, "est {est}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Count Sketch (Charikar, Chen & Farach-Colton, 2002).
+
+use crate::hash::{bucket, sign};
+use crate::Sketch;
+
+/// A `depth × width` Count Sketch: signed counters with a median-of-rows
+/// estimator — unbiased, two-sided error.
+#[derive(Debug, Clone)]
+pub struct CountSketch {
+    depth: usize,
+    width: usize,
+    table: Vec<i64>,
+}
+
+impl CountSketch {
+    /// Builds a sketch with `depth` rows of `width` counters.
+    pub fn new(depth: usize, width: usize) -> Self {
+        assert!(depth >= 1 && width >= 1, "degenerate sketch");
+        CountSketch {
+            depth,
+            width,
+            table: vec![0; depth * width],
+        }
+    }
+
+    /// Median of the per-row signed estimates.
+    pub(crate) fn median_estimate(&self, key: u64) -> f64 {
+        let mut ests: Vec<i64> = (0..self.depth)
+            .map(|r| {
+                let b = bucket(key, r as u64, self.width);
+                sign(key, r as u64) * self.table[r * self.width + b]
+            })
+            .collect();
+        ests.sort_unstable();
+        let n = ests.len();
+        if n % 2 == 1 {
+            ests[n / 2] as f64
+        } else {
+            (ests[n / 2 - 1] + ests[n / 2]) as f64 / 2.0
+        }
+    }
+}
+
+impl Sketch for CountSketch {
+    fn update(&mut self, key: u64, count: u64) {
+        for r in 0..self.depth {
+            let b = bucket(key, r as u64, self.width);
+            self.table[r * self.width + b] += sign(key, r as u64) * count as i64;
+        }
+    }
+
+    fn estimate(&self, key: u64) -> f64 {
+        self.median_estimate(key).max(0.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "CS"
+    }
+
+    fn counters(&self) -> usize {
+        self.depth * self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_when_sparse() {
+        let mut s = CountSketch::new(5, 512);
+        s.update(11, 300);
+        assert_eq!(s.estimate(11), 300.0);
+    }
+
+    #[test]
+    fn heavy_keys_accurate_under_noise() {
+        let mut s = CountSketch::new(5, 512);
+        s.update(1, 50_000);
+        for k in 10..4_010u64 {
+            s.update(k, 2);
+        }
+        let est = s.estimate(1);
+        let rel = (est - 50_000.0).abs() / 50_000.0;
+        assert!(rel < 0.05, "relative error {rel}");
+    }
+
+    #[test]
+    fn error_is_two_sided() {
+        // Unlike Count-Min, Count Sketch can under-estimate; verify at
+        // least one light key gets a below-true (or zero-clamped) estimate.
+        let mut s = CountSketch::new(3, 16);
+        for k in 0..200u64 {
+            s.update(k, 10);
+        }
+        let under = (0..200u64).any(|k| s.median_estimate(k) < 10.0);
+        assert!(under, "expected at least one under-estimate");
+    }
+}

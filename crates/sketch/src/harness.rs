@@ -1,0 +1,149 @@
+//! Heavy-hitter evaluation harness (paper Finding 2, App #2 / Fig. 13).
+//!
+//! "We study a typical downstream task of heavy hitter count estimation
+//! … The threshold for heavy hitters is set at 0.1% with all four
+//! sketches \[using\] roughly the same memory." Errors are computed per
+//! dataset on its paper-designated key: destination IP for CAIDA, source
+//! IP for DC, five-tuple aggregation for CA.
+
+use crate::hash::hash64;
+use crate::Sketch;
+use nettrace::PacketTrace;
+use std::collections::HashMap;
+
+/// The aggregation key for heavy-hitter detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HhKey {
+    /// Source IP address.
+    SrcIp,
+    /// Destination IP address.
+    DstIp,
+    /// Full five-tuple (hashed to a u64 key).
+    FiveTuple,
+}
+
+impl HhKey {
+    /// Extracts the u64 key from a packet.
+    pub fn extract(self, p: &nettrace::PacketRecord) -> u64 {
+        match self {
+            HhKey::SrcIp => p.five_tuple.src_ip as u64,
+            HhKey::DstIp => p.five_tuple.dst_ip as u64,
+            HhKey::FiveTuple => {
+                let ft = p.five_tuple;
+                let a = ((ft.src_ip as u64) << 32) | ft.dst_ip as u64;
+                let b = ((ft.src_port as u64) << 32)
+                    | ((ft.dst_port as u64) << 16)
+                    | ft.proto.number() as u64;
+                hash64(a, b ^ 0x5eed_f00d)
+            }
+        }
+    }
+}
+
+/// Exact per-key packet counts.
+pub fn exact_counts(trace: &PacketTrace, key: HhKey) -> HashMap<u64, u64> {
+    let mut counts = HashMap::new();
+    for p in &trace.packets {
+        *counts.entry(key.extract(p)).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Streams the trace into a sketch and returns the mean relative
+/// count-estimation error over the true heavy hitters (keys with ≥
+/// `threshold_frac` of total packets). Returns `None` when the trace has
+/// no heavy hitters at the threshold — the paper drops such baselines
+/// from the plot ("a baseline may be missing for a dataset if the
+/// baseline finds no heavy hitters").
+pub fn hh_estimation_error(
+    trace: &PacketTrace,
+    sketch: &mut dyn Sketch,
+    key: HhKey,
+    threshold_frac: f64,
+) -> Option<f64> {
+    let counts = exact_counts(trace, key);
+    let total: u64 = counts.values().sum();
+    if total == 0 {
+        return None;
+    }
+    let threshold = (threshold_frac * total as f64).max(1.0);
+    for p in &trace.packets {
+        sketch.update(key.extract(p), 1);
+    }
+    let mut errors = Vec::new();
+    for (&k, &true_count) in &counts {
+        if (true_count as f64) >= threshold {
+            let est = sketch.estimate(k);
+            errors.push((est - true_count as f64).abs() / true_count as f64);
+        }
+    }
+    if errors.is_empty() {
+        None
+    } else {
+        Some(errors.iter().sum::<f64>() / errors.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::countmin::CountMin;
+    use crate::countsketch::CountSketch;
+    use nettrace::{FiveTuple, PacketRecord, Protocol};
+
+    fn skewed_trace() -> PacketTrace {
+        let mut packets = Vec::new();
+        // One elephant destination (5000 packets), 500 mice (2 each).
+        for i in 0..5_000u64 {
+            let ft = FiveTuple::new(i as u32 % 97, 0xdead_beef, 1, 2, Protocol::Udp);
+            packets.push(PacketRecord::new(i, ft, 100));
+        }
+        for m in 0..500u64 {
+            for j in 0..2 {
+                let ft = FiveTuple::new(7, 0x1000 + m as u32, 1, 2, Protocol::Udp);
+                packets.push(PacketRecord::new(10_000 + m * 2 + j, ft, 100));
+            }
+        }
+        PacketTrace::from_records(packets)
+    }
+
+    #[test]
+    fn exact_counts_are_correct() {
+        let t = skewed_trace();
+        let counts = exact_counts(&t, HhKey::DstIp);
+        assert_eq!(counts[&0xdead_beef], 5_000);
+        assert_eq!(counts[&0x1000], 2);
+    }
+
+    #[test]
+    fn heavy_hitter_error_is_small_for_good_sketches() {
+        let t = skewed_trace();
+        let mut cms = CountMin::new(4, 1024);
+        let err = hh_estimation_error(&t, &mut cms, HhKey::DstIp, 0.001).unwrap();
+        assert!(err < 0.05, "CMS HH error {err}");
+        let mut cs = CountSketch::new(4, 1024);
+        let err = hh_estimation_error(&t, &mut cs, HhKey::DstIp, 0.001).unwrap();
+        assert!(err < 0.05, "CS HH error {err}");
+    }
+
+    #[test]
+    fn no_heavy_hitters_returns_none() {
+        // A perfectly uniform trace with a high threshold has no HHs.
+        let packets = (0..1000u64)
+            .map(|i| {
+                PacketRecord::new(i, FiveTuple::new(i as u32, 1, 2, 3, Protocol::Udp), 100)
+            })
+            .collect();
+        let t = PacketTrace::from_records(packets);
+        let mut cms = CountMin::new(2, 64);
+        assert_eq!(hh_estimation_error(&t, &mut cms, HhKey::SrcIp, 0.01), None);
+    }
+
+    #[test]
+    fn five_tuple_key_distinguishes_ports() {
+        let a = PacketRecord::new(0, FiveTuple::new(1, 2, 3, 4, Protocol::Tcp), 100);
+        let b = PacketRecord::new(0, FiveTuple::new(1, 2, 3, 5, Protocol::Tcp), 100);
+        assert_ne!(HhKey::FiveTuple.extract(&a), HhKey::FiveTuple.extract(&b));
+        assert_eq!(HhKey::SrcIp.extract(&a), HhKey::SrcIp.extract(&b));
+    }
+}

@@ -1,0 +1,78 @@
+//! Seeded 64-bit hashing for sketch rows.
+
+/// SplitMix64-style finalizer: a fast, well-mixed keyed hash.
+#[inline]
+pub fn hash64(key: u64, seed: u64) -> u64 {
+    let mut x = key ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Bucket index in `[0, width)` for row `row`.
+#[inline]
+pub fn bucket(key: u64, row: u64, width: usize) -> usize {
+    (hash64(key, row.wrapping_mul(0xa076_1d64_78bd_642f).wrapping_add(1)) % width as u64) as usize
+}
+
+/// ±1 sign for Count-Sketch rows.
+#[inline]
+pub fn sign(key: u64, row: u64) -> i64 {
+    if hash64(key, row.wrapping_mul(0xe703_7ed1_a0b4_28db).wrapping_add(7)) & 1 == 0 {
+        1
+    } else {
+        -1
+    }
+}
+
+/// Number of leading one-bits in the hash of `key` — the geometric level
+/// used by UnivMon's sampling hierarchy (level `l` keeps a key with
+/// probability `2^-l`).
+#[inline]
+pub fn level(key: u64, seed: u64, max_level: usize) -> usize {
+    (hash64(key, seed ^ 0x5eed) .trailing_ones() as usize).min(max_level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_seed_sensitive() {
+        assert_eq!(hash64(42, 1), hash64(42, 1));
+        assert_ne!(hash64(42, 1), hash64(42, 2));
+        assert_ne!(hash64(42, 1), hash64(43, 1));
+    }
+
+    #[test]
+    fn buckets_are_roughly_uniform() {
+        let width = 64;
+        let mut counts = vec![0usize; width];
+        for k in 0..64_000u64 {
+            counts[bucket(k, 3, width)] += 1;
+        }
+        let expected = 1000.0;
+        for &c in &counts {
+            assert!((c as f64 - expected).abs() < expected * 0.25, "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn signs_are_balanced() {
+        let pos = (0..10_000u64).filter(|&k| sign(k, 5) > 0).count();
+        assert!((pos as f64 - 5_000.0).abs() < 400.0, "positive signs {pos}");
+    }
+
+    #[test]
+    fn levels_are_geometric() {
+        let n = 100_000u64;
+        let mut counts = vec![0usize; 8];
+        for k in 0..n {
+            counts[level(k, 9, 7)] += 1;
+        }
+        // Level 0 ≈ 1/2, level 1 ≈ 1/4, …
+        assert!((counts[0] as f64 / n as f64 - 0.5).abs() < 0.02);
+        assert!((counts[1] as f64 / n as f64 - 0.25).abs() < 0.02);
+        assert!((counts[2] as f64 / n as f64 - 0.125).abs() < 0.02);
+    }
+}

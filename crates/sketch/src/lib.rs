@@ -1,0 +1,41 @@
+//! # sketch
+//!
+//! Sketch-based network telemetry — the downstream-task substrate for the
+//! paper's Finding 2, App #2 (Fig. 13): heavy-hitter count estimation with
+//! four sketching algorithms under equal memory:
+//!
+//! * [`countmin::CountMin`] — Count-Min Sketch (Cormode & Muthukrishnan);
+//! * [`countsketch::CountSketch`] — Count Sketch (Charikar et al.);
+//! * [`univmon::UnivMon`] — Universal Monitoring (Liu et al., SIGCOMM'16),
+//!   level-sampled Count Sketches;
+//! * [`nitro::NitroSketch`] — NitroSketch (Liu et al., SIGCOMM'19),
+//!   sampled Count-Sketch updates with unbiased rescaling.
+//!
+//! [`harness`] extracts heavy-hitter keys from traces (destination IP for
+//! CAIDA, source IP for DC, five-tuple for CA, as in the paper) and
+//! computes the count-estimation error rates the figure compares.
+
+pub mod countmin;
+pub mod countsketch;
+pub mod harness;
+pub mod hash;
+pub mod nitro;
+pub mod univmon;
+
+pub use countmin::CountMin;
+pub use countsketch::CountSketch;
+pub use harness::{hh_estimation_error, HhKey};
+pub use nitro::NitroSketch;
+pub use univmon::UnivMon;
+
+/// A frequency sketch over `u64` keys.
+pub trait Sketch {
+    /// Adds `count` occurrences of `key`.
+    fn update(&mut self, key: u64, count: u64);
+    /// Estimates the total count of `key`.
+    fn estimate(&self, key: u64) -> f64;
+    /// Display name (matches the paper's x-axis labels).
+    fn name(&self) -> &'static str;
+    /// Number of counters allocated (the equal-memory knob).
+    fn counters(&self) -> usize;
+}

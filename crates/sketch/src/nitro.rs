@@ -1,0 +1,111 @@
+//! NitroSketch (Liu et al., SIGCOMM 2019): software-switch-friendly
+//! sketching that samples *counter updates* rather than packets — each
+//! row is updated with probability `p`, adding `count / p` to stay
+//! unbiased. Same memory, faster updates, modestly higher variance.
+
+use crate::hash::{bucket, sign};
+use crate::Sketch;
+use rand::prelude::*;
+
+/// A sampled-update Count Sketch.
+#[derive(Debug, Clone)]
+pub struct NitroSketch {
+    depth: usize,
+    width: usize,
+    table: Vec<f64>,
+    /// Per-row update probability.
+    p: f64,
+    rng: StdRng,
+}
+
+impl NitroSketch {
+    /// Builds a sketch with `depth × width` counters and per-row update
+    /// probability `p ∈ (0, 1]`.
+    pub fn new(depth: usize, width: usize, p: f64, seed: u64) -> Self {
+        assert!(depth >= 1 && width >= 1, "degenerate sketch");
+        assert!(p > 0.0 && p <= 1.0, "update probability in (0,1]");
+        NitroSketch {
+            depth,
+            width,
+            table: vec![0.0; depth * width],
+            p,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Sketch for NitroSketch {
+    fn update(&mut self, key: u64, count: u64) {
+        for r in 0..self.depth {
+            if self.p >= 1.0 || self.rng.gen::<f64>() < self.p {
+                let b = bucket(key, r as u64, self.width);
+                self.table[r * self.width + b] +=
+                    sign(key, r as u64) as f64 * count as f64 / self.p;
+            }
+        }
+    }
+
+    fn estimate(&self, key: u64) -> f64 {
+        let mut ests: Vec<f64> = (0..self.depth)
+            .map(|r| {
+                let b = bucket(key, r as u64, self.width);
+                sign(key, r as u64) as f64 * self.table[r * self.width + b]
+            })
+            .collect();
+        ests.sort_by(|a, b| a.total_cmp(b));
+        let n = ests.len();
+        let med = if n % 2 == 1 {
+            ests[n / 2]
+        } else {
+            (ests[n / 2 - 1] + ests[n / 2]) / 2.0
+        };
+        med.max(0.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "NitroSketch"
+    }
+
+    fn counters(&self) -> usize {
+        self.depth * self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_one_matches_count_sketch_behaviour() {
+        let mut s = NitroSketch::new(5, 512, 1.0, 1);
+        s.update(11, 400);
+        assert_eq!(s.estimate(11), 400.0);
+    }
+
+    #[test]
+    fn sampled_updates_are_unbiased_for_heavy_keys() {
+        let mut s = NitroSketch::new(5, 512, 0.25, 2);
+        for _ in 0..10_000 {
+            s.update(1, 10);
+        }
+        let est = s.estimate(1);
+        let rel = (est - 100_000.0).abs() / 100_000.0;
+        assert!(rel < 0.10, "relative error {rel}");
+    }
+
+    #[test]
+    fn sampling_increases_variance_over_exact_updates() {
+        let err_with_p = |p: f64| {
+            let mut s = NitroSketch::new(5, 256, p, 3);
+            for k in 0..500u64 {
+                for _ in 0..20 {
+                    s.update(k, 1);
+                }
+            }
+            (0..500u64)
+                .map(|k| (s.estimate(k) - 20.0).abs())
+                .sum::<f64>()
+        };
+        assert!(err_with_p(0.05) > err_with_p(1.0));
+    }
+}

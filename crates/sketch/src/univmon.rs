@@ -1,0 +1,100 @@
+//! UnivMon (Liu et al., SIGCOMM 2016): one universal sketch to support
+//! many monitoring tasks, built as a hierarchy of level-sampled Count
+//! Sketches — level `l` sees each key with probability `2^-l`.
+
+use crate::countsketch::CountSketch;
+use crate::hash::level;
+use crate::Sketch;
+
+/// A UnivMon instance with `levels` sub-sketches sharing the memory
+/// budget.
+#[derive(Debug, Clone)]
+pub struct UnivMon {
+    levels: Vec<CountSketch>,
+    seed: u64,
+}
+
+impl UnivMon {
+    /// Builds a UnivMon whose *total* counter budget is
+    /// `depth × width`, split evenly across `levels` Count Sketches (the
+    /// equal-memory comparison of Fig. 13).
+    pub fn new(depth: usize, width: usize, levels: usize) -> Self {
+        assert!(levels >= 1, "need at least one level");
+        let per_level_width = (width / levels).max(1);
+        UnivMon {
+            levels: (0..levels)
+                .map(|_| CountSketch::new(depth, per_level_width))
+                .collect(),
+            seed: 0xdeed,
+        }
+    }
+
+    /// Number of levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+impl Sketch for UnivMon {
+    fn update(&mut self, key: u64, count: u64) {
+        // Key lands in levels 0..=l where l is its geometric level.
+        let l = level(key, self.seed, self.levels.len() - 1);
+        for sketch in &mut self.levels[..=l] {
+            sketch.update(key, count);
+        }
+    }
+
+    fn estimate(&self, key: u64) -> f64 {
+        // Count estimation reads the bottom (unsampled) level; deeper
+        // levels refine other statistics (entropy, distinct counts).
+        self.levels[0].estimate(key)
+    }
+
+    fn name(&self) -> &'static str {
+        "UnivMon"
+    }
+
+    fn counters(&self) -> usize {
+        self.levels.iter().map(|s| s.counters()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_budget_is_split() {
+        let u = UnivMon::new(4, 512, 8);
+        assert_eq!(u.counters(), 4 * 512);
+        assert_eq!(u.num_levels(), 8);
+    }
+
+    #[test]
+    fn heavy_hitters_survive_level_sampling() {
+        let mut u = UnivMon::new(4, 512, 8);
+        u.update(1, 80_000);
+        for k in 10..2_010u64 {
+            u.update(k, 3);
+        }
+        let est = u.estimate(1);
+        let rel = (est - 80_000.0).abs() / 80_000.0;
+        assert!(rel < 0.10, "relative error {rel}");
+    }
+
+    #[test]
+    fn narrower_levels_mean_more_error_than_plain_cs() {
+        // With equal total memory, UnivMon's level 0 is narrower than a
+        // monolithic Count Sketch, so its worst-case noise is larger.
+        let mut cs = CountSketch::new(4, 512);
+        let mut um = UnivMon::new(4, 512, 8);
+        for k in 0..3_000u64 {
+            cs.update(k, 5);
+            um.update(k, 5);
+        }
+        let err = |est: f64| (est - 5.0).abs();
+        let cs_err: f64 = (0..500u64).map(|k| err(cs.estimate(k))).sum();
+        let um_err: f64 = (0..500u64).map(|k| err(um.estimate(k))).sum();
+        assert!(um_err >= cs_err, "UnivMon {um_err} vs CS {cs_err}");
+    }
+}

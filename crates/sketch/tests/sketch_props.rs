@@ -1,0 +1,63 @@
+//! Property tests for sketch estimators.
+
+use proptest::prelude::*;
+use sketch::{CountMin, CountSketch, Sketch, UnivMon};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn countmin_never_underestimates(
+        updates in prop::collection::vec((0u64..200, 1u64..50), 1..300),
+    ) {
+        let mut s = CountMin::new(4, 128);
+        let mut exact = std::collections::HashMap::new();
+        for &(k, c) in &updates {
+            s.update(k, c);
+            *exact.entry(k).or_insert(0u64) += c;
+        }
+        for (&k, &true_count) in &exact {
+            prop_assert!(s.estimate(k) >= true_count as f64, "key {}", k);
+        }
+    }
+
+    #[test]
+    fn estimates_are_exact_when_load_is_tiny(
+        keys in prop::collection::hash_set(0u64..1_000_000, 1..8),
+        count in 1u64..1000,
+    ) {
+        // Far fewer keys than counters: collisions are overwhelmingly
+        // unlikely; all three deterministic sketches are exact.
+        let mut cms = CountMin::new(4, 4096);
+        let mut cs = CountSketch::new(5, 4096);
+        let mut um = UnivMon::new(4, 4096, 4);
+        for &k in &keys {
+            cms.update(k, count);
+            cs.update(k, count);
+            um.update(k, count);
+        }
+        for &k in &keys {
+            prop_assert_eq!(cms.estimate(k), count as f64);
+            prop_assert_eq!(cs.estimate(k), count as f64);
+            prop_assert_eq!(um.estimate(k), count as f64);
+        }
+    }
+
+    #[test]
+    fn countmin_error_bounded_by_stream_mass(
+        updates in prop::collection::vec((0u64..100, 1u64..20), 1..200),
+        probe in 0u64..100,
+    ) {
+        let mut s = CountMin::new(4, 256);
+        let mut total = 0u64;
+        let mut exact = std::collections::HashMap::new();
+        for &(k, c) in &updates {
+            s.update(k, c);
+            total += c;
+            *exact.entry(k).or_insert(0u64) += c;
+        }
+        let true_count = *exact.get(&probe).unwrap_or(&0);
+        // Standard CMS guarantee: est ≤ true + total (loose but universal).
+        prop_assert!(s.estimate(probe) <= (true_count + total) as f64);
+    }
+}

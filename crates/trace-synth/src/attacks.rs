@@ -1,0 +1,185 @@
+//! Attack-traffic generators for the labeled flow datasets.
+//!
+//! Each generator produces flow records whose header statistics carry the
+//! attack's signature (the features the paper's downstream traffic-type
+//! predictors use: ports, protocol, bytes/flow, packets/flow, duration).
+//! Signatures follow the qualitative descriptions in the dataset papers:
+//! e.g. port scans are bursts of 1–2-packet flows to many ports, DoS is a
+//! flood of small flows at one victim, brute force hammers one service
+//! port with short repeated connections.
+
+use nettrace::{AttackType, FiveTuple, FlowRecord, Protocol, TrafficLabel};
+use rand::prelude::*;
+
+use crate::samplers::exp_gap;
+
+/// Emits a burst of attack flow records of the given type.
+///
+/// * `attacker`/`victim` — endpoint addresses for the burst.
+/// * `start_ms` — burst start; records get small offsets after it.
+/// * `burst` — approximate number of records to emit.
+///
+/// Record start times wrap modulo `span_ms` so long bursts stay inside
+/// the benign trace's time window instead of forming an attack-only tail
+/// (which would break the paper's time-ordered train/test split).
+pub fn generate_attack_burst<R: Rng + ?Sized>(
+    rng: &mut R,
+    attack: AttackType,
+    attacker: u32,
+    victim: u32,
+    start_ms: f64,
+    span_ms: f64,
+    burst: usize,
+) -> Vec<FlowRecord> {
+    let span_ms = span_ms.max(1.0);
+    let mut out = Vec::with_capacity(burst);
+    let mut t = start_ms;
+    for _ in 0..burst {
+        t = (t + exp_gap(rng, attack_gap_ms(attack))) % span_ms;
+        let rec = match attack {
+            AttackType::Dos | AttackType::Ddos => {
+                // SYN-flood-like: many tiny TCP flows at the victim's web port.
+                let src = if attack == AttackType::Ddos {
+                    // DDoS: spoofed/distributed sources.
+                    rng.gen::<u32>() | 0x0100_0000 // keep out of 0.x.x.x
+                } else {
+                    attacker
+                };
+                let tuple = FiveTuple::new(src, victim, rng.gen_range(1024..=65535), 80, Protocol::Tcp);
+                let pkts = rng.gen_range(1..=3);
+                FlowRecord::new(tuple, t, rng.gen_range(0.0..2.0), pkts, pkts * 40)
+            }
+            AttackType::PortScan | AttackType::Scanning => {
+                // Sweep of low ports, 1–2 packets each, minimal bytes.
+                let port = if attack == AttackType::PortScan {
+                    rng.gen_range(1..=1024)
+                } else {
+                    rng.gen_range(1..=65535)
+                };
+                let tuple =
+                    FiveTuple::new(attacker, victim, rng.gen_range(40000..=65535), port, Protocol::Tcp);
+                let pkts = rng.gen_range(1..=2);
+                FlowRecord::new(tuple, t, 0.0, pkts, pkts * 40)
+            }
+            AttackType::BruteForce => {
+                // Repeated short SSH sessions: handful of packets, small bytes.
+                let tuple =
+                    FiveTuple::new(attacker, victim, rng.gen_range(1024..=65535), 22, Protocol::Tcp);
+                let pkts = rng.gen_range(8..=25);
+                FlowRecord::new(tuple, t, rng.gen_range(100.0..2_000.0), pkts, pkts * rng.gen_range(60..140))
+            }
+            AttackType::Backdoor => {
+                // Long-lived low-rate C2 channel on a high port.
+                let tuple =
+                    FiveTuple::new(victim, attacker, rng.gen_range(1024..=65535), 4444, Protocol::Tcp);
+                let pkts = rng.gen_range(20..=200);
+                FlowRecord::new(tuple, t, rng.gen_range(10_000.0..120_000.0), pkts, pkts * rng.gen_range(80..300))
+            }
+            AttackType::Injection | AttackType::Xss => {
+                // Web requests with bloated request sizes.
+                let port = if rng.gen::<f64>() < 0.5 { 80 } else { 443 };
+                let tuple =
+                    FiveTuple::new(attacker, victim, rng.gen_range(1024..=65535), port, Protocol::Tcp);
+                let pkts = rng.gen_range(6..=30);
+                let per = if attack == AttackType::Injection {
+                    rng.gen_range(700..1400)
+                } else {
+                    rng.gen_range(400..900)
+                };
+                FlowRecord::new(tuple, t, rng.gen_range(50.0..800.0), pkts, pkts * per)
+            }
+            AttackType::Mitm => {
+                // Relay-shaped traffic: symmetric mid-size flows, odd ports.
+                let tuple = FiveTuple::new(
+                    attacker,
+                    victim,
+                    rng.gen_range(1024..=65535),
+                    rng.gen_range(1024..=65535),
+                    Protocol::Tcp,
+                );
+                let pkts = rng.gen_range(30..=300);
+                FlowRecord::new(tuple, t, rng.gen_range(1_000.0..30_000.0), pkts, pkts * rng.gen_range(200..600))
+            }
+            AttackType::Ransomware => {
+                // SMB sweeps with heavy byte volume (encryption traffic).
+                let tuple =
+                    FiveTuple::new(attacker, victim, rng.gen_range(1024..=65535), 445, Protocol::Tcp);
+                let pkts = rng.gen_range(200..=5_000);
+                FlowRecord::new(tuple, t, rng.gen_range(2_000.0..60_000.0), pkts, pkts * rng.gen_range(800..1460))
+            }
+        };
+        out.push(rec.with_label(TrafficLabel::Attack(attack)));
+    }
+    out
+}
+
+/// Mean gap between records within a burst, per attack type (ms).
+fn attack_gap_ms(attack: AttackType) -> f64 {
+    match attack {
+        AttackType::Dos | AttackType::Ddos => 0.5,
+        AttackType::PortScan | AttackType::Scanning => 2.0,
+        AttackType::BruteForce => 150.0,
+        AttackType::Backdoor => 5_000.0,
+        AttackType::Injection | AttackType::Xss => 400.0,
+        AttackType::Mitm => 2_000.0,
+        AttackType::Ransomware => 1_000.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn every_attack_type_generates_labeled_records() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for attack in AttackType::ALL {
+            let recs = generate_attack_burst(&mut rng, attack, 0x0a000001, 0xc0a80001, 100.0, 1e9, 20);
+            assert_eq!(recs.len(), 20);
+            assert!(recs
+                .iter()
+                .all(|r| r.label == Some(TrafficLabel::Attack(attack))));
+            assert!(recs.iter().all(|r| r.packets >= 1));
+            assert!(recs.iter().all(|r| r.start_ms >= 100.0));
+        }
+    }
+
+    #[test]
+    fn port_scans_touch_many_ports() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let recs =
+            generate_attack_burst(&mut rng, AttackType::PortScan, 0x0a000001, 0xc0a80001, 0.0, 1e9, 200);
+        let ports: std::collections::HashSet<u16> =
+            recs.iter().map(|r| r.five_tuple.dst_port).collect();
+        assert!(ports.len() > 50, "scan must sweep ports, saw {}", ports.len());
+        assert!(ports.iter().all(|&p| p <= 1024));
+    }
+
+    #[test]
+    fn dos_concentrates_on_one_victim_port() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let recs = generate_attack_burst(&mut rng, AttackType::Dos, 0x0a000001, 0xc0a80001, 0.0, 1e9, 100);
+        assert!(recs.iter().all(|r| r.five_tuple.dst_port == 80));
+        assert!(recs.iter().all(|r| r.five_tuple.dst_ip == 0xc0a80001));
+        assert!(recs.iter().all(|r| r.bytes <= 3 * 40));
+    }
+
+    #[test]
+    fn ransomware_is_heavy_volume() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let recs =
+            generate_attack_burst(&mut rng, AttackType::Ransomware, 1, 2, 0.0, 1e9, 30);
+        assert!(recs.iter().all(|r| r.bytes >= 200 * 800));
+        assert!(recs.iter().all(|r| r.five_tuple.dst_port == 445));
+    }
+
+    #[test]
+    fn ddos_uses_distributed_sources() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let recs = generate_attack_burst(&mut rng, AttackType::Ddos, 1, 2, 0.0, 1e9, 100);
+        let srcs: std::collections::HashSet<u32> =
+            recs.iter().map(|r| r.five_tuple.src_ip).collect();
+        assert!(srcs.len() > 50, "DDoS sources must be distributed");
+    }
+}

@@ -1,0 +1,154 @@
+//! CA-like packet dataset: the U.S. National CyberWatch Mid-Atlantic
+//! Collegiate Cyber Defense Competition captures (MACCDC, March 2012).
+//!
+//! Structure reproduced: a defended enterprise network under sustained
+//! offensive activity — a baseline of ordinary enterprise traffic overlaid
+//! with dense port-scan sweeps (sequential destination ports, minimum-size
+//! TCP probes from a few red-team hosts) and brute-force hammering. This
+//! is the dataset where five-tuple heavy hitters matter (Fig. 13 CA uses
+//! five-tuple aggregation).
+
+use nettrace::{FiveTuple, PacketRecord, PacketTrace, Protocol};
+use rand::prelude::*;
+use std::net::Ipv4Addr;
+
+use crate::samplers::{exp_gap, CategoricalSampler, HeavyTailSampler, ZipfPool};
+use crate::session::{generate_packet_trace, TrafficProfile};
+
+fn ip(a: u8, b: u8, c: u8, d: u8) -> u32 {
+    u32::from(Ipv4Addr::new(a, b, c, d))
+}
+
+fn profile(rng: &mut impl Rng) -> TrafficProfile {
+    // Blue-team enterprise: 172.16.x.x hosts.
+    let mut clients: Vec<u32> = (0..6u8)
+        .flat_map(|s| (2..80u8).map(move |h| ip(172, 16, s, h)))
+        .collect();
+    clients.extend((0..40).map(|_| {
+        let net = rng.gen_range(2u32..223) << 24;
+        net | rng.gen_range(0..0x0100_0000u32) & 0x00ff_ffff
+    }));
+    let servers: Vec<u32> = vec![
+        ip(172, 16, 0, 10), // web
+        ip(172, 16, 0, 11), // mail
+        ip(172, 16, 0, 12), // dns
+        ip(172, 16, 1, 10), // db
+        ip(172, 16, 1, 11), // file
+    ];
+    TrafficProfile {
+        clients: ZipfPool::new(clients, 0.9),
+        servers: ZipfPool::new(servers, 1.1),
+        services: CategoricalSampler::new(vec![
+            ((80, Protocol::Tcp), 0.30),
+            ((443, Protocol::Tcp), 0.18),
+            ((53, Protocol::Udp), 0.14),
+            ((25, Protocol::Tcp), 0.08),
+            ((445, Protocol::Tcp), 0.10),
+            ((22, Protocol::Tcp), 0.08),
+            ((3389, Protocol::Tcp), 0.06),
+            ((21, Protocol::Tcp), 0.06),
+        ]),
+        session_gap_ms: 4.0,
+        packets_per_session: HeavyTailSampler::new(1.0, 1.1, 80.0, 1.1, 0.03, 5e3),
+        mean_pkt_size: CategoricalSampler::new(vec![(60, 0.45), (300, 0.15), (576, 0.15), (1460, 0.25)]),
+        ms_per_packet: 15.0,
+        tuple_repeat_p: 0.25,
+        icmp_p: 0.04, // ping sweeps
+    }
+}
+
+/// Fraction of packets contributed by scan/attack overlays.
+const SCAN_FRACTION: f64 = 0.25;
+
+/// Generates approximately `n` CA-like packets.
+pub fn generate(n: usize, seed: u64) -> PacketTrace {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6d61_6363_6463_0000); // "maccdc"
+    let prof = profile(&mut rng);
+    let base_n = ((n as f64) * (1.0 - SCAN_FRACTION)) as usize;
+    let mut trace = generate_packet_trace(&prof, base_n, 5_000, &mut rng);
+    let span_ms = (trace.span_micros() as f64 / 1000.0).max(1.0);
+
+    // Red-team overlays: SYN scans sweeping sequential ports and repeated
+    // brute-force bursts against SSH/RDP.
+    let red_team: Vec<u32> = (2..8u8).map(|h| ip(10, 99, 99, h)).collect();
+    let victims: Vec<u32> = (2..80u8).map(|h| ip(172, 16, 0, h)).collect();
+    let mut overlay = Vec::with_capacity(n - base_n);
+    while overlay.len() < n - base_n {
+        let attacker = red_team[rng.gen_range(0..red_team.len())];
+        let victim = victims[rng.gen_range(0..victims.len())];
+        let start_ms = rng.gen_range(0.0..span_ms);
+        if rng.gen::<f64>() < 0.7 {
+            // Sequential port scan: one 40-byte SYN per port.
+            let first_port = rng.gen_range(1..1000u16);
+            let count = rng.gen_range(50..400).min(n - base_n - overlay.len());
+            let mut t = start_ms;
+            for i in 0..count {
+                t += exp_gap(&mut rng, 1.5);
+                let tuple = FiveTuple::new(
+                    attacker,
+                    victim,
+                    rng.gen_range(40000..=65535),
+                    first_port.saturating_add(i as u16),
+                    Protocol::Tcp,
+                );
+                overlay.push(PacketRecord::new((t * 1000.0) as u64, tuple, 40));
+            }
+        } else {
+            // Brute force: repeated short exchanges on 22/3389.
+            let port = if rng.gen::<bool>() { 22 } else { 3389 };
+            let count = rng.gen_range(30..200).min(n - base_n - overlay.len());
+            let sport = rng.gen_range(1024..=65535);
+            let mut t = start_ms;
+            for _ in 0..count {
+                t += exp_gap(&mut rng, 40.0);
+                let tuple = FiveTuple::new(attacker, victim, sport, port, Protocol::Tcp);
+                overlay.push(PacketRecord::new(
+                    (t * 1000.0) as u64,
+                    tuple,
+                    rng.gen_range(40..200),
+                ));
+            }
+        }
+    }
+    trace.packets.extend(overlay);
+    trace.sort_by_time();
+    trace.truncate(n);
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_overlay_present() {
+        let t = generate(20_000, 1);
+        let red = t
+            .packets
+            .iter()
+            .filter(|p| (p.five_tuple.src_ip >> 8) == u32::from(Ipv4Addr::new(10, 99, 99, 0)) >> 8)
+            .count();
+        let frac = red as f64 / t.len() as f64;
+        assert!(frac > 0.10 && frac < 0.40, "red-team fraction {frac}");
+    }
+
+    #[test]
+    fn scans_sweep_sequential_ports() {
+        let t = generate(20_000, 2);
+        let scan_ports: std::collections::HashSet<u16> = t
+            .packets
+            .iter()
+            .filter(|p| p.packet_len == 40 && (p.five_tuple.src_ip >> 24) == 10)
+            .map(|p| p.five_tuple.dst_port)
+            .collect();
+        assert!(scan_ports.len() > 100, "many scanned ports, got {}", scan_ports.len());
+    }
+
+    #[test]
+    fn five_tuple_heavy_hitters_exist() {
+        let t = generate(20_000, 3);
+        let groups = t.group_by_five_tuple();
+        let max = groups.values().map(|v| v.len()).max().unwrap();
+        assert!(max as f64 > 0.001 * t.len() as f64, "HH above 0.1% threshold");
+    }
+}

@@ -1,0 +1,96 @@
+//! CAIDA-like packet dataset: anonymized IPv4 headers from a high-speed
+//! commercial backbone monitor (the paper uses the New York collector,
+//! March 2018).
+//!
+//! Structure reproduced: very large, diverse address population with
+//! Zipfian popularity; enormous flow-arrival rate with interleaved flows;
+//! bimodal packet sizes (ACK-sized vs MTU-sized); flow sizes from 1 packet
+//! to thousands (the Fig. 1b CDF); broad destination-port mix with
+//! well-known services on top.
+
+use nettrace::{PacketTrace, Protocol};
+use rand::prelude::*;
+
+use crate::samplers::{CategoricalSampler, HeavyTailSampler, ZipfPool};
+use crate::session::{generate_packet_trace, TrafficProfile};
+
+fn profile(rng: &mut impl Rng) -> TrafficProfile {
+    let random_addr = |rng: &mut dyn RngCore| -> u32 {
+        let net = rng.gen_range(2u32..223) << 24;
+        net | rng.gen_range(0..0x0100_0000u32) & 0x00ff_ffff
+    };
+    let clients: Vec<u32> = (0..20_000).map(|_| random_addr(rng)).collect();
+    let servers: Vec<u32> = (0..4_000).map(|_| random_addr(rng)).collect();
+    TrafficProfile {
+        clients: ZipfPool::new(clients, 1.02),
+        servers: ZipfPool::new(servers, 1.2),
+        services: CategoricalSampler::new(vec![
+            ((443, Protocol::Tcp), 0.38),
+            ((80, Protocol::Tcp), 0.22),
+            ((53, Protocol::Udp), 0.12),
+            ((443, Protocol::Udp), 0.08), // QUIC
+            ((22, Protocol::Tcp), 0.03),
+            ((25, Protocol::Tcp), 0.03),
+            ((123, Protocol::Udp), 0.02),
+            ((8080, Protocol::Tcp), 0.03),
+            ((3478, Protocol::Udp), 0.03), // STUN
+            ((993, Protocol::Tcp), 0.02),
+            ((5222, Protocol::Tcp), 0.02),
+            ((1194, Protocol::Udp), 0.02),
+        ]),
+        session_gap_ms: 0.8, // backbone: flows arrive constantly
+        packets_per_session: HeavyTailSampler::new(1.0, 1.4, 100.0, 1.1, 0.04, 1e4),
+        mean_pkt_size: CategoricalSampler::new(vec![(60, 0.42), (576, 0.12), (1000, 0.08), (1460, 0.38)]),
+        ms_per_packet: 8.0,
+        tuple_repeat_p: 0.10,
+        icmp_p: 0.01,
+    }
+}
+
+/// Generates approximately `n` CAIDA-like packets.
+pub fn generate(n: usize, seed: u64) -> PacketTrace {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6361_6964_6100_0000); // "caida"
+    let prof = profile(&mut rng);
+    generate_packet_trace(&prof, n, 10_000, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettrace::{aggregate_flows, AggregationConfig};
+
+    #[test]
+    fn flows_span_one_to_thousands_of_packets() {
+        let t = generate(30_000, 1);
+        let groups = t.group_by_five_tuple();
+        let sizes: Vec<usize> = groups.values().map(|v| v.len()).collect();
+        let ones = sizes.iter().filter(|&&s| s == 1).count();
+        let max = *sizes.iter().max().unwrap();
+        assert!(ones > 0, "singleton flows exist");
+        assert!(max > 100, "elephant flows exist, max {max}");
+    }
+
+    #[test]
+    fn packet_sizes_are_bimodal() {
+        let t = generate(10_000, 2);
+        let small = t.packets.iter().filter(|p| p.packet_len <= 100).count();
+        let large = t.packets.iter().filter(|p| p.packet_len >= 1000).count();
+        assert!(small > t.len() / 8, "ACK-sized packets present");
+        assert!(large > t.len() / 8, "MTU-sized packets present");
+    }
+
+    #[test]
+    fn timestamps_are_monotone() {
+        let t = generate(5_000, 3);
+        assert!(t.packets.windows(2).all(|w| w[0].ts_micros <= w[1].ts_micros));
+    }
+
+    #[test]
+    fn aggregates_into_valid_flows() {
+        let t = generate(10_000, 4);
+        let flows = aggregate_flows(&t, AggregationConfig::default());
+        let r = nettrace::validity::check_packet_trace(&t, &flows);
+        assert!(r.test1 > 0.95, "test1 {}", r.test1);
+        assert!(r.test4.unwrap() > 0.99, "test4 {:?}", r.test4);
+    }
+}

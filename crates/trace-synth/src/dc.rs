@@ -1,0 +1,96 @@
+//! DC-like packet dataset: the "UNI1" university data center studied in
+//! the IMC 2010 paper (Benson et al., "Network traffic characteristics of
+//! data centers in the wild").
+//!
+//! Structure reproduced: private 10.x rack/host address plan with strong
+//! intra-cluster locality; application mix on internal service ports; many
+//! tiny query flows plus a few bulk transfers; strongly bimodal packet
+//! sizes; bursty ON/OFF packet arrivals (short `ms_per_packet` inside
+//! sessions, longer gaps between them).
+
+use nettrace::{PacketTrace, Protocol};
+use rand::prelude::*;
+use std::net::Ipv4Addr;
+
+use crate::samplers::{CategoricalSampler, HeavyTailSampler, ZipfPool};
+use crate::session::{generate_packet_trace, TrafficProfile};
+
+fn ip(a: u8, b: u8, c: u8, d: u8) -> u32 {
+    u32::from(Ipv4Addr::new(a, b, c, d))
+}
+
+fn profile(_rng: &mut impl Rng) -> TrafficProfile {
+    // 16 racks of 40 hosts: 10.0.rack.host.
+    let mut hosts = Vec::with_capacity(16 * 40);
+    for rack in 0..16u8 {
+        for host in 2..42u8 {
+            hosts.push(ip(10, 0, rack, host));
+        }
+    }
+    // Service VIPs concentrate traffic (front-ends, storage heads).
+    let servers: Vec<u32> = (0..48u8).map(|i| ip(10, 0, i % 16, 200 + (i / 16))).collect();
+    TrafficProfile {
+        clients: ZipfPool::new(hosts, 0.95),
+        servers: ZipfPool::new(servers, 1.35),
+        services: CategoricalSampler::new(vec![
+            ((80, Protocol::Tcp), 0.22),
+            ((443, Protocol::Tcp), 0.12),
+            ((3306, Protocol::Tcp), 0.14),  // MySQL
+            ((11211, Protocol::Tcp), 0.16), // memcached
+            ((9092, Protocol::Tcp), 0.08),  // broker
+            ((2049, Protocol::Tcp), 0.10),  // NFS
+            ((53, Protocol::Udp), 0.10),
+            ((389, Protocol::Tcp), 0.04),   // LDAP
+            ((5432, Protocol::Tcp), 0.04),  // Postgres
+        ]),
+        session_gap_ms: 0.5,
+        // Queries are a handful of packets; bulk jobs reach 1e4.
+        packets_per_session: HeavyTailSampler::new(1.2, 1.0, 300.0, 1.0, 0.03, 1e4),
+        mean_pkt_size: CategoricalSampler::new(vec![(60, 0.50), (256, 0.10), (1460, 0.40)]),
+        ms_per_packet: 0.5, // intra-DC RTTs: packets arrive in tight bursts
+        tuple_repeat_p: 0.40, // RPC clients re-query the same services
+        icmp_p: 0.005,
+    }
+}
+
+/// Generates approximately `n` DC-like packets.
+pub fn generate(n: usize, seed: u64) -> PacketTrace {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6463_0000_0000_0000); // "dc"
+    let prof = profile(&mut rng);
+    generate_packet_trace(&prof, n, 10_000, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_are_private_10_slash_8() {
+        let t = generate(5_000, 1);
+        assert!(t.packets.iter().all(|p| (p.five_tuple.src_ip >> 24) == 10));
+        assert!(t.packets.iter().all(|p| (p.five_tuple.dst_ip >> 24) == 10));
+    }
+
+    #[test]
+    fn sizes_are_strongly_bimodal() {
+        let t = generate(10_000, 2);
+        let mid = t
+            .packets
+            .iter()
+            .filter(|p| p.packet_len > 300 && p.packet_len < 1000)
+            .count();
+        assert!((mid as f64) < 0.35 * t.len() as f64, "mid-size packets rare, got {mid}");
+    }
+
+    #[test]
+    fn heavy_hitter_sources_exist() {
+        // Fig. 13 DC estimates source-IP heavy hitters at a 0.1% threshold.
+        let t = generate(20_000, 3);
+        let mut counts = std::collections::HashMap::new();
+        for p in &t.packets {
+            *counts.entry(p.five_tuple.src_ip).or_insert(0usize) += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        assert!(max as f64 > 0.001 * t.len() as f64, "need HH above threshold");
+    }
+}

@@ -1,0 +1,201 @@
+//! "Public" datasets used for pre-training.
+//!
+//! NetShare uses public data in two places (paper Insights 2 and 4):
+//!
+//! 1. the IP2Vec port/protocol embedding is trained on a *public* trace
+//!    (a CAIDA backbone trace from the Chicago collector, 2015) that
+//!    "naturally contains almost every possible port number and protocol",
+//!    so the embedding dictionary is not private-data-dependent;
+//! 2. DP training pre-trains the GAN on a public dataset and fine-tunes
+//!    with DP-SGD on the private one — same-domain public data
+//!    (`caida_chicago_2015`) helps far more than different-domain data
+//!    (Fig. 5's "DP Pretrained-SAME" vs "DP Pretrained-DIFF").
+
+use nettrace::{PacketTrace, Protocol};
+use rand::prelude::*;
+
+use crate::samplers::{CategoricalSampler, HeavyTailSampler, ZipfPool};
+use crate::session::{generate_packet_trace, TrafficProfile};
+
+/// A CAIDA-Chicago-2015-like public backbone trace: same *domain* as the
+/// private CAIDA (New York, 2018) dataset but a different collector, year,
+/// address population and service mix — the "SAME-domain" public dataset
+/// of Fig. 5.
+pub fn caida_chicago_2015(n: usize, seed: u64) -> PacketTrace {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6368_6963_6167_6f00); // "chicago"
+    let random_addr = |rng: &mut dyn RngCore| -> u32 {
+        let net = rng.gen_range(2u32..223) << 24;
+        net | rng.gen_range(0..0x0100_0000u32) & 0x00ff_ffff
+    };
+    let clients: Vec<u32> = (0..15_000).map(|_| random_addr(&mut rng)).collect();
+    let servers: Vec<u32> = (0..3_000).map(|_| random_addr(&mut rng)).collect();
+    // 2015 mix: more plain HTTP, less QUIC than the 2018 private trace.
+    let prof = TrafficProfile {
+        clients: ZipfPool::new(clients, 1.0),
+        servers: ZipfPool::new(servers, 1.15),
+        services: CategoricalSampler::new(vec![
+            ((80, Protocol::Tcp), 0.36),
+            ((443, Protocol::Tcp), 0.24),
+            ((53, Protocol::Udp), 0.14),
+            ((25, Protocol::Tcp), 0.04),
+            ((22, Protocol::Tcp), 0.03),
+            ((123, Protocol::Udp), 0.03),
+            ((110, Protocol::Tcp), 0.02),
+            ((21, Protocol::Tcp), 0.02),
+            ((445, Protocol::Tcp), 0.02),
+            ((8080, Protocol::Tcp), 0.02),
+            ((1935, Protocol::Tcp), 0.02),
+            ((6881, Protocol::Tcp), 0.02),
+            ((3478, Protocol::Udp), 0.02),
+            ((5060, Protocol::Udp), 0.02),
+        ]),
+        session_gap_ms: 1.0,
+        packets_per_session: HeavyTailSampler::new(1.0, 1.35, 100.0, 1.1, 0.04, 1e4),
+        mean_pkt_size: CategoricalSampler::new(vec![(60, 0.45), (576, 0.15), (1460, 0.40)]),
+        ms_per_packet: 10.0,
+        tuple_repeat_p: 0.10,
+        icmp_p: 0.01,
+    };
+    generate_packet_trace(&prof, n, 10_000, &mut rng)
+}
+
+/// Common service ports a real backbone trace exposes with meaningful
+/// volume — web, mail, file, database, IoT/IIoT, VPN, VoIP, streaming.
+/// The paper's premise is exactly that the public trace "naturally
+/// contains almost every possible port number and protocol"; giving these
+/// ports real training volume is what makes their IP2Vec embeddings
+/// well-separated and decodable.
+pub const SERVICE_CATALOGUE: &[(u16, Protocol)] = &[
+    (80, Protocol::Tcp), (443, Protocol::Tcp), (8080, Protocol::Tcp),
+    (8443, Protocol::Tcp), (53, Protocol::Udp), (123, Protocol::Udp),
+    (22, Protocol::Tcp), (21, Protocol::Tcp), (23, Protocol::Tcp),
+    (25, Protocol::Tcp), (110, Protocol::Tcp), (143, Protocol::Tcp),
+    (587, Protocol::Tcp), (465, Protocol::Tcp), (993, Protocol::Tcp),
+    (995, Protocol::Tcp), (445, Protocol::Tcp), (139, Protocol::Tcp),
+    (137, Protocol::Udp), (389, Protocol::Tcp), (636, Protocol::Tcp),
+    (3389, Protocol::Tcp), (5900, Protocol::Tcp), (3306, Protocol::Tcp),
+    (5432, Protocol::Tcp), (6379, Protocol::Tcp), (27017, Protocol::Tcp),
+    (11211, Protocol::Tcp), (9092, Protocol::Tcp), (2049, Protocol::Tcp),
+    (1883, Protocol::Tcp), (8883, Protocol::Tcp), (502, Protocol::Tcp),
+    (5683, Protocol::Udp), (161, Protocol::Udp), (162, Protocol::Udp),
+    (514, Protocol::Udp), (1194, Protocol::Udp), (500, Protocol::Udp),
+    (4500, Protocol::Udp), (5060, Protocol::Udp), (554, Protocol::Tcp),
+    (1935, Protocol::Tcp), (6881, Protocol::Tcp), (3478, Protocol::Udp),
+    (67, Protocol::Udp), (69, Protocol::Udp), (179, Protocol::Tcp),
+    (4444, Protocol::Tcp), (9200, Protocol::Tcp),
+];
+
+/// A port/protocol-rich public corpus for training the IP2Vec embedding:
+/// the Chicago backbone trace, a service-catalogue section giving every
+/// common service port real training volume, and a uniform sprinkle for
+/// long-tail coverage — so "the IP2Vec mapping is expressive enough to
+/// capture the words seen in our private data" (paper Insight 2).
+pub fn ip2vec_public_corpus(n: usize, seed: u64) -> PacketTrace {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6970_3276_6563_0000); // "ip2vec"
+    let mut trace = caida_chicago_2015(n / 2, seed);
+    // Service-catalogue section: every catalogued service gets enough
+    // sentences for a stable, distinctive embedding.
+    let span = trace.span_micros().max(1);
+    let catalogue_total = n / 4;
+    let per_service = (catalogue_total / SERVICE_CATALOGUE.len()).max(8);
+    for &(port, proto) in SERVICE_CATALOGUE {
+        for _ in 0..per_service {
+            let tuple = nettrace::FiveTuple::new(
+                rng.gen::<u32>() | 0x0200_0000,
+                rng.gen::<u32>() | 0x0200_0000,
+                rng.gen_range(1024..=65535),
+                port,
+                proto,
+            );
+            let size = proto.min_packet_size() + rng.gen_range(0..1000);
+            trace.packets.push(nettrace::PacketRecord::new(
+                rng.gen_range(0..span),
+                tuple,
+                size,
+            ));
+        }
+    }
+    // Sprinkle flows over the whole low-port range and both protocols so
+    // every (port, protocol) word has support in the dictionary.
+    let span = trace.span_micros().max(1);
+    let extra = n - trace.len().min(n);
+    for i in 0..extra {
+        // Every 50th sprinkle is ICMP so the protocol vocabulary is always
+        // complete — the paper's premise is that the public corpus covers
+        // "almost every possible port number and protocol".
+        if i % 50 == 0 {
+            let tuple = nettrace::FiveTuple::new(
+                rng.gen::<u32>() | 0x0200_0000,
+                rng.gen::<u32>() | 0x0200_0000,
+                0,
+                0,
+                Protocol::Icmp,
+            );
+            trace.packets.push(nettrace::PacketRecord::new(
+                rng.gen_range(0..span),
+                tuple,
+                28 + rng.gen_range(0..100),
+            ));
+            continue;
+        }
+        let port = rng.gen_range(1..=49151u16); // registered range
+        // Well-known service ports keep their real transport protocol so
+        // the corpus never teaches invalid (port, protocol) pairs
+        // (Appendix-B Test 3 compatibility).
+        let proto = nettrace::validity::SERVICE_PORT_PROTOCOLS
+            .iter()
+            .find(|(p, _)| *p == port)
+            .map(|&(_, pr)| pr)
+            .unwrap_or(if rng.gen::<f64>() < 0.5 { Protocol::Tcp } else { Protocol::Udp });
+        let tuple = nettrace::FiveTuple::new(
+            rng.gen::<u32>() | 0x0200_0000,
+            rng.gen::<u32>() | 0x0200_0000,
+            rng.gen_range(1024..=65535),
+            port,
+            proto,
+        );
+        let size = if proto == Protocol::Tcp { 40 } else { 28 };
+        trace.packets.push(nettrace::PacketRecord::new(
+            rng.gen_range(0..span),
+            tuple,
+            size + rng.gen_range(0..1000),
+        ));
+    }
+    trace.sort_by_time();
+    trace.truncate(n);
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chicago_differs_from_private_caida() {
+        let public = caida_chicago_2015(5_000, 1);
+        let private = crate::caida::generate(5_000, 1);
+        // Different address populations: overlap should be negligible.
+        let pub_ips: std::collections::HashSet<u32> =
+            public.packets.iter().map(|p| p.five_tuple.src_ip).collect();
+        let priv_ips: std::collections::HashSet<u32> =
+            private.packets.iter().map(|p| p.five_tuple.src_ip).collect();
+        let overlap = pub_ips.intersection(&priv_ips).count();
+        assert!(overlap < pub_ips.len() / 50, "address overlap {overlap}");
+    }
+
+    #[test]
+    fn ip2vec_corpus_covers_many_port_protocol_pairs() {
+        let t = ip2vec_public_corpus(20_000, 2);
+        let pairs: std::collections::HashSet<(u16, u8)> = t
+            .packets
+            .iter()
+            .map(|p| (p.five_tuple.dst_port, p.five_tuple.proto.number()))
+            .collect();
+        assert!(pairs.len() > 2_000, "need wide port coverage, got {}", pairs.len());
+    }
+
+    #[test]
+    fn corpus_length_is_exact() {
+        assert_eq!(ip2vec_public_corpus(7_000, 3).len(), 7_000);
+    }
+}

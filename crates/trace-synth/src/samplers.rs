@@ -1,0 +1,213 @@
+//! Statistical sampling primitives shared by the dataset simulators.
+
+use rand::prelude::*;
+use rand_distr::{Distribution, LogNormal, Pareto, Zipf};
+
+/// A pool of values drawn with Zipfian (rank-frequency) popularity.
+///
+/// Network endpoint popularity is famously Zipf-like; this drives the SA/DA
+/// rank-frequency distributions the paper measures, and the heavy hitters
+/// the sketch experiments (Fig. 13) estimate.
+#[derive(Debug, Clone)]
+pub struct ZipfPool<T> {
+    items: Vec<T>,
+    zipf: Zipf<f64>,
+}
+
+impl<T: Clone> ZipfPool<T> {
+    /// Builds a pool over `items` (rank order = popularity order) with Zipf
+    /// exponent `s` (> 0; larger = more skewed).
+    ///
+    /// # Panics
+    /// Panics if `items` is empty or `s` is not positive and finite.
+    pub fn new(items: Vec<T>, s: f64) -> Self {
+        assert!(!items.is_empty(), "ZipfPool needs at least one item");
+        let zipf = Zipf::new(items.len() as u64, s).expect("valid Zipf parameters");
+        ZipfPool { items, zipf }
+    }
+
+    /// Samples an item with rank-frequency popularity.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        let rank = self.zipf.sample(rng) as usize; // 1-based rank
+        self.items[rank - 1].clone()
+    }
+
+    /// Number of items in the pool.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the pool is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The item at a given 0-based popularity rank.
+    pub fn item(&self, rank: usize) -> &T {
+        &self.items[rank]
+    }
+}
+
+/// Heavy-tailed positive sampler: a log-normal body with a Pareto tail.
+///
+/// Flow sizes/volumes span "tens for mice flows to hundreds of millions for
+/// elephant flows" (paper C2). A pure log-normal underweights elephants; a
+/// pure Pareto overweights them. Mixing with tail probability `tail_p`
+/// reproduces the mice-dominated body plus the elephants that make PKT/BYT
+/// "large-support" fields.
+#[derive(Debug, Clone, Copy)]
+pub struct HeavyTailSampler {
+    body: LogNormal<f64>,
+    tail: Pareto<f64>,
+    tail_p: f64,
+    max: f64,
+}
+
+impl HeavyTailSampler {
+    /// Builds a sampler.
+    ///
+    /// * `mu`, `sigma` — parameters of the log-normal body (of ln x).
+    /// * `tail_scale`, `tail_alpha` — Pareto tail minimum and shape.
+    /// * `tail_p` — probability of drawing from the tail.
+    /// * `max` — hard cap applied to all draws (keeps fields in-domain).
+    pub fn new(mu: f64, sigma: f64, tail_scale: f64, tail_alpha: f64, tail_p: f64, max: f64) -> Self {
+        HeavyTailSampler {
+            body: LogNormal::new(mu, sigma).expect("valid log-normal parameters"),
+            tail: Pareto::new(tail_scale, tail_alpha).expect("valid Pareto parameters"),
+            tail_p,
+            max,
+        }
+    }
+
+    /// Samples a positive value (≥ 1, ≤ max).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let x = if rng.gen::<f64>() < self.tail_p {
+            self.tail.sample(rng)
+        } else {
+            self.body.sample(rng)
+        };
+        x.clamp(1.0, self.max)
+    }
+
+    /// Samples and rounds to an integer count.
+    pub fn sample_count<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        self.sample(rng).round() as u64
+    }
+}
+
+/// Weighted categorical sampler over arbitrary items.
+#[derive(Debug, Clone)]
+pub struct CategoricalSampler<T> {
+    items: Vec<T>,
+    cumulative: Vec<f64>,
+}
+
+impl<T: Clone> CategoricalSampler<T> {
+    /// Builds a sampler from `(item, weight)` pairs. Weights need not sum
+    /// to 1; they are normalized.
+    ///
+    /// # Panics
+    /// Panics if `pairs` is empty or the total weight is not positive.
+    pub fn new(pairs: Vec<(T, f64)>) -> Self {
+        assert!(!pairs.is_empty(), "CategoricalSampler needs at least one item");
+        let total: f64 = pairs.iter().map(|(_, w)| *w).sum();
+        assert!(total > 0.0, "total weight must be positive");
+        let mut items = Vec::with_capacity(pairs.len());
+        let mut cumulative = Vec::with_capacity(pairs.len());
+        let mut acc = 0.0;
+        for (item, w) in pairs {
+            assert!(w >= 0.0, "weights must be non-negative");
+            acc += w / total;
+            items.push(item);
+            cumulative.push(acc);
+        }
+        *cumulative.last_mut().unwrap() = 1.0; // absorb rounding
+        CategoricalSampler { items, cumulative }
+    }
+
+    /// Samples an item with its configured probability.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        let u = rng.gen::<f64>();
+        let idx = self
+            .cumulative
+            .partition_point(|&c| c < u)
+            .min(self.items.len() - 1);
+        self.items[idx].clone()
+    }
+}
+
+/// Samples an exponential inter-arrival gap with the given mean (a Poisson
+/// arrival process when summed).
+pub fn exp_gap<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn zipf_pool_is_rank_skewed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pool = ZipfPool::new((0..100u32).collect(), 1.2);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[pool.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[50],
+            "popularity must decay with rank: {} {} {}", counts[0], counts[10], counts[50]);
+        // The head must dominate: rank 0 alone should exceed 10% of draws.
+        assert!(counts[0] > 2_000);
+    }
+
+    #[test]
+    fn heavy_tail_spans_orders_of_magnitude() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = HeavyTailSampler::new(1.0, 1.0, 100.0, 0.9, 0.05, 1e8);
+        let draws: Vec<f64> = (0..50_000).map(|_| s.sample(&mut rng)).collect();
+        let max = draws.iter().cloned().fold(0.0, f64::max);
+        let min = draws.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(min >= 1.0);
+        assert!(max > 1e4, "tail must produce elephants, got max {max}");
+        assert!(max <= 1e8, "cap must hold");
+        let small = draws.iter().filter(|&&x| x < 50.0).count();
+        assert!(small > draws.len() / 2, "mice must dominate");
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = CategoricalSampler::new(vec![("a", 0.7), ("b", 0.2), ("c", 0.1)]);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..10_000 {
+            *counts.entry(s.sample(&mut rng)).or_insert(0usize) += 1;
+        }
+        assert!((counts["a"] as f64 / 10_000.0 - 0.7).abs() < 0.03);
+        assert!((counts["b"] as f64 / 10_000.0 - 0.2).abs() < 0.03);
+        assert!((counts["c"] as f64 / 10_000.0 - 0.1).abs() < 0.03);
+    }
+
+    #[test]
+    fn categorical_zero_weight_item_never_sampled() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = CategoricalSampler::new(vec![("a", 1.0), ("never", 0.0), ("b", 1.0)]);
+        for _ in 0..5_000 {
+            assert_ne!(s.sample(&mut rng), "never");
+        }
+    }
+
+    #[test]
+    fn exp_gap_has_requested_mean() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mean: f64 = (0..50_000).map(|_| exp_gap(&mut rng, 10.0)).sum::<f64>() / 50_000.0;
+        assert!((mean - 10.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn empty_zipf_pool_panics() {
+        let _ = ZipfPool::<u32>::new(vec![], 1.0);
+    }
+}

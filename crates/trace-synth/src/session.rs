@@ -1,0 +1,361 @@
+//! Shared session machinery for the dataset simulators.
+//!
+//! Both flow and packet simulators generate *sessions* (a five-tuple plus a
+//! size/duration envelope), then render them either as NetFlow export
+//! records (splitting long sessions at the collector's export interval,
+//! which produces the multi-record five-tuples of Fig. 1a) or as individual
+//! packets (producing the multi-packet flows of Fig. 1b).
+
+use nettrace::{FiveTuple, FlowRecord, PacketRecord, Protocol};
+use rand::prelude::*;
+use rand_distr::{Distribution, LogNormal};
+
+use crate::samplers::{exp_gap, CategoricalSampler, HeavyTailSampler, ZipfPool};
+
+/// A generated conversation before rendering.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionSpec {
+    /// Flow key.
+    pub tuple: FiveTuple,
+    /// Session start time (ms from trace start).
+    pub start_ms: f64,
+    /// Session duration (ms).
+    pub duration_ms: f64,
+    /// Total packets in the session.
+    pub packets: u64,
+    /// Total bytes in the session.
+    pub bytes: u64,
+}
+
+/// Traffic-mix parameters shared by the simulators.
+#[derive(Debug, Clone)]
+pub struct TrafficProfile {
+    /// Client (source) address pool with Zipf popularity.
+    pub clients: ZipfPool<u32>,
+    /// Server (destination) address pool with Zipf popularity.
+    pub servers: ZipfPool<u32>,
+    /// Service mix: destination port and its transport protocol.
+    pub services: CategoricalSampler<(u16, Protocol)>,
+    /// Mean gap between session starts (ms) — Poisson session arrivals.
+    pub session_gap_ms: f64,
+    /// Packets-per-session distribution.
+    pub packets_per_session: HeavyTailSampler,
+    /// Mean packet-size mix (bytes per packet averaged over a session).
+    pub mean_pkt_size: CategoricalSampler<u16>,
+    /// Pacing: mean milliseconds per packet within a session.
+    pub ms_per_packet: f64,
+    /// Probability that a new session reuses a recently seen five-tuple
+    /// (repeated conversations → more records per tuple).
+    pub tuple_repeat_p: f64,
+    /// Fraction of sessions that are ICMP (no ports).
+    pub icmp_p: f64,
+}
+
+impl TrafficProfile {
+    /// Samples the next session starting at `start_ms`, possibly reusing a
+    /// tuple from `recent` (a small pool of live conversations).
+    pub fn sample_session<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        start_ms: f64,
+        recent: &mut Vec<FiveTuple>,
+    ) -> SessionSpec {
+        let tuple = if !recent.is_empty() && rng.gen::<f64>() < self.tuple_repeat_p {
+            recent[rng.gen_range(0..recent.len())]
+        } else {
+            let t = self.sample_tuple(rng);
+            recent.push(t);
+            if recent.len() > 512 {
+                let idx = rng.gen_range(0..recent.len());
+                recent.swap_remove(idx);
+            }
+            t
+        };
+        let packets = self.packets_per_session.sample_count(rng).max(1);
+        let mean_size = self.mean_pkt_size.sample(rng) as f64;
+        // Per-session size jitter, clamped into the protocol-valid band so
+        // Test 2 passes on real data at realistic (~98%) rates.
+        let jitter = LogNormal::new(0.0, 0.15).unwrap().sample(rng);
+        let min_size = tuple.proto.min_packet_size() as f64;
+        let per_pkt = (mean_size * jitter).clamp(min_size, 65500.0);
+        let bytes = (packets as f64 * per_pkt).round() as u64;
+        // Duration scales with packet count, with heavy jitter; single
+        // packets have zero duration like real NetFlow.
+        let duration_ms = if packets == 1 {
+            0.0
+        } else {
+            let pace = LogNormal::new(0.0, 0.8).unwrap().sample(rng);
+            (packets as f64) * self.ms_per_packet * pace
+        };
+        SessionSpec {
+            tuple,
+            start_ms,
+            duration_ms,
+            packets,
+            bytes,
+        }
+    }
+
+    /// Draws a fresh five-tuple from the pools and service mix.
+    pub fn sample_tuple<R: Rng + ?Sized>(&self, rng: &mut R) -> FiveTuple {
+        let src_ip = self.clients.sample(rng);
+        let dst_ip = self.servers.sample(rng);
+        if rng.gen::<f64>() < self.icmp_p {
+            return FiveTuple::new(src_ip, dst_ip, 0, 0, Protocol::Icmp);
+        }
+        let (dst_port, proto) = self.services.sample(rng);
+        let src_port = rng.gen_range(1024..=65535);
+        FiveTuple::new(src_ip, dst_ip, src_port, dst_port, proto)
+    }
+}
+
+/// Renders a session as NetFlow export records, splitting at the export
+/// interval (active timeout). Packets/bytes are spread proportionally over
+/// the splits; every record keeps ≥ 1 packet.
+pub fn render_flow_records<R: Rng + ?Sized>(
+    spec: &SessionSpec,
+    export_interval_ms: f64,
+    rng: &mut R,
+) -> Vec<FlowRecord> {
+    let n_records = if spec.duration_ms <= export_interval_ms {
+        1
+    } else {
+        ((spec.duration_ms / export_interval_ms).ceil() as u64).min(spec.packets).max(1)
+    };
+    if n_records == 1 {
+        return vec![FlowRecord::new(
+            spec.tuple,
+            spec.start_ms,
+            spec.duration_ms,
+            spec.packets,
+            spec.bytes,
+        )];
+    }
+    let mut records = Vec::with_capacity(n_records as usize);
+    let mut pkts_left = spec.packets;
+    let mut bytes_left = spec.bytes;
+    let seg_ms = spec.duration_ms / n_records as f64;
+    for i in 0..n_records {
+        let remaining_records = n_records - i;
+        let (pkts, bytes) = if remaining_records == 1 {
+            (pkts_left, bytes_left)
+        } else {
+            // Roughly even split with multiplicative noise.
+            let share = (pkts_left as f64 / remaining_records as f64
+                * rng.gen_range(0.6..1.4))
+            .round()
+            .clamp(1.0, (pkts_left - (remaining_records - 1)) as f64) as u64;
+            let byte_share =
+                ((bytes_left as f64) * (share as f64 / pkts_left as f64)).round() as u64;
+            (share, byte_share.min(bytes_left))
+        };
+        records.push(FlowRecord::new(
+            spec.tuple,
+            spec.start_ms + i as f64 * seg_ms,
+            seg_ms.min(spec.duration_ms - i as f64 * seg_ms),
+            pkts,
+            bytes,
+        ));
+        pkts_left -= pkts;
+        bytes_left -= bytes;
+    }
+    records
+}
+
+/// Renders a session as individual packets with exponential inter-arrival
+/// gaps rescaled to the session duration. Sizes sum approximately to the
+/// session byte count and respect the protocol minimum.
+pub fn render_packets<R: Rng + ?Sized>(spec: &SessionSpec, rng: &mut R) -> Vec<PacketRecord> {
+    let n = spec.packets as usize;
+    let min_size = spec.tuple.proto.min_packet_size();
+    let mean_size = (spec.bytes as f64 / n as f64).max(min_size as f64);
+    let mut out = Vec::with_capacity(n);
+    // Exponential gaps normalized so the packets span the duration.
+    let mut gaps: Vec<f64> = (0..n).map(|_| exp_gap(rng, 1.0)).collect();
+    let total: f64 = gaps.iter().sum();
+    if total > 0.0 {
+        for g in &mut gaps {
+            *g *= spec.duration_ms / total;
+        }
+    }
+    let mut t = spec.start_ms;
+    for (i, gap) in gaps.iter().enumerate() {
+        if i > 0 {
+            t += gap;
+        }
+        let jitter = LogNormal::new(0.0, 0.25).unwrap().sample(rng);
+        let size = (mean_size * jitter).clamp(min_size as f64, 65500.0) as u16;
+        let mut p = PacketRecord::new((t * 1000.0).max(0.0) as u64, spec.tuple, size);
+        p.ip_id = rng.gen();
+        out.push(p);
+    }
+    out
+}
+
+/// Runs the session process until approximately `target_records` flow
+/// records exist, applying `label` to each produced record.
+pub fn generate_flow_trace<R, F>(
+    profile: &TrafficProfile,
+    export_interval_ms: f64,
+    target_records: usize,
+    rng: &mut R,
+    mut label: F,
+) -> nettrace::FlowTrace
+where
+    R: Rng + ?Sized,
+    F: FnMut(&mut R, &mut FlowRecord),
+{
+    let mut flows = Vec::with_capacity(target_records);
+    let mut recent = Vec::new();
+    let mut clock = 0.0;
+    while flows.len() < target_records {
+        clock += exp_gap(rng, profile.session_gap_ms);
+        let spec = profile.sample_session(rng, clock, &mut recent);
+        for mut rec in render_flow_records(&spec, export_interval_ms, rng) {
+            label(rng, &mut rec);
+            flows.push(rec);
+        }
+    }
+    flows.truncate(target_records);
+    // Steady-state window: long sessions export records far past the last
+    // session arrival; wrapping those starts back into the observation
+    // window models a collector that was already seeing mid-life flows
+    // when the window opened. Without this, a handful of elephants
+    // stretch the span and make the record-time distribution (and any
+    // even-time chunking of it) degenerate.
+    let window = clock.max(1.0);
+    for rec in &mut flows {
+        if rec.start_ms >= window {
+            rec.start_ms %= window;
+        }
+    }
+    nettrace::FlowTrace::from_records(flows)
+}
+
+/// Runs the session process until approximately `target_packets` packets
+/// exist.
+pub fn generate_packet_trace<R: Rng + ?Sized>(
+    profile: &TrafficProfile,
+    target_packets: usize,
+    max_session_packets: u64,
+    rng: &mut R,
+) -> nettrace::PacketTrace {
+    let mut packets = Vec::with_capacity(target_packets);
+    let mut recent = Vec::new();
+    let mut clock = 0.0;
+    while packets.len() < target_packets {
+        clock += exp_gap(rng, profile.session_gap_ms);
+        let mut spec = profile.sample_session(rng, clock, &mut recent);
+        spec.packets = spec.packets.min(max_session_packets);
+        packets.extend(render_packets(&spec, rng));
+    }
+    packets.truncate(target_packets);
+    // Steady-state window (see generate_flow_trace): wrap stragglers from
+    // long sessions back into the observation window.
+    let window_us = ((clock.max(1.0)) * 1000.0) as u64;
+    for p in &mut packets {
+        if p.ts_micros >= window_us {
+            p.ts_micros %= window_us;
+        }
+    }
+    nettrace::PacketTrace::from_records(packets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    fn profile() -> TrafficProfile {
+        TrafficProfile {
+            clients: ZipfPool::new((0..64u32).map(|i| 0x0a000000 + i).collect(), 1.1),
+            servers: ZipfPool::new((0..16u32).map(|i| 0xc0a80000 + i).collect(), 1.3),
+            services: CategoricalSampler::new(vec![
+                ((80, Protocol::Tcp), 0.5),
+                ((53, Protocol::Udp), 0.3),
+                ((443, Protocol::Tcp), 0.2),
+            ]),
+            session_gap_ms: 5.0,
+            packets_per_session: HeavyTailSampler::new(1.0, 1.2, 50.0, 1.0, 0.05, 1e5),
+            mean_pkt_size: CategoricalSampler::new(vec![(60, 0.4), (576, 0.3), (1460, 0.3)]),
+            ms_per_packet: 20.0,
+            tuple_repeat_p: 0.3,
+            icmp_p: 0.02,
+        }
+    }
+
+    #[test]
+    fn long_sessions_split_into_multiple_records() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let spec = SessionSpec {
+            tuple: FiveTuple::new(1, 2, 3, 80, Protocol::Tcp),
+            start_ms: 100.0,
+            duration_ms: 10_000.0,
+            packets: 100,
+            bytes: 50_000,
+        };
+        let recs = render_flow_records(&spec, 1_000.0, &mut rng);
+        assert!(recs.len() >= 5, "10 s session at 1 s export splits many times");
+        assert_eq!(recs.iter().map(|r| r.packets).sum::<u64>(), 100, "packets conserved");
+        assert_eq!(recs.iter().map(|r| r.bytes).sum::<u64>(), 50_000, "bytes conserved");
+        assert!(recs.iter().all(|r| r.packets >= 1));
+        assert!(recs.windows(2).all(|w| w[0].start_ms <= w[1].start_ms));
+    }
+
+    #[test]
+    fn short_sessions_stay_single_record() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = SessionSpec {
+            tuple: FiveTuple::new(1, 2, 3, 80, Protocol::Tcp),
+            start_ms: 0.0,
+            duration_ms: 100.0,
+            packets: 3,
+            bytes: 300,
+        };
+        assert_eq!(render_flow_records(&spec, 1_000.0, &mut rng).len(), 1);
+    }
+
+    #[test]
+    fn rendered_packets_match_session_envelope() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let spec = SessionSpec {
+            tuple: FiveTuple::new(1, 2, 3, 80, Protocol::Tcp),
+            start_ms: 50.0,
+            duration_ms: 500.0,
+            packets: 20,
+            bytes: 20 * 500,
+        };
+        let pkts = render_packets(&spec, &mut rng);
+        assert_eq!(pkts.len(), 20);
+        assert!(pkts.iter().all(|p| p.packet_len >= 40), "TCP min size respected");
+        let t_first = pkts.iter().map(|p| p.ts_micros).min().unwrap();
+        assert!(t_first >= 49_000 && t_first <= 51_000);
+    }
+
+    #[test]
+    fn flow_trace_reaches_target_and_is_sorted() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = generate_flow_trace(&profile(), 2_000.0, 500, &mut rng, |_, _| {});
+        assert_eq!(t.len(), 500);
+        assert!(t.flows.windows(2).all(|w| w[0].start_ms <= w[1].start_ms));
+    }
+
+    #[test]
+    fn packet_trace_reaches_target() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = generate_packet_trace(&profile(), 1_000, 5_000, &mut rng);
+        assert_eq!(t.len(), 1_000);
+        // The session process must produce multi-packet flows (Fig. 1b).
+        let groups = t.group_by_five_tuple();
+        assert!(groups.values().any(|v| v.len() > 1), "need multi-packet flows");
+    }
+
+    #[test]
+    fn repeated_tuples_appear() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let t = generate_flow_trace(&profile(), 2_000.0, 800, &mut rng, |_, _| {});
+        let groups = t.group_by_five_tuple();
+        let max_records = groups.values().map(|v| v.len()).max().unwrap();
+        assert!(max_records > 1, "tuple reuse must create multi-record tuples");
+    }
+}

@@ -1,0 +1,144 @@
+//! UGR16-like flow dataset: NetFlow from a Spanish ISP (third week of
+//! March 2016), mostly benign wide-area traffic with a small injected
+//! attack component.
+//!
+//! Structure reproduced: large, diverse client population; Zipf-skewed
+//! server popularity; web/DNS-dominated service mix; flow sizes/volumes
+//! spanning mice to elephants (the Fig. 2 large-support fields); repeated
+//! NetFlow export records for long sessions (Fig. 1a); ~3 % labeled attack
+//! records (DoS, port scans, network scanning).
+
+use nettrace::{AttackType, FlowTrace, Protocol, TrafficLabel};
+use rand::prelude::*;
+
+use crate::attacks::generate_attack_burst;
+use crate::samplers::{CategoricalSampler, HeavyTailSampler, ZipfPool};
+use crate::session::{generate_flow_trace, TrafficProfile};
+
+/// NetFlow active timeout used by the simulated collector (ms).
+pub const EXPORT_INTERVAL_MS: f64 = 60_000.0;
+
+fn profile(rng: &mut impl Rng) -> TrafficProfile {
+    // ISP clients: 4096 addresses across many /16s.
+    let clients: Vec<u32> = (0..4096)
+        .map(|_| {
+            let net = rng.gen_range(2u32..223) << 24;
+            net | rng.gen_range(0..0x0100_0000u32) & 0x00ff_ffff
+        })
+        .collect();
+    // Servers: 512 addresses, heavily skewed popularity.
+    let servers: Vec<u32> = (0..512)
+        .map(|_| {
+            let net = rng.gen_range(2u32..223) << 24;
+            net | rng.gen_range(0..0x0100_0000u32) & 0x00ff_ffff
+        })
+        .collect();
+    TrafficProfile {
+        clients: ZipfPool::new(clients, 1.05),
+        servers: ZipfPool::new(servers, 1.25),
+        services: CategoricalSampler::new(vec![
+            ((443, Protocol::Tcp), 0.32),
+            ((80, Protocol::Tcp), 0.24),
+            ((53, Protocol::Udp), 0.22),
+            ((25, Protocol::Tcp), 0.05),
+            ((22, Protocol::Tcp), 0.03),
+            ((445, Protocol::Tcp), 0.03),
+            ((123, Protocol::Udp), 0.03),
+            ((993, Protocol::Tcp), 0.02),
+            ((8080, Protocol::Tcp), 0.02),
+            ((3389, Protocol::Tcp), 0.02),
+            ((1194, Protocol::Udp), 0.02),
+        ]),
+        session_gap_ms: 8.0,
+        // Body: small flows of a few packets; tail: elephants up to 1e6 pkts.
+        packets_per_session: HeavyTailSampler::new(0.9, 1.3, 200.0, 0.85, 0.03, 1e6),
+        mean_pkt_size: CategoricalSampler::new(vec![(60, 0.30), (250, 0.20), (576, 0.18), (1000, 0.12), (1460, 0.20)]),
+        ms_per_packet: 40.0,
+        tuple_repeat_p: 0.25,
+        icmp_p: 0.03,
+    }
+}
+
+/// Generates approximately `n` UGR16-like flow records.
+pub fn generate(n: usize, seed: u64) -> FlowTrace {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7567_7231_3600_0000); // "ugr16"
+    let prof = profile(&mut rng);
+    let attack_fraction = 0.03;
+    let benign_n = ((n as f64) * (1.0 - attack_fraction)) as usize;
+
+    let mut trace = generate_flow_trace(&prof, EXPORT_INTERVAL_MS, benign_n, &mut rng, |_, rec| {
+        rec.label = Some(TrafficLabel::Benign);
+    });
+
+    // Inject attack bursts spread over the trace span.
+    let span = trace.span_ms().max(1.0);
+    // Attack bursts start where benign activity actually is: drawing from
+    // the empirical benign start-time distribution keeps the label mix
+    // stationary over time even when a few elephant sessions stretch the
+    // nominal span (the paper's time-sorted train/test split needs this).
+    let benign_starts: Vec<f64> = trace.flows.iter().map(|f| f.start_ms).collect();
+    let attacks = [AttackType::Dos, AttackType::PortScan, AttackType::Scanning];
+    let mut injected = Vec::new();
+    while injected.len() < n - benign_n {
+        let attack = attacks[rng.gen_range(0..attacks.len())];
+        let attacker = prof.clients.sample(&mut rng);
+        let victim = prof.servers.sample(&mut rng);
+        let start = benign_starts[rng.gen_range(0..benign_starts.len())];
+        let burst = rng.gen_range(20..120).min(n - benign_n - injected.len());
+        injected.extend(generate_attack_burst(&mut rng, attack, attacker, victim, start, span, burst));
+    }
+    trace.flows.extend(injected);
+    trace.sort_by_time();
+    trace.truncate(n);
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettrace::validity;
+
+    #[test]
+    fn has_heavy_tailed_flow_sizes() {
+        let t = generate(4_000, 1);
+        let max_pkts = t.flows.iter().map(|f| f.packets).max().unwrap();
+        let small = t.flows.iter().filter(|f| f.packets <= 10).count();
+        assert!(max_pkts > 1_000, "need elephants, max was {max_pkts}");
+        assert!(small > t.len() / 2, "mice must dominate");
+    }
+
+    #[test]
+    fn has_multi_record_tuples() {
+        let t = generate(4_000, 2);
+        let max_records = t.group_by_five_tuple().values().map(|v| v.len()).max().unwrap();
+        assert!(max_records >= 3, "Fig. 1a needs multi-record tuples, max {max_records}");
+    }
+
+    #[test]
+    fn attack_fraction_is_small_but_present() {
+        let t = generate(6_000, 3);
+        let attacks = t
+            .flows
+            .iter()
+            .filter(|f| f.label.map(|l| l.is_attack()).unwrap_or(false))
+            .count();
+        let frac = attacks as f64 / t.len() as f64;
+        assert!(frac > 0.005 && frac < 0.10, "attack fraction {frac}");
+    }
+
+    #[test]
+    fn mostly_protocol_consistent() {
+        let t = generate(3_000, 4);
+        let r = validity::check_flow_trace(&t);
+        assert!(r.test1 > 0.97, "test1 {}", r.test1);
+        assert!(r.test2 > 0.90, "test2 {}", r.test2);
+        assert!(r.test3 > 0.97, "test3 {}", r.test3);
+    }
+
+    #[test]
+    fn service_ports_dominate() {
+        let t = generate(3_000, 5);
+        let service = t.flows.iter().filter(|f| f.five_tuple.dst_port <= 1024).count();
+        assert!(service > t.len() / 2);
+    }
+}

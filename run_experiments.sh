@@ -1,0 +1,16 @@
+#!/bin/bash
+# Runs every paper table/figure experiment, logging to results/.
+set -u
+cd "$(dirname "$0")"
+export NETSHARE_N="${NETSHARE_N:-4000}"
+export NETSHARE_STEPS="${NETSHARE_STEPS:-200}"
+mkdir -p results
+BINS="fig1_flow_records fig2_large_support fig3_service_ports fig4_scalability \
+fig10_fidelity fig16_17_more_fidelity fig12_prediction tab3_rank_prediction \
+fig13_sketches fig14_anomaly tab6_7_consistency tab2_encoding_ablation \
+ablation_reformulation ablation_chunks overfitting_check fig5_privacy fig15_dp_cdfs"
+for bin in $BINS; do
+  echo "===== $bin ($(date +%T)) ====="
+  ./target/release/$bin || echo "!! $bin failed with exit $?"
+done
+echo "===== all experiments done ($(date +%T)) ====="

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Injects measured tables from results_experiments.log into EXPERIMENTS.md.
+
+Each `<!--TAG-->` placeholder is replaced by the corresponding runner's
+printed tables, fenced as code. Rerun after every ./run_experiments.sh.
+"""
+import re, sys, pathlib
+
+root = pathlib.Path(__file__).resolve().parent.parent
+log = (root / "results_experiments.log").read_text()
+doc_path = root / "EXPERIMENTS.md"
+doc = doc_path.read_text()
+
+# Split the log into per-binary sections.
+sections = {}
+current = None
+for line in log.splitlines():
+    m = re.match(r"^===== (\S+) \(", line)
+    if m:
+        current = m.group(1)
+        sections[current] = []
+    elif current:
+        sections[current].append(line)
+
+def tables_of(bin_name):
+    lines = sections.get(bin_name, [])
+    # Drop save-notices and blank leading/trailing lines.
+    out = [l for l in lines if not l.startswith("[saved ")]
+    text = "\n".join(out).strip("\n")
+    return f"```text\n{text}\n```"
+
+mapping = {
+    "FIG1": "fig1_flow_records",
+    "FIG2": "fig2_large_support",
+    "FIG3": "fig3_service_ports",
+    "FIG4": "fig4_scalability",
+    "FIG5": "fig5_privacy",
+    "FIG10": "fig10_fidelity",
+    "FIG1617": "fig16_17_more_fidelity",
+    "FIG12": "fig12_prediction",
+    "TAB3": "tab3_rank_prediction",
+    "FIG13": "fig13_sketches",
+    "FIG14": "fig14_anomaly",
+    "FIG15": "fig15_dp_cdfs",
+    "TAB67": "tab6_7_consistency",
+    "TAB2": "tab2_encoding_ablation",
+    "OVERFIT": "overfitting_check",
+}
+
+for tag, bin_name in mapping.items():
+    doc = doc.replace(f"<!--{tag}-->", tables_of(bin_name))
+
+# Ablations: two binaries combined.
+abl = tables_of("ablation_reformulation") + "\n\n" + tables_of("ablation_chunks")
+doc = doc.replace("<!--ABL-->", abl)
+
+doc_path.write_text(doc)
+print("EXPERIMENTS.md updated from results_experiments.log")

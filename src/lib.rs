@@ -1,0 +1,16 @@
+//! Umbrella crate for the NetShare reproduction workspace.
+//!
+//! Re-exports every workspace crate under one roof so repo-root examples and
+//! integration tests can exercise the full public API surface.
+
+pub use baselines;
+pub use distmetrics;
+pub use doppelganger;
+pub use fieldcodec;
+pub use mlkit;
+pub use netshare;
+pub use nettrace;
+pub use nnet;
+pub use privacy;
+pub use sketch;
+pub use trace_synth;

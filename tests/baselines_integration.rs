@@ -1,0 +1,101 @@
+//! Integration tests of the six baseline generators against the dataset
+//! simulators — each must fit, generate valid records, and exhibit its
+//! paper-documented structural signature.
+
+use baselines::{
+    ctgan::CtGanPacket, CtGan, EWganGp, FlowSynthesizer, FlowWgan, PacGan, PacketCGan,
+    PacketSynthesizer, Stan,
+};
+use trace_synth::{generate_flows, generate_packets, DatasetKind};
+
+const N: usize = 600;
+const STEPS: usize = 30;
+
+#[test]
+fn all_flow_baselines_run_on_all_flow_datasets() {
+    for kind in DatasetKind::FLOW {
+        let real = generate_flows(kind, N, 1);
+        let mut models: Vec<Box<dyn FlowSynthesizer>> = vec![
+            Box::new(CtGan::fit_flows(&real, STEPS, 2)),
+            Box::new(Stan::fit_flows(&real, STEPS, 3)),
+            Box::new(EWganGp::fit_flows(&real, STEPS, 4)),
+        ];
+        for m in models.iter_mut() {
+            let synth = m.generate_flows(200);
+            assert_eq!(synth.len(), 200, "{} on {}", m.name(), kind.name());
+            assert!(
+                synth.flows.iter().all(|f| f.packets >= 1 && f.bytes >= 1),
+                "{} on {} produced empty flows",
+                m.name(),
+                kind.name()
+            );
+            assert!(synth
+                .flows
+                .iter()
+                .all(|f| f.duration_ms.is_finite() && f.start_ms.is_finite()));
+        }
+    }
+}
+
+#[test]
+fn all_packet_baselines_run_on_all_packet_datasets() {
+    for kind in DatasetKind::PACKET {
+        let real = generate_packets(kind, N, 5);
+        let mut models: Vec<Box<dyn PacketSynthesizer>> = vec![
+            Box::new(CtGanPacket::fit_packets(&real, STEPS, 6)),
+            Box::new(PacGan::fit_packets(&real, STEPS, 7)),
+            Box::new(PacketCGan::fit_packets(&real, STEPS, 8)),
+            Box::new(FlowWgan::fit_packets(&real, STEPS, 9)),
+        ];
+        for m in models.iter_mut() {
+            let synth = m.generate_packets(200);
+            assert_eq!(synth.len(), 200, "{} on {}", m.name(), kind.name());
+            assert!(
+                synth.packets.iter().all(|p| p.packet_len >= 20),
+                "{} on {} produced sub-IP-header packets",
+                m.name(),
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn packet_baselines_exhibit_the_fig1b_limitation() {
+    // Paper C1: record-per-row baselines essentially never produce
+    // multi-packet flows.
+    let real = generate_packets(DatasetKind::Caida, N, 10);
+    let mut models: Vec<Box<dyn PacketSynthesizer>> = vec![
+        Box::new(PacGan::fit_packets(&real, STEPS, 11)),
+        Box::new(PacketCGan::fit_packets(&real, STEPS, 12)),
+        Box::new(FlowWgan::fit_packets(&real, STEPS, 13)),
+    ];
+    let real_multi_frac = {
+        let g = real.group_by_five_tuple();
+        g.values().filter(|v| v.len() > 1).count() as f64 / g.len() as f64
+    };
+    assert!(real_multi_frac > 0.3, "real trace has multi-packet flows");
+    for m in models.iter_mut() {
+        let synth = m.generate_packets(400);
+        let g = synth.group_by_five_tuple();
+        let frac = g.values().filter(|v| v.len() > 1).count() as f64 / g.len().max(1) as f64;
+        assert!(
+            frac < real_multi_frac / 2.0,
+            "{} unexpectedly produced many multi-packet flows ({frac} vs real {real_multi_frac})",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn stan_only_emits_training_hosts() {
+    let real = generate_flows(DatasetKind::Ton, N, 14);
+    let mut stan = Stan::fit_flows(&real, STEPS, 15);
+    let synth = stan.generate_flows(300);
+    let hosts: std::collections::HashSet<u32> =
+        real.flows.iter().map(|f| f.five_tuple.src_ip).collect();
+    assert!(synth
+        .flows
+        .iter()
+        .all(|f| hosts.contains(&f.five_tuple.src_ip)));
+}

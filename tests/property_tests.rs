@@ -1,0 +1,183 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants that every experiment relies on.
+
+use nettrace::{
+    aggregate_flows, netflow, pcap, AggregationConfig, FiveTuple, FlowRecord, PacketRecord,
+    PacketTrace, Protocol, TrafficLabel,
+};
+use proptest::prelude::*;
+
+fn arb_protocol() -> impl Strategy<Value = Protocol> {
+    prop_oneof![
+        Just(Protocol::Tcp),
+        Just(Protocol::Udp),
+        Just(Protocol::Icmp),
+        (0u8..=255).prop_map(Protocol::from_number),
+    ]
+}
+
+fn arb_tuple() -> impl Strategy<Value = FiveTuple> {
+    (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>(), arb_protocol()).prop_map(
+        |(s, d, sp, dp, pr)| {
+            // Port-less protocols carry zero ports by convention.
+            if pr.has_ports() {
+                FiveTuple::new(s, d, sp, dp, pr)
+            } else {
+                FiveTuple::new(s, d, 0, 0, pr)
+            }
+        },
+    )
+}
+
+fn arb_packet() -> impl Strategy<Value = PacketRecord> {
+    (arb_tuple(), 0u64..10_000_000_000, 20u16..=9_000).prop_map(|(ft, ts, len)| {
+        PacketRecord::new(ts, ft, len)
+    })
+}
+
+fn arb_flow() -> impl Strategy<Value = FlowRecord> {
+    (
+        arb_tuple(),
+        0.0f64..1e9,
+        0.0f64..1e7,
+        1u64..1_000_000,
+        1u64..1_000_000_000,
+        prop_oneof![
+            Just(None),
+            Just(Some(TrafficLabel::Benign)),
+            (0usize..10).prop_map(|i| Some(TrafficLabel::Attack(nettrace::AttackType::ALL[i]))),
+        ],
+    )
+        .prop_map(|(ft, start, dur, pkts, bytes, label)| FlowRecord {
+            five_tuple: ft,
+            start_ms: (start * 1000.0).round() / 1000.0, // CSV keeps 3 decimals
+            duration_ms: (dur * 1000.0).round() / 1000.0,
+            packets: pkts,
+            bytes,
+            label,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pcap_round_trips_arbitrary_packets(packets in prop::collection::vec(arb_packet(), 1..50)) {
+        let trace = PacketTrace::from_records(packets);
+        let bytes = pcap::write_pcap(&trace);
+        let back = pcap::read_pcap(&bytes).expect("own output parses");
+        prop_assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn pcap_headers_always_have_valid_checksums(p in arb_packet()) {
+        let h = nettrace::ipv4::Ipv4Header::from_record(&p);
+        prop_assert!(h.checksum_valid());
+        let parsed = nettrace::ipv4::Ipv4Header::parse(&h.to_bytes()).unwrap();
+        prop_assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn netflow_csv_round_trips_arbitrary_flows(flows in prop::collection::vec(arb_flow(), 1..50)) {
+        let trace = nettrace::FlowTrace::from_records(flows);
+        let csv = netflow::write_netflow_csv(&trace);
+        let back = netflow::read_netflow_csv(&csv).expect("own output parses");
+        prop_assert_eq!(back.len(), trace.len());
+        for (a, b) in back.flows.iter().zip(&trace.flows) {
+            prop_assert_eq!(a.five_tuple, b.five_tuple);
+            prop_assert_eq!(a.packets, b.packets);
+            prop_assert_eq!(a.bytes, b.bytes);
+            prop_assert_eq!(a.label, b.label);
+            prop_assert!((a.start_ms - b.start_ms).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn aggregation_conserves_packets_and_bytes(packets in prop::collection::vec(arb_packet(), 1..100)) {
+        let trace = PacketTrace::from_records(packets);
+        let flows = aggregate_flows(&trace, AggregationConfig::default());
+        let total_bytes: u64 = trace.packets.iter().map(|p| p.packet_len as u64).sum();
+        prop_assert_eq!(flows.total_packets(), trace.len() as u64);
+        prop_assert_eq!(flows.total_bytes(), total_bytes);
+        // Every flow key existed in the packet trace.
+        let keys: std::collections::HashSet<FiveTuple> =
+            trace.packets.iter().map(|p| p.five_tuple).collect();
+        prop_assert!(flows.flows.iter().all(|f| keys.contains(&f.five_tuple)));
+    }
+
+    #[test]
+    fn emd_is_a_metric_on_samples(
+        a in prop::collection::vec(-1e6f64..1e6, 1..60),
+        b in prop::collection::vec(-1e6f64..1e6, 1..60),
+        c in prop::collection::vec(-1e6f64..1e6, 1..60),
+    ) {
+        use distmetrics::emd_1d;
+        let dab = emd_1d(&a, &b);
+        prop_assert!((dab - emd_1d(&b, &a)).abs() < 1e-6 * (1.0 + dab), "symmetry");
+        prop_assert!(emd_1d(&a, &a) < 1e-9, "identity");
+        let dac = emd_1d(&a, &c);
+        let dcb = emd_1d(&c, &b);
+        prop_assert!(dac <= dab + dcb + 1e-6 * (1.0 + dab + dcb), "triangle");
+    }
+
+    #[test]
+    fn jsd_is_symmetric_and_bounded(
+        a in prop::collection::vec(0u16..50, 1..100),
+        b in prop::collection::vec(0u16..50, 1..100),
+    ) {
+        use distmetrics::jsd_from_samples;
+        let d = jsd_from_samples(&a, &b);
+        prop_assert!((0.0..=2.0f64.ln() + 1e-12).contains(&d));
+        prop_assert!((d - jsd_from_samples(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bit_codec_round_trips_any_value(v in any::<u32>()) {
+        let c = fieldcodec::BitCodec::ipv4();
+        prop_assert_eq!(c.decode(&c.encode(v as u64)), v as u64);
+    }
+
+    #[test]
+    fn continuous_codec_round_trips_within_range(
+        samples in prop::collection::vec(0.0f64..1e8, 2..50),
+        log in any::<bool>(),
+    ) {
+        let codec = fieldcodec::ContinuousCodec::fit(&samples, log);
+        for &x in &samples {
+            let y = codec.decode(codec.encode(x));
+            // f32 quantization over the fitted range bounds the error.
+            let (lo, hi) = codec.range();
+            let scale = if log { (1.0 + x).max(1.0) } else { (hi - lo).max(1.0) };
+            prop_assert!((y - x).abs() <= scale * 1e-3 + 1e-6, "{} -> {}", x, y);
+        }
+    }
+
+    #[test]
+    fn validity_tests_accept_well_formed_flows(
+        pkts in 1u64..1000,
+        per_pkt in 40u64..1500,
+        sp in 1024u16..65535,
+    ) {
+        // A TCP flow with sane per-packet size always passes Test 2.
+        let ft = FiveTuple::new(0x0a000001, 0x0a000002, sp, 443, Protocol::Tcp);
+        let f = FlowRecord::new(ft, 0.0, 1.0, pkts, pkts * per_pkt);
+        prop_assert!(nettrace::validity::test2_bytes_packets(&f));
+        prop_assert!(nettrace::validity::test1_ip_validity(ft.src_ip, ft.dst_ip));
+        prop_assert!(nettrace::validity::test3_port_protocol(sp, 443, Protocol::Tcp));
+    }
+
+    #[test]
+    fn spearman_is_invariant_to_monotone_transforms(
+        xs in prop::collection::vec(-100.0f64..100.0, 3..30),
+    ) {
+        use distmetrics::spearman_rank_correlation;
+        // Skip degenerate all-equal vectors.
+        let distinct = xs.iter().any(|&x| x != xs[0]);
+        prop_assume!(distinct);
+        // x³ + 2x is strictly monotone and never saturates into ties
+        // (unlike exp/tanh on wide inputs).
+        let ys: Vec<f64> = xs.iter().map(|&x| x * x * x + 2.0 * x).collect();
+        let rho = spearman_rank_correlation(&xs, &ys).unwrap();
+        prop_assert!((rho - 1.0).abs() < 1e-9, "monotone map preserves ranks: {}", rho);
+    }
+}
