@@ -69,6 +69,54 @@ fn bench_gan_steps(c: &mut Criterion) {
     group.finish();
 }
 
+/// Kernel-level GEMM cost: the serial reference vs the cache-tiled
+/// kernel vs the rayon-banded tiled kernel, on the shapes the GAN
+/// training loop actually runs — a batch-32 linear layer at hidden
+/// widths 48 and 64, plus the 1-row "sequence step head" shape a GRU
+/// emits per time step (where parallelism cannot help and dispatch must
+/// not make things worse).
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_kernel");
+    group.sample_size(30);
+    let mut rng = StdRng::seed_from_u64(3);
+
+    // (label, m, k, n): batch × in · in × out.
+    let shapes = [
+        ("b32_h48", 32, 48, 48),
+        ("b32_h64", 32, 64, 64),
+        ("seqstep_b1_h64", 1, 64, 64),
+    ];
+    for (label, m, k, n) in shapes {
+        let a = Tensor::randn(m, k, &mut rng);
+        let b_t = Tensor::randn(k, n, &mut rng);
+        group.bench_function(&format!("{label}_serial"), |bench| {
+            bench.iter(|| black_box(black_box(&a).matmul_serial(&b_t)))
+        });
+        group.bench_function(&format!("{label}_tiled"), |bench| {
+            bench.iter(|| black_box(black_box(&a).matmul_tiled(&b_t)))
+        });
+        group.bench_function(&format!("{label}_tiled_rayon"), |bench| {
+            bench.iter(|| black_box(black_box(&a).matmul_parallel(&b_t)))
+        });
+        group.bench_function(&format!("{label}_auto"), |bench| {
+            bench.iter(|| black_box(black_box(&a).matmul(&b_t)))
+        });
+    }
+
+    // The transpose-product shapes backward passes run: dW = xᵀ·dy and
+    // dx = dy·Wᵀ at the batch-32 hidden-64 working point.
+    let x = Tensor::randn(32, 64, &mut rng);
+    let dy = Tensor::randn(32, 64, &mut rng);
+    let w = Tensor::randn(64, 64, &mut rng);
+    group.bench_function("b32_h64_t_matmul", |bench| {
+        bench.iter(|| black_box(black_box(&x).t_matmul(&dy)))
+    });
+    group.bench_function("b32_h64_matmul_t", |bench| {
+        bench.iter(|| black_box(black_box(&dy).matmul_t(&w)))
+    });
+    group.finish();
+}
+
 fn bench_netshare_fit(c: &mut Criterion) {
     let mut group = c.benchmark_group("netshare_fit");
     group.sample_size(10);
@@ -95,5 +143,5 @@ fn bench_netshare_fit(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_gan_steps, bench_netshare_fit);
+criterion_group!(benches, bench_kernels, bench_gan_steps, bench_netshare_fit);
 criterion_main!(benches);

@@ -94,23 +94,25 @@ impl Gru {
     }
 
     /// One forward step: returns `h_t` and caches for BPTT.
+    ///
+    /// Each gate is one fused chain — `x·W + b` seeds the output, `h·U`
+    /// accumulates into it, and the nonlinearity is applied in place —
+    /// so a gate costs two GEMMs and zero temporaries instead of two
+    /// GEMMs plus three extra passes over the pre-activation.
     pub fn step(&mut self, x: &Tensor, h_prev: &Tensor) -> Tensor {
-        let sigmoid = |t: Tensor| t.map(|v| 1.0 / (1.0 + (-v).exp()));
-        let mut z_in = x.matmul(&self.wz);
-        z_in.add_assign(&h_prev.matmul(&self.uz));
-        z_in.add_row_broadcast(&self.bz);
-        let z = sigmoid(z_in);
+        let sigmoid = |v: f32| 1.0 / (1.0 + (-v).exp());
+        let mut z = x.matmul_add_bias(&self.wz, &self.bz);
+        h_prev.matmul_acc(&self.uz, &mut z);
+        z.map_inplace(sigmoid);
 
-        let mut r_in = x.matmul(&self.wr);
-        r_in.add_assign(&h_prev.matmul(&self.ur));
-        r_in.add_row_broadcast(&self.br);
-        let r = sigmoid(r_in);
+        let mut r = x.matmul_add_bias(&self.wr, &self.br);
+        h_prev.matmul_acc(&self.ur, &mut r);
+        r.map_inplace(sigmoid);
 
         let rh = r.hadamard(h_prev);
-        let mut h_in = x.matmul(&self.wh);
-        h_in.add_assign(&rh.matmul(&self.uh));
-        h_in.add_row_broadcast(&self.bh);
-        let hhat = h_in.map(f32::tanh);
+        let mut hhat = x.matmul_add_bias(&self.wh, &self.bh);
+        rh.matmul_acc(&self.uh, &mut hhat);
+        hhat.map_inplace(f32::tanh);
 
         // h = (1-z)⊙h_prev + z⊙ĥ
         let mut h = Tensor::zeros(h_prev.rows(), h_prev.cols());
@@ -182,8 +184,8 @@ impl Gru {
                 t
             };
             let rh = r.hadamard(h_prev);
-            self.gwh.add_assign(&x.t_matmul(&dhhat_raw));
-            self.guh.add_assign(&rh.t_matmul(&dhhat_raw));
+            x.t_matmul_acc(&dhhat_raw, &mut self.gwh);
+            rh.t_matmul_acc(&dhhat_raw, &mut self.guh);
             self.gbh.add_assign(&dhhat_raw.sum_rows());
             let drh = dhhat_raw.matmul_t(&self.uh);
             let dr = drh.hadamard(h_prev);
@@ -206,11 +208,11 @@ impl Gru {
                 }
                 t
             };
-            self.gwz.add_assign(&x.t_matmul(&dz_raw));
-            self.guz.add_assign(&h_prev.t_matmul(&dz_raw));
+            x.t_matmul_acc(&dz_raw, &mut self.gwz);
+            h_prev.t_matmul_acc(&dz_raw, &mut self.guz);
             self.gbz.add_assign(&dz_raw.sum_rows());
-            self.gwr.add_assign(&x.t_matmul(&dr_raw));
-            self.gur.add_assign(&h_prev.t_matmul(&dr_raw));
+            x.t_matmul_acc(&dr_raw, &mut self.gwr);
+            h_prev.t_matmul_acc(&dr_raw, &mut self.gur);
             self.gbr.add_assign(&dr_raw.sum_rows());
 
             // Input gradient.

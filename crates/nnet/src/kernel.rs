@@ -1,0 +1,447 @@
+//! GEMM kernels behind [`crate::Tensor`]'s matrix products.
+//!
+//! Three implementations per product shape (`A·B`, `Aᵀ·B`, `A·Bᵀ`):
+//!
+//! * **naive** — the original i-k-j reference loop with the zero-skip
+//!   fast path. Kept callable (`*_naive`) as the correctness baseline for
+//!   equivalence tests and benchmarks.
+//! * **tiled** — k-direction micro-blocking ([`KB`]-term fused updates,
+//!   one read-modify-write of the output row per block instead of per
+//!   scalar) plus [`TILE_J`]-wide output tiles so the hot output slice and
+//!   the `KB` streamed input rows stay in L1.
+//! * **parallel** — the tiled kernel over contiguous row bands of the
+//!   output via `rayon::par_chunks_mut`.
+//!
+//! Determinism contract: every kernel computes each output row with a
+//! fixed accumulation order anchored to *absolute* indices (k-blocks
+//! always start at 0, column tiles at fixed offsets), so the tiled and
+//! parallel paths are bitwise identical regardless of band boundaries or
+//! thread count. Naive and tiled differ only by floating-point
+//! reassociation (the tests bound it at 1e-4 relative).
+//!
+//! Dispatch ([`gemm_auto`] and friends) picks a path from the product's
+//! FLOP count, so layer code never chooses: small recurrent steps stay on
+//! the low-overhead naive loop, batched products tile, and large batched
+//! products additionally parallelize.
+
+use rayon::slice::ParallelSliceMut;
+
+/// k-direction micro-block: output rows are updated once per `KB`
+/// accumulated terms.
+pub const KB: usize = 4;
+
+/// Output-column tile width: one output tile plus `KB` input-row tiles is
+/// ~2.5 KiB, comfortably inside L1 alongside the streamed operands.
+pub const TILE_J: usize = 128;
+
+/// Products below this many FLOPs (`m·k·n`) stay on the naive loop.
+pub const TILE_MIN_FLOPS: usize = 1 << 12;
+
+/// Products at or above this many FLOPs engage the parallel path (a
+/// batch-32 × hidden-64 training step is ~131k and qualifies).
+pub const PAR_MIN_FLOPS: usize = 1 << 17;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Path {
+    Naive,
+    Tiled,
+    Parallel,
+}
+
+fn choose(flops: usize) -> Path {
+    if flops >= PAR_MIN_FLOPS && rayon::current_num_threads() > 1 {
+        Path::Parallel
+    } else if flops >= TILE_MIN_FLOPS {
+        Path::Tiled
+    } else {
+        Path::Naive
+    }
+}
+
+// ------------------------------------------------------------------ A·B
+
+/// `c += a·b` for row-major `a: m×k`, `b: k×n`, `c: m×n`; original
+/// reference loop (i-k-j with zero-skip).
+pub fn gemm_naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let out_row = &mut c[i * n..(i + 1) * n];
+        for kk in 0..k {
+            let av = a[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Tiled row-band kernel: `c_band += a_band·b` for `rows` output rows.
+///
+/// Accumulation order per output element depends only on absolute k/j
+/// indices, never on the band split.
+fn gemm_rows_tiled(rows: usize, k: usize, n: usize, a_band: &[f32], b: &[f32], c_band: &mut [f32]) {
+    let kb_end = k - k % KB;
+    for i in 0..rows {
+        let a_row = &a_band[i * k..(i + 1) * k];
+        let c_row = &mut c_band[i * n..(i + 1) * n];
+        let mut jt = 0;
+        while jt < n {
+            let je = (jt + TILE_J).min(n);
+            let mut kk = 0;
+            while kk < kb_end {
+                let a0 = a_row[kk];
+                let a1 = a_row[kk + 1];
+                let a2 = a_row[kk + 2];
+                let a3 = a_row[kk + 3];
+                // Zero-skip generalizes to the block: all-zero input rows
+                // (padding, one-hot tails) skip the whole fused update.
+                if a0 != 0.0 || a1 != 0.0 || a2 != 0.0 || a3 != 0.0 {
+                    let b0 = &b[kk * n + jt..kk * n + je];
+                    let b1 = &b[(kk + 1) * n + jt..(kk + 1) * n + je];
+                    let b2 = &b[(kk + 2) * n + jt..(kk + 2) * n + je];
+                    let b3 = &b[(kk + 3) * n + jt..(kk + 3) * n + je];
+                    let ct = &mut c_row[jt..je];
+                    for (j, o) in ct.iter_mut().enumerate() {
+                        *o += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+                    }
+                }
+                kk += KB;
+            }
+            for kk in kb_end..k {
+                let av = a_row[kk];
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n + jt..kk * n + je];
+                let ct = &mut c_row[jt..je];
+                for (o, &bv) in ct.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+            jt = je;
+        }
+    }
+}
+
+/// `c += a·b`, tiled serial path.
+pub fn gemm_tiled(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(c.len(), m * n);
+    gemm_rows_tiled(m, k, n, a, b, c);
+}
+
+/// `c += a·b`, tiled kernel over parallel row bands. Bitwise identical
+/// to [`gemm_tiled`] for any thread count.
+pub fn gemm_parallel(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    let band_rows = m.div_ceil(rayon::current_num_threads()).max(1);
+    c.par_chunks_mut(band_rows * n)
+        .enumerate()
+        .for_each(|(band, c_band)| {
+            let row0 = band * band_rows;
+            let rows = c_band.len() / n;
+            gemm_rows_tiled(rows, k, n, &a[row0 * k..(row0 + rows) * k], b, c_band);
+        });
+}
+
+/// `c += a·b` with size-based path dispatch.
+pub fn gemm_auto(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    match choose(m * k * n) {
+        Path::Naive => gemm_naive(m, k, n, a, b, c),
+        Path::Tiled => gemm_tiled(m, k, n, a, b, c),
+        Path::Parallel => gemm_parallel(m, k, n, a, b, c),
+    }
+}
+
+// ----------------------------------------------------------------- Aᵀ·B
+
+/// `c += aᵀ·b` for `a: m×k`, `b: m×n`, `c: k×n`; original reference loop
+/// (row-outer accumulation of outer products, zero-skip).
+pub fn gemm_tn_naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), m * n);
+    debug_assert_eq!(c.len(), k * n);
+    for r in 0..m {
+        let a_row = &a[r * k..(r + 1) * k];
+        let b_row = &b[r * n..(r + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let out_row = &mut c[i * n..(i + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Tiled band kernel for `c += aᵀ·b`: each output row `i` (a column of
+/// `a`) is owned by exactly one band, accumulating over example rows `r`
+/// in absolute `KB` blocks.
+fn gemm_tn_rows_tiled(
+    i0: usize,
+    rows: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c_band: &mut [f32],
+) {
+    let rb_end = m - m % KB;
+    for i in 0..rows {
+        let col = i0 + i;
+        let c_row = &mut c_band[i * n..(i + 1) * n];
+        let mut r = 0;
+        while r < rb_end {
+            let a0 = a[r * k + col];
+            let a1 = a[(r + 1) * k + col];
+            let a2 = a[(r + 2) * k + col];
+            let a3 = a[(r + 3) * k + col];
+            if a0 != 0.0 || a1 != 0.0 || a2 != 0.0 || a3 != 0.0 {
+                let b0 = &b[r * n..(r + 1) * n];
+                let b1 = &b[(r + 1) * n..(r + 2) * n];
+                let b2 = &b[(r + 2) * n..(r + 3) * n];
+                let b3 = &b[(r + 3) * n..(r + 4) * n];
+                for (j, o) in c_row.iter_mut().enumerate() {
+                    *o += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+                }
+            }
+            r += KB;
+        }
+        for r in rb_end..m {
+            let av = a[r * k + col];
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[r * n..(r + 1) * n];
+            for (o, &bv) in c_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `c += aᵀ·b`, tiled serial path.
+pub fn gemm_tn_tiled(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(c.len(), k * n);
+    gemm_tn_rows_tiled(0, k, m, k, n, a, b, c);
+}
+
+/// `c += aᵀ·b`, tiled kernel over parallel bands of output rows.
+pub fn gemm_tn_parallel(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    if k == 0 || n == 0 {
+        return;
+    }
+    let band_rows = k.div_ceil(rayon::current_num_threads()).max(1);
+    c.par_chunks_mut(band_rows * n)
+        .enumerate()
+        .for_each(|(band, c_band)| {
+            let i0 = band * band_rows;
+            let rows = c_band.len() / n;
+            gemm_tn_rows_tiled(i0, rows, m, k, n, a, b, c_band);
+        });
+}
+
+/// `c += aᵀ·b` with size-based path dispatch.
+pub fn gemm_tn_auto(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    match choose(m * k * n) {
+        Path::Naive => gemm_tn_naive(m, k, n, a, b, c),
+        Path::Tiled => gemm_tn_tiled(m, k, n, a, b, c),
+        Path::Parallel => gemm_tn_parallel(m, k, n, a, b, c),
+    }
+}
+
+// ----------------------------------------------------------------- A·Bᵀ
+
+/// `c += a·bᵀ` for `a: m×k`, `b: p×k`, `c: m×p`; original reference loop
+/// (independent dot products).
+pub fn gemm_nt_naive(m: usize, k: usize, p: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), p * k);
+    debug_assert_eq!(c.len(), m * p);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..p {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            c[i * p + j] += acc;
+        }
+    }
+}
+
+/// Tiled band kernel for `c += a·bᵀ`: a 1×[`KB`] micro-kernel shares each
+/// `a` load across `KB` simultaneous dot products.
+fn gemm_nt_rows_tiled(rows: usize, k: usize, p: usize, a_band: &[f32], b: &[f32], c_band: &mut [f32]) {
+    let pb_end = p - p % KB;
+    for i in 0..rows {
+        let a_row = &a_band[i * k..(i + 1) * k];
+        let c_row = &mut c_band[i * p..(i + 1) * p];
+        let mut j = 0;
+        while j < pb_end {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let b2 = &b[(j + 2) * k..(j + 3) * k];
+            let b3 = &b[(j + 3) * k..(j + 4) * k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for (kk, &av) in a_row.iter().enumerate() {
+                s0 += av * b0[kk];
+                s1 += av * b1[kk];
+                s2 += av * b2[kk];
+                s3 += av * b3[kk];
+            }
+            c_row[j] += s0;
+            c_row[j + 1] += s1;
+            c_row[j + 2] += s2;
+            c_row[j + 3] += s3;
+            j += KB;
+        }
+        for j in pb_end..p {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            c_row[j] += acc;
+        }
+    }
+}
+
+/// `c += a·bᵀ`, tiled serial path.
+pub fn gemm_nt_tiled(m: usize, k: usize, p: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(c.len(), m * p);
+    gemm_nt_rows_tiled(m, k, p, a, b, c);
+}
+
+/// `c += a·bᵀ`, tiled kernel over parallel row bands.
+pub fn gemm_nt_parallel(m: usize, k: usize, p: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    if m == 0 || p == 0 {
+        return;
+    }
+    let band_rows = m.div_ceil(rayon::current_num_threads()).max(1);
+    c.par_chunks_mut(band_rows * p)
+        .enumerate()
+        .for_each(|(band, c_band)| {
+            let row0 = band * band_rows;
+            let rows = c_band.len() / p;
+            gemm_nt_rows_tiled(rows, k, p, &a[row0 * k..(row0 + rows) * k], b, c_band);
+        });
+}
+
+/// `c += a·bᵀ` with size-based path dispatch.
+pub fn gemm_nt_auto(m: usize, k: usize, p: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    match choose(m * k * p) {
+        Path::Naive => gemm_nt_naive(m, k, p, a, b, c),
+        Path::Tiled => gemm_nt_tiled(m, k, p, a, b, c),
+        Path::Parallel => gemm_nt_parallel(m, k, p, a, b, c),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn randv(len: usize, rng: &mut StdRng) -> Vec<f32> {
+        (0..len).map(|_| rng.gen_range(-2.0f32..2.0)).collect()
+    }
+
+    fn assert_close(x: &[f32], y: &[f32]) {
+        assert_eq!(x.len(), y.len());
+        for (a, b) in x.iter().zip(y) {
+            assert!((a - b).abs() <= 1e-4 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn all_paths_agree_on_awkward_shapes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (1, 7, 1),
+            (5, 1, 9),
+            (3, 4, 5),
+            (17, 23, 9),
+            (33, 65, 31),
+        ] {
+            let a = randv(m * k, &mut rng);
+            let b = randv(k * n, &mut rng);
+            let mut naive = vec![0.0; m * n];
+            let mut tiled = vec![0.0; m * n];
+            let mut par = vec![0.0; m * n];
+            gemm_naive(m, k, n, &a, &b, &mut naive);
+            gemm_tiled(m, k, n, &a, &b, &mut tiled);
+            gemm_parallel(m, k, n, &a, &b, &mut par);
+            assert_close(&naive, &tiled);
+            assert_eq!(tiled, par, "parallel must be bitwise identical to tiled");
+
+            let bt = randv(m * n, &mut rng);
+            let mut tn_naive = vec![0.0; k * n];
+            let mut tn_tiled = vec![0.0; k * n];
+            let mut tn_par = vec![0.0; k * n];
+            gemm_tn_naive(m, k, n, &a, &bt, &mut tn_naive);
+            gemm_tn_tiled(m, k, n, &a, &bt, &mut tn_tiled);
+            gemm_tn_parallel(m, k, n, &a, &bt, &mut tn_par);
+            assert_close(&tn_naive, &tn_tiled);
+            assert_eq!(tn_tiled, tn_par);
+
+            let bp = randv(n * k, &mut rng);
+            let mut nt_naive = vec![0.0; m * n];
+            let mut nt_tiled = vec![0.0; m * n];
+            let mut nt_par = vec![0.0; m * n];
+            gemm_nt_naive(m, k, n, &a, &bp, &mut nt_naive);
+            gemm_nt_tiled(m, k, n, &a, &bp, &mut nt_tiled);
+            gemm_nt_parallel(m, k, n, &a, &bp, &mut nt_par);
+            assert_close(&nt_naive, &nt_tiled);
+            assert_eq!(nt_tiled, nt_par);
+        }
+    }
+
+    #[test]
+    fn accumulates_instead_of_overwriting() {
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, 4.0];
+        let mut c = [100.0f32];
+        gemm_auto(1, 2, 1, &a, &b, &mut c);
+        assert_eq!(c[0], 100.0 + 11.0);
+    }
+
+    #[test]
+    fn zero_rows_are_skipped_not_wrong() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let (m, k, n) = (9, 12, 7);
+        let mut a = randv(m * k, &mut rng);
+        for x in a[2 * k..4 * k].iter_mut() {
+            *x = 0.0; // two all-zero input rows
+        }
+        let b = randv(k * n, &mut rng);
+        let mut naive = vec![0.0; m * n];
+        let mut tiled = vec![0.0; m * n];
+        gemm_naive(m, k, n, &a, &b, &mut naive);
+        gemm_tiled(m, k, n, &a, &b, &mut tiled);
+        assert_close(&naive, &tiled);
+        assert!(naive[2 * n..4 * n].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn degenerate_dims_do_nothing() {
+        gemm_parallel(0, 4, 4, &[], &randv(16, &mut StdRng::seed_from_u64(1)), &mut []);
+        gemm_tn_parallel(4, 0, 4, &[], &randv(16, &mut StdRng::seed_from_u64(2)), &mut []);
+        let a = randv(8, &mut StdRng::seed_from_u64(3));
+        let mut c = vec![0.0; 4];
+        gemm_auto(2, 0, 2, &[], &[], &mut c);
+        assert!(c.iter().all(|&x| x == 0.0));
+        let _ = a;
+    }
+}

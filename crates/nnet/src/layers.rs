@@ -68,8 +68,7 @@ impl Parameterized for Linear {
 
 impl Layer for Linear {
     fn forward(&mut self, input: &Tensor) -> Tensor {
-        let mut out = input.matmul(&self.w);
-        out.add_row_broadcast(&self.b);
+        let out = input.matmul_add_bias(&self.w, &self.b);
         self.cached_input = Some(input.clone());
         out
     }
@@ -79,8 +78,8 @@ impl Layer for Linear {
             .cached_input
             .as_ref()
             .expect("backward called before forward");
-        // dW = xᵀ·dy, db = Σ_rows dy, dx = dy·Wᵀ
-        self.grad_w.add_assign(&input.t_matmul(grad_output));
+        // dW = xᵀ·dy (accumulated in place), db = Σ_rows dy, dx = dy·Wᵀ
+        input.t_matmul_acc(grad_output, &mut self.grad_w);
         self.grad_b.add_assign(&grad_output.sum_rows());
         grad_output.matmul_t(&self.w)
     }

@@ -28,6 +28,7 @@
 pub mod conv;
 pub mod dpsgd;
 pub mod gru;
+pub mod kernel;
 pub mod layers;
 pub mod loss;
 pub mod optim;

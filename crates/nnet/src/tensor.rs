@@ -1,5 +1,17 @@
 //! Row-major `f32` matrices and the linear algebra the layers need.
+//!
+//! Matrix products are backed by the kernels in [`crate::kernel`]:
+//! [`Tensor::matmul`], [`Tensor::t_matmul`], and [`Tensor::matmul_t`]
+//! dispatch between a naive loop, a cache-tiled kernel, and a tiled
+//! kernel over rayon row bands based on the product's FLOP count. The
+//! `*_serial`, `*_tiled`, and `*_parallel` variants pin a specific path
+//! (equivalence tests, benchmarks); the fused helpers
+//! ([`Tensor::matmul_add_bias`], [`Tensor::matmul_acc`],
+//! [`Tensor::t_matmul_acc`], [`Tensor::map_inplace`], [`Tensor::axpy`])
+//! merge a GEMM with the surrounding element-wise pass so layer code
+//! makes one sweep over memory instead of two.
 
+use crate::kernel;
 use rand::prelude::*;
 use rand_distr::{Distribution, Normal};
 use serde::{Deserialize, Serialize};
@@ -133,69 +145,159 @@ impl Tensor {
         self.data.iter_mut().for_each(|x| *x = v);
     }
 
-    /// Matrix product `self · other`.
-    ///
-    /// # Panics
-    /// Panics on an inner-dimension mismatch.
-    pub fn matmul(&self, other: &Tensor) -> Tensor {
+    #[inline]
+    fn assert_matmul_dims(&self, other: &Tensor) {
         assert_eq!(
             self.cols, other.rows,
             "matmul {}x{} · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
+    }
+
+    /// Matrix product `self · other`, dispatched between the naive,
+    /// tiled, and parallel kernels by problem size.
+    ///
+    /// # Panics
+    /// Panics on an inner-dimension mismatch.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        self.assert_matmul_dims(other);
         let mut out = Tensor::zeros(self.rows, other.cols);
-        // i-k-j loop order: streams through `other` row-wise for locality.
-        for i in 0..self.rows {
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        kernel::gemm_auto(
+            self.rows, self.cols, other.cols,
+            &self.data, &other.data, &mut out.data,
+        );
         out
+    }
+
+    /// `self · other` on the naive reference kernel (the original
+    /// i-k-j loop), regardless of size. Baseline for equivalence tests
+    /// and benchmarks.
+    pub fn matmul_serial(&self, other: &Tensor) -> Tensor {
+        self.assert_matmul_dims(other);
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        kernel::gemm_naive(
+            self.rows, self.cols, other.cols,
+            &self.data, &other.data, &mut out.data,
+        );
+        out
+    }
+
+    /// `self · other` on the cache-tiled serial kernel, regardless of size.
+    pub fn matmul_tiled(&self, other: &Tensor) -> Tensor {
+        self.assert_matmul_dims(other);
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        kernel::gemm_tiled(
+            self.rows, self.cols, other.cols,
+            &self.data, &other.data, &mut out.data,
+        );
+        out
+    }
+
+    /// `self · other` on the tiled kernel over rayon row bands,
+    /// regardless of size. Bitwise identical to [`Tensor::matmul_tiled`].
+    pub fn matmul_parallel(&self, other: &Tensor) -> Tensor {
+        self.assert_matmul_dims(other);
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        kernel::gemm_parallel(
+            self.rows, self.cols, other.cols,
+            &self.data, &other.data, &mut out.data,
+        );
+        out
+    }
+
+    /// Fused `self · other + bias` (bias broadcast to every row): the
+    /// output is seeded with the bias so the GEMM accumulates on top of
+    /// it, saving the separate broadcast pass over the output.
+    ///
+    /// # Panics
+    /// Panics on an inner-dimension mismatch or if `bias` is not a
+    /// `1 × other.cols` row vector.
+    pub fn matmul_add_bias(&self, other: &Tensor, bias: &Tensor) -> Tensor {
+        self.assert_matmul_dims(other);
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, other.cols, "bias width mismatch");
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            out.data[r * other.cols..(r + 1) * other.cols].copy_from_slice(&bias.data);
+        }
+        kernel::gemm_auto(
+            self.rows, self.cols, other.cols,
+            &self.data, &other.data, &mut out.data,
+        );
+        out
+    }
+
+    /// Fused `acc += self · other`, accumulating straight into an
+    /// existing tensor (gradient buffers) without a temporary.
+    ///
+    /// # Panics
+    /// Panics on a dimension mismatch with `acc`.
+    pub fn matmul_acc(&self, other: &Tensor, acc: &mut Tensor) {
+        self.assert_matmul_dims(other);
+        assert_eq!(acc.shape(), (self.rows, other.cols), "matmul_acc shape mismatch");
+        kernel::gemm_auto(
+            self.rows, self.cols, other.cols,
+            &self.data, &other.data, &mut acc.data,
+        );
     }
 
     /// `selfᵀ · other` without materializing the transpose.
     pub fn t_matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.rows, other.rows, "t_matmul row mismatch");
         let mut out = Tensor::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let b_row = other.row(r);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        kernel::gemm_tn_auto(
+            self.rows, self.cols, other.cols,
+            &self.data, &other.data, &mut out.data,
+        );
         out
+    }
+
+    /// `selfᵀ · other` on the naive reference kernel (row-outer
+    /// accumulation with zero-skip), regardless of size.
+    pub fn t_matmul_serial(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "t_matmul row mismatch");
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        kernel::gemm_tn_naive(
+            self.rows, self.cols, other.cols,
+            &self.data, &other.data, &mut out.data,
+        );
+        out
+    }
+
+    /// Fused `acc += selfᵀ · other`: the weight-gradient update
+    /// (`grad_w += inputᵀ · grad_out`) in one pass, no temporary.
+    ///
+    /// # Panics
+    /// Panics on a dimension mismatch with `acc`.
+    pub fn t_matmul_acc(&self, other: &Tensor, acc: &mut Tensor) {
+        assert_eq!(self.rows, other.rows, "t_matmul row mismatch");
+        assert_eq!(acc.shape(), (self.cols, other.cols), "t_matmul_acc shape mismatch");
+        kernel::gemm_tn_auto(
+            self.rows, self.cols, other.cols,
+            &self.data, &other.data, &mut acc.data,
+        );
     }
 
     /// `self · otherᵀ` without materializing the transpose.
     pub fn matmul_t(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.cols, other.cols, "matmul_t col mismatch");
         let mut out = Tensor::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out.data[i * other.rows + j] = acc;
-            }
-        }
+        kernel::gemm_nt_auto(
+            self.rows, self.cols, other.rows,
+            &self.data, &other.data, &mut out.data,
+        );
+        out
+    }
+
+    /// `self · otherᵀ` on the naive reference kernel (independent dot
+    /// products), regardless of size.
+    pub fn matmul_t_serial(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.cols, "matmul_t col mismatch");
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        kernel::gemm_nt_naive(
+            self.rows, self.cols, other.rows,
+            &self.data, &other.data, &mut out.data,
+        );
         out
     }
 
@@ -224,6 +326,13 @@ impl Tensor {
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += scale * b;
         }
+    }
+
+    /// BLAS-style in-place `self += alpha * x` (alias of
+    /// [`Tensor::add_scaled`] under its conventional name).
+    #[inline]
+    pub fn axpy(&mut self, alpha: f32, x: &Tensor) {
+        self.add_scaled(x, alpha);
     }
 
     /// Adds a row vector to every row (bias broadcast).
@@ -255,6 +364,12 @@ impl Tensor {
             cols: self.cols,
             data: self.data.iter().map(|&x| f(x)).collect(),
         }
+    }
+
+    /// Applies `f` element-wise in place — the fused
+    /// activation-on-output path (no fresh allocation after a GEMM).
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        self.data.iter_mut().for_each(|x| *x = f(*x));
     }
 
     /// Scales all elements in place.

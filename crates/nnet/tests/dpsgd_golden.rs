@@ -1,0 +1,116 @@
+//! Golden-value regression test for `DpSgdTrainer::sanitize_batch`.
+//!
+//! DP-SGD's privacy guarantee rides on the exact per-example clip →
+//! sum → noise → average pipeline. The kernel rewrite must not change
+//! any of these numbers: the fixtures below were captured from a
+//! fixed-seed run and pin both the noise-free clipped gradients (pure
+//! per-example clipping semantics) and the noised sanitized gradient
+//! (RNG stream position included).
+
+use nnet::layers::{Activation, Layer, Sequential};
+use nnet::{DpSgdConfig, DpSgdTrainer, Parameterized, Tensor};
+use rand::prelude::*;
+
+/// Tiny fixed-seed regression problem: 2→3→1 tanh MLP, 4 examples.
+fn fixture() -> (Sequential, Tensor, Tensor) {
+    let mut rng = StdRng::seed_from_u64(0xD509);
+    let net = Sequential::mlp(2, &[3], 1, Activation::Tanh, &mut rng);
+    let x = Tensor::from_vec(4, 2, vec![0.4, -1.2, 0.9, 0.3, -0.5, 0.7, 1.1, -0.8]);
+    let y = Tensor::from_vec(4, 1, vec![0.2, -0.4, 0.6, -0.1]);
+    (net, x, y)
+}
+
+fn per_example<'a>(x: &'a Tensor, y: &'a Tensor) -> impl FnMut(&mut Sequential, usize) + 'a {
+    move |m: &mut Sequential, i: usize| {
+        let xi = x.select_rows(&[i]);
+        let yi = y.select_rows(&[i]);
+        let pred = m.forward(&xi);
+        let (_, grad) = nnet::loss::mse(&pred, &yi);
+        let _ = m.backward(&grad);
+    }
+}
+
+/// Golden per-example clipped gradients (noise off), captured at
+/// clip_norm = 0.05 — every example's raw gradient exceeds the clip, so
+/// these values pin the clip-scale arithmetic too. Debug-printed f32s
+/// round-trip exactly, so equality below is bitwise.
+const GOLDEN_CLIPPED: [[f32; 13]; 4] = [
+    [
+        -0.0059425537, -4.7782282e-6, 0.00788719, 0.017827662, 1.4334684e-5,
+        -0.023661572, -0.014856384, -1.194557e-5, 0.019717975, -0.0041454462,
+        0.019916372, -0.0015504826, -0.02233879,
+    ],
+    [
+        0.016010584, 4.1720257e-5, -0.015367624, 0.0053368616, 1.3906754e-5,
+        -0.0051225414, 0.017789537, 4.6355843e-5, -0.017075138, 0.007415604,
+        -0.016695313, 0.01542264, 0.027805757,
+    ],
+    [
+        0.008565862, 1.1821708e-5, -0.010955761, -0.011992207, -1.655039e-5,
+        0.015338065, -0.017131723, -2.3643415e-5, 0.021911522, 0.0049718674,
+        -0.02080697, 0.005392314, -0.025830014,
+    ],
+    [
+        -0.015375951, -6.6272037e-6, 0.016688304, 0.011182509, 4.8197844e-6,
+        -0.012136947, -0.013978137, -6.0247303e-6, 0.015171184, -0.008796574,
+        0.02239119, -0.0123522505, -0.023576487,
+    ],
+];
+
+/// Golden sanitized gradient for the full batch with σ = 1.3 and noise
+/// seed 0xBEEF: pins clip → sum → noise-stream → average end to end.
+const GOLDEN_NOISED: [f32; 13] = [
+    -0.013163313, -0.011859614, -0.033571288, 0.025471255, -0.0103326915,
+    -0.022560006, 0.0060004657, -0.0010554135, 0.034524404, -0.025489882,
+    0.005374217, 0.026390564, -0.017263649,
+];
+
+#[test]
+fn per_example_clipped_gradients_match_goldens() {
+    let (net, x, y) = fixture();
+    for (i, golden) in GOLDEN_CLIPPED.iter().enumerate() {
+        let mut m = net.clone();
+        let mut t = DpSgdTrainer::new(
+            DpSgdConfig { clip_norm: 0.05, noise_multiplier: 0.0 },
+            1,
+        );
+        t.sanitize_batch(&mut m, &[i], per_example(&x, &y));
+        let got = m.flat_gradients();
+        assert_eq!(got.as_slice(), golden.as_slice(), "example {i} clipped gradient drifted");
+        // A single-example batch with σ=0 is exactly the clipped
+        // per-example gradient: confirm the clip actually engaged.
+        let norm: f32 = got.iter().map(|g| g * g).sum::<f32>().sqrt();
+        assert!((norm - 0.05).abs() < 1e-6, "example {i} should be clipped to exactly C");
+    }
+}
+
+#[test]
+fn noised_batch_gradient_matches_goldens() {
+    let (net, x, y) = fixture();
+    let mut m = net.clone();
+    let mut t = DpSgdTrainer::new(
+        DpSgdConfig { clip_norm: 0.05, noise_multiplier: 1.3 },
+        0xBEEF,
+    );
+    t.sanitize_batch(&mut m, &[0, 1, 2, 3], per_example(&x, &y));
+    assert_eq!(m.flat_gradients().as_slice(), GOLDEN_NOISED.as_slice());
+    assert_eq!(t.steps(), 1);
+}
+
+#[test]
+fn noise_free_batch_is_average_of_clipped_goldens() {
+    // Cross-check: the batch pipeline at σ=0 must equal the average of
+    // the four pinned per-example clipped gradients.
+    let (net, x, y) = fixture();
+    let mut m = net.clone();
+    let mut t = DpSgdTrainer::new(
+        DpSgdConfig { clip_norm: 0.05, noise_multiplier: 0.0 },
+        1,
+    );
+    t.sanitize_batch(&mut m, &[0, 1, 2, 3], per_example(&x, &y));
+    let got = m.flat_gradients();
+    for (j, &g) in got.iter().enumerate() {
+        let mean: f32 = GOLDEN_CLIPPED.iter().map(|e| e[j]).sum::<f32>() / 4.0;
+        assert!((g - mean).abs() <= 1e-7, "coord {j}: {g} vs mean {mean}");
+    }
+}

@@ -1,0 +1,188 @@
+//! Property-based equivalence tests for the GEMM kernel rewrite.
+//!
+//! For every product shape the tensor API exposes (`A·B`, `Aᵀ·B`,
+//! `A·Bᵀ`), the naive reference kernel, the cache-tiled kernel, and the
+//! rayon-banded parallel kernel must agree: naive vs tiled within a
+//! floating-point reassociation tolerance, tiled vs parallel *bitwise*.
+//! Shapes are drawn randomly and include the degenerate 1×N / N×1 edge
+//! cases; a dedicated generator plants all-zero rows to exercise the
+//! zero-skip fast path of `t_matmul` / the block-skip of the tiled
+//! kernels.
+
+use nnet::Tensor;
+use proptest::prelude::*;
+
+const REL_TOL: f32 = 1e-4;
+
+fn close(a: &Tensor, b: &Tensor) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.shape(), b.shape());
+    for (&x, &y) in a.data().iter().zip(b.data()) {
+        prop_assert!(
+            (x - y).abs() <= REL_TOL * (1.0 + x.abs()),
+            "{} vs {}",
+            x,
+            y
+        );
+    }
+    Ok(())
+}
+
+/// A rows×cols tensor with entries in [-2, 2), where each row is zeroed
+/// with probability ~1/4 (zero-skip coverage).
+fn tensor_strategy(
+    rows: usize,
+    cols: usize,
+    seed: u64,
+) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(0u8..4, rows).prop_map(move |zero_mask| {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(
+            seed ^ zero_mask.iter().fold(0u64, |h, &b| h.wrapping_mul(31).wrapping_add(b as u64)),
+        );
+        let mut t = Tensor::zeros(rows, cols);
+        for r in 0..rows {
+            if zero_mask[r] == 0 {
+                continue; // planted all-zero row
+            }
+            for v in t.row_mut(r) {
+                *v = rng.gen_range(-2.0f32..2.0);
+            }
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_paths_agree(
+        (m, k, n) in (1usize..24, 1usize..40, 1usize..24),
+        salt in any::<u64>(),
+    ) {
+        let a = tensor_strategy(m, k, salt).gen_with(salt);
+        let b = tensor_strategy(k, n, salt ^ 1).gen_with(salt ^ 1);
+        let naive = a.matmul_serial(&b);
+        let tiled = a.matmul_tiled(&b);
+        let par = a.matmul_parallel(&b);
+        close(&naive, &tiled)?;
+        prop_assert_eq!(tiled.data(), par.data(), "tiled vs parallel must be bitwise equal");
+        close(&naive, &a.matmul(&b))?;
+    }
+
+    #[test]
+    fn t_matmul_zero_skip_agrees_with_dense_transpose(
+        (m, k, n) in (1usize..24, 1usize..24, 1usize..24),
+        salt in any::<u64>(),
+    ) {
+        let a = tensor_strategy(m, k, salt.wrapping_add(7)).gen_with(salt);
+        let b = tensor_strategy(m, n, salt.wrapping_add(8)).gen_with(salt ^ 2);
+        let fused = a.t_matmul(&b);
+        let reference = a.t_matmul_serial(&b);
+        let dense = a.transpose().matmul_serial(&b);
+        close(&reference, &fused)?;
+        close(&dense, &fused)?;
+    }
+
+    #[test]
+    fn matmul_t_agrees_with_dense_transpose(
+        (m, k, p) in (1usize..24, 1usize..40, 1usize..24),
+        salt in any::<u64>(),
+    ) {
+        let a = tensor_strategy(m, k, salt.wrapping_add(9)).gen_with(salt);
+        let b = tensor_strategy(p, k, salt.wrapping_add(10)).gen_with(salt ^ 3);
+        let fused = a.matmul_t(&b);
+        let reference = a.matmul_t_serial(&b);
+        let dense = a.matmul_serial(&b.transpose());
+        close(&reference, &fused)?;
+        close(&dense, &fused)?;
+    }
+
+    #[test]
+    fn fused_helpers_match_unfused_pipelines(
+        (m, k, n) in (1usize..16, 1usize..32, 1usize..16),
+        salt in any::<u64>(),
+    ) {
+        let a = tensor_strategy(m, k, salt.wrapping_add(11)).gen_with(salt);
+        let b = tensor_strategy(k, n, salt.wrapping_add(12)).gen_with(salt ^ 4);
+        let bias = tensor_strategy(1, n, salt.wrapping_add(13)).gen_with(salt ^ 5);
+
+        // matmul_add_bias == matmul then broadcast.
+        let fused = a.matmul_add_bias(&b, &bias);
+        let mut unfused = a.matmul(&b);
+        unfused.add_row_broadcast(&bias);
+        close(&unfused, &fused)?;
+
+        // matmul_acc == acc + matmul.
+        let acc0 = tensor_strategy(m, n, salt.wrapping_add(14)).gen_with(salt ^ 6);
+        let mut acc = acc0.clone();
+        a.matmul_acc(&b, &mut acc);
+        let mut expect = acc0.clone();
+        expect.add_assign(&a.matmul(&b));
+        close(&expect, &acc)?;
+
+        // t_matmul_acc == acc + t_matmul.
+        let c = tensor_strategy(m, n, salt.wrapping_add(15)).gen_with(salt ^ 7);
+        let acc0 = tensor_strategy(k, n, salt.wrapping_add(16)).gen_with(salt ^ 8);
+        let mut acc = acc0.clone();
+        a.t_matmul_acc(&c, &mut acc);
+        let mut expect = acc0;
+        expect.add_assign(&a.t_matmul(&c));
+        close(&expect, &acc)?;
+
+        // axpy == add_scaled; map_inplace == map.
+        let x = tensor_strategy(m, k, salt.wrapping_add(17)).gen_with(salt ^ 9);
+        let mut ya = a.clone();
+        ya.axpy(0.5, &x);
+        let mut yb = a.clone();
+        yb.add_scaled(&x, 0.5);
+        prop_assert_eq!(ya.data(), yb.data());
+        let mut mi = a.clone();
+        mi.map_inplace(|v| v * v - 1.0);
+        let mapped = a.map(|v| v * v - 1.0);
+        prop_assert_eq!(mi.data(), mapped.data());
+    }
+}
+
+/// Strategy values need an RNG at a fixed case; tiny helper so the
+/// proptest macro body can materialize a `tensor_strategy` directly.
+trait GenWith<T> {
+    fn gen_with(&self, salt: u64) -> T;
+}
+
+impl<S: Strategy> GenWith<S::Value> for S {
+    fn gen_with(&self, salt: u64) -> S::Value {
+        let mut rng = proptest::TestRng::for_case("kernel_equiv::gen_with", salt);
+        self.gen(&mut rng)
+    }
+}
+
+#[test]
+fn all_zero_inputs_produce_all_zero_outputs() {
+    let a = Tensor::zeros(33, 65); // big enough for the tiled path
+    let b = Tensor::zeros(65, 31);
+    assert!(a.matmul(&b).data().iter().all(|&x| x == 0.0));
+    assert!(a.t_matmul(&Tensor::zeros(33, 9)).data().iter().all(|&x| x == 0.0));
+    assert!(a.matmul_t(&Tensor::zeros(5, 65)).data().iter().all(|&x| x == 0.0));
+}
+
+#[test]
+fn one_by_n_and_n_by_one_edges() {
+    use rand::prelude::*;
+    let mut rng = StdRng::seed_from_u64(99);
+    let row = Tensor::randn(1, 37, &mut rng); // 1×N
+    let col = Tensor::randn(37, 1, &mut rng); // N×1
+    let scalar = row.matmul(&col);
+    assert_eq!(scalar.shape(), (1, 1));
+    let outer = col.matmul(&row);
+    assert_eq!(outer.shape(), (37, 37));
+    let outer_ref = col.matmul_serial(&row);
+    for (x, y) in outer.data().iter().zip(outer_ref.data()) {
+        assert!((x - y).abs() <= 1e-4 * (1.0 + x.abs()));
+    }
+    // Aᵀ·B and A·Bᵀ on the same degenerate shapes.
+    let t = row.t_matmul(&Tensor::randn(1, 5, &mut rng));
+    assert_eq!(t.shape(), (37, 5));
+    let nt = col.matmul_t(&Tensor::randn(4, 1, &mut rng));
+    assert_eq!(nt.shape(), (37, 4));
+}

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, root test suite, bench compile check.
+# Run from anywhere; operates on the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo bench -p bench --no-run

@@ -1,0 +1,161 @@
+//! Offline stand-in for `bytes`.
+//!
+//! A `Vec<u8>`-backed [`BytesMut`] with the big-endian `put_*` writers,
+//! and a [`Buf`] reader impl over `&[u8]` that consumes from the front by
+//! shrinking the slice — exactly the surface the pcap/IPv4 codecs use.
+//! No refcounted buffer sharing: `freeze`/`split` are out of scope.
+
+/// Big-endian binary writers.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `i32`.
+    fn put_i32(&mut self, v: i32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// Big-endian binary readers that consume from the front.
+///
+/// Like the real crate, reading past the end panics; callers bounds-check
+/// with `len()` first.
+pub trait Buf {
+    /// Removes the first `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Copies out the first `n` bytes and advances past them.
+    fn copy_front(&mut self, n: usize) -> Vec<u8>;
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.copy_front(1)[0]
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.copy_front(2).try_into().unwrap())
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.copy_front(4).try_into().unwrap())
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.copy_front(8).try_into().unwrap())
+    }
+}
+
+impl Buf for &[u8] {
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn copy_front(&mut self, n: usize) -> Vec<u8> {
+        let (head, tail) = self.split_at(n);
+        *self = tail;
+        head.to_vec()
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_are_big_endian() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(0xAB);
+        b.put_u16(0x0102);
+        b.put_u32(0x03040506);
+        b.put_i32(-1);
+        b.put_slice(&[9, 9]);
+        assert_eq!(
+            b.to_vec(),
+            vec![0xAB, 1, 2, 3, 4, 5, 6, 0xFF, 0xFF, 0xFF, 0xFF, 9, 9]
+        );
+    }
+
+    #[test]
+    fn reads_round_trip_and_advance() {
+        let mut b = BytesMut::new();
+        b.put_u32(0xDEADBEEF);
+        b.put_u16(7);
+        b.put_u8(3);
+        b.put_slice(&[1, 2, 3, 4]);
+        let mut r: &[u8] = &b;
+        assert_eq!(r.get_u32(), 0xDEADBEEF);
+        assert_eq!(r.get_u16(), 7);
+        assert_eq!(r.get_u8(), 3);
+        r.advance(2);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r, &[3, 4]);
+    }
+}

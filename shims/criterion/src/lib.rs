@@ -1,0 +1,226 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the `benchmark_group` / `bench_function` / `Bencher::iter` API
+//! and genuinely measures wall-clock time: a short calibration pass sizes
+//! the batch so each sample runs ≥ ~2 ms, then `sample_size` samples are
+//! timed and the mean/min/max per-iteration times printed, with
+//! throughput when a `Throughput` was declared. A positional CLI
+//! argument filters benchmarks by substring of `group/id`, as in real
+//! criterion (`cargo bench -p bench -- gemm_kernel`). No statistical
+//! analysis or HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared per-iteration work, used for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        if self.filter.is_none() {
+            self.filter = Some(cli_filter());
+        }
+        let filter = self.filter.clone().unwrap_or_default();
+        if filter.is_empty() || name.contains(&filter) {
+            println!("\nbenchmark group: {name}");
+        }
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+            filter,
+        }
+    }
+}
+
+/// First positional CLI argument, used as a substring filter on
+/// `group/id` (flags like `--bench`, which cargo forwards, are skipped).
+fn cli_filter() -> String {
+    std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .unwrap_or_default()
+}
+
+/// A named set of benchmarks sharing sample-count/throughput settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    filter: String,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration work for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measures one benchmark and prints its timing line.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.filter.is_empty() && !format!("{}/{}", self.name, id).contains(&self.filter) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            calibrating: true,
+        };
+        // Calibration: grow the batch until one sample costs ≥ ~2 ms.
+        loop {
+            f(&mut bencher);
+            let elapsed = bencher.samples.last().copied().unwrap_or_default();
+            if elapsed >= Duration::from_millis(2) || bencher.iters_per_sample >= 1 << 20 {
+                break;
+            }
+            bencher.iters_per_sample *= 4;
+            bencher.samples.clear();
+        }
+        bencher.calibrating = false;
+        bencher.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        self.report(id, &bencher);
+        self
+    }
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        let per_iter: Vec<f64> = bencher
+            .samples
+            .iter()
+            .map(|d| d.as_secs_f64() / bencher.iters_per_sample as f64)
+            .collect();
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => format!("  {:.3} Melem/s", n as f64 / mean / 1e6),
+            Some(Throughput::Bytes(n)) => format!("  {:.3} MiB/s", n as f64 / mean / (1 << 20) as f64),
+            None => String::new(),
+        };
+        println!(
+            "{}/{:<40} time: [{} {} {}]{}  ({} samples x {} iters)",
+            self.name,
+            id,
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max),
+            rate,
+            per_iter.len(),
+            bencher.iters_per_sample,
+        );
+    }
+
+    /// Ends the group (printing already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.4} ns", secs * 1e9)
+    }
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    calibrating: bool,
+}
+
+impl Bencher {
+    /// Runs `f` in a timed batch; each call records one sample.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(f());
+        }
+        self.samples.push(start.elapsed());
+        let _ = self.calibrating;
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        let mut ran = 0u64;
+        group.bench_function("count_to_100", |b| {
+            b.iter(|| {
+                ran += 1;
+                (0..100u64).sum::<u64>()
+            })
+        });
+        group.finish();
+        assert!(ran > 0, "benchmark body never executed");
+    }
+
+    #[test]
+    fn time_formatting_picks_sane_units() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" µs"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

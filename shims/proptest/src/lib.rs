@@ -1,0 +1,441 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`, range and
+//! tuple strategies, `Just`, `any::<T>()`, `prop_oneof!`,
+//! `prop::collection::{vec, hash_set}`, and the `proptest!`/`prop_assert*`
+//! macros. Inputs are drawn from a per-test deterministic generator (FNV
+//! hash of the test path, mixed with the case index), so failures
+//! reproduce across runs. Unlike the real crate there is no shrinking: a
+//! failing case reports its values via the assertion message only.
+
+use rand::prelude::*;
+
+pub mod strategy;
+
+/// Run-time knobs accepted from `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the test as a whole fails.
+    Fail(String),
+    /// `prop_assume!` filtered the inputs; draw a fresh case.
+    Reject,
+}
+
+/// Deterministic per-case random source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Derives the generator for one case of one named test.
+    pub fn for_case(test_path: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// `any::<T>()`: the whole-domain strategy for primitives.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::prelude::*;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+    /// Strategy over the full domain of `A`.
+    pub struct Any<A>(std::marker::PhantomData<A>);
+
+    /// Builds the whole-domain strategy for `A`.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn gen(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::*`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::prelude::*;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// A requested collection size: `n` exactly, or anywhere in a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end.max(r.start + 1),
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn draw(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.lo..self.hi)
+        }
+    }
+
+    /// Strategy producing `Vec`s of the element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec<S::Value>` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.draw(rng);
+            (0..n).map(|_| self.element.gen(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `HashSet`s of the element strategy.
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `HashSet<S::Value>` whose final size is drawn from `size` (element
+    /// collisions are retried, like the real crate).
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn gen(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let n = self.size.draw(rng);
+            let mut set = HashSet::with_capacity(n);
+            let mut attempts = 0usize;
+            while set.len() < n && attempts < n * 100 + 100 {
+                set.insert(self.element.gen(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// Everything tests import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// Namespace mirror so `prop::collection::vec(..)` resolves.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: {} ({})",
+                    stringify!($cond),
+                    ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: {:?} == {:?}", __l, __r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: {:?} == {:?} ({})",
+                    __l,
+                    __r,
+                    ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: {:?} != {:?}", __l, __r),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case (draws a fresh one) when the guard is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice between heterogeneous strategies with one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(::std::boxed::Box::new($strategy)
+                as ::std::boxed::Box<dyn $crate::strategy::UnionOption<_>>),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __accepted: u32 = 0;
+            let mut __attempt: u64 = 0;
+            while __accepted < __cfg.cases {
+                __attempt += 1;
+                if __attempt > (__cfg.cases as u64) * 20 + 100 {
+                    panic!(
+                        "proptest `{}`: too many rejected cases ({} attempts)",
+                        stringify!($name),
+                        __attempt,
+                    );
+                }
+                let mut __rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __attempt,
+                );
+                $(let $pat = $crate::strategy::Strategy::gen(&($strategy), &mut __rng);)+
+                let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match __result {
+                    ::std::result::Result::Ok(()) => __accepted += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest `{}` failed on case {}: {}",
+                            stringify!($name),
+                            __attempt,
+                            __msg,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns! { @cfg($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u32> {
+        (0u32..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn map_and_flat_map_compose(v in (1usize..5).prop_flat_map(|n| {
+            prop::collection::vec(0u8..=9, n).prop_map(move |d| (n, d))
+        })) {
+            let (n, d) = v;
+            prop_assert_eq!(d.len(), n);
+            prop_assert!(d.iter().all(|&b| b <= 9));
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(x in prop_oneof![Just(0u8), Just(1u8), (5u8..=7)]) {
+            prop_assert!(x == 0 || x == 1 || (5u8..=7).contains(&x));
+        }
+
+        #[test]
+        fn hash_set_sizes_respected(s in prop::collection::hash_set(0u32..1_000_000, 2..6)) {
+            prop_assert!((2..6).contains(&s.len()));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn mut_bindings_work(mut v in prop::collection::vec(any::<u16>(), 1..20)) {
+            v.sort_unstable();
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+
+        #[test]
+        fn named_strategy_helpers_work(e in arb_even()) {
+            prop_assert_eq!(e % 2, 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_test() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u64..1_000_000, 5..10);
+        let mut a = TestRng::for_case("mod::case", 7);
+        let mut b = TestRng::for_case("mod::case", 7);
+        assert_eq!(strat.gen(&mut a), strat.gen(&mut b));
+        let mut c = TestRng::for_case("mod::case", 8);
+        assert_ne!(strat.gen(&mut c), {
+            let mut d = TestRng::for_case("mod::other", 8);
+            strat.gen(&mut d)
+        });
+    }
+}

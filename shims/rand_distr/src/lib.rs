@@ -1,0 +1,242 @@
+//! Offline stand-in for the `rand_distr` crate: the distributions this
+//! workspace samples (Normal, LogNormal, Pareto, Zipf), implemented over
+//! the vendored `rand` shim.
+//!
+//! Sampling algorithms are textbook (polar Box–Muller for the normal,
+//! inverse-CDF for Pareto, a precomputed CDF table for Zipf) rather than
+//! upstream's ziggurat/rejection-inversion, so streams differ from real
+//! `rand_distr`, but the distributions are correct and deterministic
+//! given a seeded generator.
+
+pub use rand::distributions::Distribution;
+use rand::Rng;
+
+/// Parameter errors raised by distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl core::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// Float-generic glue for `f32`/`f64` distributions.
+pub trait Float: Copy + PartialOrd {
+    /// Converts from `f64` (parameters and intermediate math run in `f64`).
+    fn from_f64(x: f64) -> Self;
+    /// Converts to `f64`.
+    fn to_f64(self) -> f64;
+}
+
+impl Float for f64 {
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+impl Float for f32 {
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+/// Draws a standard-normal variate via the polar (Marsaglia) method.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let v: f64 = rng.gen::<f64>() * 2.0 - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Normal (Gaussian) distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F: Float> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: Float> Normal<F> {
+    /// Builds `N(mean, std_dev²)`; `std_dev` must be finite and ≥ 0.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, ParamError> {
+        let sd = std_dev.to_f64();
+        if !sd.is_finite() || sd < 0.0 {
+            return Err(ParamError("normal std_dev must be finite and >= 0"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * standard_normal(rng))
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal<F: Float> {
+    mu: F,
+    sigma: F,
+}
+
+impl<F: Float> LogNormal<F> {
+    /// Builds `exp(N(mu, sigma²))`; `sigma` must be finite and ≥ 0.
+    pub fn new(mu: F, sigma: F) -> Result<Self, ParamError> {
+        let s = sigma.to_f64();
+        if !s.is_finite() || s < 0.0 {
+            return Err(ParamError("log-normal sigma must be finite and >= 0"));
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl<F: Float> Distribution<F> for LogNormal<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        F::from_f64((self.mu.to_f64() + self.sigma.to_f64() * standard_normal(rng)).exp())
+    }
+}
+
+/// Pareto distribution with the given scale (minimum value) and shape α.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto<F: Float> {
+    scale: F,
+    shape: F,
+}
+
+impl<F: Float> Pareto<F> {
+    /// Builds a Pareto with `scale > 0` and `shape > 0`.
+    pub fn new(scale: F, shape: F) -> Result<Self, ParamError> {
+        if !(scale.to_f64() > 0.0) || !(shape.to_f64() > 0.0) {
+            return Err(ParamError("pareto scale and shape must be > 0"));
+        }
+        Ok(Pareto { scale, shape })
+    }
+}
+
+impl<F: Float> Distribution<F> for Pareto<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        // Inverse CDF: x = scale · (1-u)^(-1/α); 1-u ∈ (0, 1].
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        F::from_f64(self.scale.to_f64() * u.powf(-1.0 / self.shape.to_f64()))
+    }
+}
+
+/// Zipf (zeta, rank-frequency) distribution over `{1, …, n}` with
+/// exponent `s`: `P(k) ∝ k^-s`.
+///
+/// Samples by binary search over a precomputed CDF, so construction is
+/// `O(n)` and sampling `O(log n)`. Returns the rank as a float, matching
+/// `rand_distr::Zipf`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf<F: Float> {
+    cdf: Vec<f64>,
+    _marker: core::marker::PhantomData<F>,
+}
+
+impl<F: Float> Zipf<F> {
+    /// Builds a Zipf over `n ≥ 1` elements with exponent `s > 0`.
+    pub fn new(n: u64, s: F) -> Result<Self, ParamError> {
+        let sv = s.to_f64();
+        if n == 0 {
+            return Err(ParamError("zipf needs at least one element"));
+        }
+        if !sv.is_finite() || sv <= 0.0 {
+            return Err(ParamError("zipf exponent must be finite and > 0"));
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-sv);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        Ok(Zipf {
+            cdf,
+            _marker: core::marker::PhantomData,
+        })
+    }
+}
+
+impl<F: Float> Distribution<F> for Zipf<F> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> F {
+        let u: f64 = rng.gen();
+        let idx = self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1);
+        F::from_f64((idx + 1) as f64) // 1-based rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Normal::new(3.0f64, 2.0).unwrap();
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = LogNormal::new(1.0f64, 0.5).unwrap();
+        let mut xs: Vec<f64> = (0..20_001).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[10_000];
+        assert!((median - 1.0f64.exp()).abs() < 0.1, "median {median}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn pareto_minimum_is_scale() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Pareto::new(2.0f64, 1.5).unwrap();
+        for _ in 0..5_000 {
+            assert!(d.sample(&mut rng) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn zipf_ranks_in_domain_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = Zipf::<f64>::new(100, 1.2).unwrap();
+        let mut counts = [0usize; 100];
+        for _ in 0..20_000 {
+            let r = d.sample(&mut rng) as usize;
+            assert!((1..=100).contains(&r));
+            counts[r - 1] += 1;
+        }
+        assert!(counts[0] > counts[9], "rank 1 more popular than rank 10");
+        assert!(counts[9] > counts[99], "rank 10 more popular than rank 100");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Normal::new(0.0f64, -1.0).is_err());
+        assert!(Pareto::new(0.0f64, 1.0).is_err());
+        assert!(Zipf::<f64>::new(0, 1.0).is_err());
+        assert!(Zipf::<f64>::new(10, 0.0).is_err());
+    }
+}

@@ -1,0 +1,287 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Supports the parallel-iterator shapes this workspace uses —
+//! `par_iter().enumerate().map(..).collect()` over vectors/slices and
+//! `par_chunks_mut(..).enumerate().for_each(..)` over mutable slices —
+//! with order-preserving results. Instead of a work-stealing pool, items
+//! are split into contiguous bands, one `std::thread::scope` thread per
+//! band, so results are deterministic in content and order regardless of
+//! thread count. `RAYON_NUM_THREADS` is honored like the real crate;
+//! otherwise the thread count follows `available_parallelism()`.
+
+/// The number of threads fork-join calls will use.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs both closures (on this thread, in order) and returns their results.
+///
+/// The real crate may run them concurrently; sequential execution is an
+/// allowed schedule and keeps the shim dependency-free.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Order-preserving fork-join map: splits `items` into contiguous bands
+/// and runs one scoped thread per band.
+fn execute<I, R, F>(items: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let band = n.div_ceil(threads);
+    let mut bands: Vec<Vec<I>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<I> = it.by_ref().take(band).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        bands.push(chunk);
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = bands
+            .into_iter()
+            .map(|band| s.spawn(move || band.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon shim worker panicked"))
+            .collect()
+    })
+}
+
+pub mod iter {
+    /// `&collection → parallel iterator` entry point (`par_iter`).
+    pub trait IntoParallelRefIterator<'data> {
+        /// The borrowed parallel iterator type.
+        type Iter;
+        /// The per-element item type.
+        type Item;
+        /// Borrows `self` as a parallel iterator.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    /// Borrowed parallel iterator over a slice.
+    pub struct ParIter<'a, T> {
+        items: &'a [T],
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = ParIter<'data, T>;
+        type Item = &'data T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = ParIter<'data, T>;
+        type Item = &'data T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync> ParIter<'a, T> {
+        /// Pairs each element with its index.
+        pub fn enumerate(self) -> ParEnumerate<'a, T> {
+            ParEnumerate { items: self.items }
+        }
+
+        /// Maps every element in parallel.
+        pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+        where
+            R: Send,
+            F: Fn(&'a T) -> R + Sync,
+        {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+    }
+
+    /// Enumerated parallel iterator over a slice.
+    pub struct ParEnumerate<'a, T> {
+        items: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParEnumerate<'a, T> {
+        /// Maps every `(index, &item)` pair in parallel.
+        pub fn map<R, F>(self, f: F) -> ParEnumMap<'a, T, F>
+        where
+            R: Send,
+            F: Fn((usize, &'a T)) -> R + Sync,
+        {
+            ParEnumMap {
+                items: self.items,
+                f,
+            }
+        }
+    }
+
+    /// Pending parallel map over `&T` items.
+    pub struct ParMap<'a, T, F> {
+        items: &'a [T],
+        f: F,
+    }
+
+    impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParMap<'a, T, F> {
+        /// Runs the map and collects results in input order.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            let f = &self.f;
+            super::execute(self.items.iter().collect(), move |x| f(x))
+                .into_iter()
+                .collect()
+        }
+    }
+
+    /// Pending parallel map over `(index, &T)` pairs.
+    pub struct ParEnumMap<'a, T, F> {
+        items: &'a [T],
+        f: F,
+    }
+
+    impl<'a, T: Sync, R: Send, F: Fn((usize, &'a T)) -> R + Sync> ParEnumMap<'a, T, F> {
+        /// Runs the map and collects results in input order.
+        pub fn collect<C: FromIterator<R>>(self) -> C {
+            let f = &self.f;
+            super::execute(self.items.iter().enumerate().collect(), move |p| f(p))
+                .into_iter()
+                .collect()
+        }
+    }
+}
+
+pub mod slice {
+    /// `&mut slice → parallel chunk iterator` entry point.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Splits into contiguous mutable chunks of `chunk_size` (last may
+        /// be shorter), processed in parallel.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            ParChunksMut {
+                chunks: self.chunks_mut(chunk_size).collect(),
+            }
+        }
+    }
+
+    /// Parallel iterator over mutable chunks.
+    pub struct ParChunksMut<'a, T> {
+        chunks: Vec<&'a mut [T]>,
+    }
+
+    impl<'a, T: Send> ParChunksMut<'a, T> {
+        /// Pairs each chunk with its index.
+        pub fn enumerate(self) -> ParChunksEnum<'a, T> {
+            ParChunksEnum {
+                chunks: self.chunks,
+            }
+        }
+
+        /// Applies `f` to every chunk in parallel.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'a mut [T]) + Sync,
+        {
+            let f = &f;
+            super::execute(self.chunks, move |c| f(c));
+        }
+    }
+
+    /// Enumerated parallel iterator over mutable chunks.
+    pub struct ParChunksEnum<'a, T> {
+        chunks: Vec<&'a mut [T]>,
+    }
+
+    impl<'a, T: Send> ParChunksEnum<'a, T> {
+        /// Applies `f` to every `(index, chunk)` pair in parallel.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn((usize, &'a mut [T])) + Sync,
+        {
+            let f = &f;
+            super::execute(
+                self.chunks.into_iter().enumerate().collect(),
+                move |p| f(p),
+            );
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::IntoParallelRefIterator;
+    pub use crate::slice::ParallelSliceMut;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn enumerate_map_collect_preserves_order() {
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        let data: Vec<u64> = (0..101).collect();
+        let out: Vec<(usize, u64)> = data.par_iter().enumerate().map(|(i, &x)| (i, x * 2)).collect();
+        assert_eq!(out.len(), 101);
+        for (i, (idx, doubled)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*doubled, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn map_collect_over_slice() {
+        std::env::set_var("RAYON_NUM_THREADS", "3");
+        let data = [1u32, 2, 3, 4, 5];
+        let out: Vec<u32> = data.par_iter().map(|&x| x + 10).collect();
+        assert_eq!(out, vec![11, 12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_every_chunk() {
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        let mut data = vec![0u32; 37];
+        data.par_chunks_mut(5)
+            .enumerate()
+            .for_each(|(ci, chunk)| {
+                for x in chunk.iter_mut() {
+                    *x = ci as u32 + 1;
+                }
+            });
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, (i / 5) as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let data: Vec<u8> = Vec::new();
+        let out: Vec<u8> = data.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

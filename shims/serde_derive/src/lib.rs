@@ -1,0 +1,521 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crate parses items with `syn` and emits visitor plumbing; this
+//! shim walks the raw `proc_macro::TokenStream` by hand and emits impls of
+//! the value-tree `serde::Serialize`/`serde::Deserialize` traits defined by
+//! the sibling `serde` shim. Supported shapes are exactly what the
+//! workspace declares: named-field structs (optionally generic, with
+//! `#[serde(skip)]` fields restored via `Default`), and enums with unit,
+//! tuple, and struct variants using serde's externally-tagged encoding.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One generic type parameter: its ident and declared bounds (maybe empty).
+struct GenericParam {
+    ident: String,
+    bounds: String,
+}
+
+/// A named struct field and whether `#[serde(skip)]` was present.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+/// Enum variant payload shapes.
+enum Payload {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+enum Kind {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    generics: Vec<GenericParam>,
+    kind: Kind,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(msg) => return format!("compile_error!({msg:?});").parse().unwrap(),
+    };
+    let code = if serialize {
+        gen_serialize(&parsed)
+    } else {
+        gen_deserialize(&parsed)
+    };
+    code.parse().unwrap()
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn is_punct(t: Option<&TokenTree>, ch: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == ch)
+}
+
+fn ident_str(t: Option<&TokenTree>) -> Option<String> {
+    match t {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Advances past `#[...]` attributes; returns true if any was `serde(skip)`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut saw_skip = false;
+    while is_punct(tokens.get(*i), '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            let s = g.stream().to_string();
+            if s.starts_with("serde") && s.contains("skip") {
+                saw_skip = true;
+            }
+        }
+        *i += 2;
+    }
+    saw_skip
+}
+
+/// Advances past `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if ident_str(tokens.get(*i)).as_deref() == Some("pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Renders a token slice back to source text.
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    tokens
+        .iter()
+        .cloned()
+        .collect::<TokenStream>()
+        .to_string()
+}
+
+/// Advances past one type, stopping at a top-level `,` (consumed) or the end.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kind_kw = ident_str(tokens.get(i)).ok_or("derive: expected `struct` or `enum`")?;
+    i += 1;
+    let name = ident_str(tokens.get(i)).ok_or("derive: expected type name")?;
+    i += 1;
+
+    let mut generics = Vec::new();
+    if is_punct(tokens.get(i), '<') {
+        i += 1;
+        let mut depth = 1i32;
+        let mut gtoks: Vec<TokenTree> = Vec::new();
+        while depth > 0 {
+            let t = tokens.get(i).ok_or("derive: unclosed generics")?;
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    gtoks.push(t.clone());
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth > 0 {
+                        gtoks.push(t.clone());
+                    }
+                }
+                _ => gtoks.push(t.clone()),
+            }
+            i += 1;
+        }
+        generics = parse_generics(&gtoks)?;
+    }
+
+    // Skip anything (e.g. a where clause) up to the body braces.
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.clone(),
+            Some(_) => i += 1,
+            None => {
+                return Err(format!(
+                    "derive: `{name}` has no braced body (tuple/unit structs unsupported)"
+                ))
+            }
+        }
+    };
+
+    let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let kind = match kind_kw.as_str() {
+        "struct" => Kind::Struct(parse_named_fields(&body_tokens)?),
+        "enum" => Kind::Enum(parse_variants(&body_tokens)?),
+        other => return Err(format!("derive: unsupported item kind `{other}`")),
+    };
+    Ok(Input {
+        name,
+        generics,
+        kind,
+    })
+}
+
+/// Splits `K: Eq + Hash, V` into parameters with their bound strings.
+fn parse_generics(tokens: &[TokenTree]) -> Result<Vec<GenericParam>, String> {
+    let mut params = Vec::new();
+    let mut part: Vec<TokenTree> = Vec::new();
+    let mut depth = 0i32;
+    let flush = |part: &mut Vec<TokenTree>, params: &mut Vec<GenericParam>| -> Result<(), String> {
+        if part.is_empty() {
+            return Ok(());
+        }
+        let ident = ident_str(part.first()).ok_or("derive: unsupported generic parameter")?;
+        let bounds = if part.len() > 2 && is_punct(part.get(1), ':') {
+            tokens_to_string(&part[2..])
+        } else {
+            String::new()
+        };
+        params.push(GenericParam { ident, bounds });
+        part.clear();
+        Ok(())
+    };
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                flush(&mut part, &mut params)?;
+                continue;
+            }
+            _ => {}
+        }
+        part.push(t.clone());
+    }
+    flush(&mut part, &mut params)?;
+    Ok(params)
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let skip = skip_attrs(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(tokens, &mut i);
+        let name = ident_str(tokens.get(i)).ok_or("derive: expected field name")?;
+        i += 1;
+        if !is_punct(tokens.get(i), ':') {
+            return Err(format!("derive: expected `:` after field `{name}`"));
+        }
+        i += 1;
+        skip_type(tokens, &mut i);
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_str(tokens.get(i)).ok_or("derive: expected variant name")?;
+        i += 1;
+        let payload = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Payload::Tuple(count_top_level_types(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Payload::Struct(
+                    parse_named_fields(&inner)?
+                        .into_iter()
+                        .map(|f| f.name)
+                        .collect(),
+                )
+            }
+            _ => Payload::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        let mut depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, payload });
+    }
+    Ok(variants)
+}
+
+/// Counts comma-separated types at the top level of a tuple payload.
+fn count_top_level_types(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut n = 1usize;
+    let mut depth = 0i32;
+    let mut last_was_comma = false;
+    for t in tokens {
+        last_was_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                n += 1;
+                last_was_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if last_was_comma {
+        n -= 1; // trailing comma
+    }
+    n
+}
+
+// ---------------------------------------------------------------- codegen
+
+/// Builds `impl<...> Trait for Name<...>` header text, appending the given
+/// serde bound to every type parameter.
+fn impl_header(input: &Input, trait_path: &str, extra_bound: &str) -> String {
+    if input.generics.is_empty() {
+        return format!("impl {trait_path} for {} ", input.name);
+    }
+    let decls: Vec<String> = input
+        .generics
+        .iter()
+        .map(|g| {
+            if g.bounds.is_empty() {
+                format!("{}: {extra_bound}", g.ident)
+            } else {
+                format!("{}: {} + {extra_bound}", g.ident, g.bounds)
+            }
+        })
+        .collect();
+    let args: Vec<String> = input.generics.iter().map(|g| g.ident.clone()).collect();
+    format!(
+        "impl<{}> {trait_path} for {}<{}> ",
+        decls.join(", "),
+        input.name,
+        args.join(", ")
+    )
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let header = impl_header(input, "::serde::Serialize", "::serde::Serialize");
+    let body = match &input.kind {
+        Kind::Struct(fields) => {
+            let mut s = String::from(
+                "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "__m.push((::std::string::String::from({:?}), \
+                     ::serde::Serialize::to_value(&self.{})));\n",
+                    f.name, f.name
+                ));
+            }
+            s.push_str("::serde::Value::Map(__m)\n");
+            s
+        }
+        Kind::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                match &v.payload {
+                    Payload::Unit => s.push_str(&format!(
+                        "Self::{} => ::serde::Value::Str(::std::string::String::from({:?})),\n",
+                        v.name, v.name
+                    )),
+                    Payload::Tuple(1) => s.push_str(&format!(
+                        "Self::{}(__f0) => ::serde::Value::Map(::std::vec![(\
+                         ::std::string::String::from({:?}), \
+                         ::serde::Serialize::to_value(__f0))]),\n",
+                        v.name, v.name
+                    )),
+                    Payload::Tuple(n) => {
+                        let pats: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let vals: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Serialize::to_value(__f{k})"))
+                            .collect();
+                        s.push_str(&format!(
+                            "Self::{}({}) => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from({:?}), \
+                             ::serde::Value::Seq(::std::vec![{}]))]),\n",
+                            v.name,
+                            pats.join(", "),
+                            v.name,
+                            vals.join(", ")
+                        ));
+                    }
+                    Payload::Struct(fields) => {
+                        let pats = fields.join(", ");
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        s.push_str(&format!(
+                            "Self::{} {{ {} }} => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from({:?}), \
+                             ::serde::Value::Map(::std::vec![{}]))]),\n",
+                            v.name,
+                            pats,
+                            v.name,
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            s.push_str("}\n");
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{header}{{\n\
+         #[allow(unused_mut, unused_variables)]\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let header = impl_header(input, "::serde::Deserialize", "::serde::Deserialize");
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::std::default::Default::default()", f.name)
+                    } else {
+                        format!("{}: ::serde::__field(__v, {:?})?", f.name, f.name)
+                    }
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok(Self {{ {} }})\n",
+                inits.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                match &v.payload {
+                    Payload::Unit => unit_arms.push_str(&format!(
+                        "{:?} => ::std::result::Result::Ok(Self::{}),\n",
+                        v.name, v.name
+                    )),
+                    Payload::Tuple(1) => payload_arms.push_str(&format!(
+                        "{:?} => ::std::result::Result::Ok(Self::{}(\
+                         ::serde::Deserialize::from_value(__payload)?)),\n",
+                        v.name, v.name
+                    )),
+                    Payload::Tuple(n) => {
+                        let gets: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&__s[{k}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "{:?} => {{\n\
+                             let __s = __payload.as_seq().filter(|__s| __s.len() == {n})\
+                             .ok_or_else(|| ::serde::Error::msg(\
+                             \"bad payload arity for variant `{}`\"))?;\n\
+                             ::std::result::Result::Ok(Self::{}({}))\n}}\n",
+                            v.name,
+                            v.name,
+                            v.name,
+                            gets.join(", ")
+                        ));
+                    }
+                    Payload::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::__field(__payload, {f:?})?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "{:?} => ::std::result::Result::Ok(Self::{} {{ {} }}),\n",
+                            v.name,
+                            v.name,
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(\
+                 ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n}},\n\
+                 ::serde::Value::Map(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__tag, __payload) = (&__pairs[0].0, &__pairs[0].1);\n\
+                 let _ = __payload;\n\
+                 match __tag.as_str() {{\n{payload_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::msg(\
+                 ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n}}\n}}\n\
+                 _ => ::std::result::Result::Err(::serde::Error::msg(\
+                 \"invalid enum encoding for {name}\")),\n}}\n"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{header}{{\n\
+         #[allow(unused_variables)]\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> \
+         {{\n{body}}}\n}}\n"
+    )
+}
