@@ -14,7 +14,15 @@
 //!   --dp <sigma>       train with DP-SGD at noise multiplier sigma
 //!   --private-ips      remap generated IPs into 10.0.0.0/8
 //!   --seed <u64>       RNG seed (default 17)
+//!   --workers <W>      training-job worker threads (default: one per core)
+//!   --ckpt-dir <dir>   persist per-job checkpoints + events.jsonl there
+//!   --resume           skip jobs the checkpoint manifest verifies
+//!   --retries <R>      retries per failed training job (default 2)
 //! ```
+//!
+//! Exit codes: `0` success, `1` runtime failure (I/O, parse, training),
+//! `2` usage error. The `NETSHARE_INJECT_FAULT` environment variable
+//! (format `job:count`) injects training-job faults for CI smoke tests.
 
 use netshare::{postprocess, DpOptions, NetShare, NetShareConfig};
 use std::process::ExitCode;
@@ -25,10 +33,15 @@ struct Options {
     private_ips: bool,
 }
 
+/// A bad invocation (unknown flag, missing value, wrong arity) — reported
+/// with the usage text and exit code 2, unlike runtime failures (exit 1).
+struct UsageError(String);
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: netshare_cli <synth-flows|synth-packets> <input> <output> \
-         [--n N] [--chunks M] [--steps S] [--labels] [--dp SIGMA] [--private-ips] [--seed U64]"
+         [--n N] [--chunks M] [--steps S] [--labels] [--dp SIGMA] [--private-ips] [--seed U64] \
+         [--workers W] [--ckpt-dir DIR] [--resume] [--retries R]"
     );
     ExitCode::from(2)
 }
@@ -66,21 +79,45 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--private-ips" => private_ips = true,
             "--seed" => cfg.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--workers" => {
+                cfg.orchestrator.workers =
+                    value("--workers")?.parse().map_err(|e| format!("--workers: {e}"))?
+            }
+            "--ckpt-dir" => cfg.orchestrator.checkpoint_dir = Some(value("--ckpt-dir")?.into()),
+            "--resume" => cfg.orchestrator.resume = true,
+            "--retries" => {
+                cfg.orchestrator.max_retries =
+                    Some(value("--retries")?.parse().map_err(|e| format!("--retries: {e}"))?)
+            }
             other => return Err(format!("unknown option {other}")),
         }
+    }
+    if cfg.orchestrator.resume && cfg.orchestrator.checkpoint_dir.is_none() {
+        return Err("--resume requires --ckpt-dir".into());
+    }
+    // CI fault-injection hook; the config field is the programmatic path.
+    if let Ok(spec) = std::env::var("NETSHARE_INJECT_FAULT") {
+        cfg.orchestrator.fault_spec = Some(spec);
     }
     Ok(Options { n, cfg, private_ips })
 }
 
-fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+/// Full command-line validation: arity, mode, and options. Everything
+/// wrong here is the *caller's* invocation, not a runtime failure.
+fn parse_args(args: &[String]) -> Result<(String, String, String, Options), UsageError> {
     if args.len() < 3 {
-        return Err("missing arguments".into());
+        return Err(UsageError("missing arguments".into()));
     }
-    let (mode, input, output) = (&args[0], &args[1], &args[2]);
-    let opts = parse_options(&args[3..])?;
+    let mode = args[0].clone();
+    if mode != "synth-flows" && mode != "synth-packets" {
+        return Err(UsageError(format!("unknown mode {mode}")));
+    }
+    let opts = parse_options(&args[3..]).map_err(UsageError)?;
+    Ok((mode, args[1].clone(), args[2].clone(), opts))
+}
 
-    match mode.as_str() {
+fn run(mode: &str, input: &str, output: &str, opts: &Options) -> Result<(), String> {
+    match mode {
         "synth-flows" => {
             let csv = std::fs::read_to_string(input).map_err(|e| format!("read {input}: {e}"))?;
             let real = nettrace::netflow::read_netflow_csv(&csv)
@@ -133,11 +170,22 @@ fn run() -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    match run() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Bad invocations get the usage text and exit 2; failures of a valid
+    // invocation (unreadable input, training error) exit 1 without the
+    // usage noise — scripts can tell "fix the command" from "fix the run".
+    let (mode, input, output, opts) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(UsageError(e)) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    match run(&mode, &input, &output, &opts) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            usage()
+            ExitCode::FAILURE
         }
     }
 }
@@ -180,5 +228,33 @@ mod tests {
         assert!(opts(&["--bogus"]).is_err());
         assert!(opts(&["--n"]).is_err());
         assert!(opts(&["--dp", "not-a-number"]).is_err());
+    }
+
+    #[test]
+    fn parses_orchestrator_options() {
+        let o = opts(&["--workers", "2", "--ckpt-dir", "/tmp/ck", "--resume", "--retries", "5"])
+            .unwrap();
+        assert_eq!(o.cfg.orchestrator.workers, 2);
+        assert_eq!(
+            o.cfg.orchestrator.checkpoint_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/ck"))
+        );
+        assert!(o.cfg.orchestrator.resume);
+        assert_eq!(o.cfg.orchestrator.max_retries, Some(5));
+    }
+
+    #[test]
+    fn resume_without_ckpt_dir_is_rejected() {
+        assert!(opts(&["--resume"]).is_err());
+    }
+
+    #[test]
+    fn parse_args_validates_arity_and_mode() {
+        let a = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(parse_args(&a(&[])).is_err());
+        assert!(parse_args(&a(&["synth-flows", "in"])).is_err());
+        assert!(parse_args(&a(&["bogus-mode", "in", "out"])).is_err());
+        assert!(parse_args(&a(&["synth-flows", "in", "out"])).is_ok());
+        assert!(parse_args(&a(&["synth-packets", "in", "out", "--seed", "1"])).is_ok());
     }
 }

@@ -1,6 +1,32 @@
 //! Pipeline configuration.
 
 use nnet::dpsgd::DpSgdConfig;
+use std::path::PathBuf;
+
+/// How the chunk-training jobs are scheduled, checkpointed, and retried
+/// (the reproduction of the paper's Ray-based training topology).
+///
+/// None of these fields affect *what* is trained — the orchestrated run is
+/// bitwise identical at any worker count — so they are excluded from the
+/// run fingerprint that gates [`resume`](OrchestratorOptions::resume).
+#[derive(Debug, Clone, Default)]
+pub struct OrchestratorOptions {
+    /// Worker threads for the job pool; `0` means one per logical core
+    /// (honoring `RAYON_NUM_THREADS`).
+    pub workers: usize,
+    /// Directory for the checkpoint manifest, per-job model payloads, and
+    /// the `events.jsonl` stream; `None` disables persistence.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Skip jobs the manifest can verify (same config fingerprint, intact
+    /// payload digest) instead of retraining them.
+    pub resume: bool,
+    /// Retries after a job's first failed attempt (panic or error) before
+    /// the run fails. `None` uses the orchestrator default.
+    pub max_retries: Option<u32>,
+    /// Test/CI fault injection: `"<job-id>:<n>"` fails the named job's
+    /// first `n` attempts. Also settable via `NETSHARE_INJECT_FAULT`.
+    pub fault_spec: Option<String>,
+}
 
 /// Which public dataset seeds the DP pre-training (paper Fig. 5's
 /// "DP Pretrained-SAME" vs "DP Pretrained-DIFF").
@@ -80,6 +106,8 @@ pub struct NetShareConfig {
     pub seed: u64,
     /// Differential privacy; `None` trains non-privately.
     pub dp: Option<DpOptions>,
+    /// Job scheduling, checkpointing, and fault tolerance.
+    pub orchestrator: OrchestratorOptions,
 }
 
 impl NetShareConfig {
@@ -101,6 +129,7 @@ impl NetShareConfig {
             use_flow_tags: true,
             seed: 17,
             dp: None,
+            orchestrator: OrchestratorOptions::default(),
         }
     }
 

@@ -32,6 +32,7 @@
 //! let synthetic = model.generate_flows(5_000);
 //! ```
 
+pub mod artifact;
 pub mod chunking;
 pub mod config;
 pub mod flowcodec;
@@ -40,5 +41,10 @@ pub mod pipeline;
 pub mod postprocess;
 pub mod tuplecodec;
 
-pub use config::{DpOptions, DpPretrainSource, NetShareConfig};
+pub use artifact::ModelArtifact;
+pub use config::{DpOptions, DpPretrainSource, NetShareConfig, OrchestratorOptions};
 pub use pipeline::{NetShare, PipelineError};
+
+// Re-exported so downstream code can inspect [`NetShare::events`] and the
+// on-disk run directory without naming the orchestrator crate directly.
+pub use orchestrator::{Event as OrchestratorEvent, Manifest as RunManifest};

@@ -1,5 +1,6 @@
 //! The end-to-end NetShare pipeline (paper Fig. 9).
 
+use crate::artifact::ModelArtifact;
 use crate::chunking::{chunk_flows, chunk_packets, Chunked};
 use crate::config::NetShareConfig;
 use crate::flowcodec::FlowCodec;
@@ -7,27 +8,50 @@ use crate::packetcodec::PacketCodec;
 use crate::tuplecodec::TupleCodec;
 use doppelganger::{DgConfig, DoppelGanger, TimeSeriesDataset};
 use nettrace::{aggregate_flows, AggregationConfig, FlowTrace, PacketTrace};
+use orchestrator::{Event, EventLog, JobInputs, JobSpec, OrchestratorError, Plan, RunOptions};
 use rand::prelude::*;
-use rayon::prelude::*;
 use std::fmt;
-use std::time::Instant;
+use std::path::PathBuf;
 
 /// Pipeline errors.
 #[derive(Debug)]
 pub enum PipelineError {
     /// The input trace has no records.
     EmptyTrace,
+    /// A checkpoint/manifest/event-stream filesystem operation failed.
+    Checkpoint {
+        /// Offending path.
+        path: PathBuf,
+        /// OS error text.
+        message: String,
+    },
+    /// Training failed inside the orchestrator (a job exhausted its
+    /// retries, an invalid job plan, or an undecodable artifact).
+    Orchestrator(String),
 }
 
 impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PipelineError::EmptyTrace => write!(f, "cannot fit NetShare on an empty trace"),
+            PipelineError::Checkpoint { path, message } => {
+                write!(f, "checkpoint I/O failed at {}: {message}", path.display())
+            }
+            PipelineError::Orchestrator(m) => write!(f, "chunk training failed: {m}"),
         }
     }
 }
 
 impl std::error::Error for PipelineError {}
+
+impl From<OrchestratorError> for PipelineError {
+    fn from(e: OrchestratorError) -> Self {
+        match e {
+            OrchestratorError::Io { path, message } => PipelineError::Checkpoint { path, message },
+            other => PipelineError::Orchestrator(other.to_string()),
+        }
+    }
+}
 
 enum Codec {
     Flow(FlowCodec),
@@ -54,6 +78,9 @@ pub struct NetShare {
     /// Sampling rates (batch/chunk size) per trained chunk, for the DP
     /// accountant.
     dp_rates: Vec<(f64, u64)>,
+    /// The orchestrator event stream of the fit (also mirrored to
+    /// `<checkpoint_dir>/events.jsonl` when checkpointing is on).
+    events: Vec<Event>,
 }
 
 impl NetShare {
@@ -94,7 +121,7 @@ impl NetShare {
             })
             .collect();
 
-        let (models, cpu_seconds, wall_seconds, dp_rates) = Self::train_chunks(
+        let (models, cpu_seconds, wall_seconds, dp_rates, events) = Self::train_chunks(
             cfg,
             codec.meta_spec(),
             codec.record_spec(),
@@ -116,7 +143,7 @@ impl NetShare {
                 }
                 TimeSeriesDataset::new(meta, seqs, cfg.max_seq_len)
             },
-        );
+        )?;
 
         Ok(NetShare {
             rng: StdRng::seed_from_u64(cfg.seed ^ 0xef),
@@ -127,6 +154,7 @@ impl NetShare {
             wall_seconds,
             cpu_seconds,
             dp_rates,
+            events,
             cfg: cfg.clone(),
         })
     }
@@ -178,7 +206,7 @@ impl NetShare {
             })
             .collect();
 
-        let (models, cpu_seconds, wall_seconds, dp_rates) = Self::train_chunks(
+        let (models, cpu_seconds, wall_seconds, dp_rates, events) = Self::train_chunks(
             cfg,
             codec.meta_spec(),
             codec.record_spec(),
@@ -197,7 +225,7 @@ impl NetShare {
                 }
                 TimeSeriesDataset::new(meta, seqs, cfg.max_seq_len)
             },
-        );
+        )?;
 
         Ok(NetShare {
             rng: StdRng::seed_from_u64(cfg.seed ^ 0xef),
@@ -208,26 +236,47 @@ impl NetShare {
             wall_seconds,
             cpu_seconds,
             dp_rates,
+            events,
             cfg: cfg.clone(),
         })
     }
 
-    /// Shared chunk-training logic: seed-chunk full training, parallel
-    /// fine-tuning of the rest; or public-pretrain + per-chunk DP
-    /// fine-tuning in DP mode.
+    /// Shared chunk-training logic, run as a job DAG on the orchestrator
+    /// (mirroring the paper's Ray topology): one `pretrain` job — seed
+    /// chunk at full depth, or public pre-training in DP mode — and one
+    /// `chunk-<i>` fine-tune job per non-empty chunk, each depending on
+    /// the pretrain artifact.
+    ///
+    /// Jobs communicate through [`ModelArtifact`]s (parameters + sampler
+    /// RNG state), and the final models are rebuilt *from artifacts* on
+    /// both the live and the resumed path, so the result is bitwise
+    /// identical at any worker count and across kill/resume.
     fn train_chunks(
         cfg: &NetShareConfig,
         meta_spec: doppelganger::FeatureSpec,
         record_spec: doppelganger::FeatureSpec,
         datasets: &[Option<TimeSeriesDataset>],
-        build_public: impl Fn() -> TimeSeriesDataset,
-    ) -> (
-        Vec<Option<DoppelGanger>>,
-        f64,
-        f64,
-        Vec<(f64, u64)>,
-    ) {
-        let wall_start = Instant::now();
+        build_public: impl Fn() -> TimeSeriesDataset + Send + Sync,
+    ) -> Result<
+        (
+            Vec<Option<DoppelGanger>>,
+            f64,
+            f64,
+            Vec<(f64, u64)>,
+            Vec<Event>,
+        ),
+        PipelineError,
+    > {
+        // The pretrained model every chunk fine-tunes from. No data at all
+        // (every chunk empty) means nothing to train.
+        let Some(seed_idx) = datasets.iter().position(|d| d.is_some()) else {
+            let none: Vec<Option<DoppelGanger>> = datasets.iter().map(|_| None).collect();
+            return Ok((none, 0.0, 0.0, Vec::new(), Vec::new()));
+        };
+        let seed_data = datasets[seed_idx]
+            .as_ref()
+            .expect("seed_idx points at a non-empty chunk");
+
         let base_dg = |steps: usize, seed: u64, dp: Option<nnet::dpsgd::DpSgdConfig>| {
             let mut dg = DgConfig::small(meta_spec.clone(), record_spec.clone(), cfg.max_seq_len);
             dg.gen_steps = steps;
@@ -254,110 +303,172 @@ impl NetShare {
             .map(|d| d.len())
             .sum::<usize>()
             .max(1);
-        let scaled = |steps: usize, len: usize| -> usize {
+
+        let orch = &cfg.orchestrator;
+        let mut events = EventLog::new();
+        if std::env::var("NETSHARE_DEBUG_STEPS").is_ok() {
+            events = events.with_stderr();
+        }
+        if let Some(dir) = &orch.checkpoint_dir {
+            std::fs::create_dir_all(dir).map_err(|e| PipelineError::Checkpoint {
+                path: dir.clone(),
+                message: e.to_string(),
+            })?;
+            let path = dir.join("events.jsonl");
+            events = events.with_file(&path).map_err(|e| PipelineError::Checkpoint {
+                path,
+                message: e.to_string(),
+            })?;
+        }
+        let events = events;
+
+        let scaled = |job: &str, steps: usize, len: usize| -> usize {
             let v = ((steps as f64 * len as f64 / total_items as f64).ceil() as usize).max(5);
-            if std::env::var("NETSHARE_DEBUG_STEPS").is_ok() {
-                eprintln!("[netshare] chunk len {len}/{total_items}: {steps} -> {v} steps");
-            }
+            events.emit(Event::ScaledSteps {
+                job: job.to_string(),
+                requested: steps as u64,
+                scaled: v as u64,
+                items: len as u64,
+                total_items: total_items as u64,
+            });
             v
         };
-
-        // The pretrained model every chunk fine-tunes from.
-        let seed_idx = datasets.iter().position(|d| d.is_some());
-        let mut cpu_seconds = 0.0;
-
-        let pretrained: Option<DoppelGanger> = match (cfg.dp, seed_idx) {
-            (_, None) => None,
-            (Some(dp_opts), Some(_)) => {
-                // DP: pre-train (non-privately) on public data.
-                let public = build_public();
-                let (model, secs) = measure(|| {
-                    let mut model = DoppelGanger::new(base_dg(0, cfg.seed ^ 0x91, None));
-                    model.train_steps(&public, dp_opts.public_pretrain_steps);
-                    model
-                });
-                cpu_seconds += secs;
-                Some(model)
-            }
-            (None, Some(si)) => {
-                // Non-DP: seed chunk trains from scratch at full depth
-                // (scaled to its data share).
-                let data = datasets[si].as_ref().unwrap();
-                let (model, secs) = measure(|| {
-                    let mut model = DoppelGanger::new(base_dg(0, cfg.seed ^ 0x91, None));
-                    model.train_steps(data, scaled(cfg.seed_steps, data.len()));
-                    model
-                });
-                cpu_seconds += secs;
-                Some(model)
-            }
+        let emit_losses = |job: &str, model: &DoppelGanger| {
+            events.emit(Event::Losses {
+                job: job.to_string(),
+                d_loss: model.stats.d_loss.last().copied().unwrap_or(0.0) as f64,
+                g_loss: model.stats.g_loss.last().copied().unwrap_or(0.0) as f64,
+                critic_steps: model.stats.critic_steps,
+                gen_steps: model.stats.g_loss.len() as u64,
+            });
         };
 
-        let mut dp_rates = Vec::new();
-        let models: Vec<Option<DoppelGanger>> = match pretrained {
-            None => datasets.iter().map(|_| None).collect(),
-            Some(seed_model) => {
-                let results: Vec<Option<(DoppelGanger, f64, Option<(f64, u64)>)>> = datasets
-                    .par_iter()
-                    .enumerate()
-                    .map(|(ci, data)| {
-                        let data = data.as_ref()?;
-                        let ((model, rate), secs) = measure(|| match cfg.dp {
-                            Some(dp_opts) => {
-                                // Every chunk (including the first) DP
-                                // fine-tunes from the public model.
-                                let mut m = DoppelGanger::from_pretrained(
-                                    base_dg(0, cfg.seed ^ (ci as u64) << 8, Some(dp_opts.dpsgd())),
-                                    &seed_model,
-                                );
-                                m.train_steps(data, scaled(cfg.finetune_steps, data.len()));
-                                let q = (cfg.batch_size as f64 / data.len() as f64).min(1.0);
-                                let steps = m.dp_steps();
-                                (m, Some((q, steps)))
-                            }
-                            None => {
-                                if Some(ci) == seed_idx {
-                                    // The seed model *is* chunk si's model.
-                                    // (Cloning is avoided by retraining 0
-                                    // extra steps from its checkpoint.)
-                                    let mut m = DoppelGanger::from_pretrained(
-                                        base_dg(0, seed_model.cfg.seed, None),
-                                        &seed_model,
-                                    );
-                                    m.train_steps(data, 0);
-                                    (m, None)
-                                } else {
-                                    let mut m = DoppelGanger::from_pretrained(
-                                        base_dg(0, cfg.seed ^ (ci as u64) << 8, None),
-                                        &seed_model,
-                                    );
-                                    m.train_steps(data, scaled(cfg.finetune_steps, data.len()));
-                                    (m, None)
-                                }
-                            }
-                        });
-                        Some((model, secs, rate))
-                    })
-                    .collect();
-                let mut out = Vec::with_capacity(results.len());
-                for r in results {
-                    match r {
-                        None => out.push(None),
-                        Some((m, secs, rate)) => {
-                            cpu_seconds += secs;
-                            if let Some(rate) = rate {
-                                dp_rates.push(rate);
-                            }
-                            out.push(Some(m));
-                        }
+        // --- the job DAG --------------------------------------------------
+        let base_dg = &base_dg;
+        let scaled = &scaled;
+        let emit_losses = &emit_losses;
+        let build_public = &build_public;
+        let mut jobs: Vec<JobSpec<'_, ModelArtifact>> = Vec::with_capacity(datasets.len() + 1);
+        jobs.push(JobSpec::new(
+            "pretrain",
+            Vec::<String>::new(),
+            move |_inp: &JobInputs<ModelArtifact>| {
+                let mut model = DoppelGanger::new(base_dg(0, cfg.seed ^ 0x91, None));
+                match cfg.dp {
+                    Some(dp_opts) => {
+                        // DP: pre-train (non-privately) on public data.
+                        let public = build_public();
+                        model.train_steps(&public, dp_opts.public_pretrain_steps);
+                    }
+                    None => {
+                        // Non-DP: seed chunk trains from scratch at full
+                        // depth (scaled to its data share).
+                        model.train_steps(
+                            seed_data,
+                            scaled("pretrain", cfg.seed_steps, seed_data.len()),
+                        );
                     }
                 }
-                out
-            }
-        };
+                emit_losses("pretrain", &model);
+                Ok(ModelArtifact::capture(&model, None))
+            },
+        ));
+        for (ci, data) in datasets.iter().enumerate() {
+            let Some(data) = data.as_ref() else { continue };
+            let id = format!("chunk-{ci}");
+            jobs.push(JobSpec::new(
+                id.clone(),
+                ["pretrain"],
+                move |inp: &JobInputs<ModelArtifact>| {
+                    let seed_model = inp
+                        .dep("pretrain")?
+                        .rebuild(base_dg(0, cfg.seed ^ 0x91, None))?;
+                    let (model, rate) = match cfg.dp {
+                        Some(dp_opts) => {
+                            // Every chunk (including the first) DP
+                            // fine-tunes from the public model.
+                            let mut m = DoppelGanger::from_pretrained(
+                                base_dg(0, cfg.seed ^ (ci as u64) << 8, Some(dp_opts.dpsgd())),
+                                &seed_model,
+                            );
+                            m.train_steps(data, scaled(&id, cfg.finetune_steps, data.len()));
+                            let q = (cfg.batch_size as f64 / data.len() as f64).min(1.0);
+                            let steps = m.dp_steps();
+                            (m, Some((q, steps)))
+                        }
+                        None if ci == seed_idx => {
+                            // The seed model *is* this chunk's model.
+                            // (Cloning is avoided by retraining 0 extra
+                            // steps from its artifact.)
+                            let mut m = DoppelGanger::from_pretrained(
+                                base_dg(0, cfg.seed ^ 0x91, None),
+                                &seed_model,
+                            );
+                            m.train_steps(data, 0);
+                            (m, None)
+                        }
+                        None => {
+                            let mut m = DoppelGanger::from_pretrained(
+                                base_dg(0, cfg.seed ^ (ci as u64) << 8, None),
+                                &seed_model,
+                            );
+                            m.train_steps(data, scaled(&id, cfg.finetune_steps, data.len()));
+                            (m, None)
+                        }
+                    };
+                    emit_losses(&id, &model);
+                    Ok(ModelArtifact::capture(&model, rate))
+                },
+            ));
+        }
+        let plan = Plan::new(jobs).map_err(PipelineError::Orchestrator)?;
 
-        let wall = wall_start.elapsed().as_secs_f64();
-        (models, cpu_seconds, wall, dp_rates)
+        let defaults = RunOptions::default();
+        let fault = orch
+            .fault_spec
+            .as_deref()
+            .and_then(orchestrator::fault_from_spec);
+        let opts = RunOptions {
+            workers: orch.workers,
+            max_retries: orch.max_retries.unwrap_or(defaults.max_retries),
+            checkpoint_dir: orch.checkpoint_dir.clone(),
+            resume: orch.resume,
+            run_key: run_key(cfg, &meta_spec, &record_spec, datasets),
+            fault,
+            ..defaults
+        };
+        let report = orchestrator::run(&plan, &opts, &events)?;
+
+        // --- rebuild models from artifacts --------------------------------
+        let mut models = Vec::with_capacity(datasets.len());
+        let mut dp_rates = Vec::new();
+        for (ci, data) in datasets.iter().enumerate() {
+            if data.is_none() {
+                models.push(None);
+                continue;
+            }
+            let artifact = report
+                .outputs
+                .get(&format!("chunk-{ci}"))
+                .ok_or_else(|| PipelineError::Orchestrator(format!("missing chunk-{ci} output")))?;
+            let dg_cfg = match cfg.dp {
+                Some(dp_opts) => base_dg(0, cfg.seed ^ (ci as u64) << 8, Some(dp_opts.dpsgd())),
+                None if ci == seed_idx => base_dg(0, cfg.seed ^ 0x91, None),
+                None => base_dg(0, cfg.seed ^ (ci as u64) << 8, None),
+            };
+            let model = artifact.rebuild(dg_cfg).map_err(PipelineError::Orchestrator)?;
+            if let Some(rate) = artifact.dp_rate {
+                dp_rates.push(rate);
+            }
+            models.push(Some(model));
+        }
+        Ok((
+            models,
+            report.cpu_seconds,
+            report.wall_seconds,
+            dp_rates,
+            events.events(),
+        ))
     }
 
     /// Generates a synthetic flow trace of approximately `n` records,
@@ -446,6 +557,13 @@ impl NetShare {
     pub fn trained_chunks(&self) -> usize {
         self.models.iter().filter(|m| m.is_some()).count()
     }
+
+    /// The orchestrator event stream of the fit: run/job lifecycle,
+    /// retries, scaled step budgets, and final losses. Mirrored to
+    /// `<checkpoint_dir>/events.jsonl` when checkpointing is enabled.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
 }
 
 /// Selects the DP pre-training packet source per the configured
@@ -459,32 +577,43 @@ fn pretrain_packets(cfg: &NetShareConfig, same_domain: &PacketTrace) -> PacketTr
     }
 }
 
-/// CPU seconds consumed by the *calling thread* so far (Linux:
-/// utime+stime from `/proc/thread-self/stat`). Under rayon, per-chunk
-/// wall time overcounts on oversubscribed cores — thread CPU time is the
-/// honest "total CPU hours" measure the paper's Fig. 4 uses. Falls back
-/// to 0 (caller then uses wall time) when the proc file is unavailable.
-fn thread_cpu_seconds() -> Option<f64> {
-    let stat = std::fs::read_to_string("/proc/thread-self/stat").ok()?;
-    // Fields after the parenthesized comm: utime is field 14, stime 15
-    // (1-based over the whole line).
-    let rest = stat.rsplit_once(')')?.1;
-    let fields: Vec<&str> = rest.split_whitespace().collect();
-    let utime: f64 = fields.get(11)?.parse().ok()?;
-    let stime: f64 = fields.get(12)?.parse().ok()?;
-    Some((utime + stime) / 100.0) // CLK_TCK = 100 on Linux
-}
-
-/// Measures `f`, preferring thread CPU time over wall time.
-fn measure<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let wall = Instant::now();
-    let cpu0 = thread_cpu_seconds();
-    let out = f();
-    let secs = match (cpu0, thread_cpu_seconds()) {
-        (Some(a), Some(b)) if b >= a => b - a,
-        _ => wall.elapsed().as_secs_f64(),
-    };
-    (out, secs)
+/// Fingerprints the *training-relevant* configuration and data geometry.
+/// A manifest written under a different key is ignored on resume —
+/// changing the seed, step budget, DP options, or the data itself must
+/// never silently reuse stale checkpoints. Orchestration knobs (worker
+/// count, retries, checkpoint dir) deliberately do not participate: they
+/// change scheduling, never the trained bits.
+fn run_key(
+    cfg: &NetShareConfig,
+    meta_spec: &doppelganger::FeatureSpec,
+    record_spec: &doppelganger::FeatureSpec,
+    datasets: &[Option<TimeSeriesDataset>],
+) -> String {
+    let lens: Vec<usize> = datasets
+        .iter()
+        .map(|d| d.as_ref().map_or(0, |d| d.len()))
+        .collect();
+    let desc = format!(
+        "v1|seed={}|chunks={}|steps={}+{}|bs={}|lr={}|nc={}|wc={}|aux={}|maxlen={}|embed={}|labels={}|tags={}|dp={:?}|meta={}|rec={}|lens={:?}",
+        cfg.seed,
+        cfg.n_chunks,
+        cfg.seed_steps,
+        cfg.finetune_steps,
+        cfg.batch_size,
+        cfg.lr,
+        cfg.n_critic,
+        cfg.weight_clip,
+        cfg.aux_weight,
+        cfg.max_seq_len,
+        cfg.embed_dim,
+        cfg.with_labels,
+        cfg.use_flow_tags,
+        cfg.dp,
+        meta_spec.dim(),
+        record_spec.dim(),
+        lens,
+    );
+    format!("{:016x}", orchestrator::fnv1a64(desc.as_bytes()))
 }
 
 fn chunk_item_counts<T>(chunked: &Chunked<T>) -> Vec<usize> {

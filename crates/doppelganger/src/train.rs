@@ -188,6 +188,19 @@ impl DoppelGanger {
         nnet::serialize::restore(&mut self.disc, &ckpt.1);
     }
 
+    /// The sampler RNG's raw state. Together with
+    /// [`DoppelGanger::checkpoint`] this captures everything `sample`
+    /// depends on, so a model rebuilt from `(checkpoint, rng_state)`
+    /// generates bitwise-identical samples to the original.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restores the sampler RNG captured by [`DoppelGanger::rng_state`].
+    pub fn set_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = StdRng::from_state(state);
+    }
+
     /// Number of DP-SGD steps taken (0 when DP is off). Feed to the
     /// `privacy` accountant together with `batch_size / dataset_len`.
     pub fn dp_steps(&self) -> u64 {

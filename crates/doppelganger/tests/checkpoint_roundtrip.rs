@@ -1,0 +1,100 @@
+//! Checkpoint fidelity: a model serialized to JSON and restored into a
+//! fresh instance must be *bitwise* identical — parameters and the
+//! sampler RNG stream both. This is the property the orchestrator's
+//! resume path stands on: a resumed run rebuilds models from on-disk
+//! checkpoints and must generate the same traces an uninterrupted run
+//! would.
+
+use doppelganger::{DgConfig, DoppelGanger, FeatureSpec, Segment, TimeSeriesDataset};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn toy_data(n: usize, seed: u64) -> TimeSeriesDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut meta = Vec::with_capacity(n);
+    let mut seqs = Vec::with_capacity(n);
+    for _ in 0..n {
+        if rng.gen::<f64>() < 0.8 {
+            meta.push(vec![1.0, 0.0]);
+            seqs.push(vec![vec![0.8]; 3]);
+        } else {
+            meta.push(vec![0.0, 1.0]);
+            seqs.push(vec![vec![0.2]; 1]);
+        }
+    }
+    TimeSeriesDataset::new(meta, seqs, 4)
+}
+
+fn toy_cfg() -> DgConfig {
+    let mut cfg = DgConfig::small(
+        FeatureSpec::new(vec![Segment::Categorical { dim: 2 }]),
+        FeatureSpec::continuous(1),
+        4,
+    );
+    cfg.batch_size = 16;
+    cfg.meta_hidden = vec![16];
+    cfg.rnn_hidden = 12;
+    cfg.head_hidden = vec![12];
+    cfg.disc_hidden = vec![16];
+    cfg.aux_hidden = vec![12];
+    cfg
+}
+
+#[test]
+fn checkpoint_json_restore_is_bitwise_identical() {
+    let data = toy_data(120, 3);
+    let mut trained = DoppelGanger::new(toy_cfg());
+    trained.train_steps(&data, 10);
+
+    // Round-trip parameters through JSON text (the on-disk form).
+    let (gen, disc) = trained.checkpoint();
+    let gen_back = nnet::serialize::from_json(&nnet::serialize::to_json(&gen)).unwrap();
+    let disc_back = nnet::serialize::from_json(&nnet::serialize::to_json(&disc)).unwrap();
+    assert_eq!(gen.tensors, gen_back.tensors, "f32 params must survive JSON exactly");
+    assert_eq!(disc.tensors, disc_back.tensors);
+
+    let mut restored = DoppelGanger::new(toy_cfg());
+    restored.restore(&(gen_back, disc_back));
+    restored.set_rng_state(trained.rng_state());
+
+    use nnet::Parameterized;
+    for (a, b) in trained.gen.parameters().iter().zip(restored.gen.parameters()) {
+        assert_eq!(a.data(), b.data());
+    }
+    for (a, b) in trained.disc.parameters().iter().zip(restored.disc.parameters()) {
+        assert_eq!(a.data(), b.data());
+    }
+    assert_eq!(trained.rng_state(), restored.rng_state());
+}
+
+#[test]
+fn restored_model_continues_the_same_sample_stream() {
+    let data = toy_data(120, 5);
+    let mut trained = DoppelGanger::new(toy_cfg());
+    trained.train_steps(&data, 8);
+
+    let (gen, disc) = trained.checkpoint();
+    let mut restored = DoppelGanger::new(toy_cfg());
+    restored.restore(&(gen, disc));
+    restored.set_rng_state(trained.rng_state());
+
+    let a = trained.sample(40);
+    let b = restored.sample(40);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.meta, y.meta, "sampled metadata must be bitwise equal");
+        assert_eq!(x.records, y.records, "sampled records must be bitwise equal");
+    }
+}
+
+#[test]
+fn rng_state_round_trips_through_raw_words() {
+    let model = DoppelGanger::new(toy_cfg());
+    let state = model.rng_state();
+    let mut other = DoppelGanger::new(toy_cfg());
+    other.set_rng_state(state);
+    assert_eq!(other.rng_state(), state);
+    // And via the StdRng accessors directly.
+    let rng = StdRng::seed_from_u64(99);
+    assert_eq!(StdRng::from_state(rng.state()).state(), rng.state());
+}

@@ -1,0 +1,189 @@
+//! Job specifications and DAG validation.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The boxed job body: receives the outputs of its dependencies, returns
+/// the job's payload or an error message. Must be `Send + Sync` because
+/// worker threads share the plan; the lifetime lets bodies borrow data
+/// (datasets, configs) that outlives the run.
+pub type JobFn<'a, P> = Box<dyn Fn(&JobInputs<P>) -> Result<P, String> + Send + Sync + 'a>;
+
+/// One node of the job DAG.
+pub struct JobSpec<'a, P> {
+    /// Unique job name (also the checkpoint file stem).
+    pub id: String,
+    /// Ids of jobs whose outputs this job consumes.
+    pub deps: Vec<String>,
+    /// The job body.
+    pub run: JobFn<'a, P>,
+}
+
+impl<'a, P> JobSpec<'a, P> {
+    /// Builds a job.
+    pub fn new<I, S, F>(id: impl Into<String>, deps: I, run: F) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+        F: Fn(&JobInputs<P>) -> Result<P, String> + Send + Sync + 'a,
+    {
+        JobSpec {
+            id: id.into(),
+            deps: deps.into_iter().map(Into::into).collect(),
+            run: Box::new(run),
+        }
+    }
+}
+
+/// The outputs a job's dependencies produced, keyed by job id.
+pub struct JobInputs<P> {
+    pub(crate) deps: HashMap<String, Arc<P>>,
+    /// Zero-based attempt number of the current execution.
+    pub attempt: u32,
+}
+
+impl<P> JobInputs<P> {
+    /// The payload of dependency `id`, if it is a declared dependency.
+    pub fn dep(&self, id: &str) -> Result<&P, String> {
+        self.deps
+            .get(id)
+            .map(|a| a.as_ref())
+            .ok_or_else(|| format!("job input `{id}` is not a declared dependency"))
+    }
+}
+
+/// A validated job DAG.
+pub struct Plan<'a, P> {
+    pub(crate) jobs: Vec<JobSpec<'a, P>>,
+    /// `order[k]` = index into `jobs` of the k-th job in one valid
+    /// topological order (used only for validation; execution order is
+    /// dynamic).
+    pub(crate) topo: Vec<usize>,
+}
+
+impl<'a, P> Plan<'a, P> {
+    /// Validates a job list into a plan: ids must be unique and non-empty,
+    /// dependencies must name existing jobs, and the graph must be acyclic.
+    pub fn new(jobs: Vec<JobSpec<'a, P>>) -> Result<Self, String> {
+        let mut index: HashMap<&str, usize> = HashMap::new();
+        for (i, j) in jobs.iter().enumerate() {
+            if j.id.is_empty() {
+                return Err("job id must be non-empty".into());
+            }
+            if index.insert(j.id.as_str(), i).is_some() {
+                return Err(format!("duplicate job id `{}`", j.id));
+            }
+        }
+        let mut indegree = vec![0usize; jobs.len()];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); jobs.len()];
+        for (i, j) in jobs.iter().enumerate() {
+            for d in &j.deps {
+                let Some(&di) = index.get(d.as_str()) else {
+                    return Err(format!("job `{}` depends on unknown job `{d}`", j.id));
+                };
+                if di == i {
+                    return Err(format!("job `{}` depends on itself", j.id));
+                }
+                indegree[i] += 1;
+                dependents[di].push(i);
+            }
+        }
+        // Kahn's algorithm; a leftover node means a cycle.
+        let mut ready: Vec<usize> = (0..jobs.len()).filter(|&i| indegree[i] == 0).collect();
+        let mut topo = Vec::with_capacity(jobs.len());
+        while let Some(i) = ready.pop() {
+            topo.push(i);
+            for &k in &dependents[i] {
+                indegree[k] -= 1;
+                if indegree[k] == 0 {
+                    ready.push(k);
+                }
+            }
+        }
+        if topo.len() != jobs.len() {
+            let stuck: Vec<&str> = (0..jobs.len())
+                .filter(|&i| indegree[i] > 0)
+                .map(|i| jobs[i].id.as_str())
+                .collect();
+            return Err(format!("job graph has a cycle involving {stuck:?}"));
+        }
+        Ok(Plan { jobs, topo })
+    }
+
+    /// Job ids in one valid topological order (for diagnostics; execution
+    /// order is dynamic, driven by dependency completion).
+    pub fn topo_order(&self) -> impl Iterator<Item = &str> {
+        self.topo.iter().map(|&i| self.jobs[i].id.as_str())
+    }
+
+    /// Number of jobs in the plan.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the plan has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+}
+
+impl<P> std::fmt::Debug for Plan<'_, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Job bodies are opaque closures; show the graph structure only.
+        let mut d = f.debug_map();
+        for j in &self.jobs {
+            d.entry(&j.id, &j.deps);
+        }
+        d.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: &str, deps: &[&str]) -> JobSpec<'static, u32> {
+        JobSpec::new(id, deps.iter().copied(), |_| Ok(0))
+    }
+
+    #[test]
+    fn valid_diamond_passes() {
+        let p = Plan::new(vec![
+            job("a", &[]),
+            job("b", &["a"]),
+            job("c", &["a"]),
+            job("d", &["b", "c"]),
+        ])
+        .unwrap();
+        assert_eq!(p.len(), 4);
+        // `a` must precede everything in the topological order.
+        let pos = |id: &str| p.topo.iter().position(|&i| p.jobs[i].id == id).unwrap();
+        assert!(pos("a") < pos("b") && pos("a") < pos("c") && pos("b") < pos("d"));
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let err = Plan::new(vec![job("a", &[]), job("a", &[])]).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn unknown_dep_rejected() {
+        let err = Plan::new(vec![job("a", &["ghost"])]).unwrap_err();
+        assert!(err.contains("unknown"), "{err}");
+    }
+
+    #[test]
+    fn cycles_rejected() {
+        let err = Plan::new(vec![job("a", &["b"]), job("b", &["a"])]).unwrap_err();
+        assert!(err.contains("cycle"), "{err}");
+        let err = Plan::new(vec![job("a", &["a"])]).unwrap_err();
+        assert!(err.contains("itself"), "{err}");
+    }
+
+    #[test]
+    fn empty_id_rejected() {
+        let err = Plan::new(vec![job("", &[])]).unwrap_err();
+        assert!(err.contains("non-empty"), "{err}");
+    }
+}

@@ -1,0 +1,253 @@
+//! The JSONL event stream.
+//!
+//! Every run narrates itself as a sequence of self-describing events —
+//! one JSON object per line — so long runs are observable while they
+//! execute (`tail -f events.jsonl`) and diagnosable after they die. The
+//! same stream carries the training telemetry that used to leak out as
+//! ad-hoc `eprintln!` debugging (scaled step counts, d/g losses).
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// One orchestrator event. Serialized externally tagged, one per line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A run began (after plan validation and manifest recovery).
+    RunStarted {
+        /// Fingerprint of the configuration the run executes under.
+        run_key: String,
+        /// Total jobs in the plan.
+        jobs: u64,
+        /// Worker threads in the pool.
+        workers: u64,
+        /// Jobs skipped because the manifest verified them.
+        resumed: u64,
+    },
+    /// A job attempt began.
+    JobStarted {
+        /// Job id.
+        job: String,
+        /// Zero-based attempt number.
+        attempt: u32,
+    },
+    /// A job attempt failed and will be retried after a backoff.
+    JobRetried {
+        /// Job id.
+        job: String,
+        /// Zero-based attempt number that failed.
+        attempt: u32,
+        /// The failure (panic message or job error).
+        error: String,
+        /// Backoff slept before the next attempt, in milliseconds.
+        backoff_ms: u64,
+    },
+    /// A job completed successfully.
+    JobFinished {
+        /// Job id.
+        job: String,
+        /// Attempts it took (1 = first try).
+        attempts: u32,
+        /// Wall-clock seconds across all attempts.
+        wall_seconds: f64,
+        /// Thread-CPU seconds across all attempts.
+        cpu_seconds: f64,
+    },
+    /// A job was skipped: the manifest already holds a verified payload.
+    JobSkipped {
+        /// Job id.
+        job: String,
+    },
+    /// A job exhausted its retries; the run will fail.
+    JobFailed {
+        /// Job id.
+        job: String,
+        /// Attempts executed.
+        attempts: u32,
+        /// The final failure.
+        error: String,
+    },
+    /// Step budget scaled to a chunk's share of the data (paper Insight 3:
+    /// training effort ∝ data seen).
+    ScaledSteps {
+        /// Job id.
+        job: String,
+        /// Whole-trace step budget.
+        requested: u64,
+        /// Steps this chunk actually trains.
+        scaled: u64,
+        /// Sequences in this chunk.
+        items: u64,
+        /// Sequences in the whole trace.
+        total_items: u64,
+    },
+    /// Final training losses of a job, from `TrainStats`.
+    Losses {
+        /// Job id.
+        job: String,
+        /// Last critic loss.
+        d_loss: f64,
+        /// Last generator loss.
+        g_loss: f64,
+        /// Critic steps executed (== DP-SGD steps in DP mode).
+        critic_steps: u64,
+        /// Generator steps executed.
+        gen_steps: u64,
+    },
+    /// The run finished (all jobs completed or verified).
+    RunFinished {
+        /// Wall-clock seconds of the whole run.
+        wall_seconds: f64,
+        /// Summed per-job CPU seconds (including manifest-recorded values
+        /// for skipped jobs).
+        cpu_seconds: f64,
+        /// Jobs executed this run.
+        completed: u64,
+        /// Jobs skipped via the manifest.
+        skipped: u64,
+    },
+}
+
+/// A thread-safe multi-sink event log. Every event is kept in memory (for
+/// programmatic inspection) and appended as one JSON line to each
+/// attached sink.
+#[derive(Default)]
+pub struct EventLog {
+    memory: Mutex<Vec<Event>>,
+    sinks: Mutex<Vec<Box<dyn Write + Send>>>,
+}
+
+impl EventLog {
+    /// An in-memory-only log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// Adds a stderr sink (used when `NETSHARE_DEBUG_STEPS` is set, the
+    /// successor of the old ad-hoc eprintln debugging).
+    pub fn with_stderr(self) -> Self {
+        self.sinks
+            .lock()
+            .expect("event sink lock")
+            .push(Box::new(std::io::stderr()));
+        self
+    }
+
+    /// Adds a file sink, appending to `path`.
+    pub fn with_file(self, path: &Path) -> std::io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        self.sinks
+            .lock()
+            .expect("event sink lock")
+            .push(Box::new(file));
+        Ok(self)
+    }
+
+    /// Records an event and writes it as one JSON line to every sink.
+    pub fn emit(&self, ev: Event) {
+        let line = serde_json::to_string(&ev).unwrap_or_else(|e| {
+            format!("{{\"EventSerializationError\":\"{e}\"}}")
+        });
+        {
+            let mut sinks = self.sinks.lock().expect("event sink lock");
+            for s in sinks.iter_mut() {
+                // Sink failures must never take training down; drop the line.
+                let _ = writeln!(s, "{line}");
+                let _ = s.flush();
+            }
+        }
+        self.memory.lock().expect("event memory lock").push(ev);
+    }
+
+    /// A snapshot of every event emitted so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.memory.lock().expect("event memory lock").clone()
+    }
+}
+
+/// Parses one JSONL line back into an [`Event`] (for tests and tooling
+/// reading `events.jsonl`).
+pub fn parse_event(line: &str) -> Result<Event, serde_json::Error> {
+    serde_json::from_str(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_event_round_trips_through_jsonl() {
+        let evs = vec![
+            Event::RunStarted {
+                run_key: "abc".into(),
+                jobs: 3,
+                workers: 2,
+                resumed: 1,
+            },
+            Event::JobStarted { job: "pretrain".into(), attempt: 0 },
+            Event::JobRetried {
+                job: "chunk-1".into(),
+                attempt: 0,
+                error: "injected fault".into(),
+                backoff_ms: 50,
+            },
+            Event::JobFinished {
+                job: "chunk-1".into(),
+                attempts: 2,
+                wall_seconds: 0.25,
+                cpu_seconds: 0.5,
+            },
+            Event::JobSkipped { job: "chunk-2".into() },
+            Event::JobFailed {
+                job: "chunk-3".into(),
+                attempts: 3,
+                error: "boom".into(),
+            },
+            Event::ScaledSteps {
+                job: "chunk-1".into(),
+                requested: 300,
+                scaled: 42,
+                items: 10,
+                total_items: 70,
+            },
+            Event::Losses {
+                job: "chunk-1".into(),
+                d_loss: 0.125,
+                g_loss: -1.5,
+                critic_steps: 12,
+                gen_steps: 4,
+            },
+            Event::RunFinished {
+                wall_seconds: 1.0,
+                cpu_seconds: 2.0,
+                completed: 2,
+                skipped: 1,
+            },
+        ];
+        for ev in evs {
+            let line = serde_json::to_string(&ev).unwrap();
+            assert!(!line.contains('\n'), "one event per line");
+            assert_eq!(parse_event(&line).unwrap(), ev);
+        }
+    }
+
+    #[test]
+    fn log_records_in_memory_and_to_file() {
+        let dir = std::env::temp_dir().join(format!("orch-events-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let log = EventLog::new().with_file(&path).unwrap();
+        log.emit(Event::JobSkipped { job: "a".into() });
+        log.emit(Event::JobSkipped { job: "b".into() });
+        assert_eq!(log.events().len(), 2);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed: Vec<Event> = text.lines().map(|l| parse_event(l).unwrap()).collect();
+        assert_eq!(parsed, log.events());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

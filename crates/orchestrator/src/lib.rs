@@ -1,0 +1,44 @@
+//! # orchestrator
+//!
+//! A job-DAG scheduler for NetShare's chunked training, mirroring the
+//! paper's Ray topology (§5): one public/seed **pretrain** job feeding N
+//! independent per-chunk **fine-tune** jobs. The paper's scalability win
+//! (Fig. 4) comes from fanning those fine-tunes out across workers; its
+//! practical pain point is that GAN training is the dominant, failure-prone
+//! cost of the pipeline. This crate amortizes that cost:
+//!
+//! * **Job DAG** ([`JobSpec`], [`Plan`]): jobs are named closures with
+//!   explicit dependencies; the plan is validated (unique ids, known deps,
+//!   acyclic) before anything runs.
+//! * **Bounded worker pool** ([`run`]): `workers` scoped threads pull ready
+//!   jobs from a shared queue; completion unlocks dependents. Job outputs
+//!   are pure functions of their inputs, so results are identical at any
+//!   worker count.
+//! * **On-disk checkpoints** ([`manifest`]): each completed job's payload is
+//!   serialized to `jobs/<id>.json` and registered in `manifest.json`, both
+//!   written atomically (temp file + rename) so a kill mid-write never
+//!   corrupts the run directory.
+//! * **Resume**: a rerun with [`RunOptions::resume`] skips every job the
+//!   manifest can verify (run-key match + payload digest match) and loads
+//!   its payload from disk instead of recomputing it.
+//! * **Fault tolerance**: every attempt runs under `catch_unwind`; failures
+//!   (panics or `Err` returns) retry with bounded exponential backoff. A
+//!   fault-injection hook lets tests exercise the retry path
+//!   deterministically.
+//! * **JSONL events** ([`events`]): run/job lifecycle, retries, training
+//!   losses, and per-job wall/CPU seconds stream to any combination of an
+//!   in-memory buffer, a file, and stderr.
+
+pub mod dag;
+pub mod events;
+pub mod manifest;
+pub mod pool;
+pub mod timing;
+
+pub use dag::{JobInputs, JobSpec, Plan};
+pub use events::{Event, EventLog};
+pub use manifest::{atomic_write, fnv1a64, Manifest, ManifestEntry};
+pub use pool::{
+    fault_from_spec, run, FaultHook, JobStats, OrchestratorError, RunOptions, RunReport,
+};
+pub use timing::{measure, thread_cpu_seconds};

@@ -1,0 +1,229 @@
+//! On-disk checkpoints behind an atomic-write manifest.
+//!
+//! Layout of a run directory:
+//!
+//! ```text
+//! <dir>/manifest.json    completed-job registry (atomic: tmp + rename)
+//! <dir>/jobs/<id>.json   one payload file per completed job (atomic)
+//! <dir>/events.jsonl     the event stream (append-only)
+//! ```
+//!
+//! The manifest is rewritten after *every* job completion, so a killed run
+//! preserves exactly the set of jobs whose payload files finished their
+//! rename — a payload is only ever referenced by the manifest after it is
+//! fully on disk. Resume trusts an entry only when (a) the manifest's
+//! `run_key` matches the current configuration fingerprint and (b) the
+//! payload file's FNV-1a digest matches the recorded one.
+
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Manifest schema version.
+pub const MANIFEST_VERSION: u64 = 1;
+
+/// One completed job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// Job id.
+    pub id: String,
+    /// Payload file, relative to the run directory.
+    pub file: String,
+    /// FNV-1a 64 digest of the payload file bytes.
+    pub digest: u64,
+    /// Attempts the job took when it originally ran.
+    pub attempts: u32,
+    /// Wall seconds of the original execution.
+    pub wall_seconds: f64,
+    /// CPU seconds of the original execution.
+    pub cpu_seconds: f64,
+}
+
+/// The completed-job registry of a run directory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Schema version.
+    pub version: u64,
+    /// Configuration fingerprint the run executed under.
+    pub run_key: String,
+    /// Completed jobs, in completion order.
+    pub jobs: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// An empty manifest for a fresh run.
+    pub fn new(run_key: impl Into<String>) -> Self {
+        Manifest {
+            version: MANIFEST_VERSION,
+            run_key: run_key.into(),
+            jobs: Vec::new(),
+        }
+    }
+
+    /// The manifest file path inside a run directory.
+    pub fn path(dir: &Path) -> PathBuf {
+        dir.join("manifest.json")
+    }
+
+    /// The payload file (relative name) for a job id. Ids are sanitized so
+    /// any id yields a flat, safe file name.
+    pub fn payload_file(id: &str) -> String {
+        let safe: String = id
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+            .collect();
+        format!("jobs/{safe}.json")
+    }
+
+    /// Loads the manifest of `dir`, or `None` when absent or unparseable
+    /// (a damaged manifest means "nothing to resume", never an error).
+    pub fn load(dir: &Path) -> Option<Manifest> {
+        let text = std::fs::read_to_string(Manifest::path(dir)).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    /// Atomically persists the manifest into `dir`.
+    pub fn store(&self, dir: &Path) -> io::Result<()> {
+        let text = serde_json::to_string_pretty(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        atomic_write(&Manifest::path(dir), text.as_bytes())
+    }
+
+    /// Looks up a completed job.
+    pub fn entry(&self, id: &str) -> Option<&ManifestEntry> {
+        self.jobs.iter().find(|e| e.id == id)
+    }
+
+    /// Records (or replaces) a completed job.
+    pub fn record(&mut self, entry: ManifestEntry) {
+        self.jobs.retain(|e| e.id != entry.id);
+        self.jobs.push(entry);
+    }
+
+    /// Reads and verifies the payload of a completed job: the file must
+    /// exist and hash to the recorded digest. Returns the payload text.
+    pub fn verified_payload(&self, dir: &Path, id: &str) -> Option<String> {
+        let entry = self.entry(id)?;
+        let text = std::fs::read_to_string(dir.join(&entry.file)).ok()?;
+        (fnv1a64(text.as_bytes()) == entry.digest).then_some(text)
+    }
+}
+
+/// Writes `bytes` to `path` atomically: a unique temp file in the same
+/// directory, then `rename` (atomic on POSIX within one filesystem). A
+/// kill between the two steps leaves the old file untouched.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let tmp = path.with_file_name(format!(".{file_name}.tmp.{}", std::process::id()));
+    std::fs::write(&tmp, bytes)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// FNV-1a 64-bit digest — dependency-free integrity check for payload
+/// files (corruption detection, not an adversarial guarantee).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("orch-manifest-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("jobs")).unwrap();
+        dir
+    }
+
+    #[test]
+    fn manifest_round_trips_through_disk() {
+        let dir = tmp_dir("roundtrip");
+        let mut m = Manifest::new("key-1");
+        m.record(ManifestEntry {
+            id: "pretrain".into(),
+            file: Manifest::payload_file("pretrain"),
+            digest: fnv1a64(b"payload"),
+            attempts: 1,
+            wall_seconds: 0.5,
+            cpu_seconds: 0.25,
+        });
+        m.store(&dir).unwrap();
+        let back = Manifest::load(&dir).unwrap();
+        assert_eq!(back, m);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verified_payload_rejects_tampering() {
+        let dir = tmp_dir("tamper");
+        let payload = "{\"x\":1}";
+        let file = Manifest::payload_file("job-a");
+        atomic_write(&dir.join(&file), payload.as_bytes()).unwrap();
+        let mut m = Manifest::new("k");
+        m.record(ManifestEntry {
+            id: "job-a".into(),
+            file: file.clone(),
+            digest: fnv1a64(payload.as_bytes()),
+            attempts: 1,
+            wall_seconds: 0.0,
+            cpu_seconds: 0.0,
+        });
+        assert_eq!(m.verified_payload(&dir, "job-a").as_deref(), Some(payload));
+        // Corrupt the file: digest check must fail.
+        std::fs::write(dir.join(&file), b"{\"x\":2}").unwrap();
+        assert_eq!(m.verified_payload(&dir, "job-a"), None);
+        // Unknown job.
+        assert_eq!(m.verified_payload(&dir, "nope"), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_files_and_replaces_content(){
+        let dir = tmp_dir("atomic");
+        let path = dir.join("manifest.json");
+        atomic_write(&path, b"one").unwrap();
+        atomic_write(&path, b"two").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "two");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must not survive");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn damaged_manifest_means_fresh_start() {
+        let dir = tmp_dir("damaged");
+        std::fs::write(Manifest::path(&dir), b"{ not json").unwrap();
+        assert!(Manifest::load(&dir).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn payload_file_names_are_sanitized() {
+        assert_eq!(Manifest::payload_file("chunk-3"), "jobs/chunk-3.json");
+        assert_eq!(Manifest::payload_file("a/b c"), "jobs/a_b_c.json");
+    }
+
+    #[test]
+    fn fnv_distinguishes_inputs() {
+        assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}

@@ -1,0 +1,565 @@
+//! The bounded worker pool that executes a [`Plan`].
+//!
+//! Workers are scoped threads pulling ready jobs from a shared queue; a
+//! job becomes ready when every dependency has published its output. Each
+//! attempt runs under `catch_unwind`, so a panicking job is a *retried*
+//! job, not a dead run; retries back off exponentially (bounded). Outputs
+//! are pure functions of job inputs, which makes results identical at any
+//! worker count — the scheduler only decides *when*, never *what*.
+
+use crate::dag::{JobInputs, Plan};
+use crate::events::{Event, EventLog};
+use crate::manifest::{atomic_write, fnv1a64, Manifest, ManifestEntry, MANIFEST_VERSION};
+use crate::timing::measure;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Deterministic fault injection for tests: given `(job_id, attempt)`,
+/// return `Some(message)` to make that attempt fail before the job body
+/// runs.
+pub type FaultHook = Arc<dyn Fn(&str, u32) -> Option<String> + Send + Sync>;
+
+/// Builds a [`FaultHook`] from a `"<job-id>:<n>"` spec: the named job's
+/// first `n` attempts fail. This is the string form behind the
+/// `NETSHARE_INJECT_FAULT` environment variable and the CI smoke test.
+pub fn fault_from_spec(spec: &str) -> Option<FaultHook> {
+    let (job, count) = spec.rsplit_once(':')?;
+    let count: u32 = count.trim().parse().ok()?;
+    let job = job.trim().to_string();
+    Some(Arc::new(move |id: &str, attempt: u32| {
+        (id == job && attempt < count)
+            .then(|| format!("injected fault ({}/{count})", attempt + 1))
+    }))
+}
+
+/// Knobs of one orchestrated run.
+#[derive(Clone)]
+pub struct RunOptions {
+    /// Worker threads; `0` means one per logical core (honoring
+    /// `RAYON_NUM_THREADS` like the training kernels).
+    pub workers: usize,
+    /// Retries after the first attempt before a job hard-fails.
+    pub max_retries: u32,
+    /// Base backoff slept after a failed attempt; doubles per retry,
+    /// capped at 2 s.
+    pub backoff: Duration,
+    /// Run directory for checkpoints/manifest; `None` disables persistence.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Skip jobs the manifest can verify instead of re-running them.
+    pub resume: bool,
+    /// Configuration fingerprint; a manifest written under a different key
+    /// is ignored on resume (the run starts fresh).
+    pub run_key: String,
+    /// Test-only fault injection.
+    pub fault: Option<FaultHook>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            workers: 0,
+            max_retries: 2,
+            backoff: Duration::from_millis(50),
+            checkpoint_dir: None,
+            resume: false,
+            run_key: "default".into(),
+            fault: None,
+        }
+    }
+}
+
+/// Why a run failed.
+#[derive(Debug)]
+pub enum OrchestratorError {
+    /// The job list failed validation (duplicate id, unknown dep, cycle).
+    InvalidPlan(String),
+    /// A checkpoint/manifest filesystem operation failed.
+    Io {
+        /// Offending path.
+        path: PathBuf,
+        /// OS error text.
+        message: String,
+    },
+    /// A payload failed to serialize or deserialize.
+    Codec {
+        /// Job whose payload was involved.
+        job: String,
+        /// Codec error text.
+        message: String,
+    },
+    /// A job exhausted its retries.
+    JobFailed {
+        /// Job id.
+        job: String,
+        /// Attempts executed.
+        attempts: u32,
+        /// Final failure (panic message or job error).
+        error: String,
+    },
+}
+
+impl std::fmt::Display for OrchestratorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OrchestratorError::InvalidPlan(m) => write!(f, "invalid job plan: {m}"),
+            OrchestratorError::Io { path, message } => {
+                write!(f, "checkpoint I/O failed at {}: {message}", path.display())
+            }
+            OrchestratorError::Codec { job, message } => {
+                write!(f, "payload codec failed for job `{job}`: {message}")
+            }
+            OrchestratorError::JobFailed { job, attempts, error } => {
+                write!(f, "job `{job}` failed after {attempts} attempt(s): {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OrchestratorError {}
+
+/// Per-job execution accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStats {
+    /// Attempts executed (1 = first try succeeded). For skipped jobs, the
+    /// attempts recorded when the job originally ran.
+    pub attempts: u32,
+    /// Wall seconds across attempts (manifest value for skipped jobs).
+    pub wall_seconds: f64,
+    /// CPU seconds across attempts (manifest value for skipped jobs).
+    pub cpu_seconds: f64,
+    /// Whether the manifest satisfied this job without execution.
+    pub skipped: bool,
+}
+
+/// The result of a successful run.
+pub struct RunReport<P> {
+    /// Every job's payload, keyed by job id.
+    pub outputs: HashMap<String, Arc<P>>,
+    /// Per-job accounting, keyed by job id.
+    pub stats: HashMap<String, JobStats>,
+    /// Wall seconds of the whole run.
+    pub wall_seconds: f64,
+    /// Summed per-job CPU seconds (manifest values for skipped jobs).
+    pub cpu_seconds: f64,
+    /// Jobs executed this run.
+    pub completed: u64,
+    /// Jobs satisfied from the manifest.
+    pub skipped: u64,
+}
+
+/// Scheduler bookkeeping shared by the workers.
+struct SchedState<P> {
+    ready: VecDeque<usize>,
+    /// Unmet dependency count per job.
+    remaining: Vec<usize>,
+    /// Published outputs (resumed and executed), by job index.
+    outputs: HashMap<usize, Arc<P>>,
+    /// Stats of jobs executed this run, by job index.
+    executed: Vec<Option<JobStats>>,
+    /// First hard failure; set once, cancels all pending work.
+    failure: Option<OrchestratorError>,
+}
+
+struct Shared<P> {
+    state: Mutex<SchedState<P>>,
+    cond: Condvar,
+}
+
+/// Executes a plan to completion on a bounded worker pool.
+///
+/// Returns the payload of every job. On a hard job failure the error is
+/// returned *after* in-flight jobs finish (and persist), so a failed run
+/// still leaves a maximal resumable manifest behind.
+pub fn run<P>(
+    plan: &Plan<'_, P>,
+    opts: &RunOptions,
+    events: &EventLog,
+) -> Result<RunReport<P>, OrchestratorError>
+where
+    P: Serialize + Deserialize + Send + Sync,
+{
+    let wall_start = Instant::now();
+    let n = plan.jobs.len();
+    let index: HashMap<&str, usize> = plan
+        .jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| (j.id.as_str(), i))
+        .collect();
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, j) in plan.jobs.iter().enumerate() {
+        for d in &j.deps {
+            dependents[index[d.as_str()]].push(i);
+        }
+    }
+
+    // ---- manifest recovery -------------------------------------------
+    let mut manifest = Manifest::new(opts.run_key.clone());
+    let mut resumed: HashMap<usize, Arc<P>> = HashMap::new();
+    let mut resumed_stats: HashMap<String, JobStats> = HashMap::new();
+    if let Some(dir) = &opts.checkpoint_dir {
+        std::fs::create_dir_all(dir.join("jobs")).map_err(|e| OrchestratorError::Io {
+            path: dir.join("jobs"),
+            message: e.to_string(),
+        })?;
+        if opts.resume {
+            if let Some(old) = Manifest::load(dir) {
+                if old.run_key == opts.run_key && old.version == MANIFEST_VERSION {
+                    for (i, job) in plan.jobs.iter().enumerate() {
+                        let Some(text) = old.verified_payload(dir, &job.id) else {
+                            continue;
+                        };
+                        let Ok(payload) = serde_json::from_str::<P>(&text) else {
+                            continue; // undecodable payload: just re-run it
+                        };
+                        let entry = old.entry(&job.id).cloned().expect("verified entry");
+                        resumed_stats.insert(
+                            job.id.clone(),
+                            JobStats {
+                                attempts: entry.attempts,
+                                wall_seconds: entry.wall_seconds,
+                                cpu_seconds: entry.cpu_seconds,
+                                skipped: true,
+                            },
+                        );
+                        manifest.record(entry);
+                        resumed.insert(i, Arc::new(payload));
+                    }
+                }
+            }
+        }
+        // Persist immediately: a fresh run truncates any stale manifest so
+        // a later resume can never mix runs.
+        manifest.store(dir).map_err(|e| OrchestratorError::Io {
+            path: Manifest::path(dir),
+            message: e.to_string(),
+        })?;
+    }
+
+    let pending = n - resumed.len();
+    let workers = if opts.workers == 0 {
+        rayon::current_num_threads()
+    } else {
+        opts.workers
+    }
+    .clamp(1, pending.max(1));
+
+    events.emit(Event::RunStarted {
+        run_key: opts.run_key.clone(),
+        jobs: n as u64,
+        workers: workers as u64,
+        resumed: resumed.len() as u64,
+    });
+    for (i, job) in plan.jobs.iter().enumerate() {
+        if resumed.contains_key(&i) {
+            events.emit(Event::JobSkipped { job: job.id.clone() });
+        }
+    }
+
+    // ---- scheduling state --------------------------------------------
+    let mut remaining = vec![0usize; n];
+    let mut ready = VecDeque::new();
+    for (i, j) in plan.jobs.iter().enumerate() {
+        if resumed.contains_key(&i) {
+            continue;
+        }
+        remaining[i] = j
+            .deps
+            .iter()
+            .filter(|d| !resumed.contains_key(&index[d.as_str()]))
+            .count();
+        if remaining[i] == 0 {
+            ready.push_back(i);
+        }
+    }
+    let shared = Shared {
+        state: Mutex::new(SchedState {
+            ready,
+            remaining,
+            outputs: resumed,
+            executed: (0..n).map(|_| None).collect(),
+            failure: None,
+        }),
+        cond: Condvar::new(),
+    };
+    let manifest = Mutex::new(manifest);
+
+    if pending > 0 {
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    worker_loop(plan, opts, events, &shared, &manifest, &dependents)
+                });
+            }
+        });
+    }
+
+    // ---- report -------------------------------------------------------
+    let mut st = shared.state.into_inner().expect("scheduler state");
+    if let Some(err) = st.failure.take() {
+        return Err(err);
+    }
+    let mut outputs = HashMap::new();
+    let mut stats = resumed_stats;
+    for (i, job) in plan.jobs.iter().enumerate() {
+        let p = st.outputs.remove(&i).expect("completed run has every output");
+        outputs.insert(job.id.clone(), p);
+        if let Some(js) = st.executed[i].take() {
+            stats.insert(job.id.clone(), js);
+        }
+    }
+    let cpu_seconds: f64 = stats.values().map(|s| s.cpu_seconds).sum();
+    let skipped = stats.values().filter(|s| s.skipped).count() as u64;
+    let completed = n as u64 - skipped;
+    let report = RunReport {
+        outputs,
+        stats,
+        wall_seconds: wall_start.elapsed().as_secs_f64(),
+        cpu_seconds,
+        completed,
+        skipped,
+    };
+    events.emit(Event::RunFinished {
+        wall_seconds: report.wall_seconds,
+        cpu_seconds: report.cpu_seconds,
+        completed,
+        skipped,
+    });
+    Ok(report)
+}
+
+/// One worker: pull ready jobs until the run completes or hard-fails.
+fn worker_loop<P>(
+    plan: &Plan<'_, P>,
+    opts: &RunOptions,
+    events: &EventLog,
+    shared: &Shared<P>,
+    manifest: &Mutex<Manifest>,
+    dependents: &[Vec<usize>],
+) where
+    P: Serialize + Deserialize + Send + Sync,
+{
+    let index: HashMap<&str, usize> = plan
+        .jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| (j.id.as_str(), i))
+        .collect();
+    loop {
+        // Claim a ready job (or leave: run finished / failed).
+        let job_idx = {
+            let mut st = shared.state.lock().expect("scheduler state");
+            loop {
+                if st.failure.is_some() || st.outputs.len() == plan.jobs.len() {
+                    return;
+                }
+                if let Some(i) = st.ready.pop_front() {
+                    break i;
+                }
+                st = shared.cond.wait(st).expect("scheduler state");
+            }
+        };
+        let job = &plan.jobs[job_idx];
+
+        // Snapshot dependency outputs (Arc clones; cheap).
+        let deps: HashMap<String, Arc<P>> = {
+            let st = shared.state.lock().expect("scheduler state");
+            job.deps
+                .iter()
+                .map(|d| (d.clone(), Arc::clone(&st.outputs[&index[d.as_str()]])))
+                .collect()
+        };
+
+        let (outcome, wall, cpu) = measure(|| execute_with_retry(job_idx, plan, opts, events, deps));
+        match outcome {
+            Ok((payload, attempts)) => {
+                // Persist *before* publishing: the manifest only ever
+                // references payloads that are fully on disk.
+                if let Some(dir) = &opts.checkpoint_dir {
+                    if let Err(err) =
+                        persist(dir, manifest, &job.id, &payload, attempts, wall, cpu)
+                    {
+                        fail_run(shared, err);
+                        return;
+                    }
+                }
+                events.emit(Event::JobFinished {
+                    job: job.id.clone(),
+                    attempts,
+                    wall_seconds: wall,
+                    cpu_seconds: cpu,
+                });
+                let mut st = shared.state.lock().expect("scheduler state");
+                st.outputs.insert(job_idx, Arc::new(payload));
+                st.executed[job_idx] = Some(JobStats {
+                    attempts,
+                    wall_seconds: wall,
+                    cpu_seconds: cpu,
+                    skipped: false,
+                });
+                for &k in &dependents[job_idx] {
+                    st.remaining[k] -= 1;
+                    if st.remaining[k] == 0 {
+                        st.ready.push_back(k);
+                    }
+                }
+                shared.cond.notify_all();
+            }
+            Err((error, attempts)) => {
+                events.emit(Event::JobFailed {
+                    job: job.id.clone(),
+                    attempts,
+                    error: error.clone(),
+                });
+                fail_run(
+                    shared,
+                    OrchestratorError::JobFailed {
+                        job: job.id.clone(),
+                        attempts,
+                        error,
+                    },
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Runs one job with fault injection, panic isolation, and bounded
+/// retry/backoff. Returns `(payload, attempts)` or `(error, attempts)`.
+fn execute_with_retry<P>(
+    job_idx: usize,
+    plan: &Plan<'_, P>,
+    opts: &RunOptions,
+    events: &EventLog,
+    deps: HashMap<String, Arc<P>>,
+) -> Result<(P, u32), (String, u32)>
+where
+    P: Send + Sync,
+{
+    let job = &plan.jobs[job_idx];
+    let mut inputs = JobInputs { deps, attempt: 0 };
+    let mut attempt = 0u32;
+    loop {
+        inputs.attempt = attempt;
+        events.emit(Event::JobStarted {
+            job: job.id.clone(),
+            attempt,
+        });
+        let injected = opts.fault.as_ref().and_then(|f| f(&job.id, attempt));
+        let result: Result<P, String> = match injected {
+            Some(msg) => Err(msg),
+            None => match catch_unwind(AssertUnwindSafe(|| (job.run)(&inputs))) {
+                Ok(r) => r,
+                // `&*panic`, not `&panic`: a `&Box<dyn Any>` would itself
+                // coerce to `&dyn Any` and the downcast would miss.
+                Err(panic) => Err(format!("panic: {}", panic_message(&*panic))),
+            },
+        };
+        match result {
+            Ok(p) => return Ok((p, attempt + 1)),
+            Err(e) if attempt < opts.max_retries => {
+                let backoff = backoff_for(opts.backoff, attempt);
+                events.emit(Event::JobRetried {
+                    job: job.id.clone(),
+                    attempt,
+                    error: e,
+                    backoff_ms: backoff.as_millis() as u64,
+                });
+                std::thread::sleep(backoff);
+                attempt += 1;
+            }
+            Err(e) => return Err((e, attempt + 1)),
+        }
+    }
+}
+
+/// Exponential backoff, doubling per retry and capped at 2 s.
+fn backoff_for(base: Duration, attempt: u32) -> Duration {
+    base.saturating_mul(1u32 << attempt.min(6)).min(Duration::from_secs(2))
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// Records the first hard failure and wakes every worker so the run winds
+/// down (pending jobs are cancelled; running jobs finish and persist).
+fn fail_run<P>(shared: &Shared<P>, err: OrchestratorError) {
+    let mut st = shared.state.lock().expect("scheduler state");
+    if st.failure.is_none() {
+        st.failure = Some(err);
+    }
+    shared.cond.notify_all();
+}
+
+/// Serializes a payload, writes it atomically, and re-persists the
+/// manifest referencing it.
+fn persist<P: Serialize>(
+    dir: &Path,
+    manifest: &Mutex<Manifest>,
+    id: &str,
+    payload: &P,
+    attempts: u32,
+    wall_seconds: f64,
+    cpu_seconds: f64,
+) -> Result<(), OrchestratorError> {
+    let text = serde_json::to_string(payload).map_err(|e| OrchestratorError::Codec {
+        job: id.to_string(),
+        message: e.to_string(),
+    })?;
+    let file = Manifest::payload_file(id);
+    let path = dir.join(&file);
+    atomic_write(&path, text.as_bytes()).map_err(|e| OrchestratorError::Io {
+        path,
+        message: e.to_string(),
+    })?;
+    let mut m = manifest.lock().expect("manifest lock");
+    m.record(ManifestEntry {
+        id: id.to_string(),
+        file,
+        digest: fnv1a64(text.as_bytes()),
+        attempts,
+        wall_seconds,
+        cpu_seconds,
+    });
+    m.store(dir).map_err(|e| OrchestratorError::Io {
+        path: Manifest::path(dir),
+        message: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_spec_parses_and_fires() {
+        let hook = fault_from_spec("chunk-1:2").unwrap();
+        assert!(hook("chunk-1", 0).is_some());
+        assert!(hook("chunk-1", 1).is_some());
+        assert!(hook("chunk-1", 2).is_none());
+        assert!(hook("chunk-2", 0).is_none());
+        assert!(fault_from_spec("no-count").is_none());
+        assert!(fault_from_spec("job:x").is_none());
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let b = Duration::from_millis(50);
+        assert_eq!(backoff_for(b, 0), Duration::from_millis(50));
+        assert_eq!(backoff_for(b, 1), Duration::from_millis(100));
+        assert_eq!(backoff_for(b, 3), Duration::from_millis(400));
+        assert_eq!(backoff_for(b, 30), Duration::from_secs(2), "capped");
+    }
+}

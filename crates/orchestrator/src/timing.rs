@@ -1,0 +1,55 @@
+//! Wall/CPU time measurement for job accounting.
+//!
+//! The paper's Fig. 4 cost axis is *total CPU hours*: machines run chunks
+//! simultaneously, so wall time underestimates training cost. Per-thread
+//! CPU time is the honest measure on an oversubscribed host.
+
+use std::time::Instant;
+
+/// CPU seconds consumed by the *calling thread* so far (Linux:
+/// utime+stime from `/proc/thread-self/stat`). Falls back to `None` when
+/// the proc file is unavailable (non-Linux), in which case callers use
+/// wall time.
+pub fn thread_cpu_seconds() -> Option<f64> {
+    let stat = std::fs::read_to_string("/proc/thread-self/stat").ok()?;
+    // Fields after the parenthesized comm: utime is field 14, stime 15
+    // (1-based over the whole line).
+    let rest = stat.rsplit_once(')')?.1;
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    let utime: f64 = fields.get(11)?.parse().ok()?;
+    let stime: f64 = fields.get(12)?.parse().ok()?;
+    Some((utime + stime) / 100.0) // CLK_TCK = 100 on Linux
+}
+
+/// Measures `f`, returning `(result, wall_seconds, cpu_seconds)` where
+/// `cpu_seconds` prefers thread CPU time and falls back to wall time.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, f64, f64) {
+    let wall = Instant::now();
+    let cpu0 = thread_cpu_seconds();
+    let out = f();
+    let wall_secs = wall.elapsed().as_secs_f64();
+    let cpu_secs = match (cpu0, thread_cpu_seconds()) {
+        (Some(a), Some(b)) if b >= a => b - a,
+        _ => wall_secs,
+    };
+    (out, wall_secs, cpu_secs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_result_and_nonnegative_times() {
+        let (v, wall, cpu) = measure(|| (0..1000u64).sum::<u64>());
+        assert_eq!(v, 499_500);
+        assert!(wall >= 0.0 && cpu >= 0.0);
+    }
+
+    #[test]
+    fn thread_cpu_time_is_monotonic_when_available() {
+        if let (Some(a), Some(b)) = (thread_cpu_seconds(), thread_cpu_seconds()) {
+            assert!(b >= a);
+        }
+    }
+}

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 gate: release build, root test suite, bench compile check.
+# Tier-1 gate: release build, root test suite, bench compile check, and an
+# orchestrator fault-injection smoke test through the CLI.
 # Run from anywhere; operates on the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -7,3 +8,27 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo bench -p bench --no-run
+
+# Orchestrator smoke: inject one training-job fault through the CLI's
+# NETSHARE_INJECT_FAULT hook. The run must retry the job and complete
+# (exit 0), the retry must land in the JSONL event stream, and the output
+# must be byte-identical to a fault-free run with the same seed.
+smoke="$(mktemp -d)"
+trap 'rm -rf "$smoke"' EXIT
+{
+  echo "start_ms,duration_ms,src_ip,dst_ip,src_port,dst_port,proto,packets,bytes,label,attack_type"
+  awk 'BEGIN { for (i = 0; i < 240; i++)
+    printf "%d.000,%d.000,10.0.%d.%d,192.168.%d.%d,%d,%d,%d,%d,%d,,\n",
+      i * 25, 10 + i % 40, i % 4, 1 + i % 200, i % 8, 1 + (i * 7) % 200,
+      1024 + (i * 13) % 40000, (i % 2) ? 443 : 80, (i % 3) ? 6 : 17,
+      1 + i % 9, 400 + (i * 37) % 9000 }'
+} > "$smoke/real.csv"
+
+cli=target/release/netshare_cli
+"$cli" synth-flows "$smoke/real.csv" "$smoke/plain.csv" \
+  --chunks 2 --steps 20 --seed 7
+NETSHARE_INJECT_FAULT="chunk-1:1" "$cli" synth-flows "$smoke/real.csv" "$smoke/faulted.csv" \
+  --chunks 2 --steps 20 --seed 7 --ckpt-dir "$smoke/run" --workers 2
+cmp "$smoke/plain.csv" "$smoke/faulted.csv"
+grep -q '"JobRetried"' "$smoke/run/events.jsonl"
+echo "orchestrator smoke: fault retried, output identical"

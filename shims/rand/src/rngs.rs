@@ -22,6 +22,20 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+impl StdRng {
+    /// The raw xoshiro256++ state, for checkpointing a generator
+    /// mid-stream (resume must continue the *same* sample sequence).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from state captured by [`StdRng::state`]. The
+    /// resulting stream continues exactly where the original left off.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        StdRng { s }
+    }
+}
+
 impl SeedableRng for StdRng {
     fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;
