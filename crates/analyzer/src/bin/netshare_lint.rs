@@ -1,0 +1,156 @@
+//! `netshare-lint` CLI.
+//!
+//! ```text
+//! netshare-lint [--root DIR] [--format text|json] [--fix-dry-run]
+//!               [--deny RULE] [--warn RULE] [--allow RULE] [--list-rules]
+//!               [--file PATH [--as-crate NAME] [--as-role ROLE]]
+//! ```
+//!
+//! Exit codes: 0 clean (or warnings only), 1 deny-level findings,
+//! 2 usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use analyzer::config::{Config, Role, RuleId, Severity};
+use analyzer::report::Report;
+
+struct Args {
+    root: PathBuf,
+    format: Format,
+    fix_dry_run: bool,
+    list_rules: bool,
+    file: Option<PathBuf>,
+    as_crate: Option<String>,
+    as_role: Option<Role>,
+    overrides: Vec<(RuleId, Severity)>,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn usage() -> String {
+    let mut s = String::from(
+        "usage: netshare-lint [--root DIR] [--format text|json] [--fix-dry-run]\n\
+         \x20                    [--deny RULE] [--warn RULE] [--allow RULE] [--list-rules]\n\
+         \x20                    [--file PATH [--as-crate NAME] [--as-role lib|bin|test|bench]]\n\
+         rules:\n",
+    );
+    for r in RuleId::ALL {
+        s.push_str(&format!("  {:28} {}\n", r.name(), r.describe()));
+    }
+    s
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        format: Format::Text,
+        fix_dry_run: false,
+        list_rules: false,
+        file: None,
+        as_crate: None,
+        as_role: None,
+        overrides: Vec::new(),
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match a.as_str() {
+            "--root" => args.root = PathBuf::from(value("--root")?),
+            "--format" => {
+                args.format = match value("--format")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`")),
+                }
+            }
+            "--fix-dry-run" => args.fix_dry_run = true,
+            "--list-rules" => args.list_rules = true,
+            "--file" => args.file = Some(PathBuf::from(value("--file")?)),
+            "--as-crate" => args.as_crate = Some(value("--as-crate")?),
+            "--as-role" => {
+                args.as_role = Some(match value("--as-role")?.as_str() {
+                    "lib" => Role::Lib,
+                    "bin" => Role::Bin,
+                    "test" => Role::Test,
+                    "bench" => Role::Bench,
+                    other => return Err(format!("unknown role `{other}`")),
+                })
+            }
+            sev @ ("--deny" | "--warn" | "--allow") => {
+                let name = value(sev)?;
+                let rule = RuleId::parse(&name)
+                    .ok_or_else(|| format!("unknown rule `{name}`"))?;
+                let severity = match sev {
+                    "--deny" => Severity::Deny,
+                    "--warn" => Severity::Warn,
+                    _ => Severity::Allow,
+                };
+                args.overrides.push((rule, severity));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("netshare-lint: {msg}");
+            }
+            eprint!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        print!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+
+    let mut cfg = Config::default();
+    for (rule, sev) in &args.overrides {
+        cfg.severities.insert(*rule, *sev);
+    }
+
+    let report = match &args.file {
+        Some(path) => analyzer::lint_one_file(
+            &args.root,
+            path,
+            &cfg,
+            args.as_crate.as_deref(),
+            args.as_role,
+        )
+        .map(|diagnostics| Report { diagnostics, files_checked: 1 }),
+        None => analyzer::run_workspace(&args.root, &cfg),
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("netshare-lint: io error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.fix_dry_run {
+        print!("{}", report.to_fix_dry_run());
+    } else if args.format == Format::Json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_text());
+    }
+    ExitCode::from(report.exit_code() as u8)
+}

@@ -1,0 +1,286 @@
+//! Rule catalogue, severities, and file classification.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// The six shipped rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// `HashMap`/`HashSet` in determinism-critical crates: unordered
+    /// iteration feeding training or serialization breaks bitwise seed
+    /// determinism. Use `BTreeMap`/`BTreeSet` or an explicit sort.
+    NondeterministicIteration,
+    /// Ambient entropy/clocks (`thread_rng`, `rand::random`,
+    /// `SystemTime::now`, `Instant::now`) outside `orchestrator::timing`
+    /// and benches.
+    AmbientEntropy,
+    /// Files tagged `lint: dp-post-noise` must not touch per-example
+    /// gradient accessors — only DP-SGD's sanitize boundary may.
+    DpBoundary,
+    /// `==`/`!=` against float literals in metrics/training code.
+    FloatEq,
+    /// `unsafe` without a preceding `// SAFETY:` comment.
+    UndocumentedUnsafe,
+    /// `unwrap`/`expect`/`panic!` in library code (tests/bins exempt).
+    PanicInLib,
+}
+
+impl RuleId {
+    /// Every rule, in catalogue order.
+    pub const ALL: [RuleId; 6] = [
+        RuleId::NondeterministicIteration,
+        RuleId::AmbientEntropy,
+        RuleId::DpBoundary,
+        RuleId::FloatEq,
+        RuleId::UndocumentedUnsafe,
+        RuleId::PanicInLib,
+    ];
+
+    /// The kebab-case name used in diagnostics, waivers, and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::NondeterministicIteration => "nondeterministic-iteration",
+            RuleId::AmbientEntropy => "ambient-entropy",
+            RuleId::DpBoundary => "dp-boundary",
+            RuleId::FloatEq => "float-eq",
+            RuleId::UndocumentedUnsafe => "undocumented-unsafe",
+            RuleId::PanicInLib => "panic-in-lib",
+        }
+    }
+
+    /// Parses a rule name as written in waivers/CLI flags.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        RuleId::ALL.iter().copied().find(|r| r.name() == s.trim())
+    }
+
+    /// One-line description for `--list-rules`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            RuleId::NondeterministicIteration => {
+                "HashMap/HashSet in determinism-critical crates (use BTreeMap/BTreeSet or sort)"
+            }
+            RuleId::AmbientEntropy => {
+                "thread_rng/rand::random/SystemTime::now/Instant::now outside orchestrator::timing and benches"
+            }
+            RuleId::DpBoundary => {
+                "per-example gradient accessors in files tagged `lint: dp-post-noise`"
+            }
+            RuleId::FloatEq => "== / != against float literals in metrics/training code",
+            RuleId::UndocumentedUnsafe => "`unsafe` without a preceding `// SAFETY:` comment",
+            RuleId::PanicInLib => "unwrap/expect/panic! in library code (tests/bins exempt)",
+        }
+    }
+}
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Rule disabled.
+    Allow,
+    /// Reported but does not affect the exit code.
+    Warn,
+    /// Reported and fails the run.
+    Deny,
+}
+
+impl Severity {
+    /// Name as printed and accepted on the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+/// What kind of target a file belongs to. Derived from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Library code — the full rule set applies.
+    Lib,
+    /// Binary target (`src/bin/`, `src/main.rs`).
+    Bin,
+    /// Integration or unit test file (`tests/`).
+    Test,
+    /// Benchmark (`benches/`).
+    Bench,
+    /// Example (`examples/`).
+    Example,
+    /// `build.rs`.
+    Build,
+}
+
+/// Per-file lint context.
+#[derive(Debug, Clone)]
+pub struct FileMeta {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    /// Crate directory name (`core`, `nnet`, `rand` for shims, …).
+    pub crate_name: String,
+    /// Target role.
+    pub role: Role,
+    /// True for `shims/*` — vendored stand-ins for external crates, exempt
+    /// from product-code rules (but not from unsafe hygiene).
+    pub is_shim: bool,
+}
+
+/// The lint configuration. Programmatic with CLI overrides; defaults
+/// encode this workspace's invariants.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Crate dir names where `HashMap`/`HashSet` are banned.
+    pub determinism_crates: Vec<String>,
+    /// Crate dir names where float `==`/`!=` is checked.
+    pub float_eq_crates: Vec<String>,
+    /// Path prefixes (workspace-relative) exempt from `ambient-entropy`.
+    pub entropy_whitelist: Vec<String>,
+    /// Identifiers banned in `dp-post-noise`-tagged files.
+    pub dp_banned: Vec<String>,
+    /// Marker that tags a file as a post-noise consumer.
+    pub dp_marker: String,
+    /// Path prefixes skipped entirely (intentionally-violating fixtures).
+    pub exempt_paths: Vec<String>,
+    /// Per-rule severity.
+    pub severities: BTreeMap<RuleId, Severity>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let mut severities = BTreeMap::new();
+        for r in RuleId::ALL {
+            severities.insert(r, Severity::Deny);
+        }
+        Config {
+            determinism_crates: [
+                "nnet",
+                "doppelganger",
+                "core",
+                "orchestrator",
+                "fieldcodec",
+                "nettrace",
+                "sketch",
+            ]
+            .map(String::from)
+            .to_vec(),
+            float_eq_crates: [
+                "nnet",
+                "doppelganger",
+                "core",
+                "distmetrics",
+                "mlkit",
+                "baselines",
+                "privacy",
+            ]
+            .map(String::from)
+            .to_vec(),
+            entropy_whitelist: [
+                "crates/orchestrator/src/timing.rs",
+                "crates/bench/",
+                "shims/",
+            ]
+            .map(String::from)
+            .to_vec(),
+            dp_banned: ["flat_gradients", "set_flat_gradients", "gradients_mut"]
+                .map(String::from)
+                .to_vec(),
+            dp_marker: "lint: dp-post-noise".to_string(),
+            exempt_paths: ["crates/analyzer/tests/fixtures/"].map(String::from).to_vec(),
+            severities,
+        }
+    }
+}
+
+impl Config {
+    /// Effective severity of a rule.
+    pub fn severity(&self, rule: RuleId) -> Severity {
+        self.severities.get(&rule).copied().unwrap_or(Severity::Deny)
+    }
+
+    /// True when `rel_path` is under a fully-exempt prefix.
+    pub fn is_exempt(&self, rel_path: &str) -> bool {
+        self.exempt_paths.iter().any(|p| rel_path.starts_with(p))
+    }
+}
+
+/// Classifies a workspace-relative path into its crate and role.
+pub fn classify(rel_path: &str) -> FileMeta {
+    let norm = rel_path.replace('\\', "/");
+    let parts: Vec<&str> = norm.split('/').collect();
+    let (crate_name, is_shim) = match parts.as_slice() {
+        ["crates", name, ..] => ((*name).to_string(), false),
+        ["shims", name, ..] => ((*name).to_string(), true),
+        _ => ("netshare-suite".to_string(), false),
+    };
+    let file = parts.last().copied().unwrap_or("");
+    let role = if file == "build.rs" {
+        Role::Build
+    } else if parts.contains(&"benches") {
+        Role::Bench
+    } else if parts.contains(&"examples") {
+        Role::Example
+    } else if parts.contains(&"tests") {
+        Role::Test
+    } else if parts.contains(&"bin") || file == "main.rs" {
+        Role::Bin
+    } else {
+        Role::Lib
+    };
+    FileMeta {
+        rel_path: norm,
+        crate_name,
+        role,
+        is_shim,
+    }
+}
+
+/// Converts a path under `root` to the workspace-relative form used in
+/// diagnostics and configuration matching.
+pub fn relative_to(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_the_workspace_layout() {
+        let m = classify("crates/nnet/src/kernel.rs");
+        assert_eq!(m.crate_name, "nnet");
+        assert_eq!(m.role, Role::Lib);
+        assert!(!m.is_shim);
+
+        assert_eq!(classify("crates/core/src/bin/netshare_cli.rs").role, Role::Bin);
+        assert_eq!(classify("crates/nnet/tests/gradcheck.rs").role, Role::Test);
+        assert_eq!(classify("crates/bench/benches/training_cost.rs").role, Role::Bench);
+        assert_eq!(classify("examples/quickstart.rs").role, Role::Example);
+        assert_eq!(classify("tests/pipeline_integration.rs").role, Role::Test);
+        assert_eq!(classify("src/lib.rs").crate_name, "netshare-suite");
+
+        let shim = classify("shims/rand/src/lib.rs");
+        assert!(shim.is_shim);
+        assert_eq!(shim.crate_name, "rand");
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for r in RuleId::ALL {
+            assert_eq!(RuleId::parse(r.name()), Some(r));
+        }
+        assert_eq!(RuleId::parse("no-such-rule"), None);
+    }
+
+    #[test]
+    fn default_config_denies_everything() {
+        let cfg = Config::default();
+        for r in RuleId::ALL {
+            assert_eq!(cfg.severity(r), Severity::Deny);
+        }
+        assert!(cfg.is_exempt("crates/analyzer/tests/fixtures/panic_in_lib.rs"));
+        assert!(!cfg.is_exempt("crates/analyzer/src/lib.rs"));
+    }
+}

@@ -1,0 +1,596 @@
+//! The lint engine: runs the rule set over one lexed file.
+//!
+//! All rules are token-stream rules — no type information exists at this
+//! layer, so each rule is a conservative lexical proxy for the semantic
+//! invariant it guards (documented per rule). Waivers exist precisely
+//! because a proxy sometimes flags intentional code; every waiver carries
+//! a reason that survives into the JSON report.
+
+use crate::config::{Config, FileMeta, Role, RuleId, Severity};
+use crate::lexer::{lex, Lexed, Tok, TokKind};
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Effective severity (config defaults + CLI overrides).
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// Mechanical rewrite for `--fix-dry-run`, when one exists.
+    pub suggestion: Option<String>,
+    /// True when an inline waiver covers this line; waived findings are
+    /// reported but never fail the run.
+    pub waived: bool,
+    /// The waiver reason, when waived.
+    pub waiver_reason: Option<String>,
+}
+
+/// A parsed `// lint: allow(<rule>) reason` waiver.
+#[derive(Debug, Clone)]
+struct Waiver {
+    rule: RuleId,
+    /// The code line this waiver covers.
+    covers: u32,
+    reason: String,
+}
+
+/// Lints one file's source text.
+pub fn lint_source(meta: &FileMeta, cfg: &Config, src: &str) -> Vec<Diagnostic> {
+    if cfg.is_exempt(&meta.rel_path) {
+        return Vec::new();
+    }
+    let lexed = lex(src);
+    let lines: Vec<&str> = src.lines().collect();
+    let waivers = parse_waivers(&lexed);
+    let test_regions = test_regions(&lexed.toks);
+    let dp_tagged = lexed.comments.iter().any(|c| c.text.contains(&cfg.dp_marker));
+
+    let mut out = Vec::new();
+    let ctx = Ctx {
+        meta,
+        cfg,
+        toks: &lexed.toks,
+        lines: &lines,
+        test_regions: &test_regions,
+        dp_tagged,
+    };
+    rule_nondeterministic_iteration(&ctx, &mut out);
+    rule_ambient_entropy(&ctx, &mut out);
+    rule_dp_boundary(&ctx, &mut out);
+    rule_float_eq(&ctx, &mut out);
+    rule_undocumented_unsafe(&ctx, &lexed, &mut out);
+    rule_panic_in_lib(&ctx, &mut out);
+
+    for d in &mut out {
+        if let Some(w) = waivers.iter().find(|w| w.rule == d.rule && w.covers == d.line) {
+            d.waived = true;
+            d.waiver_reason = Some(w.reason.clone());
+        }
+    }
+    out.retain(|d| d.severity != Severity::Allow);
+    out.sort_by_key(|d| (d.line, d.rule));
+    out
+}
+
+struct Ctx<'a> {
+    meta: &'a FileMeta,
+    cfg: &'a Config,
+    toks: &'a [Tok],
+    lines: &'a [&'a str],
+    test_regions: &'a [(u32, u32)],
+    dp_tagged: bool,
+}
+
+impl Ctx<'_> {
+    fn in_test_region(&self, line: u32) -> bool {
+        self.test_regions.iter().any(|&(a, b)| line >= a && line <= b)
+    }
+
+    fn snippet(&self, line: u32) -> String {
+        self.lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+
+    fn emit(
+        &self,
+        out: &mut Vec<Diagnostic>,
+        rule: RuleId,
+        line: u32,
+        message: String,
+        suggestion: Option<String>,
+    ) {
+        out.push(Diagnostic {
+            rule,
+            severity: self.cfg.severity(rule),
+            file: self.meta.rel_path.clone(),
+            line,
+            message,
+            snippet: self.snippet(line),
+            suggestion,
+            waived: false,
+            waiver_reason: None,
+        });
+    }
+
+    /// True when lib-only rules skip this file outright.
+    fn is_test_like(&self) -> bool {
+        matches!(self.meta.role, Role::Test | Role::Bench | Role::Example)
+    }
+}
+
+/// Extracts waivers from comments. A trailing waiver covers its own line;
+/// a standalone waiver covers the next line that holds a code token.
+fn parse_waivers(lexed: &Lexed) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        let Some(idx) = c.text.find("lint: allow(") else {
+            continue;
+        };
+        let rest = &c.text[idx + "lint: allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        let Some(rule) = RuleId::parse(&rest[..close]) else {
+            continue;
+        };
+        let reason = rest[close + 1..].trim().to_string();
+        let covers = if c.trailing {
+            c.line
+        } else {
+            next_code_line(lexed, c.end_line).unwrap_or(c.end_line + 1)
+        };
+        out.push(Waiver { rule, covers, reason });
+    }
+    out
+}
+
+fn next_code_line(lexed: &Lexed, after: u32) -> Option<u32> {
+    lexed.toks.iter().map(|t| t.line).find(|&l| l > after)
+}
+
+/// Computes `(start_line, end_line)` spans of `#[cfg(test)]` items and
+/// `#[test]` functions by brace matching from the attribute.
+fn test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let span = match_attr(toks, i, &["cfg", "(", "test", ")"])
+            .or_else(|| match_attr(toks, i, &["test"]));
+        if let Some(after) = span {
+            if let Some((start, end)) = brace_span(toks, after) {
+                out.push((toks[i].line, end));
+                let _ = start;
+            }
+            i = after;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Matches `#[ <body…> ]` starting at `i`; returns the index just past `]`.
+fn match_attr(toks: &[Tok], i: usize, body: &[&str]) -> Option<usize> {
+    if toks.get(i)?.text != "#" || toks.get(i + 1)?.text != "[" {
+        return None;
+    }
+    for (k, want) in body.iter().enumerate() {
+        if toks.get(i + 2 + k)?.text != *want {
+            return None;
+        }
+    }
+    if toks.get(i + 2 + body.len())?.text != "]" {
+        return None;
+    }
+    Some(i + 3 + body.len())
+}
+
+/// From `from`, finds the first `{` and returns `(open_line, close_line)`
+/// of its matching brace (EOF-tolerant: unclosed braces span to the last
+/// token).
+fn brace_span(toks: &[Tok], from: usize) -> Option<(u32, u32)> {
+    let open = toks[from..].iter().position(|t| t.text == "{")? + from;
+    let mut depth = 0i64;
+    for t in &toks[open..] {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((toks[open].line, t.line));
+                }
+            }
+            _ => {}
+        }
+    }
+    Some((toks[open].line, toks.last().map_or(0, |t| t.line)))
+}
+
+/// Rule 1 — `nondeterministic-iteration`.
+///
+/// Lexical proxy: any `HashMap`/`HashSet` identifier in a
+/// determinism-critical crate's non-test code. Iteration order of std
+/// hash maps is randomized per process, so any use that feeds training,
+/// serialization, or output ordering breaks bitwise seed determinism;
+/// the conservative stance is that these crates use `BTreeMap`/`BTreeSet`
+/// (or sort explicitly and waive).
+fn rule_nondeterministic_iteration(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
+    if ctx.meta.is_shim
+        || ctx.is_test_like()
+        || !ctx.cfg.determinism_crates.contains(&ctx.meta.crate_name)
+    {
+        return;
+    }
+    for t in ctx.toks {
+        if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        if ctx.in_test_region(t.line) {
+            continue;
+        }
+        let ordered = if t.text == "HashMap" { "BTreeMap" } else { "BTreeSet" };
+        let fixed = ctx
+            .snippet(t.line)
+            .replace("HashMap", "BTreeMap")
+            .replace("HashSet", "BTreeSet");
+        ctx.emit(
+            out,
+            RuleId::NondeterministicIteration,
+            t.line,
+            format!(
+                "`{}` in determinism-critical crate `{}`: iteration order is \
+                 process-random; use `{}` or sort before iterating",
+                t.text, ctx.meta.crate_name, ordered
+            ),
+            Some(fixed),
+        );
+    }
+}
+
+/// Rule 2 — `ambient-entropy`.
+///
+/// Flags `thread_rng`, `rand::random`, `SystemTime::now`, `Instant::now`
+/// outside the whitelisted paths. Ambient entropy and wall clocks are the
+/// two ways identical seeds diverge across runs/hosts; all randomness must
+/// flow from seeded RNGs and all timing through `orchestrator::timing`.
+fn rule_ambient_entropy(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
+    if ctx
+        .cfg
+        .entropy_whitelist
+        .iter()
+        .any(|p| ctx.meta.rel_path.starts_with(p))
+        || ctx.meta.role == Role::Bench
+    {
+        return;
+    }
+    let toks = ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let offense = match t.text.as_str() {
+            "thread_rng" => Some("`thread_rng()` seeds from the OS"),
+            "random" if path_prefix_is(toks, i, "rand") => {
+                Some("`rand::random()` seeds from the OS")
+            }
+            "SystemTime" if calls_assoc(toks, i, "now") => {
+                Some("`SystemTime::now()` reads the wall clock")
+            }
+            "Instant" if calls_assoc(toks, i, "now") => {
+                Some("`Instant::now()` reads the monotonic clock")
+            }
+            _ => None,
+        };
+        if let Some(why) = offense {
+            ctx.emit(
+                out,
+                RuleId::AmbientEntropy,
+                t.line,
+                format!(
+                    "{why}; route randomness through seeded RNGs and timing \
+                     through `orchestrator::timing`"
+                ),
+                None,
+            );
+        }
+    }
+}
+
+/// True when token `i` is preceded by `<prefix> ::`.
+fn path_prefix_is(toks: &[Tok], i: usize, prefix: &str) -> bool {
+    i >= 2 && toks[i - 1].text == "::" && toks[i - 2].text == prefix
+}
+
+/// True when token `i` is followed by `:: <method>`.
+fn calls_assoc(toks: &[Tok], i: usize, method: &str) -> bool {
+    toks.get(i + 1).is_some_and(|t| t.text == "::")
+        && toks.get(i + 2).is_some_and(|t| t.text == method)
+}
+
+/// Rule 3 — `dp-boundary`.
+///
+/// A file tagged `lint: dp-post-noise` consumes gradients *after*
+/// DP-SGD's clip-and-noise step; touching per-example accessors there
+/// would read raw (un-noised) gradients and silently void the privacy
+/// accounting. Only the sanitize boundary (`dpsgd.rs`, untagged) may.
+fn rule_dp_boundary(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
+    if !ctx.dp_tagged {
+        return;
+    }
+    for t in ctx.toks {
+        if t.kind == TokKind::Ident && ctx.cfg.dp_banned.contains(&t.text) {
+            if ctx.in_test_region(t.line) {
+                continue;
+            }
+            ctx.emit(
+                out,
+                RuleId::DpBoundary,
+                t.line,
+                format!(
+                    "`{}` in a `dp-post-noise` file: raw per-example gradients \
+                     must not be read past the noise boundary (see \
+                     `DpSgdTrainer::sanitize_batch`)",
+                    t.text
+                ),
+                None,
+            );
+        }
+    }
+}
+
+/// Rule 4 — `float-eq`.
+///
+/// Lexical proxy: `==`/`!=` with a float literal on either side, in
+/// metrics/training crates. Exact float equality is almost always a
+/// rounding-sensitive bug; compare against a tolerance. Intentional
+/// bitwise checks (zero-skip fast paths, golden tests) take a waiver.
+fn rule_float_eq(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
+    if ctx.meta.is_shim
+        || ctx.is_test_like()
+        || !ctx.cfg.float_eq_crates.contains(&ctx.meta.crate_name)
+    {
+        return;
+    }
+    let toks = ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Punct || (t.text != "==" && t.text != "!=") {
+            continue;
+        }
+        let float_adjacent = [i.checked_sub(1), Some(i + 1)]
+            .into_iter()
+            .flatten()
+            .filter_map(|j| toks.get(j))
+            .any(|n| n.kind == TokKind::Float);
+        if !float_adjacent || ctx.in_test_region(t.line) {
+            continue;
+        }
+        ctx.emit(
+            out,
+            RuleId::FloatEq,
+            t.line,
+            format!(
+                "`{}` against a float literal: exact float comparison is \
+                 rounding-sensitive; compare with a tolerance (or waive for \
+                 intentional bitwise checks)",
+                t.text
+            ),
+            Some("(a - b).abs() <= EPS".to_string()),
+        );
+    }
+}
+
+/// Rule 5 — `undocumented-unsafe`.
+///
+/// Every `unsafe` token needs a `// SAFETY:` comment ending at most two
+/// lines above it (or trailing on the same line). Applies everywhere,
+/// shims included: unchecked code is unchecked regardless of crate.
+fn rule_undocumented_unsafe(ctx: &Ctx, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
+    for t in ctx.toks {
+        if t.kind != TokKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        let documented = lexed.comments.iter().any(|c| {
+            c.text.starts_with("SAFETY:")
+                && c.end_line <= t.line
+                && c.end_line + 2 >= t.line
+        });
+        if !documented {
+            ctx.emit(
+                out,
+                RuleId::UndocumentedUnsafe,
+                t.line,
+                "`unsafe` without a preceding `// SAFETY:` comment stating why \
+                 the invariants hold"
+                    .to_string(),
+                None,
+            );
+        }
+    }
+}
+
+/// Rule 6 — `panic-in-lib`.
+///
+/// `.unwrap()`, `.expect(…)`, and `panic!` abort a worker thread instead
+/// of surfacing a typed error the orchestrator can retry; library crates
+/// return `Result`. Tests, benches, examples, and binaries are exempt
+/// (aborting is their error model). Plain `assert!`s are allowed — they
+/// state invariants, not error handling.
+fn rule_panic_in_lib(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
+    if ctx.meta.is_shim || ctx.meta.role != Role::Lib {
+        return;
+    }
+    let toks = ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let offense = match t.text.as_str() {
+            "unwrap" | "expect" if i > 0 && toks[i - 1].text == "." => {
+                Some(format!("`.{}()` panics on the error path", t.text))
+            }
+            "panic" if toks.get(i + 1).is_some_and(|n| n.text == "!") => {
+                Some("`panic!` aborts the worker thread".to_string())
+            }
+            _ => None,
+        };
+        let Some(why) = offense else { continue };
+        if ctx.in_test_region(t.line) {
+            continue;
+        }
+        ctx.emit(
+            out,
+            RuleId::PanicInLib,
+            t.line,
+            format!("{why}; return a typed error (or waive with the invariant that makes this unreachable)"),
+            None,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::classify;
+
+    fn lint_as(path: &str, src: &str) -> Vec<Diagnostic> {
+        let meta = classify(path);
+        lint_source(&meta, &Config::default(), src)
+    }
+
+    fn rules(diags: &[Diagnostic]) -> Vec<(RuleId, u32, bool)> {
+        diags.iter().map(|d| (d.rule, d.line, d.waived)).collect()
+    }
+
+    #[test]
+    fn hashmap_flagged_only_in_critical_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(
+            rules(&lint_as("crates/core/src/x.rs", src)),
+            vec![(RuleId::NondeterministicIteration, 1, false)]
+        );
+        assert!(lint_as("crates/distmetrics/src/x.rs", src).is_empty());
+        assert!(lint_as("crates/core/tests/x.rs", src).is_empty());
+        assert!(lint_as("shims/rand/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hashmap_suggestion_is_mechanical() {
+        let d = lint_as("crates/nnet/src/x.rs", "let m: HashMap<u8, u8> = HashMap::new();\n");
+        assert_eq!(d.len(), 2);
+        assert_eq!(
+            d[0].suggestion.as_deref(),
+            Some("let m: BTreeMap<u8, u8> = BTreeMap::new();")
+        );
+    }
+
+    #[test]
+    fn ambient_entropy_respects_whitelist() {
+        let src = "let t = Instant::now();\nlet r = thread_rng();\nlet x = rand::random();\nlet w = SystemTime::now();\n";
+        let d = lint_as("crates/nnet/src/x.rs", src);
+        assert_eq!(
+            rules(&d),
+            vec![
+                (RuleId::AmbientEntropy, 1, false),
+                (RuleId::AmbientEntropy, 2, false),
+                (RuleId::AmbientEntropy, 3, false),
+                (RuleId::AmbientEntropy, 4, false),
+            ]
+        );
+        assert!(lint_as("crates/orchestrator/src/timing.rs", src).is_empty());
+        assert!(lint_as("crates/bench/benches/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn plain_random_ident_is_not_ambient_entropy() {
+        assert!(lint_as("crates/nnet/src/x.rs", "fn random(seed: u64) {}\nlet x = random(3);\n").is_empty());
+    }
+
+    #[test]
+    fn dp_boundary_requires_the_tag() {
+        let tagged = "// lint: dp-post-noise\nlet g = model.flat_gradients();\n";
+        assert_eq!(
+            rules(&lint_as("crates/doppelganger/src/x.rs", tagged)),
+            vec![(RuleId::DpBoundary, 2, false)]
+        );
+        let untagged = "let g = model.flat_gradients();\n";
+        assert!(lint_as("crates/doppelganger/src/x.rs", untagged).is_empty());
+    }
+
+    #[test]
+    fn float_eq_needs_a_float_literal() {
+        let d = lint_as("crates/distmetrics/src/x.rs", "if x == 0.0 {}\nif n == 0 {}\nif 1e-3 != y {}\n");
+        assert_eq!(
+            rules(&d),
+            vec![(RuleId::FloatEq, 1, false), (RuleId::FloatEq, 3, false)]
+        );
+    }
+
+    #[test]
+    fn unsafe_needs_safety_comment() {
+        let bad = "fn f() { unsafe { g() } }\n";
+        assert_eq!(
+            rules(&lint_as("crates/nnet/src/x.rs", bad)),
+            vec![(RuleId::UndocumentedUnsafe, 1, false)]
+        );
+        let good = "// SAFETY: g has no invariants\nunsafe { g() }\n";
+        assert!(lint_as("crates/nnet/src/x.rs", good).is_empty());
+        let trailing = "unsafe { g() } // SAFETY: g has no invariants\n";
+        assert!(lint_as("crates/nnet/src/x.rs", trailing).is_empty());
+    }
+
+    #[test]
+    fn panic_in_lib_exempts_tests_bins_and_cfg_test() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(
+            rules(&lint_as("crates/core/src/x.rs", src)),
+            vec![(RuleId::PanicInLib, 1, false)]
+        );
+        assert!(lint_as("crates/core/src/bin/cli.rs", src).is_empty());
+        assert!(lint_as("crates/core/tests/t.rs", src).is_empty());
+
+        let with_tests = "fn f() -> u8 { 0 }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { f().checked_add(1).unwrap(); panic!(\"x\"); }\n}\n";
+        assert!(lint_as("crates/core/src/x.rs", with_tests).is_empty());
+    }
+
+    #[test]
+    fn waivers_cover_trailing_and_next_line() {
+        let trailing = "let m = HashMap::new(); // lint: allow(nondeterministic-iteration) keys sorted below\n";
+        let d = lint_as("crates/core/src/x.rs", trailing);
+        assert_eq!(rules(&d), vec![(RuleId::NondeterministicIteration, 1, true)]);
+        assert_eq!(d[0].waiver_reason.as_deref(), Some("keys sorted below"));
+
+        let standalone = "// lint: allow(panic-in-lib) config validated at startup\nfn f() { x.unwrap(); }\n";
+        assert_eq!(
+            rules(&lint_as("crates/core/src/x.rs", standalone)),
+            vec![(RuleId::PanicInLib, 2, true)]
+        );
+    }
+
+    #[test]
+    fn waiver_for_wrong_rule_does_not_cover() {
+        let src = "let m = HashMap::new(); // lint: allow(float-eq) wrong rule\n";
+        assert_eq!(
+            rules(&lint_as("crates/core/src/x.rs", src)),
+            vec![(RuleId::NondeterministicIteration, 1, false)]
+        );
+    }
+
+    #[test]
+    fn fixture_paths_are_exempt() {
+        assert!(lint_as(
+            "crates/analyzer/tests/fixtures/bad.rs",
+            "let m = HashMap::new();\n"
+        )
+        .is_empty());
+    }
+}

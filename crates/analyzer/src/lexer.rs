@@ -1,0 +1,531 @@
+//! A hand-rolled Rust lexer — just enough of the language to lint with.
+//!
+//! The workspace builds offline, so `syn`/`proc-macro2` are not available;
+//! the lint rules only need a token stream with line numbers plus the
+//! comment text that full parsers throw away (waivers and `// SAFETY:`
+//! annotations live in comments). The lexer therefore handles exactly the
+//! constructs that would otherwise corrupt a naive scan: nested block
+//! comments, raw/byte strings, char literals vs. lifetimes, and float
+//! literals vs. ranges/method calls on integers.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `unsafe`, `r#fn`).
+    Ident,
+    /// Integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `2e-3`, `4f32`).
+    Float,
+    /// String literal of any flavor (escaped, raw, byte).
+    Str,
+    /// Char or byte-char literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'static`).
+    Lifetime,
+    /// Punctuation; multi-char operators the rules care about are fused
+    /// (`==`, `!=`, `::`, `->`, `=>`, `..`).
+    Punct,
+}
+
+/// One token with its source position (1-based line).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Verbatim text (identifiers/operators; literals keep their spelling).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// One comment (line or block), with its span and placement.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line where the comment starts.
+    pub line: u32,
+    /// 1-based line where the comment ends (block comments may span).
+    pub end_line: u32,
+    /// Comment text without the `//`/`/*` framing, trimmed.
+    pub text: String,
+    /// True when code precedes the comment on its starting line.
+    pub trailing: bool,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in order; comments excluded.
+    pub toks: Vec<Tok>,
+    /// All comments in order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments. Unterminated constructs consume
+/// to end of input rather than erroring: a linter must survive any file.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek(0) {
+        let line = cur.line;
+        match c {
+            _ if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek(1) == Some('/') => {
+                let mut text = String::new();
+                while let Some(c) = cur.peek(0) {
+                    if c == '\n' {
+                        break;
+                    }
+                    text.push(c);
+                    cur.bump();
+                }
+                push_comment(&mut out, line, line, text.trim_start_matches('/'));
+            }
+            '/' if cur.peek(1) == Some('*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                let mut text = String::new();
+                while depth > 0 {
+                    match (cur.peek(0), cur.peek(1)) {
+                        (Some('/'), Some('*')) => {
+                            depth += 1;
+                            text.push_str("/*");
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some('*'), Some('/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                            if depth > 0 {
+                                text.push_str("*/");
+                            }
+                        }
+                        (Some(c), _) => {
+                            text.push(c);
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                push_comment(&mut out, line, cur.line, text.trim_start_matches('*'));
+            }
+            '"' => {
+                let text = lex_quoted(&mut cur);
+                out.toks.push(Tok { kind: TokKind::Str, text, line });
+            }
+            '\'' => lex_tick(&mut cur, &mut out, line),
+            _ if c.is_ascii_digit() => {
+                let (text, kind) = lex_number(&mut cur);
+                out.toks.push(Tok { kind, text, line });
+            }
+            _ if is_ident_start(c) => {
+                if let Some(text) = try_raw_or_byte_string(&mut cur) {
+                    out.toks.push(Tok { kind: TokKind::Str, text, line });
+                    continue;
+                }
+                if (c == 'b') && cur.peek(1) == Some('\'') {
+                    cur.bump(); // the `b`
+                    lex_tick(&mut cur, &mut out, line);
+                    continue;
+                }
+                let mut text = String::new();
+                if c == 'r' && cur.peek(1) == Some('#') && cur.peek(2).is_some_and(is_ident_start) {
+                    cur.bump();
+                    cur.bump(); // raw identifier `r#type`
+                }
+                while let Some(c) = cur.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    text.push(c);
+                    cur.bump();
+                }
+                out.toks.push(Tok { kind: TokKind::Ident, text, line });
+            }
+            _ => {
+                let text = lex_punct(&mut cur);
+                out.toks.push(Tok { kind: TokKind::Punct, text, line });
+            }
+        }
+    }
+
+    mark_trailing(&mut out);
+    out
+}
+
+fn push_comment(out: &mut Lexed, line: u32, end_line: u32, text: &str) {
+    out.comments.push(Comment {
+        line,
+        end_line,
+        text: text.trim().to_string(),
+        trailing: false, // fixed up in mark_trailing
+    });
+}
+
+/// A comment is trailing when a token starts on the same line before it.
+fn mark_trailing(out: &mut Lexed) {
+    for c in &mut out.comments {
+        c.trailing = out.toks.iter().any(|t| t.line == c.line);
+    }
+}
+
+/// Lexes a `"…"` string starting at the opening quote.
+fn lex_quoted(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    text.push('"');
+    cur.bump();
+    while let Some(c) = cur.bump() {
+        text.push(c);
+        match c {
+            '\\' => {
+                if let Some(e) = cur.bump() {
+                    text.push(e);
+                }
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+    text
+}
+
+/// Lexes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` when present; `None` when the
+/// cursor sits on an ordinary identifier.
+fn try_raw_or_byte_string(cur: &mut Cursor) -> Option<String> {
+    let c0 = cur.peek(0)?;
+    let mut idx = 1;
+    if c0 == 'b' && cur.peek(1) == Some('r') {
+        idx = 2;
+    } else if c0 != 'r' && c0 != 'b' {
+        return None;
+    }
+    let raw = c0 == 'r' || (c0 == 'b' && idx == 2);
+    let mut hashes = 0usize;
+    while cur.peek(idx + hashes) == Some('#') {
+        hashes += 1;
+    }
+    if cur.peek(idx + hashes) != Some('"') || (!raw && hashes > 0) {
+        return None;
+    }
+    if !raw && hashes == 0 && c0 == 'b' {
+        // b"…" — plain byte string; escape rules match `lex_quoted`.
+        cur.bump();
+        return Some(lex_quoted(cur));
+    }
+    if !raw {
+        return None;
+    }
+    // Raw string: consume prefix, hashes, quote; read until `"` + hashes.
+    let mut text = String::new();
+    for _ in 0..(idx + hashes + 1) {
+        if let Some(c) = cur.bump() {
+            text.push(c);
+        }
+    }
+    loop {
+        match cur.bump() {
+            None => break,
+            Some('"') => {
+                text.push('"');
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek(0) == Some('#') {
+                    text.push('#');
+                    cur.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    break;
+                }
+            }
+            Some(c) => text.push(c),
+        }
+    }
+    Some(text)
+}
+
+/// Disambiguates `'a'` (char) from `'a` (lifetime) at a `'`.
+fn lex_tick(cur: &mut Cursor, out: &mut Lexed, line: u32) {
+    let next = cur.peek(1);
+    let is_char = match next {
+        Some('\\') => true,
+        Some(c) if is_ident_continue(c) => cur.peek(2) == Some('\''),
+        Some(_) => true, // `'('`, `' '` etc. — punctuation chars
+        None => false,
+    };
+    if is_char {
+        let mut text = String::new();
+        text.push('\'');
+        cur.bump();
+        while let Some(c) = cur.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(e) = cur.bump() {
+                        text.push(e);
+                    }
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        out.toks.push(Tok { kind: TokKind::Char, text, line });
+    } else {
+        let mut text = String::from("'");
+        cur.bump();
+        while let Some(c) = cur.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            cur.bump();
+        }
+        out.toks.push(Tok { kind: TokKind::Lifetime, text, line });
+    }
+}
+
+/// Lexes a numeric literal, classifying int vs. float. `1..5` stays an
+/// int followed by a range; `1.max(2)` stays an int then a method call.
+fn lex_number(cur: &mut Cursor) -> (String, TokKind) {
+    let mut text = String::new();
+    let mut kind = TokKind::Int;
+    if cur.peek(0) == Some('0')
+        && matches!(cur.peek(1), Some('x') | Some('o') | Some('b') | Some('X'))
+    {
+        text.push(cur.bump().unwrap_or('0'));
+        text.push(cur.bump().unwrap_or('x'));
+        while let Some(c) = cur.peek(0) {
+            if c.is_ascii_hexdigit() || c == '_' {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        // Type suffix (`0xffu32`).
+        while let Some(c) = cur.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return (text, TokKind::Int);
+    }
+    while let Some(c) = cur.peek(0) {
+        if c.is_ascii_digit() || c == '_' {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    if cur.peek(0) == Some('.') {
+        match cur.peek(1) {
+            Some(c) if c.is_ascii_digit() => {
+                kind = TokKind::Float;
+                text.push('.');
+                cur.bump();
+                while let Some(c) = cur.peek(0) {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(c);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            Some('.') => {}                              // range `1..`
+            Some(c) if is_ident_start(c) => {}           // method `1.max(..)`
+            _ => {
+                // Trailing-dot float (`1.`).
+                kind = TokKind::Float;
+                text.push('.');
+                cur.bump();
+            }
+        }
+    }
+    if matches!(cur.peek(0), Some('e') | Some('E')) {
+        let sign = matches!(cur.peek(1), Some('+') | Some('-'));
+        let digit_at = if sign { 2 } else { 1 };
+        if cur.peek(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+            kind = TokKind::Float;
+            text.push(cur.bump().unwrap_or('e'));
+            if sign {
+                text.push(cur.bump().unwrap_or('+'));
+            }
+            while let Some(c) = cur.peek(0) {
+                if c.is_ascii_digit() || c == '_' {
+                    text.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    // Type suffix: `f32`/`f64` force float; integer suffixes keep int.
+    let mut suffix = String::new();
+    while let Some(c) = cur.peek(0) {
+        if is_ident_continue(c) {
+            suffix.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    if suffix == "f32" || suffix == "f64" {
+        kind = TokKind::Float;
+    }
+    text.push_str(&suffix);
+    (text, kind)
+}
+
+/// Fuses the multi-char operators the rules inspect; everything else is a
+/// single punctuation char.
+fn lex_punct(cur: &mut Cursor) -> String {
+    const TWO: [&str; 12] = [
+        "==", "!=", "::", "->", "=>", "<=", ">=", "&&", "||", "..", "+=", "-=",
+    ];
+    let a = cur.peek(0).unwrap_or(' ');
+    let b = cur.peek(1).unwrap_or(' ');
+    let pair: String = [a, b].iter().collect();
+    if TWO.contains(&pair.as_str()) {
+        cur.bump();
+        cur.bump();
+        if pair == ".." && cur.peek(0) == Some('=') {
+            cur.bump();
+            return "..=".to_string();
+        }
+        return pair;
+    }
+    cur.bump();
+    a.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).toks.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("let x == y != z::w;");
+        assert_eq!(t[0], (TokKind::Ident, "let".into()));
+        assert_eq!(t[2], (TokKind::Punct, "==".into()));
+        assert_eq!(t[4], (TokKind::Punct, "!=".into()));
+        assert_eq!(t[6], (TokKind::Punct, "::".into()));
+    }
+
+    #[test]
+    fn float_vs_int_vs_range_vs_method() {
+        assert_eq!(kinds("1.0")[0].0, TokKind::Float);
+        assert_eq!(kinds("2e-3")[0].0, TokKind::Float);
+        assert_eq!(kinds("4f32")[0].0, TokKind::Float);
+        assert_eq!(kinds("42")[0].0, TokKind::Int);
+        assert_eq!(kinds("0x1e3")[0].0, TokKind::Int);
+        let range = kinds("1..5");
+        assert_eq!(range[0].0, TokKind::Int);
+        assert_eq!(range[1], (TokKind::Punct, "..".into()));
+        let method = kinds("1.max(2)");
+        assert_eq!(method[0].0, TokKind::Int);
+        assert_eq!(method[2], (TokKind::Ident, "max".into()));
+    }
+
+    #[test]
+    fn comments_are_captured_with_placement() {
+        let l = lex("let a = 1; // trailing note\n// standalone\nlet b = 2;");
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].trailing);
+        assert_eq!(l.comments[0].text, "trailing note");
+        assert!(!l.comments[1].trailing);
+        assert_eq!(l.comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments_and_spans() {
+        let l = lex("/* a /* b */ c\nstill comment */ fn x() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[0].end_line, 2);
+        assert_eq!(l.toks[0].text, "fn");
+        assert_eq!(l.toks[0].line, 2);
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        let l = lex(r#"let s = "HashMap /* not a comment"; x"#);
+        assert!(l.comments.is_empty());
+        assert!(l.toks.iter().all(|t| t.kind != TokKind::Ident || t.text != "HashMap"));
+        assert_eq!(l.toks.last().map(|t| t.text.as_str()), Some("x"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let l = lex(r##"let s = r#"quote " inside"#; y"##);
+        assert_eq!(l.toks.last().map(|t| t.text.as_str()), Some("y"));
+        assert_eq!(
+            l.toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let t = kinds("'a 'x' '\\n' 'static");
+        assert_eq!(t[0].0, TokKind::Lifetime);
+        assert_eq!(t[1].0, TokKind::Char);
+        assert_eq!(t[2].0, TokKind::Char);
+        assert_eq!(t[3], (TokKind::Lifetime, "'static".into()));
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<u32> = l.toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

@@ -1,0 +1,142 @@
+//! `netshare-lint` — workspace invariant checker.
+//!
+//! Walks every `.rs` file in the workspace and enforces the six source
+//! invariants the repo's guarantees rest on (bitwise seed determinism,
+//! DP-SGD's noise boundary, unsafe hygiene, no-panic library code). See
+//! DESIGN.md "Static analysis & sanitizers" for the rule catalogue and
+//! waiver syntax.
+//!
+//! Built dependency-free on a hand-rolled lexer so the checker can never
+//! be broken by the crates it checks (and builds in the offline
+//! workspace, where `syn` is unavailable).
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod report;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use config::{classify, relative_to, Config, FileMeta, Role};
+use engine::{lint_source, Diagnostic};
+use report::Report;
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 3] = ["target", ".git", ".claude"];
+
+/// Collects every workspace `.rs` file under `root`, sorted for
+/// deterministic report order.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lints the whole workspace rooted at `root`.
+pub fn run_workspace(root: &Path, cfg: &Config) -> io::Result<Report> {
+    let files = collect_rs_files(root)?;
+    let mut diagnostics = Vec::new();
+    let mut files_checked = 0usize;
+    for path in &files {
+        let rel = relative_to(root, path);
+        if cfg.is_exempt(&rel) {
+            continue;
+        }
+        files_checked += 1;
+        let src = fs::read_to_string(path)?;
+        let meta = classify(&rel);
+        diagnostics.extend(lint_source(&meta, cfg, &src));
+    }
+    Ok(Report { diagnostics, files_checked })
+}
+
+/// Lints a single file with optionally forced metadata — used by the
+/// fixture tests, where files live under an exempt path but must be
+/// linted *as if* they belonged to a given crate/role.
+pub fn lint_one_file(
+    root: &Path,
+    path: &Path,
+    cfg: &Config,
+    as_crate: Option<&str>,
+    as_role: Option<Role>,
+) -> io::Result<Vec<Diagnostic>> {
+    let rel = relative_to(root, path);
+    let mut meta = classify(&rel);
+    if let Some(name) = as_crate {
+        meta.crate_name = name.to_string();
+        meta.is_shim = false;
+    }
+    if let Some(role) = as_role {
+        meta.role = role;
+    }
+    // Explicitly-named files are always linted, exempt prefixes included.
+    let mut cfg = cfg.clone();
+    cfg.exempt_paths.clear();
+    let src = fs::read_to_string(path)?;
+    Ok(lint_source(&meta, &cfg, &src))
+}
+
+/// Re-exported for the binary and tests.
+pub use config::{RuleId, Severity};
+
+/// Builds a [`FileMeta`] for callers that lint source text directly.
+pub fn meta_for(rel_path: &str) -> FileMeta {
+    classify(rel_path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_skips_target_and_sorts() {
+        let dir = std::env::temp_dir().join("netshare_lint_collect_test");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("src")).unwrap();
+        fs::create_dir_all(dir.join("target/debug")).unwrap();
+        fs::write(dir.join("src/b.rs"), "fn b() {}\n").unwrap();
+        fs::write(dir.join("src/a.rs"), "fn a() {}\n").unwrap();
+        fs::write(dir.join("target/debug/gen.rs"), "fn g() {}\n").unwrap();
+        fs::write(dir.join("notes.txt"), "not rust\n").unwrap();
+
+        let files = collect_rs_files(&dir).unwrap();
+        let rels: Vec<String> = files.iter().map(|p| relative_to(&dir, p)).collect();
+        assert_eq!(rels, vec!["src/a.rs", "src/b.rs"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn forced_metadata_overrides_classification() {
+        let dir = std::env::temp_dir().join("netshare_lint_force_test");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("sample.rs");
+        fs::write(&f, "use std::collections::HashMap;\n").unwrap();
+
+        // As an uncritical crate: clean. Forced into `core`: flagged.
+        let cfg = Config::default();
+        assert!(lint_one_file(&dir, &f, &cfg, None, None).unwrap().is_empty());
+        let forced = lint_one_file(&dir, &f, &cfg, Some("core"), Some(Role::Lib)).unwrap();
+        assert_eq!(forced.len(), 1);
+        assert_eq!(forced[0].rule, RuleId::NondeterministicIteration);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

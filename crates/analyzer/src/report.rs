@@ -1,0 +1,250 @@
+//! Report rendering: human text and machine-readable JSON.
+//!
+//! The JSON writer is hand-rolled (the analyzer has zero dependencies so
+//! it can never be broken by the crates it checks). Output shape:
+//!
+//! ```json
+//! {
+//!   "tool": "netshare-lint",
+//!   "files_checked": 123,
+//!   "counts": { "deny": 0, "warn": 0, "waived": 4 },
+//!   "diagnostics": [ { "rule": "...", "severity": "...", "file": "...",
+//!                      "line": 1, "message": "...", "snippet": "...",
+//!                      "waived": false, "waiver_reason": null,
+//!                      "suggestion": null } ]
+//! }
+//! ```
+
+use crate::config::Severity;
+use crate::engine::Diagnostic;
+
+/// Aggregated run result.
+#[derive(Debug)]
+pub struct Report {
+    /// Every finding, waived ones included.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files visited.
+    pub files_checked: usize,
+}
+
+impl Report {
+    /// Unwaived findings at `Deny` — these fail the run.
+    pub fn deny_count(&self) -> usize {
+        self.count(Severity::Deny)
+    }
+
+    /// Unwaived findings at `Warn`.
+    pub fn warn_count(&self) -> usize {
+        self.count(Severity::Warn)
+    }
+
+    /// Waived findings (reported for audit, never fatal).
+    pub fn waived_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.waived).count()
+    }
+
+    fn count(&self, sev: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| !d.waived && d.severity == sev)
+            .count()
+    }
+
+    /// Process exit code: 0 clean, 1 deny findings, (2 is CLI usage).
+    pub fn exit_code(&self) -> i32 {
+        if self.deny_count() > 0 {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Human-readable rendering.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        for d in &self.diagnostics {
+            let tag = if d.waived {
+                "waived"
+            } else {
+                d.severity.name()
+            };
+            s.push_str(&format!(
+                "{}:{}: [{}/{}] {}\n    {}\n",
+                d.file,
+                d.line,
+                tag,
+                d.rule.name(),
+                d.message,
+                d.snippet
+            ));
+            if let Some(r) = &d.waiver_reason {
+                s.push_str(&format!("    waiver: {r}\n"));
+            }
+        }
+        s.push_str(&format!(
+            "netshare-lint: {} files checked, {} deny, {} warn, {} waived\n",
+            self.files_checked,
+            self.deny_count(),
+            self.warn_count(),
+            self.waived_count()
+        ));
+        s
+    }
+
+    /// `--fix-dry-run` rendering: `file:line` with the current and
+    /// suggested line for every finding that has a mechanical rewrite.
+    pub fn to_fix_dry_run(&self) -> String {
+        let mut s = String::new();
+        let mut n = 0usize;
+        for d in self.diagnostics.iter().filter(|d| !d.waived) {
+            let Some(fix) = &d.suggestion else { continue };
+            n += 1;
+            s.push_str(&format!(
+                "{}:{} [{}]\n  - {}\n  + {}\n",
+                d.file,
+                d.line,
+                d.rule.name(),
+                d.snippet,
+                fix
+            ));
+        }
+        s.push_str(&format!("netshare-lint --fix-dry-run: {n} suggested rewrites (no files edited)\n"));
+        s
+    }
+
+    /// Machine-readable rendering.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str("\"tool\":\"netshare-lint\",");
+        s.push_str(&format!("\"files_checked\":{},", self.files_checked));
+        s.push_str(&format!(
+            "\"counts\":{{\"deny\":{},\"warn\":{},\"waived\":{}}},",
+            self.deny_count(),
+            self.warn_count(),
+            self.waived_count()
+        ));
+        s.push_str("\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('{');
+            s.push_str(&format!("\"rule\":{},", json_str(d.rule.name())));
+            s.push_str(&format!("\"severity\":{},", json_str(d.severity.name())));
+            s.push_str(&format!("\"file\":{},", json_str(&d.file)));
+            s.push_str(&format!("\"line\":{},", d.line));
+            s.push_str(&format!("\"message\":{},", json_str(&d.message)));
+            s.push_str(&format!("\"snippet\":{},", json_str(&d.snippet)));
+            s.push_str(&format!("\"waived\":{},", d.waived));
+            s.push_str(&format!(
+                "\"waiver_reason\":{},",
+                json_opt(d.waiver_reason.as_deref())
+            ));
+            s.push_str(&format!(
+                "\"suggestion\":{}",
+                json_opt(d.suggestion.as_deref())
+            ));
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// JSON string literal with the escapes that can occur in source snippets.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_opt(s: Option<&str>) -> String {
+    match s {
+        Some(s) => json_str(s),
+        None => "null".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RuleId;
+
+    fn diag(rule: RuleId, waived: bool, severity: Severity) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity,
+            file: "crates/x/src/lib.rs".into(),
+            line: 3,
+            message: "msg with \"quotes\"".into(),
+            snippet: "let m = HashMap::new();".into(),
+            suggestion: Some("let m = BTreeMap::new();".into()),
+            waived,
+            waiver_reason: waived.then(|| "reason".to_string()),
+        }
+    }
+
+    #[test]
+    fn exit_code_tracks_unwaived_denies() {
+        let clean = Report { diagnostics: vec![], files_checked: 1 };
+        assert_eq!(clean.exit_code(), 0);
+
+        let waived = Report {
+            diagnostics: vec![diag(RuleId::FloatEq, true, Severity::Deny)],
+            files_checked: 1,
+        };
+        assert_eq!(waived.exit_code(), 0);
+        assert_eq!(waived.waived_count(), 1);
+
+        let dirty = Report {
+            diagnostics: vec![diag(RuleId::FloatEq, false, Severity::Deny)],
+            files_checked: 1,
+        };
+        assert_eq!(dirty.exit_code(), 1);
+
+        let warn_only = Report {
+            diagnostics: vec![diag(RuleId::FloatEq, false, Severity::Warn)],
+            files_checked: 1,
+        };
+        assert_eq!(warn_only.exit_code(), 0);
+        assert_eq!(warn_only.warn_count(), 1);
+    }
+
+    #[test]
+    fn json_escapes_and_structure() {
+        let r = Report {
+            diagnostics: vec![diag(RuleId::NondeterministicIteration, false, Severity::Deny)],
+            files_checked: 7,
+        };
+        let j = r.to_json();
+        assert!(j.starts_with("{\"tool\":\"netshare-lint\""));
+        assert!(j.contains("\"files_checked\":7"));
+        assert!(j.contains("\"rule\":\"nondeterministic-iteration\""));
+        assert!(j.contains("msg with \\\"quotes\\\""));
+        assert!(j.contains("\"counts\":{\"deny\":1,\"warn\":0,\"waived\":0}"));
+    }
+
+    #[test]
+    fn fix_dry_run_lists_rewrites() {
+        let r = Report {
+            diagnostics: vec![diag(RuleId::NondeterministicIteration, false, Severity::Deny)],
+            files_checked: 1,
+        };
+        let t = r.to_fix_dry_run();
+        assert!(t.contains("- let m = HashMap::new();"));
+        assert!(t.contains("+ let m = BTreeMap::new();"));
+        assert!(t.contains("1 suggested rewrites"));
+    }
+}

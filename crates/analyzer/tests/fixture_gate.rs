@@ -1,0 +1,195 @@
+//! Drives the real `netshare-lint` binary over the fixture corpus and the
+//! live workspace (via `CARGO_BIN_EXE_netshare-lint`).
+//!
+//! Acceptance gates from the issue: the binary must exit nonzero on a
+//! seeded fixture violation for *every* rule, and exit zero on the
+//! cleaned workspace.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analyzer sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+/// Runs the binary, returning `(exit_code, stdout, stderr)`.
+fn run(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_netshare-lint"))
+        .args(args)
+        .output()
+        .expect("spawn netshare-lint");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn lint_fixture_json(name: &str, as_crate: &str) -> (i32, String) {
+    let path = fixture(name);
+    let (code, stdout, stderr) = run(&[
+        "--format",
+        "json",
+        "--file",
+        path.to_str().expect("utf8 path"),
+        "--as-crate",
+        as_crate,
+        "--as-role",
+        "lib",
+    ]);
+    assert!(stderr.is_empty(), "unexpected stderr for {name}: {stderr}");
+    (code, stdout)
+}
+
+fn count(haystack: &str, needle: &str) -> usize {
+    haystack.matches(needle).count()
+}
+
+/// Every rule must drive a nonzero exit from its seeded fixture, with the
+/// expected number of deny-level and waived findings.
+#[test]
+fn every_rule_trips_on_its_fixture() {
+    let cases: &[(&str, &str, &str, usize, usize)] = &[
+        // (fixture, --as-crate, rule name, unwaived deny, waived)
+        ("nondet_iteration.rs", "nnet", "nondeterministic-iteration", 3, 2),
+        ("ambient_entropy.rs", "orchestrator", "ambient-entropy", 4, 1),
+        ("dp_boundary.rs", "doppelganger", "dp-boundary", 3, 1),
+        ("float_eq.rs", "nnet", "float-eq", 2, 1),
+        ("undocumented_unsafe.rs", "nnet", "undocumented-unsafe", 2, 1),
+        ("panic_in_lib.rs", "netshare", "panic-in-lib", 3, 1),
+    ];
+    for &(name, as_crate, rule, deny, waived) in cases {
+        let (code, json) = lint_fixture_json(name, as_crate);
+        assert_eq!(code, 1, "{name} must exit 1 (deny findings present)");
+        assert!(
+            json.contains(&format!("\"rule\":\"{rule}\"")),
+            "{name} must report {rule}: {json}"
+        );
+        assert_eq!(
+            count(&json, "\"waived\":false"),
+            deny,
+            "{name} unwaived findings: {json}"
+        );
+        assert_eq!(
+            count(&json, "\"waived\":true"),
+            waived,
+            "{name} waived findings: {json}"
+        );
+    }
+}
+
+#[test]
+fn clean_fixture_passes_as_critical_crate() {
+    let (code, json) = lint_fixture_json("clean.rs", "nnet");
+    assert_eq!(code, 0, "clean fixture must pass: {json}");
+    assert_eq!(count(&json, "\"rule\":"), 0, "no findings expected: {json}");
+}
+
+#[test]
+fn dp_rule_is_inert_without_the_tag() {
+    let (code, json) = lint_fixture_json("dp_boundary_untagged.rs", "doppelganger");
+    assert_eq!(code, 0, "untagged file must pass: {json}");
+    assert_eq!(count(&json, "\"rule\":"), 0, "no findings expected: {json}");
+}
+
+#[test]
+fn allow_override_downgrades_to_exit_zero() {
+    let path = fixture("nondet_iteration.rs");
+    let (code, _, _) = run(&[
+        "--allow",
+        "nondeterministic-iteration",
+        "--file",
+        path.to_str().expect("utf8 path"),
+        "--as-crate",
+        "nnet",
+        "--as-role",
+        "lib",
+    ]);
+    assert_eq!(code, 0, "--allow must drop the findings");
+}
+
+#[test]
+fn warn_override_reports_but_passes() {
+    let path = fixture("nondet_iteration.rs");
+    let (code, stdout, _) = run(&[
+        "--warn",
+        "nondeterministic-iteration",
+        "--file",
+        path.to_str().expect("utf8 path"),
+        "--as-crate",
+        "nnet",
+        "--as-role",
+        "lib",
+    ]);
+    assert_eq!(code, 0, "warnings alone must not fail the run");
+    assert!(stdout.contains("nondeterministic-iteration"), "{stdout}");
+}
+
+#[test]
+fn fix_dry_run_prints_mechanical_rewrites() {
+    let path = fixture("nondet_iteration.rs");
+    let (code, stdout, _) = run(&[
+        "--fix-dry-run",
+        "--file",
+        path.to_str().expect("utf8 path"),
+        "--as-crate",
+        "nnet",
+        "--as-role",
+        "lib",
+    ]);
+    assert_eq!(code, 1, "dry run keeps the failing exit code");
+    assert!(stdout.contains("HashMap"), "{stdout}");
+    assert!(stdout.contains("BTreeMap"), "{stdout}");
+    let minus = stdout.lines().filter(|l| l.trim_start().starts_with("- ")).count();
+    let plus = stdout.lines().filter(|l| l.trim_start().starts_with("+ ")).count();
+    assert!(minus >= 1 && minus == plus, "paired -/+ lines: {stdout}");
+}
+
+/// The self-check gate: the live workspace (all crates + shims, after the
+/// violations fixed in this change series) must lint clean.
+#[test]
+fn live_workspace_lints_clean() {
+    let root = workspace_root();
+    let (code, json, stderr) = run(&[
+        "--format",
+        "json",
+        "--root",
+        root.to_str().expect("utf8 root"),
+    ]);
+    assert_eq!(code, 0, "workspace must be deny-clean: {stderr}\n{json}");
+    assert!(json.contains("\"deny\":0"), "{json}");
+    assert!(json.contains("\"warn\":0"), "{json}");
+}
+
+#[test]
+fn usage_error_exits_two() {
+    let (code, _, stderr) = run(&["--definitely-not-a-flag"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn list_rules_names_every_rule() {
+    let (code, stdout, _) = run(&["--list-rules"]);
+    assert_eq!(code, 0);
+    for rule in [
+        "nondeterministic-iteration",
+        "ambient-entropy",
+        "dp-boundary",
+        "float-eq",
+        "undocumented-unsafe",
+        "panic-in-lib",
+    ] {
+        assert!(stdout.contains(rule), "missing {rule}: {stdout}");
+    }
+}

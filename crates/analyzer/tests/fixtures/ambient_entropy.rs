@@ -1,0 +1,33 @@
+//! Fixture: `ambient-entropy` positive / negative / waiver cases.
+//! Linted via `--file … --as-crate orchestrator --as-role lib`.
+//! Expected: 4 deny findings, 1 waived.
+
+use std::time::{Instant, SystemTime};
+
+pub fn positive_wall_clock() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn positive_monotonic_clock() {
+    let _ = Instant::now();
+}
+
+pub fn positive_os_rng() {
+    let _ = thread_rng();
+}
+
+pub fn positive_rand_random() {
+    let _: u64 = rand::random();
+}
+
+pub fn waived() {
+    let _ = Instant::now(); // lint: allow(ambient-entropy) fixture: demonstrating a waiver
+}
+
+pub fn negative_seeded(seed: u64) -> u64 {
+    // A plain `random` identifier without the `rand::` path is fine.
+    fn random(s: u64) -> u64 {
+        s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+    }
+    random(seed)
+}

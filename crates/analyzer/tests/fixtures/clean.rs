@@ -1,0 +1,25 @@
+//! Fixture: a file clean under every rule, even when linted as a
+//! determinism-critical lib crate. Expected: 0 findings, exit 0.
+
+use std::collections::BTreeMap;
+
+pub fn deterministic_grouping(keys: &[u32]) -> BTreeMap<u32, usize> {
+    let mut counts = BTreeMap::new();
+    for &k in keys {
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    counts
+}
+
+pub fn tolerant_compare(a: f32, b: f32) -> bool {
+    (a - b).abs() <= 1e-6
+}
+
+pub fn typed_error(x: Option<u8>) -> Result<u8, String> {
+    x.ok_or_else(|| "missing".to_string())
+}
+
+pub fn documented_unsafe(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid for reads (fixture)
+    unsafe { *p }
+}

@@ -1,0 +1,9 @@
+//! Fixture: `dp-boundary` negative case — the same accessors as
+//! `dp_boundary.rs` but *without* the `dp-post-noise` tag, so the rule
+//! must not fire at all. Expected: 0 findings.
+
+pub fn pre_noise_is_fine(model: &mut impl Parameterized) {
+    let _ = model.flat_gradients();
+    model.set_flat_gradients(&[]);
+    let _ = model.gradients_mut();
+}

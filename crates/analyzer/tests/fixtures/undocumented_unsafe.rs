@@ -1,0 +1,25 @@
+//! Fixture: `undocumented-unsafe` positive / negative / waiver cases.
+//! Linted via `--file … --as-crate nnet --as-role lib`.
+//! Expected: 2 deny findings, 1 waived (the `positive` fn and the
+//! stale-comment case), and the documented block is clean.
+
+pub fn positive(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn negative_documented(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid for reads (fixture)
+    unsafe { *p }
+}
+
+pub fn positive_comment_too_far(p: *const u8) -> u8 {
+    // SAFETY: this comment is more than two lines above the block,
+    // so it does not count as documentation.
+    let q = p;
+    let r = q;
+    unsafe { *r }
+}
+
+pub fn waived(p: *const u8) -> u8 {
+    unsafe { *p } // lint: allow(undocumented-unsafe) fixture: demonstrating a waiver
+}

@@ -247,7 +247,7 @@ impl GaussianTs {
 
     /// Samples one timestamp (ms, floored at 0).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        Normal::new(self.mean, self.std).unwrap().sample(rng).max(0.0)
+        Normal::new(self.mean, self.std).unwrap().sample(rng).max(0.0) // lint: allow(panic-in-lib) mean/std validated at construction (lint: allow(panic-in-lib) mean/std validated at construction)
     }
 }
 

@@ -120,13 +120,13 @@ impl Stan {
             }
             // Residual spread per field, for sampling noise.
             let pred = net.forward(&x);
-            for f in 0..F {
+            for (f, rs) in residual_std.iter_mut().enumerate() {
                 let mut ss = 0.0f32;
                 for r in 0..x.rows() {
                     let d = pred.get(r, f) - y.get(r, f);
                     ss += d * d;
                 }
-                residual_std[f] = (ss / x.rows() as f32).sqrt().max(0.01);
+                *rs = (ss / x.rows() as f32).sqrt().max(0.01);
             }
         }
 
@@ -190,7 +190,7 @@ impl crate::FlowSynthesizer for Stan {
 
     fn generate_flows(&mut self, n: usize) -> FlowTrace {
         let mut flows = Vec::with_capacity(n);
-        let noise = Normal::new(0.0f64, 1.0).unwrap();
+        let noise = Normal::new(0.0f64, 1.0).unwrap(); // lint: allow(panic-in-lib) constant (0,1) parameters are valid (lint: allow(panic-in-lib) constant (0,1) parameters are valid)
         while flows.len() < n {
             let hi = self.sample_host();
             let (src_ip, records) = {
@@ -204,9 +204,9 @@ impl crate::FlowSynthesizer for Stan {
                 if step > 0 {
                     let s = Tensor::row_vector(&state);
                     let pred = self.net.forward(&s);
-                    for f in 0..F {
+                    for (f, s) in state.iter_mut().enumerate() {
                         let eps = noise.sample(&mut self.rng) as f32 * self.residual_std[f];
-                        state[f] = (pred.get(0, f) + eps).clamp(0.0, 1.0);
+                        *s = (pred.get(0, f) + eps).clamp(0.0, 1.0);
                     }
                     t += self.codecs[3].decode(state[3]).max(0.0);
                 }

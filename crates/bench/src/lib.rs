@@ -69,7 +69,7 @@ impl NetShareFlow {
     /// Fits NetShare on a flow trace.
     pub fn fit(real: &FlowTrace, cfg: &NetShareConfig) -> Self {
         NetShareFlow {
-            model: NetShare::fit_flows(real, cfg).expect("non-empty trace"),
+            model: NetShare::fit_flows(real, cfg).expect("non-empty trace"), // lint: allow(panic-in-lib) bench harness, generated traces are non-empty (lint: allow(panic-in-lib) bench harness, generated traces are non-empty)
             label: "NetShare",
         }
     }
@@ -110,7 +110,7 @@ impl NetSharePacket {
     /// Fits NetShare on a packet trace.
     pub fn fit(real: &PacketTrace, cfg: &NetShareConfig) -> Self {
         NetSharePacket {
-            model: NetShare::fit_packets(real, cfg).expect("non-empty trace"),
+            model: NetShare::fit_packets(real, cfg).expect("non-empty trace"), // lint: allow(panic-in-lib) bench harness, generated traces are non-empty (lint: allow(panic-in-lib) bench harness, generated traces are non-empty)
             label: "NetShare",
         }
     }
@@ -254,7 +254,7 @@ pub fn print_fidelity_tables(title: &str, suite: &[(String, distmetrics::Fidelit
     // Per-field normalized EMDs need cross-model normalization.
     let mut field_norms: Vec<Vec<f64>> = Vec::new();
     for f in &emd_fields {
-        let vals: Vec<f64> = reports.iter().map(|r| r.emd_for(f).unwrap()).collect();
+        let vals: Vec<f64> = reports.iter().map(|r| r.emd_for(f).unwrap()).collect(); // lint: allow(panic-in-lib) all reports are built over the same field list (lint: allow(panic-in-lib) all reports are built over the same field list)
         field_norms.push(distmetrics::normalize_emds(&vals));
     }
 

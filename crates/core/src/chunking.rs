@@ -10,7 +10,7 @@
 //! cross-chunk flows.
 
 use nettrace::{FiveTuple, FlowRecord, FlowTrace, PacketRecord, PacketTrace};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One five-tuple's activity inside one chunk.
 #[derive(Debug, Clone)]
@@ -73,8 +73,8 @@ fn chunk_items<T: Clone>(
     let chunk_of = |t: f64| (((t - t0) / chunk_len) as usize).min(m - 1);
 
     // Group per (tuple, chunk) and track per-tuple presence + first chunk.
-    let mut per_tuple: HashMap<FiveTuple, (usize, Vec<bool>)> = HashMap::new();
-    let mut grouped: HashMap<(FiveTuple, usize), Vec<T>> = HashMap::new();
+    let mut per_tuple: BTreeMap<FiveTuple, (usize, Vec<bool>)> = BTreeMap::new();
+    let mut grouped: BTreeMap<(FiveTuple, usize), Vec<T>> = BTreeMap::new();
     for item in items {
         let tuple = tuple_of(item);
         let c = chunk_of(time_of(item));
@@ -85,11 +85,8 @@ fn chunk_items<T: Clone>(
     }
 
     let mut chunks: Vec<Vec<FlowGroup<T>>> = vec![Vec::new(); m];
-    let mut keys: Vec<(FiveTuple, usize)> = grouped.keys().cloned().collect();
-    keys.sort(); // deterministic output order
-    for key in keys {
-        let (tuple, c) = key;
-        let mut items = grouped.remove(&key).unwrap();
+    // BTreeMap drains in sorted key order, so output order is deterministic.
+    for ((tuple, c), mut items) in grouped {
         items.sort_by(|a, b| time_of(a).total_cmp(&time_of(b)));
         let (first_chunk, presence) = per_tuple[&tuple].clone();
         chunks[c].push(FlowGroup {

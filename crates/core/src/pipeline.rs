@@ -83,6 +83,18 @@ pub struct NetShare {
     events: Vec<Event>,
 }
 
+/// What [`NetShare::train_chunks`] hands back to the fit entry points:
+/// per-chunk models (`None` for empty chunks), summed per-chunk CPU
+/// seconds, wall seconds, per-chunk DP sampling rates, and the
+/// orchestrator event stream.
+type ChunkTraining = (
+    Vec<Option<DoppelGanger>>,
+    f64,
+    f64,
+    Vec<(f64, u64)>,
+    Vec<Event>,
+);
+
 impl NetShare {
     /// Fits on a flow-header trace (the NetFlow pipeline).
     pub fn fit_flows(trace: &FlowTrace, cfg: &NetShareConfig) -> Result<NetShare, PipelineError> {
@@ -257,16 +269,7 @@ impl NetShare {
         record_spec: doppelganger::FeatureSpec,
         datasets: &[Option<TimeSeriesDataset>],
         build_public: impl Fn() -> TimeSeriesDataset + Send + Sync,
-    ) -> Result<
-        (
-            Vec<Option<DoppelGanger>>,
-            f64,
-            f64,
-            Vec<(f64, u64)>,
-            Vec<Event>,
-        ),
-        PipelineError,
-    > {
+    ) -> Result<ChunkTraining, PipelineError> {
         // The pretrained model every chunk fine-tunes from. No data at all
         // (every chunk empty) means nothing to train.
         let Some(seed_idx) = datasets.iter().position(|d| d.is_some()) else {
@@ -275,7 +278,7 @@ impl NetShare {
         };
         let seed_data = datasets[seed_idx]
             .as_ref()
-            .expect("seed_idx points at a non-empty chunk");
+            .expect("seed_idx points at a non-empty chunk"); // lint: allow(panic-in-lib) seed_idx was selected from the non-empty chunks (lint: allow(panic-in-lib) seed_idx was selected from the non-empty chunks)
 
         let base_dg = |steps: usize, seed: u64, dp: Option<nnet::dpsgd::DpSgdConfig>| {
             let mut dg = DgConfig::small(meta_spec.clone(), record_spec.clone(), cfg.max_seq_len);
@@ -320,7 +323,24 @@ impl NetShare {
                 message: e.to_string(),
             })?;
         }
-        let events = events;
+        let events = std::sync::Arc::new(events);
+        // With the sanitizer compiled in, route its trips into this run's
+        // event stream: the hook fires on the tripping worker thread just
+        // before the fatal panic, so the layer-attributed diagnostic is on
+        // disk before the orchestrator's panic recovery files the generic
+        // JobRetried/JobFailed.
+        #[cfg(feature = "sanitize")]
+        {
+            let sink = std::sync::Arc::clone(&events);
+            nnet::sanitize::set_hook(move |inc: &nnet::sanitize::Incident| {
+                sink.emit(Event::SanitizerTripped {
+                    scope: inc.scope.clone(),
+                    op: inc.op.clone(),
+                    kind: inc.kind.name().to_string(),
+                    detail: inc.detail.clone(),
+                });
+            });
+        }
 
         let scaled = |job: &str, steps: usize, len: usize| -> usize {
             let v = ((steps as f64 * len as f64 / total_items as f64).ceil() as usize).max(5);
@@ -479,7 +499,7 @@ impl NetShare {
     pub fn generate_flows(&mut self, n: usize) -> FlowTrace {
         let codec = match &self.codec {
             Codec::Flow(c) => c,
-            Codec::Packet(_) => panic!("model was fit on packets; call generate_packets"),
+            Codec::Packet(_) => panic!("model was fit on packets; call generate_packets"), // lint: allow(panic-in-lib) documented contract panic (see doc comment) (lint: allow(panic-in-lib) documented contract panic (see doc comment))
         };
         let total: usize = self.chunk_counts.iter().sum::<usize>().max(1);
         let mut flows = Vec::with_capacity(n);
@@ -512,7 +532,7 @@ impl NetShare {
     pub fn generate_packets(&mut self, n: usize) -> PacketTrace {
         let codec = match &self.codec {
             Codec::Packet(c) => c,
-            Codec::Flow(_) => panic!("model was fit on flows; call generate_flows"),
+            Codec::Flow(_) => panic!("model was fit on flows; call generate_flows"), // lint: allow(panic-in-lib) documented contract panic (see doc comment) (lint: allow(panic-in-lib) documented contract panic (see doc comment))
         };
         let total: usize = self.chunk_counts.iter().sum::<usize>().max(1);
         let mut packets = Vec::with_capacity(n);

@@ -11,7 +11,7 @@
 
 use nettrace::{FlowTrace, PacketTrace};
 use rand::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Default private target range: 10.0.0.0/8.
 pub const DEFAULT_PRIVATE_BASE: u32 = 0x0a00_0000;
@@ -61,7 +61,7 @@ pub fn retrain_dst_ports_flow(
     assert!(!distribution.is_empty(), "need a non-empty distribution");
     let total: f64 = distribution.iter().map(|(_, w)| w).sum();
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut mapping: HashMap<u16, u16> = HashMap::new();
+    let mut mapping: BTreeMap<u16, u16> = BTreeMap::new();
     for f in &mut trace.flows {
         let new = *mapping.entry(f.five_tuple.dst_port).or_insert_with(|| {
             let mut u = rng.gen::<f64>() * total;
@@ -71,6 +71,7 @@ pub fn retrain_dst_ports_flow(
                 }
                 u -= w;
             }
+            // lint: allow(panic-in-lib) distribution verified non-empty by the assert above
             distribution.last().unwrap().0
         });
         f.five_tuple.dst_port = new;

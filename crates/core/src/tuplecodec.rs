@@ -19,7 +19,7 @@
 use doppelganger::Segment;
 use fieldcodec::{BitCodec, Ip2Vec, Ip2VecConfig, Word};
 use nettrace::{FiveTuple, PacketTrace, Protocol};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Number of public-corpus service ports given categorical slots.
 const TOP_PORTS: usize = 40;
@@ -33,7 +33,7 @@ pub struct TupleCodec {
     embed_dim: usize,
     /// Top-K public ports, most frequent first; index = categorical slot.
     service_ports: Vec<u16>,
-    service_index: HashMap<u16, usize>,
+    service_index: BTreeMap<u16, usize>,
     port_lo: Vec<f32>,
     port_hi: Vec<f32>,
     proto_lo: Vec<f32>,
@@ -43,7 +43,7 @@ pub struct TupleCodec {
     fallback_port: Vec<f32>,
     fallback_proto: Vec<f32>,
     /// (port, protocol) pairs observed in the public corpus.
-    port_proto_pairs: HashSet<(u16, u8)>,
+    port_proto_pairs: BTreeSet<(u16, u8)>,
 }
 
 impl TupleCodec {
@@ -60,7 +60,7 @@ impl TupleCodec {
         let ip2vec = Ip2Vec::train_on_packets(public, cfg);
 
         // Port popularity + per-kind embedding ranges over the corpus.
-        let mut port_counts: HashMap<u16, u64> = HashMap::new();
+        let mut port_counts: BTreeMap<u16, u64> = BTreeMap::new();
         let mut port_lo = vec![f32::INFINITY; embed_dim];
         let mut port_hi = vec![f32::NEG_INFINITY; embed_dim];
         let mut proto_lo = vec![f32::INFINITY; embed_dim];
@@ -69,7 +69,7 @@ impl TupleCodec {
         let mut any_proto = vec![0.0f32; embed_dim];
         let mut n_port = 0u32;
         let mut n_proto = 0u32;
-        let mut port_proto_pairs = HashSet::new();
+        let mut port_proto_pairs = BTreeSet::new();
         for p in &public.packets {
             if p.five_tuple.proto.has_ports() {
                 let pr = p.five_tuple.proto.number();
@@ -204,8 +204,8 @@ impl TupleCodec {
             .ip2vec
             .embedding(&Word::Port(port))
             .unwrap_or(&self.fallback_port);
-        for d in 0..self.embed_dim {
-            out.push(Self::norm(emb[d], self.port_lo[d], self.port_hi[d]));
+        for (d, &e) in emb.iter().enumerate().take(self.embed_dim) {
+            out.push(Self::norm(e, self.port_lo[d], self.port_hi[d]));
         }
     }
 
@@ -221,8 +221,8 @@ impl TupleCodec {
             .ip2vec
             .embedding(&Word::Proto(proto.number()))
             .unwrap_or(&self.fallback_proto);
-        for d in 0..self.embed_dim {
-            out.push(Self::norm(emb[d], self.proto_lo[d], self.proto_hi[d]));
+        for (d, &e) in emb.iter().enumerate().take(self.embed_dim) {
+            out.push(Self::norm(e, self.proto_lo[d], self.proto_hi[d]));
         }
     }
 

@@ -121,7 +121,7 @@ pub fn mean_normalized_emd(reports: &[&FidelityReport]) -> Vec<f64> {
     for field in &fields {
         let vals: Vec<f64> = reports
             .iter()
-            .map(|r| r.emd_for(field).expect("reports must share fields"))
+            .map(|r| r.emd_for(field).expect("reports must share fields")) // lint: allow(panic-in-lib) caller contract: reports share one field list (lint: allow(panic-in-lib) caller contract: reports share one field list)
             .collect();
         let norm = crate::emd::normalize_emds(&vals);
         for (s, v) in sums.iter_mut().zip(norm) {

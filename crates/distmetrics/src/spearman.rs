@@ -46,7 +46,7 @@ pub fn spearman_rank_correlation(a: &[f64], b: &[f64]) -> Option<f64> {
         var_a += da * da;
         var_b += db * db;
     }
-    if var_a == 0.0 || var_b == 0.0 {
+    if var_a == 0.0 || var_b == 0.0 { // lint: allow(float-eq) exact zero variance occurs only for constant ranks; a tolerance would misclassify near-ties
         return None;
     }
     Some(cov / (var_a.sqrt() * var_b.sqrt()))

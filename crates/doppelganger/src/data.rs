@@ -40,7 +40,7 @@ impl TimeSeriesDataset {
             .flat_map(|s| s.first())
             .map(|r| r.len())
             .next()
-            .expect("at least one non-empty sequence");
+            .expect("at least one non-empty sequence"); // lint: allow(panic-in-lib) non-empty dataset asserted two lines above (lint: allow(panic-in-lib) non-empty dataset asserted two lines above)
 
         let n = meta_rows.len();
         let mut meta = Tensor::zeros(n, meta_dim);

@@ -172,7 +172,7 @@ impl DgGenerator {
     /// gradient), `grad_records` is ∂L/∂records in the layout produced by
     /// [`DgGenerator::generate`]. Accumulates parameter gradients.
     pub fn backward(&mut self, grad_meta: &Tensor, grad_records: &Tensor) {
-        let cache = self.cache.take().expect("backward called before generate");
+        let cache = self.cache.take().expect("backward called before generate"); // lint: allow(panic-in-lib) documented API contract: generate precedes backward (lint: allow(panic-in-lib) documented API contract: generate precedes backward)
         let batch = cache.batch;
         let record_dim = self.record_dim();
         let step_dim = record_dim + 1;

@@ -1,4 +1,10 @@
 //! The DoppelGANger training loop and sampling interface.
+//!
+//! lint: dp-post-noise — in DP mode this file consumes gradients only
+//! *after* `DpSgdTrainer::sanitize_batch` has clipped and noised them;
+//! `netshare-lint` therefore bans the raw per-example accessors
+//! (`flat_gradients`/`gradients_mut`/`set_flat_gradients`) here, so the
+//! privacy accounting cannot be silently bypassed by a later edit.
 
 use crate::data::TimeSeriesDataset;
 use crate::model::{DgDiscriminators, DgGenerator};
@@ -319,7 +325,7 @@ impl DoppelGanger {
 
         let aux_weight = self.cfg.aux_weight;
         let positions: Vec<usize> = (0..self.cfg.batch_size).collect();
-        let mut dp = self.dp.take().expect("dp trainer present in DP mode");
+        let mut dp = self.dp.take().expect("dp trainer present in DP mode"); // lint: allow(panic-in-lib) dp is always Some in DP mode (checked by caller) (lint: allow(panic-in-lib) dp is always Some in DP mode (checked by caller))
         dp.sanitize_batch(&mut self.disc, &positions, |disc, i| {
             let mi = m_real.select_rows(&[i]);
             let ri = r_real.select_rows(&[i]);

@@ -15,7 +15,7 @@
 use nettrace::{FlowTrace, PacketTrace};
 use rand::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A vocabulary item: one value of one header field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -73,7 +73,7 @@ pub struct Ip2Vec {
     cfg: Ip2VecConfig,
     vocab: Vec<Word>,
     #[serde(skip)]
-    index: HashMap<Word, usize>,
+    index: BTreeMap<Word, usize>,
     /// Input embeddings, `vocab.len() × dim`, row-major.
     emb: Vec<f32>,
     /// Output (context) embeddings, same layout.
@@ -85,7 +85,7 @@ impl Ip2Vec {
     pub fn train(sentences: &[Vec<Word>], cfg: Ip2VecConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         // Build vocabulary + unigram counts.
-        let mut index: HashMap<Word, usize> = HashMap::new();
+        let mut index: BTreeMap<Word, usize> = BTreeMap::new();
         let mut vocab: Vec<Word> = Vec::new();
         let mut counts: Vec<u64> = Vec::new();
         for s in sentences {

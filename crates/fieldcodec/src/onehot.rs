@@ -1,20 +1,19 @@
 //! One-hot encoding for small categorical fields (protocol, labels).
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 /// A fitted one-hot codec over an explicit category vocabulary, with an
 /// optional "other" bucket for unseen values.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct OneHotCodec<K: Eq + Hash + Clone> {
+pub struct OneHotCodec<K: Ord + Clone> {
     categories: Vec<K>,
     #[serde(skip)]
-    index: HashMap<K, usize>,
+    index: BTreeMap<K, usize>,
     with_other: bool,
 }
 
-impl<K: Eq + Hash + Clone> OneHotCodec<K> {
+impl<K: Ord + Clone> OneHotCodec<K> {
     /// Builds a codec over the given categories. If `with_other` is true,
     /// one extra dimension absorbs values outside the vocabulary.
     pub fn new(categories: Vec<K>, with_other: bool) -> Self {
@@ -33,7 +32,7 @@ impl<K: Eq + Hash + Clone> OneHotCodec<K> {
     /// Fits the vocabulary from observed values (in first-seen order).
     pub fn fit(values: &[K], with_other: bool) -> Self {
         let mut cats = Vec::new();
-        let mut seen = HashMap::new();
+        let mut seen = BTreeMap::new();
         for v in values {
             if !seen.contains_key(v) {
                 seen.insert(v.clone(), cats.len());
@@ -77,7 +76,9 @@ impl<K: Eq + Hash + Clone> OneHotCodec<K> {
         out.resize(start + self.dim(), 0.0);
         match self.index.get(value) {
             Some(&i) => out[start + i] = 1.0,
+            // lint: allow(panic-in-lib) out was just resized to dim() >= 1, so last_mut exists
             None if self.with_other => *out.last_mut().unwrap() = 1.0,
+            // lint: allow(panic-in-lib) documented contract panic (see doc comment above)
             None => panic!("value outside one-hot vocabulary and no `other` bucket"),
         }
     }
@@ -97,7 +98,8 @@ impl<K: Eq + Hash + Clone> OneHotCodec<K> {
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.total_cmp(b.1))
-            .expect("non-empty encoding");
+            .expect("non-empty encoding"); // lint: allow(panic-in-lib) dim() >= 1 and length asserted above
+
         self.categories.get(best)
     }
 

@@ -64,8 +64,8 @@ impl Classifier for GradientBoosting {
                     .collect();
                 let mut tree = RegressionTree::new(self.max_depth);
                 tree.fit(data, &residuals);
-                for i in 0..n {
-                    f[i] += self.learning_rate * tree.predict(data.row(i));
+                for (i, fi) in f.iter_mut().enumerate() {
+                    *fi += self.learning_rate * tree.predict(data.row(i));
                 }
                 self.ensembles[k].push(tree);
             }

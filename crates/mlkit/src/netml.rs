@@ -70,7 +70,7 @@ pub fn flow_features(
         out.resize(k, 0.0);
         out
     };
-    let duration = (packets.last().unwrap().0 - packets[0].0).max(1e-9);
+    let duration = (packets.last().unwrap().0 - packets[0].0).max(1e-9); // lint: allow(panic-in-lib) len >= 2 checked at function entry (lint: allow(panic-in-lib) len >= 2 checked at function entry)
     Some(match mode {
         NetmlMode::Iat => pad(&iats, K),
         NetmlMode::Size => pad(&sizes, K),

@@ -104,7 +104,7 @@ impl OneClassSvm {
         // standardized inputs).
         let mut rng = StdRng::seed_from_u64(self.seed);
         let sigma = (nf as f64).sqrt();
-        let normal = Normal::new(0.0, 1.0 / sigma).unwrap();
+        let normal = Normal::new(0.0, 1.0 / sigma).unwrap(); // lint: allow(panic-in-lib) sigma = sqrt(nf) > 0, parameters valid (lint: allow(panic-in-lib) sigma = sqrt(nf) > 0, parameters valid)
         self.proj = (0..D * nf).map(|_| normal.sample(&mut rng)).collect();
         self.phase = (0..D)
             .map(|_| rng.gen_range(0.0..std::f64::consts::TAU))

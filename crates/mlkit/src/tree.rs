@@ -119,7 +119,7 @@ impl DecisionTree {
             class: majority,
             value: counts[majority] as f64 / idx.len().max(1) as f64,
         };
-        if depth >= max_depth || idx.len() < min_split || gini(&counts, idx.len()) == 0.0 {
+        if depth >= max_depth || idx.len() < min_split || gini(&counts, idx.len()) == 0.0 { // lint: allow(float-eq) gini of a pure node is exactly 0.0 (sum of exact squares of 0/1 fractions)
             return leaf;
         }
 

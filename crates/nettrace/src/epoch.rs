@@ -15,11 +15,12 @@ use crate::trace::{FlowTrace, PacketTrace};
 /// later epoch; the final epoch is right-closed so no packet is dropped.
 pub fn split_packet_epochs(trace: &PacketTrace, n: usize) -> Vec<PacketTrace> {
     assert!(n > 0, "need at least one epoch");
-    if trace.is_empty() {
+    let (Some(t0), Some(t1)) = (
+        trace.packets.iter().map(|p| p.ts_micros).min(),
+        trace.packets.iter().map(|p| p.ts_micros).max(),
+    ) else {
         return vec![PacketTrace::new(); n];
-    }
-    let t0 = trace.packets.iter().map(|p| p.ts_micros).min().unwrap();
-    let t1 = trace.packets.iter().map(|p| p.ts_micros).max().unwrap();
+    };
     let span = (t1 - t0).max(1);
     let mut epochs = vec![PacketTrace::new(); n];
     for p in &trace.packets {

@@ -99,7 +99,7 @@ mod tests {
     #[test]
     fn io_errors_are_wrapped_with_source() {
         use std::error::Error;
-        let e: TraceError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        let e: TraceError = std::io::Error::other("boom").into();
         assert!(e.source().is_some());
         assert!(e.to_string().contains("boom"));
     }

@@ -50,6 +50,7 @@ impl AttackType {
 
     /// Stable index of this variant within [`AttackType::ALL`].
     pub fn index(self) -> usize {
+        // lint: allow(panic-in-lib) ALL enumerates every variant, so position always finds self
         AttackType::ALL.iter().position(|a| *a == self).expect("variant in ALL")
     }
 

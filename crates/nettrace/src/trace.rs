@@ -4,7 +4,7 @@ use crate::fivetuple::FiveTuple;
 use crate::flow::FlowRecord;
 use crate::packet::PacketRecord;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// An ordered packet-header trace (PCAP-style).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -55,8 +55,9 @@ impl PacketTrace {
     }
 
     /// Groups packets by five-tuple, preserving per-group arrival order.
-    pub fn group_by_five_tuple(&self) -> HashMap<FiveTuple, Vec<&PacketRecord>> {
-        let mut groups: HashMap<FiveTuple, Vec<&PacketRecord>> = HashMap::new();
+    /// Ordered map so group iteration is deterministic across processes.
+    pub fn group_by_five_tuple(&self) -> BTreeMap<FiveTuple, Vec<&PacketRecord>> {
+        let mut groups: BTreeMap<FiveTuple, Vec<&PacketRecord>> = BTreeMap::new();
         for p in &self.packets {
             groups.entry(p.five_tuple).or_default().push(p);
         }
@@ -65,7 +66,7 @@ impl PacketTrace {
 
     /// Number of distinct five-tuples.
     pub fn unique_flows(&self) -> usize {
-        let mut set = std::collections::HashSet::new();
+        let mut set = BTreeSet::new();
         for p in &self.packets {
             set.insert(p.five_tuple);
         }
@@ -127,8 +128,8 @@ impl FlowTrace {
     ///
     /// This is the paper's Fig. 1a quantity: multiple records sharing a
     /// five-tuple arise from collector timeouts and epoch boundaries.
-    pub fn group_by_five_tuple(&self) -> HashMap<FiveTuple, Vec<&FlowRecord>> {
-        let mut groups: HashMap<FiveTuple, Vec<&FlowRecord>> = HashMap::new();
+    pub fn group_by_five_tuple(&self) -> BTreeMap<FiveTuple, Vec<&FlowRecord>> {
+        let mut groups: BTreeMap<FiveTuple, Vec<&FlowRecord>> = BTreeMap::new();
         for f in &self.flows {
             groups.entry(f.five_tuple).or_default().push(f);
         }
@@ -137,7 +138,7 @@ impl FlowTrace {
 
     /// Number of distinct five-tuples.
     pub fn unique_flows(&self) -> usize {
-        let mut set = std::collections::HashSet::new();
+        let mut set = BTreeSet::new();
         for f in &self.flows {
             set.insert(f.five_tuple);
         }

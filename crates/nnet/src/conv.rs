@@ -137,7 +137,7 @@ impl crate::layers::Layer for Conv2d {
         let input = self
             .cached_input
             .as_ref()
-            .expect("backward called before forward");
+            .expect("backward called before forward"); // lint: allow(panic-in-lib) documented API contract: forward precedes backward (lint: allow(panic-in-lib) documented API contract: forward precedes backward)
         let (ho, wo) = (self.h_out(), self.w_out());
         assert_eq!(grad_output.cols(), self.out_dim(), "conv grad width mismatch");
         let mut grad_in = Tensor::zeros(input.rows(), self.in_dim());
@@ -149,7 +149,7 @@ impl crate::layers::Layer for Conv2d {
                 for oy in 0..ho {
                     for ox in 0..wo {
                         let g = gout[co * ho * wo + oy * wo + ox];
-                        if g == 0.0 {
+                        if g == 0.0 { // lint: allow(float-eq) zero-skip fast path: only exact 0.0 (zero-padded input) may skip the FMA
                             continue;
                         }
                         self.grad_b.data_mut()[co] += g;

@@ -93,7 +93,7 @@ impl DpSgdTrainer {
         // Gaussian noise on the sum, then average.
         let noise_std = self.cfg.noise_multiplier * self.cfg.clip_norm;
         if noise_std > 0.0 {
-            let normal = Normal::new(0.0, noise_std as f64).unwrap();
+            let normal = Normal::new(0.0, noise_std as f64).unwrap(); // lint: allow(panic-in-lib) noise_std > 0 checked on the previous line (lint: allow(panic-in-lib) noise_std > 0 checked on the previous line)
             for s in sum.iter_mut() {
                 *s += normal.sample(&mut self.rng) as f32;
             }
@@ -102,6 +102,7 @@ impl DpSgdTrainer {
         for s in sum.iter_mut() {
             *s *= inv;
         }
+        crate::sanitize::check_finite("dpsgd::sanitize_batch", &sum);
         model.set_flat_gradients(&sum);
         self.steps += 1;
     }

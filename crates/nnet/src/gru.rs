@@ -135,6 +135,7 @@ impl Gru {
     /// `[h_1, …, h_T]`. Clears any previous cache.
     pub fn forward_sequence(&mut self, xs: &[Tensor], h0: &Tensor) -> Vec<Tensor> {
         self.cache.clear();
+        let _scope = crate::sanitize::scope_with(|| "Gru::forward".to_string());
         let mut hs = Vec::with_capacity(xs.len());
         let mut h = h0.clone();
         for x in xs {
@@ -150,6 +151,7 @@ impl Gru {
     /// input gradients and the gradient w.r.t. `h0`. Consumes the cache.
     pub fn backward_sequence(&mut self, grad_hs: &[Tensor]) -> (Vec<Tensor>, Tensor) {
         assert_eq!(grad_hs.len(), self.cache.len(), "grad/cache length mismatch");
+        let _scope = crate::sanitize::scope_with(|| "Gru::backward".to_string());
         let steps = self.cache.len();
         let mut dxs = vec![Tensor::zeros(0, 0); steps];
         let mut dh_next = Tensor::zeros(

@@ -70,7 +70,7 @@ pub fn gemm_naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f
         let out_row = &mut c[i * n..(i + 1) * n];
         for kk in 0..k {
             let av = a[i * k + kk];
-            if av == 0.0 {
+            if av == 0.0 { // lint: allow(float-eq) zero-skip fast path: only exact 0.0 may skip the FMA, bitwise-identical to the dense path
                 continue;
             }
             let b_row = &b[kk * n..(kk + 1) * n];
@@ -101,7 +101,7 @@ fn gemm_rows_tiled(rows: usize, k: usize, n: usize, a_band: &[f32], b: &[f32], c
                 let a3 = a_row[kk + 3];
                 // Zero-skip generalizes to the block: all-zero input rows
                 // (padding, one-hot tails) skip the whole fused update.
-                if a0 != 0.0 || a1 != 0.0 || a2 != 0.0 || a3 != 0.0 {
+                if a0 != 0.0 || a1 != 0.0 || a2 != 0.0 || a3 != 0.0 { // lint: allow(float-eq) zero-skip fast path: only exact 0.0 may skip the FMA, bitwise-identical to the dense path
                     let b0 = &b[kk * n + jt..kk * n + je];
                     let b1 = &b[(kk + 1) * n + jt..(kk + 1) * n + je];
                     let b2 = &b[(kk + 2) * n + jt..(kk + 2) * n + je];
@@ -115,7 +115,7 @@ fn gemm_rows_tiled(rows: usize, k: usize, n: usize, a_band: &[f32], b: &[f32], c
             }
             for kk in kb_end..k {
                 let av = a_row[kk];
-                if av == 0.0 {
+                if av == 0.0 { // lint: allow(float-eq) zero-skip fast path: only exact 0.0 may skip the FMA, bitwise-identical to the dense path
                     continue;
                 }
                 let b_row = &b[kk * n + jt..kk * n + je];
@@ -172,7 +172,7 @@ pub fn gemm_tn_naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut
         let a_row = &a[r * k..(r + 1) * k];
         let b_row = &b[r * n..(r + 1) * n];
         for (i, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
+            if av == 0.0 { // lint: allow(float-eq) zero-skip fast path: only exact 0.0 may skip the FMA, bitwise-identical to the dense path
                 continue;
             }
             let out_row = &mut c[i * n..(i + 1) * n];
@@ -186,6 +186,7 @@ pub fn gemm_tn_naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut
 /// Tiled band kernel for `c += aᵀ·b`: each output row `i` (a column of
 /// `a`) is owned by exactly one band, accumulating over example rows `r`
 /// in absolute `KB` blocks.
+#[allow(clippy::too_many_arguments)] // flat scalar ABI: the band bounds and dims must stay separate for the hot loop
 fn gemm_tn_rows_tiled(
     i0: usize,
     rows: usize,
@@ -206,7 +207,7 @@ fn gemm_tn_rows_tiled(
             let a1 = a[(r + 1) * k + col];
             let a2 = a[(r + 2) * k + col];
             let a3 = a[(r + 3) * k + col];
-            if a0 != 0.0 || a1 != 0.0 || a2 != 0.0 || a3 != 0.0 {
+            if a0 != 0.0 || a1 != 0.0 || a2 != 0.0 || a3 != 0.0 { // lint: allow(float-eq) zero-skip fast path: only exact 0.0 may skip the FMA, bitwise-identical to the dense path
                 let b0 = &b[r * n..(r + 1) * n];
                 let b1 = &b[(r + 1) * n..(r + 2) * n];
                 let b2 = &b[(r + 2) * n..(r + 3) * n];
@@ -219,7 +220,7 @@ fn gemm_tn_rows_tiled(
         }
         for r in rb_end..m {
             let av = a[r * k + col];
-            if av == 0.0 {
+            if av == 0.0 { // lint: allow(float-eq) zero-skip fast path: only exact 0.0 may skip the FMA, bitwise-identical to the dense path
                 continue;
             }
             let b_row = &b[r * n..(r + 1) * n];

@@ -1,5 +1,6 @@
 //! Dense layers, activations, and sequential composition.
 
+use crate::sanitize;
 use crate::tensor::Tensor;
 use crate::Parameterized;
 use rand::prelude::*;
@@ -77,7 +78,7 @@ impl Layer for Linear {
         let input = self
             .cached_input
             .as_ref()
-            .expect("backward called before forward");
+            .expect("backward called before forward"); // lint: allow(panic-in-lib) documented API contract: forward precedes backward (lint: allow(panic-in-lib) documented API contract: forward precedes backward)
         // dW = xᵀ·dy (accumulated in place), db = Σ_rows dy, dx = dy·Wᵀ
         input.t_matmul_acc(grad_output, &mut self.grad_w);
         self.grad_b.add_assign(&grad_output.sum_rows());
@@ -176,6 +177,7 @@ impl Parameterized for ActivationLayer {
 impl Layer for ActivationLayer {
     fn forward(&mut self, input: &Tensor) -> Tensor {
         let out = input.map(|x| self.act.apply(x));
+        sanitize::check_finite("activation", out.data());
         self.cached_output = Some(out.clone());
         out
     }
@@ -184,7 +186,7 @@ impl Layer for ActivationLayer {
         let y = self
             .cached_output
             .as_ref()
-            .expect("backward called before forward");
+            .expect("backward called before forward"); // lint: allow(panic-in-lib) documented API contract: forward precedes backward (lint: allow(panic-in-lib) documented API contract: forward precedes backward)
         let deriv = y.map(|v| self.act.derivative_from_output(v));
         grad_output.hadamard(&deriv)
     }
@@ -207,6 +209,15 @@ impl Node {
             Node::Linear(l) => l,
             Node::Activation(a) => a,
             Node::Conv(c) => c,
+        }
+    }
+
+    /// Short kind name for sanitizer scope attribution.
+    fn kind_name(&self) -> &'static str {
+        match self {
+            Node::Linear(_) => "Linear",
+            Node::Activation(_) => "Activation",
+            Node::Conv(_) => "Conv",
         }
     }
 }
@@ -307,7 +318,9 @@ impl Parameterized for Sequential {
 impl Layer for Sequential {
     fn forward(&mut self, input: &Tensor) -> Tensor {
         let mut x = input.clone();
-        for node in &mut self.nodes {
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            let kind = node.kind_name();
+            let _scope = sanitize::scope_with(|| format!("seq[{i}]:{kind}"));
             x = node.as_layer_mut().forward(&x);
         }
         x
@@ -315,7 +328,9 @@ impl Layer for Sequential {
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let mut g = grad_output.clone();
-        for node in self.nodes.iter_mut().rev() {
+        for (i, node) in self.nodes.iter_mut().enumerate().rev() {
+            let kind = node.kind_name();
+            let _scope = sanitize::scope_with(|| format!("seq[{i}]:{kind}/backward"));
             g = node.as_layer_mut().backward(&g);
         }
         g

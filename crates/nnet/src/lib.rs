@@ -20,7 +20,10 @@
 //! * [`dpsgd`]: differentially-private SGD — per-example gradient clipping
 //!   plus calibrated Gaussian noise (Abadi et al., 2016);
 //! * [`serialize`]: parameter checkpointing, the mechanism behind
-//!   NetShare's fine-tuning warm starts (Insights 3 and 4).
+//!   NetShare's fine-tuning warm starts (Insights 3 and 4);
+//! * [`sanitize`]: feature-gated (`sanitize`) runtime guards — NaN/Inf and
+//!   shape checks after kernel ops, gradient-norm explosion detection,
+//!   with layer attribution via a thread-local scope stack.
 //!
 //! Everything is deterministic given a seeded RNG, so experiments are
 //! reproducible.
@@ -32,6 +35,7 @@ pub mod kernel;
 pub mod layers;
 pub mod loss;
 pub mod optim;
+pub mod sanitize;
 pub mod serialize;
 pub mod tensor;
 

@@ -43,17 +43,16 @@ pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor
     let mut grad = Tensor::zeros(logits.rows(), logits.cols());
     let mut loss = 0.0;
     let n = logits.rows() as f32;
-    for r in 0..logits.rows() {
+    for (r, &t) in targets.iter().enumerate() {
         let row = logits.row(r);
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
         let sum: f32 = exps.iter().sum();
-        let t = targets[r];
         assert!(t < logits.cols(), "target class out of range");
         loss += -(exps[t] / sum).ln();
         let grow = grad.row_mut(r);
-        for c in 0..row.len() {
-            grow[c] = (exps[c] / sum - if c == t { 1.0 } else { 0.0 }) / n;
+        for (c, g) in grow.iter_mut().enumerate() {
+            *g = (exps[c] / sum - if c == t { 1.0 } else { 0.0 }) / n;
         }
     }
     (loss / n, grad)

@@ -117,6 +117,7 @@ impl GradClip {
             .map(|g| g.data().iter().map(|&x| x * x).sum::<f32>())
             .sum::<f32>()
             .sqrt();
+        crate::sanitize::check_grad_norm("clip_global_norm", norm);
         if norm > max_norm && norm > 0.0 {
             let scale = max_norm / norm;
             for g in model.gradients_mut() {

@@ -1,0 +1,294 @@
+//! Runtime tensor sanitizer (feature `sanitize`).
+//!
+//! When the `sanitize` feature is enabled, the tensor kernels and layers
+//! verify their outputs as they compute: every GEMM exit is scanned for
+//! NaN/Inf, fused-accumulate shapes are cross-checked, and the global
+//! gradient norm is tested against an explosion threshold at the clipping
+//! point. A trip is *fatal by design* — the faulty op panics immediately
+//! with a layer-attributed message instead of letting a NaN silently
+//! poison thousands of downstream training steps (the classic GAN
+//! failure mode, visible only as a flat-lined loss hours later).
+//!
+//! Attribution comes from a thread-local *scope stack*: [`Sequential`]
+//! pushes `seq[i]:<kind>` around each node, the GRU pushes its step
+//! markers, so a trip inside the third layer of the generator reads
+//! `seq[2]:Linear` rather than "somewhere in a matmul". Before the panic,
+//! the incident is handed to an optional process-global hook
+//! ([`set_hook`]) — the pipeline uses it to emit a `SanitizerTripped`
+//! event into the orchestrator's JSONL stream, so the diagnostic survives
+//! the worker's panic-recovery machinery.
+//!
+//! With the feature disabled (the default), every entry point compiles to
+//! an empty inline function and the scope closures are never evaluated:
+//! the hot path carries no cost.
+//!
+//! [`Sequential`]: crate::layers::Sequential
+
+#[cfg(feature = "sanitize")]
+mod imp {
+    use std::cell::RefCell;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    /// What kind of invariant a trip violated.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum IncidentKind {
+        /// A NaN or ±Inf escaped an op.
+        NonFinite,
+        /// A fused-accumulate output had the wrong shape.
+        ShapeMismatch,
+        /// The global gradient norm exceeded the explosion threshold.
+        GradExplosion,
+    }
+
+    impl IncidentKind {
+        /// Stable short name (used in event streams and panic messages).
+        pub fn name(self) -> &'static str {
+            match self {
+                IncidentKind::NonFinite => "non-finite",
+                IncidentKind::ShapeMismatch => "shape-mismatch",
+                IncidentKind::GradExplosion => "grad-explosion",
+            }
+        }
+    }
+
+    /// One sanitizer trip, as handed to the [`set_hook`] observer just
+    /// before the fatal panic.
+    #[derive(Debug, Clone)]
+    pub struct Incident {
+        /// The scope stack at the trip, joined with `/` (layer attribution).
+        pub scope: String,
+        /// The op that tripped (e.g. `matmul_add_bias`, `clip_global_norm`).
+        pub op: String,
+        /// Violation category.
+        pub kind: IncidentKind,
+        /// Human-readable specifics (index, value, shapes, norms).
+        pub detail: String,
+    }
+
+    thread_local! {
+        static SCOPES: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// The installed incident observer, cloned out of the lock before
+    /// being called so a hook can itself take the lock.
+    type Hook = Arc<dyn Fn(&Incident) + Send + Sync>;
+
+    static HOOK: Mutex<Option<Hook>> = Mutex::new(None);
+
+    /// Gradient-norm explosion threshold, stored as f32 bits. The default
+    /// (1e6) is far above any healthy WGAN gradient but still finite, so
+    /// a diverging run trips before the norm overflows to Inf.
+    static GRAD_LIMIT_BITS: AtomicU32 = AtomicU32::new(1.0e6f32.to_bits());
+
+    /// Installs the process-global incident observer, replacing any
+    /// previous one. The hook runs on the tripping thread *before* the
+    /// panic, so it must not itself panic or block on the tripping
+    /// thread's locks.
+    pub fn set_hook(hook: impl Fn(&Incident) + Send + Sync + 'static) {
+        // lint: allow(panic-in-lib) poisoned hook lock is unrecoverable
+        *HOOK.lock().expect("sanitizer hook lock") = Some(Arc::new(hook));
+    }
+
+    /// Removes the incident observer installed by [`set_hook`].
+    pub fn clear_hook() {
+        // lint: allow(panic-in-lib) poisoned hook lock is unrecoverable
+        *HOOK.lock().expect("sanitizer hook lock") = None;
+    }
+
+    /// Sets the gradient-norm explosion threshold (process-global).
+    pub fn set_grad_norm_limit(limit: f32) {
+        GRAD_LIMIT_BITS.store(limit.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current gradient-norm explosion threshold.
+    pub fn grad_norm_limit() -> f32 {
+        f32::from_bits(GRAD_LIMIT_BITS.load(Ordering::Relaxed))
+    }
+
+    /// RAII guard popping one scope-stack entry on drop.
+    pub struct ScopeGuard(());
+
+    impl Drop for ScopeGuard {
+        fn drop(&mut self) {
+            SCOPES.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+
+    /// Pushes a named scope (layer attribution) for the guard's lifetime.
+    /// The name closure is only evaluated when the feature is on, so call
+    /// sites can format freely without taxing release builds.
+    pub fn scope_with(name: impl FnOnce() -> String) -> ScopeGuard {
+        SCOPES.with(|s| s.borrow_mut().push(name()));
+        ScopeGuard(())
+    }
+
+    /// The current scope path (`a/b/c`), `<unscoped>` outside any scope.
+    pub fn current_scope() -> String {
+        let joined = SCOPES.with(|s| s.borrow().join("/"));
+        if joined.is_empty() {
+            "<unscoped>".to_string()
+        } else {
+            joined
+        }
+    }
+
+    fn trip(kind: IncidentKind, op: &str, detail: String) -> ! {
+        let incident = Incident {
+            scope: current_scope(),
+            op: op.to_string(),
+            kind,
+            detail,
+        };
+        // lint: allow(panic-in-lib) poisoned hook lock is unrecoverable
+        let hook = HOOK.lock().expect("sanitizer hook lock").clone();
+        if let Some(hook) = hook {
+            hook(&incident);
+        }
+        // lint: allow(panic-in-lib) sanitizer trips are deliberately fatal: fail at the faulty op, not thousands of steps later
+        panic!(
+            "sanitize[{}]: {} in scope `{}` during `{}`",
+            incident.kind.name(),
+            incident.detail,
+            incident.scope,
+            incident.op
+        );
+    }
+
+    /// Trips if any element of `data` is NaN or ±Inf.
+    pub fn check_finite(op: &str, data: &[f32]) {
+        if let Some((i, &v)) = data.iter().enumerate().find(|(_, v)| !v.is_finite()) {
+            trip(
+                IncidentKind::NonFinite,
+                op,
+                format!("element {i} of {} is {v}", data.len()),
+            );
+        }
+    }
+
+    /// Trips if a fused-accumulate output shape disagrees with the
+    /// operands (reported with attribution before the plain assert fires).
+    pub fn check_shape(op: &str, expected: (usize, usize), got: (usize, usize)) {
+        if expected != got {
+            trip(
+                IncidentKind::ShapeMismatch,
+                op,
+                format!(
+                    "expected {}x{}, got {}x{}",
+                    expected.0, expected.1, got.0, got.1
+                ),
+            );
+        }
+    }
+
+    /// Trips on a non-finite or exploding global gradient norm.
+    pub fn check_grad_norm(op: &str, norm: f32) {
+        if !norm.is_finite() {
+            trip(
+                IncidentKind::NonFinite,
+                op,
+                format!("global gradient norm is {norm}"),
+            );
+        }
+        let limit = grad_norm_limit();
+        if norm > limit {
+            trip(
+                IncidentKind::GradExplosion,
+                op,
+                format!("global gradient norm {norm} exceeds limit {limit}"),
+            );
+        }
+    }
+}
+
+#[cfg(feature = "sanitize")]
+pub use imp::*;
+
+#[cfg(not(feature = "sanitize"))]
+mod noop {
+    /// No-op stand-in; the real guard only exists under `sanitize`.
+    pub struct ScopeGuard(());
+
+    /// No-op: the name closure is never evaluated.
+    #[inline(always)]
+    pub fn scope_with(_name: impl FnOnce() -> String) -> ScopeGuard {
+        ScopeGuard(())
+    }
+
+    /// No-op.
+    #[inline(always)]
+    pub fn check_finite(_op: &str, _data: &[f32]) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn check_shape(_op: &str, _expected: (usize, usize), _got: (usize, usize)) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn check_grad_norm(_op: &str, _norm: f32) {}
+}
+
+#[cfg(not(feature = "sanitize"))]
+pub use noop::*;
+
+#[cfg(all(test, feature = "sanitize"))]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn panic_message(r: std::thread::Result<()>) -> String {
+        let err = r.expect_err("should have tripped");
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn finite_data_passes() {
+        check_finite("test-op", &[0.0, 1.5, -3.0]);
+        check_shape("test-op", (2, 3), (2, 3));
+        check_grad_norm("test-op", 1.0);
+    }
+
+    #[test]
+    fn nan_trips_with_scope_attribution() {
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| {
+            let _outer = scope_with(|| "outer".to_string());
+            let _inner = scope_with(|| "inner".to_string());
+            check_finite("unit-nan", &[1.0, f32::NAN]);
+        })));
+        assert!(msg.contains("non-finite"), "{msg}");
+        assert!(msg.contains("outer/inner"), "{msg}");
+        assert!(msg.contains("unit-nan"), "{msg}");
+        assert!(msg.contains("element 1"), "{msg}");
+    }
+
+    #[test]
+    fn scope_stack_unwinds_with_guards() {
+        {
+            let _g = scope_with(|| "transient".to_string());
+            assert_eq!(current_scope(), "transient");
+        }
+        assert_eq!(current_scope(), "<unscoped>");
+    }
+
+    #[test]
+    fn shape_mismatch_trips() {
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| {
+            check_shape("unit-shape", (2, 3), (3, 2));
+        })));
+        assert!(msg.contains("shape-mismatch"), "{msg}");
+        assert!(msg.contains("expected 2x3, got 3x2"), "{msg}");
+    }
+
+    #[test]
+    fn infinite_norm_trips_as_non_finite() {
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| {
+            check_grad_norm("unit-norm", f32::INFINITY);
+        })));
+        assert!(msg.contains("non-finite"), "{msg}");
+    }
+}

@@ -39,7 +39,7 @@ pub fn restore(model: &mut dyn Parameterized, ckpt: &Checkpoint) {
 
 /// Serializes a checkpoint to JSON.
 pub fn to_json(ckpt: &Checkpoint) -> String {
-    serde_json::to_string(ckpt).expect("checkpoint serialization cannot fail")
+    serde_json::to_string(ckpt).expect("checkpoint serialization cannot fail") // lint: allow(panic-in-lib) checkpoints are plain finite-float structs, serialization is total (lint: allow(panic-in-lib) checkpoints are plain finite-float structs, serialization is total)
 }
 
 /// Parses a checkpoint from JSON.

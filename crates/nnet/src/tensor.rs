@@ -12,6 +12,7 @@
 //! makes one sweep over memory instead of two.
 
 use crate::kernel;
+use crate::sanitize;
 use rand::prelude::*;
 use rand_distr::{Distribution, Normal};
 use serde::{Deserialize, Serialize};
@@ -52,7 +53,7 @@ impl Tensor {
     /// Xavier/Glorot-normal initialization, suitable for tanh/sigmoid nets.
     pub fn xavier<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
         let std = (2.0 / (rows + cols) as f64).sqrt();
-        let dist = Normal::new(0.0, std).expect("valid normal");
+        let dist = Normal::new(0.0, std).expect("valid normal"); // lint: allow(panic-in-lib) std is finite and positive by construction (lint: allow(panic-in-lib) std is finite and positive by construction)
         Tensor {
             rows,
             cols,
@@ -63,7 +64,7 @@ impl Tensor {
     /// He-normal initialization, suitable for ReLU nets.
     pub fn he<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
         let std = (2.0 / rows as f64).sqrt();
-        let dist = Normal::new(0.0, std).expect("valid normal");
+        let dist = Normal::new(0.0, std).expect("valid normal"); // lint: allow(panic-in-lib) std is finite and positive by construction (lint: allow(panic-in-lib) std is finite and positive by construction)
         Tensor {
             rows,
             cols,
@@ -73,7 +74,7 @@ impl Tensor {
 
     /// Standard-normal noise tensor (the GAN latent input).
     pub fn randn<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
-        let dist = Normal::new(0.0, 1.0).unwrap();
+        let dist = Normal::new(0.0, 1.0).unwrap(); // lint: allow(panic-in-lib) constant (0,1) parameters are valid (lint: allow(panic-in-lib) constant (0,1) parameters are valid)
         Tensor {
             rows,
             cols,
@@ -166,6 +167,7 @@ impl Tensor {
             self.rows, self.cols, other.cols,
             &self.data, &other.data, &mut out.data,
         );
+        sanitize::check_finite("matmul", &out.data);
         out
     }
 
@@ -224,6 +226,7 @@ impl Tensor {
             self.rows, self.cols, other.cols,
             &self.data, &other.data, &mut out.data,
         );
+        sanitize::check_finite("matmul_add_bias", &out.data);
         out
     }
 
@@ -234,11 +237,13 @@ impl Tensor {
     /// Panics on a dimension mismatch with `acc`.
     pub fn matmul_acc(&self, other: &Tensor, acc: &mut Tensor) {
         self.assert_matmul_dims(other);
+        sanitize::check_shape("matmul_acc", (self.rows, other.cols), acc.shape());
         assert_eq!(acc.shape(), (self.rows, other.cols), "matmul_acc shape mismatch");
         kernel::gemm_auto(
             self.rows, self.cols, other.cols,
             &self.data, &other.data, &mut acc.data,
         );
+        sanitize::check_finite("matmul_acc", &acc.data);
     }
 
     /// `selfᵀ · other` without materializing the transpose.
@@ -249,6 +254,7 @@ impl Tensor {
             self.rows, self.cols, other.cols,
             &self.data, &other.data, &mut out.data,
         );
+        sanitize::check_finite("t_matmul", &out.data);
         out
     }
 
@@ -271,11 +277,13 @@ impl Tensor {
     /// Panics on a dimension mismatch with `acc`.
     pub fn t_matmul_acc(&self, other: &Tensor, acc: &mut Tensor) {
         assert_eq!(self.rows, other.rows, "t_matmul row mismatch");
+        sanitize::check_shape("t_matmul_acc", (self.cols, other.cols), acc.shape());
         assert_eq!(acc.shape(), (self.cols, other.cols), "t_matmul_acc shape mismatch");
         kernel::gemm_tn_auto(
             self.rows, self.cols, other.cols,
             &self.data, &other.data, &mut acc.data,
         );
+        sanitize::check_finite("t_matmul_acc", &acc.data);
     }
 
     /// `self · otherᵀ` without materializing the transpose.
@@ -286,6 +294,7 @@ impl Tensor {
             self.rows, self.cols, other.rows,
             &self.data, &other.data, &mut out.data,
         );
+        sanitize::check_finite("matmul_t", &out.data);
         out
     }
 

@@ -140,7 +140,7 @@ fn linear_batch_on_parallel_kernel_path() {
     // even on a single-core host. Safe process-wide: the parallel path
     // is bitwise identical to the tiled path at any thread count.
     std::env::set_var("RAYON_NUM_THREADS", "4");
-    assert!(32 * 64 * 64 >= nnet::kernel::PAR_MIN_FLOPS);
+    const _: () = assert!(32 * 64 * 64 >= nnet::kernel::PAR_MIN_FLOPS);
     let mut rng = StdRng::seed_from_u64(12);
     let mut l = Linear::new(64, 64, &mut rng);
     let x = Tensor::randn(32, 64, &mut rng);

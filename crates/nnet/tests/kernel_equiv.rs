@@ -40,8 +40,8 @@ fn tensor_strategy(
             seed ^ zero_mask.iter().fold(0u64, |h, &b| h.wrapping_mul(31).wrapping_add(b as u64)),
         );
         let mut t = Tensor::zeros(rows, cols);
-        for r in 0..rows {
-            if zero_mask[r] == 0 {
+        for (r, &mask) in zero_mask.iter().enumerate().take(rows) {
+            if mask == 0 {
                 continue; // planted all-zero row
             }
             for v in t.row_mut(r) {

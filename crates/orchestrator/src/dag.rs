@@ -1,6 +1,6 @@
 //! Job specifications and DAG validation.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// The boxed job body: receives the outputs of its dependencies, returns
@@ -37,7 +37,7 @@ impl<'a, P> JobSpec<'a, P> {
 
 /// The outputs a job's dependencies produced, keyed by job id.
 pub struct JobInputs<P> {
-    pub(crate) deps: HashMap<String, Arc<P>>,
+    pub(crate) deps: BTreeMap<String, Arc<P>>,
     /// Zero-based attempt number of the current execution.
     pub attempt: u32,
 }
@@ -65,7 +65,7 @@ impl<'a, P> Plan<'a, P> {
     /// Validates a job list into a plan: ids must be unique and non-empty,
     /// dependencies must name existing jobs, and the graph must be acyclic.
     pub fn new(jobs: Vec<JobSpec<'a, P>>) -> Result<Self, String> {
-        let mut index: HashMap<&str, usize> = HashMap::new();
+        let mut index: BTreeMap<&str, usize> = BTreeMap::new();
         for (i, j) in jobs.iter().enumerate() {
             if j.id.is_empty() {
                 return Err("job id must be non-empty".into());

@@ -95,6 +95,21 @@ pub enum Event {
         /// Generator steps executed.
         gen_steps: u64,
     },
+    /// The nnet runtime sanitizer tripped inside a training job (feature
+    /// `sanitize` on the pipeline). Emitted by the sanitizer hook *before*
+    /// the fatal panic, so the diagnostic lands in the stream even though
+    /// the worker's panic recovery then reports a generic `JobRetried` /
+    /// `JobFailed`.
+    SanitizerTripped {
+        /// Layer-attribution scope path (e.g. `seq[2]:Linear`).
+        scope: String,
+        /// The op that tripped (e.g. `matmul_add_bias`).
+        op: String,
+        /// Violation kind: `non-finite`, `shape-mismatch`, `grad-explosion`.
+        kind: String,
+        /// Human-readable specifics (index, value, shapes, norms).
+        detail: String,
+    },
     /// The run finished (all jobs completed or verified).
     RunFinished {
         /// Wall-clock seconds of the whole run.
@@ -129,7 +144,7 @@ impl EventLog {
     pub fn with_stderr(self) -> Self {
         self.sinks
             .lock()
-            .expect("event sink lock")
+            .expect("event sink lock") // lint: allow(panic-in-lib) poisoned event lock is unrecoverable (lint: allow(panic-in-lib) poisoned event lock is unrecoverable)
             .push(Box::new(std::io::stderr()));
         self
     }
@@ -142,7 +157,7 @@ impl EventLog {
             .open(path)?;
         self.sinks
             .lock()
-            .expect("event sink lock")
+            .expect("event sink lock") // lint: allow(panic-in-lib) poisoned event lock is unrecoverable (lint: allow(panic-in-lib) poisoned event lock is unrecoverable)
             .push(Box::new(file));
         Ok(self)
     }
@@ -153,19 +168,19 @@ impl EventLog {
             format!("{{\"EventSerializationError\":\"{e}\"}}")
         });
         {
-            let mut sinks = self.sinks.lock().expect("event sink lock");
+            let mut sinks = self.sinks.lock().expect("event sink lock"); // lint: allow(panic-in-lib) poisoned event lock is unrecoverable (lint: allow(panic-in-lib) poisoned event lock is unrecoverable)
             for s in sinks.iter_mut() {
                 // Sink failures must never take training down; drop the line.
                 let _ = writeln!(s, "{line}");
                 let _ = s.flush();
             }
         }
-        self.memory.lock().expect("event memory lock").push(ev);
+        self.memory.lock().expect("event memory lock").push(ev); // lint: allow(panic-in-lib) poisoned event lock is unrecoverable (lint: allow(panic-in-lib) poisoned event lock is unrecoverable)
     }
 
     /// A snapshot of every event emitted so far.
     pub fn events(&self) -> Vec<Event> {
-        self.memory.lock().expect("event memory lock").clone()
+        self.memory.lock().expect("event memory lock").clone() // lint: allow(panic-in-lib) poisoned event lock is unrecoverable (lint: allow(panic-in-lib) poisoned event lock is unrecoverable)
     }
 }
 
@@ -220,6 +235,12 @@ mod tests {
                 g_loss: -1.5,
                 critic_steps: 12,
                 gen_steps: 4,
+            },
+            Event::SanitizerTripped {
+                scope: "seq[2]:Linear".into(),
+                op: "matmul_add_bias".into(),
+                kind: "non-finite".into(),
+                detail: "element 3 of 128 is NaN".into(),
             },
             Event::RunFinished {
                 wall_seconds: 1.0,

@@ -10,13 +10,13 @@
 use crate::dag::{JobInputs, Plan};
 use crate::events::{Event, EventLog};
 use crate::manifest::{atomic_write, fnv1a64, Manifest, ManifestEntry, MANIFEST_VERSION};
-use crate::timing::measure;
+use crate::timing::{measure, Stopwatch};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Deterministic fault injection for tests: given `(job_id, attempt)`,
 /// return `Some(message)` to make that attempt fail before the job body
@@ -138,9 +138,9 @@ pub struct JobStats {
 /// The result of a successful run.
 pub struct RunReport<P> {
     /// Every job's payload, keyed by job id.
-    pub outputs: HashMap<String, Arc<P>>,
+    pub outputs: BTreeMap<String, Arc<P>>,
     /// Per-job accounting, keyed by job id.
-    pub stats: HashMap<String, JobStats>,
+    pub stats: BTreeMap<String, JobStats>,
     /// Wall seconds of the whole run.
     pub wall_seconds: f64,
     /// Summed per-job CPU seconds (manifest values for skipped jobs).
@@ -157,7 +157,7 @@ struct SchedState<P> {
     /// Unmet dependency count per job.
     remaining: Vec<usize>,
     /// Published outputs (resumed and executed), by job index.
-    outputs: HashMap<usize, Arc<P>>,
+    outputs: BTreeMap<usize, Arc<P>>,
     /// Stats of jobs executed this run, by job index.
     executed: Vec<Option<JobStats>>,
     /// First hard failure; set once, cancels all pending work.
@@ -182,9 +182,9 @@ pub fn run<P>(
 where
     P: Serialize + Deserialize + Send + Sync,
 {
-    let wall_start = Instant::now();
+    let wall_start = Stopwatch::start();
     let n = plan.jobs.len();
-    let index: HashMap<&str, usize> = plan
+    let index: BTreeMap<&str, usize> = plan
         .jobs
         .iter()
         .enumerate()
@@ -199,8 +199,8 @@ where
 
     // ---- manifest recovery -------------------------------------------
     let mut manifest = Manifest::new(opts.run_key.clone());
-    let mut resumed: HashMap<usize, Arc<P>> = HashMap::new();
-    let mut resumed_stats: HashMap<String, JobStats> = HashMap::new();
+    let mut resumed: BTreeMap<usize, Arc<P>> = BTreeMap::new();
+    let mut resumed_stats: BTreeMap<String, JobStats> = BTreeMap::new();
     if let Some(dir) = &opts.checkpoint_dir {
         std::fs::create_dir_all(dir.join("jobs")).map_err(|e| OrchestratorError::Io {
             path: dir.join("jobs"),
@@ -216,6 +216,7 @@ where
                         let Ok(payload) = serde_json::from_str::<P>(&text) else {
                             continue; // undecodable payload: just re-run it
                         };
+                        // lint: allow(panic-in-lib) verified_payload returned Some, so the entry exists
                         let entry = old.entry(&job.id).cloned().expect("verified entry");
                         resumed_stats.insert(
                             job.id.clone(),
@@ -299,13 +300,15 @@ where
     }
 
     // ---- report -------------------------------------------------------
+    // lint: allow(panic-in-lib) poisoned scheduler lock is unrecoverable (see `lock`)
     let mut st = shared.state.into_inner().expect("scheduler state");
     if let Some(err) = st.failure.take() {
         return Err(err);
     }
-    let mut outputs = HashMap::new();
+    let mut outputs = BTreeMap::new();
     let mut stats = resumed_stats;
     for (i, job) in plan.jobs.iter().enumerate() {
+        // lint: allow(panic-in-lib) failure was None, so every job published an output
         let p = st.outputs.remove(&i).expect("completed run has every output");
         outputs.insert(job.id.clone(), p);
         if let Some(js) = st.executed[i].take() {
@@ -318,7 +321,7 @@ where
     let report = RunReport {
         outputs,
         stats,
-        wall_seconds: wall_start.elapsed().as_secs_f64(),
+        wall_seconds: wall_start.elapsed_seconds(),
         cpu_seconds,
         completed,
         skipped,
@@ -343,7 +346,7 @@ fn worker_loop<P>(
 ) where
     P: Serialize + Deserialize + Send + Sync,
 {
-    let index: HashMap<&str, usize> = plan
+    let index: BTreeMap<&str, usize> = plan
         .jobs
         .iter()
         .enumerate()
@@ -352,7 +355,7 @@ fn worker_loop<P>(
     loop {
         // Claim a ready job (or leave: run finished / failed).
         let job_idx = {
-            let mut st = shared.state.lock().expect("scheduler state");
+            let mut st = lock(&shared.state, "scheduler state");
             loop {
                 if st.failure.is_some() || st.outputs.len() == plan.jobs.len() {
                     return;
@@ -360,14 +363,15 @@ fn worker_loop<P>(
                 if let Some(i) = st.ready.pop_front() {
                     break i;
                 }
+                // lint: allow(panic-in-lib) poisoned scheduler lock is unrecoverable (see `lock`)
                 st = shared.cond.wait(st).expect("scheduler state");
             }
         };
         let job = &plan.jobs[job_idx];
 
         // Snapshot dependency outputs (Arc clones; cheap).
-        let deps: HashMap<String, Arc<P>> = {
-            let st = shared.state.lock().expect("scheduler state");
+        let deps: BTreeMap<String, Arc<P>> = {
+            let st = lock(&shared.state, "scheduler state");
             job.deps
                 .iter()
                 .map(|d| (d.clone(), Arc::clone(&st.outputs[&index[d.as_str()]])))
@@ -393,7 +397,7 @@ fn worker_loop<P>(
                     wall_seconds: wall,
                     cpu_seconds: cpu,
                 });
-                let mut st = shared.state.lock().expect("scheduler state");
+                let mut st = lock(&shared.state, "scheduler state");
                 st.outputs.insert(job_idx, Arc::new(payload));
                 st.executed[job_idx] = Some(JobStats {
                     attempts,
@@ -436,7 +440,7 @@ fn execute_with_retry<P>(
     plan: &Plan<'_, P>,
     opts: &RunOptions,
     events: &EventLog,
-    deps: HashMap<String, Arc<P>>,
+    deps: BTreeMap<String, Arc<P>>,
 ) -> Result<(P, u32), (String, u32)>
 where
     P: Send + Sync,
@@ -493,10 +497,17 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Locks a scheduler mutex. A poisoned lock means a worker panicked
+/// *outside* `catch_unwind` — scheduler state may be torn, and no retry
+/// policy can repair it, so propagating the panic is the only safe move.
+fn lock<'a, T>(m: &'a Mutex<T>, what: &'static str) -> std::sync::MutexGuard<'a, T> {
+    m.lock().expect(what) // lint: allow(panic-in-lib) poisoned scheduler lock is unrecoverable
+}
+
 /// Records the first hard failure and wakes every worker so the run winds
 /// down (pending jobs are cancelled; running jobs finish and persist).
 fn fail_run<P>(shared: &Shared<P>, err: OrchestratorError) {
-    let mut st = shared.state.lock().expect("scheduler state");
+    let mut st = lock(&shared.state, "scheduler state");
     if st.failure.is_none() {
         st.failure = Some(err);
     }
@@ -524,7 +535,7 @@ fn persist<P: Serialize>(
         path,
         message: e.to_string(),
     })?;
-    let mut m = manifest.lock().expect("manifest lock");
+    let mut m = lock(manifest, "manifest lock");
     m.record(ManifestEntry {
         id: id.to_string(),
         file,

@@ -21,6 +21,27 @@ pub fn thread_cpu_seconds() -> Option<f64> {
     Some((utime + stime) / 100.0) // CLK_TCK = 100 on Linux
 }
 
+/// A started wall clock. This is the only sanctioned way for orchestrator
+/// code outside this module to read elapsed time (the `ambient-entropy`
+/// lint bans raw `Instant::now()` so timing stays observable and auditable
+/// in one place).
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a stopwatch.
+    pub fn start() -> Self {
+        Stopwatch { start: Instant::now() }
+    }
+
+    /// Wall seconds since `start()`.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
 /// Measures `f`, returning `(result, wall_seconds, cpu_seconds)` where
 /// `cpu_seconds` prefers thread CPU time and falls back to wall time.
 pub fn measure<T>(f: impl FnOnce() -> T) -> (T, f64, f64) {
@@ -44,6 +65,14 @@ mod tests {
         let (v, wall, cpu) = measure(|| (0..1000u64).sum::<u64>());
         assert_eq!(v, 499_500);
         assert!(wall >= 0.0 && cpu >= 0.0);
+    }
+
+    #[test]
+    fn stopwatch_elapsed_is_nonnegative_and_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_seconds();
+        let b = sw.elapsed_seconds();
+        assert!(a >= 0.0 && b >= a);
     }
 
     #[test]

@@ -81,6 +81,6 @@ mod tests {
             s.update(k, 1);
         }
         let est = s.estimate(1);
-        assert!(est >= 100_000.0 && est < 100_000.0 * 1.05, "est {est}");
+        assert!((100_000.0..100_000.0 * 1.05).contains(&est), "est {est}");
     }
 }

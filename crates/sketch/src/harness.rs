@@ -9,7 +9,7 @@
 use crate::hash::hash64;
 use crate::Sketch;
 use nettrace::PacketTrace;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The aggregation key for heavy-hitter detection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,8 +41,8 @@ impl HhKey {
 }
 
 /// Exact per-key packet counts.
-pub fn exact_counts(trace: &PacketTrace, key: HhKey) -> HashMap<u64, u64> {
-    let mut counts = HashMap::new();
+pub fn exact_counts(trace: &PacketTrace, key: HhKey) -> BTreeMap<u64, u64> {
+    let mut counts = BTreeMap::new();
     for p in &trace.packets {
         *counts.entry(key.extract(p)).or_insert(0) += 1;
     }

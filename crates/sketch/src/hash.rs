@@ -66,7 +66,7 @@ mod tests {
     #[test]
     fn levels_are_geometric() {
         let n = 100_000u64;
-        let mut counts = vec![0usize; 8];
+        let mut counts = [0usize; 8];
         for k in 0..n {
             counts[level(k, 9, 7)] += 1;
         }

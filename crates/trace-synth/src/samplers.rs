@@ -22,7 +22,7 @@ impl<T: Clone> ZipfPool<T> {
     /// Panics if `items` is empty or `s` is not positive and finite.
     pub fn new(items: Vec<T>, s: f64) -> Self {
         assert!(!items.is_empty(), "ZipfPool needs at least one item");
-        let zipf = Zipf::new(items.len() as u64, s).expect("valid Zipf parameters");
+        let zipf = Zipf::new(items.len() as u64, s).expect("valid Zipf parameters"); // lint: allow(panic-in-lib) items non-empty asserted on the previous line
         ZipfPool { items, zipf }
     }
 
@@ -72,8 +72,8 @@ impl HeavyTailSampler {
     /// * `max` — hard cap applied to all draws (keeps fields in-domain).
     pub fn new(mu: f64, sigma: f64, tail_scale: f64, tail_alpha: f64, tail_p: f64, max: f64) -> Self {
         HeavyTailSampler {
-            body: LogNormal::new(mu, sigma).expect("valid log-normal parameters"),
-            tail: Pareto::new(tail_scale, tail_alpha).expect("valid Pareto parameters"),
+            body: LogNormal::new(mu, sigma).expect("valid log-normal parameters"), // lint: allow(panic-in-lib) parameters validated by the callers' asserts
+            tail: Pareto::new(tail_scale, tail_alpha).expect("valid Pareto parameters"), // lint: allow(panic-in-lib) parameters validated by the callers' asserts
             tail_p,
             max,
         }
@@ -121,7 +121,7 @@ impl<T: Clone> CategoricalSampler<T> {
             items.push(item);
             cumulative.push(acc);
         }
-        *cumulative.last_mut().unwrap() = 1.0; // absorb rounding
+        *cumulative.last_mut().unwrap() = 1.0; // lint: allow(panic-in-lib) loop pushed at least one element (pairs non-empty) (absorb rounding)
         CategoricalSampler { items, cumulative }
     }
 

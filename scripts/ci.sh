@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Tier-1 gate: release build, root test suite, bench compile check, and an
+# Tier-1 gate: release build, root test suite, bench compile check, static
+# analysis (clippy + netshare-lint), the sanitize-feature test suite, and an
 # orchestrator fault-injection smoke test through the CLI.
 # Run from anywhere; operates on the repo root.
 set -euo pipefail
@@ -8,6 +9,17 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo bench -p bench --no-run
+
+# Static analysis gate: the workspace must be clippy-clean at -D warnings
+# and deny-clean under the in-tree linter (exit 1 on any deny finding).
+cargo clippy --workspace --all-targets -- -D warnings
+cargo run -q --release -p analyzer --bin netshare-lint -- --format json \
+  > /dev/null
+echo "netshare-lint: workspace deny-clean"
+
+# Runtime sanitizer gate: the feature-gated NaN/shape/grad-norm guards must
+# build and their trip tests (layer attribution, hook delivery) must pass.
+cargo test -q -p nnet --features sanitize
 
 # Orchestrator smoke: inject one training-job fault through the CLI's
 # NETSHARE_INJECT_FAULT hook. The run must retry the job and complete

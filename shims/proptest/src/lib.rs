@@ -398,7 +398,7 @@ mod tests {
         }
 
         #[test]
-        fn oneof_hits_every_arm(x in prop_oneof![Just(0u8), Just(1u8), (5u8..=7)]) {
+        fn oneof_hits_every_arm(x in prop_oneof![Just(0u8), Just(1u8), 5u8..=7]) {
             prop_assert!(x == 0 || x == 1 || (5u8..=7).contains(&x));
         }
 

@@ -8,6 +8,10 @@
 //! `rand_distr`, but the distributions are correct and deterministic
 //! given a seeded generator.
 
+// Shim-local lint noise: `!(x > 0.0)` is deliberate — it also rejects NaN,
+// which `x <= 0.0` would let through.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
 pub use rand::distributions::Distribution;
 use rand::Rng;
 
