@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::path::Path;
 
-/// The six shipped rules.
+/// The seven shipped rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum RuleId {
     /// `HashMap`/`HashSet` in determinism-critical crates: unordered
@@ -23,17 +23,23 @@ pub enum RuleId {
     UndocumentedUnsafe,
     /// `unwrap`/`expect`/`panic!` in library code (tests/bins exempt).
     PanicInLib,
+    /// Raw `telemetry::clock::monotonic_nanos` reads outside the
+    /// sanctioned timing shims — product code takes timestamps via
+    /// `orchestrator::timing::Stopwatch` or telemetry's span/timer
+    /// guards so every duration is anchored to one process epoch.
+    TelemetryClock,
 }
 
 impl RuleId {
     /// Every rule, in catalogue order.
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 7] = [
         RuleId::NondeterministicIteration,
         RuleId::AmbientEntropy,
         RuleId::DpBoundary,
         RuleId::FloatEq,
         RuleId::UndocumentedUnsafe,
         RuleId::PanicInLib,
+        RuleId::TelemetryClock,
     ];
 
     /// The kebab-case name used in diagnostics, waivers, and CLI flags.
@@ -45,6 +51,7 @@ impl RuleId {
             RuleId::FloatEq => "float-eq",
             RuleId::UndocumentedUnsafe => "undocumented-unsafe",
             RuleId::PanicInLib => "panic-in-lib",
+            RuleId::TelemetryClock => "telemetry-clock",
         }
     }
 
@@ -68,6 +75,9 @@ impl RuleId {
             RuleId::FloatEq => "== / != against float literals in metrics/training code",
             RuleId::UndocumentedUnsafe => "`unsafe` without a preceding `// SAFETY:` comment",
             RuleId::PanicInLib => "unwrap/expect/panic! in library code (tests/bins exempt)",
+            RuleId::TelemetryClock => {
+                "raw telemetry::clock::monotonic_nanos reads outside orchestrator::timing and telemetry's own guards"
+            }
         }
     }
 }
@@ -135,6 +145,9 @@ pub struct Config {
     pub float_eq_crates: Vec<String>,
     /// Path prefixes (workspace-relative) exempt from `ambient-entropy`.
     pub entropy_whitelist: Vec<String>,
+    /// Path prefixes (workspace-relative) allowed to call
+    /// `telemetry::clock::monotonic_nanos` directly.
+    pub clock_whitelist: Vec<String>,
     /// Identifiers banned in `dp-post-noise`-tagged files.
     pub dp_banned: Vec<String>,
     /// Marker that tags a file as a post-noise consumer.
@@ -160,6 +173,7 @@ impl Default for Config {
                 "fieldcodec",
                 "nettrace",
                 "sketch",
+                "telemetry",
             ]
             .map(String::from)
             .to_vec(),
@@ -171,12 +185,21 @@ impl Default for Config {
                 "mlkit",
                 "baselines",
                 "privacy",
+                "telemetry",
             ]
             .map(String::from)
             .to_vec(),
             entropy_whitelist: [
                 "crates/orchestrator/src/timing.rs",
+                "crates/telemetry/src/clock.rs",
                 "crates/bench/",
+                "shims/",
+            ]
+            .map(String::from)
+            .to_vec(),
+            clock_whitelist: [
+                "crates/telemetry/src/",
+                "crates/orchestrator/src/timing.rs",
                 "shims/",
             ]
             .map(String::from)

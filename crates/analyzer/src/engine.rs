@@ -68,6 +68,7 @@ pub fn lint_source(meta: &FileMeta, cfg: &Config, src: &str) -> Vec<Diagnostic> 
     rule_float_eq(&ctx, &mut out);
     rule_undocumented_unsafe(&ctx, &lexed, &mut out);
     rule_panic_in_lib(&ctx, &mut out);
+    rule_telemetry_clock(&ctx, &mut out);
 
     for d in &mut out {
         if let Some(w) = waivers.iter().find(|w| w.rule == d.rule && w.covers == d.line) {
@@ -457,6 +458,46 @@ fn rule_panic_in_lib(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Rule 7 — `telemetry-clock`.
+///
+/// Flags raw `monotonic_nanos` reads outside the sanctioned timing
+/// shims (`telemetry` itself, `orchestrator::timing`, shims). The
+/// telemetry epoch clock is the *one* ambient-clock anchor the lint
+/// budget admits; product code must take timestamps through
+/// `orchestrator::timing::Stopwatch` or telemetry's span/timer guards,
+/// which pair every read with a duration and keep events on a single
+/// process epoch. Test-like targets are exempt — asserting on raw
+/// timestamps is their job.
+fn rule_telemetry_clock(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
+    if ctx.is_test_like()
+        || ctx
+            .cfg
+            .clock_whitelist
+            .iter()
+            .any(|p| ctx.meta.rel_path.starts_with(p))
+    {
+        return;
+    }
+    for t in ctx.toks {
+        if t.kind != TokKind::Ident || t.text != "monotonic_nanos" {
+            continue;
+        }
+        if ctx.in_test_region(t.line) {
+            continue;
+        }
+        ctx.emit(
+            out,
+            RuleId::TelemetryClock,
+            t.line,
+            "raw `telemetry::clock::monotonic_nanos` read outside the sanctioned \
+             timing shims; take timestamps via `orchestrator::timing::Stopwatch`, \
+             `telemetry::span!`, or `telemetry::metrics::scoped_timer_us`"
+                .to_string(),
+            None,
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -560,6 +601,21 @@ mod tests {
 
         let with_tests = "fn f() -> u8 { 0 }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { f().checked_add(1).unwrap(); panic!(\"x\"); }\n}\n";
         assert!(lint_as("crates/core/src/x.rs", with_tests).is_empty());
+    }
+
+    #[test]
+    fn telemetry_clock_flags_raw_reads_outside_the_shims() {
+        let src = "let t0 = telemetry::clock::monotonic_nanos();\n";
+        assert_eq!(
+            rules(&lint_as("crates/core/src/x.rs", src)),
+            vec![(RuleId::TelemetryClock, 1, false)]
+        );
+        // The sanctioned shims and test-like targets are exempt.
+        assert!(lint_as("crates/telemetry/src/span.rs", src).is_empty());
+        assert!(lint_as("crates/orchestrator/src/timing.rs", src).is_empty());
+        assert!(lint_as("crates/core/tests/t.rs", src).is_empty());
+        // A bare unrelated identifier on the same theme is fine.
+        assert!(lint_as("crates/core/src/x.rs", "fn monotonic() {}\n").is_empty());
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! `netshare-lint` — workspace invariant checker.
 //!
-//! Walks every `.rs` file in the workspace and enforces the six source
+//! Walks every `.rs` file in the workspace and enforces the seven source
 //! invariants the repo's guarantees rest on (bitwise seed determinism,
-//! DP-SGD's noise boundary, unsafe hygiene, no-panic library code). See
+//! DP-SGD's noise boundary, the telemetry clock anchor, unsafe hygiene,
+//! no-panic library code). See
 //! DESIGN.md "Static analysis & sanitizers" for the rule catalogue and
 //! waiver syntax.
 //!

@@ -67,6 +67,7 @@ fn every_rule_trips_on_its_fixture() {
         ("float_eq.rs", "nnet", "float-eq", 2, 1),
         ("undocumented_unsafe.rs", "nnet", "undocumented-unsafe", 2, 1),
         ("panic_in_lib.rs", "netshare", "panic-in-lib", 3, 1),
+        ("telemetry_clock.rs", "orchestrator", "telemetry-clock", 2, 1),
     ];
     for &(name, as_crate, rule, deny, waived) in cases {
         let (code, json) = lint_fixture_json(name, as_crate);
@@ -189,6 +190,7 @@ fn list_rules_names_every_rule() {
         "float-eq",
         "undocumented-unsafe",
         "panic-in-lib",
+        "telemetry-clock",
     ] {
         assert!(stdout.contains(rule), "missing {rule}: {stdout}");
     }

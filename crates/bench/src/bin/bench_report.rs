@@ -1,0 +1,191 @@
+//! `bench_report` — assembles the bench trajectory JSON from the
+//! tab-separated records the criterion shim appends to
+//! `$NETSHARE_BENCH_LOG` during `cargo bench`.
+//!
+//! ```text
+//! bench_report <log-file> <host> <date>   # JSON on stdout
+//! ```
+//!
+//! `scripts/ci.sh bench` drives this and redirects stdout to
+//! `BENCH_<host>_<date>.json`. The output maps group → benchmark →
+//! `{median_ns, mean_ns, min_ns, max_ns, throughput_per_sec}` with
+//! key-sorted (deterministic) ordering; when the same benchmark appears
+//! multiple times in one log, the last record wins. Host and date arrive
+//! as arguments — the binary itself never reads the ambient clock, so
+//! the determinism lint surface stays confined to the shim.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One benchmark's merged record.
+struct BenchEntry {
+    median_ns: f64,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    /// `units / median_secs` when a throughput was declared.
+    throughput_per_sec: Option<f64>,
+}
+
+/// Parses one shim log line (`group \t id \t median_ns \t mean_ns \t
+/// min_ns \t max_ns \t kind \t units`). Returns `None` on malformed
+/// lines, which callers skip (the log is append-only across bench
+/// binaries and a torn final line must not kill the report).
+fn parse_line(line: &str) -> Option<(String, String, BenchEntry)> {
+    let f: Vec<&str> = line.split('\t').collect();
+    if f.len() != 8 {
+        return None;
+    }
+    let median_ns: f64 = f[2].parse().ok()?;
+    let mean_ns: f64 = f[3].parse().ok()?;
+    let min_ns: f64 = f[4].parse().ok()?;
+    let max_ns: f64 = f[5].parse().ok()?;
+    let units: f64 = f[7].parse().ok()?;
+    let throughput_per_sec = match f[6] {
+        "elements" | "bytes" if median_ns > 0.0 => Some(units / (median_ns / 1e9)),
+        _ => None,
+    };
+    Some((
+        f[0].to_string(),
+        f[1].to_string(),
+        BenchEntry { median_ns, mean_ns, min_ns, max_ns, throughput_per_sec },
+    ))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders the trajectory document from parsed records.
+fn render(
+    groups: &BTreeMap<String, BTreeMap<String, BenchEntry>>,
+    host: &str,
+    date: &str,
+) -> String {
+    let mut out = String::from("{\"schema\":\"netshare-bench-v1\"");
+    out.push_str(&format!(",\"host\":\"{}\"", json_escape(host)));
+    out.push_str(&format!(",\"date\":\"{}\"", json_escape(date)));
+    out.push_str(",\"groups\":{");
+    for (gi, (group, benches)) in groups.iter().enumerate() {
+        if gi > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{{", json_escape(group)));
+        for (bi, (id, e)) in benches.iter().enumerate() {
+            if bi > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"median_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{},\"throughput_per_sec\":{}}}",
+                json_escape(id),
+                json_num(e.median_ns),
+                json_num(e.mean_ns),
+                json_num(e.min_ns),
+                json_num(e.max_ns),
+                e.throughput_per_sec.map_or("null".to_string(), json_num),
+            ));
+        }
+        out.push('}');
+    }
+    out.push_str("}}");
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [log, host, date] = &args[..] else {
+        eprintln!("usage: bench_report <log-file> <host> <date>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(log) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: read {log}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut groups: BTreeMap<String, BTreeMap<String, BenchEntry>> = BTreeMap::new();
+    let mut skipped = 0usize;
+    for line in text.lines().filter(|l| !l.is_empty()) {
+        match parse_line(line) {
+            Some((group, id, entry)) => {
+                groups.entry(group).or_default().insert(id, entry);
+            }
+            None => skipped += 1,
+        }
+    }
+    if skipped > 0 {
+        eprintln!("bench_report: skipped {skipped} malformed line(s)");
+    }
+    if groups.is_empty() {
+        eprintln!("error: no benchmark records in {log} (did cargo bench run with NETSHARE_BENCH_LOG set?)");
+        return ExitCode::FAILURE;
+    }
+    println!("{}", render(&groups, host, date));
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_renders_a_trajectory() {
+        let lines = [
+            "gemm_kernel\tb32_h48/serial\t15500.0\t15800.0\t14900.0\t17000.0\telements\t147456",
+            "gemm_kernel\tb32_h48/tiled\t14900.0\t15000.0\t14000.0\t16000.0\telements\t147456",
+            "sketch\tinsert\t120.0\t125.0\t110.0\t140.0\t-\t0",
+        ];
+        let mut groups: BTreeMap<String, BTreeMap<String, BenchEntry>> = BTreeMap::new();
+        for l in lines {
+            let (g, id, e) = parse_line(l).unwrap();
+            groups.entry(g).or_default().insert(id, e);
+        }
+        let json = render(&groups, "testhost", "20260805");
+        assert!(json.starts_with("{\"schema\":\"netshare-bench-v1\""));
+        assert!(json.contains("\"host\":\"testhost\""));
+        assert!(json.contains("\"gemm_kernel\":{"));
+        assert!(json.contains("\"b32_h48/serial\":{\"median_ns\":15500.0"));
+        // elements/median: 147456 / 15.5 µs ≈ 9.513e9 per second.
+        assert!(json.contains("\"throughput_per_sec\":9513290322.6"));
+        assert!(json.contains("\"insert\":{\"median_ns\":120.0"));
+        assert!(json.contains("\"max_ns\":140.0,\"throughput_per_sec\":null"));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(parse_line("too\tfew\tfields").is_none());
+        assert!(parse_line("g\tid\tNaNish\t1\t1\t1\telements\t5").is_none());
+        assert!(parse_line("").is_none());
+    }
+
+    #[test]
+    fn last_record_wins_for_duplicates() {
+        let a = parse_line("g\tx\t10.0\t10.0\t10.0\t10.0\t-\t0").unwrap();
+        let b = parse_line("g\tx\t20.0\t20.0\t20.0\t20.0\t-\t0").unwrap();
+        let mut groups: BTreeMap<String, BTreeMap<String, BenchEntry>> = BTreeMap::new();
+        for (g, id, e) in [a, b] {
+            groups.entry(g).or_default().insert(id, e);
+        }
+        assert!(render(&groups, "h", "d").contains("\"median_ns\":20.0"));
+    }
+}

@@ -18,6 +18,7 @@
 //!   --ckpt-dir <dir>   persist per-job checkpoints + events.jsonl there
 //!   --resume           skip jobs the checkpoint manifest verifies
 //!   --retries <R>      retries per failed training job (default 2)
+//!   --metrics-out <f>  write the telemetry metrics snapshot (JSON) there
 //! ```
 //!
 //! Exit codes: `0` success, `1` runtime failure (I/O, parse, training),
@@ -31,6 +32,7 @@ struct Options {
     n: Option<usize>,
     cfg: NetShareConfig,
     private_ips: bool,
+    metrics_out: Option<std::path::PathBuf>,
 }
 
 /// A bad invocation (unknown flag, missing value, wrong arity) — reported
@@ -41,7 +43,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: netshare_cli <synth-flows|synth-packets> <input> <output> \
          [--n N] [--chunks M] [--steps S] [--labels] [--dp SIGMA] [--private-ips] [--seed U64] \
-         [--workers W] [--ckpt-dir DIR] [--resume] [--retries R]"
+         [--workers W] [--ckpt-dir DIR] [--resume] [--retries R] [--metrics-out FILE]"
     );
     ExitCode::from(2)
 }
@@ -50,6 +52,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut cfg = NetShareConfig::default_config();
     let mut n = None;
     let mut private_ips = false;
+    let mut metrics_out = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -89,6 +92,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 cfg.orchestrator.max_retries =
                     Some(value("--retries")?.parse().map_err(|e| format!("--retries: {e}"))?)
             }
+            "--metrics-out" => metrics_out = Some(value("--metrics-out")?.into()),
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -99,7 +103,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     if let Ok(spec) = std::env::var("NETSHARE_INJECT_FAULT") {
         cfg.orchestrator.fault_spec = Some(spec);
     }
-    Ok(Options { n, cfg, private_ips })
+    Ok(Options { n, cfg, private_ips, metrics_out })
 }
 
 /// Full command-line validation: arity, mode, and options. Everything
@@ -165,6 +169,15 @@ fn run(mode: &str, input: &str, output: &str, opts: &Options) -> Result<(), Stri
             eprintln!("wrote {} synthetic packets to {output}", synth.len());
         }
         other => return Err(format!("unknown mode {other}")),
+    }
+    // Dump the telemetry snapshot last so it covers fit + generate. The
+    // binary always ships with telemetry on (crates/core default feature);
+    // were it built with default-features off, this writes the
+    // empty-registry document rather than failing.
+    if let Some(path) = &opts.metrics_out {
+        std::fs::write(path, telemetry::metrics::snapshot_json())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        eprintln!("wrote telemetry metrics snapshot to {}", path.display());
     }
     Ok(())
 }
@@ -246,6 +259,17 @@ mod tests {
     #[test]
     fn resume_without_ckpt_dir_is_rejected() {
         assert!(opts(&["--resume"]).is_err());
+    }
+
+    #[test]
+    fn parses_metrics_out() {
+        let o = opts(&["--metrics-out", "/tmp/metrics.json"]).unwrap();
+        assert_eq!(
+            o.metrics_out.as_deref(),
+            Some(std::path::Path::new("/tmp/metrics.json"))
+        );
+        assert!(opts(&[]).unwrap().metrics_out.is_none());
+        assert!(opts(&["--metrics-out"]).is_err(), "value required");
     }
 
     #[test]

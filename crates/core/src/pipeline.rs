@@ -101,6 +101,7 @@ impl NetShare {
         if trace.is_empty() {
             return Err(PipelineError::EmptyTrace);
         }
+        let _span = telemetry::span!("fit_flows");
         let public_pkts =
             trace_synth::public::ip2vec_public_corpus(cfg.ip2vec_public_packets, cfg.seed ^ 0xab);
         let tuples = TupleCodec::fit_public(&public_pkts, cfg.embed_dim, cfg.seed ^ 0xcd);
@@ -188,6 +189,7 @@ impl NetShare {
         if trace.is_empty() {
             return Err(PipelineError::EmptyTrace);
         }
+        let _span = telemetry::span!("fit_packets");
         let public_pkts =
             trace_synth::public::ip2vec_public_corpus(cfg.ip2vec_public_packets, cfg.seed ^ 0xab);
         let tuples = TupleCodec::fit_public(&public_pkts, cfg.embed_dim, cfg.seed ^ 0xcd);
@@ -342,6 +344,22 @@ impl NetShare {
             });
         }
 
+        // Bridge telemetry spans into the same JSONL stream. With the
+        // `telemetry` feature off this installs nothing (the sink setter is
+        // a no-op and spans never fire). Like the sanitize hook, the sink
+        // is process-global and last-writer-wins across concurrent runs.
+        {
+            let sink = std::sync::Arc::clone(&events);
+            telemetry::span::set_span_sink(move |sp: &telemetry::span::SpanEvent| {
+                sink.emit(Event::Span {
+                    path: sp.path.clone(),
+                    start_us: sp.start_ns / 1_000,
+                    duration_us: sp.duration_ns / 1_000,
+                    depth: sp.depth,
+                });
+            });
+        }
+
         let scaled = |job: &str, steps: usize, len: usize| -> usize {
             let v = ((steps as f64 * len as f64 / total_items as f64).ceil() as usize).max(5);
             events.emit(Event::ScaledSteps {
@@ -373,6 +391,7 @@ impl NetShare {
             "pretrain",
             Vec::<String>::new(),
             move |_inp: &JobInputs<ModelArtifact>| {
+                let _span = telemetry::span!("pretrain");
                 let mut model = DoppelGanger::new(base_dg(0, cfg.seed ^ 0x91, None));
                 match cfg.dp {
                     Some(dp_opts) => {
@@ -400,6 +419,7 @@ impl NetShare {
                 id.clone(),
                 ["pretrain"],
                 move |inp: &JobInputs<ModelArtifact>| {
+                    let _span = telemetry::span!("chunk[{ci}]/fine_tune");
                     let seed_model = inp
                         .dep("pretrain")?
                         .rebuild(base_dg(0, cfg.seed ^ 0x91, None))?;
@@ -497,6 +517,7 @@ impl NetShare {
     /// # Panics
     /// Panics if the model was fit on packets.
     pub fn generate_flows(&mut self, n: usize) -> FlowTrace {
+        let _span = telemetry::span!("generate_flows[{n}]");
         let codec = match &self.codec {
             Codec::Flow(c) => c,
             Codec::Packet(_) => panic!("model was fit on packets; call generate_packets"), // lint: allow(panic-in-lib) documented contract panic (see doc comment) (lint: allow(panic-in-lib) documented contract panic (see doc comment))
@@ -530,6 +551,7 @@ impl NetShare {
     /// # Panics
     /// Panics if the model was fit on flows.
     pub fn generate_packets(&mut self, n: usize) -> PacketTrace {
+        let _span = telemetry::span!("generate_packets[{n}]");
         let codec = match &self.codec {
             Codec::Packet(c) => c,
             Codec::Flow(_) => panic!("model was fit on flows; call generate_flows"), // lint: allow(panic-in-lib) documented contract panic (see doc comment) (lint: allow(panic-in-lib) documented contract panic (see doc comment))

@@ -47,6 +47,9 @@ impl FidelityReport {
 /// SA and DA are compared as *rank-frequency* profiles (popularity
 /// structure); ports and protocol as identity-matched distributions.
 pub fn fidelity_flow(real: &FlowTrace, synthetic: &FlowTrace) -> FidelityReport {
+    let _span = telemetry::span!("fidelity/flow");
+    telemetry::metrics::counter("fidelity.reports").inc();
+    let _timer = telemetry::metrics::scoped_timer_us("fidelity.us");
     let jsd = FLOW_CATEGORICAL
         .iter()
         .map(|&f| {
@@ -76,6 +79,9 @@ pub fn fidelity_flow(real: &FlowTrace, synthetic: &FlowTrace) -> FidelityReport 
 /// Computes the packet-trace fidelity report (SA/DA/SP/DP/PR JSD;
 /// PS/PAT/FS EMD).
 pub fn fidelity_packet(real: &PacketTrace, synthetic: &PacketTrace) -> FidelityReport {
+    let _span = telemetry::span!("fidelity/packet");
+    telemetry::metrics::counter("fidelity.reports").inc();
+    let _timer = telemetry::metrics::scoped_timer_us("fidelity.us");
     let jsd = PACKET_CATEGORICAL
         .iter()
         .map(|&f| {

@@ -231,6 +231,9 @@ impl DoppelGanger {
             self.gen.meta_dim(),
             "dataset metadata width must match the model"
         );
+        let _span = telemetry::span!("train_steps[{gen_steps}]");
+        let d_hist = telemetry::metrics::histogram("train.d_loss", &telemetry::metrics::LOSS_EDGES);
+        let g_hist = telemetry::metrics::histogram("train.g_loss", &telemetry::metrics::LOSS_EDGES);
         for _ in 0..gen_steps {
             for _ in 0..self.cfg.n_critic {
                 let d_loss = if self.dp.is_some() {
@@ -238,10 +241,16 @@ impl DoppelGanger {
                 } else {
                     self.critic_step(data)
                 };
+                telemetry::metrics::counter("train.critic_steps").inc();
+                telemetry::metrics::gauge("train.d_loss").set(d_loss as f64);
+                d_hist.record(d_loss as f64);
                 self.stats.d_loss.push(d_loss);
                 self.stats.critic_steps += 1;
             }
             let g_loss = self.generator_step();
+            telemetry::metrics::counter("train.gen_steps").inc();
+            telemetry::metrics::gauge("train.g_loss").set(g_loss as f64);
+            g_hist.record(g_loss as f64);
             self.stats.g_loss.push(g_loss);
         }
     }
@@ -434,6 +443,7 @@ impl DoppelGanger {
     /// Generates `n` decoded samples (hardened categorical segments,
     /// flag-cut sequences).
     pub fn sample(&mut self, n: usize) -> Vec<GeneratedSample> {
+        let _span = telemetry::span!("sample[{n}]");
         let mut out = Vec::with_capacity(n);
         let record_dim = self.gen.record_dim();
         let max_len = self.cfg.max_len;

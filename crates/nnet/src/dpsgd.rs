@@ -79,13 +79,18 @@ impl DpSgdTrainer {
         F: FnMut(&mut M, usize),
     {
         assert!(!batch.is_empty(), "DP-SGD batch must be non-empty");
+        let _span = telemetry::span!("dpsgd/sanitize_batch[{}]", batch.len());
+        let _timer = telemetry::metrics::scoped_timer_us("dpsgd.sanitize.us");
+        let grad_norms =
+            telemetry::metrics::histogram("dpsgd.grad_norm", &telemetry::metrics::NORM_EDGES);
         let dim = model.num_parameters();
         let mut sum = vec![0.0f32; dim];
         for &i in batch {
             model.zero_grad();
             per_example(model, i);
             let mut g = model.flat_gradients();
-            clip_l2(&mut g, self.cfg.clip_norm);
+            let norm = clip_l2(&mut g, self.cfg.clip_norm);
+            grad_norms.record(norm as f64);
             for (s, gi) in sum.iter_mut().zip(&g) {
                 *s += gi;
             }
@@ -105,11 +110,14 @@ impl DpSgdTrainer {
         crate::sanitize::check_finite("dpsgd::sanitize_batch", &sum);
         model.set_flat_gradients(&sum);
         self.steps += 1;
+        telemetry::metrics::counter("dpsgd.steps").inc();
     }
 }
 
-/// Clips a flat gradient vector to L2 norm at most `c` in place.
-pub fn clip_l2(g: &mut [f32], c: f32) {
+/// Clips a flat gradient vector to L2 norm at most `c` in place and
+/// returns the pre-clip norm (telemetry records it as the per-example
+/// grad-norm distribution).
+pub fn clip_l2(g: &mut [f32], c: f32) -> f32 {
     let norm: f32 = g.iter().map(|&x| x * x).sum::<f32>().sqrt();
     if norm > c && norm > 0.0 {
         let scale = c / norm;
@@ -117,6 +125,7 @@ pub fn clip_l2(g: &mut [f32], c: f32) {
             *x *= scale;
         }
     }
+    norm
 }
 
 #[cfg(test)]

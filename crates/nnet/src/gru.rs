@@ -136,6 +136,8 @@ impl Gru {
     pub fn forward_sequence(&mut self, xs: &[Tensor], h0: &Tensor) -> Vec<Tensor> {
         self.cache.clear();
         let _scope = crate::sanitize::scope_with(|| "Gru::forward".to_string());
+        telemetry::metrics::counter("gru.steps").add(xs.len() as u64);
+        let _timer = telemetry::metrics::scoped_timer_us("gru.forward.us");
         let mut hs = Vec::with_capacity(xs.len());
         let mut h = h0.clone();
         for x in xs {
@@ -152,6 +154,7 @@ impl Gru {
     pub fn backward_sequence(&mut self, grad_hs: &[Tensor]) -> (Vec<Tensor>, Tensor) {
         assert_eq!(grad_hs.len(), self.cache.len(), "grad/cache length mismatch");
         let _scope = crate::sanitize::scope_with(|| "Gru::backward".to_string());
+        let _timer = telemetry::metrics::scoped_timer_us("gru.backward.us");
         let steps = self.cache.len();
         let mut dxs = vec![Tensor::zeros(0, 0); steps];
         let mut dh_next = Tensor::zeros(

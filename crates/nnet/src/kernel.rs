@@ -58,6 +58,19 @@ fn choose(flops: usize) -> Path {
     }
 }
 
+/// Counts the dispatch and starts a per-call µs timer for the chosen
+/// path's histogram (`gemm.us.naive|tiled|parallel` — the shape class is
+/// the dispatch class, since `choose` partitions by FLOP count). All
+/// telemetry no-ops away when the `telemetry` feature is off.
+fn instrument(path: Path) -> telemetry::metrics::ScopedTimer {
+    telemetry::metrics::counter("gemm.calls").inc();
+    telemetry::metrics::scoped_timer_us(match path {
+        Path::Naive => "gemm.us.naive",
+        Path::Tiled => "gemm.us.tiled",
+        Path::Parallel => "gemm.us.parallel",
+    })
+}
+
 // ------------------------------------------------------------------ A·B
 
 /// `c += a·b` for row-major `a: m×k`, `b: k×n`, `c: m×n`; original
@@ -153,7 +166,9 @@ pub fn gemm_parallel(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut
 
 /// `c += a·b` with size-based path dispatch.
 pub fn gemm_auto(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    match choose(m * k * n) {
+    let path = choose(m * k * n);
+    let _timer = instrument(path);
+    match path {
         Path::Naive => gemm_naive(m, k, n, a, b, c),
         Path::Tiled => gemm_tiled(m, k, n, a, b, c),
         Path::Parallel => gemm_parallel(m, k, n, a, b, c),
@@ -254,7 +269,9 @@ pub fn gemm_tn_parallel(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &
 
 /// `c += aᵀ·b` with size-based path dispatch.
 pub fn gemm_tn_auto(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    match choose(m * k * n) {
+    let path = choose(m * k * n);
+    let _timer = instrument(path);
+    match path {
         Path::Naive => gemm_tn_naive(m, k, n, a, b, c),
         Path::Tiled => gemm_tn_tiled(m, k, n, a, b, c),
         Path::Parallel => gemm_tn_parallel(m, k, n, a, b, c),
@@ -342,7 +359,9 @@ pub fn gemm_nt_parallel(m: usize, k: usize, p: usize, a: &[f32], b: &[f32], c: &
 
 /// `c += a·bᵀ` with size-based path dispatch.
 pub fn gemm_nt_auto(m: usize, k: usize, p: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    match choose(m * k * p) {
+    let path = choose(m * k * p);
+    let _timer = instrument(path);
+    match path {
         Path::Naive => gemm_nt_naive(m, k, p, a, b, c),
         Path::Tiled => gemm_nt_tiled(m, k, p, a, b, c),
         Path::Parallel => gemm_nt_parallel(m, k, p, a, b, c),

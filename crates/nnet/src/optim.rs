@@ -118,6 +118,8 @@ impl GradClip {
             .sum::<f32>()
             .sqrt();
         crate::sanitize::check_grad_norm("clip_global_norm", norm);
+        telemetry::metrics::histogram("train.grad_norm", &telemetry::metrics::NORM_EDGES)
+            .record(norm as f64);
         if norm > max_norm && norm > 0.0 {
             let scale = max_norm / norm;
             for g in model.gradients_mut() {

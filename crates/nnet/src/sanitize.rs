@@ -14,7 +14,8 @@
 //! markers, so a trip inside the third layer of the generator reads
 //! `seq[2]:Linear` rather than "somewhere in a matmul". Before the panic,
 //! the incident is handed to an optional process-global hook
-//! ([`set_hook`]) — the pipeline uses it to emit a `SanitizerTripped`
+//! (`set_hook`, compiled in both feature states) — the pipeline uses it
+//! to emit a `SanitizerTripped`
 //! event into the orchestrator's JSONL stream, so the diagnostic survives
 //! the worker's panic-recovery machinery.
 //!

@@ -110,6 +110,22 @@ pub enum Event {
         /// Human-readable specifics (index, value, shapes, norms).
         detail: String,
     },
+    /// A telemetry span closed (feature `telemetry` on the pipeline).
+    /// Bridged from `telemetry::span`'s process-global sink; children
+    /// close before parents, so leaf spans appear first in the stream and
+    /// readers reconstruct the tree from `path` + `depth`.
+    Span {
+        /// Slash-joined names of every frame open on the emitting thread
+        /// (e.g. `job[chunk-1]/attempt[0]/chunk[1]/fine_tune`).
+        path: String,
+        /// Span entry time, µs since the telemetry process epoch (only
+        /// meaningful for ordering/duration within one run).
+        start_us: u64,
+        /// Span duration in microseconds.
+        duration_us: u64,
+        /// 1-based nesting depth on the emitting thread.
+        depth: u32,
+    },
     /// The run finished (all jobs completed or verified).
     RunFinished {
         /// Wall-clock seconds of the whole run.
@@ -242,6 +258,12 @@ mod tests {
                 kind: "non-finite".into(),
                 detail: "element 3 of 128 is NaN".into(),
             },
+            Event::Span {
+                path: "job[chunk-1]/attempt[0]/chunk[1]/fine_tune".into(),
+                start_us: 1_234,
+                duration_us: 567,
+                depth: 4,
+            },
             Event::RunFinished {
                 wall_seconds: 1.0,
                 cpu_seconds: 2.0,
@@ -254,6 +276,24 @@ mod tests {
             assert!(!line.contains('\n'), "one event per line");
             assert_eq!(parse_event(&line).unwrap(), ev);
         }
+    }
+
+    /// Golden test: the exact JSONL bytes of a span event. External
+    /// tooling greps and parses these lines, so the tag name, field
+    /// names, and field order are a frozen schema (DESIGN.md §8).
+    #[test]
+    fn span_event_jsonl_schema_is_pinned() {
+        let ev = Event::Span {
+            path: "pretrain/dpsgd/sanitize_batch[16]".into(),
+            start_us: 10,
+            duration_us: 20,
+            depth: 3,
+        };
+        assert_eq!(
+            serde_json::to_string(&ev).unwrap(),
+            "{\"Span\":{\"path\":\"pretrain/dpsgd/sanitize_batch[16]\",\
+             \"start_us\":10,\"duration_us\":20,\"depth\":3}}"
+        );
     }
 
     #[test]

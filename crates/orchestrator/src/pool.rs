@@ -391,6 +391,12 @@ fn worker_loop<P>(
                         return;
                     }
                 }
+                telemetry::metrics::counter("orchestrator.jobs_completed").inc();
+                telemetry::metrics::histogram(
+                    "orchestrator.job_wall_us",
+                    &telemetry::metrics::DURATION_US_EDGES,
+                )
+                .record(wall * 1e6);
                 events.emit(Event::JobFinished {
                     job: job.id.clone(),
                     attempts,
@@ -414,6 +420,7 @@ fn worker_loop<P>(
                 shared.cond.notify_all();
             }
             Err((error, attempts)) => {
+                telemetry::metrics::counter("orchestrator.jobs_failed").inc();
                 events.emit(Event::JobFailed {
                     job: job.id.clone(),
                     attempts,
@@ -454,6 +461,7 @@ where
             job: job.id.clone(),
             attempt,
         });
+        let _span = telemetry::span!("job[{}]/attempt[{}]", job.id, attempt);
         let injected = opts.fault.as_ref().and_then(|f| f(&job.id, attempt));
         let result: Result<P, String> = match injected {
             Some(msg) => Err(msg),
@@ -468,6 +476,7 @@ where
             Ok(p) => return Ok((p, attempt + 1)),
             Err(e) if attempt < opts.max_retries => {
                 let backoff = backoff_for(opts.backoff, attempt);
+                telemetry::metrics::counter("orchestrator.retries").inc();
                 events.emit(Event::JobRetried {
                     job: job.id.clone(),
                     attempt,
@@ -529,6 +538,9 @@ fn persist<P: Serialize>(
         job: id.to_string(),
         message: e.to_string(),
     })?;
+    telemetry::metrics::counter("orchestrator.checkpoints").inc();
+    telemetry::metrics::histogram("orchestrator.checkpoint_bytes", &telemetry::metrics::BYTES_EDGES)
+        .record(text.len() as f64);
     let file = Manifest::payload_file(id);
     let path = dir.join(&file);
     atomic_write(&path, text.as_bytes()).map_err(|e| OrchestratorError::Io {

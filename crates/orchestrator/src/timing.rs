@@ -3,8 +3,14 @@
 //! The paper's Fig. 4 cost axis is *total CPU hours*: machines run chunks
 //! simultaneously, so wall time underestimates training cost. Per-thread
 //! CPU time is the honest measure on an oversubscribed host.
+//!
+//! Wall-clock reads delegate to [`telemetry::clock`], the workspace's
+//! single monotonic-clock anchor, so stopwatch readings and telemetry
+//! span timestamps share one epoch and the ambient-clock lint boundary
+//! (`ambient-entropy` + `telemetry-clock` rules) stays one auditable
+//! surface.
 
-use std::time::Instant;
+use telemetry::clock;
 
 /// CPU seconds consumed by the *calling thread* so far (Linux:
 /// utime+stime from `/proc/thread-self/stat`). Falls back to `None` when
@@ -23,32 +29,32 @@ pub fn thread_cpu_seconds() -> Option<f64> {
 
 /// A started wall clock. This is the only sanctioned way for orchestrator
 /// code outside this module to read elapsed time (the `ambient-entropy`
-/// lint bans raw `Instant::now()` so timing stays observable and auditable
-/// in one place).
+/// and `telemetry-clock` lints ban raw clock reads so timing stays
+/// observable and auditable in one place).
 #[derive(Debug, Clone, Copy)]
 pub struct Stopwatch {
-    start: Instant,
+    start_ns: u64,
 }
 
 impl Stopwatch {
     /// Starts a stopwatch.
     pub fn start() -> Self {
-        Stopwatch { start: Instant::now() }
+        Stopwatch { start_ns: clock::monotonic_nanos() }
     }
 
     /// Wall seconds since `start()`.
     pub fn elapsed_seconds(&self) -> f64 {
-        self.start.elapsed().as_secs_f64()
+        clock::nanos_since(self.start_ns) as f64 / 1e9
     }
 }
 
 /// Measures `f`, returning `(result, wall_seconds, cpu_seconds)` where
 /// `cpu_seconds` prefers thread CPU time and falls back to wall time.
 pub fn measure<T>(f: impl FnOnce() -> T) -> (T, f64, f64) {
-    let wall = Instant::now();
+    let wall = Stopwatch::start();
     let cpu0 = thread_cpu_seconds();
     let out = f();
-    let wall_secs = wall.elapsed().as_secs_f64();
+    let wall_secs = wall.elapsed_seconds();
     let cpu_secs = match (cpu0, thread_cpu_seconds()) {
         (Some(a), Some(b)) if b >= a => b - a,
         _ => wall_secs,
@@ -73,6 +79,14 @@ mod tests {
         let a = sw.elapsed_seconds();
         let b = sw.elapsed_seconds();
         assert!(a >= 0.0 && b >= a);
+    }
+
+    #[test]
+    fn stopwatch_shares_the_telemetry_epoch() {
+        let before = clock::monotonic_nanos();
+        let sw = Stopwatch::start();
+        let after = clock::monotonic_nanos();
+        assert!(sw.start_ns >= before && sw.start_ns <= after);
     }
 
     #[test]

@@ -1,12 +1,38 @@
 #!/usr/bin/env bash
 # Tier-1 gate: release build, root test suite, bench compile check, static
-# analysis (clippy + netshare-lint), the sanitize-feature test suite, and an
-# orchestrator fault-injection smoke test through the CLI.
+# analysis (clippy + netshare-lint), rustdoc at -D warnings, the
+# sanitize-feature and telemetry-off test suites, and an orchestrator
+# fault-injection smoke test through the CLI (which also checks the
+# --metrics-out telemetry snapshot).
+#
+#   scripts/ci.sh        # run the full gate
+#   scripts/ci.sh bench  # run benchmarks and emit BENCH_<host>_<date>.json
+#
 # Run from anywhere; operates on the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release
+# Bench trajectory mode: run every benchmark with the criterion shim's
+# NETSHARE_BENCH_LOG tap, then assemble the per-group medians/throughputs
+# into BENCH_<host>_<date>.json (schema netshare-bench-v1; see
+# EXPERIMENTS.md "Benchmark trajectories"). Host and date are captured
+# here in the shell — bench_report itself never reads the ambient clock.
+if [[ "${1:-}" == "bench" ]]; then
+  bench_log="$(mktemp)"
+  trap 'rm -f "$bench_log"' EXIT
+  host="$(hostname -s 2>/dev/null || echo unknown-host)"
+  date_tag="$(date +%Y%m%d)"
+  NETSHARE_BENCH_LOG="$bench_log" cargo bench -p bench
+  out="BENCH_${host}_${date_tag}.json"
+  cargo run -q --release -p bench --bin bench_report -- \
+    "$bench_log" "$host" "$date_tag" > "$out"
+  echo "bench trajectory written to $out"
+  exit 0
+fi
+
+# --workspace so member bins (netshare_cli, netshare-lint, bench_report)
+# are rebuilt too — the root package alone would leave them stale.
+cargo build --release --workspace
 cargo test -q
 cargo bench -p bench --no-run
 
@@ -17,14 +43,29 @@ cargo run -q --release -p analyzer --bin netshare-lint -- --format json \
   > /dev/null
 echo "netshare-lint: workspace deny-clean"
 
+# Documentation gate: rustdoc must build warning-free (broken intra-doc
+# links, missing docs on public items per-crate lint settings).
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+echo "cargo doc: warning-free"
+
 # Runtime sanitizer gate: the feature-gated NaN/shape/grad-norm guards must
 # build and their trip tests (layer attribution, hook delivery) must pass.
 cargo test -q -p nnet --features sanitize
 
+# Telemetry-off gate: building the instrumented crates in isolation keeps
+# the workspace-default `telemetry` feature out of the graph, proving the
+# no-op twins (zero-sized guards, empty inline bodies) still compile and
+# behave (`cargo test -p telemetry` runs the feature-off tests).
+cargo build -q -p telemetry -p nnet -p orchestrator -p doppelganger -p distmetrics
+cargo test -q -p telemetry
+echo "telemetry-off: no-op twins build and pass"
+
 # Orchestrator smoke: inject one training-job fault through the CLI's
 # NETSHARE_INJECT_FAULT hook. The run must retry the job and complete
 # (exit 0), the retry must land in the JSONL event stream, and the output
-# must be byte-identical to a fault-free run with the same seed.
+# must be byte-identical to a fault-free run with the same seed. The
+# faulted run also dumps the telemetry metrics snapshot, which must carry
+# GEMM, loss, span, and retry evidence from the real run.
 smoke="$(mktemp -d)"
 trap 'rm -rf "$smoke"' EXIT
 {
@@ -40,7 +81,13 @@ cli=target/release/netshare_cli
 "$cli" synth-flows "$smoke/real.csv" "$smoke/plain.csv" \
   --chunks 2 --steps 20 --seed 7
 NETSHARE_INJECT_FAULT="chunk-1:1" "$cli" synth-flows "$smoke/real.csv" "$smoke/faulted.csv" \
-  --chunks 2 --steps 20 --seed 7 --ckpt-dir "$smoke/run" --workers 2
+  --chunks 2 --steps 20 --seed 7 --ckpt-dir "$smoke/run" --workers 2 \
+  --metrics-out "$smoke/metrics.json"
 cmp "$smoke/plain.csv" "$smoke/faulted.csv"
 grep -q '"JobRetried"' "$smoke/run/events.jsonl"
-echo "orchestrator smoke: fault retried, output identical"
+grep -q '"Span"' "$smoke/run/events.jsonl"
+for metric in '"gemm.calls"' '"train.d_loss"' '"train.g_loss"' '"orchestrator.retries":1'; do
+  grep -q "$metric" "$smoke/metrics.json" \
+    || { echo "missing $metric in metrics snapshot" >&2; exit 1; }
+done
+echo "orchestrator smoke: fault retried, output identical, telemetry snapshot complete"

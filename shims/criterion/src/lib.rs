@@ -3,11 +3,18 @@
 //! Keeps the `benchmark_group` / `bench_function` / `Bencher::iter` API
 //! and genuinely measures wall-clock time: a short calibration pass sizes
 //! the batch so each sample runs ≥ ~2 ms, then `sample_size` samples are
-//! timed and the mean/min/max per-iteration times printed, with
+//! timed and the min/median/max per-iteration times printed, with
 //! throughput when a `Throughput` was declared. A positional CLI
 //! argument filters benchmarks by substring of `group/id`, as in real
 //! criterion (`cargo bench -p bench -- gemm_kernel`). No statistical
 //! analysis or HTML reports.
+//!
+//! When `NETSHARE_BENCH_LOG` names a file, each finished benchmark also
+//! appends one tab-separated record there
+//! (`group, id, median_ns, mean_ns, min_ns, max_ns, throughput_kind,
+//! per_iter_units`, with `throughput_kind` one of `elements`/`bytes`/`-`)
+//! for `bench_report` (crates/bench) to assemble into the
+//! `BENCH_<host>_<date>.json` trajectory — see `scripts/ci.sh bench`.
 
 use std::time::{Duration, Instant};
 
@@ -110,17 +117,19 @@ impl BenchmarkGroup {
     }
 
     fn report(&self, id: &str, bencher: &Bencher) {
-        let per_iter: Vec<f64> = bencher
+        let mut per_iter: Vec<f64> = bencher
             .samples
             .iter()
             .map(|d| d.as_secs_f64() / bencher.iters_per_sample as f64)
             .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
         let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
-        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+        let median = median_of_sorted(&per_iter);
+        let min = per_iter[0];
+        let max = per_iter[per_iter.len() - 1];
         let rate = match self.throughput {
-            Some(Throughput::Elements(n)) => format!("  {:.3} Melem/s", n as f64 / mean / 1e6),
-            Some(Throughput::Bytes(n)) => format!("  {:.3} MiB/s", n as f64 / mean / (1 << 20) as f64),
+            Some(Throughput::Elements(n)) => format!("  {:.3} Melem/s", n as f64 / median / 1e6),
+            Some(Throughput::Bytes(n)) => format!("  {:.3} MiB/s", n as f64 / median / (1 << 20) as f64),
             None => String::new(),
         };
         println!(
@@ -128,16 +137,63 @@ impl BenchmarkGroup {
             self.name,
             id,
             fmt_time(min),
-            fmt_time(mean),
+            fmt_time(median),
             fmt_time(max),
             rate,
             per_iter.len(),
             bencher.iters_per_sample,
         );
+        self.append_log(id, median, mean, min, max);
+    }
+
+    /// Appends this benchmark's record to `$NETSHARE_BENCH_LOG` (if set)
+    /// as one tab-separated line. Logging failures are swallowed: the
+    /// trajectory is an observability artifact and must never fail a
+    /// bench run.
+    fn append_log(&self, id: &str, median: f64, mean: f64, min: f64, max: f64) {
+        let Ok(path) = std::env::var("NETSHARE_BENCH_LOG") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let (kind, units) = match self.throughput {
+            Some(Throughput::Elements(n)) => ("elements", n),
+            Some(Throughput::Bytes(n)) => ("bytes", n),
+            None => ("-", 0),
+        };
+        let line = format!(
+            "{}\t{}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{}\t{}\n",
+            self.name,
+            id,
+            median * 1e9,
+            mean * 1e9,
+            min * 1e9,
+            max * 1e9,
+            kind,
+            units,
+        );
+        use std::io::Write;
+        let _ = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(line.as_bytes()));
     }
 
     /// Ends the group (printing already happened per benchmark).
     pub fn finish(self) {}
+}
+
+/// Median of an ascending-sorted slice (midpoint average for even
+/// lengths). Callers guarantee at least one element.
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
 }
 
 fn fmt_time(secs: f64) -> String {
@@ -214,6 +270,37 @@ mod tests {
         });
         group.finish();
         assert!(ran > 0, "benchmark body never executed");
+    }
+
+    #[test]
+    fn median_handles_odd_and_even_lengths() {
+        assert_eq!(median_of_sorted(&[3.0]), 3.0);
+        assert_eq!(median_of_sorted(&[1.0, 2.0, 9.0]), 2.0);
+        assert_eq!(median_of_sorted(&[1.0, 2.0, 4.0, 9.0]), 3.0);
+    }
+
+    #[test]
+    fn bench_log_records_one_line_per_benchmark() {
+        let path = std::env::temp_dir().join(format!("bench-log-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        // Env vars are process-global; this is the only test that sets it.
+        std::env::set_var("NETSHARE_BENCH_LOG", &path);
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("log_smoke");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(64));
+        group.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+        group.finish();
+        std::env::remove_var("NETSHARE_BENCH_LOG");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let line = text.lines().find(|l| l.starts_with("log_smoke\t")).unwrap();
+        let fields: Vec<&str> = line.split('\t').collect();
+        assert_eq!(fields.len(), 8, "line: {line}");
+        assert_eq!(fields[1], "noop");
+        assert!(fields[2].parse::<f64>().unwrap() > 0.0, "median_ns positive");
+        assert_eq!(fields[6], "elements");
+        assert_eq!(fields[7], "64");
     }
 
     #[test]
