@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::path::Path;
 
-/// The seven shipped rules.
+/// The eight shipped rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum RuleId {
     /// `HashMap`/`HashSet` in determinism-critical crates: unordered
@@ -28,11 +28,16 @@ pub enum RuleId {
     /// `orchestrator::timing::Stopwatch` or telemetry's span/timer
     /// guards so every duration is anchored to one process epoch.
     TelemetryClock,
+    /// Uninterruptible blocking (`std::thread::sleep`, `Condvar::wait`
+    /// with no timeout) in library code: a worker stuck in one cannot be
+    /// cancelled by the watchdog or woken by a failing run. Use
+    /// `CancelToken::wait_timeout` / `Condvar::wait_timeout`.
+    UnboundedWait,
 }
 
 impl RuleId {
     /// Every rule, in catalogue order.
-    pub const ALL: [RuleId; 7] = [
+    pub const ALL: [RuleId; 8] = [
         RuleId::NondeterministicIteration,
         RuleId::AmbientEntropy,
         RuleId::DpBoundary,
@@ -40,6 +45,7 @@ impl RuleId {
         RuleId::UndocumentedUnsafe,
         RuleId::PanicInLib,
         RuleId::TelemetryClock,
+        RuleId::UnboundedWait,
     ];
 
     /// The kebab-case name used in diagnostics, waivers, and CLI flags.
@@ -52,6 +58,7 @@ impl RuleId {
             RuleId::UndocumentedUnsafe => "undocumented-unsafe",
             RuleId::PanicInLib => "panic-in-lib",
             RuleId::TelemetryClock => "telemetry-clock",
+            RuleId::UnboundedWait => "unbounded-wait",
         }
     }
 
@@ -77,6 +84,9 @@ impl RuleId {
             RuleId::PanicInLib => "unwrap/expect/panic! in library code (tests/bins exempt)",
             RuleId::TelemetryClock => {
                 "raw telemetry::clock::monotonic_nanos reads outside orchestrator::timing and telemetry's own guards"
+            }
+            RuleId::UnboundedWait => {
+                "thread::sleep / timeout-less Condvar::wait in library code (use CancelToken::wait_timeout)"
             }
         }
     }
@@ -148,6 +158,9 @@ pub struct Config {
     /// Path prefixes (workspace-relative) allowed to call
     /// `telemetry::clock::monotonic_nanos` directly.
     pub clock_whitelist: Vec<String>,
+    /// Path prefixes (workspace-relative) exempt from `unbounded-wait`
+    /// (vendored shims implement the blocking primitives themselves).
+    pub wait_whitelist: Vec<String>,
     /// Identifiers banned in `dp-post-noise`-tagged files.
     pub dp_banned: Vec<String>,
     /// Marker that tags a file as a post-noise consumer.
@@ -204,6 +217,7 @@ impl Default for Config {
             ]
             .map(String::from)
             .to_vec(),
+            wait_whitelist: ["shims/"].map(String::from).to_vec(),
             dp_banned: ["flat_gradients", "set_flat_gradients", "gradients_mut"]
                 .map(String::from)
                 .to_vec(),

@@ -69,6 +69,7 @@ pub fn lint_source(meta: &FileMeta, cfg: &Config, src: &str) -> Vec<Diagnostic> 
     rule_undocumented_unsafe(&ctx, &lexed, &mut out);
     rule_panic_in_lib(&ctx, &mut out);
     rule_telemetry_clock(&ctx, &mut out);
+    rule_unbounded_wait(&ctx, &mut out);
 
     for d in &mut out {
         if let Some(w) = waivers.iter().find(|w| w.rule == d.rule && w.covers == d.line) {
@@ -498,6 +499,63 @@ fn rule_telemetry_clock(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Rule 8 — `unbounded-wait`.
+///
+/// Flags `thread::sleep` and timeout-less `.wait(` (Condvar) calls in
+/// library code. A worker blocked in either cannot be cancelled by the
+/// hung-job watchdog or woken when the run fails, so retry backoffs and
+/// claim loops would hold a dead run hostage; interruptible waits
+/// (`CancelToken::wait_timeout`, `Condvar::wait_timeout` — distinct
+/// identifiers, never flagged) are the sanctioned forms. Tests, benches,
+/// examples, and binaries may block freely.
+fn rule_unbounded_wait(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
+    if ctx.meta.is_shim
+        || ctx.meta.role != Role::Lib
+        || ctx
+            .cfg
+            .wait_whitelist
+            .iter()
+            .any(|p| ctx.meta.rel_path.starts_with(p))
+    {
+        return;
+    }
+    let toks = ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let offense = match t.text.as_str() {
+            "sleep" if path_prefix_is(toks, i, "thread") => {
+                Some("`thread::sleep` cannot be interrupted")
+            }
+            "wait"
+                if i > 0
+                    && toks[i - 1].text == "."
+                    && toks.get(i + 1).is_some_and(|n| n.text == "(") =>
+            {
+                Some("`.wait()` blocks with no timeout")
+            }
+            _ => None,
+        };
+        let Some(why) = offense else { continue };
+        if ctx.in_test_region(t.line) {
+            continue;
+        }
+        ctx.emit(
+            out,
+            RuleId::UnboundedWait,
+            t.line,
+            format!(
+                "{why}: a hung worker here is invisible to the watchdog and \
+                 deaf to run cancellation; use `CancelToken::wait_timeout` or \
+                 `Condvar::wait_timeout` (or waive with the bound that makes \
+                 this finite)"
+            ),
+            None,
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -616,6 +674,24 @@ mod tests {
         assert!(lint_as("crates/core/tests/t.rs", src).is_empty());
         // A bare unrelated identifier on the same theme is fine.
         assert!(lint_as("crates/core/src/x.rs", "fn monotonic() {}\n").is_empty());
+    }
+
+    #[test]
+    fn unbounded_wait_flags_sleeps_and_raw_waits_in_lib_code() {
+        let src = "fn f(cv: &Condvar, g: G) {\n    std::thread::sleep(D);\n    let g = cv.wait(g);\n    let g = cv.wait_timeout(g, D);\n}\n";
+        assert_eq!(
+            rules(&lint_as("crates/orchestrator/src/x.rs", src)),
+            vec![(RuleId::UnboundedWait, 2, false), (RuleId::UnboundedWait, 3, false)],
+            "wait_timeout is a distinct identifier and never flagged"
+        );
+        // Test-like targets, bins, shims, and test regions may block.
+        assert!(lint_as("crates/orchestrator/tests/t.rs", src).is_empty());
+        assert!(lint_as("crates/core/src/bin/cli.rs", src).is_empty());
+        assert!(lint_as("shims/rayon/src/lib.rs", src).is_empty());
+        let in_tests = "#[cfg(test)]\nmod tests {\n    fn t() { std::thread::sleep(D); }\n}\n";
+        assert!(lint_as("crates/orchestrator/src/x.rs", in_tests).is_empty());
+        // A field or free fn named `wait`/`sleep` is not a blocking call.
+        assert!(lint_as("crates/core/src/x.rs", "let w = self.wait;\nfn sleep() {}\n").is_empty());
     }
 
     #[test]

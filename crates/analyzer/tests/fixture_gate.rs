@@ -68,6 +68,7 @@ fn every_rule_trips_on_its_fixture() {
         ("undocumented_unsafe.rs", "nnet", "undocumented-unsafe", 2, 1),
         ("panic_in_lib.rs", "netshare", "panic-in-lib", 3, 1),
         ("telemetry_clock.rs", "orchestrator", "telemetry-clock", 2, 1),
+        ("unbounded_wait.rs", "orchestrator", "unbounded-wait", 3, 1),
     ];
     for &(name, as_crate, rule, deny, waived) in cases {
         let (code, json) = lint_fixture_json(name, as_crate);
@@ -191,6 +192,7 @@ fn list_rules_names_every_rule() {
         "undocumented-unsafe",
         "panic-in-lib",
         "telemetry-clock",
+        "unbounded-wait",
     ] {
         assert!(stdout.contains(rule), "missing {rule}: {stdout}");
     }

@@ -1,0 +1,44 @@
+//! Fixture: uninterruptible blocking in library code.
+//!
+//! Three deny findings (two `thread::sleep` forms, one timeout-less
+//! `Condvar::wait`) and one waived wait. The bounded forms
+//! (`wait_timeout`) at the bottom must not trip.
+
+use std::sync::{Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+pub fn naps(d: Duration) {
+    std::thread::sleep(d);
+    thread::sleep(d);
+}
+
+pub fn blocks_forever(m: &Mutex<bool>, cv: &Condvar) {
+    let mut guard = match m.lock() {
+        Ok(g) => g,
+        Err(e) => e.into_inner(),
+    };
+    while !*guard {
+        guard = match cv.wait(guard) {
+            Ok(g) => g,
+            Err(e) => e.into_inner(),
+        };
+    }
+}
+
+pub fn blocks_with_a_bound(m: &Mutex<bool>, cv: &Condvar) {
+    let guard = match m.lock() {
+        Ok(g) => g,
+        Err(e) => e.into_inner(),
+    };
+    // lint: allow(unbounded-wait) producer thread is joined two lines below, so this wait is finite
+    let _ = cv.wait(guard);
+}
+
+pub fn bounded_waits_are_fine(m: &Mutex<bool>, cv: &Condvar, d: Duration) {
+    let guard = match m.lock() {
+        Ok(g) => g,
+        Err(e) => e.into_inner(),
+    };
+    let _ = cv.wait_timeout(guard, d);
+}

@@ -18,12 +18,23 @@
 //!   --ckpt-dir <dir>   persist per-job checkpoints + events.jsonl there
 //!   --resume           skip jobs the checkpoint manifest verifies
 //!   --retries <R>      retries per failed training job (default 2)
+//!   --max-job-secs <S> watchdog deadline per job attempt (default: none)
+//!   --keep-generations <K>  verified checkpoint generations kept per job
+//!   --rollback-budget <B>   divergence-sentinel rollbacks per job
 //!   --metrics-out <f>  write the telemetry metrics snapshot (JSON) there
 //! ```
 //!
-//! Exit codes: `0` success, `1` runtime failure (I/O, parse, training),
-//! `2` usage error. The `NETSHARE_INJECT_FAULT` environment variable
-//! (format `job:count`) injects training-job faults for CI smoke tests.
+//! Exit codes: `0` success, `1` runtime failure (I/O, parse), `2` usage
+//! error (bad flags or a malformed injection spec), `3` training failure
+//! (a job exhausted its retries — watchdog cancellations, divergence past
+//! the rollback budget, panics).
+//!
+//! Chaos hooks for CI: `NETSHARE_INJECT_FAULT` takes a comma-separated
+//! list of `job:class:count` entries (classes `panic`, `transient`,
+//! `hang`, `slow-io`, `corrupt-flip`, `corrupt-truncate`, `corrupt-torn`;
+//! legacy `job:count` means transient), and `NETSHARE_INJECT_DIVERGENCE`
+//! takes `job:step` to poison a model mid-training. Malformed specs are
+//! usage errors (exit 2) that cite the grammar.
 
 use netshare::{postprocess, DpOptions, NetShare, NetShareConfig};
 use std::process::ExitCode;
@@ -43,9 +54,29 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: netshare_cli <synth-flows|synth-packets> <input> <output> \
          [--n N] [--chunks M] [--steps S] [--labels] [--dp SIGMA] [--private-ips] [--seed U64] \
-         [--workers W] [--ckpt-dir DIR] [--resume] [--retries R] [--metrics-out FILE]"
+         [--workers W] [--ckpt-dir DIR] [--resume] [--retries R] [--max-job-secs S] \
+         [--keep-generations K] [--rollback-budget B] [--metrics-out FILE]"
     );
     ExitCode::from(2)
+}
+
+/// Validates the chaos/divergence environment hooks before any input is
+/// read: a typo'd spec must be exit-code-2 loud, not silently ignored.
+/// Split out from [`parse_options`] so tests can exercise the grammar
+/// checks without mutating the process environment.
+fn validate_injection_env(
+    fault: Option<&str>,
+    divergence: Option<&str>,
+) -> Result<(), String> {
+    if let Some(spec) = fault {
+        orchestrator::ChaosPlan::parse(spec)
+            .map_err(|e| format!("NETSHARE_INJECT_FAULT: {e}"))?;
+    }
+    if let Some(spec) = divergence {
+        netshare::parse_divergence_spec(spec)
+            .map_err(|e| format!("NETSHARE_INJECT_DIVERGENCE: {e}"))?;
+    }
+    Ok(())
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -92,6 +123,27 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 cfg.orchestrator.max_retries =
                     Some(value("--retries")?.parse().map_err(|e| format!("--retries: {e}"))?)
             }
+            "--max-job-secs" => {
+                cfg.orchestrator.max_job_secs = Some(
+                    value("--max-job-secs")?
+                        .parse()
+                        .map_err(|e| format!("--max-job-secs: {e}"))?,
+                )
+            }
+            "--keep-generations" => {
+                cfg.orchestrator.keep_generations = Some(
+                    value("--keep-generations")?
+                        .parse()
+                        .map_err(|e| format!("--keep-generations: {e}"))?,
+                )
+            }
+            "--rollback-budget" => {
+                cfg.orchestrator.rollback_budget = Some(
+                    value("--rollback-budget")?
+                        .parse()
+                        .map_err(|e| format!("--rollback-budget: {e}"))?,
+                )
+            }
             "--metrics-out" => metrics_out = Some(value("--metrics-out")?.into()),
             other => return Err(format!("unknown option {other}")),
         }
@@ -99,10 +151,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     if cfg.orchestrator.resume && cfg.orchestrator.checkpoint_dir.is_none() {
         return Err("--resume requires --ckpt-dir".into());
     }
-    // CI fault-injection hook; the config field is the programmatic path.
-    if let Ok(spec) = std::env::var("NETSHARE_INJECT_FAULT") {
-        cfg.orchestrator.fault_spec = Some(spec);
-    }
+    // CI chaos hooks; the config fields are the programmatic path. Both
+    // specs are grammar-checked here so a typo exits 2 before training.
+    let fault = std::env::var("NETSHARE_INJECT_FAULT").ok();
+    let divergence = std::env::var("NETSHARE_INJECT_DIVERGENCE").ok();
+    validate_injection_env(fault.as_deref(), divergence.as_deref())?;
+    cfg.orchestrator.fault_spec = fault;
+    cfg.orchestrator.divergence_spec = divergence;
     Ok(Options { n, cfg, private_ips, metrics_out })
 }
 
@@ -120,15 +175,30 @@ fn parse_args(args: &[String]) -> Result<(String, String, String, Options), Usag
     Ok((mode, args[1].clone(), args[2].clone(), opts))
 }
 
-fn run(mode: &str, input: &str, output: &str, opts: &Options) -> Result<(), String> {
+/// How a valid invocation failed, mapped onto the exit-code taxonomy:
+/// `Runtime` → 1, `Training` → 3 (a late `Config` error — reachable only
+/// through the programmatic API — counts as runtime).
+enum RunError {
+    Runtime(String),
+    Training(String),
+}
+
+fn classify(e: netshare::PipelineError) -> RunError {
+    match e {
+        netshare::PipelineError::Training { .. } => RunError::Training(e.to_string()),
+        other => RunError::Runtime(other.to_string()),
+    }
+}
+
+fn run(mode: &str, input: &str, output: &str, opts: &Options) -> Result<(), RunError> {
     match mode {
         "synth-flows" => {
-            let csv = std::fs::read_to_string(input).map_err(|e| format!("read {input}: {e}"))?;
+            let csv = std::fs::read_to_string(input).map_err(|e| RunError::Runtime(format!("read {input}: {e}")))?;
             let real = nettrace::netflow::read_netflow_csv(&csv)
-                .map_err(|e| format!("parse {input}: {e}"))?;
+                .map_err(|e| RunError::Runtime(format!("parse {input}: {e}")))?;
             eprintln!("read {} flow records from {input}", real.len());
             let mut model =
-                NetShare::fit_flows(&real, &opts.cfg).map_err(|e| e.to_string())?;
+                NetShare::fit_flows(&real, &opts.cfg).map_err(classify)?;
             if let Some(eps) = model.epsilon() {
                 eprintln!("DP guarantee: (ε = {eps:.2}, δ = 1e-5)");
             }
@@ -142,16 +212,16 @@ fn run(mode: &str, input: &str, output: &str, opts: &Options) -> Result<(), Stri
                 );
             }
             std::fs::write(output, postprocess::to_netflow_csv(&synth))
-                .map_err(|e| format!("write {output}: {e}"))?;
+                .map_err(|e| RunError::Runtime(format!("write {output}: {e}")))?;
             eprintln!("wrote {} synthetic records to {output}", synth.len());
         }
         "synth-packets" => {
-            let bytes = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
+            let bytes = std::fs::read(input).map_err(|e| RunError::Runtime(format!("read {input}: {e}")))?;
             let real =
-                nettrace::pcap::read_pcap(&bytes).map_err(|e| format!("parse {input}: {e}"))?;
+                nettrace::pcap::read_pcap(&bytes).map_err(|e| RunError::Runtime(format!("parse {input}: {e}")))?;
             eprintln!("read {} packets from {input}", real.len());
             let mut model =
-                NetShare::fit_packets(&real, &opts.cfg).map_err(|e| e.to_string())?;
+                NetShare::fit_packets(&real, &opts.cfg).map_err(classify)?;
             if let Some(eps) = model.epsilon() {
                 eprintln!("DP guarantee: (ε = {eps:.2}, δ = 1e-5)");
             }
@@ -165,10 +235,10 @@ fn run(mode: &str, input: &str, output: &str, opts: &Options) -> Result<(), Stri
                 );
             }
             std::fs::write(output, postprocess::to_pcap_bytes(&synth))
-                .map_err(|e| format!("write {output}: {e}"))?;
+                .map_err(|e| RunError::Runtime(format!("write {output}: {e}")))?;
             eprintln!("wrote {} synthetic packets to {output}", synth.len());
         }
-        other => return Err(format!("unknown mode {other}")),
+        other => return Err(RunError::Runtime(format!("unknown mode {other}"))),
     }
     // Dump the telemetry snapshot last so it covers fit + generate. The
     // binary always ships with telemetry on (crates/core default feature);
@@ -176,7 +246,7 @@ fn run(mode: &str, input: &str, output: &str, opts: &Options) -> Result<(), Stri
     // empty-registry document rather than failing.
     if let Some(path) = &opts.metrics_out {
         std::fs::write(path, telemetry::metrics::snapshot_json())
-            .map_err(|e| format!("write {}: {e}", path.display()))?;
+            .map_err(|e| RunError::Runtime(format!("write {}: {e}", path.display())))?;
         eprintln!("wrote telemetry metrics snapshot to {}", path.display());
     }
     Ok(())
@@ -196,9 +266,13 @@ fn main() -> ExitCode {
     };
     match run(&mode, &input, &output, &opts) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(RunError::Runtime(e)) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
+        }
+        Err(RunError::Training(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(3)
         }
     }
 }
@@ -259,6 +333,40 @@ mod tests {
     #[test]
     fn resume_without_ckpt_dir_is_rejected() {
         assert!(opts(&["--resume"]).is_err());
+    }
+
+    #[test]
+    fn parses_failure_domain_options() {
+        let o = opts(&[
+            "--max-job-secs", "120.5", "--keep-generations", "5", "--rollback-budget", "1",
+        ])
+        .unwrap();
+        assert_eq!(o.cfg.orchestrator.max_job_secs, Some(120.5));
+        assert_eq!(o.cfg.orchestrator.keep_generations, Some(5));
+        assert_eq!(o.cfg.orchestrator.rollback_budget, Some(1));
+        let d = opts(&[]).unwrap();
+        assert_eq!(d.cfg.orchestrator.max_job_secs, None);
+        assert_eq!(d.cfg.orchestrator.keep_generations, None);
+        assert_eq!(d.cfg.orchestrator.rollback_budget, None);
+        assert!(opts(&["--max-job-secs", "soon"]).is_err());
+        assert!(opts(&["--keep-generations"]).is_err(), "value required");
+    }
+
+    #[test]
+    fn injection_env_grammar_is_validated() {
+        assert!(validate_injection_env(None, None).is_ok());
+        assert!(validate_injection_env(Some("chunk-1:1"), None).is_ok(), "legacy grammar");
+        assert!(validate_injection_env(Some("chunk-1:hang:2"), Some("chunk-1:40")).is_ok());
+        let err = validate_injection_env(Some("chunk-1:bogus"), None).unwrap_err();
+        assert!(
+            err.contains("NETSHARE_INJECT_FAULT") && err.contains("expected"),
+            "names the variable and the grammar: {err}"
+        );
+        let err = validate_injection_env(None, Some("no-step")).unwrap_err();
+        assert!(
+            err.contains("NETSHARE_INJECT_DIVERGENCE") && err.contains("expected `job:step`"),
+            "{err}"
+        );
     }
 
     #[test]

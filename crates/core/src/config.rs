@@ -23,9 +23,25 @@ pub struct OrchestratorOptions {
     /// Retries after a job's first failed attempt (panic or error) before
     /// the run fails. `None` uses the orchestrator default.
     pub max_retries: Option<u32>,
-    /// Test/CI fault injection: `"<job-id>:<n>"` fails the named job's
-    /// first `n` attempts. Also settable via `NETSHARE_INJECT_FAULT`.
+    /// Test/CI fault injection (the chaos plan): comma-separated
+    /// `job:class:count` entries (legacy `job:count` = transient). Also
+    /// settable via `NETSHARE_INJECT_FAULT`. Malformed specs are a
+    /// configuration error, never silently ignored.
     pub fault_spec: Option<String>,
+    /// Watchdog wall-clock budget per job attempt (seconds); an attempt
+    /// running past it is cooperatively cancelled and retried. `None`
+    /// disables the deadline.
+    pub max_job_secs: Option<f64>,
+    /// Verified checkpoint generations retained per job (older ones are
+    /// pruned). `None` uses the orchestrator default (3).
+    pub keep_generations: Option<usize>,
+    /// Divergence-sentinel rollbacks allowed per training job before the
+    /// job fails. `None` uses the sentinel default.
+    pub rollback_budget: Option<u32>,
+    /// Test/CI divergence injection: `"<job-id>:<step>"` poisons the named
+    /// job's model with a NaN at that generator step, forcing the sentinel
+    /// to roll back. Also settable via `NETSHARE_INJECT_DIVERGENCE`.
+    pub divergence_spec: Option<String>,
 }
 
 /// Which public dataset seeds the DP pre-training (paper Fig. 5's

@@ -6,9 +6,12 @@ use crate::config::NetShareConfig;
 use crate::flowcodec::FlowCodec;
 use crate::packetcodec::PacketCodec;
 use crate::tuplecodec::TupleCodec;
-use doppelganger::{DgConfig, DoppelGanger, TimeSeriesDataset};
+use doppelganger::{DgConfig, DoppelGanger, SentinelConfig, TimeSeriesDataset, TrainControl};
 use nettrace::{aggregate_flows, AggregationConfig, FlowTrace, PacketTrace};
-use orchestrator::{Event, EventLog, JobInputs, JobSpec, OrchestratorError, Plan, RunOptions};
+use orchestrator::{
+    ChaosPlan, Event, EventLog, JobInputs, JobSpec, OrchestratorError, Plan, RunOptions,
+    WatchdogOptions,
+};
 use rand::prelude::*;
 use std::fmt;
 use std::path::PathBuf;
@@ -18,6 +21,9 @@ use std::path::PathBuf;
 pub enum PipelineError {
     /// The input trace has no records.
     EmptyTrace,
+    /// A configuration value failed validation before any training ran
+    /// (e.g. a malformed fault or divergence injection spec).
+    Config(String),
     /// A checkpoint/manifest/event-stream filesystem operation failed.
     Checkpoint {
         /// Offending path.
@@ -25,8 +31,18 @@ pub enum PipelineError {
         /// OS error text.
         message: String,
     },
-    /// Training failed inside the orchestrator (a job exhausted its
-    /// retries, an invalid job plan, or an undecodable artifact).
+    /// A training job exhausted its retries (watchdog cancellations,
+    /// divergence past the rollback budget, panics, or plain errors).
+    Training {
+        /// Job id.
+        job: String,
+        /// Attempts executed.
+        attempts: u32,
+        /// Final failure (panic message or job error).
+        error: String,
+    },
+    /// Training failed inside the orchestrator for a non-job reason (an
+    /// invalid job plan or an undecodable artifact).
     Orchestrator(String),
 }
 
@@ -34,8 +50,12 @@ impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PipelineError::EmptyTrace => write!(f, "cannot fit NetShare on an empty trace"),
+            PipelineError::Config(m) => write!(f, "invalid configuration: {m}"),
             PipelineError::Checkpoint { path, message } => {
                 write!(f, "checkpoint I/O failed at {}: {message}", path.display())
+            }
+            PipelineError::Training { job, attempts, error } => {
+                write!(f, "training job {job} failed after {attempts} attempt(s): {error}")
             }
             PipelineError::Orchestrator(m) => write!(f, "chunk training failed: {m}"),
         }
@@ -48,6 +68,9 @@ impl From<OrchestratorError> for PipelineError {
     fn from(e: OrchestratorError) -> Self {
         match e {
             OrchestratorError::Io { path, message } => PipelineError::Checkpoint { path, message },
+            OrchestratorError::JobFailed { job, attempts, error } => {
+                PipelineError::Training { job, attempts, error }
+            }
             other => PipelineError::Orchestrator(other.to_string()),
         }
     }
@@ -310,6 +333,21 @@ impl NetShare {
             .max(1);
 
         let orch = &cfg.orchestrator;
+        // Injection specs are validated up front: a typo in a chaos knob
+        // must abort the run with exit-code-2 semantics, not silently
+        // train without the fault the CI run was counting on.
+        let chaos = orch
+            .fault_spec
+            .as_deref()
+            .map(ChaosPlan::parse)
+            .transpose()
+            .map_err(PipelineError::Config)?;
+        let divergence = orch
+            .divergence_spec
+            .as_deref()
+            .map(parse_divergence_spec)
+            .transpose()
+            .map_err(PipelineError::Config)?;
         let mut events = EventLog::new();
         if std::env::var("NETSHARE_DEBUG_STEPS").is_ok() {
             events = events.with_stderr();
@@ -381,31 +419,95 @@ impl NetShare {
             });
         };
 
+        // Cooperative training controls: the cancel probe surfaces
+        // watchdog / run-failure cancellations between generator steps,
+        // and the observer feeds the watchdog heartbeat (and the
+        // `train.steps_per_sec` gauge).
+        let control_from = |inp: &JobInputs<ModelArtifact>| -> TrainControl {
+            let token = inp.cancel.clone();
+            let heartbeat = inp.heartbeat.clone();
+            TrainControl {
+                cancel: Some(std::sync::Arc::new(move || token.reason())),
+                observer: Some(std::sync::Arc::new(move |steps| heartbeat.beat(steps))),
+            }
+        };
+        let divergence = &divergence;
+        // All training runs under the divergence sentinel; a healthy run
+        // is bitwise-identical to plain `train_steps`, so the pool's
+        // determinism guarantees are untouched.
+        let train_guarded = |model: &mut DoppelGanger,
+                             data: &TimeSeriesDataset,
+                             steps: usize,
+                             job: &str,
+                             inp: &JobInputs<ModelArtifact>,
+                             dp: bool|
+         -> Result<(), String> {
+            let mut scfg = SentinelConfig::default();
+            if let Some(budget) = orch.rollback_budget {
+                scfg.rollback_budget = budget;
+            }
+            if dp {
+                // A rollback would replay DP-SGD steps the accountant has
+                // already charged (its state is not snapshotted), so DP
+                // jobs get no budget: divergence fails the attempt loudly.
+                scfg.rollback_budget = 0;
+            } else if let Some((dj, at)) = divergence {
+                if dj == job {
+                    scfg.inject_non_finite_at = Some(*at);
+                }
+            }
+            let rollbacks = model
+                .train_steps_sentinel(data, steps, &scfg, &control_from(inp))
+                .map_err(|e| e.to_string())?;
+            for (i, rb) in rollbacks.iter().enumerate() {
+                events.emit(Event::SentinelRollback {
+                    job: job.to_string(),
+                    step: rb.step,
+                    reason: rb.reason.clone(),
+                    rollback: (i + 1) as u32,
+                    lr: rb.lr as f64,
+                });
+            }
+            Ok(())
+        };
+
         // --- the job DAG --------------------------------------------------
         let base_dg = &base_dg;
         let scaled = &scaled;
         let emit_losses = &emit_losses;
         let build_public = &build_public;
+        let train_guarded = &train_guarded;
         let mut jobs: Vec<JobSpec<'_, ModelArtifact>> = Vec::with_capacity(datasets.len() + 1);
         jobs.push(JobSpec::new(
             "pretrain",
             Vec::<String>::new(),
-            move |_inp: &JobInputs<ModelArtifact>| {
+            move |inp: &JobInputs<ModelArtifact>| {
                 let _span = telemetry::span!("pretrain");
                 let mut model = DoppelGanger::new(base_dg(0, cfg.seed ^ 0x91, None));
                 match cfg.dp {
                     Some(dp_opts) => {
                         // DP: pre-train (non-privately) on public data.
                         let public = build_public();
-                        model.train_steps(&public, dp_opts.public_pretrain_steps);
+                        train_guarded(
+                            &mut model,
+                            &public,
+                            dp_opts.public_pretrain_steps,
+                            "pretrain",
+                            inp,
+                            false,
+                        )?;
                     }
                     None => {
                         // Non-DP: seed chunk trains from scratch at full
                         // depth (scaled to its data share).
-                        model.train_steps(
+                        train_guarded(
+                            &mut model,
                             seed_data,
                             scaled("pretrain", cfg.seed_steps, seed_data.len()),
-                        );
+                            "pretrain",
+                            inp,
+                            false,
+                        )?;
                     }
                 }
                 emit_losses("pretrain", &model);
@@ -431,7 +533,14 @@ impl NetShare {
                                 base_dg(0, cfg.seed ^ (ci as u64) << 8, Some(dp_opts.dpsgd())),
                                 &seed_model,
                             );
-                            m.train_steps(data, scaled(&id, cfg.finetune_steps, data.len()));
+                            train_guarded(
+                                &mut m,
+                                data,
+                                scaled(&id, cfg.finetune_steps, data.len()),
+                                &id,
+                                inp,
+                                true,
+                            )?;
                             let q = (cfg.batch_size as f64 / data.len() as f64).min(1.0);
                             let steps = m.dp_steps();
                             (m, Some((q, steps)))
@@ -444,7 +553,7 @@ impl NetShare {
                                 base_dg(0, cfg.seed ^ 0x91, None),
                                 &seed_model,
                             );
-                            m.train_steps(data, 0);
+                            train_guarded(&mut m, data, 0, &id, inp, false)?;
                             (m, None)
                         }
                         None => {
@@ -452,7 +561,14 @@ impl NetShare {
                                 base_dg(0, cfg.seed ^ (ci as u64) << 8, None),
                                 &seed_model,
                             );
-                            m.train_steps(data, scaled(&id, cfg.finetune_steps, data.len()));
+                            train_guarded(
+                                &mut m,
+                                data,
+                                scaled(&id, cfg.finetune_steps, data.len()),
+                                &id,
+                                inp,
+                                false,
+                            )?;
                             (m, None)
                         }
                     };
@@ -464,17 +580,18 @@ impl NetShare {
         let plan = Plan::new(jobs).map_err(PipelineError::Orchestrator)?;
 
         let defaults = RunOptions::default();
-        let fault = orch
-            .fault_spec
-            .as_deref()
-            .and_then(orchestrator::fault_from_spec);
         let opts = RunOptions {
             workers: orch.workers,
             max_retries: orch.max_retries.unwrap_or(defaults.max_retries),
             checkpoint_dir: orch.checkpoint_dir.clone(),
             resume: orch.resume,
             run_key: run_key(cfg, &meta_spec, &record_spec, datasets),
-            fault,
+            chaos,
+            keep_generations: orch.keep_generations.unwrap_or(defaults.keep_generations),
+            watchdog: WatchdogOptions {
+                max_job_secs: orch.max_job_secs,
+                ..WatchdogOptions::default()
+            },
             ..defaults
         };
         let report = orchestrator::run(&plan, &opts, &events)?;
@@ -619,12 +736,32 @@ fn pretrain_packets(cfg: &NetShareConfig, same_domain: &PacketTrace) -> PacketTr
     }
 }
 
+/// Parses a `"<job-id>:<step>"` divergence-injection spec (the
+/// `NETSHARE_INJECT_DIVERGENCE` grammar): poison the named job's model
+/// with a NaN at that generator step so the sentinel must roll back.
+pub fn parse_divergence_spec(spec: &str) -> Result<(String, u64), String> {
+    let err = || {
+        format!(
+            "invalid divergence spec `{spec}`: expected `job:step` \
+             with a non-negative integer step"
+        )
+    };
+    let (job, step) = spec.rsplit_once(':').ok_or_else(err)?;
+    if job.is_empty() {
+        return Err(err());
+    }
+    let step: u64 = step.parse().map_err(|_| err())?;
+    Ok((job.to_string(), step))
+}
+
 /// Fingerprints the *training-relevant* configuration and data geometry.
 /// A manifest written under a different key is ignored on resume —
 /// changing the seed, step budget, DP options, or the data itself must
 /// never silently reuse stale checkpoints. Orchestration knobs (worker
-/// count, retries, checkpoint dir) deliberately do not participate: they
-/// change scheduling, never the trained bits.
+/// count, retries, checkpoint dir, chaos faults) deliberately do not
+/// participate: they change scheduling, never the trained bits. The
+/// divergence-injection spec *does* participate — a forced rollback
+/// changes the weights, so its checkpoints must not leak into clean runs.
 fn run_key(
     cfg: &NetShareConfig,
     meta_spec: &doppelganger::FeatureSpec,
@@ -635,8 +772,12 @@ fn run_key(
         .iter()
         .map(|d| d.as_ref().map_or(0, |d| d.len()))
         .collect();
+    let div = match &cfg.orchestrator.divergence_spec {
+        Some(spec) => format!("|div={spec}"),
+        None => String::new(),
+    };
     let desc = format!(
-        "v1|seed={}|chunks={}|steps={}+{}|bs={}|lr={}|nc={}|wc={}|aux={}|maxlen={}|embed={}|labels={}|tags={}|dp={:?}|meta={}|rec={}|lens={:?}",
+        "v1|seed={}|chunks={}|steps={}+{}|bs={}|lr={}|nc={}|wc={}|aux={}|maxlen={}|embed={}|labels={}|tags={}|dp={:?}|meta={}|rec={}|lens={:?}{div}",
         cfg.seed,
         cfg.n_chunks,
         cfg.seed_steps,
@@ -744,6 +885,35 @@ mod tests {
         let cfg = tiny_cfg().v0_from();
         let model = NetShare::fit_flows(&real, &cfg).unwrap();
         assert_eq!(model.trained_chunks(), 1);
+    }
+
+    #[test]
+    fn divergence_spec_grammar() {
+        assert_eq!(
+            parse_divergence_spec("chunk-1:40").unwrap(),
+            ("chunk-1".to_string(), 40)
+        );
+        for bad in ["", "chunk-1", "chunk-1:", ":40", "chunk-1:x", "chunk-1:-3"] {
+            let err = parse_divergence_spec(bad).unwrap_err();
+            assert!(err.contains("expected `job:step`"), "{err}");
+        }
+    }
+
+    #[test]
+    fn malformed_injection_specs_are_config_errors() {
+        let real = synth_flows(DatasetKind::Ugr16, 200, 7);
+        let mut cfg = tiny_cfg();
+        cfg.orchestrator.fault_spec = Some("chunk-1:bogus".into());
+        assert!(matches!(
+            NetShare::fit_flows(&real, &cfg),
+            Err(PipelineError::Config(e)) if e.contains("invalid fault spec")
+        ));
+        let mut cfg = tiny_cfg();
+        cfg.orchestrator.divergence_spec = Some("no-step".into());
+        assert!(matches!(
+            NetShare::fit_flows(&real, &cfg),
+            Err(PipelineError::Config(e)) if e.contains("expected `job:step`")
+        ));
     }
 
     #[test]

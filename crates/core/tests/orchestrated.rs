@@ -140,6 +140,56 @@ fn injected_fault_is_retried_and_logged() {
 }
 
 #[test]
+fn injected_divergence_is_rolled_back_and_the_fit_completes() {
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let real = real_trace();
+    let mut cfg = tiny_cfg(53);
+    // Poison chunk-1's model at generator step 2: the sentinel must see
+    // the non-finite losses, roll back, and still deliver the fit.
+    cfg.orchestrator.divergence_spec = Some("chunk-1:2".into());
+    let (trace, events) = fit_and_generate(&real, &cfg);
+    assert!(!trace.is_empty(), "the recovered fit still generates");
+    let rollback = events.iter().find_map(|e| match e {
+        Event::SentinelRollback { job, reason, rollback, .. } if job == "chunk-1" => {
+            Some((reason.clone(), *rollback))
+        }
+        _ => None,
+    });
+    let (reason, number) = rollback.expect("the forced divergence must be announced");
+    assert!(reason.contains("non-finite"), "{reason}");
+    assert_eq!(number, 1, "rollback numbers are 1-based");
+    let failed = events.iter().any(|e| matches!(e, Event::JobFailed { .. }));
+    assert!(!failed, "recovery happened inside the job, not via retries");
+}
+
+#[test]
+fn hung_job_is_cancelled_by_the_watchdog_and_retried() {
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let real = real_trace();
+
+    let (reference, _) = fit_and_generate(&real, &tiny_cfg(37));
+
+    let mut cfg = tiny_cfg(37);
+    cfg.orchestrator.fault_spec = Some("chunk-1:hang:1".into());
+    cfg.orchestrator.max_job_secs = Some(3.0);
+    let (trace, events) = fit_and_generate(&real, &cfg);
+    assert_eq!(
+        trace, reference,
+        "the retried attempt after the cancelled hang trains identically"
+    );
+    let cancelled = events.iter().any(|e| {
+        matches!(e, Event::WatchdogCancelled { job, reason, .. }
+                 if job == "chunk-1" && reason.contains("deadline exceeded"))
+    });
+    assert!(cancelled, "the watchdog must announce the cancellation: {events:?}");
+    let retried = events.iter().any(|e| {
+        matches!(e, Event::JobRetried { job, error, .. }
+                 if job == "chunk-1" && error.contains("injected hang"))
+    });
+    assert!(retried, "the cancelled hang re-entered the retry path");
+}
+
+#[test]
 fn changed_config_invalidates_old_checkpoints() {
     std::env::set_var("RAYON_NUM_THREADS", "4");
     let real = real_trace();

@@ -29,11 +29,13 @@
 //!   `privacy` crate accounts.
 
 pub mod data;
+pub mod sentinel;
 pub mod model;
 pub mod spec;
 pub mod train;
 
 pub use data::TimeSeriesDataset;
+pub use sentinel::{Rollback, SentinelConfig, TrainAbort, TrainControl};
 pub use model::{DgDiscriminators, DgGenerator, GeneratedBatch};
 pub use spec::{FeatureSpec, Segment};
 pub use train::{DgConfig, DgLoss, DoppelGanger, TrainStats};

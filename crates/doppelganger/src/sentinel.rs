@@ -1,0 +1,261 @@
+//! GAN divergence sentinel: windowed training with rollback.
+//!
+//! GAN training fails in characteristic ways — a NaN poisons the
+//! parameters, the losses explode, or both players collapse to a
+//! constant — and all of them waste every step that follows. The
+//! sentinel trains in windows; at each window boundary it snapshots the
+//! model, runs the window under `catch_unwind`, and inspects the fresh
+//! loss tail. On divergence it *rolls back* to the snapshot, decays the
+//! learning rate, and resumes, bounded by a rollback budget so a
+//! hopeless configuration still fails loudly instead of looping.
+//!
+//! Divergence detection is three detectors plus the sanitizer:
+//!
+//! 1. **Non-finite** — a NaN/Inf in the window's d/g losses; with the
+//!    `sanitize` feature on, `nnet` panics at the faulty op and the
+//!    sentinel claims the trip via `sanitize::take_last_incident`,
+//!    making the deliberately-fatal sanitizer *recoverable* exactly at
+//!    this boundary (any other panic is re-raised untouched).
+//! 2. **Explosion** — a loss magnitude beyond [`SentinelConfig::explode`].
+//! 3. **Collapse** — both loss tails frozen to (numerically) constant
+//!    values, the flat-lined-GAN failure mode.
+//!
+//! The rollback restores parameters and truncates the loss history but
+//! deliberately does **not** rewind the RNG: replaying the same noise at
+//! a lower learning rate is closer to re-living the failure than to
+//! recovering from it. Runs that never diverge are untouched bit-for-bit
+//! (the no-rollback path is exactly `train_steps`), so orchestration
+//! determinism guarantees still hold.
+//!
+//! In DP mode the DP-SGD noise/accounting state is not snapshotted, so a
+//! rollback would double-count privacy steps; the pipeline only enables
+//! injection-style sentinel features on non-DP jobs.
+
+use crate::data::TimeSeriesDataset;
+use crate::train::DoppelGanger;
+use nnet::optim::Adam;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Cooperative hooks threaded into the training loop.
+#[derive(Clone, Default)]
+pub struct TrainControl {
+    /// Polled before every generator step; returning `Some(reason)`
+    /// aborts the loop with that reason (the orchestrator wires this to
+    /// the attempt's cancel token).
+    pub cancel: Option<Arc<dyn Fn() -> Option<String> + Send + Sync>>,
+    /// Called after every generator step with the 1-based cumulative step
+    /// count (the orchestrator wires this to the watchdog heartbeat).
+    pub observer: Option<Arc<dyn Fn(u64) + Send + Sync>>,
+}
+
+impl std::fmt::Debug for TrainControl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainControl")
+            .field("cancel", &self.cancel.is_some())
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
+}
+
+/// Sentinel thresholds and the rollback budget.
+#[derive(Debug, Clone)]
+pub struct SentinelConfig {
+    /// Generator steps per health-checked window (snapshot cadence).
+    pub window: usize,
+    /// Loss magnitude beyond which the window counts as exploded.
+    pub explode: f32,
+    /// Both loss tails with stddev below this count as collapsed
+    /// (only evaluated on windows of at least 8 steps).
+    pub collapse_std: f32,
+    /// Rollbacks allowed before the job fails with [`TrainAbort::Diverged`].
+    pub rollback_budget: u32,
+    /// Learning-rate multiplier applied at each rollback.
+    pub lr_decay: f32,
+    /// Test/chaos hook: poison one generator parameter with NaN when
+    /// training first reaches this step, forcing a divergence.
+    pub inject_non_finite_at: Option<u64>,
+}
+
+impl Default for SentinelConfig {
+    fn default() -> Self {
+        SentinelConfig {
+            window: 20,
+            explode: 1.0e4,
+            collapse_std: 1.0e-8,
+            rollback_budget: 2,
+            lr_decay: 0.5,
+            inject_non_finite_at: None,
+        }
+    }
+}
+
+/// One recovery the sentinel performed.
+#[derive(Debug, Clone)]
+pub struct Rollback {
+    /// Generator step the model was rolled back to.
+    pub step: u64,
+    /// What the detector saw.
+    pub reason: String,
+    /// The decayed learning rate training resumed with.
+    pub lr: f32,
+}
+
+/// Why sentinel training gave up.
+#[derive(Debug)]
+pub enum TrainAbort {
+    /// The cooperative cancel probe fired (watchdog or run failure).
+    Cancelled(String),
+    /// Divergence persisted past the rollback budget.
+    Diverged {
+        /// What the final detector saw.
+        reason: String,
+        /// Rollbacks spent before giving up.
+        rollbacks: u32,
+    },
+}
+
+impl std::fmt::Display for TrainAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainAbort::Cancelled(reason) => write!(f, "training cancelled: {reason}"),
+            TrainAbort::Diverged { reason, rollbacks } => write!(
+                f,
+                "training diverged beyond the rollback budget ({rollbacks} rollback(s) spent): {reason}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainAbort {}
+
+impl DoppelGanger {
+    /// Trains `gen_steps` generator steps under the divergence sentinel
+    /// (see module docs). Returns the rollbacks performed — empty for a
+    /// healthy run, whose trajectory is then bitwise-identical to
+    /// [`DoppelGanger::train_steps`].
+    pub fn train_steps_sentinel(
+        &mut self,
+        data: &TimeSeriesDataset,
+        gen_steps: usize,
+        scfg: &SentinelConfig,
+        ctl: &TrainControl,
+    ) -> Result<Vec<Rollback>, TrainAbort> {
+        let mut rollbacks: Vec<Rollback> = Vec::new();
+        let mut done: usize = 0;
+        let mut injected = false;
+        while done < gen_steps {
+            let window = scfg.window.max(1).min(gen_steps - done);
+            let snapshot = self.checkpoint();
+            let d_len = self.stats.d_loss.len();
+            let g_len = self.stats.g_loss.len();
+            let critic_steps = self.stats.critic_steps;
+            if let Some(at) = scfg.inject_non_finite_at {
+                if !injected && (at as usize) >= done && (at as usize) < done + window {
+                    self.poison_one_generator_parameter();
+                    injected = true;
+                }
+            }
+            let base = done as u64;
+            let ctl_window = TrainControl {
+                cancel: ctl.cancel.clone(),
+                observer: ctl.observer.clone().map(|observer| {
+                    Arc::new(move |step: u64| observer(base + step))
+                        as Arc<dyn Fn(u64) + Send + Sync>
+                }),
+            };
+            let outcome =
+                catch_unwind(AssertUnwindSafe(|| self.train_steps_ctl(data, window, &ctl_window)));
+            let divergence = match outcome {
+                Err(panic) => match nnet::sanitize::take_last_incident() {
+                    // The sanitizer tripped on this thread: that exact
+                    // failure is what the sentinel exists to absorb.
+                    Some(incident) => Some(incident),
+                    // Anything else is a genuine bug; keep it fatal.
+                    None => resume_unwind(panic),
+                },
+                Ok(Err(reason)) => return Err(TrainAbort::Cancelled(reason)),
+                Ok(Ok(())) => self.window_health(window, scfg),
+            };
+            let Some(reason) = divergence else {
+                done += window;
+                continue;
+            };
+            if rollbacks.len() as u32 >= scfg.rollback_budget {
+                return Err(TrainAbort::Diverged {
+                    reason,
+                    rollbacks: rollbacks.len() as u32,
+                });
+            }
+            self.restore(&snapshot);
+            self.stats.d_loss.truncate(d_len);
+            self.stats.g_loss.truncate(g_len);
+            self.stats.critic_steps = critic_steps;
+            // Fresh optimizers at the decayed rate: Adam moments learned
+            // on the way into the divergence would steer right back at it.
+            self.cfg.lr *= scfg.lr_decay;
+            self.g_opt = Adam::new(self.cfg.lr);
+            self.d_opt = Adam::new(self.cfg.lr);
+            telemetry::metrics::counter("train.sentinel_rollbacks").inc();
+            rollbacks.push(Rollback {
+                step: done as u64,
+                reason,
+                lr: self.cfg.lr,
+            });
+        }
+        Ok(rollbacks)
+    }
+
+    /// Inspects the loss tail the last window appended. `None` = healthy.
+    fn window_health(&self, window: usize, scfg: &SentinelConfig) -> Option<String> {
+        let g_tail = tail(&self.stats.g_loss, window);
+        let d_tail = tail(&self.stats.d_loss, window * self.cfg.n_critic.max(1));
+        for (name, series) in [("generator", g_tail), ("critic", d_tail)] {
+            if let Some(v) = series.iter().find(|v| !v.is_finite()) {
+                return Some(format!("non-finite {name} loss {v}"));
+            }
+            if let Some(v) = series.iter().find(|v| v.abs() > scfg.explode) {
+                return Some(format!(
+                    "{name} loss {v} exceeds explosion threshold {}",
+                    scfg.explode
+                ));
+            }
+        }
+        if window >= 8 && stddev(g_tail) < scfg.collapse_std && stddev(d_tail) < scfg.collapse_std {
+            return Some(format!(
+                "losses collapsed to constants (g={:?}, d={:?})",
+                g_tail.last(),
+                d_tail.last()
+            ));
+        }
+        None
+    }
+
+    /// The chaos hook behind [`SentinelConfig::inject_non_finite_at`]:
+    /// overwrites one generator weight with NaN, the seed of every real
+    /// non-finite cascade. The *last* parameter (the final output bias)
+    /// is the one poisoned: hidden-layer NaNs are swallowed by the
+    /// `max`-based ReLUs (`NaN.max(0.0) == 0.0`), but nothing filters
+    /// the output layer, so this NaN reliably reaches the losses.
+    fn poison_one_generator_parameter(&mut self) {
+        use nnet::Parameterized;
+        if let Some(p) = self.gen.parameters_mut().into_iter().next_back() {
+            if let Some(v) = p.data_mut().first_mut() {
+                *v = f32::NAN;
+            }
+        }
+    }
+}
+
+fn tail(series: &[f32], n: usize) -> &[f32] {
+    &series[series.len().saturating_sub(n)..]
+}
+
+fn stddev(series: &[f32]) -> f32 {
+    if series.is_empty() {
+        return f32::INFINITY;
+    }
+    let mean = series.iter().sum::<f32>() / series.len() as f32;
+    let var = series.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / series.len() as f32;
+    var.sqrt()
+}

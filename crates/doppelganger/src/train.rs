@@ -120,10 +120,10 @@ pub struct DoppelGanger {
     pub cfg: DgConfig,
     /// Loss history.
     pub stats: TrainStats,
-    rng: StdRng,
-    g_opt: Adam,
-    d_opt: Adam,
-    dp: Option<DpSgdTrainer>,
+    pub(crate) rng: StdRng,
+    pub(crate) g_opt: Adam,
+    pub(crate) d_opt: Adam,
+    pub(crate) dp: Option<DpSgdTrainer>,
 }
 
 /// One decoded generated sample.
@@ -221,6 +221,23 @@ impl DoppelGanger {
     /// Trains for an explicit number of generator steps (used for
     /// fine-tuning with fewer steps than a from-scratch run).
     pub fn train_steps(&mut self, data: &TimeSeriesDataset, gen_steps: usize) {
+        // Infallible with the default control: no cancel source is wired,
+        // so the only Err path (cancellation) cannot fire.
+        let _ = self.train_steps_ctl(data, gen_steps, &crate::sentinel::TrainControl::default());
+    }
+
+    /// [`DoppelGanger::train_steps`] with cooperative control: the cancel
+    /// probe is consulted before every generator step (an `Err` returns
+    /// promptly with the partial progress kept in `stats`), and the
+    /// observer fires after each step with the 1-based step count — the
+    /// orchestrator wires it to a watchdog heartbeat. With the default
+    /// [`TrainControl`] this is exactly `train_steps`, bitwise.
+    pub(crate) fn train_steps_ctl(
+        &mut self,
+        data: &TimeSeriesDataset,
+        gen_steps: usize,
+        ctl: &crate::sentinel::TrainControl,
+    ) -> Result<(), String> {
         assert_eq!(
             data.record_dim,
             self.gen.record_dim(),
@@ -234,7 +251,14 @@ impl DoppelGanger {
         let _span = telemetry::span!("train_steps[{gen_steps}]");
         let d_hist = telemetry::metrics::histogram("train.d_loss", &telemetry::metrics::LOSS_EDGES);
         let g_hist = telemetry::metrics::histogram("train.g_loss", &telemetry::metrics::LOSS_EDGES);
-        for _ in 0..gen_steps {
+        for step in 0..gen_steps {
+            if let Some(cancel) = &ctl.cancel {
+                if let Some(reason) = cancel() {
+                    return Err(format!(
+                        "cancelled after {step}/{gen_steps} generator steps: {reason}"
+                    ));
+                }
+            }
             for _ in 0..self.cfg.n_critic {
                 let d_loss = if self.dp.is_some() {
                     self.critic_step_dp(data)
@@ -252,7 +276,11 @@ impl DoppelGanger {
             telemetry::metrics::gauge("train.g_loss").set(g_loss as f64);
             g_hist.record(g_loss as f64);
             self.stats.g_loss.push(g_loss);
+            if let Some(observer) = &ctl.observer {
+                observer((step + 1) as u64);
+            }
         }
+        Ok(())
     }
 
     fn sample_batch_indices(&mut self, n: usize) -> Vec<usize> {

@@ -1,0 +1,149 @@
+//! Divergence-sentinel behavior: forced NaN recovers via rollback, the
+//! rollback budget bounds hopeless runs, cancellation aborts promptly,
+//! and a healthy sentinel run is bitwise-identical to plain training.
+
+use doppelganger::{
+    DgConfig, DoppelGanger, FeatureSpec, Segment, SentinelConfig, TimeSeriesDataset, TrainAbort,
+    TrainControl,
+};
+use rand::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn toy_data(n: usize, seed: u64) -> TimeSeriesDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut meta = Vec::with_capacity(n);
+    let mut seqs = Vec::with_capacity(n);
+    for _ in 0..n {
+        if rng.gen::<f64>() < 0.85 {
+            meta.push(vec![1.0, 0.0]);
+            seqs.push(vec![vec![0.8 + rng.gen_range(-0.05..0.05)]; 3]);
+        } else {
+            meta.push(vec![0.0, 1.0]);
+            seqs.push(vec![vec![0.2 + rng.gen_range(-0.05..0.05)]; 1]);
+        }
+    }
+    TimeSeriesDataset::new(meta, seqs, 4)
+}
+
+fn toy_config() -> DgConfig {
+    let mut cfg = DgConfig::small(
+        FeatureSpec::new(vec![Segment::Categorical { dim: 2 }]),
+        FeatureSpec::continuous(1),
+        4,
+    );
+    cfg.batch_size = 16;
+    cfg.meta_hidden = vec![16];
+    cfg.rnn_hidden = 12;
+    cfg.head_hidden = vec![12];
+    cfg.disc_hidden = vec![24];
+    cfg.aux_hidden = vec![12];
+    cfg
+}
+
+fn sentinel(window: usize) -> SentinelConfig {
+    SentinelConfig {
+        window,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn injected_nan_rolls_back_and_the_run_completes() {
+    let data = toy_data(150, 1);
+    let mut model = DoppelGanger::new(toy_config());
+    let lr_before = model.cfg.lr;
+    let mut scfg = sentinel(10);
+    scfg.inject_non_finite_at = Some(15);
+    let rollbacks = model
+        .train_steps_sentinel(&data, 30, &scfg, &TrainControl::default())
+        .expect("sentinel absorbs the injected divergence");
+    assert!(!rollbacks.is_empty(), "the poisoned window was rolled back");
+    assert!(rollbacks[0].reason.contains("non-finite"), "{:?}", rollbacks[0]);
+    assert_eq!(rollbacks[0].step, 10, "rolled back to the window boundary");
+    assert!(model.cfg.lr < lr_before, "learning rate decayed on rollback");
+    assert_eq!(model.stats.g_loss.len(), 30, "full step count delivered");
+    assert!(
+        model.stats.g_loss.iter().all(|l| l.is_finite()),
+        "no NaN survives in the recovered trajectory"
+    );
+}
+
+#[test]
+fn persistent_divergence_exhausts_the_budget_and_fails_loudly() {
+    let data = toy_data(100, 2);
+    let mut model = DoppelGanger::new(toy_config());
+    let mut scfg = sentinel(5);
+    // Any finite loss "exceeds" a zero explosion threshold, so every
+    // window diverges and no amount of LR decay can help.
+    scfg.explode = 0.0;
+    scfg.rollback_budget = 2;
+    match model.train_steps_sentinel(&data, 20, &scfg, &TrainControl::default()) {
+        Err(TrainAbort::Diverged { rollbacks, reason }) => {
+            assert_eq!(rollbacks, 2, "exactly the budget was spent");
+            assert!(reason.contains("explosion threshold"), "{reason}");
+        }
+        other => panic!("expected Diverged, got {other:?}"),
+    }
+}
+
+#[test]
+fn cancellation_probe_aborts_between_steps() {
+    let data = toy_data(100, 3);
+    let mut model = DoppelGanger::new(toy_config());
+    let polls = Arc::new(AtomicU64::new(0));
+    let polls_probe = Arc::clone(&polls);
+    let ctl = TrainControl {
+        cancel: Some(Arc::new(move || {
+            (polls_probe.fetch_add(1, Ordering::SeqCst) >= 3)
+                .then(|| "watchdog: deadline exceeded".to_string())
+        })),
+        observer: None,
+    };
+    match model.train_steps_sentinel(&data, 50, &sentinel(25), &ctl) {
+        Err(TrainAbort::Cancelled(reason)) => {
+            assert!(reason.contains("cancelled after 3/"), "{reason}");
+            assert!(reason.contains("watchdog: deadline exceeded"), "{reason}");
+        }
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    assert_eq!(model.stats.g_loss.len(), 3, "partial progress retained");
+}
+
+#[test]
+fn observer_reports_cumulative_steps_across_windows() {
+    let data = toy_data(100, 4);
+    let mut model = DoppelGanger::new(toy_config());
+    let seen = Arc::new(std::sync::Mutex::new(Vec::<u64>::new()));
+    let sink = Arc::clone(&seen);
+    let ctl = TrainControl {
+        cancel: None,
+        observer: Some(Arc::new(move |step| sink.lock().unwrap().push(step))),
+    };
+    model
+        .train_steps_sentinel(&data, 12, &sentinel(5), &ctl)
+        .unwrap();
+    let seen = seen.lock().unwrap();
+    // Windows of 5/5/2, but the observer sees one global 1..=12 count.
+    assert_eq!(*seen, (1..=12).collect::<Vec<u64>>());
+}
+
+#[test]
+fn healthy_sentinel_run_is_bitwise_identical_to_plain_training() {
+    let data = toy_data(120, 5);
+    let mut plain = DoppelGanger::new(toy_config());
+    plain.train_steps(&data, 24);
+
+    let mut guarded = DoppelGanger::new(toy_config());
+    let rollbacks = guarded
+        .train_steps_sentinel(&data, 24, &sentinel(7), &TrainControl::default())
+        .unwrap();
+    assert!(rollbacks.is_empty(), "healthy run never rolls back");
+    assert_eq!(plain.stats.g_loss, guarded.stats.g_loss);
+    assert_eq!(plain.stats.d_loss, guarded.stats.d_loss);
+    let (pg, pd) = plain.checkpoint();
+    let (gg, gd) = guarded.checkpoint();
+    assert_eq!(pg.tensors, gg.tensors, "generator weights identical");
+    assert_eq!(pd.tensors, gd.tensors, "discriminator weights identical");
+    assert_eq!(plain.rng_state(), guarded.rng_state(), "sampler RNG untouched");
+}

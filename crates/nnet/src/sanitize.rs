@@ -69,6 +69,10 @@ mod imp {
 
     thread_local! {
         static SCOPES: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+        /// The formatted message of this thread's most recent trip, left
+        /// behind for a `catch_unwind` boundary to claim (see
+        /// [`take_last_incident`]).
+        static LAST: RefCell<Option<String>> = const { RefCell::new(None) };
     }
 
     /// The installed incident observer, cloned out of the lock before
@@ -136,6 +140,15 @@ mod imp {
         }
     }
 
+    /// Claims (and clears) the formatted message of this thread's most
+    /// recent sanitizer trip. A `catch_unwind` boundary that just caught a
+    /// panic calls this to tell "the sanitizer tripped — recoverable
+    /// divergence" apart from "some other bug — re-raise": `Some` means
+    /// the panic it caught came from a trip on this thread.
+    pub fn take_last_incident() -> Option<String> {
+        LAST.with(|l| l.borrow_mut().take())
+    }
+
     fn trip(kind: IncidentKind, op: &str, detail: String) -> ! {
         let incident = Incident {
             scope: current_scope(),
@@ -148,14 +161,16 @@ mod imp {
         if let Some(hook) = hook {
             hook(&incident);
         }
-        // lint: allow(panic-in-lib) sanitizer trips are deliberately fatal: fail at the faulty op, not thousands of steps later
-        panic!(
+        let message = format!(
             "sanitize[{}]: {} in scope `{}` during `{}`",
             incident.kind.name(),
             incident.detail,
             incident.scope,
             incident.op
         );
+        LAST.with(|l| *l.borrow_mut() = Some(message.clone()));
+        // lint: allow(panic-in-lib) sanitizer trips are deliberately fatal: fail at the faulty op, not thousands of steps later
+        panic!("{message}");
     }
 
     /// Trips if any element of `data` is NaN or ±Inf.
@@ -229,6 +244,13 @@ mod noop {
     /// No-op.
     #[inline(always)]
     pub fn check_grad_norm(_op: &str, _norm: f32) {}
+
+    /// Always `None`: with the sanitizer compiled out, no panic is ever a
+    /// sanitizer trip, so callers fall through to their re-raise path.
+    #[inline(always)]
+    pub fn take_last_incident() -> Option<String> {
+        None
+    }
 }
 
 #[cfg(not(feature = "sanitize"))]
@@ -283,6 +305,20 @@ mod tests {
         })));
         assert!(msg.contains("shape-mismatch"), "{msg}");
         assert!(msg.contains("expected 2x3, got 3x2"), "{msg}");
+    }
+
+    #[test]
+    fn trip_leaves_a_claimable_incident_and_ordinary_panics_do_not() {
+        assert_eq!(take_last_incident(), None, "clean slate");
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            check_finite("claim-op", &[f32::NAN]);
+        }));
+        let claimed = take_last_incident().expect("trip left an incident behind");
+        assert!(claimed.contains("claim-op"), "{claimed}");
+        assert_eq!(take_last_incident(), None, "claiming clears it");
+        // A non-sanitizer panic must not masquerade as a trip.
+        let _ = catch_unwind(|| panic!("unrelated"));
+        assert_eq!(take_last_incident(), None);
     }
 
     #[test]

@@ -35,11 +35,20 @@ impl<'a, P> JobSpec<'a, P> {
     }
 }
 
-/// The outputs a job's dependencies produced, keyed by job id.
+/// The outputs a job's dependencies produced, keyed by job id, plus the
+/// cooperative-cancellation handles of the current attempt.
 pub struct JobInputs<P> {
     pub(crate) deps: BTreeMap<String, Arc<P>>,
     /// Zero-based attempt number of the current execution.
     pub attempt: u32,
+    /// Cancellation token for this attempt; long-running bodies should
+    /// poll it (or wire it into their step loop) so watchdog/run-failure
+    /// cancellation turns into a prompt `Err` instead of orphaned work.
+    pub cancel: crate::cancel::CancelToken,
+    /// Liveness beacon for this attempt; bodies with step loops beat it
+    /// so heartbeat-staleness watchdog limits can distinguish slow from
+    /// hung.
+    pub heartbeat: crate::timing::Heartbeat,
 }
 
 impl<P> JobInputs<P> {

@@ -126,6 +126,44 @@ pub enum Event {
         /// 1-based nesting depth on the emitting thread.
         depth: u32,
     },
+    /// A checkpoint file failed verification (digest mismatch,
+    /// unparseable payload, or a torn temp file) and was renamed to
+    /// `<file>.quarantine`; recovery fell back to the next-newest
+    /// verified generation or re-runs the job.
+    CheckpointQuarantined {
+        /// Job id (empty for a stray temp file not attributable to a job).
+        job: String,
+        /// The quarantined file, relative to the run directory.
+        file: String,
+        /// Why verification failed.
+        reason: String,
+    },
+    /// The watchdog cancelled a job attempt whose deadline or heartbeat
+    /// was blown; the attempt re-enters the retry/backoff path.
+    WatchdogCancelled {
+        /// Job id.
+        job: String,
+        /// Zero-based attempt number that was cancelled.
+        attempt: u32,
+        /// Which limit tripped, with the observed values.
+        reason: String,
+        /// Wall seconds the attempt had been running.
+        elapsed_seconds: f64,
+    },
+    /// The divergence sentinel rolled a training job back to its last
+    /// good snapshot and resumed with a decayed learning rate.
+    SentinelRollback {
+        /// Job id.
+        job: String,
+        /// Generator step the rollback rewound to.
+        step: u64,
+        /// The detected divergence (non-finite loss, explosion, collapse).
+        reason: String,
+        /// 1-based rollback number within this job (bounded by the budget).
+        rollback: u32,
+        /// The decayed learning rate the job resumed with.
+        lr: f64,
+    },
     /// The run finished (all jobs completed or verified).
     RunFinished {
         /// Wall-clock seconds of the whole run.
@@ -263,6 +301,24 @@ mod tests {
                 start_us: 1_234,
                 duration_us: 567,
                 depth: 4,
+            },
+            Event::CheckpointQuarantined {
+                job: "chunk-1".into(),
+                file: "jobs/chunk-1.gen2.json".into(),
+                reason: "digest mismatch".into(),
+            },
+            Event::WatchdogCancelled {
+                job: "chunk-1".into(),
+                attempt: 0,
+                reason: "deadline exceeded: 12.3s >= max-job-secs 10".into(),
+                elapsed_seconds: 12.3,
+            },
+            Event::SentinelRollback {
+                job: "chunk-1".into(),
+                step: 40,
+                reason: "non-finite generator loss".into(),
+                rollback: 1,
+                lr: 0.0005,
             },
             Event::RunFinished {
                 wall_seconds: 1.0,

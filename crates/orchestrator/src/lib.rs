@@ -20,25 +20,38 @@
 //!   corrupts the run directory.
 //! * **Resume**: a rerun with [`RunOptions::resume`] skips every job the
 //!   manifest can verify (run-key match + payload digest match) and loads
-//!   its payload from disk instead of recomputing it.
+//!   its payload from disk instead of recomputing it. Checkpoints are
+//!   *generational*: the last [`RunOptions::keep_generations`] verified
+//!   payloads per job are kept, and recovery falls back newest-to-oldest,
+//!   quarantining (`*.quarantine`) every corrupt file it walks past.
 //! * **Fault tolerance**: every attempt runs under `catch_unwind`; failures
-//!   (panics or `Err` returns) retry with bounded exponential backoff. A
-//!   fault-injection hook lets tests exercise the retry path
-//!   deterministically.
+//!   (panics or `Err` returns) retry with bounded exponential backoff that
+//!   wakes early on cancellation. A seeded [`ChaosPlan`] injects panics,
+//!   transient errors, hangs, slow I/O, and checkpoint corruption so the
+//!   whole failure domain is exercised deterministically.
+//! * **Watchdog** ([`WatchdogOptions`]): each attempt carries a
+//!   [`CancelToken`] and a [`Heartbeat`]; a polling thread cancels
+//!   attempts that blow their deadline or stop beating, converting hangs
+//!   into ordinary retried failures.
 //! * **JSONL events** ([`events`]): run/job lifecycle, retries, training
-//!   losses, and per-job wall/CPU seconds stream to any combination of an
-//!   in-memory buffer, a file, and stderr.
+//!   losses, quarantines, watchdog cancellations, and per-job wall/CPU
+//!   seconds stream to any combination of an in-memory buffer, a file,
+//!   and stderr.
 
+pub mod cancel;
+pub mod chaos;
 pub mod dag;
 pub mod events;
 pub mod manifest;
 pub mod pool;
 pub mod timing;
+pub(crate) mod watchdog;
 
+pub use cancel::CancelToken;
+pub use chaos::{ChaosEntry, ChaosPlan, FaultClass, CHAOS_GRAMMAR};
 pub use dag::{JobInputs, JobSpec, Plan};
 pub use events::{Event, EventLog};
-pub use manifest::{atomic_write, fnv1a64, Manifest, ManifestEntry};
-pub use pool::{
-    fault_from_spec, run, FaultHook, JobStats, OrchestratorError, RunOptions, RunReport,
-};
-pub use timing::{measure, thread_cpu_seconds};
+pub use manifest::{atomic_write, fnv1a64, quarantine, Manifest, ManifestEntry};
+pub use pool::{run, JobStats, OrchestratorError, RunOptions, RunReport};
+pub use timing::{measure, thread_cpu_seconds, Heartbeat};
+pub use watchdog::WatchdogOptions;

@@ -1,11 +1,12 @@
-//! On-disk checkpoints behind an atomic-write manifest.
+//! On-disk checkpoints behind an atomic-write manifest, with generations.
 //!
 //! Layout of a run directory:
 //!
 //! ```text
-//! <dir>/manifest.json    completed-job registry (atomic: tmp + rename)
-//! <dir>/jobs/<id>.json   one payload file per completed job (atomic)
-//! <dir>/events.jsonl     the event stream (append-only)
+//! <dir>/manifest.json               completed-job registry (atomic: tmp + rename)
+//! <dir>/jobs/<id>.gen<g>.json       one payload file per job *generation*
+//! <dir>/jobs/<file>.quarantine      a payload that failed verification
+//! <dir>/events.jsonl                the event stream (append-only)
 //! ```
 //!
 //! The manifest is rewritten after *every* job completion, so a killed run
@@ -14,19 +15,30 @@
 //! fully on disk. Resume trusts an entry only when (a) the manifest's
 //! `run_key` matches the current configuration fingerprint and (b) the
 //! payload file's FNV-1a digest matches the recorded one.
+//!
+//! Each completion appends a new *generation* rather than replacing the
+//! previous one; the scheduler keeps the last K verified generations per
+//! job (see `RunOptions::keep_generations`). When a load finds a corrupt
+//! generation — wrong digest, unparseable JSON, or a torn temp file — the
+//! bad file is [`quarantine`]d (atomic rename to `<file>.quarantine`) and
+//! recovery falls back to the next-newest verified generation instead of
+//! aborting the run.
 
 use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Manifest schema version.
-pub const MANIFEST_VERSION: u64 = 1;
+/// Manifest schema version. Bumped to 2 when entries gained generations;
+/// version-1 manifests fail deserialization and mean a fresh start.
+pub const MANIFEST_VERSION: u64 = 2;
 
-/// One completed job.
+/// One completed job generation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ManifestEntry {
     /// Job id.
     pub id: String,
+    /// 1-based generation number (monotonic per job id).
+    pub generation: u64,
     /// Payload file, relative to the run directory.
     pub file: String,
     /// FNV-1a 64 digest of the payload file bytes.
@@ -46,7 +58,8 @@ pub struct Manifest {
     pub version: u64,
     /// Configuration fingerprint the run executed under.
     pub run_key: String,
-    /// Completed jobs, in completion order.
+    /// Completed job generations, in completion order (a job id may
+    /// appear multiple times; the highest generation is current).
     pub jobs: Vec<ManifestEntry>,
 }
 
@@ -65,21 +78,23 @@ impl Manifest {
         dir.join("manifest.json")
     }
 
-    /// The payload file (relative name) for a job id. Ids are sanitized so
-    /// any id yields a flat, safe file name.
-    pub fn payload_file(id: &str) -> String {
+    /// The payload file (relative name) for one generation of a job id.
+    /// Ids are sanitized so any id yields a flat, safe file name.
+    pub fn payload_file(id: &str, generation: u64) -> String {
         let safe: String = id
             .chars()
             .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
             .collect();
-        format!("jobs/{safe}.json")
+        format!("jobs/{safe}.gen{generation}.json")
     }
 
-    /// Loads the manifest of `dir`, or `None` when absent or unparseable
-    /// (a damaged manifest means "nothing to resume", never an error).
+    /// Loads the manifest of `dir`, or `None` when absent, unparseable, or
+    /// an older schema version (a damaged manifest means "nothing to
+    /// resume", never an error).
     pub fn load(dir: &Path) -> Option<Manifest> {
         let text = std::fs::read_to_string(Manifest::path(dir)).ok()?;
-        serde_json::from_str(&text).ok()
+        let m: Manifest = serde_json::from_str(&text).ok()?;
+        (m.version == MANIFEST_VERSION).then_some(m)
     }
 
     /// Atomically persists the manifest into `dir`.
@@ -89,24 +104,84 @@ impl Manifest {
         atomic_write(&Manifest::path(dir), text.as_bytes())
     }
 
-    /// Looks up a completed job.
+    /// The *current* (highest-generation) entry of a job.
     pub fn entry(&self, id: &str) -> Option<&ManifestEntry> {
-        self.jobs.iter().find(|e| e.id == id)
+        self.generations(id).into_iter().next()
     }
 
-    /// Records (or replaces) a completed job.
+    /// All recorded generations of a job, newest first.
+    pub fn generations(&self, id: &str) -> Vec<&ManifestEntry> {
+        let mut gens: Vec<&ManifestEntry> = self.jobs.iter().filter(|e| e.id == id).collect();
+        gens.sort_by_key(|e| std::cmp::Reverse(e.generation));
+        gens
+    }
+
+    /// The generation number the next completion of `id` should use.
+    pub fn next_generation(&self, id: &str) -> u64 {
+        self.entry(id).map(|e| e.generation + 1).unwrap_or(1)
+    }
+
+    /// Appends a completed generation (earlier generations are kept; use
+    /// [`Manifest::prune`] to bound the history).
     pub fn record(&mut self, entry: ManifestEntry) {
-        self.jobs.retain(|e| e.id != entry.id);
+        self.jobs
+            .retain(|e| !(e.id == entry.id && e.generation == entry.generation));
         self.jobs.push(entry);
     }
 
-    /// Reads and verifies the payload of a completed job: the file must
-    /// exist and hash to the recorded digest. Returns the payload text.
-    pub fn verified_payload(&self, dir: &Path, id: &str) -> Option<String> {
-        let entry = self.entry(id)?;
+    /// Drops one recorded generation (e.g. after quarantining its file).
+    pub fn remove(&mut self, id: &str, generation: u64) {
+        self.jobs
+            .retain(|e| !(e.id == id && e.generation == generation));
+    }
+
+    /// Keeps only the newest `keep` generations of `id`, returning the
+    /// relative payload files of the dropped ones so the caller can delete
+    /// them. `keep` is clamped to at least 1.
+    pub fn prune(&mut self, id: &str, keep: usize) -> Vec<String> {
+        let keep = keep.max(1);
+        let stale: Vec<(u64, String)> = self
+            .generations(id)
+            .into_iter()
+            .skip(keep)
+            .map(|e| (e.generation, e.file.clone()))
+            .collect();
+        for (generation, _) in &stale {
+            self.remove(id, *generation);
+        }
+        stale.into_iter().map(|(_, f)| f).collect()
+    }
+
+    /// Reads and verifies one recorded generation: the file must exist and
+    /// hash to the recorded digest. Returns the payload text.
+    pub fn verified_entry_payload(&self, dir: &Path, entry: &ManifestEntry) -> Option<String> {
         let text = std::fs::read_to_string(dir.join(&entry.file)).ok()?;
         (fnv1a64(text.as_bytes()) == entry.digest).then_some(text)
     }
+
+    /// Reads and verifies the payload of a completed job, walking its
+    /// generations newest-first and returning the first one whose digest
+    /// checks out (read-only; the scheduler's resume path additionally
+    /// quarantines the failures).
+    pub fn verified_payload(&self, dir: &Path, id: &str) -> Option<String> {
+        self.generations(id)
+            .into_iter()
+            .find_map(|e| self.verified_entry_payload(dir, e))
+    }
+}
+
+/// Quarantines a corrupt or torn file: atomic rename to
+/// `<file>.quarantine`, preserving the bytes for post-mortem inspection
+/// while guaranteeing no later load can trust them. Returns the
+/// quarantine path.
+pub fn quarantine(path: &Path) -> io::Result<PathBuf> {
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let dest = path.with_file_name(format!("{file_name}.quarantine"));
+    std::fs::rename(path, &dest)?;
+    Ok(dest)
 }
 
 /// Writes `bytes` to `path` atomically: a unique temp file in the same
@@ -149,18 +224,23 @@ mod tests {
         dir
     }
 
+    fn entry(id: &str, generation: u64, digest: u64) -> ManifestEntry {
+        ManifestEntry {
+            id: id.into(),
+            generation,
+            file: Manifest::payload_file(id, generation),
+            digest,
+            attempts: 1,
+            wall_seconds: 0.5,
+            cpu_seconds: 0.25,
+        }
+    }
+
     #[test]
     fn manifest_round_trips_through_disk() {
         let dir = tmp_dir("roundtrip");
         let mut m = Manifest::new("key-1");
-        m.record(ManifestEntry {
-            id: "pretrain".into(),
-            file: Manifest::payload_file("pretrain"),
-            digest: fnv1a64(b"payload"),
-            attempts: 1,
-            wall_seconds: 0.5,
-            cpu_seconds: 0.25,
-        });
+        m.record(entry("pretrain", 1, fnv1a64(b"payload")));
         m.store(&dir).unwrap();
         let back = Manifest::load(&dir).unwrap();
         assert_eq!(back, m);
@@ -171,23 +251,68 @@ mod tests {
     fn verified_payload_rejects_tampering() {
         let dir = tmp_dir("tamper");
         let payload = "{\"x\":1}";
-        let file = Manifest::payload_file("job-a");
+        let file = Manifest::payload_file("job-a", 1);
         atomic_write(&dir.join(&file), payload.as_bytes()).unwrap();
         let mut m = Manifest::new("k");
-        m.record(ManifestEntry {
-            id: "job-a".into(),
-            file: file.clone(),
-            digest: fnv1a64(payload.as_bytes()),
-            attempts: 1,
-            wall_seconds: 0.0,
-            cpu_seconds: 0.0,
-        });
+        m.record(entry("job-a", 1, fnv1a64(payload.as_bytes())));
         assert_eq!(m.verified_payload(&dir, "job-a").as_deref(), Some(payload));
         // Corrupt the file: digest check must fail.
         std::fs::write(dir.join(&file), b"{\"x\":2}").unwrap();
         assert_eq!(m.verified_payload(&dir, "job-a"), None);
         // Unknown job.
         assert_eq!(m.verified_payload(&dir, "nope"), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generations_fall_back_newest_to_oldest() {
+        let dir = tmp_dir("generations");
+        let good = "{\"x\":1}";
+        atomic_write(&dir.join(Manifest::payload_file("a", 1)), good.as_bytes()).unwrap();
+        atomic_write(&dir.join(Manifest::payload_file("a", 2)), b"corrupted").unwrap();
+        let mut m = Manifest::new("k");
+        m.record(entry("a", 1, fnv1a64(good.as_bytes())));
+        m.record(entry("a", 2, fnv1a64(b"what gen 2 should have been")));
+        assert_eq!(m.next_generation("a"), 3);
+        assert_eq!(m.entry("a").unwrap().generation, 2, "newest is current");
+        // Gen 2's digest fails, so the read-only walk lands on gen 1.
+        assert_eq!(m.verified_payload(&dir, "a").as_deref(), Some(good));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prune_keeps_the_newest_generations_and_returns_stale_files() {
+        let mut m = Manifest::new("k");
+        for g in 1..=5 {
+            m.record(entry("a", g, g));
+        }
+        m.record(entry("b", 1, 7));
+        let stale = m.prune("a", 2);
+        assert_eq!(
+            stale,
+            vec![
+                Manifest::payload_file("a", 3),
+                Manifest::payload_file("a", 2),
+                Manifest::payload_file("a", 1),
+            ]
+        );
+        let left: Vec<u64> = m.generations("a").iter().map(|e| e.generation).collect();
+        assert_eq!(left, vec![5, 4]);
+        assert_eq!(m.generations("b").len(), 1, "other jobs untouched");
+        // keep is clamped to 1: a job never loses its only generation.
+        assert!(m.prune("b", 0).is_empty());
+        assert_eq!(m.generations("b").len(), 1);
+    }
+
+    #[test]
+    fn quarantine_renames_preserving_bytes() {
+        let dir = tmp_dir("quarantine");
+        let p = dir.join("jobs").join("a.gen1.json");
+        std::fs::write(&p, b"bad bytes").unwrap();
+        let dest = quarantine(&p).unwrap();
+        assert!(!p.exists());
+        assert!(dest.to_string_lossy().ends_with("a.gen1.json.quarantine"));
+        assert_eq!(std::fs::read(&dest).unwrap(), b"bad bytes");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -208,17 +333,22 @@ mod tests {
     }
 
     #[test]
-    fn damaged_manifest_means_fresh_start() {
+    fn damaged_or_old_version_manifest_means_fresh_start() {
         let dir = tmp_dir("damaged");
         std::fs::write(Manifest::path(&dir), b"{ not json").unwrap();
+        assert!(Manifest::load(&dir).is_none());
+        // A well-formed manifest from an older schema is rejected too.
+        let mut old = Manifest::new("k");
+        old.version = 1;
+        old.store(&dir).unwrap();
         assert!(Manifest::load(&dir).is_none());
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn payload_file_names_are_sanitized() {
-        assert_eq!(Manifest::payload_file("chunk-3"), "jobs/chunk-3.json");
-        assert_eq!(Manifest::payload_file("a/b c"), "jobs/a_b_c.json");
+        assert_eq!(Manifest::payload_file("chunk-3", 1), "jobs/chunk-3.gen1.json");
+        assert_eq!(Manifest::payload_file("a/b c", 2), "jobs/a_b_c.gen2.json");
     }
 
     #[test]

@@ -3,14 +3,26 @@
 //! Workers are scoped threads pulling ready jobs from a shared queue; a
 //! job becomes ready when every dependency has published its output. Each
 //! attempt runs under `catch_unwind`, so a panicking job is a *retried*
-//! job, not a dead run; retries back off exponentially (bounded). Outputs
-//! are pure functions of job inputs, which makes results identical at any
-//! worker count — the scheduler only decides *when*, never *what*.
+//! job, not a dead run; retries back off exponentially (bounded) and the
+//! backoff wakes early when the run is cancelled. Every attempt carries a
+//! [`CancelToken`] and a [`Heartbeat`] so the watchdog can convert a hung
+//! attempt into an ordinary retryable failure. Outputs are pure functions
+//! of job inputs, which makes results identical at any worker count — the
+//! scheduler only decides *when*, never *what*.
+//!
+//! Checkpoints are generational: each completion appends a new verified
+//! generation, recovery walks generations newest-first, and a corrupt
+//! file is quarantined (renamed to `*.quarantine`) instead of aborting
+//! the run. Fault injection is a structured [`ChaosPlan`] covering panic,
+//! transient-error, hang, slow-I/O, and corruption fault classes.
 
+use crate::cancel::CancelToken;
+use crate::chaos::{self, ChaosPlan, FaultClass};
 use crate::dag::{JobInputs, Plan};
 use crate::events::{Event, EventLog};
-use crate::manifest::{atomic_write, fnv1a64, Manifest, ManifestEntry, MANIFEST_VERSION};
-use crate::timing::{measure, Stopwatch};
+use crate::manifest::{atomic_write, fnv1a64, quarantine, Manifest, ManifestEntry};
+use crate::timing::{measure, Heartbeat, Stopwatch};
+use crate::watchdog::{Watchdog, WatchdogOptions};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -18,23 +30,10 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-/// Deterministic fault injection for tests: given `(job_id, attempt)`,
-/// return `Some(message)` to make that attempt fail before the job body
-/// runs.
-pub type FaultHook = Arc<dyn Fn(&str, u32) -> Option<String> + Send + Sync>;
-
-/// Builds a [`FaultHook`] from a `"<job-id>:<n>"` spec: the named job's
-/// first `n` attempts fail. This is the string form behind the
-/// `NETSHARE_INJECT_FAULT` environment variable and the CI smoke test.
-pub fn fault_from_spec(spec: &str) -> Option<FaultHook> {
-    let (job, count) = spec.rsplit_once(':')?;
-    let count: u32 = count.trim().parse().ok()?;
-    let job = job.trim().to_string();
-    Some(Arc::new(move |id: &str, attempt: u32| {
-        (id == job && attempt < count)
-            .then(|| format!("injected fault ({}/{count})", attempt + 1))
-    }))
-}
+/// How long a worker sleeps between claim-queue polls. The condvar makes
+/// wakeups prompt; the timeout is a defensive bound so no worker can wait
+/// forever on a lost notification.
+const CLAIM_POLL: Duration = Duration::from_millis(100);
 
 /// Knobs of one orchestrated run.
 #[derive(Clone)]
@@ -45,7 +44,7 @@ pub struct RunOptions {
     /// Retries after the first attempt before a job hard-fails.
     pub max_retries: u32,
     /// Base backoff slept after a failed attempt; doubles per retry,
-    /// capped at 2 s.
+    /// capped at 2 s, and wakes early when the run is cancelled.
     pub backoff: Duration,
     /// Run directory for checkpoints/manifest; `None` disables persistence.
     pub checkpoint_dir: Option<PathBuf>,
@@ -54,8 +53,13 @@ pub struct RunOptions {
     /// Configuration fingerprint; a manifest written under a different key
     /// is ignored on resume (the run starts fresh).
     pub run_key: String,
-    /// Test-only fault injection.
-    pub fault: Option<FaultHook>,
+    /// Structured fault-injection plan (chaos testing).
+    pub chaos: Option<ChaosPlan>,
+    /// Verified checkpoint generations kept per job (older ones are
+    /// deleted after each completion; clamped to at least 1).
+    pub keep_generations: usize,
+    /// Hung-attempt limits; defaults disable the watchdog thread.
+    pub watchdog: WatchdogOptions,
 }
 
 impl Default for RunOptions {
@@ -67,7 +71,9 @@ impl Default for RunOptions {
             checkpoint_dir: None,
             resume: false,
             run_key: "default".into(),
-            fault: None,
+            chaos: None,
+            keep_generations: 3,
+            watchdog: WatchdogOptions::default(),
         }
     }
 }
@@ -167,6 +173,9 @@ struct SchedState<P> {
 struct Shared<P> {
     state: Mutex<SchedState<P>>,
     cond: Condvar,
+    /// Cancelled on the first hard failure, so backoffs and injected
+    /// hangs wake instead of running to their full length.
+    run_cancel: CancelToken,
 }
 
 /// Executes a plan to completion on a bounded worker pool.
@@ -206,18 +215,24 @@ where
             path: dir.join("jobs"),
             message: e.to_string(),
         })?;
-        if opts.resume {
-            if let Some(old) = Manifest::load(dir) {
-                if old.run_key == opts.run_key && old.version == MANIFEST_VERSION {
+        // Torn temp files from an interrupted atomic write are quarantined
+        // up front, on fresh and resumed runs alike: nothing may ever
+        // mistake half a payload for a checkpoint.
+        quarantine_stray_temp_files(dir, events);
+        match Manifest::load(dir) {
+            Some(old) if old.run_key == opts.run_key => {
+                // Same configuration fingerprint: adopt the generation
+                // history (training is deterministic under one run_key, so
+                // old generations remain valid fallbacks even when this
+                // run re-executes every job).
+                manifest = old;
+                if opts.resume {
                     for (i, job) in plan.jobs.iter().enumerate() {
-                        let Some(text) = old.verified_payload(dir, &job.id) else {
+                        let Some((payload, entry)) =
+                            recover_job::<P>(dir, &mut manifest, &job.id, events)
+                        else {
                             continue;
                         };
-                        let Ok(payload) = serde_json::from_str::<P>(&text) else {
-                            continue; // undecodable payload: just re-run it
-                        };
-                        // lint: allow(panic-in-lib) verified_payload returned Some, so the entry exists
-                        let entry = old.entry(&job.id).cloned().expect("verified entry");
                         resumed_stats.insert(
                             job.id.clone(),
                             JobStats {
@@ -227,11 +242,22 @@ where
                                 skipped: true,
                             },
                         );
-                        manifest.record(entry);
                         resumed.insert(i, Arc::new(payload));
                     }
                 }
             }
+            Some(_) => {
+                // Different configuration: every recorded generation (and
+                // any quarantine evidence) belongs to a run that can never
+                // be resumed again — clear the payload directory so stale
+                // files cannot linger beside the new run's generations.
+                if let Ok(rd) = std::fs::read_dir(dir.join("jobs")) {
+                    for e in rd.flatten() {
+                        let _ = std::fs::remove_file(e.path());
+                    }
+                }
+            }
+            None => {}
         }
         // Persist immediately: a fresh run truncates any stale manifest so
         // a later resume can never mix runs.
@@ -286,15 +312,32 @@ where
             failure: None,
         }),
         cond: Condvar::new(),
+        run_cancel: CancelToken::new(),
     };
     let manifest = Mutex::new(manifest);
+    let watchdog = Watchdog::new(opts.watchdog.clone());
 
     if pending > 0 {
         std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| {
-                    worker_loop(plan, opts, events, &shared, &manifest, &dependents)
-                });
+            let wd_handle = watchdog
+                .enabled()
+                .then(|| s.spawn(|| watchdog.run(events)));
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        worker_loop(plan, opts, events, &shared, &manifest, &dependents, &watchdog)
+                    })
+                })
+                .collect();
+            let panicked = handles.into_iter().find_map(|h| h.join().err());
+            // Stop the watchdog before leaving the scope (its handle, if
+            // any, is joined implicitly at scope exit).
+            watchdog.stop();
+            drop(wd_handle);
+            if let Some(p) = panicked {
+                // A worker died outside catch_unwind: scheduler state may
+                // be torn, so propagate rather than report a partial run.
+                std::panic::resume_unwind(p);
             }
         });
     }
@@ -335,6 +378,76 @@ where
     Ok(report)
 }
 
+/// Quarantines leftover `.tmp.` files from interrupted atomic writes in
+/// the run directory and its `jobs/` subdirectory (best-effort).
+fn quarantine_stray_temp_files(dir: &Path, events: &EventLog) {
+    for sub in ["", "jobs"] {
+        let scan = if sub.is_empty() { dir.to_path_buf() } else { dir.join(sub) };
+        let Ok(rd) = std::fs::read_dir(&scan) else { continue };
+        for e in rd.flatten() {
+            let name = e.file_name().to_string_lossy().into_owned();
+            if !name.contains(".tmp.") || name.ends_with(".quarantine") {
+                continue;
+            }
+            let rel = if sub.is_empty() { name.clone() } else { format!("{sub}/{name}") };
+            if quarantine(&e.path()).is_ok() {
+                telemetry::metrics::counter("orchestrator.quarantines").inc();
+                events.emit(Event::CheckpointQuarantined {
+                    job: String::new(),
+                    file: rel,
+                    reason: "torn temp file from an interrupted write".into(),
+                });
+            }
+        }
+    }
+}
+
+/// Resume recovery for one job: walks its recorded generations newest
+/// first, quarantining every generation that fails verification (missing
+/// digest match or unparseable payload), and returns the first good one.
+/// Bad entries are dropped from the manifest so they are never consulted
+/// again.
+fn recover_job<P: Deserialize>(
+    dir: &Path,
+    manifest: &mut Manifest,
+    id: &str,
+    events: &EventLog,
+) -> Option<(P, ManifestEntry)> {
+    let gens: Vec<ManifestEntry> = manifest.generations(id).into_iter().cloned().collect();
+    for entry in gens {
+        // Read raw bytes: a flipped byte can leave the file invalid UTF-8,
+        // which must still count as corruption (quarantine), not absence.
+        let reason = match std::fs::read(dir.join(&entry.file)) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                // Nothing on disk to quarantine; just forget the entry.
+                manifest.remove(id, entry.generation);
+                continue;
+            }
+            Err(e) => format!("unreadable payload: {e}"),
+            Ok(bytes) if fnv1a64(&bytes) != entry.digest => {
+                format!("digest mismatch (expected {:#018x})", entry.digest)
+            }
+            Ok(bytes) => match std::str::from_utf8(&bytes) {
+                Err(e) => format!("unparseable payload: invalid UTF-8: {e}"),
+                Ok(text) => match serde_json::from_str::<P>(text) {
+                    Ok(payload) => return Some((payload, entry)),
+                    Err(e) => format!("unparseable payload: {e}"),
+                },
+            },
+        };
+        manifest.remove(id, entry.generation);
+        if quarantine(&dir.join(&entry.file)).is_ok() {
+            telemetry::metrics::counter("orchestrator.quarantines").inc();
+            events.emit(Event::CheckpointQuarantined {
+                job: id.to_string(),
+                file: entry.file.clone(),
+                reason,
+            });
+        }
+    }
+    None
+}
+
 /// One worker: pull ready jobs until the run completes or hard-fails.
 fn worker_loop<P>(
     plan: &Plan<'_, P>,
@@ -343,6 +456,7 @@ fn worker_loop<P>(
     shared: &Shared<P>,
     manifest: &Mutex<Manifest>,
     dependents: &[Vec<usize>],
+    watchdog: &Watchdog,
 ) where
     P: Serialize + Deserialize + Send + Sync,
 {
@@ -352,6 +466,13 @@ fn worker_loop<P>(
         .enumerate()
         .map(|(i, j)| (j.id.as_str(), i))
         .collect();
+    let persist_ctx = opts.checkpoint_dir.as_deref().map(|dir| PersistCtx {
+        dir,
+        manifest,
+        chaos: opts.chaos.as_ref(),
+        run_cancel: &shared.run_cancel,
+        keep: opts.keep_generations,
+    });
     loop {
         // Claim a ready job (or leave: run finished / failed).
         let job_idx = {
@@ -363,8 +484,12 @@ fn worker_loop<P>(
                 if let Some(i) = st.ready.pop_front() {
                     break i;
                 }
-                // lint: allow(panic-in-lib) poisoned scheduler lock is unrecoverable (see `lock`)
-                st = shared.cond.wait(st).expect("scheduler state");
+                let (guard, _timeout) = shared
+                    .cond
+                    .wait_timeout(st, CLAIM_POLL)
+                    // lint: allow(panic-in-lib) poisoned scheduler lock is unrecoverable (see `lock`)
+                    .expect("scheduler state");
+                st = guard;
             }
         };
         let job = &plan.jobs[job_idx];
@@ -378,15 +503,15 @@ fn worker_loop<P>(
                 .collect()
         };
 
-        let (outcome, wall, cpu) = measure(|| execute_with_retry(job_idx, plan, opts, events, deps));
+        let (outcome, wall, cpu) = measure(|| {
+            execute_with_retry(job_idx, plan, opts, events, deps, watchdog, &shared.run_cancel)
+        });
         match outcome {
             Ok((payload, attempts)) => {
                 // Persist *before* publishing: the manifest only ever
                 // references payloads that are fully on disk.
-                if let Some(dir) = &opts.checkpoint_dir {
-                    if let Err(err) =
-                        persist(dir, manifest, &job.id, &payload, attempts, wall, cpu)
-                    {
+                if let Some(ctx) = &persist_ctx {
+                    if let Err(err) = persist(ctx, &job.id, &payload, attempts, wall, cpu) {
                         fail_run(shared, err);
                         return;
                     }
@@ -440,37 +565,83 @@ fn worker_loop<P>(
     }
 }
 
-/// Runs one job with fault injection, panic isolation, and bounded
-/// retry/backoff. Returns `(payload, attempts)` or `(error, attempts)`.
+/// Runs one job with fault injection, panic isolation, watchdog
+/// supervision, and bounded retry/backoff. Returns `(payload, attempts)`
+/// or `(error, attempts)`.
 fn execute_with_retry<P>(
     job_idx: usize,
     plan: &Plan<'_, P>,
     opts: &RunOptions,
     events: &EventLog,
     deps: BTreeMap<String, Arc<P>>,
+    watchdog: &Watchdog,
+    run_cancel: &CancelToken,
 ) -> Result<(P, u32), (String, u32)>
 where
     P: Send + Sync,
 {
     let job = &plan.jobs[job_idx];
-    let mut inputs = JobInputs { deps, attempt: 0 };
+    let mut inputs = JobInputs {
+        deps,
+        attempt: 0,
+        cancel: CancelToken::new(),
+        heartbeat: Heartbeat::new(),
+    };
     let mut attempt = 0u32;
     loop {
+        // Fresh token + heartbeat per attempt: a watchdog trip on attempt
+        // N must not poison attempt N+1.
         inputs.attempt = attempt;
+        inputs.cancel = CancelToken::new();
+        inputs.heartbeat = Heartbeat::new();
         events.emit(Event::JobStarted {
             job: job.id.clone(),
             attempt,
         });
-        let _span = telemetry::span!("job[{}]/attempt[{}]", job.id, attempt);
-        let injected = opts.fault.as_ref().and_then(|f| f(&job.id, attempt));
-        let result: Result<P, String> = match injected {
-            Some(msg) => Err(msg),
-            None => match catch_unwind(AssertUnwindSafe(|| (job.run)(&inputs))) {
+        let result: Result<P, String> = {
+            let _span = telemetry::span!("job[{}]/attempt[{}]", job.id, attempt);
+            let _watch =
+                watchdog.register(&job.id, attempt, inputs.heartbeat.clone(), inputs.cancel.clone());
+            let fault = opts.chaos.as_ref().and_then(|c| c.attempt_fault(&job.id, attempt));
+            match catch_unwind(AssertUnwindSafe(|| {
+                if let Some(entry) = fault {
+                    match entry.class {
+                        FaultClass::Panic => {
+                            // lint: allow(panic-in-lib) injected chaos panic, caught by this very catch_unwind
+                            panic!("injected panic ({}/{})", attempt + 1, entry.count)
+                        }
+                        FaultClass::Transient => {
+                            return Err(format!("injected fault ({}/{})", attempt + 1, entry.count))
+                        }
+                        FaultClass::Hang => {
+                            // Block until the watchdog (or run failure)
+                            // cancels this attempt.
+                            while !inputs.cancel.wait_timeout(Duration::from_millis(50)) {
+                                if run_cancel.is_cancelled() {
+                                    break;
+                                }
+                            }
+                            let reason = inputs
+                                .cancel
+                                .reason()
+                                .or_else(|| run_cancel.reason())
+                                .unwrap_or_else(|| "cancelled".into());
+                            return Err(format!(
+                                "injected hang ({}/{}) cancelled: {reason}",
+                                attempt + 1,
+                                entry.count
+                            ));
+                        }
+                        _ => {}
+                    }
+                }
+                (job.run)(&inputs)
+            })) {
                 Ok(r) => r,
                 // `&*panic`, not `&panic`: a `&Box<dyn Any>` would itself
                 // coerce to `&dyn Any` and the downcast would miss.
                 Err(panic) => Err(format!("panic: {}", panic_message(&*panic))),
-            },
+            }
         };
         match result {
             Ok(p) => return Ok((p, attempt + 1)),
@@ -480,10 +651,15 @@ where
                 events.emit(Event::JobRetried {
                     job: job.id.clone(),
                     attempt,
-                    error: e,
+                    error: e.clone(),
                     backoff_ms: backoff.as_millis() as u64,
                 });
-                std::thread::sleep(backoff);
+                // Interruptible backoff: a cancelled run must not wait out
+                // the full (up to 2 s) backoff before winding down.
+                if run_cancel.wait_timeout(backoff) {
+                    let reason = run_cancel.reason().unwrap_or_default();
+                    return Err((format!("{e}; retry abandoned: {reason}"), attempt + 1));
+                }
                 attempt += 1;
             }
             Err(e) => return Err((e, attempt + 1)),
@@ -513,21 +689,32 @@ fn lock<'a, T>(m: &'a Mutex<T>, what: &'static str) -> std::sync::MutexGuard<'a,
     m.lock().expect(what) // lint: allow(panic-in-lib) poisoned scheduler lock is unrecoverable
 }
 
-/// Records the first hard failure and wakes every worker so the run winds
+/// Records the first hard failure, cancels the run token (waking every
+/// backoff and injected hang), and wakes every worker so the run winds
 /// down (pending jobs are cancelled; running jobs finish and persist).
 fn fail_run<P>(shared: &Shared<P>, err: OrchestratorError) {
     let mut st = lock(&shared.state, "scheduler state");
     if st.failure.is_none() {
+        shared.run_cancel.cancel(&format!("run failed: {err}"));
         st.failure = Some(err);
     }
     shared.cond.notify_all();
 }
 
-/// Serializes a payload, writes it atomically, and re-persists the
-/// manifest referencing it.
+/// Everything the checkpoint-persistence path needs, bundled per worker.
+struct PersistCtx<'a> {
+    dir: &'a Path,
+    manifest: &'a Mutex<Manifest>,
+    chaos: Option<&'a ChaosPlan>,
+    run_cancel: &'a CancelToken,
+    keep: usize,
+}
+
+/// Serializes a payload, writes it as a new generation, re-persists the
+/// manifest referencing it, and prunes generations beyond the keep
+/// window. Persist-phase chaos faults (slow-io / corrupt-*) strike here.
 fn persist<P: Serialize>(
-    dir: &Path,
-    manifest: &Mutex<Manifest>,
+    ctx: &PersistCtx<'_>,
     id: &str,
     payload: &P,
     attempts: u32,
@@ -541,23 +728,62 @@ fn persist<P: Serialize>(
     telemetry::metrics::counter("orchestrator.checkpoints").inc();
     telemetry::metrics::histogram("orchestrator.checkpoint_bytes", &telemetry::metrics::BYTES_EDGES)
         .record(text.len() as f64);
-    let file = Manifest::payload_file(id);
-    let path = dir.join(&file);
+    let final_attempt = attempts.saturating_sub(1);
+    let fault = ctx.chaos.and_then(|c| c.persist_fault(id, final_attempt));
+    let fault_class = fault.map(|e| e.class);
+    if fault_class == Some(FaultClass::SlowIo) {
+        // Injected slow I/O: an interruptible stall before the write.
+        let _ = ctx.run_cancel.wait_timeout(Duration::from_millis(300));
+    }
+    let generation = lock(ctx.manifest, "manifest lock").next_generation(id);
+    let file = Manifest::payload_file(id, generation);
+    let path = ctx.dir.join(&file);
+    if fault_class == Some(FaultClass::CorruptTorn) {
+        // Torn write: only a partial temp file lands and the manifest
+        // never learns about this generation — exactly what a kill
+        // between temp-write and rename leaves behind. The run keeps the
+        // in-memory payload; recovery quarantines the fragment.
+        return chaos::write_torn(&path, text.as_bytes()).map_err(|e| OrchestratorError::Io {
+            path,
+            message: e.to_string(),
+        });
+    }
     atomic_write(&path, text.as_bytes()).map_err(|e| OrchestratorError::Io {
-        path,
+        path: path.clone(),
         message: e.to_string(),
     })?;
-    let mut m = lock(manifest, "manifest lock");
+    if matches!(
+        fault_class,
+        Some(FaultClass::CorruptFlip) | Some(FaultClass::CorruptTruncate)
+    ) {
+        // Post-write bit rot: the manifest digest describes the clean
+        // bytes, so the next load must detect and quarantine this file.
+        if let (Some(class), Some(plan)) = (fault_class, ctx.chaos) {
+            chaos::corrupt_file(class, &path, plan.corruption_seed(id, final_attempt)).map_err(
+                |e| OrchestratorError::Io {
+                    path: path.clone(),
+                    message: e.to_string(),
+                },
+            )?;
+        }
+    }
+    let mut m = lock(ctx.manifest, "manifest lock");
     m.record(ManifestEntry {
         id: id.to_string(),
+        generation,
         file,
         digest: fnv1a64(text.as_bytes()),
         attempts,
         wall_seconds,
         cpu_seconds,
     });
-    m.store(dir).map_err(|e| OrchestratorError::Io {
-        path: Manifest::path(dir),
+    for stale in m.prune(id, ctx.keep) {
+        // Pruned generations were verified when written; plain deletion,
+        // not quarantine.
+        let _ = std::fs::remove_file(ctx.dir.join(stale));
+    }
+    m.store(ctx.dir).map_err(|e| OrchestratorError::Io {
+        path: Manifest::path(ctx.dir),
         message: e.to_string(),
     })
 }
@@ -567,22 +793,19 @@ mod tests {
     use super::*;
 
     #[test]
-    fn fault_spec_parses_and_fires() {
-        let hook = fault_from_spec("chunk-1:2").unwrap();
-        assert!(hook("chunk-1", 0).is_some());
-        assert!(hook("chunk-1", 1).is_some());
-        assert!(hook("chunk-1", 2).is_none());
-        assert!(hook("chunk-2", 0).is_none());
-        assert!(fault_from_spec("no-count").is_none());
-        assert!(fault_from_spec("job:x").is_none());
-    }
-
-    #[test]
     fn backoff_doubles_and_caps() {
         let b = Duration::from_millis(50);
         assert_eq!(backoff_for(b, 0), Duration::from_millis(50));
         assert_eq!(backoff_for(b, 1), Duration::from_millis(100));
         assert_eq!(backoff_for(b, 3), Duration::from_millis(400));
         assert_eq!(backoff_for(b, 30), Duration::from_secs(2), "capped");
+    }
+
+    #[test]
+    fn run_options_default_bounds_generations_and_disables_chaos() {
+        let opts = RunOptions::default();
+        assert!(opts.chaos.is_none());
+        assert_eq!(opts.keep_generations, 3);
+        assert!(opts.watchdog.max_job_secs.is_none());
     }
 }

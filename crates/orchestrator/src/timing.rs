@@ -48,6 +48,59 @@ impl Stopwatch {
     }
 }
 
+/// A cloneable liveness beacon for long-running job attempts.
+///
+/// The training loop calls [`Heartbeat::beat`] after every generator
+/// step with the cumulative step count; the watchdog thread reads
+/// [`Heartbeat::age_seconds`] to distinguish "slow but alive" from
+/// "hung". Beats also publish a `train.steps_per_sec` telemetry gauge.
+/// Lives in this module so its raw clock reads stay inside the one
+/// lint-whitelisted timing surface.
+#[derive(Debug, Clone, Default)]
+pub struct Heartbeat {
+    inner: std::sync::Arc<HeartbeatInner>,
+}
+
+#[derive(Debug, Default)]
+struct HeartbeatInner {
+    /// Monotonic nanos of the last beat; 0 = never beat.
+    last_ns: std::sync::atomic::AtomicU64,
+    /// Cumulative steps reported by the last beat.
+    steps: std::sync::atomic::AtomicU64,
+}
+
+impl Heartbeat {
+    /// A fresh heartbeat that has never beat.
+    pub fn new() -> Self {
+        Heartbeat::default()
+    }
+
+    /// Records a beat at `steps_done` cumulative steps, updating the
+    /// `train.steps_per_sec` gauge from the delta to the previous beat.
+    pub fn beat(&self, steps_done: u64) {
+        use std::sync::atomic::Ordering;
+        let now = clock::monotonic_nanos();
+        let prev_ns = self.inner.last_ns.swap(now, Ordering::Relaxed);
+        let prev_steps = self.inner.steps.swap(steps_done, Ordering::Relaxed);
+        if prev_ns > 0 && now > prev_ns && steps_done > prev_steps {
+            let rate = (steps_done - prev_steps) as f64 / ((now - prev_ns) as f64 / 1e9);
+            telemetry::metrics::gauge("train.steps_per_sec").set(rate);
+        }
+    }
+
+    /// Seconds since the last beat, or `None` if it never beat (a job
+    /// that has not reached its training loop yet is not "stale").
+    pub fn age_seconds(&self) -> Option<f64> {
+        let last = self.inner.last_ns.load(std::sync::atomic::Ordering::Relaxed);
+        (last > 0).then(|| clock::nanos_since(last) as f64 / 1e9)
+    }
+
+    /// Cumulative steps reported by the last beat.
+    pub fn steps(&self) -> u64 {
+        self.inner.steps.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
 /// Measures `f`, returning `(result, wall_seconds, cpu_seconds)` where
 /// `cpu_seconds` prefers thread CPU time and falls back to wall time.
 pub fn measure<T>(f: impl FnOnce() -> T) -> (T, f64, f64) {
@@ -87,6 +140,18 @@ mod tests {
         let sw = Stopwatch::start();
         let after = clock::monotonic_nanos();
         assert!(sw.start_ns >= before && sw.start_ns <= after);
+    }
+
+    #[test]
+    fn heartbeat_reports_age_only_after_first_beat() {
+        let hb = Heartbeat::new();
+        assert_eq!(hb.age_seconds(), None, "never beat => not stale");
+        hb.beat(5);
+        assert_eq!(hb.steps(), 5);
+        assert!(hb.age_seconds().unwrap() >= 0.0);
+        let hb2 = hb.clone();
+        hb2.beat(9);
+        assert_eq!(hb.steps(), 9, "clones share the beacon");
     }
 
     #[test]

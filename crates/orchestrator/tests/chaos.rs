@@ -1,0 +1,269 @@
+//! The chaos fault matrix against the live scheduler: every injectable
+//! fault class must resolve through the ordinary retry machinery —
+//! panics are caught, hangs are cancelled (by the watchdog or by run
+//! failure), slow I/O merely delays, and backoffs wake early when the
+//! run dies.
+
+use orchestrator::{
+    run, ChaosPlan, Event, EventLog, JobSpec, Manifest, Plan, RunOptions, WatchdogOptions,
+};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("orch-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn fast_retry(spec: &str) -> RunOptions {
+    RunOptions {
+        max_retries: 2,
+        backoff: Duration::from_millis(1),
+        chaos: Some(ChaosPlan::parse(spec).unwrap()),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn injected_panic_is_caught_and_retried() {
+    let plan = Plan::new(vec![JobSpec::new(
+        "j",
+        Vec::<String>::new(),
+        |_inp: &orchestrator::JobInputs<u64>| Ok(7),
+    )])
+    .unwrap();
+    let events = EventLog::new();
+    let report = run(&plan, &fast_retry("j:panic:1"), &events).unwrap();
+    assert_eq!(*report.outputs["j"], 7);
+    assert_eq!(report.stats["j"].attempts, 2);
+    let retried = events.events().iter().any(|e| {
+        matches!(e, Event::JobRetried { error, .. } if error.contains("injected panic"))
+    });
+    assert!(retried, "panic class surfaces through the retry path");
+}
+
+#[test]
+fn injected_hang_is_cancelled_by_the_watchdog_and_retried() {
+    let plan = Plan::new(vec![JobSpec::new(
+        "j",
+        Vec::<String>::new(),
+        |_inp: &orchestrator::JobInputs<u64>| Ok(1),
+    )])
+    .unwrap();
+    let events = EventLog::new();
+    let mut opts = fast_retry("j:hang:1");
+    opts.watchdog = WatchdogOptions {
+        max_job_secs: Some(0.2),
+        heartbeat_timeout_secs: None,
+        poll: Duration::from_millis(10),
+    };
+    let report = run(&plan, &opts, &events).unwrap();
+    assert_eq!(*report.outputs["j"], 1, "second attempt completed");
+    assert_eq!(report.stats["j"].attempts, 2);
+    let all = events.events();
+    assert!(
+        all.iter().any(|e| matches!(e, Event::WatchdogCancelled { job, .. } if job == "j")),
+        "watchdog announced the cancellation: {all:?}"
+    );
+    assert!(
+        all.iter().any(|e| matches!(
+            e,
+            Event::JobRetried { error, .. } if error.contains("injected hang")
+        )),
+        "the cancelled hang re-entered the retry path: {all:?}"
+    );
+}
+
+#[test]
+fn heartbeat_staleness_cancels_a_job_that_stopped_beating() {
+    // Attempt 0 beats once, then blocks without ever beating again — the
+    // staleness detector (armed only after a first beat) must trip and
+    // the cooperative body converts cancellation into a retryable Err.
+    let plan = Plan::new(vec![JobSpec::new(
+        "stale",
+        Vec::<String>::new(),
+        |inp: &orchestrator::JobInputs<u64>| {
+            if inp.attempt == 0 {
+                inp.heartbeat.beat(1);
+                while !inp.cancel.wait_timeout(Duration::from_millis(10)) {}
+                return Err(format!(
+                    "cancelled: {}",
+                    inp.cancel.reason().unwrap_or_default()
+                ));
+            }
+            Ok(5)
+        },
+    )])
+    .unwrap();
+    let events = EventLog::new();
+    let opts = RunOptions {
+        max_retries: 1,
+        backoff: Duration::from_millis(1),
+        watchdog: WatchdogOptions {
+            max_job_secs: None,
+            heartbeat_timeout_secs: Some(0.05),
+            poll: Duration::from_millis(10),
+        },
+        ..Default::default()
+    };
+    let report = run(&plan, &opts, &events).unwrap();
+    assert_eq!(*report.outputs["stale"], 5);
+    let stale_cancel = events.events().iter().any(|e| {
+        matches!(e, Event::WatchdogCancelled { reason, .. } if reason.contains("heartbeat stale"))
+    });
+    assert!(stale_cancel, "staleness, not deadline, tripped the watchdog");
+}
+
+#[test]
+fn slow_io_fault_delays_but_persists_a_verified_checkpoint() {
+    let dir = tmp_dir("slowio");
+    let plan = Plan::new(vec![JobSpec::new(
+        "j",
+        Vec::<String>::new(),
+        |_inp: &orchestrator::JobInputs<u64>| Ok(9),
+    )])
+    .unwrap();
+    let opts = RunOptions {
+        checkpoint_dir: Some(dir.clone()),
+        run_key: "cfg".into(),
+        chaos: Some(ChaosPlan::parse("j:slow-io:1").unwrap()),
+        ..Default::default()
+    };
+    let report = run(&plan, &opts, &EventLog::new()).unwrap();
+    assert_eq!(*report.outputs["j"], 9);
+    let m = Manifest::load(&dir).unwrap();
+    assert!(
+        m.verified_payload(&dir, "j").is_some(),
+        "slow I/O delays the write but never corrupts it"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_flip_is_detected_on_the_next_resume() {
+    let dir = tmp_dir("flip");
+    let make_plan = || {
+        Plan::new(vec![JobSpec::new(
+            "j",
+            Vec::<String>::new(),
+            |_inp: &orchestrator::JobInputs<String>| Ok("payload".to_string()),
+        )])
+        .unwrap()
+    };
+    let mut opts = RunOptions {
+        checkpoint_dir: Some(dir.clone()),
+        run_key: "cfg".into(),
+        chaos: Some(ChaosPlan::parse("j:corrupt-flip:1").unwrap()),
+        ..Default::default()
+    };
+    // The faulted run itself succeeds — corruption strikes the bytes at
+    // rest, exactly like real bit rot.
+    let first = run(&make_plan(), &opts, &EventLog::new()).unwrap();
+    assert_eq!(first.outputs["j"].as_str(), "payload");
+
+    opts.chaos = None;
+    opts.resume = true;
+    let events = EventLog::new();
+    let second = run(&make_plan(), &opts, &events).unwrap();
+    assert_eq!(second.outputs["j"].as_str(), "payload", "job re-ran cleanly");
+    assert_eq!(second.skipped, 0, "rotted sole generation cannot be resumed");
+    assert!(
+        events
+            .events()
+            .iter()
+            .any(|e| matches!(e, Event::CheckpointQuarantined { job, .. } if job == "j")),
+        "the rotted file was quarantined"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_torn_leaves_only_a_temp_fragment_that_resume_quarantines() {
+    let dir = tmp_dir("torn");
+    let make_plan = || {
+        Plan::new(vec![JobSpec::new(
+            "j",
+            Vec::<String>::new(),
+            |_inp: &orchestrator::JobInputs<String>| Ok("torn-payload".to_string()),
+        )])
+        .unwrap()
+    };
+    let mut opts = RunOptions {
+        checkpoint_dir: Some(dir.clone()),
+        run_key: "cfg".into(),
+        chaos: Some(ChaosPlan::parse("j:corrupt-torn:1").unwrap()),
+        ..Default::default()
+    };
+    let first = run(&make_plan(), &opts, &EventLog::new()).unwrap();
+    assert_eq!(first.outputs["j"].as_str(), "torn-payload", "run completes from memory");
+    assert!(
+        !dir.join(Manifest::payload_file("j", 1)).exists(),
+        "torn write never produced the real payload file"
+    );
+
+    opts.chaos = None;
+    opts.resume = true;
+    let events = EventLog::new();
+    let second = run(&make_plan(), &opts, &events).unwrap();
+    assert_eq!(second.outputs["j"].as_str(), "torn-payload");
+    let stray_quarantined = events.events().iter().any(|e| {
+        matches!(e, Event::CheckpointQuarantined { job, reason, .. }
+                 if job.is_empty() && reason.contains("torn temp file"))
+    });
+    assert!(stray_quarantined, "the fragment was quarantined on resume");
+    // Nothing non-quarantined with `.tmp.` may survive recovery.
+    let leftovers: Vec<String> = std::fs::read_dir(dir.join("jobs"))
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.contains(".tmp.") && !n.ends_with(".quarantine"))
+        .collect();
+    assert!(leftovers.is_empty(), "unquarantined fragments remain: {leftovers:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_failure_wakes_a_backoff_instead_of_sleeping_it_out() {
+    // `fatal` exhausts its retries at ~0.5 s; `lagging` fails at ~1.2 s
+    // and enters what would be a 2 s backoff — which must abort at once
+    // because the run is already dead. An uninterruptible sleep would
+    // hold the run hostage for the full backoff.
+    let plan = Plan::new(vec![
+        JobSpec::new("fatal", Vec::<String>::new(), |_inp: &orchestrator::JobInputs<u64>| {
+            Err("permanently broken".to_string())
+        }),
+        JobSpec::new("lagging", Vec::<String>::new(), |inp: &orchestrator::JobInputs<u64>| {
+            let _ = inp.cancel.wait_timeout(Duration::from_millis(1200));
+            Err("late failure".to_string())
+        }),
+    ])
+    .unwrap();
+    let events = EventLog::new();
+    let opts = RunOptions {
+        workers: 2,
+        max_retries: 1,
+        backoff: Duration::from_millis(500),
+        ..Default::default()
+    };
+    let (result, elapsed_secs, _cpu) = orchestrator::measure(|| run(&plan, &opts, &events));
+    assert!(result.is_err());
+    assert!(elapsed_secs < 10.0, "run wound down promptly, took {elapsed_secs:.2}s");
+    let abandoned = events.events().iter().any(|e| {
+        matches!(e, Event::JobFailed { job, error, .. }
+                 if job == "lagging" && error.contains("retry abandoned"))
+    });
+    assert!(abandoned, "the lagging job's backoff was interrupted: {:?}", events.events());
+}
+
+#[test]
+fn malformed_specs_name_the_grammar() {
+    for bad in ["j:bogus", "j:", ":1", "j:0", "seed=x", "j:panic:1:2"] {
+        let err = ChaosPlan::parse(bad).unwrap_err();
+        assert!(
+            err.contains("expected") && err.contains(bad),
+            "error must cite the item and the grammar: {err}"
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! Checkpoint-corruption recovery: every way a generation can rot on
+//! disk must resolve to (a) the bad file quarantined, (b) a
+//! `CheckpointQuarantined` event, and (c) the job recovered from the
+//! next-newest verified generation — never a crash, never silent trust.
+
+use orchestrator::{
+    fnv1a64, run, Event, EventLog, JobSpec, Manifest, Plan, RunOptions,
+};
+use std::path::{Path, PathBuf};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("orch-corrupt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn one_job_plan(payload: &'static str) -> Plan<'static, String> {
+    Plan::new(vec![JobSpec::new(
+        "a",
+        Vec::<String>::new(),
+        move |_inp: &orchestrator::JobInputs<String>| Ok(payload.to_string()),
+    )])
+    .unwrap()
+}
+
+fn opts(dir: &Path, resume: bool) -> RunOptions {
+    RunOptions {
+        checkpoint_dir: Some(dir.to_path_buf()),
+        resume,
+        run_key: "cfg".into(),
+        ..Default::default()
+    }
+}
+
+/// Runs job `a` twice (same run_key, no resume) so the manifest holds two
+/// verified generations: gen1 = "v1", gen2 = "v2".
+fn two_generations(tag: &str) -> PathBuf {
+    let dir = tmp_dir(tag);
+    run(&one_job_plan("v1"), &opts(&dir, false), &EventLog::new()).unwrap();
+    run(&one_job_plan("v2"), &opts(&dir, false), &EventLog::new()).unwrap();
+    let m = Manifest::load(&dir).unwrap();
+    assert_eq!(m.generations("a").len(), 2, "setup: two generations recorded");
+    dir
+}
+
+/// Resumes in `dir`; the job body yields "v3" so an (unexpected) re-run
+/// is distinguishable from recovery. Returns (payload, quarantine events).
+fn resume_and_recover(dir: &Path) -> (String, Vec<Event>) {
+    let events = EventLog::new();
+    let report = run(&one_job_plan("v3"), &opts(dir, true), &events).unwrap();
+    let quarantines = events
+        .events()
+        .into_iter()
+        .filter(|e| matches!(e, Event::CheckpointQuarantined { .. }))
+        .collect();
+    (report.outputs["a"].as_ref().clone(), quarantines)
+}
+
+fn gen_file(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(Manifest::payload_file("a", generation))
+}
+
+#[test]
+fn truncated_payload_falls_back_to_previous_generation() {
+    let dir = two_generations("truncate");
+    let g2 = gen_file(&dir, 2);
+    let bytes = std::fs::read(&g2).unwrap();
+    std::fs::write(&g2, &bytes[..bytes.len() / 2]).unwrap();
+
+    let (payload, quarantines) = resume_and_recover(&dir);
+    assert_eq!(payload, "v1", "recovered from gen1, no re-run");
+    assert!(!g2.exists());
+    assert!(g2.with_extension("json.quarantine").exists());
+    assert!(matches!(
+        &quarantines[..],
+        [Event::CheckpointQuarantined { job, reason, .. }]
+            if job == "a" && reason.contains("digest mismatch")
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flipped_byte_falls_back_to_previous_generation() {
+    let dir = two_generations("bitflip");
+    let g2 = gen_file(&dir, 2);
+    let mut bytes = std::fs::read(&g2).unwrap();
+    bytes[0] ^= 0x01;
+    std::fs::write(&g2, &bytes).unwrap();
+
+    let (payload, quarantines) = resume_and_recover(&dir);
+    assert_eq!(payload, "v1");
+    assert_eq!(quarantines.len(), 1);
+    assert!(g2.with_extension("json.quarantine").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn invalid_utf8_payload_is_quarantined_not_forgotten() {
+    // A flip can land on a byte that breaks UTF-8 decoding entirely; that
+    // is still corruption (quarantine + event), never a missing file.
+    let dir = two_generations("utf8");
+    let g2 = gen_file(&dir, 2);
+    let mut bytes = std::fs::read(&g2).unwrap();
+    bytes[0] = 0xFF;
+    std::fs::write(&g2, &bytes).unwrap();
+
+    let (payload, quarantines) = resume_and_recover(&dir);
+    assert_eq!(payload, "v1");
+    assert!(g2.with_extension("json.quarantine").exists());
+    assert!(matches!(
+        &quarantines[..],
+        [Event::CheckpointQuarantined { reason, .. }] if reason.contains("digest mismatch")
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unparseable_json_with_matching_digest_is_quarantined_too() {
+    let dir = two_generations("badjson");
+    // Digest verification alone would catch a rewrite, so forge the
+    // manifest digest to match the garbage: the JSON parse is the last
+    // line of defense and must quarantine just the same.
+    let garbage = b"{ not json";
+    std::fs::write(gen_file(&dir, 2), garbage).unwrap();
+    let mut m = Manifest::load(&dir).unwrap();
+    for e in m.jobs.iter_mut() {
+        if e.id == "a" && e.generation == 2 {
+            e.digest = fnv1a64(garbage);
+        }
+    }
+    m.store(&dir).unwrap();
+
+    let (payload, quarantines) = resume_and_recover(&dir);
+    assert_eq!(payload, "v1");
+    assert!(matches!(
+        &quarantines[..],
+        [Event::CheckpointQuarantined { reason, .. }] if reason.contains("unparseable")
+    ));
+    assert!(gen_file(&dir, 2).with_extension("json.quarantine").exists());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_temp_file_is_quarantined_without_disturbing_recovery() {
+    let dir = two_generations("torn");
+    // A kill between temp-write and rename leaves exactly this behind.
+    let stray = dir.join("jobs").join(".a.gen3.json.tmp.4242");
+    std::fs::write(&stray, b"\"v3").unwrap();
+
+    let (payload, quarantines) = resume_and_recover(&dir);
+    assert_eq!(payload, "v2", "intact newest generation still wins");
+    assert!(!stray.exists());
+    assert!(stray.with_file_name(".a.gen3.json.tmp.4242.quarantine").exists());
+    assert!(matches!(
+        &quarantines[..],
+        [Event::CheckpointQuarantined { job, reason, .. }]
+            if job.is_empty() && reason.contains("torn temp file")
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_generation_file_is_skipped_silently() {
+    let dir = two_generations("missing");
+    std::fs::remove_file(gen_file(&dir, 2)).unwrap();
+
+    let (payload, quarantines) = resume_and_recover(&dir);
+    assert_eq!(payload, "v1", "fell back past the missing file");
+    assert!(quarantines.is_empty(), "nothing on disk, nothing to quarantine");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_after_quarantine_matches_an_uninterrupted_run() {
+    let dir = two_generations("equiv");
+    let g2 = gen_file(&dir, 2);
+    let bytes = std::fs::read(&g2).unwrap();
+    std::fs::write(&g2, &bytes[..3]).unwrap();
+
+    // First resume quarantines gen2 and recovers gen1; a second resume
+    // must then be indistinguishable from a run that never saw
+    // corruption: same payload, no further quarantine churn.
+    let (first, _) = resume_and_recover(&dir);
+    let (second, quarantines) = resume_and_recover(&dir);
+    assert_eq!(first, second);
+    assert_eq!(second, "v1");
+    assert!(quarantines.is_empty(), "quarantine happens exactly once");
+    std::fs::remove_dir_all(&dir).ok();
+}

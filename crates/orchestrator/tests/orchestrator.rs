@@ -2,7 +2,7 @@
 //! cancellation, checkpoint + resume, and corruption recovery.
 
 use orchestrator::{
-    fault_from_spec, run, Event, EventLog, JobSpec, Manifest, OrchestratorError, Plan, RunOptions,
+    run, ChaosPlan, Event, EventLog, JobSpec, Manifest, OrchestratorError, Plan, RunOptions,
 };
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -161,7 +161,7 @@ fn fault_hook_injects_failures_that_are_retried_and_logged() {
     let opts = RunOptions {
         max_retries: 2,
         backoff: std::time::Duration::from_millis(1),
-        fault: fault_from_spec("chunk-0:1"),
+        chaos: Some(ChaosPlan::parse("chunk-0:1").unwrap()),
         ..Default::default()
     };
     let report = run(&plan, &opts, &events).unwrap();
@@ -242,11 +242,28 @@ fn corrupted_payload_reruns_only_that_job() {
     };
     run(&make_plan(), &opts, &EventLog::new()).unwrap();
     // Tamper with a's payload; its digest check must force a re-run.
-    std::fs::write(dir.join(Manifest::payload_file("a")), b"999").unwrap();
-    let report = run(&make_plan(), &opts, &EventLog::new()).unwrap();
+    let payload = dir.join(Manifest::payload_file("a", 1));
+    std::fs::write(&payload, b"999").unwrap();
+    let events = EventLog::new();
+    let report = run(&make_plan(), &opts, &events).unwrap();
     assert_eq!(runs_a.load(Ordering::SeqCst), 2, "tampered job re-ran");
     assert_eq!(runs_b.load(Ordering::SeqCst), 1, "intact job skipped");
     assert_eq!(*report.outputs["a"], 5);
+    // The corrupt bytes were quarantined (and the re-run rewrote the
+    // generation slot with a clean payload).
+    assert!(
+        payload.with_extension("json.quarantine").exists(),
+        "corrupt generation preserved as *.quarantine"
+    );
+    assert_ne!(
+        std::fs::read(&payload).unwrap(),
+        b"999",
+        "generation slot rewritten with the clean payload"
+    );
+    let quarantined = events.events().iter().any(|e| {
+        matches!(e, Event::CheckpointQuarantined { job, .. } if job == "a")
+    });
+    assert!(quarantined, "quarantine must be announced in the event stream");
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -7,6 +7,7 @@
 #
 #   scripts/ci.sh        # run the full gate
 #   scripts/ci.sh bench  # run benchmarks and emit BENCH_<host>_<date>.json
+#   scripts/ci.sh chaos  # fault-matrix smoke through the CLI
 #
 # Run from anywhere; operates on the repo root.
 set -euo pipefail
@@ -27,6 +28,96 @@ if [[ "${1:-}" == "bench" ]]; then
   cargo run -q --release -p bench --bin bench_report -- \
     "$bench_log" "$host" "$date_tag" > "$out"
   echo "bench trajectory written to $out"
+  exit 0
+fi
+
+# Chaos smoke matrix: drive every injectable fault class through the real
+# CLI. Every invocation runs under an outer `timeout`, so a hang bug fails
+# the gate instead of wedging it. A fault must either leave the output
+# byte-identical to the clean baseline (recovered transparently) or exit
+# nonzero — and never leave a corrupt checkpoint outside quarantine.
+if [[ "${1:-}" == "chaos" ]]; then
+  cargo build --release -p netshare
+  cli=target/release/netshare_cli
+  cd_dir="$(mktemp -d)"
+  trap 'rm -rf "$cd_dir"' EXIT
+  {
+    echo "start_ms,duration_ms,src_ip,dst_ip,src_port,dst_port,proto,packets,bytes,label,attack_type"
+    awk 'BEGIN { for (i = 0; i < 240; i++)
+      printf "%d.000,%d.000,10.0.%d.%d,192.168.%d.%d,%d,%d,%d,%d,%d,,\n",
+        i * 25, 10 + i % 40, i % 4, 1 + i % 200, i % 8, 1 + (i * 7) % 200,
+        1024 + (i * 13) % 40000, (i % 2) ? 443 : 80, (i % 3) ? 6 : 17,
+        1 + i % 9, 400 + (i * 37) % 9000 }'
+  } > "$cd_dir/real.csv"
+  common=(--chunks 2 --steps 12 --seed 7)
+
+  timeout 300 "$cli" synth-flows "$cd_dir/real.csv" "$cd_dir/plain.csv" "${common[@]}"
+
+  # Transparently-recovered classes: retried attempt, byte-identical output,
+  # matching retry evidence in the JSONL stream.
+  for case in "panic:chunk-1:panic:1:injected panic" \
+              "legacy:chunk-1:1:injected fault" \
+              "slow-io:chunk-1:slow-io:1:injected fault (persist)"; do
+    name="${case%%:*}"; rest="${case#*:}"
+    spec="${rest%:*}"; needle="${rest##*:}"
+    NETSHARE_INJECT_FAULT="$spec" timeout 300 "$cli" synth-flows \
+      "$cd_dir/real.csv" "$cd_dir/$name.csv" "${common[@]}" --ckpt-dir "$cd_dir/$name"
+    cmp "$cd_dir/plain.csv" "$cd_dir/$name.csv"
+    if [[ "$name" != "slow-io" ]]; then
+      grep -q '"JobRetried"' "$cd_dir/$name/events.jsonl"
+      grep -qF "$needle" "$cd_dir/$name/events.jsonl"
+    fi
+    echo "chaos[$name]: recovered, output identical"
+  done
+
+  # Hang: the watchdog must cancel the wedged attempt; the retry succeeds.
+  NETSHARE_INJECT_FAULT="chunk-1:hang:1" timeout 300 "$cli" synth-flows \
+    "$cd_dir/real.csv" "$cd_dir/hang.csv" "${common[@]}" \
+    --ckpt-dir "$cd_dir/hang" --max-job-secs 10
+  cmp "$cd_dir/plain.csv" "$cd_dir/hang.csv"
+  grep -q '"WatchdogCancelled"' "$cd_dir/hang/events.jsonl"
+  grep -q 'injected hang' "$cd_dir/hang/events.jsonl"
+  echo "chaos[hang]: watchdog cancelled, retry recovered, output identical"
+
+  # Checkpoint corruption: the faulted run rots bytes at rest, so it still
+  # succeeds; the resume must quarantine the damage, retrain the job, and
+  # still match the baseline. Nothing corrupt may survive unquarantined.
+  for class in corrupt-flip corrupt-torn; do
+    NETSHARE_INJECT_FAULT="chunk-1:$class:1" timeout 300 "$cli" synth-flows \
+      "$cd_dir/real.csv" "$cd_dir/$class.csv" "${common[@]}" --ckpt-dir "$cd_dir/$class"
+    cmp "$cd_dir/plain.csv" "$cd_dir/$class.csv"
+    timeout 300 "$cli" synth-flows \
+      "$cd_dir/real.csv" "$cd_dir/$class-resumed.csv" "${common[@]}" \
+      --ckpt-dir "$cd_dir/$class" --resume
+    cmp "$cd_dir/plain.csv" "$cd_dir/$class-resumed.csv"
+    grep -q '"CheckpointQuarantined"' "$cd_dir/$class/events.jsonl"
+    find "$cd_dir/$class" -name '*.quarantine' | grep -q . \
+      || { echo "chaos[$class]: no quarantine file left behind" >&2; exit 1; }
+    stray="$(find "$cd_dir/$class" -name '*.tmp.*' ! -name '*.quarantine')"
+    [[ -z "$stray" ]] || { echo "chaos[$class]: unquarantined fragments: $stray" >&2; exit 1; }
+    echo "chaos[$class]: quarantined on resume, output identical"
+  done
+
+  # Divergence: the sentinel rolls the poisoned job back and the run
+  # completes (exit 0). The trajectory legitimately differs from the
+  # baseline (decayed LR), so only the event is asserted.
+  NETSHARE_INJECT_DIVERGENCE="chunk-1:3" timeout 300 "$cli" synth-flows \
+    "$cd_dir/real.csv" "$cd_dir/diverged.csv" "${common[@]}" --ckpt-dir "$cd_dir/diverge"
+  grep -q '"SentinelRollback"' "$cd_dir/diverge/events.jsonl"
+  echo "chaos[divergence]: rolled back, run completed"
+
+  # Malformed spec: usage error (exit 2) naming the grammar, before any
+  # training starts.
+  rc=0
+  NETSHARE_INJECT_FAULT="chunk-1:bogus" timeout 300 "$cli" synth-flows \
+    "$cd_dir/real.csv" "$cd_dir/malformed.csv" "${common[@]}" \
+    2> "$cd_dir/malformed.err" || rc=$?
+  [[ "$rc" == 2 ]] || { echo "chaos[malformed]: expected exit 2, got $rc" >&2; exit 1; }
+  grep -q 'expected' "$cd_dir/malformed.err"
+  [[ ! -e "$cd_dir/malformed.csv" ]] || { echo "chaos[malformed]: output written" >&2; exit 1; }
+  echo "chaos[malformed]: rejected with exit 2 and the grammar"
+
+  echo "chaos matrix: all fault classes recovered or failed loudly"
   exit 0
 fi
 
