@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::path::Path;
 
-/// The eight shipped rules.
+/// The nine shipped rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum RuleId {
     /// `HashMap`/`HashSet` in determinism-critical crates: unordered
@@ -33,11 +33,17 @@ pub enum RuleId {
     /// cancelled by the watchdog or woken by a failing run. Use
     /// `CancelToken::wait_timeout` / `Condvar::wait_timeout`.
     UnboundedWait,
+    /// Fresh heap allocation (`Vec::new`, `vec![]`, `Tensor::zeros`)
+    /// inside a loop tagged `lint: step-loop` — the per-timestep hot
+    /// loops of training and sampling. Allocating there costs a malloc
+    /// per timestep per batch; hoist the buffer before the loop or take
+    /// it from a preallocated `nnet::infer::Arena`.
+    AllocInStepLoop,
 }
 
 impl RuleId {
     /// Every rule, in catalogue order.
-    pub const ALL: [RuleId; 8] = [
+    pub const ALL: [RuleId; 9] = [
         RuleId::NondeterministicIteration,
         RuleId::AmbientEntropy,
         RuleId::DpBoundary,
@@ -46,6 +52,7 @@ impl RuleId {
         RuleId::PanicInLib,
         RuleId::TelemetryClock,
         RuleId::UnboundedWait,
+        RuleId::AllocInStepLoop,
     ];
 
     /// The kebab-case name used in diagnostics, waivers, and CLI flags.
@@ -59,6 +66,7 @@ impl RuleId {
             RuleId::PanicInLib => "panic-in-lib",
             RuleId::TelemetryClock => "telemetry-clock",
             RuleId::UnboundedWait => "unbounded-wait",
+            RuleId::AllocInStepLoop => "alloc-in-step-loop",
         }
     }
 
@@ -87,6 +95,9 @@ impl RuleId {
             }
             RuleId::UnboundedWait => {
                 "thread::sleep / timeout-less Condvar::wait in library code (use CancelToken::wait_timeout)"
+            }
+            RuleId::AllocInStepLoop => {
+                "Vec::new / vec![] / Tensor::zeros inside a `lint: step-loop`-tagged hot loop (hoist or use nnet::infer::Arena)"
             }
         }
     }

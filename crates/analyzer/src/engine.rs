@@ -70,6 +70,7 @@ pub fn lint_source(meta: &FileMeta, cfg: &Config, src: &str) -> Vec<Diagnostic> 
     rule_panic_in_lib(&ctx, &mut out);
     rule_telemetry_clock(&ctx, &mut out);
     rule_unbounded_wait(&ctx, &mut out);
+    rule_alloc_in_step_loop(&ctx, &lexed, &mut out);
 
     for d in &mut out {
         if let Some(w) = waivers.iter().find(|w| w.rule == d.rule && w.covers == d.line) {
@@ -556,6 +557,91 @@ fn rule_unbounded_wait(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Rule 9 — `alloc-in-step-loop`.
+///
+/// A `// lint: step-loop` comment tags the loop that follows it as a
+/// per-timestep hot loop (GRU step loops, the sampler's generation
+/// loop). Fresh heap allocation inside the tagged loop body —
+/// `Vec::new()`, `vec![…]`, `Tensor::zeros(…)` — costs a malloc per
+/// timestep per batch and is exactly the regression the scratch-arena
+/// work removed; buffers belong before the loop or in a preallocated
+/// `nnet::infer::Arena`. The tag is opt-in, so only loops whose authors
+/// declared them hot are checked; allocation in callees is invisible to
+/// this lexical proxy and is guarded by the alloc-count regression test
+/// instead.
+fn rule_alloc_in_step_loop(ctx: &Ctx, lexed: &Lexed, out: &mut Vec<Diagnostic>) {
+    if ctx.meta.is_shim {
+        return;
+    }
+    let toks = ctx.toks;
+    for c in &lexed.comments {
+        // The tag must open the comment — prose merely *mentioning*
+        // `lint: step-loop` (rule docs, fixture headers) is not a tag.
+        if !c.text.trim_start().starts_with("lint: step-loop") {
+            continue;
+        }
+        // First loop keyword at or after the tag (the tag may trail the
+        // loop header line or sit on its own line above it).
+        let Some(kw) = toks.iter().position(|t| {
+            t.line >= c.line
+                && t.kind == TokKind::Ident
+                && matches!(t.text.as_str(), "for" | "while" | "loop")
+        }) else {
+            continue;
+        };
+        let Some((open, close)) = brace_span_idx(toks, kw) else {
+            continue;
+        };
+        for i in (open + 1)..close {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let offense = match t.text.as_str() {
+                "Vec" if calls_assoc(toks, i, "new") => Some("`Vec::new()`"),
+                "vec" if toks.get(i + 1).is_some_and(|n| n.text == "!") => Some("`vec![…]`"),
+                "Tensor" if calls_assoc(toks, i, "zeros") => Some("`Tensor::zeros(…)`"),
+                _ => None,
+            };
+            if let Some(what) = offense {
+                ctx.emit(
+                    out,
+                    RuleId::AllocInStepLoop,
+                    t.line,
+                    format!(
+                        "{what} inside a `lint: step-loop`-tagged hot loop \
+                         allocates every timestep; hoist the buffer above the \
+                         loop or take it from a preallocated `nnet::infer::Arena` \
+                         (`take_zeroed`/`recycle`)"
+                    ),
+                    None,
+                );
+            }
+        }
+    }
+}
+
+/// Token-index variant of [`brace_span`]: from `from`, finds the first
+/// `{` and returns `(open_idx, close_idx)` of its matching brace
+/// (EOF-tolerant: unclosed braces span to the last token).
+fn brace_span_idx(toks: &[Tok], from: usize) -> Option<(usize, usize)> {
+    let open = toks[from..].iter().position(|t| t.text == "{")? + from;
+    let mut depth = 0i64;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open, i));
+                }
+            }
+            _ => {}
+        }
+    }
+    Some((open, toks.len().saturating_sub(1)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -715,6 +801,45 @@ mod tests {
             rules(&lint_as("crates/core/src/x.rs", src)),
             vec![(RuleId::NondeterministicIteration, 1, false)]
         );
+    }
+
+    #[test]
+    fn alloc_in_step_loop_fires_only_inside_tagged_loops() {
+        let tagged = "fn f() {\n    let pre = Vec::new();\n    // lint: step-loop\n    for t in 0..n {\n        let z = Vec::new();\n        let v = vec![0.0; 4];\n        let h = Tensor::zeros(2, 3);\n    }\n    let post = vec![1];\n}\n";
+        assert_eq!(
+            rules(&lint_as("crates/nnet/src/x.rs", tagged)),
+            vec![
+                (RuleId::AllocInStepLoop, 5, false),
+                (RuleId::AllocInStepLoop, 6, false),
+                (RuleId::AllocInStepLoop, 7, false),
+            ],
+            "allocations before and after the tagged loop are not flagged"
+        );
+
+        let untagged = "fn f() {\n    for t in 0..n {\n        let z = Vec::new();\n    }\n}\n";
+        assert!(lint_as("crates/nnet/src/x.rs", untagged).is_empty());
+    }
+
+    #[test]
+    fn alloc_in_step_loop_accepts_trailing_tags_and_waivers() {
+        let trailing_tag = "fn f() {\n    while go { // lint: step-loop\n        let z = Tensor::zeros(1, 1);\n    }\n}\n";
+        assert_eq!(
+            rules(&lint_as("crates/core/src/x.rs", trailing_tag)),
+            vec![(RuleId::AllocInStepLoop, 3, false)]
+        );
+
+        let waived = "fn f() {\n    // lint: step-loop\n    loop {\n        let z = vec![0u8]; // lint: allow(alloc-in-step-loop) escapes per iteration\n    }\n}\n";
+        let d = lint_as("crates/core/src/x.rs", waived);
+        assert_eq!(rules(&d), vec![(RuleId::AllocInStepLoop, 4, true)]);
+        assert_eq!(d[0].waiver_reason.as_deref(), Some("escapes per iteration"));
+    }
+
+    #[test]
+    fn alloc_in_step_loop_ignores_method_calls_and_callees() {
+        // `arena.take_zeroed` and other method calls are the sanctioned
+        // form — only the three literal constructors are flagged.
+        let src = "fn f() {\n    // lint: step-loop\n    for t in 0..n {\n        let z = arena.take_zeroed(2, 3);\n        let next = frozen.step(&x, &h, arena);\n    }\n}\n";
+        assert!(lint_as("crates/nnet/src/x.rs", src).is_empty());
     }
 
     #[test]

@@ -69,6 +69,7 @@ fn every_rule_trips_on_its_fixture() {
         ("panic_in_lib.rs", "netshare", "panic-in-lib", 3, 1),
         ("telemetry_clock.rs", "orchestrator", "telemetry-clock", 2, 1),
         ("unbounded_wait.rs", "orchestrator", "unbounded-wait", 3, 1),
+        ("alloc_in_step_loop.rs", "nnet", "alloc-in-step-loop", 3, 1),
     ];
     for &(name, as_crate, rule, deny, waived) in cases {
         let (code, json) = lint_fixture_json(name, as_crate);
@@ -193,6 +194,7 @@ fn list_rules_names_every_rule() {
         "panic-in-lib",
         "telemetry-clock",
         "unbounded-wait",
+        "alloc-in-step-loop",
     ] {
         assert!(stdout.contains(rule), "missing {rule}: {stdout}");
     }

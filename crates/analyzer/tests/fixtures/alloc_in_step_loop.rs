@@ -1,0 +1,38 @@
+//! Fixture: fresh heap allocation inside `lint: step-loop`-tagged loops.
+//!
+//! Three deny findings (`Vec::new`, `vec![…]`, `Tensor::zeros`) in the
+//! first tagged loop and one waived `vec!` in the second. The untagged
+//! loop at the bottom allocates freely and must not trip — the tag is
+//! the opt-in.
+
+pub fn hot_loop(n: usize) -> Vec<Vec<f32>> {
+    let mut out = Vec::new();
+    // lint: step-loop
+    for _t in 0..n {
+        let gate = Vec::new();
+        let scratch = vec![0.0f32; 16];
+        let hidden = Tensor::zeros(4, 16);
+        out.push(merge(gate, scratch, hidden));
+    }
+    out
+}
+
+pub fn hot_loop_with_escape(n: usize) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    // lint: step-loop
+    for _t in 0..n {
+        let row = vec![0u8; 64]; // lint: allow(alloc-in-step-loop) row escapes into `out` each iteration
+        out.push(row);
+    }
+    out
+}
+
+pub fn cold_loop(n: usize) -> usize {
+    let mut total = 0;
+    for _ in 0..n {
+        let v = vec![0u8; 8];
+        let w = Vec::<u8>::new();
+        total += v.len() + w.len();
+    }
+    total
+}

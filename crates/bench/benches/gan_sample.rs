@@ -1,0 +1,69 @@
+//! Generation-throughput benchmarks for the frozen inference path.
+//!
+//! Three samplers over the same untrained model, measured in flows/sec:
+//!
+//! * `naive_loop_256x1` — 256 calls of `sample(1)`: the worst case the
+//!   ≥5× target is measured against (one full training-graph forward,
+//!   gradient caches and all, per flow);
+//! * `train_path_b256` — one `sample(256)`: the training-graph sampler
+//!   at a proper batch size;
+//! * `sample_fast_b256` — one `sample_fast(256)`: the frozen
+//!   arena-backed path, batched K flows per GRU forward, bitwise-equal
+//!   output.
+//!
+//! The model is a compact generation config (narrow GRU, long
+//! sequences, wide batch). The GEMM/transcendental arithmetic is pinned
+//! bitwise-identical across all three paths, so what this group
+//! isolates is exactly the machinery the frozen path removes: grad-tape
+//! bookkeeping, per-call cache allocation, and per-flow setup cost.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use doppelganger::{DgConfig, DoppelGanger, FeatureSpec};
+use std::hint::black_box;
+
+const FLOWS: usize = 256;
+
+fn model() -> DoppelGanger {
+    // Flow-header generation shape: 6 metadata fields, 5 per-record
+    // fields, 32 records per flow.
+    let mut cfg = DgConfig::small(FeatureSpec::continuous(6), FeatureSpec::continuous(5), 32);
+    cfg.meta_hidden = vec![4, 4];
+    cfg.rnn_hidden = 4;
+    cfg.head_hidden = vec![4];
+    cfg.z_meta_dim = 4;
+    cfg.z_record_dim = 4;
+    cfg.batch_size = FLOWS;
+    DoppelGanger::new(cfg)
+}
+
+fn bench_gan_sample(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gan_sample");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(FLOWS as u64));
+
+    group.bench_function("naive_loop_256x1", |b| {
+        let mut m = model();
+        b.iter(|| {
+            for _ in 0..FLOWS {
+                black_box(m.sample(1));
+            }
+        })
+    });
+
+    group.bench_function("train_path_b256", |b| {
+        let mut m = model();
+        b.iter(|| black_box(m.sample(FLOWS)))
+    });
+
+    group.bench_function("sample_fast_b256", |b| {
+        let mut m = model();
+        // Warm the arena outside the timed region, as production does.
+        let _ = m.sample_fast(FLOWS);
+        b.iter(|| black_box(m.sample_fast(FLOWS)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_gan_sample);
+criterion_main!(benches);

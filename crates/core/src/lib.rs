@@ -43,7 +43,7 @@ pub mod tuplecodec;
 
 pub use artifact::ModelArtifact;
 pub use config::{DpOptions, DpPretrainSource, NetShareConfig, OrchestratorOptions};
-pub use pipeline::{parse_divergence_spec, NetShare, PipelineError};
+pub use pipeline::{parse_divergence_spec, NetShare, PipelineError, SamplePath};
 
 // Re-exported so downstream code can inspect [`NetShare::events`] and the
 // on-disk run directory without naming the orchestrator crate directly.

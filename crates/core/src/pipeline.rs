@@ -81,6 +81,22 @@ enum Codec {
     Packet(PacketCodec),
 }
 
+/// Which sampler the generation loops draw from.
+///
+/// At default precision the two paths are **bitwise-equal** (the
+/// `infer_equiv` suite proves it), so this is purely a speed knob; the
+/// reference path survives as the oracle the fast path is checked
+/// against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplePath {
+    /// The training-graph sampler (`DoppelGanger::sample`): rebuilds
+    /// activations per call. Kept as the equivalence oracle.
+    Reference,
+    /// The frozen arena-backed sampler (`DoppelGanger::sample_fast`):
+    /// no gradient caches, recycled activations. The default.
+    Fast,
+}
+
 /// A fitted NetShare model: one DoppelGANger per chunk, plus the codec and
 /// chunk geometry needed to decode generated samples back into a trace.
 pub struct NetShare {
@@ -631,9 +647,21 @@ impl NetShare {
     /// Generates a synthetic flow trace of approximately `n` records,
     /// remerged in start-time order (the post-processing step).
     ///
+    /// Draws from the frozen arena-backed sampler ([`SamplePath::Fast`]),
+    /// whose output is bitwise-equal to the reference path (proven by the
+    /// `infer_equiv` suite), so traces are byte-identical either way.
+    ///
     /// # Panics
     /// Panics if the model was fit on packets.
     pub fn generate_flows(&mut self, n: usize) -> FlowTrace {
+        self.generate_flows_via(n, SamplePath::Fast)
+    }
+
+    /// [`Self::generate_flows`] with an explicit sampler choice.
+    ///
+    /// # Panics
+    /// Panics if the model was fit on packets.
+    pub fn generate_flows_via(&mut self, n: usize, path: SamplePath) -> FlowTrace {
         let _span = telemetry::span!("generate_flows[{n}]");
         let codec = match &self.codec {
             Codec::Flow(c) => c,
@@ -649,7 +677,11 @@ impl NetShare {
             let bounds = self.bounds[ci];
             let mut got = 0usize;
             while got < want {
-                let batch = model.sample(((want - got) / 2 + 1).clamp(1, 64));
+                let take = ((want - got) / 2 + 1).clamp(1, 64);
+                let batch = match path {
+                    SamplePath::Reference => model.sample(take),
+                    SamplePath::Fast => model.sample_fast(take),
+                };
                 for s in batch {
                     let recs = codec.decode_sample(&s.meta, &s.records, bounds);
                     got += recs.len();
@@ -665,9 +697,20 @@ impl NetShare {
     /// Generates a synthetic packet trace of approximately `n` packets,
     /// remerged by raw timestamp.
     ///
+    /// Draws from the frozen arena-backed sampler ([`SamplePath::Fast`]);
+    /// see [`Self::generate_flows`] for the equivalence guarantee.
+    ///
     /// # Panics
     /// Panics if the model was fit on flows.
     pub fn generate_packets(&mut self, n: usize) -> PacketTrace {
+        self.generate_packets_via(n, SamplePath::Fast)
+    }
+
+    /// [`Self::generate_packets`] with an explicit sampler choice.
+    ///
+    /// # Panics
+    /// Panics if the model was fit on flows.
+    pub fn generate_packets_via(&mut self, n: usize, path: SamplePath) -> PacketTrace {
         let _span = telemetry::span!("generate_packets[{n}]");
         let codec = match &self.codec {
             Codec::Packet(c) => c,
@@ -683,7 +726,11 @@ impl NetShare {
             let bounds = self.bounds[ci];
             let mut got = 0usize;
             while got < want {
-                let batch = model.sample(((want - got) / 2 + 1).clamp(1, 64));
+                let take = ((want - got) / 2 + 1).clamp(1, 64);
+                let batch = match path {
+                    SamplePath::Reference => model.sample(take),
+                    SamplePath::Fast => model.sample_fast(take),
+                };
                 for s in batch {
                     let recs = codec.decode_sample(&s.meta, &s.records, bounds);
                     got += recs.len();

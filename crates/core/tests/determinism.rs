@@ -13,7 +13,7 @@
 //!   by `HashMap` iteration order.
 
 use netshare::config::NetShareConfig;
-use netshare::pipeline::NetShare;
+use netshare::pipeline::{NetShare, SamplePath};
 use trace_synth::{generate_flows as synth_flows, DatasetKind};
 
 fn tiny_cfg(seed: u64) -> NetShareConfig {
@@ -48,4 +48,32 @@ fn same_seed_same_trace_across_fits_under_rayon() {
 
     let c = run(43);
     assert_ne!(a, c, "a different seed must change the output");
+}
+
+#[test]
+fn fast_sample_path_is_byte_identical_under_rayon() {
+    // The default generation path routes through the frozen arena-backed
+    // sampler. Golden gate: with rayon threads forced on, the fast path
+    // must produce the exact trace the reference path produces — and the
+    // same bytes a single-threaded pool produces, since thread count must
+    // never leak into sampling.
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let real = synth_flows(DatasetKind::Ugr16, 400, 17);
+
+    let run_via = |path: SamplePath| {
+        let mut model = NetShare::fit_flows(&real, &tiny_cfg(42)).unwrap();
+        model.generate_flows_via(150, path)
+    };
+
+    let reference = run_via(SamplePath::Reference);
+    let fast = run_via(SamplePath::Fast);
+    assert_eq!(
+        reference, fast,
+        "sample_fast must be byte-identical to the reference sampler"
+    );
+
+    // Re-running the fast path in the same (multi-threaded) process must
+    // reproduce itself exactly — the arena holds no cross-run state.
+    let fast_again = run_via(SamplePath::Fast);
+    assert_eq!(fast, fast_again, "fast path must be self-reproducible");
 }

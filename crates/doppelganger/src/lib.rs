@@ -36,6 +36,8 @@ pub mod train;
 
 pub use data::TimeSeriesDataset;
 pub use sentinel::{Rollback, SentinelConfig, TrainAbort, TrainControl};
-pub use model::{DgDiscriminators, DgGenerator, GeneratedBatch};
+#[cfg(feature = "infer-f32")]
+pub use model::PackedGenerator;
+pub use model::{DgDiscriminators, DgGenerator, FrozenGenerator, GeneratedBatch};
 pub use spec::{FeatureSpec, Segment};
-pub use train::{DgConfig, DgLoss, DoppelGanger, TrainStats};
+pub use train::{DgConfig, DgLoss, DoppelGanger, GeneratedSample, TrainStats};

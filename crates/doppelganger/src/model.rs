@@ -1,6 +1,9 @@
 //! Generator and discriminator networks.
 
 use crate::spec::FeatureSpec;
+#[cfg(feature = "infer-f32")]
+use nnet::infer::{FrozenNode, PackedTensor};
+use nnet::infer::{Arena, FrozenGru, FrozenSequential};
 use nnet::{Activation, Gru, Layer, Linear, Parameterized, Sequential, Tensor};
 use rand::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -166,6 +169,24 @@ impl DgGenerator {
         }
     }
 
+    /// Builds a forward-only view over this generator for the fast
+    /// sampling path: frozen weight borrows, no grad bookkeeping, all
+    /// activations drawn from a caller-supplied [`Arena`]. Errors if
+    /// either MLP contains a convolution node (never true for networks
+    /// built by [`DgGenerator::new`]).
+    pub fn freeze(&self) -> Result<FrozenGenerator<'_>, String> {
+        Ok(FrozenGenerator {
+            meta_net: FrozenSequential::of(&self.meta_net)?,
+            rnn: self.rnn.freeze(),
+            head: FrozenSequential::of(&self.head)?,
+            meta_spec: &self.meta_spec,
+            record_spec: &self.record_spec,
+            z_meta_dim: self.z_meta_dim,
+            z_record_dim: self.z_record_dim,
+            max_len: self.max_len,
+        })
+    }
+
     /// Back-propagates generator gradients from the discriminators'
     /// input-gradients: `grad_meta` is ∂L/∂meta (sum of the full
     /// discriminator's metadata slice and the auxiliary discriminator's
@@ -239,6 +260,265 @@ impl Parameterized for DgGenerator {
         g.extend(self.rnn.gradients_mut());
         g.extend(self.head.gradients_mut());
         g
+    }
+}
+
+/// A forward-only view over a [`DgGenerator`]: borrowed weights, no
+/// grad tape, no per-step caches. [`FrozenGenerator::generate`] is
+/// bitwise-equivalent to [`DgGenerator::generate`] for the same weights
+/// and RNG state (pinned by `tests/infer_equiv.rs`) while performing
+/// zero steady-state allocations per timestep, and it advances all
+/// `batch` flows per GRU step — the multi-stream amortization behind
+/// the `sample_fast` speedup.
+pub struct FrozenGenerator<'a> {
+    meta_net: FrozenSequential<'a>,
+    rnn: FrozenGru<'a>,
+    head: FrozenSequential<'a>,
+    meta_spec: &'a FeatureSpec,
+    record_spec: &'a FeatureSpec,
+    z_meta_dim: usize,
+    z_record_dim: usize,
+    max_len: usize,
+}
+
+impl FrozenGenerator<'_> {
+    /// Maximum sequence length of the underlying generator.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Generates a batch without touching training state.
+    ///
+    /// The RNG draw order matches [`DgGenerator::generate`] exactly
+    /// (`z_meta` first, then one `z_t` per step, in step order), the
+    /// head runs on the same step-major `(T·batch) × hidden` stack (so
+    /// the GEMM kernel dispatch — and therefore the rounding — is
+    /// identical), and the feature transforms go through the same code.
+    /// Output tensors are plain allocations owned by the caller; every
+    /// intermediate is recycled into `arena`.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        batch: usize,
+        rng: &mut R,
+        arena: &mut Arena,
+    ) -> GeneratedBatch {
+        let _timer = telemetry::metrics::scoped_timer_us("infer.generate.us");
+        telemetry::metrics::counter("infer.steps").add(self.max_len as u64);
+        let record_dim = self.record_spec.dim();
+        let step_dim = record_dim + 1;
+        let hidden = self.rnn.hidden_dim();
+
+        // fill_randn overwrites every element, so scratch (no memset)
+        // storage yields the same bytes as a zeroed buffer.
+        let mut z_meta = arena.take_scratch(batch, self.z_meta_dim);
+        z_meta.fill_randn(rng);
+        let meta_logits = self.meta_net.forward(&z_meta, arena);
+        arena.recycle(z_meta);
+        let meta_y = self.meta_spec.transform(&meta_logits);
+        arena.recycle(meta_logits);
+
+        // RNN steps on reused buffers: input x_t = [z_t ‖ meta_y]. The
+        // meta columns are constant across steps, so they are written
+        // once here; each step only redraws the latent columns in place
+        // (`fill_randn_cols` draws in the exact element order of the
+        // training path's per-step `Tensor::randn(batch, z_dim)`).
+        let mut x = arena.take_scratch(batch, self.z_record_dim + meta_y.cols());
+        for b in 0..batch {
+            x.row_mut(b)[self.z_record_dim..].copy_from_slice(meta_y.row(b));
+        }
+        // The initial hidden state is real data — it must be zero.
+        let mut h = arena.take_zeroed(batch, hidden);
+        // Every `h_stack` row is overwritten by the block copies below
+        // (step t fills rows `t·batch..(t+1)·batch`; t covers 0..T).
+        let mut h_stack = arena.take_scratch(self.max_len * batch, hidden);
+        // lint: step-loop
+        for t in 0..self.max_len {
+            x.fill_randn_cols(self.z_record_dim, rng);
+            let next = self.rnn.step(&x, &h, arena);
+            // Rows t·batch.. of the step-major stack are exactly
+            // `next`'s storage, contiguously: one memcpy per step.
+            h_stack.data_mut()[t * batch * hidden..(t + 1) * batch * hidden]
+                .copy_from_slice(next.data());
+            arena.recycle(std::mem::replace(&mut h, next));
+        }
+        arena.recycle(x);
+        arena.recycle(h);
+
+        // Head applied once on the full stack — the same GEMM shapes as
+        // the training path, which is what keeps kernel dispatch (and
+        // rounding) identical.
+        let head_logits = self.head.forward(&h_stack, arena);
+        arena.recycle(h_stack);
+
+        // Every row is fully copied below — scratch storage suffices.
+        let mut rec = arena.take_scratch(head_logits.rows(), record_dim);
+        for r in 0..rec.rows() {
+            rec.row_mut(r)
+                .copy_from_slice(&head_logits.row(r)[..record_dim]);
+        }
+        self.record_spec.transform_inplace(&mut rec);
+
+        // Reassemble per-example record rows (escapes to the caller).
+        let mut records = Tensor::zeros(batch, self.max_len * step_dim);
+        for t in 0..self.max_len {
+            for b in 0..batch {
+                let src = t * batch + b;
+                let dst = &mut records.row_mut(b)[t * step_dim..(t + 1) * step_dim];
+                dst[..record_dim].copy_from_slice(rec.row(src));
+                let flag_logit = head_logits.get(src, record_dim);
+                dst[record_dim] = 1.0 / (1.0 + (-flag_logit).exp());
+            }
+        }
+        arena.recycle(rec);
+        arena.recycle(head_logits);
+
+        GeneratedBatch {
+            meta: meta_y,
+            records,
+        }
+    }
+}
+
+/// One node of a packed MLP: a bf16 weight matrix with an f32 bias
+/// (biases are tiny, so packing them buys nothing), or an activation.
+#[cfg(feature = "infer-f32")]
+enum PackedNode {
+    Linear { w: PackedTensor, b: Tensor },
+    Activation(Activation),
+}
+
+#[cfg(feature = "infer-f32")]
+fn pack_seq(net: &Sequential) -> Result<Vec<PackedNode>, String> {
+    let mut out = Vec::new();
+    for n in net.nodes() {
+        match n {
+            nnet::layers::Node::Linear(l) => out.push(PackedNode::Linear {
+                w: PackedTensor::pack(l.weights()),
+                b: l.bias().clone(),
+            }),
+            nnet::layers::Node::Activation(a) => {
+                out.push(PackedNode::Activation(a.activation()))
+            }
+            nnet::layers::Node::Conv(_) => {
+                return Err("PackedGenerator supports Linear/Activation nodes only".to_string())
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(feature = "infer-f32")]
+fn packed_frozen_seq<'a>(nodes: &'a [PackedNode], store: &'a [Tensor]) -> FrozenSequential<'a> {
+    let mut out = Vec::with_capacity(nodes.len());
+    let mut wi = 0;
+    for n in nodes {
+        match n {
+            PackedNode::Linear { b, .. } => {
+                out.push(FrozenNode::Linear { w: &store[wi], b });
+                wi += 1;
+            }
+            PackedNode::Activation(a) => out.push(FrozenNode::Activation(*a)),
+        }
+    }
+    FrozenSequential::from_nodes(out)
+}
+
+/// A bf16-packed snapshot of a generator's weights (feature
+/// `infer-f32`): half the weight memory of the f32 original. Sampling
+/// dequantizes each weight matrix once per [`PackedGenerator::generate`]
+/// call through the arena and then runs the *same* frozen forward code
+/// as the default-precision path — no duplicated math, so the only
+/// divergence from [`DgGenerator::generate`] is the one-time bf16
+/// rounding of the weights (documented tolerance ~1e-2 relative on
+/// outputs; pinned by the feature-gated test in `tests/infer_equiv.rs`).
+#[cfg(feature = "infer-f32")]
+pub struct PackedGenerator {
+    meta_nodes: Vec<PackedNode>,
+    head_nodes: Vec<PackedNode>,
+    /// wz, uz, wr, ur, wh, uh — in [`FrozenGru`] field order.
+    rnn_w: [PackedTensor; 6],
+    /// bz, br, bh (kept at f32).
+    rnn_b: [Tensor; 3],
+    meta_spec: FeatureSpec,
+    record_spec: FeatureSpec,
+    z_meta_dim: usize,
+    z_record_dim: usize,
+    max_len: usize,
+}
+
+#[cfg(feature = "infer-f32")]
+impl PackedGenerator {
+    /// Packs a generator's weights to bf16. Errors on convolution nodes.
+    pub fn pack(gen: &DgGenerator) -> Result<Self, String> {
+        let f = gen.rnn.freeze();
+        Ok(PackedGenerator {
+            meta_nodes: pack_seq(&gen.meta_net)?,
+            head_nodes: pack_seq(&gen.head)?,
+            rnn_w: [
+                PackedTensor::pack(f.wz),
+                PackedTensor::pack(f.uz),
+                PackedTensor::pack(f.wr),
+                PackedTensor::pack(f.ur),
+                PackedTensor::pack(f.wh),
+                PackedTensor::pack(f.uh),
+            ],
+            rnn_b: [f.bz.clone(), f.br.clone(), f.bh.clone()],
+            meta_spec: gen.meta_spec.clone(),
+            record_spec: gen.record_spec.clone(),
+            z_meta_dim: gen.z_meta_dim,
+            z_record_dim: gen.z_record_dim,
+            max_len: gen.max_len,
+        })
+    }
+
+    /// Generates a batch from the packed weights: dequantize once, then
+    /// run the shared frozen forward. Same RNG draw order as the other
+    /// generate paths.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        batch: usize,
+        rng: &mut R,
+        arena: &mut Arena,
+    ) -> GeneratedBatch {
+        let unpack_weights = |nodes: &[PackedNode], arena: &mut Arena| -> Vec<Tensor> {
+            nodes
+                .iter()
+                .filter_map(|n| match n {
+                    PackedNode::Linear { w, .. } => Some(w.unpack_into(arena)),
+                    PackedNode::Activation(_) => None,
+                })
+                .collect()
+        };
+        let meta_store = unpack_weights(&self.meta_nodes, arena);
+        let head_store = unpack_weights(&self.head_nodes, arena);
+        let rnn_store: Vec<Tensor> = self.rnn_w.iter().map(|w| w.unpack_into(arena)).collect();
+
+        let frozen = FrozenGenerator {
+            meta_net: packed_frozen_seq(&self.meta_nodes, &meta_store),
+            rnn: FrozenGru {
+                wz: &rnn_store[0],
+                uz: &rnn_store[1],
+                bz: &self.rnn_b[0],
+                wr: &rnn_store[2],
+                ur: &rnn_store[3],
+                br: &self.rnn_b[1],
+                wh: &rnn_store[4],
+                uh: &rnn_store[5],
+                bh: &self.rnn_b[2],
+            },
+            head: packed_frozen_seq(&self.head_nodes, &head_store),
+            meta_spec: &self.meta_spec,
+            record_spec: &self.record_spec,
+            z_meta_dim: self.z_meta_dim,
+            z_record_dim: self.z_record_dim,
+            max_len: self.max_len,
+        };
+        let out = frozen.generate(batch, rng, arena);
+        drop(frozen);
+        for t in meta_store.into_iter().chain(head_store).chain(rnn_store) {
+            arena.recycle(t);
+        }
+        out
     }
 }
 

@@ -62,8 +62,17 @@ impl FeatureSpec {
     /// Applies the output transform to raw logits (batch rows), returning
     /// squashed features.
     pub fn transform(&self, logits: &Tensor) -> Tensor {
-        assert_eq!(logits.cols(), self.dim(), "logit width mismatch");
         let mut out = logits.clone();
+        self.transform_inplace(&mut out);
+        out
+    }
+
+    /// In-place variant of [`FeatureSpec::transform`] — squashes a tensor
+    /// that already holds raw logits, with no allocation. `transform` is
+    /// exactly clone-then-`transform_inplace`, so the two are bitwise
+    /// interchangeable (the inference path relies on this).
+    pub fn transform_inplace(&self, out: &mut Tensor) {
+        assert_eq!(out.cols(), self.dim(), "logit width mismatch");
         for r in 0..out.rows() {
             let row = out.row_mut(r);
             let mut off = 0;
@@ -92,7 +101,6 @@ impl FeatureSpec {
                 }
             }
         }
-        out
     }
 
     /// Back-propagates through the transform: given the transformed output

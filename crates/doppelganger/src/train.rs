@@ -124,6 +124,9 @@ pub struct DoppelGanger {
     pub(crate) g_opt: Adam,
     pub(crate) d_opt: Adam,
     pub(crate) dp: Option<DpSgdTrainer>,
+    /// Recycled activation storage for the fast sampling path; warms on
+    /// the first `sample_fast` call and is reused across calls.
+    pub(crate) arena: nnet::infer::Arena,
 }
 
 /// One decoded generated sample.
@@ -167,6 +170,7 @@ impl DoppelGanger {
             stats: TrainStats::default(),
             dp,
             cfg,
+            arena: nnet::infer::Arena::new(),
         }
     }
 
@@ -469,7 +473,9 @@ impl DoppelGanger {
     }
 
     /// Generates `n` decoded samples (hardened categorical segments,
-    /// flag-cut sequences).
+    /// flag-cut sequences) through the training-path generator. This is
+    /// the reference sampler; [`DoppelGanger::sample_fast`] is the
+    /// production path and is bitwise-equivalent to it.
     pub fn sample(&mut self, n: usize) -> Vec<GeneratedSample> {
         let _span = telemetry::span!("sample[{n}]");
         let mut out = Vec::with_capacity(n);
@@ -478,21 +484,95 @@ impl DoppelGanger {
         while out.len() < n {
             let take = (n - out.len()).min(self.cfg.batch_size.max(1));
             let batch = self.gen.generate(take, &mut self.rng);
-            for i in 0..take {
-                let mut meta = batch.meta.row(i).to_vec();
-                self.cfg.meta_spec.sample_row(&mut meta, &mut self.rng);
-                let len = batch.length(i, record_dim, max_len);
-                let step = record_dim + 1;
-                let mut records = Vec::with_capacity(len);
-                for t in 0..len {
-                    let mut r = batch.records.row(i)[t * step..t * step + record_dim].to_vec();
-                    self.cfg.record_spec.sample_row(&mut r, &mut self.rng);
-                    records.push(r);
-                }
-                out.push(GeneratedSample { meta, records });
-            }
+            decode_batch(
+                &self.cfg.meta_spec,
+                &self.cfg.record_spec,
+                record_dim,
+                max_len,
+                &batch,
+                take,
+                &mut self.rng,
+                &mut out,
+            );
         }
         out
+    }
+
+    /// Generates `n` decoded samples through the frozen inference path
+    /// (`nnet::infer`): no grad bookkeeping, arena-recycled activations,
+    /// and `batch_size` flows advanced per GRU step. Bitwise-identical
+    /// output to [`DoppelGanger::sample`] for the same weights and RNG
+    /// state (pinned by `tests/infer_equiv.rs`), several times faster.
+    pub fn sample_fast(&mut self, n: usize) -> Vec<GeneratedSample> {
+        self.sample_fast_with(n, self.cfg.batch_size.max(1))
+    }
+
+    /// [`DoppelGanger::sample_fast`] with an explicit stream count (the
+    /// number of flows generated per GRU forward pass). Only
+    /// `streams == cfg.batch_size.max(1)` reproduces
+    /// [`DoppelGanger::sample`] bitwise — a different chunking consumes
+    /// noise in a different order. Larger stream counts amortize each
+    /// weight-matrix traversal over more flows.
+    pub fn sample_fast_with(&mut self, n: usize, streams: usize) -> Vec<GeneratedSample> {
+        let _span = telemetry::span!("sample_fast[{n}]");
+        let streams = streams.max(1);
+        let record_dim = self.gen.record_dim();
+        let max_len = self.cfg.max_len;
+        let frozen = match self.gen.freeze() {
+            Ok(f) => f,
+            // Unreachable for generators built by DgGenerator::new (no
+            // conv nodes); the reference path is equivalent anyway.
+            Err(_) => return self.sample(n),
+        };
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let take = (n - out.len()).min(streams);
+            let batch = frozen.generate(take, &mut self.rng, &mut self.arena);
+            decode_batch(
+                &self.cfg.meta_spec,
+                &self.cfg.record_spec,
+                record_dim,
+                max_len,
+                &batch,
+                take,
+                &mut self.rng,
+                &mut out,
+            );
+        }
+        telemetry::metrics::counter("infer.samples").add(n as u64);
+        self.arena.publish_metrics();
+        out
+    }
+}
+
+/// Decodes `take` rows of a generated batch into hardened samples. Both
+/// sampling paths share this exact code (and the same `rng`), so any
+/// divergence between [`DoppelGanger::sample`] and
+/// [`DoppelGanger::sample_fast`] can only come from the generator
+/// forward — which the equivalence suite pins to bitwise-equal.
+#[allow(clippy::too_many_arguments)]
+fn decode_batch(
+    meta_spec: &FeatureSpec,
+    record_spec: &FeatureSpec,
+    record_dim: usize,
+    max_len: usize,
+    batch: &crate::model::GeneratedBatch,
+    take: usize,
+    rng: &mut StdRng,
+    out: &mut Vec<GeneratedSample>,
+) {
+    for i in 0..take {
+        let mut meta = batch.meta.row(i).to_vec();
+        meta_spec.sample_row(&mut meta, rng);
+        let len = batch.length(i, record_dim, max_len);
+        let step = record_dim + 1;
+        let mut records = Vec::with_capacity(len);
+        for t in 0..len {
+            let mut r = batch.records.row(i)[t * step..t * step + record_dim].to_vec();
+            record_spec.sample_row(&mut r, rng);
+            records.push(r);
+        }
+        out.push(GeneratedSample { meta, records });
     }
 }
 

@@ -11,6 +11,7 @@
 //! h_t = (1 - z_t) ⊙ h_{t-1} + z_t ⊙ ĥ_t
 //! ```
 
+use crate::infer::{Arena, FrozenGru};
 use crate::tensor::Tensor;
 use crate::Parameterized;
 use rand::prelude::*;
@@ -49,6 +50,14 @@ pub struct Gru {
     gbh: Tensor,
     #[serde(skip)]
     cache: Vec<StepCache>,
+    /// Recycled scratch storage for step temporaries and BPTT caches:
+    /// after the first sequence warms the pool, the step loop performs
+    /// no per-step heap allocation beyond the hidden states and input
+    /// gradients that escape to the caller (pinned by the alloc-count
+    /// regression test). Skipped by serde and reset by clone — scratch
+    /// is an optimization, never state.
+    #[serde(skip)]
+    scratch: Arena,
     input_dim: usize,
     hidden_dim: usize,
 }
@@ -78,6 +87,7 @@ impl Gru {
             guh: Tensor::zeros(hidden_dim, hidden_dim),
             gbh: Tensor::zeros(1, hidden_dim),
             cache: Vec::new(),
+            scratch: Arena::new(),
             input_dim,
             hidden_dim,
         }
@@ -93,37 +103,75 @@ impl Gru {
         self.hidden_dim
     }
 
+    /// A forward-only view over this cell's weights for the inference
+    /// path: no grad buffers, no BPTT cache, `&self` stepping. The view
+    /// replays [`Gru::step`]'s arithmetic bitwise.
+    pub fn freeze(&self) -> FrozenGru<'_> {
+        FrozenGru {
+            wz: &self.wz,
+            uz: &self.uz,
+            bz: &self.bz,
+            wr: &self.wr,
+            ur: &self.ur,
+            br: &self.br,
+            wh: &self.wh,
+            uh: &self.uh,
+            bh: &self.bh,
+        }
+    }
+
+    /// Recycles every cached step tensor back into the scratch pool.
+    fn drain_cache(&mut self) {
+        for c in std::mem::take(&mut self.cache) {
+            self.scratch.recycle(c.x);
+            self.scratch.recycle(c.h_prev);
+            self.scratch.recycle(c.z);
+            self.scratch.recycle(c.r);
+            self.scratch.recycle(c.hhat);
+        }
+    }
+
     /// One forward step: returns `h_t` and caches for BPTT.
     ///
     /// Each gate is one fused chain — `x·W + b` seeds the output, `h·U`
     /// accumulates into it, and the nonlinearity is applied in place —
     /// so a gate costs two GEMMs and zero temporaries instead of two
-    /// GEMMs plus three extra passes over the pre-activation.
+    /// GEMMs plus three extra passes over the pre-activation. All gate
+    /// buffers and cache copies draw on the scratch arena, so a warm
+    /// cell allocates nothing here. The returned hidden state borrows
+    /// pool storage and is reclaimed by the next cache drain.
     pub fn step(&mut self, x: &Tensor, h_prev: &Tensor) -> Tensor {
         let sigmoid = |v: f32| 1.0 / (1.0 + (-v).exp());
-        let mut z = x.matmul_add_bias(&self.wz, &self.bz);
+        let mut z = self.scratch.take_zeroed(x.rows(), self.hidden_dim);
+        x.matmul_add_bias_into(&self.wz, &self.bz, &mut z);
         h_prev.matmul_acc(&self.uz, &mut z);
         z.map_inplace(sigmoid);
 
-        let mut r = x.matmul_add_bias(&self.wr, &self.br);
+        let mut r = self.scratch.take_zeroed(x.rows(), self.hidden_dim);
+        x.matmul_add_bias_into(&self.wr, &self.br, &mut r);
         h_prev.matmul_acc(&self.ur, &mut r);
         r.map_inplace(sigmoid);
 
-        let rh = r.hadamard(h_prev);
-        let mut hhat = x.matmul_add_bias(&self.wh, &self.bh);
+        let mut rh = self.scratch.take_zeroed(h_prev.rows(), h_prev.cols());
+        r.hadamard_into(h_prev, &mut rh);
+        let mut hhat = self.scratch.take_zeroed(x.rows(), self.hidden_dim);
+        x.matmul_add_bias_into(&self.wh, &self.bh, &mut hhat);
         rh.matmul_acc(&self.uh, &mut hhat);
         hhat.map_inplace(f32::tanh);
+        self.scratch.recycle(rh);
 
         // h = (1-z)⊙h_prev + z⊙ĥ
-        let mut h = Tensor::zeros(h_prev.rows(), h_prev.cols());
+        let mut h = self.scratch.take_zeroed(h_prev.rows(), h_prev.cols());
         for i in 0..h.len() {
             let zv = z.data()[i];
             h.data_mut()[i] = (1.0 - zv) * h_prev.data()[i] + zv * hhat.data()[i];
         }
 
+        let cached_x = self.scratch.take_copy(x);
+        let cached_h_prev = self.scratch.take_copy(h_prev);
         self.cache.push(StepCache {
-            x: x.clone(),
-            h_prev: h_prev.clone(),
+            x: cached_x,
+            h_prev: cached_h_prev,
             z,
             r,
             hhat,
@@ -132,18 +180,22 @@ impl Gru {
     }
 
     /// Runs a full sequence from `h0`, returning all hidden states
-    /// `[h_1, …, h_T]`. Clears any previous cache.
+    /// `[h_1, …, h_T]`. Clears any previous cache (recycling its
+    /// buffers into the scratch pool).
     pub fn forward_sequence(&mut self, xs: &[Tensor], h0: &Tensor) -> Vec<Tensor> {
-        self.cache.clear();
+        self.drain_cache();
         let _scope = crate::sanitize::scope_with(|| "Gru::forward".to_string());
         telemetry::metrics::counter("gru.steps").add(xs.len() as u64);
         let _timer = telemetry::metrics::scoped_timer_us("gru.forward.us");
         let mut hs = Vec::with_capacity(xs.len());
-        let mut h = h0.clone();
+        let mut h = self.scratch.take_copy(h0);
+        // lint: step-loop
         for x in xs {
-            h = self.step(x, &h);
+            let next = self.step(x, &h);
+            self.scratch.recycle(std::mem::replace(&mut h, next));
             hs.push(h.clone());
         }
+        self.scratch.recycle(h);
         hs
     }
 
@@ -156,22 +208,28 @@ impl Gru {
         let _scope = crate::sanitize::scope_with(|| "Gru::backward".to_string());
         let _timer = telemetry::metrics::scoped_timer_us("gru.backward.us");
         let steps = self.cache.len();
+        let batch = grad_hs.last().map(|g| g.rows()).unwrap_or(0);
         let mut dxs = vec![Tensor::zeros(0, 0); steps];
-        let mut dh_next = Tensor::zeros(
-            grad_hs.last().map(|g| g.rows()).unwrap_or(0),
-            self.hidden_dim,
-        );
+        let mut dh_next = self.scratch.take_zeroed(batch, self.hidden_dim);
+        // Scratch temporaries — every buffer below comes from (and is
+        // returned to) the arena, so a warm backward pass only allocates
+        // the per-step `dx` tensors that escape to the caller. All
+        // accumulation orders match the original allocating code: GEMM
+        // temporaries start from zeros exactly as their allocating
+        // counterparts did, and bias sums still go through a zeroed row
+        // temp before `add_assign` (accumulating into the grad directly
+        // would change the rounding order).
+        // lint: step-loop
         for t in (0..steps).rev() {
-            let cache = self.cache[t].clone();
-            let mut dh = grad_hs[t].clone();
+            let Some(cache) = self.cache.pop() else { break };
+            let StepCache { x, h_prev, z, r, hhat } = cache;
+            let mut dh = self.scratch.take_copy(&grad_hs[t]);
             dh.add_assign(&dh_next);
 
-            let StepCache { x, h_prev, z, r, hhat } = &cache;
-
             // dz = dh ⊙ (ĥ - h_prev); dĥ = dh ⊙ z; dh_prev = dh ⊙ (1-z)
-            let mut dz = Tensor::zeros(dh.rows(), dh.cols());
-            let mut dhhat = Tensor::zeros(dh.rows(), dh.cols());
-            let mut dh_prev = Tensor::zeros(dh.rows(), dh.cols());
+            let mut dz = self.scratch.take_zeroed(dh.rows(), dh.cols());
+            let mut dhhat = self.scratch.take_zeroed(dh.rows(), dh.cols());
+            let mut dh_prev = self.scratch.take_zeroed(dh.rows(), dh.cols());
             for i in 0..dh.len() {
                 let d = dh.data()[i];
                 dz.data_mut()[i] = d * (hhat.data()[i] - h_prev.data()[i]);
@@ -180,59 +238,87 @@ impl Gru {
             }
 
             // Candidate path.
-            let dhhat_raw = {
-                let mut t = Tensor::zeros(dhhat.rows(), dhhat.cols());
-                for i in 0..t.len() {
-                    let y = hhat.data()[i];
-                    t.data_mut()[i] = dhhat.data()[i] * (1.0 - y * y);
-                }
-                t
-            };
-            let rh = r.hadamard(h_prev);
+            let mut dhhat_raw = self.scratch.take_zeroed(dhhat.rows(), dhhat.cols());
+            for i in 0..dhhat_raw.len() {
+                let y = hhat.data()[i];
+                dhhat_raw.data_mut()[i] = dhhat.data()[i] * (1.0 - y * y);
+            }
+            let mut rh = self.scratch.take_zeroed(h_prev.rows(), h_prev.cols());
+            r.hadamard_into(&h_prev, &mut rh);
             x.t_matmul_acc(&dhhat_raw, &mut self.gwh);
             rh.t_matmul_acc(&dhhat_raw, &mut self.guh);
-            self.gbh.add_assign(&dhhat_raw.sum_rows());
-            let drh = dhhat_raw.matmul_t(&self.uh);
-            let dr = drh.hadamard(h_prev);
-            dh_prev.add_assign(&drh.hadamard(r));
+            let mut bias_sum = self.scratch.take_zeroed(1, self.hidden_dim);
+            dhhat_raw.sum_rows_into(&mut bias_sum);
+            self.gbh.add_assign(&bias_sum);
+            let mut drh = self.scratch.take_zeroed(dhhat_raw.rows(), self.uh.rows());
+            dhhat_raw.matmul_t_acc(&self.uh, &mut drh);
+            let mut dr = self.scratch.take_zeroed(drh.rows(), drh.cols());
+            drh.hadamard_into(&h_prev, &mut dr);
+            let mut hid_tmp = self.scratch.take_zeroed(drh.rows(), drh.cols());
+            drh.hadamard_into(&r, &mut hid_tmp);
+            dh_prev.add_assign(&hid_tmp);
 
             // Gate pre-activations.
-            let dz_raw = {
-                let mut t = Tensor::zeros(dz.rows(), dz.cols());
-                for i in 0..t.len() {
-                    let y = z.data()[i];
-                    t.data_mut()[i] = dz.data()[i] * y * (1.0 - y);
-                }
-                t
-            };
-            let dr_raw = {
-                let mut t = Tensor::zeros(dr.rows(), dr.cols());
-                for i in 0..t.len() {
-                    let y = r.data()[i];
-                    t.data_mut()[i] = dr.data()[i] * y * (1.0 - y);
-                }
-                t
-            };
+            let mut dz_raw = self.scratch.take_zeroed(dz.rows(), dz.cols());
+            for i in 0..dz_raw.len() {
+                let y = z.data()[i];
+                dz_raw.data_mut()[i] = dz.data()[i] * y * (1.0 - y);
+            }
+            let mut dr_raw = self.scratch.take_zeroed(dr.rows(), dr.cols());
+            for i in 0..dr_raw.len() {
+                let y = r.data()[i];
+                dr_raw.data_mut()[i] = dr.data()[i] * y * (1.0 - y);
+            }
             x.t_matmul_acc(&dz_raw, &mut self.gwz);
             h_prev.t_matmul_acc(&dz_raw, &mut self.guz);
-            self.gbz.add_assign(&dz_raw.sum_rows());
+            dz_raw.sum_rows_into(&mut bias_sum);
+            self.gbz.add_assign(&bias_sum);
             x.t_matmul_acc(&dr_raw, &mut self.gwr);
             h_prev.t_matmul_acc(&dr_raw, &mut self.gur);
-            self.gbr.add_assign(&dr_raw.sum_rows());
+            dr_raw.sum_rows_into(&mut bias_sum);
+            self.gbr.add_assign(&bias_sum);
 
-            // Input gradient.
+            // Input gradient (escapes to the caller — a real allocation).
             let mut dx = dz_raw.matmul_t(&self.wz);
-            dx.add_assign(&dr_raw.matmul_t(&self.wr));
-            dx.add_assign(&dhhat_raw.matmul_t(&self.wh));
+            let mut in_tmp = self.scratch.take_zeroed(dr_raw.rows(), self.wr.rows());
+            dr_raw.matmul_t_acc(&self.wr, &mut in_tmp);
+            dx.add_assign(&in_tmp);
+            self.scratch.recycle(in_tmp);
+            let mut in_tmp = self.scratch.take_zeroed(dhhat_raw.rows(), self.wh.rows());
+            dhhat_raw.matmul_t_acc(&self.wh, &mut in_tmp);
+            dx.add_assign(&in_tmp);
+            self.scratch.recycle(in_tmp);
             dxs[t] = dx;
 
             // Recurrent gradient to the previous step.
-            dh_prev.add_assign(&dz_raw.matmul_t(&self.uz));
-            dh_prev.add_assign(&dr_raw.matmul_t(&self.ur));
-            dh_next = dh_prev;
+            hid_tmp.fill(0.0);
+            dz_raw.matmul_t_acc(&self.uz, &mut hid_tmp);
+            dh_prev.add_assign(&hid_tmp);
+            hid_tmp.fill(0.0);
+            dr_raw.matmul_t_acc(&self.ur, &mut hid_tmp);
+            dh_prev.add_assign(&hid_tmp);
+            self.scratch.recycle(std::mem::replace(&mut dh_next, dh_prev));
+
+            self.scratch.recycle(dh);
+            self.scratch.recycle(dz);
+            self.scratch.recycle(dhhat);
+            self.scratch.recycle(dhhat_raw);
+            self.scratch.recycle(rh);
+            self.scratch.recycle(bias_sum);
+            self.scratch.recycle(drh);
+            self.scratch.recycle(dr);
+            self.scratch.recycle(hid_tmp);
+            self.scratch.recycle(dz_raw);
+            self.scratch.recycle(dr_raw);
+            self.scratch.recycle(x);
+            self.scratch.recycle(h_prev);
+            self.scratch.recycle(z);
+            self.scratch.recycle(r);
+            self.scratch.recycle(hhat);
         }
-        self.cache.clear();
-        (dxs, dh_next)
+        let dh0 = dh_next.clone();
+        self.scratch.recycle(dh_next);
+        (dxs, dh0)
     }
 }
 

@@ -53,6 +53,16 @@ impl Linear {
     pub fn out_dim(&self) -> usize {
         self.w.cols()
     }
+
+    /// The weight matrix (`in × out`), for frozen inference views.
+    pub fn weights(&self) -> &Tensor {
+        &self.w
+    }
+
+    /// The bias row vector (`1 × out`), for frozen inference views.
+    pub fn bias(&self) -> &Tensor {
+        &self.b
+    }
 }
 
 impl Parameterized for Linear {
@@ -104,7 +114,9 @@ pub enum Activation {
 impl Activation {
     const LEAK: f32 = 0.2;
 
-    fn apply(self, x: f32) -> f32 {
+    /// Applies the activation to one element (shared by the training
+    /// layer and the frozen inference path, which must agree bitwise).
+    pub fn apply(self, x: f32) -> f32 {
         match self {
             Activation::Relu => x.max(0.0),
             Activation::LeakyRelu => {
@@ -159,6 +171,11 @@ impl ActivationLayer {
             act,
             cached_output: None,
         }
+    }
+
+    /// The wrapped activation function, for frozen inference views.
+    pub fn activation(&self) -> Activation {
+        self.act
     }
 }
 
@@ -273,6 +290,11 @@ impl Sequential {
     /// Number of nodes (layers + activations).
     pub fn depth(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// The node list, for frozen inference views over this network.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
     }
 }
 

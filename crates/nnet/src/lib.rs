@@ -21,6 +21,11 @@
 //!   plus calibrated Gaussian noise (Abadi et al., 2016);
 //! * [`serialize`]: parameter checkpointing, the mechanism behind
 //!   NetShare's fine-tuning warm starts (Insights 3 and 4);
+//! * [`infer`]: the forward-only sampling path — frozen weight views
+//!   (no grad tape), a recycling activation [`infer::Arena`], and an
+//!   optional bf16-packed weight store behind the `infer-f32` feature;
+//!   proven bitwise-equivalent to the training forward pass at default
+//!   precision;
 //! * [`sanitize`]: feature-gated (`sanitize`) runtime guards — NaN/Inf and
 //!   shape checks after kernel ops, gradient-norm explosion detection,
 //!   with layer attribution via a thread-local scope stack.
@@ -31,6 +36,7 @@
 pub mod conv;
 pub mod dpsgd;
 pub mod gru;
+pub mod infer;
 pub mod kernel;
 pub mod layers;
 pub mod loss;
@@ -42,6 +48,7 @@ pub mod tensor;
 pub use conv::Conv2d;
 pub use dpsgd::{DpSgdConfig, DpSgdTrainer};
 pub use gru::Gru;
+pub use infer::{Arena, FrozenGru, FrozenNode, FrozenSequential};
 pub use layers::{Activation, Layer, Linear, Sequential};
 pub use optim::{Adam, GradClip, Optimizer, Sgd};
 pub use tensor::Tensor;

@@ -82,6 +82,39 @@ impl Tensor {
         }
     }
 
+    /// Refills every element with standard-normal noise, drawing from
+    /// `rng` in the same element order as [`Tensor::randn`] — an
+    /// allocation-free refresh for reused latent buffers. A tensor
+    /// filled this way is bitwise-identical to a fresh
+    /// `Tensor::randn(rows, cols, rng)` from the same RNG state.
+    pub fn fill_randn<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let dist = Normal::new(0.0, 1.0).unwrap(); // lint: allow(panic-in-lib) constant (0,1) parameters are valid (lint: allow(panic-in-lib) constant (0,1) parameters are valid)
+        self.data.iter_mut().for_each(|x| *x = dist.sample(rng) as f32);
+    }
+
+    /// Refills columns `0..k` of every row with standard-normal noise,
+    /// drawing row 0's `k` values first, then row 1's, and so on — the
+    /// exact element order of `Tensor::randn(rows, k, rng)`. Lets a
+    /// latent slice live inside a wider input buffer (columns `k..` are
+    /// untouched) without perturbing the RNG stream relative to filling
+    /// a standalone `rows × k` tensor.
+    pub fn fill_randn_cols<R: Rng + ?Sized>(&mut self, k: usize, rng: &mut R) {
+        assert!(k <= self.cols, "fill_randn_cols: k out of range"); // lint: allow(panic-in-lib) caller passes a latent width <= the buffer width by construction
+        let dist = Normal::new(0.0, 1.0).unwrap(); // lint: allow(panic-in-lib) constant (0,1) parameters are valid (lint: allow(panic-in-lib) constant (0,1) parameters are valid)
+        let cols = self.cols;
+        for r in 0..self.rows {
+            self.data[r * cols..r * cols + k]
+                .iter_mut()
+                .for_each(|x| *x = dist.sample(rng) as f32);
+        }
+    }
+
+    /// Consumes the tensor, returning its backing storage (the arena
+    /// recycling path in [`crate::infer`]).
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -230,6 +263,29 @@ impl Tensor {
         out
     }
 
+    /// [`Tensor::matmul_add_bias`] into a caller-provided output buffer:
+    /// `out` is overwritten with the broadcast bias, then the GEMM
+    /// accumulates on top. Bitwise-identical to the allocating variant
+    /// (same seed-then-accumulate kernel on the same shapes) — the
+    /// inference arena path relies on that.
+    ///
+    /// # Panics
+    /// Panics on an inner-dimension, bias, or `out` shape mismatch.
+    pub fn matmul_add_bias_into(&self, other: &Tensor, bias: &Tensor, out: &mut Tensor) {
+        self.assert_matmul_dims(other);
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, other.cols, "bias width mismatch");
+        assert_eq!(out.shape(), (self.rows, other.cols), "matmul_add_bias_into shape mismatch");
+        for r in 0..self.rows {
+            out.data[r * other.cols..(r + 1) * other.cols].copy_from_slice(&bias.data);
+        }
+        kernel::gemm_auto(
+            self.rows, self.cols, other.cols,
+            &self.data, &other.data, &mut out.data,
+        );
+        sanitize::check_finite("matmul_add_bias", &out.data);
+    }
+
     /// Fused `acc += self · other`, accumulating straight into an
     /// existing tensor (gradient buffers) without a temporary.
     ///
@@ -296,6 +352,24 @@ impl Tensor {
         );
         sanitize::check_finite("matmul_t", &out.data);
         out
+    }
+
+    /// Fused `acc += self · otherᵀ`: on a zeroed `acc` this is
+    /// bitwise-identical to [`Tensor::matmul_t`] (which also starts
+    /// from zeros), letting the BPTT scratch-buffer path reuse storage
+    /// without changing any rounding.
+    ///
+    /// # Panics
+    /// Panics on a dimension mismatch with `acc`.
+    pub fn matmul_t_acc(&self, other: &Tensor, acc: &mut Tensor) {
+        assert_eq!(self.cols, other.cols, "matmul_t col mismatch");
+        sanitize::check_shape("matmul_t_acc", (self.rows, other.rows), acc.shape());
+        assert_eq!(acc.shape(), (self.rows, other.rows), "matmul_t_acc shape mismatch");
+        kernel::gemm_nt_auto(
+            self.rows, self.cols, other.rows,
+            &self.data, &other.data, &mut acc.data,
+        );
+        sanitize::check_finite("matmul_t_acc", &acc.data);
     }
 
     /// `self · otherᵀ` on the naive reference kernel (independent dot
@@ -366,6 +440,19 @@ impl Tensor {
         }
     }
 
+    /// Element-wise product into a caller-provided buffer (overwritten).
+    /// Same multiplications in the same order as [`Tensor::hadamard`].
+    ///
+    /// # Panics
+    /// Panics on any shape mismatch.
+    pub fn hadamard_into(&self, other: &Tensor, out: &mut Tensor) {
+        assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
+        assert_eq!(self.shape(), out.shape(), "hadamard_into out shape mismatch");
+        for i in 0..self.data.len() {
+            out.data[i] = self.data[i] * other.data[i];
+        }
+    }
+
     /// Applies `f` element-wise into a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         Tensor {
@@ -395,6 +482,22 @@ impl Tensor {
             }
         }
         out
+    }
+
+    /// Column-wise sum into a caller-provided `1 × cols` row vector
+    /// (overwritten, then accumulated row by row — the same addition
+    /// order as [`Tensor::sum_rows`], so results are bitwise-equal).
+    ///
+    /// # Panics
+    /// Panics if `out` is not `1 × self.cols`.
+    pub fn sum_rows_into(&self, out: &mut Tensor) {
+        assert_eq!(out.shape(), (1, self.cols), "sum_rows_into shape mismatch");
+        out.data.iter_mut().for_each(|x| *x = 0.0);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c] += self.data[r * self.cols + c];
+            }
+        }
     }
 
     /// Mean of all elements (0 for an empty tensor).

@@ -1,0 +1,172 @@
+//! Property suite for the inference activation arena.
+//!
+//! Three invariants, over arbitrary `(batch, hidden, seq_len)` shapes:
+//!
+//! 1. **Warm-up saturation** — after one full GRU sequence pass, further
+//!    passes of the same shape never allocate: every `take_*` is served
+//!    from the pool.
+//! 2. **No aliasing** — buffers held simultaneously (e.g. the per-stream
+//!    hidden states of a batched sampler) occupy disjoint storage.
+//! 3. **Clean reset** — recycling returns storage to the pool intact and
+//!    zero-initialised on the next take, so a warm arena is
+//!    indistinguishable from a cold one in results.
+
+use nnet::infer::Arena;
+use nnet::{Gru, Tensor};
+use proptest::prelude::*;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Runs `steps` frozen-GRU steps, recycling each previous hidden state,
+/// and returns the final hidden state (recycled before returning).
+fn run_sequence(gru: &Gru, arena: &mut Arena, batch: usize, input_dim: usize, steps: usize) {
+    let frozen = gru.freeze();
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut x = arena.take_zeroed(batch, input_dim);
+    let mut h = arena.take_zeroed(batch, frozen.hidden_dim());
+    for _ in 0..steps {
+        x.fill_randn(&mut rng);
+        let next = frozen.step(&x, &h, arena);
+        arena.recycle(std::mem::replace(&mut h, next));
+    }
+    arena.recycle(x);
+    arena.recycle(h);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Invariant 1: a warmed arena serves a same-shape pass entirely from
+    /// the pool — the alloc counter does not move.
+    #[test]
+    fn warm_arena_never_reallocates(
+        batch in 1usize..8,
+        input_dim in 1usize..6,
+        hidden in 1usize..10,
+        steps in 1usize..12,
+    ) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let gru = Gru::new(input_dim, hidden, &mut rng);
+        let mut arena = Arena::new();
+
+        run_sequence(&gru, &mut arena, batch, input_dim, steps);
+        let warm_allocs = arena.allocs();
+        prop_assert!(warm_allocs > 0, "cold pass must allocate");
+
+        for round in 0..3 {
+            run_sequence(&gru, &mut arena, batch, input_dim, steps);
+            prop_assert_eq!(
+                arena.allocs(), warm_allocs,
+                "pass {} of a warmed arena allocated", round + 2
+            );
+        }
+        prop_assert!(arena.reuses() > 0);
+    }
+
+    /// Invariant 2: tensors held at the same time never share storage —
+    /// one stream's state cannot bleed into another's.
+    #[test]
+    fn live_buffers_never_alias(
+        shapes in prop::collection::vec((1usize..6, 1usize..8), 2..10),
+    ) {
+        let mut arena = Arena::new();
+        // Warm the pool so later takes are reuses, the interesting case.
+        let warm: Vec<Tensor> = shapes
+            .iter()
+            .map(|&(r, c)| arena.take_zeroed(r, c))
+            .collect();
+        for t in warm {
+            arena.recycle(t);
+        }
+
+        let live: Vec<Tensor> = shapes
+            .iter()
+            .map(|&(r, c)| arena.take_zeroed(r, c))
+            .collect();
+        for i in 0..live.len() {
+            for j in (i + 1)..live.len() {
+                let (a, b) = (live[i].data(), live[j].data());
+                let (astart, aend) = (a.as_ptr() as usize, a.as_ptr() as usize + a.len() * 4);
+                let (bstart, bend) = (b.as_ptr() as usize, b.as_ptr() as usize + b.len() * 4);
+                prop_assert!(
+                    aend <= bstart || bend <= astart,
+                    "buffers {} and {} overlap", i, j
+                );
+            }
+        }
+    }
+
+    /// Invariant 3: recycle returns storage to the pool, and the next
+    /// same-shape take is a zeroed reuse — a warm arena computes the same
+    /// bytes as a cold one.
+    #[test]
+    fn recycle_resets_cleanly(
+        batch in 1usize..8,
+        input_dim in 1usize..6,
+        hidden in 1usize..10,
+        steps in 1usize..10,
+    ) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let gru = Gru::new(input_dim, hidden, &mut rng);
+        let frozen = gru.freeze();
+
+        let run = |arena: &mut Arena| -> Tensor {
+            let mut step_rng = StdRng::seed_from_u64(21);
+            let mut x = arena.take_zeroed(batch, input_dim);
+            let mut h = arena.take_zeroed(batch, hidden);
+            for _ in 0..steps {
+                x.fill_randn(&mut step_rng);
+                let next = frozen.step(&x, &h, arena);
+                arena.recycle(std::mem::replace(&mut h, next));
+            }
+            arena.recycle(x);
+            h
+        };
+
+        let mut cold = Arena::new();
+        let reference = run(&mut cold);
+
+        // Dirty a warm arena with unrelated garbage values, then recycle.
+        let mut warm = Arena::new();
+        let mut junk = warm.take_zeroed(batch.max(2), hidden.max(input_dim));
+        junk.fill(f32::MAX / 2.0);
+        warm.recycle(junk);
+        let first = run(&mut warm);
+        warm.recycle(first);
+        prop_assert!(warm.pooled() > 0, "recycled buffers must reach the pool");
+
+        let again = run(&mut warm);
+        prop_assert_eq!(
+            reference.data(), again.data(),
+            "warm arena diverged from cold arena"
+        );
+        warm.recycle(again);
+    }
+
+    /// The frozen MLP path obeys the same warm-up property as the GRU.
+    #[test]
+    fn frozen_sequential_warm_passes_are_alloc_free(
+        rows in 1usize..8,
+        in_dim in 1usize..6,
+        hid in 1usize..8,
+        out_dim in 1usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = nnet::Sequential::mlp(
+            in_dim, &[hid], out_dim, nnet::Activation::Relu, &mut rng,
+        );
+        let frozen = nnet::infer::FrozenSequential::of(&net).unwrap();
+        let mut arena = Arena::new();
+        let mut input = Tensor::zeros(rows, in_dim);
+        input.fill_randn(&mut rng);
+
+        let out = frozen.forward(&input, &mut arena);
+        arena.recycle(out);
+        let warm_allocs = arena.allocs();
+        for _ in 0..3 {
+            let out = frozen.forward(&input, &mut arena);
+            arena.recycle(out);
+            prop_assert_eq!(arena.allocs(), warm_allocs);
+        }
+    }
+}

@@ -143,6 +143,17 @@ echo "cargo doc: warning-free"
 # build and their trip tests (layer attribution, hook delivery) must pass.
 cargo test -q -p nnet --features sanitize
 
+# Inference-path gate: the frozen arena-backed sampler must stay
+# bitwise-equal to the training-graph sampler (the default-precision
+# contract `sample_fast` ships under), and the bf16 packed-weight path
+# (`infer-f32`) must build and hold its documented tolerance. The two
+# feature runs are separate commands so a feature-gate typo in either
+# crate fails loudly rather than being masked by unification.
+cargo test -q -p doppelganger --test infer_equiv
+cargo test -q -p nnet --features infer-f32
+cargo test -q -p doppelganger --features infer-f32
+echo "infer: equivalence suite green (default + infer-f32)"
+
 # Telemetry-off gate: building the instrumented crates in isolation keeps
 # the workspace-default `telemetry` feature out of the graph, proving the
 # no-op twins (zero-sized guards, empty inline bodies) still compile and
