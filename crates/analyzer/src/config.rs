@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::path::Path;
 
-/// The nine shipped rules.
+/// The ten shipped rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum RuleId {
     /// `HashMap`/`HashSet` in determinism-critical crates: unordered
@@ -39,11 +39,18 @@ pub enum RuleId {
     /// per timestep per batch; hoist the buffer before the loop or take
     /// it from a preallocated `nnet::infer::Arena`.
     AllocInStepLoop,
+    /// Raw socket accept/read calls (`.accept(`, `.read_exact(`) in
+    /// files not tagged with the `lint: io-boundary` marker. Socket I/O
+    /// belongs in `netshared`'s sanctioned modules, whose read/write
+    /// loops poll the session `CancelToken` and resume across timeouts;
+    /// an untagged accept or `read_exact` loop blocks uninterruptibly
+    /// and is invisible to drain/eviction.
+    BlockingAcceptLoop,
 }
 
 impl RuleId {
     /// Every rule, in catalogue order.
-    pub const ALL: [RuleId; 9] = [
+    pub const ALL: [RuleId; 10] = [
         RuleId::NondeterministicIteration,
         RuleId::AmbientEntropy,
         RuleId::DpBoundary,
@@ -53,6 +60,7 @@ impl RuleId {
         RuleId::TelemetryClock,
         RuleId::UnboundedWait,
         RuleId::AllocInStepLoop,
+        RuleId::BlockingAcceptLoop,
     ];
 
     /// The kebab-case name used in diagnostics, waivers, and CLI flags.
@@ -67,6 +75,7 @@ impl RuleId {
             RuleId::TelemetryClock => "telemetry-clock",
             RuleId::UnboundedWait => "unbounded-wait",
             RuleId::AllocInStepLoop => "alloc-in-step-loop",
+            RuleId::BlockingAcceptLoop => "blocking-accept-loop",
         }
     }
 
@@ -98,6 +107,9 @@ impl RuleId {
             }
             RuleId::AllocInStepLoop => {
                 "Vec::new / vec![] / Tensor::zeros inside a `lint: step-loop`-tagged hot loop (hoist or use nnet::infer::Arena)"
+            }
+            RuleId::BlockingAcceptLoop => {
+                "raw .accept( / .read_exact( outside `lint: io-boundary`-tagged modules (use netshared::protocol's interruptible I/O)"
             }
         }
     }
@@ -176,6 +188,10 @@ pub struct Config {
     pub dp_banned: Vec<String>,
     /// Marker that tags a file as a post-noise consumer.
     pub dp_marker: String,
+    /// Marker that tags a file as a sanctioned socket I/O boundary
+    /// (exempting it from `blocking-accept-loop`). Must open the
+    /// comment, so prose merely mentioning the marker does not tag.
+    pub io_marker: String,
     /// Path prefixes skipped entirely (intentionally-violating fixtures).
     pub exempt_paths: Vec<String>,
     /// Per-rule severity.
@@ -233,6 +249,7 @@ impl Default for Config {
                 .map(String::from)
                 .to_vec(),
             dp_marker: "lint: dp-post-noise".to_string(),
+            io_marker: "lint: io-boundary".to_string(),
             exempt_paths: ["crates/analyzer/tests/fixtures/"].map(String::from).to_vec(),
             severities,
         }

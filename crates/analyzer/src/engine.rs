@@ -52,6 +52,15 @@ pub fn lint_source(meta: &FileMeta, cfg: &Config, src: &str) -> Vec<Diagnostic> 
     let waivers = parse_waivers(&lexed);
     let test_regions = test_regions(&lexed.toks);
     let dp_tagged = lexed.comments.iter().any(|c| c.text.contains(&cfg.dp_marker));
+    // The io tag must open its comment, like the step-loop tag: prose
+    // that merely mentions the marker does not sanction socket I/O. The
+    // lexer strips `//` framing but leaves the doc-comment `!`.
+    let io_tagged = lexed.comments.iter().any(|c| {
+        c.text
+            .trim_start_matches('!')
+            .trim_start()
+            .starts_with(&cfg.io_marker)
+    });
 
     let mut out = Vec::new();
     let ctx = Ctx {
@@ -61,6 +70,7 @@ pub fn lint_source(meta: &FileMeta, cfg: &Config, src: &str) -> Vec<Diagnostic> 
         lines: &lines,
         test_regions: &test_regions,
         dp_tagged,
+        io_tagged,
     };
     rule_nondeterministic_iteration(&ctx, &mut out);
     rule_ambient_entropy(&ctx, &mut out);
@@ -71,6 +81,7 @@ pub fn lint_source(meta: &FileMeta, cfg: &Config, src: &str) -> Vec<Diagnostic> 
     rule_telemetry_clock(&ctx, &mut out);
     rule_unbounded_wait(&ctx, &mut out);
     rule_alloc_in_step_loop(&ctx, &lexed, &mut out);
+    rule_blocking_accept_loop(&ctx, &mut out);
 
     for d in &mut out {
         if let Some(w) = waivers.iter().find(|w| w.rule == d.rule && w.covers == d.line) {
@@ -90,6 +101,7 @@ struct Ctx<'a> {
     lines: &'a [&'a str],
     test_regions: &'a [(u32, u32)],
     dp_tagged: bool,
+    io_tagged: bool,
 }
 
 impl Ctx<'_> {
@@ -621,6 +633,55 @@ fn rule_alloc_in_step_loop(ctx: &Ctx, lexed: &Lexed, out: &mut Vec<Diagnostic>) 
     }
 }
 
+/// Rule 10 — `blocking-accept-loop`.
+///
+/// Flags `.accept(` and `.read_exact(` method calls in files that do not
+/// open a comment with the `lint: io-boundary` marker. Both block with no
+/// cancellation point: an accept loop outside `netshared::server` cannot
+/// be stopped by drain, and a `read_exact` outside `netshared::protocol`
+/// loses partially-read bytes on timeout and never polls the session
+/// token. The sanctioned modules declare themselves with the tag (and
+/// keep their loops interruptible); everything else routes socket I/O
+/// through them. Tests, benches, and examples may drive sockets raw.
+fn rule_blocking_accept_loop(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
+    if ctx.meta.is_shim || ctx.io_tagged || ctx.is_test_like() {
+        return;
+    }
+    let toks = ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let is_method_call = i > 0
+            && toks[i - 1].text == "."
+            && toks.get(i + 1).is_some_and(|n| n.text == "(");
+        let offense = match t.text.as_str() {
+            "accept" if is_method_call => {
+                Some("`.accept()` blocks outside the sanctioned accept loop")
+            }
+            "read_exact" if is_method_call => {
+                Some("`.read_exact()` blocks and loses partial reads on timeout")
+            }
+            _ => None,
+        };
+        let Some(why) = offense else { continue };
+        if ctx.in_test_region(t.line) {
+            continue;
+        }
+        ctx.emit(
+            out,
+            RuleId::BlockingAcceptLoop,
+            t.line,
+            format!(
+                "{why}; socket I/O belongs in a `lint: io-boundary`-tagged \
+                 module — route frames through `netshared::protocol`'s \
+                 interruptible read/write loops"
+            ),
+            None,
+        );
+    }
+}
+
 /// Token-index variant of [`brace_span`]: from `from`, finds the first
 /// `{` and returns `(open_idx, close_idx)` of its matching brace
 /// (EOF-tolerant: unclosed braces span to the last token).
@@ -840,6 +901,32 @@ mod tests {
         // form — only the three literal constructors are flagged.
         let src = "fn f() {\n    // lint: step-loop\n    for t in 0..n {\n        let z = arena.take_zeroed(2, 3);\n        let next = frozen.step(&x, &h, arena);\n    }\n}\n";
         assert!(lint_as("crates/nnet/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn blocking_accept_loop_needs_the_io_boundary_tag() {
+        let src = "fn serve(l: &TcpListener, s: &mut TcpStream) {\n    let (sock, _) = l.accept().ok();\n    s.read_exact(&mut buf).ok();\n}\n";
+        assert_eq!(
+            rules(&lint_as("crates/core/src/x.rs", src)),
+            vec![
+                (RuleId::BlockingAcceptLoop, 2, false),
+                (RuleId::BlockingAcceptLoop, 3, false),
+            ]
+        );
+        // An opening io-boundary tag sanctions the whole file.
+        let tagged = format!("//! lint: io-boundary — owns the accept loop\n{src}");
+        assert!(lint_as("crates/netshared/src/x.rs", &tagged).is_empty());
+        // Prose mentioning the marker mid-comment does not tag.
+        let prose = format!("//! see the `lint: io-boundary` convention\n{src}");
+        assert_eq!(rules(&lint_as("crates/core/src/x.rs", &prose)).len(), 2);
+        // Tests, shims, and test regions may drive sockets raw; bins may not.
+        assert!(lint_as("crates/netshared/tests/t.rs", src).is_empty());
+        assert!(lint_as("shims/rand/src/lib.rs", src).is_empty());
+        assert_eq!(rules(&lint_as("crates/core/src/bin/cli.rs", src)).len(), 2);
+        let in_tests = "#[cfg(test)]\nmod tests {\n    fn t(l: &TcpListener) { l.accept().ok(); }\n}\n";
+        assert!(lint_as("crates/core/src/x.rs", in_tests).is_empty());
+        // Non-call identifiers sharing the names are fine.
+        assert!(lint_as("crates/core/src/x.rs", "fn accept() {}\nlet read_exact = 3;\n").is_empty());
     }
 
     #[test]

@@ -70,6 +70,7 @@ fn every_rule_trips_on_its_fixture() {
         ("telemetry_clock.rs", "orchestrator", "telemetry-clock", 2, 1),
         ("unbounded_wait.rs", "orchestrator", "unbounded-wait", 3, 1),
         ("alloc_in_step_loop.rs", "nnet", "alloc-in-step-loop", 3, 1),
+        ("blocking_accept_loop.rs", "core", "blocking-accept-loop", 3, 1),
     ];
     for &(name, as_crate, rule, deny, waived) in cases {
         let (code, json) = lint_fixture_json(name, as_crate);
@@ -195,6 +196,7 @@ fn list_rules_names_every_rule() {
         "telemetry-clock",
         "unbounded-wait",
         "alloc-in-step-loop",
+        "blocking-accept-loop",
     ] {
         assert!(stdout.contains(rule), "missing {rule}: {stdout}");
     }

@@ -1,0 +1,33 @@
+//! Fixture: raw socket accept/read calls outside the sanctioned
+//! io-boundary modules.
+//!
+//! Three deny findings (two `.accept(` calls, one `.read_exact(`) and
+//! one waived accept. This header mentions the marker name only in
+//! prose, which must NOT tag the file: `lint: io-boundary` sanctions a
+//! file only when it opens a comment.
+
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+
+pub fn accept_loop(listener: &TcpListener) {
+    while let Ok((sock, _)) = listener.accept() {
+        drop(sock);
+    }
+}
+
+pub fn accept_once(listener: &TcpListener) -> std::io::Result<TcpStream> {
+    let (sock, _) = listener.accept()?;
+    Ok(sock)
+}
+
+pub fn read_header(sock: &mut TcpStream) -> std::io::Result<[u8; 4]> {
+    let mut buf = [0u8; 4];
+    sock.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+pub fn migration_shim(listener: &TcpListener) -> std::io::Result<TcpStream> {
+    // lint: allow(blocking-accept-loop) legacy path, removed once callers move to netshared::Server
+    let (sock, _) = listener.accept()?;
+    Ok(sock)
+}

@@ -1,135 +1,9 @@
 //! The serializable product of one training job.
 //!
-//! An artifact captures everything [`NetShare`](crate::NetShare) needs
-//! from a trained chunk model: generator + discriminator parameters, the
-//! sampler RNG's raw state, and the chunk's DP accounting. Both the live
-//! path and the resume path rebuild models *from artifacts* — one shared
-//! path is what makes a resumed run bitwise identical to an
-//! uninterrupted one.
+//! [`ModelArtifact`] lives in the `doppelganger` crate since PR 7 (the
+//! serving daemon `netshared` loads artifacts without depending on the
+//! full pipeline crate); this module re-exports it so existing
+//! `netshare::ModelArtifact` users keep working. [`ArtifactBundle`] adds
+//! the config + name so a single file is enough to rebuild a sampler.
 
-use doppelganger::{DgConfig, DoppelGanger};
-use nnet::serialize::Checkpoint;
-use nnet::Parameterized;
-use serde::{Deserialize, Serialize};
-
-/// A trained chunk model in portable form.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct ModelArtifact {
-    /// Generator parameters.
-    pub gen: Checkpoint,
-    /// Discriminator-pair parameters.
-    pub disc: Checkpoint,
-    /// xoshiro256++ sampler state, length 4 (a `Vec` because the serde
-    /// shim has no fixed-size array impls). Restoring it makes the rebuilt
-    /// model continue the exact sample stream the trained model would.
-    pub rng_state: Vec<u64>,
-    /// `(sampling rate q, DP-SGD steps)` for the privacy accountant;
-    /// `None` outside DP mode (and for the pretrain artifact).
-    pub dp_rate: Option<(f64, u64)>,
-}
-
-impl ModelArtifact {
-    /// Captures a trained model.
-    pub fn capture(model: &DoppelGanger, dp_rate: Option<(f64, u64)>) -> Self {
-        let (gen, disc) = model.checkpoint();
-        ModelArtifact {
-            gen,
-            disc,
-            rng_state: model.rng_state().to_vec(),
-            dp_rate,
-        }
-    }
-
-    /// Rebuilds a sampling-ready model under `cfg` (which must describe
-    /// the same architecture the artifact was trained with). Fails with a
-    /// message instead of panicking so a stale on-disk artifact surfaces
-    /// as an orchestrator error, not a crash.
-    pub fn rebuild(&self, cfg: DgConfig) -> Result<DoppelGanger, String> {
-        let mut model = DoppelGanger::new(cfg);
-        check_shapes("generator", &model.gen, &self.gen)?;
-        check_shapes("discriminator", &model.disc, &self.disc)?;
-        let state: [u64; 4] = self
-            .rng_state
-            .as_slice()
-            .try_into()
-            .map_err(|_| format!("artifact rng state has {} words, want 4", self.rng_state.len()))?;
-        model.restore(&(self.gen.clone(), self.disc.clone()));
-        model.set_rng_state(state);
-        Ok(model)
-    }
-}
-
-fn check_shapes(what: &str, model: &dyn Parameterized, ckpt: &Checkpoint) -> Result<(), String> {
-    let params = model.parameters();
-    if params.len() != ckpt.tensors.len() {
-        return Err(format!(
-            "artifact {what} has {} tensors, model wants {}",
-            ckpt.tensors.len(),
-            params.len()
-        ));
-    }
-    for (i, (p, t)) in params.iter().zip(&ckpt.tensors).enumerate() {
-        if p.shape() != t.shape() {
-            return Err(format!(
-                "artifact {what} tensor {i} shape {:?} != model shape {:?}",
-                t.shape(),
-                p.shape()
-            ));
-        }
-    }
-    Ok(())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use doppelganger::FeatureSpec;
-
-    fn toy_cfg() -> DgConfig {
-        let mut cfg = DgConfig::small(
-            FeatureSpec::continuous(2),
-            FeatureSpec::continuous(1),
-            3,
-        );
-        cfg.meta_hidden = vec![8];
-        cfg.rnn_hidden = 6;
-        cfg.head_hidden = vec![6];
-        cfg.disc_hidden = vec![8];
-        cfg.aux_hidden = vec![6];
-        cfg
-    }
-
-    #[test]
-    fn capture_rebuild_round_trips_bitwise() {
-        let model = DoppelGanger::new(toy_cfg());
-        let art = ModelArtifact::capture(&model, Some((0.5, 12)));
-        let rebuilt = art.rebuild(toy_cfg()).unwrap();
-        for (a, b) in model.gen.parameters().iter().zip(rebuilt.gen.parameters()) {
-            assert_eq!(a.data(), b.data());
-        }
-        assert_eq!(model.rng_state(), rebuilt.rng_state());
-        assert_eq!(art.dp_rate, Some((0.5, 12)));
-    }
-
-    #[test]
-    fn artifact_survives_json_bitwise() {
-        let model = DoppelGanger::new(toy_cfg());
-        let art = ModelArtifact::capture(&model, None);
-        let json = serde_json::to_string(&art).unwrap();
-        let back: ModelArtifact = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, art, "f32 params and u64 rng state must round-trip exactly");
-    }
-
-    #[test]
-    fn rebuild_rejects_wrong_architecture() {
-        let model = DoppelGanger::new(toy_cfg());
-        let art = ModelArtifact::capture(&model, None);
-        let mut other = toy_cfg();
-        other.rnn_hidden = 5;
-        assert!(art.rebuild(other).is_err());
-
-        let mut bad_rng = art.clone();
-        bad_rng.rng_state.pop();
-        assert!(bad_rng.rebuild(toy_cfg()).is_err());
-    }
-}
+pub use doppelganger::{ArtifactBundle, ModelArtifact};

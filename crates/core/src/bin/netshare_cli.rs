@@ -5,6 +5,13 @@
 //! ```text
 //! netshare_cli synth-flows   real.csv  synthetic.csv  [options]
 //! netshare_cli synth-packets real.pcap synthetic.pcap [options]
+//! netshare_cli pull          host:port artifact       [pull options]
+//!
+//! pull options (client of the `netshared` streaming daemon):
+//!   --count <N>        samples to pull (default 100)
+//!   --credit <C>       DATA-frame flow-control window (default 4)
+//!   --out <file>       write samples as JSONL there (default: stdout)
+//!   --metrics-out <f>  write the telemetry metrics snapshot (JSON) there
 //!
 //! options:
 //!   --n <count>        records/packets to generate (default: input size)
@@ -55,7 +62,9 @@ fn usage() -> ExitCode {
         "usage: netshare_cli <synth-flows|synth-packets> <input> <output> \
          [--n N] [--chunks M] [--steps S] [--labels] [--dp SIGMA] [--private-ips] [--seed U64] \
          [--workers W] [--ckpt-dir DIR] [--resume] [--retries R] [--max-job-secs S] \
-         [--keep-generations K] [--rollback-budget B] [--metrics-out FILE]"
+         [--keep-generations K] [--rollback-budget B] [--metrics-out FILE]\n\
+         \x20      netshare_cli pull <host:port> <artifact> \
+         [--count N] [--credit C] [--out FILE] [--metrics-out FILE]"
     );
     ExitCode::from(2)
 }
@@ -161,18 +170,72 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(Options { n, cfg, private_ips, metrics_out })
 }
 
+/// A `pull` invocation: stream samples from a running `netshared` daemon.
+struct PullArgs {
+    addr: String,
+    artifact: String,
+    count: u64,
+    credit: u32,
+    out: Option<std::path::PathBuf>,
+    metrics_out: Option<std::path::PathBuf>,
+}
+
+fn parse_pull_options(addr: &str, artifact: &str, args: &[String]) -> Result<PullArgs, String> {
+    let mut pull = PullArgs {
+        addr: addr.to_string(),
+        artifact: artifact.to_string(),
+        count: 100,
+        credit: 4,
+        out: None,
+        metrics_out: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--count" => {
+                pull.count = value("--count")?.parse().map_err(|e| format!("--count: {e}"))?
+            }
+            "--credit" => {
+                pull.credit = value("--credit")?.parse().map_err(|e| format!("--credit: {e}"))?
+            }
+            "--out" => pull.out = Some(value("--out")?.into()),
+            "--metrics-out" => pull.metrics_out = Some(value("--metrics-out")?.into()),
+            other => return Err(format!("unknown pull option {other}")),
+        }
+    }
+    if pull.credit == 0 {
+        return Err("--credit must be at least 1".into());
+    }
+    Ok(pull)
+}
+
+/// One validated invocation: local synthesis or a daemon pull.
+enum Command {
+    Synth { mode: String, input: String, output: String, opts: Box<Options> },
+    Pull(PullArgs),
+}
+
 /// Full command-line validation: arity, mode, and options. Everything
 /// wrong here is the *caller's* invocation, not a runtime failure.
-fn parse_args(args: &[String]) -> Result<(String, String, String, Options), UsageError> {
+fn parse_args(args: &[String]) -> Result<Command, UsageError> {
     if args.len() < 3 {
         return Err(UsageError("missing arguments".into()));
     }
     let mode = args[0].clone();
+    if mode == "pull" {
+        let pull = parse_pull_options(&args[1], &args[2], &args[3..]).map_err(UsageError)?;
+        return Ok(Command::Pull(pull));
+    }
     if mode != "synth-flows" && mode != "synth-packets" {
         return Err(UsageError(format!("unknown mode {mode}")));
     }
     let opts = parse_options(&args[3..]).map_err(UsageError)?;
-    Ok((mode, args[1].clone(), args[2].clone(), opts))
+    Ok(Command::Synth { mode, input: args[1].clone(), output: args[2].clone(), opts: Box::new(opts) })
 }
 
 /// How a valid invocation failed, mapped onto the exit-code taxonomy:
@@ -252,17 +315,79 @@ fn run(mode: &str, input: &str, output: &str, opts: &Options) -> Result<(), RunE
     Ok(())
 }
 
+/// Streams `count` samples from a `netshared` daemon and writes them as
+/// JSONL (one [`doppelganger::GeneratedSample`] per line).
+fn run_pull(args: &PullArgs) -> Result<(), RunError> {
+    let cfg = netshared::PullConfig {
+        addr: args.addr.clone(),
+        artifact: args.artifact.clone(),
+        count: args.count,
+        credit: args.credit,
+        peer: "netshare_cli".to_string(),
+    };
+    let token = orchestrator::CancelToken::new();
+    let result = netshared::pull(&cfg, &token).map_err(RunError::Runtime)?;
+    let mut lines = String::new();
+    for sample in &result.samples {
+        let line = serde_json::to_string(sample)
+            .map_err(|e| RunError::Runtime(format!("encode sample: {e}")))?;
+        lines.push_str(&line);
+        lines.push('\n');
+    }
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, lines)
+                .map_err(|e| RunError::Runtime(format!("write {}: {e}", path.display())))?;
+            eprintln!(
+                "pulled {} samples ({} frames) of {:?} from {} to {}",
+                result.samples.len(),
+                result.frames,
+                args.artifact,
+                args.addr,
+                path.display(),
+            );
+        }
+        None => {
+            print!("{lines}");
+            eprintln!(
+                "pulled {} samples ({} frames) of {:?} from {}",
+                result.samples.len(),
+                result.frames,
+                args.artifact,
+                args.addr,
+            );
+        }
+    }
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, telemetry::metrics::snapshot_json())
+            .map_err(|e| RunError::Runtime(format!("write {}: {e}", path.display())))?;
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Bad invocations get the usage text and exit 2; failures of a valid
     // invocation (unreadable input, training error) exit 1 without the
     // usage noise — scripts can tell "fix the command" from "fix the run".
-    let (mode, input, output, opts) = match parse_args(&args) {
+    let command = match parse_args(&args) {
         Ok(parsed) => parsed,
         Err(UsageError(e)) => {
             eprintln!("error: {e}");
             return usage();
         }
+    };
+    let (mode, input, output, opts) = match command {
+        Command::Pull(pull) => {
+            return match run_pull(&pull) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(RunError::Runtime(e)) | Err(RunError::Training(e)) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        Command::Synth { mode, input, output, opts } => (mode, input, output, opts),
     };
     match run(&mode, &input, &output, &opts) {
         Ok(()) => ExitCode::SUCCESS,
@@ -388,5 +513,44 @@ mod tests {
         assert!(parse_args(&a(&["bogus-mode", "in", "out"])).is_err());
         assert!(parse_args(&a(&["synth-flows", "in", "out"])).is_ok());
         assert!(parse_args(&a(&["synth-packets", "in", "out", "--seed", "1"])).is_ok());
+    }
+
+    fn pull(args: &[&str]) -> Result<PullArgs, String> {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        match parse_args(&argv) {
+            Ok(Command::Pull(p)) => Ok(p),
+            Ok(_) => Err("parsed as synth".into()),
+            Err(UsageError(e)) => Err(e),
+        }
+    }
+
+    #[test]
+    fn pull_mode_parses_defaults_and_flags() {
+        let p = pull(&["pull", "127.0.0.1:7464", "ugr16"]).unwrap();
+        assert_eq!(p.addr, "127.0.0.1:7464");
+        assert_eq!(p.artifact, "ugr16");
+        assert_eq!(p.count, 100);
+        assert_eq!(p.credit, 4);
+        assert!(p.out.is_none() && p.metrics_out.is_none());
+
+        let p = pull(&[
+            "pull", "localhost:9", "caida",
+            "--count", "250", "--credit", "8",
+            "--out", "/tmp/s.jsonl", "--metrics-out", "/tmp/m.json",
+        ])
+        .unwrap();
+        assert_eq!(p.count, 250);
+        assert_eq!(p.credit, 8);
+        assert_eq!(p.out.as_deref(), Some(std::path::Path::new("/tmp/s.jsonl")));
+        assert_eq!(p.metrics_out.as_deref(), Some(std::path::Path::new("/tmp/m.json")));
+    }
+
+    #[test]
+    fn pull_mode_rejects_bad_invocations() {
+        assert!(pull(&["pull", "addr"]).is_err(), "artifact is required");
+        assert!(pull(&["pull", "addr", "a", "--count"]).is_err(), "value required");
+        assert!(pull(&["pull", "addr", "a", "--count", "many"]).is_err());
+        assert!(pull(&["pull", "addr", "a", "--credit", "0"]).is_err(), "zero window");
+        assert!(pull(&["pull", "addr", "a", "--seed", "1"]).is_err(), "synth-only flag");
     }
 }

@@ -41,7 +41,7 @@ pub mod pipeline;
 pub mod postprocess;
 pub mod tuplecodec;
 
-pub use artifact::ModelArtifact;
+pub use artifact::{ArtifactBundle, ModelArtifact};
 pub use config::{DpOptions, DpPretrainSource, NetShareConfig, OrchestratorOptions};
 pub use pipeline::{parse_divergence_spec, NetShare, PipelineError, SamplePath};
 

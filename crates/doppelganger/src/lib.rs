@@ -28,16 +28,18 @@
 //!   data), turning the trained generator into a DP mechanism whose ε the
 //!   `privacy` crate accounts.
 
+pub mod artifact;
 pub mod data;
 pub mod sentinel;
 pub mod model;
 pub mod spec;
 pub mod train;
 
+pub use artifact::{ArtifactBundle, ModelArtifact};
 pub use data::TimeSeriesDataset;
 pub use sentinel::{Rollback, SentinelConfig, TrainAbort, TrainControl};
 #[cfg(feature = "infer-f32")]
 pub use model::PackedGenerator;
 pub use model::{DgDiscriminators, DgGenerator, FrozenGenerator, GeneratedBatch};
 pub use spec::{FeatureSpec, Segment};
-pub use train::{DgConfig, DgLoss, DoppelGanger, GeneratedSample, TrainStats};
+pub use train::{DgConfig, DgLoss, DoppelGanger, GeneratedSample, SampleCursor, TrainStats};

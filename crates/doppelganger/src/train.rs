@@ -15,9 +15,10 @@ use nnet::optim::{clip_weights, Adam, GradClip, Optimizer};
 use nnet::serialize::Checkpoint;
 use nnet::{Layer, Parameterized};
 use rand::prelude::*;
+use serde::{Deserialize, Serialize};
 
 /// GAN objective for the DoppelGANger critics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DgLoss {
     /// Wasserstein with weight clipping — the substitution for the
     /// original's WGAN-GP (see DESIGN.md §1).
@@ -29,7 +30,12 @@ pub enum DgLoss {
 }
 
 /// Hyper-parameters of a DoppelGANger instance.
-#[derive(Debug, Clone)]
+///
+/// Serializable so a config can travel with a trained
+/// [`ModelArtifact`](crate::artifact::ModelArtifact) inside an
+/// [`ArtifactBundle`](crate::artifact::ArtifactBundle) — the on-disk unit
+/// the `netshared` serving daemon loads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DgConfig {
     /// Metadata feature layout.
     pub meta_spec: FeatureSpec,
@@ -130,7 +136,12 @@ pub struct DoppelGanger {
 }
 
 /// One decoded generated sample.
-#[derive(Debug, Clone)]
+///
+/// Serializable because this is also the unit the `netshared` streaming
+/// protocol ships over the wire (`DATA` frame payloads); the JSON round
+/// trip is exact for every finite `f32`, so streamed samples compare
+/// bitwise-equal to locally generated ones.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GeneratedSample {
     /// Hardened metadata (categorical segments are exact one-hots).
     pub meta: Vec<f32>,
@@ -542,6 +553,92 @@ impl DoppelGanger {
         telemetry::metrics::counter("infer.samples").add(n as u64);
         self.arena.publish_metrics();
         out
+    }
+
+    /// Opens a resumable cursor over `total` frozen-path samples: each
+    /// [`SampleCursor::next_batch`] call produces at most
+    /// `cfg.batch_size` decoded samples and returns, so a caller (the
+    /// `netshared` streaming daemon) can interleave generation with
+    /// transmission instead of materializing the whole trace. The
+    /// concatenation of every batch is **bitwise-identical** to one
+    /// [`DoppelGanger::sample_fast`]`(total)` call from the same model
+    /// state — the cursor is that method's loop, suspended between
+    /// iterations (pinned by `tests/cursor_equiv.rs`).
+    ///
+    /// Fails (like [`DgGenerator::freeze`]) only for generators holding
+    /// conv nodes, which [`DoppelGanger::new`] never builds.
+    pub fn sample_cursor(&mut self, total: usize) -> Result<SampleCursor<'_>, String> {
+        let DoppelGanger { gen, cfg, rng, arena, .. } = self;
+        let record_dim = gen.record_dim();
+        let frozen = gen.freeze()?;
+        Ok(SampleCursor {
+            frozen,
+            meta_spec: &cfg.meta_spec,
+            record_spec: &cfg.record_spec,
+            record_dim,
+            max_len: cfg.max_len,
+            streams: cfg.batch_size.max(1),
+            rng,
+            arena,
+            remaining: total,
+            produced: 0,
+        })
+    }
+}
+
+/// A suspended [`DoppelGanger::sample_fast`] loop: yields the same
+/// sample stream batch-by-batch (see [`DoppelGanger::sample_cursor`]).
+/// Dropping the cursor mid-stream leaves the model's RNG wherever the
+/// last produced batch left it, exactly as an offline run truncated at
+/// the same batch boundary would.
+pub struct SampleCursor<'a> {
+    frozen: crate::model::FrozenGenerator<'a>,
+    meta_spec: &'a FeatureSpec,
+    record_spec: &'a FeatureSpec,
+    record_dim: usize,
+    max_len: usize,
+    streams: usize,
+    rng: &'a mut StdRng,
+    arena: &'a mut nnet::infer::Arena,
+    remaining: usize,
+    produced: usize,
+}
+
+impl SampleCursor<'_> {
+    /// Samples not yet produced.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Samples produced so far.
+    pub fn produced(&self) -> usize {
+        self.produced
+    }
+
+    /// Generates and decodes the next batch (at most `cfg.batch_size`
+    /// samples; the final batch may be shorter). `None` once `total`
+    /// samples have been produced.
+    pub fn next_batch(&mut self) -> Option<Vec<GeneratedSample>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let take = self.remaining.min(self.streams);
+        let batch = self.frozen.generate(take, &mut *self.rng, &mut *self.arena);
+        let mut out = Vec::with_capacity(take);
+        decode_batch(
+            self.meta_spec,
+            self.record_spec,
+            self.record_dim,
+            self.max_len,
+            &batch,
+            take,
+            self.rng,
+            &mut out,
+        );
+        self.remaining -= take;
+        self.produced += take;
+        telemetry::metrics::counter("infer.samples").add(take as u64);
+        Some(out)
     }
 }
 

@@ -1,0 +1,89 @@
+//! Pins the serving-path contract: a [`SampleCursor`] consumed
+//! batch-by-batch yields *bitwise* the same sample stream as one offline
+//! [`DoppelGanger::sample_fast`] call on an identically-seeded model —
+//! including the model's RNG state afterwards. `netshared` streams DATA
+//! frames straight off a cursor, so this is what makes served output
+//! byte-identical to a local batch run.
+
+use doppelganger::{DgConfig, DoppelGanger, FeatureSpec, Segment};
+
+fn toy_cfg() -> DgConfig {
+    let mut cfg = DgConfig::small(
+        FeatureSpec::new(vec![
+            Segment::Continuous { dim: 3 },
+            Segment::Categorical { dim: 4 },
+        ]),
+        FeatureSpec::continuous(2),
+        5,
+    );
+    cfg.meta_hidden = vec![8];
+    cfg.rnn_hidden = 6;
+    cfg.head_hidden = vec![6];
+    cfg.disc_hidden = vec![8];
+    cfg.aux_hidden = vec![6];
+    cfg.batch_size = 4; // small so a 23-sample pull spans many batches
+    cfg
+}
+
+#[test]
+fn cursor_concatenation_is_bitwise_identical_to_sample_fast() {
+    let mut offline = DoppelGanger::new(toy_cfg());
+    let mut streamed = DoppelGanger::new(toy_cfg());
+    let want = offline.sample_fast(23);
+
+    let mut got = Vec::new();
+    let mut cursor = streamed.sample_cursor(23).unwrap();
+    let mut batches = 0usize;
+    while let Some(batch) = cursor.next_batch() {
+        assert!(batch.len() <= 4, "batch larger than cfg.batch_size");
+        got.extend(batch);
+        batches += 1;
+    }
+    assert_eq!(cursor.remaining(), 0);
+    assert_eq!(cursor.produced(), 23);
+    drop(cursor);
+
+    assert_eq!(batches, 6, "23 samples over batch_size 4 is 6 batches");
+    assert_eq!(got, want, "streamed and offline sample streams diverge");
+    assert_eq!(
+        offline.rng_state(),
+        streamed.rng_state(),
+        "both paths must consume RNG identically"
+    );
+}
+
+#[test]
+fn truncated_cursor_matches_offline_prefix() {
+    let mut offline = DoppelGanger::new(toy_cfg());
+    let mut streamed = DoppelGanger::new(toy_cfg());
+    let want = offline.sample_fast(8); // two full batches
+
+    let mut got = Vec::new();
+    let mut cursor = streamed.sample_cursor(23).unwrap();
+    for _ in 0..2 {
+        got.extend(cursor.next_batch().unwrap());
+    }
+    assert_eq!(cursor.remaining(), 15);
+    drop(cursor); // disconnect mid-stream
+
+    assert_eq!(got, want, "a truncated stream is a prefix of the offline run");
+}
+
+#[test]
+fn exhausted_cursor_stays_none() {
+    let mut model = DoppelGanger::new(toy_cfg());
+    let mut cursor = model.sample_cursor(3).unwrap();
+    assert_eq!(cursor.next_batch().unwrap().len(), 3);
+    assert!(cursor.next_batch().is_none());
+    assert!(cursor.next_batch().is_none());
+}
+
+#[test]
+fn zero_total_cursor_is_immediately_done() {
+    let mut model = DoppelGanger::new(toy_cfg());
+    let before = model.rng_state();
+    let mut cursor = model.sample_cursor(0).unwrap();
+    assert!(cursor.next_batch().is_none());
+    drop(cursor);
+    assert_eq!(model.rng_state(), before, "no samples, no RNG consumption");
+}

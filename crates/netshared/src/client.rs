@@ -1,0 +1,129 @@
+//! Client side of the protocol: the `pull` helper `netshare_cli pull`
+//! and the integration tests drive.
+//!
+//! lint: io-boundary — connects and reads frames off the socket.
+
+use crate::protocol::{self, Frame, ProtoError, PROTOCOL_VERSION};
+use doppelganger::GeneratedSample;
+use orchestrator::CancelToken;
+use std::net::TcpStream;
+
+/// One `pull` request.
+#[derive(Debug, Clone)]
+pub struct PullConfig {
+    /// Server address, e.g. `127.0.0.1:7464`.
+    pub addr: String,
+    /// Artifact to subscribe to.
+    pub artifact: String,
+    /// Total samples wanted.
+    pub count: u64,
+    /// Initial DATA-frame credit; the client restores the budget after
+    /// every received frame, so this is also the in-flight window.
+    pub credit: u32,
+    /// Client name sent in HELLO (diagnostics only).
+    pub peer: String,
+}
+
+impl PullConfig {
+    /// A pull of `count` samples of `artifact` with a 4-frame window.
+    pub fn new(addr: &str, artifact: &str, count: u64) -> Self {
+        PullConfig {
+            addr: addr.to_string(),
+            artifact: artifact.to_string(),
+            count,
+            credit: 4,
+            peer: "netshare_cli".to_string(),
+        }
+    }
+}
+
+/// What a completed pull returned.
+#[derive(Debug, Clone)]
+pub struct PullResult {
+    /// All samples, in stream order.
+    pub samples: Vec<GeneratedSample>,
+    /// DATA frames received.
+    pub frames: u64,
+    /// Artifact names the server advertised in its HELLO.
+    pub server_artifacts: Vec<String>,
+    /// The EOF frame's total (equals `samples.len()`).
+    pub eof_total: u64,
+}
+
+/// Subscribes to one stream and pulls it to EOF. Fails with a message on
+/// connection faults, protocol violations, or a server ERROR frame.
+pub fn pull(cfg: &PullConfig, token: &CancelToken) -> Result<PullResult, String> {
+    let _span = telemetry::span!("netshared/pull[{}]", cfg.artifact);
+    let mut sock = TcpStream::connect(&cfg.addr).map_err(|e| format!("connect {}: {e}", cfg.addr))?;
+    protocol::configure(&sock).map_err(|e| format!("configure: {e}"))?;
+
+    protocol::write_frame(
+        &mut sock,
+        &Frame::Hello {
+            version: PROTOCOL_VERSION,
+            peer: cfg.peer.clone(),
+            artifacts: Vec::new(),
+        },
+        token,
+    )
+    .map_err(|e| format!("handshake send: {e}"))?;
+    let server_artifacts = match protocol::read_frame(&mut sock, token) {
+        Ok(Frame::Hello { version, artifacts, .. }) if version == PROTOCOL_VERSION => artifacts,
+        Ok(Frame::Hello { version, .. }) => {
+            return Err(format!("server speaks protocol version {version}, want {PROTOCOL_VERSION}"))
+        }
+        Ok(Frame::Error { code, message, .. }) => return Err(format!("server error {code}: {message}")),
+        Ok(other) => return Err(format!("expected server HELLO, got {other:?}")),
+        Err(e) => return Err(format!("handshake recv: {e}")),
+    };
+
+    const STREAM: u64 = 1;
+    protocol::write_frame(
+        &mut sock,
+        &Frame::Subscribe {
+            stream: STREAM,
+            artifact: cfg.artifact.clone(),
+            count: cfg.count,
+            credit: cfg.credit.max(1),
+        },
+        token,
+    )
+    .map_err(|e| format!("subscribe send: {e}"))?;
+
+    let mut samples = Vec::new();
+    let mut frames = 0u64;
+    let mut next_seq = 0u64;
+    loop {
+        match protocol::read_frame(&mut sock, token) {
+            Ok(Frame::Data { stream, seq, samples: batch }) => {
+                if stream != STREAM {
+                    return Err(format!("DATA for unknown stream {stream}"));
+                }
+                if seq != next_seq {
+                    return Err(format!("DATA out of order: seq {seq}, want {next_seq}"));
+                }
+                next_seq += 1;
+                frames += 1;
+                samples.extend(batch);
+                // Restore the budget: one credit per consumed frame.
+                protocol::write_frame(&mut sock, &Frame::Credit { stream: STREAM, frames: 1 }, token)
+                    .map_err(|e| format!("credit send: {e}"))?;
+            }
+            Ok(Frame::Eof { stream, total }) => {
+                if stream != STREAM {
+                    return Err(format!("EOF for unknown stream {stream}"));
+                }
+                if total != samples.len() as u64 {
+                    return Err(format!("EOF total {total} != {} received samples", samples.len()));
+                }
+                return Ok(PullResult { samples, frames, server_artifacts, eof_total: total });
+            }
+            Ok(Frame::Error { code, message, .. }) => {
+                return Err(format!("server error {code}: {message}"));
+            }
+            Ok(other) => return Err(format!("unexpected frame {other:?}")),
+            Err(ProtoError::Cancelled) => return Err("pull cancelled".to_string()),
+            Err(e) => return Err(format!("stream recv: {e}")),
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Seeded demo bundles: tiny untrained samplers for smoke tests and the
+//! `netshared --demo name:seed` flag, so exercising the serving path
+//! end-to-end needs no training run. The sampler is a freshly
+//! initialized DoppelGANger — statistically meaningless, bitwise
+//! deterministic, which is exactly what protocol and equivalence checks
+//! need.
+
+use doppelganger::{ArtifactBundle, DgConfig, DoppelGanger, FeatureSpec, Segment};
+
+/// The [`DgConfig`] every demo bundle uses (small enough that rebuilds
+/// are instant; `batch_size` sets the DATA-frame batch).
+pub fn demo_config(seed: u64) -> DgConfig {
+    let mut cfg = DgConfig::small(
+        FeatureSpec::new(vec![
+            Segment::Continuous { dim: 3 },
+            Segment::Categorical { dim: 4 },
+        ]),
+        FeatureSpec::continuous(2),
+        5,
+    );
+    cfg.meta_hidden = vec![8];
+    cfg.rnn_hidden = 6;
+    cfg.head_hidden = vec![6];
+    cfg.disc_hidden = vec![8];
+    cfg.aux_hidden = vec![6];
+    cfg.batch_size = 8;
+    cfg.seed = seed;
+    cfg
+}
+
+/// A named demo bundle whose sample stream is a pure function of `seed`.
+pub fn demo_bundle(name: &str, seed: u64) -> ArtifactBundle {
+    let model = DoppelGanger::new(demo_config(seed));
+    ArtifactBundle::capture(name, &model, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_bundles_are_deterministic_in_name_and_seed() {
+        let a = demo_bundle("x", 3);
+        let b = demo_bundle("x", 3);
+        assert_eq!(a, b);
+        let c = demo_bundle("x", 4);
+        assert_ne!(a.artifact, c.artifact, "different seed, different weights");
+    }
+
+    #[test]
+    fn demo_bundle_streams_match_offline_sampling() {
+        let bundle = demo_bundle("d", 11);
+        let mut m1 = bundle.rebuild().unwrap();
+        let mut m2 = bundle.rebuild().unwrap();
+        assert_eq!(m1.sample_fast(17), m2.sample_fast(17));
+    }
+}

@@ -1,0 +1,48 @@
+//! # netshared
+//!
+//! Generation-as-a-service: a long-running daemon that loads trained
+//! [`ArtifactBundle`](doppelganger::ArtifactBundle)s and streams
+//! synthetic flows/packets to many concurrent clients over a
+//! length-prefixed, versioned, credit-based TCP protocol. The deployment
+//! shape the paper's consumers need — "generate me traffic" as a
+//! service, not a batch CLI run (ROADMAP item 1).
+//!
+//! The three load-bearing guarantees, each pinned by an integration
+//! suite:
+//!
+//! * **Bitwise fidelity** (`tests/service.rs`): a streamed pull is
+//!   byte-identical to `sample_fast` run offline from the same bundle —
+//!   the producer walks the same
+//!   [`SampleCursor`](doppelganger::SampleCursor) loop, artifact rebuild
+//!   restores the exact RNG state, and the JSON frame codec round-trips
+//!   `f32` bitwise.
+//! * **Bounded memory under backpressure** (`tests/backpressure.rs`):
+//!   each stream buffers at most its configured capacity in encoded
+//!   frames; a stalled client stalls its own producer
+//!   ([`buffer::StreamBuf`]) without affecting other streams or growing
+//!   the heap.
+//! * **No stranded resources** (`tests/service.rs`): disconnects,
+//!   malformed frames, idle eviction (the reused orchestrator
+//!   [`Watchdog`](orchestrator::watchdog::Watchdog)), and server drain
+//!   all unwind sessions completely — gauges return to zero and every
+//!   thread is joined.
+//!
+//! Module map: [`protocol`] (wire grammar + interruptible socket I/O),
+//! [`buffer`] (bounded per-stream buffer), `session` (per-connection
+//! threads), [`server`] (accept loop + drain), [`client`] (`pull`
+//! helper), [`demo`] (seeded untrained bundles for smoke tests).
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod client;
+pub mod demo;
+pub mod protocol;
+pub(crate) mod session;
+pub mod server;
+
+pub use buffer::{BufStats, StreamBuf};
+pub use client::{pull, PullConfig, PullResult};
+pub use demo::{demo_bundle, demo_config};
+pub use protocol::{Frame, ProtoError, MAX_FRAME_BYTES, PROTOCOL_VERSION};
+pub use server::{Server, ServerConfig, ServerStats};

@@ -1,0 +1,312 @@
+//! Wire protocol: length-prefixed, versioned, serde-encoded frames.
+//!
+//! lint: io-boundary — this module is the sanctioned socket I/O layer;
+//! raw reads/writes anywhere else in the workspace trip the
+//! `blocking-accept-loop` lint.
+//!
+//! ## Frame grammar (frozen, like the JSONL event schema)
+//!
+//! Every frame on the wire is `u32 big-endian payload length` followed by
+//! exactly that many bytes of JSON encoding one [`Frame`] (externally
+//! tagged: `{"Hello":{...}}`). A length of zero or above
+//! [`MAX_FRAME_BYTES`] is a protocol violation: the peer answers with an
+//! [`Frame::Error`] (`code = "oversized-frame"`) where possible and closes.
+//!
+//! Conversation shape:
+//!
+//! ```text
+//! client                                server
+//!   | -- Hello{version, peer, []} -------> |   (version gate)
+//!   | <------ Hello{version, "netshared", |
+//!   |                artifact names} ----- |
+//!   | -- Subscribe{stream, artifact,       |
+//!   |              count, credit} -------> |   (one per stream)
+//!   | <-------------- Data{stream, seq,..} |   (consumes 1 credit each)
+//!   | -- Credit{stream, frames} ---------> |   (top-up, any time)
+//!   | <---------------- Eof{stream, total} |   (after `count` samples)
+//!   | <- Error{stream?, code, message} --- |   (instead of panicking)
+//! ```
+//!
+//! Credit is counted in DATA *frames*, not samples: a subscription starts
+//! with `credit` frames of budget and the server only sends a DATA frame
+//! while budget remains, so a stalled client bounds not just server-side
+//! buffering (the stream buffer's capacity cap) but also kernel socket
+//! queue growth.
+
+use doppelganger::GeneratedSample;
+use orchestrator::CancelToken;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Protocol version spoken by this build; bumped on any grammar change.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Hard ceiling on one frame's payload (prefix values above it are
+/// rejected before any allocation happens).
+pub const MAX_FRAME_BYTES: usize = 8 * 1024 * 1024;
+
+/// How long a blocked socket read/write waits before re-checking the
+/// cancel token; bounds shutdown latency.
+pub const IO_POLL: Duration = Duration::from_millis(50);
+
+/// `ERROR` code: peer's `HELLO.version` is not [`PROTOCOL_VERSION`].
+pub const ERR_VERSION: &str = "unsupported-version";
+/// `ERROR` code: `SUBSCRIBE.artifact` names nothing the server loaded.
+pub const ERR_UNKNOWN_ARTIFACT: &str = "unknown-artifact";
+/// `ERROR` code: length prefix of zero or above [`MAX_FRAME_BYTES`].
+pub const ERR_OVERSIZED: &str = "oversized-frame";
+/// `ERROR` code: payload bytes did not decode as a frame.
+pub const ERR_MALFORMED: &str = "malformed-frame";
+/// `ERROR` code: frame arrived that the conversation state disallows
+/// (e.g. `SUBSCRIBE` reusing a live stream id, or a missing `HELLO`).
+pub const ERR_PROTOCOL: &str = "protocol-violation";
+/// `ERROR` code: the server is draining and takes no new subscriptions.
+pub const ERR_DRAINING: &str = "draining";
+
+/// One protocol frame. Field order and variant names are part of the
+/// frozen wire grammar.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Frame {
+    /// Handshake, sent by the client first and answered by the server.
+    /// The server's answer lists the artifact names it serves.
+    Hello {
+        /// Speaker's protocol version.
+        version: u32,
+        /// Free-form speaker name (diagnostics only).
+        peer: String,
+        /// Artifacts available for subscription (server→client only;
+        /// clients send an empty list).
+        artifacts: Vec<String>,
+    },
+    /// Opens a stream: `count` samples of `artifact`, with an initial
+    /// budget of `credit` DATA frames.
+    Subscribe {
+        /// Client-chosen stream id, unique per connection.
+        stream: u64,
+        /// Which loaded artifact to sample.
+        artifact: String,
+        /// Total samples wanted.
+        count: u64,
+        /// Initial DATA-frame budget.
+        credit: u32,
+    },
+    /// One batch of generated samples; consumes one credit.
+    Data {
+        /// Stream id from the `SUBSCRIBE`.
+        stream: u64,
+        /// Consecutive frame number within the stream, from 0.
+        seq: u64,
+        /// The samples, in generation order.
+        samples: Vec<GeneratedSample>,
+    },
+    /// Client grants the server `frames` more DATA frames on `stream`.
+    Credit {
+        /// Stream id.
+        stream: u64,
+        /// Additional DATA-frame budget.
+        frames: u32,
+    },
+    /// Stream complete: `total` samples were sent.
+    Eof {
+        /// Stream id.
+        stream: u64,
+        /// Total samples streamed (equals the subscribed `count`).
+        total: u64,
+    },
+    /// Fault report; `stream` is `None` for connection-level faults
+    /// (bad handshake, malformed frame).
+    Error {
+        /// Affected stream, if the fault is scoped to one.
+        stream: Option<u64>,
+        /// Machine-readable code (one of the `ERR_*` constants).
+        code: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Why a frame could not be read/written.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtoError {
+    /// Peer closed the connection cleanly between frames.
+    Closed,
+    /// Peer vanished mid-frame (truncated payload).
+    Truncated,
+    /// Length prefix of zero or above [`MAX_FRAME_BYTES`].
+    Oversized(u64),
+    /// Payload bytes did not decode as a [`Frame`].
+    Malformed(String),
+    /// Socket error other than a timeout.
+    Io(String),
+    /// The cancel token fired while blocked.
+    Cancelled,
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Closed => write!(f, "connection closed"),
+            ProtoError::Truncated => write!(f, "connection closed mid-frame"),
+            ProtoError::Oversized(n) => {
+                write!(f, "frame length {n} outside 1..={MAX_FRAME_BYTES}")
+            }
+            ProtoError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            ProtoError::Io(m) => write!(f, "socket error: {m}"),
+            ProtoError::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+/// Encodes a frame as its on-wire bytes (length prefix + JSON payload).
+pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, ProtoError> {
+    let payload = serde_json::to_string(frame)
+        .map_err(|e| ProtoError::Malformed(format!("encode: {e}")))?;
+    let payload = payload.into_bytes();
+    if payload.is_empty() || payload.len() > MAX_FRAME_BYTES {
+        return Err(ProtoError::Oversized(payload.len() as u64));
+    }
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// Decodes one frame from payload bytes (the length prefix already
+/// stripped and validated).
+pub fn decode_frame(payload: &[u8]) -> Result<Frame, ProtoError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| ProtoError::Malformed(format!("payload not UTF-8: {e}")))?;
+    serde_json::from_str(text).map_err(|e| ProtoError::Malformed(e.to_string()))
+}
+
+/// Marks a socket for interruptible I/O: blocked reads and writes wake
+/// every [`IO_POLL`] so the token can be checked.
+pub fn configure(stream: &TcpStream) -> Result<(), ProtoError> {
+    stream
+        .set_read_timeout(Some(IO_POLL))
+        .and_then(|_| stream.set_write_timeout(Some(IO_POLL)))
+        .map_err(|e| ProtoError::Io(e.to_string()))
+}
+
+/// Whether an I/O error kind means "timed out, try again" rather than a
+/// real fault. (Unix reports socket timeouts as `WouldBlock`, Windows as
+/// `TimedOut`; `Interrupted` is a plain EINTR.)
+fn is_retry(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::Interrupted
+    )
+}
+
+/// Fills `buf` completely, resuming across socket timeouts so a partial
+/// read is never lost, and aborting if `token` fires. `clean_close` is
+/// what a 0-byte read at offset 0 means (`Closed` between frames,
+/// `Truncated` inside one).
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    token: &CancelToken,
+    clean_close: bool,
+) -> Result<(), ProtoError> {
+    let mut off = 0;
+    while off < buf.len() {
+        if token.is_cancelled() {
+            return Err(ProtoError::Cancelled);
+        }
+        match stream.read(&mut buf[off..]) {
+            Ok(0) => {
+                return Err(if clean_close && off == 0 {
+                    ProtoError::Closed
+                } else {
+                    ProtoError::Truncated
+                });
+            }
+            Ok(n) => off += n,
+            Err(e) if is_retry(e.kind()) => continue,
+            Err(e) => return Err(ProtoError::Io(e.to_string())),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one complete frame, blocking (interruptibly) until it arrives.
+pub fn read_frame(stream: &mut TcpStream, token: &CancelToken) -> Result<Frame, ProtoError> {
+    let mut prefix = [0u8; 4];
+    read_full(stream, &mut prefix, token, true)?;
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len == 0 || len > MAX_FRAME_BYTES {
+        return Err(ProtoError::Oversized(len as u64));
+    }
+    let mut payload = vec![0u8; len];
+    read_full(stream, &mut payload, token, false)?;
+    decode_frame(&payload)
+}
+
+/// Writes pre-encoded frame bytes completely, resuming across socket
+/// timeouts (a short write keeps its offset) and aborting on `token`.
+pub fn write_encoded(
+    stream: &mut TcpStream,
+    bytes: &[u8],
+    token: &CancelToken,
+) -> Result<(), ProtoError> {
+    let mut off = 0;
+    while off < bytes.len() {
+        if token.is_cancelled() {
+            return Err(ProtoError::Cancelled);
+        }
+        match stream.write(&bytes[off..]) {
+            Ok(0) => return Err(ProtoError::Truncated),
+            Ok(n) => off += n,
+            Err(e) if is_retry(e.kind()) => continue,
+            Err(e) => return Err(ProtoError::Io(e.to_string())),
+        }
+    }
+    Ok(())
+}
+
+/// Encodes and writes one frame.
+pub fn write_frame(
+    stream: &mut TcpStream,
+    frame: &Frame,
+    token: &CancelToken,
+) -> Result<(), ProtoError> {
+    let bytes = encode_frame(frame)?;
+    write_encoded(stream, &bytes, token)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_prepends_big_endian_length() {
+        let bytes = encode_frame(&Frame::Credit { stream: 1, frames: 2 }).unwrap();
+        let len = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        assert_eq!(len, bytes.len() - 4);
+        assert_eq!(decode_frame(&bytes[4..]).unwrap(), Frame::Credit { stream: 1, frames: 2 });
+    }
+
+    #[test]
+    fn decode_rejects_non_utf8_and_non_frame_payloads() {
+        assert!(matches!(decode_frame(&[0xff, 0xfe]), Err(ProtoError::Malformed(_))));
+        assert!(matches!(decode_frame(b"{\"Nope\":{}}"), Err(ProtoError::Malformed(_))));
+        assert!(matches!(decode_frame(b"[1,2"), Err(ProtoError::Malformed(_))));
+    }
+
+    #[test]
+    fn error_frame_carries_optional_stream() {
+        for stream in [None, Some(7u64)] {
+            let f = Frame::Error {
+                stream,
+                code: ERR_MALFORMED.to_string(),
+                message: "x".to_string(),
+            };
+            let bytes = encode_frame(&f).unwrap();
+            assert_eq!(decode_frame(&bytes[4..]).unwrap(), f);
+        }
+    }
+}

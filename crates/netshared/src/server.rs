@@ -1,0 +1,284 @@
+//! The daemon core: listener, accept loop, session registry, watchdog,
+//! and graceful drain.
+//!
+//! lint: io-boundary — this module owns the `TcpListener` accept loop;
+//! raw accepts anywhere else in the workspace trip the
+//! `blocking-accept-loop` lint.
+//!
+//! Lifecycle: [`Server::start`] binds (port 0 for ephemeral), spawns the
+//! accept thread (and, when an idle timeout is configured, the reused
+//! orchestrator [`Watchdog`] with each session's
+//! [`Heartbeat`](orchestrator::Heartbeat)), and
+//! returns a handle. [`Server::shutdown`] runs the two-phase drain:
+//!
+//! 1. **drain**: stop accepting, refuse new `SUBSCRIBE`s (`ERR_DRAINING`),
+//!    and give in-flight streams up to `drain` to finish naturally;
+//! 2. **cancel**: trip every session token; blocked buffer waits, credit
+//!    waits, and socket I/O all poll the token, so sessions unwind, and
+//!    every thread is joined before `shutdown` returns.
+
+use crate::session::{run_session, SessionCtx};
+use doppelganger::ArtifactBundle;
+use orchestrator::watchdog::{Watchdog, WatchdogOptions};
+use orchestrator::{CancelToken, EventLog};
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Accept-loop poll interval (bounds shutdown latency).
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+/// Drain-phase poll interval.
+const DRAIN_POLL: Duration = Duration::from_millis(50);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Per-stream buffer capacity cap in bytes.
+    pub capacity_bytes: usize,
+    /// Evict sessions whose clients go silent (no frames in or out) for
+    /// this long; `None` disables the watchdog.
+    pub idle_timeout_secs: Option<f64>,
+    /// Grace window for in-flight streams during [`Server::shutdown`].
+    pub drain: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            capacity_bytes: 64 * 1024,
+            idle_timeout_secs: None,
+            drain: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Cheap always-consistent counters for tests and operators; each has a
+/// `netshared.*` metrics twin in the global telemetry registry.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Sessions currently connected (`netshared.sessions.open`).
+    pub sessions_open: AtomicI64,
+    /// Sessions accepted over the server's lifetime.
+    pub sessions_total: AtomicU64,
+    /// Streams currently subscribed (`netshared.streams.open`).
+    pub streams_open: AtomicI64,
+    /// DATA frames written (`netshared.frames.sent`).
+    pub frames_sent: AtomicU64,
+    /// EOF frames written.
+    pub eofs_sent: AtomicU64,
+    /// ERROR frames written (`netshared.errors.sent`).
+    pub errors_sent: AtomicU64,
+    /// Sessions evicted by the idle watchdog (`netshared.evictions`).
+    pub evictions: AtomicU64,
+    /// Times a sender found its credit budget empty
+    /// (`netshared.stream.credit_stalls`).
+    pub credit_stalls: AtomicU64,
+    /// Times a producer found its stream buffer full
+    /// (`netshared.stream.push_stalls`).
+    pub push_stalls: AtomicU64,
+    /// Frames dropped into a closed buffer (`netshared.stream.drops`).
+    pub drops: AtomicU64,
+    /// High-water mark of any single stream's buffered bytes — the
+    /// bounded-memory invariant the backpressure suite pins.
+    pub stream_max_buffered: AtomicU64,
+}
+
+/// Session registry entry: the session's cancel token plus its joinable
+/// thread handle.
+type SessionSlot = (CancelToken, std::thread::JoinHandle<()>);
+
+/// A running daemon; dropping it without [`Server::shutdown`] aborts
+/// sessions without the drain grace.
+pub struct Server {
+    local_addr: SocketAddr,
+    token: CancelToken,
+    draining: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    sessions: Arc<Mutex<Vec<SessionSlot>>>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    watchdog: Option<Arc<Watchdog>>,
+    watchdog_thread: Option<std::thread::JoinHandle<()>>,
+    events: Arc<EventLog>,
+    artifacts: Vec<String>,
+    drain: Duration,
+}
+
+impl Server {
+    /// Binds and starts serving `bundles`. Fails on bind errors and on
+    /// duplicate artifact names.
+    pub fn start(cfg: ServerConfig, bundles: Vec<ArtifactBundle>) -> Result<Server, String> {
+        let mut by_name: BTreeMap<String, Arc<ArtifactBundle>> = BTreeMap::new();
+        for bundle in bundles {
+            let name = bundle.name.clone();
+            if by_name.insert(name.clone(), Arc::new(bundle)).is_some() {
+                return Err(format!("duplicate artifact name {name:?}"));
+            }
+        }
+        let artifacts: Vec<String> = by_name.keys().cloned().collect();
+        let by_name = Arc::new(by_name);
+
+        let listener = TcpListener::bind(&cfg.addr)
+            .map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| format!("local_addr: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("set_nonblocking: {e}"))?;
+
+        let token = CancelToken::new();
+        let draining = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(ServerStats::default());
+        let sessions: Arc<Mutex<Vec<SessionSlot>>> = Arc::new(Mutex::new(Vec::new()));
+        let events = Arc::new(EventLog::new());
+
+        let (watchdog, watchdog_thread) = match cfg.idle_timeout_secs {
+            Some(stale) => {
+                let dog = Arc::new(Watchdog::new(WatchdogOptions {
+                    max_job_secs: None,
+                    heartbeat_timeout_secs: Some(stale),
+                    poll: Duration::from_millis(50),
+                }));
+                let thread = {
+                    let (dog, events) = (Arc::clone(&dog), Arc::clone(&events));
+                    std::thread::spawn(move || dog.run(&events))
+                };
+                (Some(dog), Some(thread))
+            }
+            None => (None, None),
+        };
+
+        let accept_thread = {
+            let token = token.clone();
+            let draining = Arc::clone(&draining);
+            let stats = Arc::clone(&stats);
+            let sessions = Arc::clone(&sessions);
+            let watchdog = watchdog.clone();
+            let capacity_bytes = cfg.capacity_bytes.max(1);
+            let next_id = AtomicU64::new(0);
+            std::thread::spawn(move || {
+                let _span = telemetry::span!("netshared/accept");
+                while !token.wait_timeout(Duration::ZERO) {
+                    match listener.accept() {
+                        Ok((sock, _peer)) => {
+                            let id = next_id.fetch_add(1, Ordering::Relaxed);
+                            stats.sessions_total.fetch_add(1, Ordering::Relaxed);
+                            // Sessions do their own (timeout-based) blocking I/O.
+                            if sock.set_nonblocking(false).is_err() {
+                                continue;
+                            }
+                            let session_token = CancelToken::new();
+                            let ctx = SessionCtx {
+                                id,
+                                bundles: Arc::clone(&by_name),
+                                capacity_bytes,
+                                token: session_token.clone(),
+                                stats: Arc::clone(&stats),
+                                watchdog: watchdog.clone(),
+                                draining: Arc::clone(&draining),
+                            };
+                            let handle =
+                                std::thread::spawn(move || run_session(sock, ctx));
+                            sessions
+                                .lock()
+                                .expect("session registry lock") // lint: allow(panic-in-lib) poisoned session registry lock is unrecoverable
+                                .push((session_token, handle));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            if token.wait_timeout(ACCEPT_POLL) {
+                                break;
+                            }
+                        }
+                        Err(_) => {
+                            if token.wait_timeout(ACCEPT_POLL) {
+                                break;
+                            }
+                        }
+                    }
+                }
+            })
+        };
+
+        Ok(Server {
+            local_addr,
+            token,
+            draining,
+            stats,
+            sessions,
+            accept_thread: Some(accept_thread),
+            watchdog,
+            watchdog_thread,
+            events,
+            artifacts,
+            drain: cfg.drain,
+        })
+    }
+
+    /// The bound address (with the real port when `addr` used port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Names of the artifacts on offer, sorted.
+    pub fn artifacts(&self) -> &[String] {
+        &self.artifacts
+    }
+
+    /// Shared statistics handle.
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The orchestrator event log (watchdog cancellations land here).
+    pub fn events(&self) -> Arc<EventLog> {
+        Arc::clone(&self.events)
+    }
+
+    /// Graceful two-phase shutdown (see module docs). Consumes the
+    /// server; returns the number of sessions that were still live when
+    /// the cancel phase began.
+    pub fn shutdown(mut self) -> usize {
+        let _span = telemetry::span!("netshared/shutdown");
+        // Phase 1: drain. Stop accepting and refuse new subscriptions,
+        // but leave live sessions running for up to the drain window.
+        self.draining.store(true, Ordering::Relaxed);
+        self.token.cancel("server shutdown");
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let drain_ticks = (self.drain_ticks()).max(1);
+        for _ in 0..drain_ticks {
+            if self.stats.sessions_open.load(Ordering::Relaxed) == 0 {
+                break;
+            }
+            // Never-cancelled token as an interruptible sleep.
+            let _ = CancelToken::new().wait_timeout(DRAIN_POLL);
+        }
+        // Phase 2: cancel whatever is left and join every session.
+        // lint: allow(panic-in-lib) poisoned session registry lock is unrecoverable
+        let sessions = std::mem::take(&mut *self.sessions.lock().expect("session registry lock"));
+        let lingering = self.stats.sessions_open.load(Ordering::Relaxed).max(0) as usize;
+        for (token, _) in &sessions {
+            token.cancel("server shutdown");
+        }
+        for (_, handle) in sessions {
+            let _ = handle.join();
+        }
+        if let Some(dog) = &self.watchdog {
+            dog.stop();
+        }
+        if let Some(t) = self.watchdog_thread.take() {
+            let _ = t.join();
+        }
+        lingering
+    }
+
+    fn drain_ticks(&self) -> u32 {
+        (self.drain.as_millis() / DRAIN_POLL.as_millis()).min(u128::from(u32::MAX)) as u32
+    }
+}

@@ -1,0 +1,508 @@
+//! Per-connection session: handshake, subscription management, and the
+//! per-stream producer/sender thread pair.
+//!
+//! Thread model, per connection:
+//!
+//! * the **session thread** (spawned by the server's accept loop) runs
+//!   the handshake, then loops reading client frames (`SUBSCRIBE`,
+//!   `CREDIT`), beating the watchdog heartbeat on every arrival;
+//! * each subscription spawns a **producer** thread — rebuilds the
+//!   artifact's sampler, walks a [`SampleCursor`](doppelganger::SampleCursor)
+//!   batch-by-batch, encodes DATA frames, and pushes them into the
+//!   stream's bounded [`StreamBuf`] (blocking at the capacity cap:
+//!   backpressure, not memory growth) — and a **sender** thread that
+//!   takes one client credit, pulls the next frame in sequence order,
+//!   and writes it to the shared socket;
+//! * teardown (client disconnect, malformed frame, watchdog eviction, or
+//!   server drain) cancels the session token; every blocked wait in the
+//!   buffer, credit gate, and socket I/O polls that token, so the
+//!   session unwinds without orphaned threads.
+
+use crate::buffer::{Pulled, StreamBuf};
+use crate::protocol::{
+    self, Frame, ProtoError, ERR_DRAINING, ERR_MALFORMED, ERR_OVERSIZED, ERR_PROTOCOL,
+    ERR_UNKNOWN_ARTIFACT, ERR_VERSION, PROTOCOL_VERSION,
+};
+use crate::server::ServerStats;
+use doppelganger::{ArtifactBundle, GeneratedSample};
+use orchestrator::watchdog::Watchdog;
+use orchestrator::{CancelToken, Heartbeat};
+use std::collections::BTreeMap;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How long a sender blocked on zero credit sleeps between token checks.
+const CREDIT_POLL: Duration = Duration::from_millis(20);
+
+/// DATA-frame budget for one stream: starts at the `SUBSCRIBE` credit,
+/// topped up by `CREDIT` frames, drawn down one per DATA frame sent.
+struct CreditGate {
+    budget: Mutex<u64>,
+    cv: Condvar,
+    stats: Arc<ServerStats>,
+}
+
+impl CreditGate {
+    fn new(initial: u32, stats: Arc<ServerStats>) -> Self {
+        CreditGate {
+            budget: Mutex::new(u64::from(initial)),
+            cv: Condvar::new(),
+            stats,
+        }
+    }
+
+    fn add(&self, frames: u32) {
+        // lint: allow(panic-in-lib) poisoned credit lock is unrecoverable
+        let mut budget = self.budget.lock().expect("credit lock");
+        *budget += u64::from(frames);
+        self.cv.notify_all();
+    }
+
+    /// Takes one credit, blocking while the budget is zero. Counts one
+    /// `netshared.stream.credit_stalls` per stall episode. `false` means
+    /// the token fired first.
+    fn take(&self, token: &CancelToken) -> bool {
+        // lint: allow(panic-in-lib) poisoned credit lock is unrecoverable
+        let mut budget = self.budget.lock().expect("credit lock");
+        let mut stalled = false;
+        while *budget == 0 {
+            if token.is_cancelled() {
+                return false;
+            }
+            if !stalled {
+                stalled = true;
+                telemetry::metrics::counter("netshared.stream.credit_stalls").inc();
+                self.stats.credit_stalls.fetch_add(1, Ordering::Relaxed);
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(budget, CREDIT_POLL)
+                .expect("credit lock"); // lint: allow(panic-in-lib) poisoned credit lock is unrecoverable
+            budget = guard;
+        }
+        *budget -= 1;
+        true
+    }
+}
+
+/// Everything a session needs from the server.
+pub(crate) struct SessionCtx {
+    /// Session id (diagnostics + watchdog job name).
+    pub id: u64,
+    /// Artifacts on offer, by name.
+    pub bundles: Arc<BTreeMap<String, Arc<ArtifactBundle>>>,
+    /// Per-stream buffer capacity cap in bytes.
+    pub capacity_bytes: usize,
+    /// Session-scoped token; the server cancels it on shutdown, the
+    /// watchdog on idle eviction.
+    pub token: CancelToken,
+    /// Shared server statistics.
+    pub stats: Arc<ServerStats>,
+    /// Idle-eviction watchdog (None when no idle timeout is configured).
+    pub watchdog: Option<Arc<Watchdog>>,
+    /// Set while the server drains: new subscriptions are refused.
+    pub draining: Arc<AtomicBool>,
+}
+
+struct StreamHandle {
+    buf: Arc<StreamBuf>,
+    credit: Arc<CreditGate>,
+    producer: std::thread::JoinHandle<()>,
+    sender: std::thread::JoinHandle<()>,
+}
+
+/// Sends a frame on the shared write half, swallowing I/O errors (the
+/// read side will observe the broken connection and tear down).
+fn send(writer: &Mutex<TcpStream>, frame: &Frame, token: &CancelToken) -> bool {
+    // lint: allow(panic-in-lib) poisoned socket write lock is unrecoverable
+    let mut sock = writer.lock().expect("socket write lock");
+    protocol::write_frame(&mut sock, frame, token).is_ok()
+}
+
+fn send_error(
+    writer: &Mutex<TcpStream>,
+    token: &CancelToken,
+    stats: &ServerStats,
+    stream: Option<u64>,
+    code: &str,
+    message: String,
+) {
+    stats.errors_sent.fetch_add(1, Ordering::Relaxed);
+    telemetry::metrics::counter("netshared.errors.sent").inc();
+    send(
+        writer,
+        &Frame::Error { stream, code: code.to_string(), message },
+        token,
+    );
+}
+
+/// Encodes `samples` as one DATA frame and pushes it; recursively splits
+/// the batch when the encoding exceeds the buffer capacity (or the wire
+/// ceiling), so one frame never monopolizes the whole buffer. Returns
+/// `false` once the stream is closed or a single sample cannot fit.
+fn push_samples(
+    stream: u64,
+    samples: &[GeneratedSample],
+    next_seq: &mut u64,
+    buf: &StreamBuf,
+    token: &CancelToken,
+) -> bool {
+    if samples.is_empty() {
+        return true;
+    }
+    let frame = Frame::Data { stream, seq: *next_seq, samples: samples.to_vec() };
+    let split = |next_seq: &mut u64| {
+        let mid = samples.len() / 2;
+        push_samples(stream, &samples[..mid], next_seq, buf, token)
+            && push_samples(stream, &samples[mid..], next_seq, buf, token)
+    };
+    match protocol::encode_frame(&frame) {
+        Ok(bytes) if bytes.len() <= buf.capacity() || samples.len() == 1 => {
+            if buf.push(bytes, token) {
+                *next_seq += 1;
+                true
+            } else {
+                false
+            }
+        }
+        Ok(_) => split(next_seq),
+        Err(ProtoError::Oversized(_)) if samples.len() > 1 => split(next_seq),
+        Err(_) => false,
+    }
+}
+
+/// The producer thread body: sampler rebuild + cursor walk + encode +
+/// push. Finishes the buffer with the produced total (which the sender
+/// turns into EOF) or closes it on failure.
+#[allow(clippy::too_many_arguments)]
+fn produce(
+    stream: u64,
+    count: u64,
+    bundle: Arc<ArtifactBundle>,
+    buf: Arc<StreamBuf>,
+    token: CancelToken,
+    writer: Arc<Mutex<TcpStream>>,
+    stats: Arc<ServerStats>,
+) {
+    let _span = telemetry::span!("netshared/produce[{}]", stream);
+    let mut model = match bundle.rebuild() {
+        Ok(m) => m,
+        Err(e) => {
+            send_error(
+                &writer,
+                &token,
+                &stats,
+                Some(stream),
+                ERR_UNKNOWN_ARTIFACT,
+                format!("artifact {:?} failed to rebuild: {e}", bundle.name),
+            );
+            buf.close();
+            return;
+        }
+    };
+    let mut cursor = match model.sample_cursor(count as usize) {
+        Ok(c) => c,
+        Err(e) => {
+            send_error(
+                &writer,
+                &token,
+                &stats,
+                Some(stream),
+                ERR_UNKNOWN_ARTIFACT,
+                format!("artifact {:?} cannot stream: {e}", bundle.name),
+            );
+            buf.close();
+            return;
+        }
+    };
+    let mut next_seq = 0u64;
+    while let Some(batch) = cursor.next_batch() {
+        if token.is_cancelled() {
+            return;
+        }
+        if !push_samples(stream, &batch, &mut next_seq, &buf, &token) {
+            return;
+        }
+    }
+    buf.finish(cursor.produced() as u64);
+}
+
+/// The sender thread body: one credit, one frame, in sequence order.
+fn dispatch(
+    stream: u64,
+    buf: Arc<StreamBuf>,
+    credit: Arc<CreditGate>,
+    token: CancelToken,
+    writer: Arc<Mutex<TcpStream>>,
+    stats: Arc<ServerStats>,
+    heartbeat: Heartbeat,
+) {
+    loop {
+        if !credit.take(&token) {
+            break;
+        }
+        match buf.pull(&token) {
+            Pulled::Frame(_, bytes) => {
+                // lint: allow(panic-in-lib) poisoned socket write lock is unrecoverable
+                let mut sock = writer.lock().expect("socket write lock");
+                if protocol::write_encoded(&mut sock, &bytes, &token).is_err() {
+                    break;
+                }
+                drop(sock);
+                stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+                telemetry::metrics::counter("netshared.frames.sent").inc();
+                heartbeat.beat(0);
+            }
+            Pulled::Finished(total) => {
+                if send(&writer, &Frame::Eof { stream, total }, &token) {
+                    stats.eofs_sent.fetch_add(1, Ordering::Relaxed);
+                }
+                break;
+            }
+            Pulled::Closed => break,
+        }
+    }
+    stats.streams_open.fetch_sub(1, Ordering::Relaxed);
+    telemetry::metrics::gauge("netshared.streams.open").add(-1.0);
+}
+
+/// Runs one client connection to completion. Returns when the client
+/// disconnects, a protocol fault closes the connection, or the session
+/// token fires (server shutdown / idle eviction).
+pub(crate) fn run_session(stream: TcpStream, ctx: SessionCtx) {
+    let _span = telemetry::span!("netshared/session[{}]", ctx.id);
+    ctx.stats.sessions_open.fetch_add(1, Ordering::Relaxed);
+    telemetry::metrics::gauge("netshared.sessions.open").add(1.0);
+    let heartbeat = Heartbeat::new();
+    // First beat arms staleness detection: a session idle from the very
+    // start must still be evictable.
+    heartbeat.beat(0);
+    let _watch = ctx.watchdog.as_ref().map(|dog| {
+        dog.register(
+            &format!("session-{}", ctx.id),
+            0,
+            heartbeat.clone(),
+            ctx.token.clone(),
+        )
+    });
+
+    let mut streams: BTreeMap<u64, StreamHandle> = BTreeMap::new();
+    serve_client(&stream, &ctx, &heartbeat, &mut streams);
+
+    // Teardown: stop producers/senders, then join them.
+    ctx.token.cancel("session closed");
+    for handle in streams.values() {
+        handle.buf.close();
+        handle.credit.add(0); // wake a sender blocked on credit
+    }
+    for handle in std::mem::take(&mut streams).into_values() {
+        let _ = handle.producer.join();
+        let _ = handle.sender.join();
+    }
+    if let Some(reason) = ctx.token.reason() {
+        if reason.contains("heartbeat stale") || reason.contains("deadline exceeded") {
+            ctx.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            telemetry::metrics::counter("netshared.evictions").inc();
+        }
+    }
+    ctx.stats.sessions_open.fetch_sub(1, Ordering::Relaxed);
+    telemetry::metrics::gauge("netshared.sessions.open").add(-1.0);
+}
+
+/// Handshake + read loop. Split out of [`run_session`] so teardown runs
+/// on every exit path.
+fn serve_client(
+    stream: &TcpStream,
+    ctx: &SessionCtx,
+    heartbeat: &Heartbeat,
+    streams: &mut BTreeMap<u64, StreamHandle>,
+) {
+    let mut reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    if protocol::configure(stream).is_err() {
+        return;
+    }
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+
+    // Handshake: the client speaks first.
+    match protocol::read_frame(&mut reader, &ctx.token) {
+        Ok(Frame::Hello { version, .. }) if version == PROTOCOL_VERSION => {}
+        Ok(Frame::Hello { version, .. }) => {
+            send_error(
+                &writer,
+                &ctx.token,
+                &ctx.stats,
+                None,
+                ERR_VERSION,
+                format!("server speaks version {PROTOCOL_VERSION}, client sent {version}"),
+            );
+            return;
+        }
+        Ok(other) => {
+            send_error(
+                &writer,
+                &ctx.token,
+                &ctx.stats,
+                None,
+                ERR_PROTOCOL,
+                format!("expected HELLO, got {}", frame_name(&other)),
+            );
+            return;
+        }
+        Err(e) => {
+            report_read_error(&writer, ctx, e);
+            return;
+        }
+    }
+    heartbeat.beat(0);
+    let artifacts: Vec<String> = ctx.bundles.keys().cloned().collect();
+    if !send(
+        &writer,
+        &Frame::Hello {
+            version: PROTOCOL_VERSION,
+            peer: "netshared".to_string(),
+            artifacts,
+        },
+        &ctx.token,
+    ) {
+        return;
+    }
+
+    loop {
+        match protocol::read_frame(&mut reader, &ctx.token) {
+            Ok(frame) => {
+                heartbeat.beat(0);
+                if !handle_frame(frame, ctx, &writer, streams) {
+                    return;
+                }
+            }
+            Err(ProtoError::Closed) | Err(ProtoError::Truncated) | Err(ProtoError::Cancelled) => {
+                return;
+            }
+            Err(e) => {
+                report_read_error(&writer, ctx, e);
+                return;
+            }
+        }
+    }
+}
+
+/// Dispatches one client frame; `false` ends the session.
+fn handle_frame(
+    frame: Frame,
+    ctx: &SessionCtx,
+    writer: &Arc<Mutex<TcpStream>>,
+    streams: &mut BTreeMap<u64, StreamHandle>,
+) -> bool {
+    match frame {
+        Frame::Subscribe { stream, artifact, count, credit } => {
+            if ctx.draining.load(Ordering::Relaxed) {
+                send_error(
+                    writer,
+                    &ctx.token,
+                    &ctx.stats,
+                    Some(stream),
+                    ERR_DRAINING,
+                    "server is draining; no new subscriptions".to_string(),
+                );
+                return true;
+            }
+            if streams.contains_key(&stream) {
+                send_error(
+                    writer,
+                    &ctx.token,
+                    &ctx.stats,
+                    Some(stream),
+                    ERR_PROTOCOL,
+                    format!("stream {stream} already subscribed on this connection"),
+                );
+                return true;
+            }
+            let Some(bundle) = ctx.bundles.get(&artifact) else {
+                send_error(
+                    writer,
+                    &ctx.token,
+                    &ctx.stats,
+                    Some(stream),
+                    ERR_UNKNOWN_ARTIFACT,
+                    format!("no artifact named {artifact:?} is loaded"),
+                );
+                return true;
+            };
+            telemetry::metrics::counter("netshared.subscribes").inc();
+            ctx.stats.streams_open.fetch_add(1, Ordering::Relaxed);
+            telemetry::metrics::gauge("netshared.streams.open").add(1.0);
+            let buf = Arc::new(StreamBuf::with_stats(ctx.capacity_bytes, Arc::clone(&ctx.stats)));
+            let gate = Arc::new(CreditGate::new(credit, Arc::clone(&ctx.stats)));
+            let producer = {
+                let (bundle, buf) = (Arc::clone(bundle), Arc::clone(&buf));
+                let (token, writer) = (ctx.token.clone(), Arc::clone(writer));
+                let stats = Arc::clone(&ctx.stats);
+                std::thread::spawn(move || {
+                    produce(stream, count, bundle, buf, token, writer, stats)
+                })
+            };
+            let sender = {
+                let (buf, gate) = (Arc::clone(&buf), Arc::clone(&gate));
+                let (token, writer) = (ctx.token.clone(), Arc::clone(writer));
+                let stats = Arc::clone(&ctx.stats);
+                let heartbeat = Heartbeat::new();
+                std::thread::spawn(move || {
+                    dispatch(stream, buf, gate, token, writer, stats, heartbeat)
+                })
+            };
+            streams.insert(stream, StreamHandle { buf, credit: gate, producer, sender });
+            true
+        }
+        Frame::Credit { stream, frames } => {
+            // Credit for a finished/unknown stream can race EOF in
+            // flight; tolerate it silently.
+            if let Some(handle) = streams.get(&stream) {
+                handle.credit.add(frames);
+            }
+            true
+        }
+        // Informational from a client; ignore.
+        Frame::Error { .. } => true,
+        other => {
+            send_error(
+                writer,
+                &ctx.token,
+                &ctx.stats,
+                None,
+                ERR_PROTOCOL,
+                format!("client may not send {}", frame_name(&other)),
+            );
+            false
+        }
+    }
+}
+
+/// Answers a framing-level read fault with the matching ERROR frame
+/// (framing cannot be resynchronized afterwards, so the caller closes).
+fn report_read_error(writer: &Arc<Mutex<TcpStream>>, ctx: &SessionCtx, e: ProtoError) {
+    let code = match &e {
+        ProtoError::Oversized(_) => ERR_OVERSIZED,
+        ProtoError::Malformed(_) => ERR_MALFORMED,
+        _ => return, // disconnects and cancellation get no farewell
+    };
+    send_error(writer, &ctx.token, &ctx.stats, None, code, e.to_string());
+}
+
+fn frame_name(frame: &Frame) -> &'static str {
+    match frame {
+        Frame::Hello { .. } => "HELLO",
+        Frame::Subscribe { .. } => "SUBSCRIBE",
+        Frame::Data { .. } => "DATA",
+        Frame::Credit { .. } => "CREDIT",
+        Frame::Eof { .. } => "EOF",
+        Frame::Error { .. } => "ERROR",
+    }
+}

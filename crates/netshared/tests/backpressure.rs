@@ -1,0 +1,158 @@
+//! The bounded-memory guarantee: a stalled consumer stalls its own
+//! producer at the buffer's capacity cap — it does not grow server
+//! memory, and it does not slow other clients down.
+//!
+//! lint: io-boundary — one client here is a raw socket that deliberately
+//! stops reading.
+
+use netshared::protocol::{self, Frame, PROTOCOL_VERSION};
+use netshared::{demo_bundle, pull, PullConfig, Server, ServerConfig};
+use orchestrator::CancelToken;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+const CAPACITY: usize = 2048;
+
+fn guard_token() -> CancelToken {
+    let token = CancelToken::new();
+    let t = token.clone();
+    std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_secs(30));
+        t.cancel("test guard timeout");
+    });
+    token
+}
+
+fn bits(samples: &[doppelganger::GeneratedSample]) -> Vec<Vec<u32>> {
+    samples
+        .iter()
+        .map(|s| {
+            let mut row: Vec<u32> = s.meta.iter().map(|x| x.to_bits()).collect();
+            for r in &s.records {
+                row.extend(r.iter().map(|x| x.to_bits()));
+            }
+            row
+        })
+        .collect()
+}
+
+#[test]
+fn stalled_client_bounds_memory_and_does_not_slow_others() {
+    let server = Server::start(
+        ServerConfig {
+            capacity_bytes: CAPACITY,
+            drain: Duration::from_millis(200),
+            ..ServerConfig::default()
+        },
+        vec![demo_bundle("demo", 7)],
+    )
+    .expect("server start");
+    let stats = server.stats();
+    let token = guard_token();
+
+    // --- the stalled client: subscribes big, reads one frame, stops.
+    let mut stalled = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    protocol::configure(&stalled).expect("configure");
+    protocol::write_frame(
+        &mut stalled,
+        &Frame::Hello { version: PROTOCOL_VERSION, peer: "stalled".into(), artifacts: vec![] },
+        &token,
+    )
+    .unwrap();
+    let hello = protocol::read_frame(&mut stalled, &token).expect("server hello");
+    assert!(matches!(hello, Frame::Hello { .. }));
+    protocol::write_frame(
+        &mut stalled,
+        &Frame::Subscribe { stream: 1, artifact: "demo".into(), count: 500, credit: 1 },
+        &token,
+    )
+    .unwrap();
+    match protocol::read_frame(&mut stalled, &token).expect("first data frame") {
+        Frame::Data { stream, seq, .. } => {
+            assert_eq!((stream, seq), (1, 0));
+        }
+        other => panic!("expected DATA, got {other:?}"),
+    }
+    // No CREDIT granted and no more reads: the sender is now starved of
+    // credit and the producer keeps pushing until the buffer cap.
+
+    // Wait until both stall mechanisms have demonstrably engaged.
+    let deadline = 400;
+    let mut ticks = 0;
+    while (stats.credit_stalls.load(Ordering::Relaxed) == 0
+        || stats.push_stalls.load(Ordering::Relaxed) == 0)
+        && ticks < deadline
+    {
+        std::thread::sleep(Duration::from_millis(10));
+        ticks += 1;
+    }
+    assert!(
+        stats.credit_stalls.load(Ordering::Relaxed) >= 1,
+        "sender never stalled on credit"
+    );
+    assert!(
+        stats.push_stalls.load(Ordering::Relaxed) >= 1,
+        "producer never stalled on the buffer cap"
+    );
+
+    // --- the fast client: a full pull on a second connection, while the
+    // stalled stream sits wedged.
+    let cfg = PullConfig::new(&server.local_addr().to_string(), "demo", 50);
+    let result = pull(&cfg, &token).expect("fast pull");
+    assert_eq!(result.samples.len(), 50);
+    assert_eq!(result.eof_total, 50);
+
+    // Bitwise fidelity: the streamed samples equal an offline
+    // sample_fast from the same bundle.
+    let mut offline = demo_bundle("demo", 7).rebuild().expect("rebuild");
+    let want = offline.sample_fast(50);
+    assert_eq!(bits(&result.samples), bits(&want), "stream diverged from offline sampler");
+
+    // --- the invariant: no stream ever buffered more than the cap.
+    let max = stats.stream_max_buffered.load(Ordering::Relaxed);
+    assert!(max >= 1, "high-water mark never moved");
+    assert!(
+        max <= CAPACITY as u64,
+        "stream buffered {max} bytes, cap is {CAPACITY}"
+    );
+    assert_eq!(stats.drops.load(Ordering::Relaxed), 0, "frames were dropped");
+
+    // --- teardown: disconnecting the stalled client frees everything.
+    drop(stalled);
+    let mut ticks = 0;
+    while (stats.sessions_open.load(Ordering::Relaxed) != 0
+        || stats.streams_open.load(Ordering::Relaxed) != 0)
+        && ticks < deadline
+    {
+        std::thread::sleep(Duration::from_millis(10));
+        ticks += 1;
+    }
+    assert_eq!(stats.sessions_open.load(Ordering::Relaxed), 0, "session leaked");
+    assert_eq!(stats.streams_open.load(Ordering::Relaxed), 0, "stream leaked");
+
+    let lingering = server.shutdown();
+    assert_eq!(lingering, 0, "shutdown found sessions still alive");
+}
+
+#[test]
+fn tiny_capacity_still_makes_progress_one_frame_at_a_time() {
+    // A cap smaller than any encoded frame: the oversized-into-empty rule
+    // must keep the stream draining frame by frame instead of deadlocking.
+    let server = Server::start(
+        ServerConfig {
+            capacity_bytes: 16,
+            drain: Duration::from_millis(200),
+            ..ServerConfig::default()
+        },
+        vec![demo_bundle("tiny", 3)],
+    )
+    .expect("server start");
+    let token = guard_token();
+    let cfg = PullConfig::new(&server.local_addr().to_string(), "tiny", 20);
+    let result = pull(&cfg, &token).expect("pull under tiny cap");
+    assert_eq!(result.samples.len(), 20);
+
+    let mut offline = demo_bundle("tiny", 3).rebuild().expect("rebuild");
+    assert_eq!(bits(&result.samples), bits(&offline.sample_fast(20)));
+    server.shutdown();
+}

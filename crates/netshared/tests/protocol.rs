@@ -1,0 +1,405 @@
+//! Protocol fuzz/property suite: every frame type round-trips through
+//! encode/decode bitwise, and a live server answers malformed input with
+//! ERROR frames instead of panicking.
+//!
+//! lint: io-boundary — drives a raw `TcpStream` to inject broken frames.
+
+use doppelganger::GeneratedSample;
+use netshared::protocol::{
+    self, decode_frame, encode_frame, Frame, ProtoError, ERR_MALFORMED, ERR_OVERSIZED,
+    ERR_PROTOCOL, ERR_UNKNOWN_ARTIFACT, ERR_VERSION, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+use netshared::{demo_bundle, Server, ServerConfig};
+use orchestrator::CancelToken;
+use proptest::prelude::*;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+// ------------------------------------------------------------ strategies
+
+/// Characters stressing every JSON escape class: quotes, backslashes,
+/// control characters, braces that could confuse a sloppy parser, and
+/// non-ASCII (BMP and astral, the latter needing surrogate pairs).
+const CHARSET: &[char] = &[
+    'a', 'Z', '9', ' ', '"', '\\', '\n', '\r', '\t', '\u{0}', '\u{1b}', '{', '}', '[', ':', ',',
+    '/', '\u{3bb}', '\u{20ac}', '\u{1F600}',
+];
+
+fn arb_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..CHARSET.len(), 0..12)
+        .prop_map(|ix| ix.into_iter().map(|i| CHARSET[i]).collect())
+}
+
+/// Finite `f32` over the full bit domain (non-finite bit patterns fold to
+/// a finite value derived from the same bits; JSON has no NaN/Inf).
+fn arb_f32() -> impl Strategy<Value = f32> {
+    any::<u32>().prop_map(|bits| {
+        let f = f32::from_bits(bits);
+        if f.is_finite() {
+            f
+        } else {
+            (bits & 0xffff) as f32 / 7.0 - 4000.0
+        }
+    })
+}
+
+fn arb_sample() -> impl Strategy<Value = GeneratedSample> {
+    (
+        prop::collection::vec(arb_f32(), 0..6),
+        prop::collection::vec(prop::collection::vec(arb_f32(), 0..4), 0..5),
+    )
+        .prop_map(|(meta, records)| GeneratedSample { meta, records })
+}
+
+// ----------------------------------------------------- round-trip checks
+
+/// Encode → split prefix/payload → decode must reproduce the frame, and
+/// the prefix must be the big-endian payload length.
+fn assert_round_trip(frame: Frame) -> Result<(), TestCaseError> {
+    let bytes = match encode_frame(&frame) {
+        Ok(b) => b,
+        Err(e) => return Err(TestCaseError::Fail(format!("encode failed: {e}"))),
+    };
+    prop_assert!(bytes.len() >= 5, "frame below minimum wire size");
+    let len = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+    prop_assert_eq!(len, bytes.len() - 4);
+    prop_assert!(len <= MAX_FRAME_BYTES);
+    match decode_frame(&bytes[4..]) {
+        Ok(back) => prop_assert_eq!(back, frame),
+        Err(e) => return Err(TestCaseError::Fail(format!("decode failed: {e}"))),
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn hello_round_trips(
+        version in any::<u32>(),
+        peer in arb_string(),
+        artifacts in prop::collection::vec(arb_string(), 0..4),
+    ) {
+        assert_round_trip(Frame::Hello { version, peer, artifacts })?;
+    }
+
+    #[test]
+    fn subscribe_round_trips(
+        stream in any::<u64>(),
+        artifact in arb_string(),
+        count in any::<u64>(),
+        credit in any::<u32>(),
+    ) {
+        assert_round_trip(Frame::Subscribe { stream, artifact, count, credit })?;
+    }
+
+    #[test]
+    fn data_round_trips_f32_bitwise(
+        stream in any::<u64>(),
+        seq in any::<u64>(),
+        samples in prop::collection::vec(arb_sample(), 0..4),
+    ) {
+        let frame = Frame::Data { stream, seq, samples: samples.clone() };
+        let bytes = encode_frame(&frame).map_err(|e| {
+            TestCaseError::Fail(format!("encode failed: {e}"))
+        })?;
+        match decode_frame(&bytes[4..]) {
+            Ok(Frame::Data { samples: back, .. }) => {
+                prop_assert_eq!(back.len(), samples.len());
+                for (b, s) in back.iter().zip(&samples) {
+                    // Bit-level equality: catches -0.0 vs 0.0 drift that
+                    // PartialEq would wave through.
+                    let bits = |v: &Vec<f32>| v.iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+                    prop_assert_eq!(bits(&b.meta), bits(&s.meta));
+                    prop_assert_eq!(b.records.len(), s.records.len());
+                    for (br, sr) in b.records.iter().zip(&s.records) {
+                        prop_assert_eq!(bits(br), bits(sr));
+                    }
+                }
+            }
+            other => return Err(TestCaseError::Fail(format!("bad decode: {other:?}"))),
+        }
+    }
+
+    #[test]
+    fn credit_and_eof_round_trip(
+        stream in any::<u64>(),
+        frames in any::<u32>(),
+        total in any::<u64>(),
+    ) {
+        assert_round_trip(Frame::Credit { stream, frames })?;
+        assert_round_trip(Frame::Eof { stream, total })?;
+    }
+
+    #[test]
+    fn error_round_trips(
+        stream in prop_oneof![Just(None), any::<u64>().prop_map(Some)],
+        code in arb_string(),
+        message in arb_string(),
+    ) {
+        assert_round_trip(Frame::Error { stream, code, message })?;
+    }
+
+    #[test]
+    fn decode_never_panics_on_junk(payload in prop::collection::vec(any::<u8>(), 0..64)) {
+        // Any byte soup must yield Ok or Malformed — never a panic.
+        match decode_frame(&payload) {
+            Ok(_) | Err(ProtoError::Malformed(_)) => {}
+            Err(e) => return Err(TestCaseError::Fail(format!("unexpected error: {e}"))),
+        }
+    }
+}
+
+#[test]
+fn extreme_f32_values_survive_the_wire_bitwise() {
+    let meta = vec![
+        f32::MAX,
+        f32::MIN,
+        f32::MIN_POSITIVE,
+        f32::from_bits(1), // smallest subnormal
+        -0.0,
+        0.0,
+        1.0e-38,
+        std::f32::consts::PI,
+    ];
+    let frame = Frame::Data {
+        stream: 0,
+        seq: 0,
+        samples: vec![GeneratedSample { meta: meta.clone(), records: vec![] }],
+    };
+    let bytes = encode_frame(&frame).unwrap();
+    match decode_frame(&bytes[4..]).unwrap() {
+        Frame::Data { samples, .. } => {
+            let back: Vec<u32> = samples[0].meta.iter().map(|x| x.to_bits()).collect();
+            let want: Vec<u32> = meta.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(back, want);
+        }
+        other => panic!("bad decode: {other:?}"),
+    }
+}
+
+#[test]
+fn encode_rejects_payloads_above_the_wire_ceiling() {
+    // ~8 MiB of samples encodes past MAX_FRAME_BYTES.
+    let sample = GeneratedSample { meta: vec![1.25; 1024], records: vec![] };
+    let frame = Frame::Data { stream: 0, seq: 0, samples: vec![sample; 2048] };
+    assert!(matches!(encode_frame(&frame), Err(ProtoError::Oversized(_))));
+}
+
+// --------------------------------------------- live-server fault answers
+
+/// Token that self-cancels so a wedged server cannot hang the suite.
+fn guard_token() -> CancelToken {
+    let token = CancelToken::new();
+    let t = token.clone();
+    std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_secs(20));
+        t.cancel("test guard timeout");
+    });
+    token
+}
+
+fn start_server() -> Server {
+    Server::start(
+        ServerConfig { drain: Duration::from_millis(200), ..ServerConfig::default() },
+        vec![demo_bundle("demo", 7)],
+    )
+    .expect("server start")
+}
+
+fn connect(server: &Server) -> TcpStream {
+    let sock = TcpStream::connect(server.local_addr()).expect("connect");
+    protocol::configure(&sock).expect("configure");
+    sock
+}
+
+/// Performs the client half of a good handshake.
+fn handshake(sock: &mut TcpStream, token: &CancelToken) -> Vec<String> {
+    protocol::write_frame(
+        sock,
+        &Frame::Hello { version: PROTOCOL_VERSION, peer: "test".into(), artifacts: vec![] },
+        token,
+    )
+    .expect("hello send");
+    match protocol::read_frame(sock, token).expect("hello recv") {
+        Frame::Hello { version, artifacts, .. } => {
+            assert_eq!(version, PROTOCOL_VERSION);
+            artifacts
+        }
+        other => panic!("expected server HELLO, got {other:?}"),
+    }
+}
+
+/// Reads frames until an ERROR arrives; returns its code.
+fn read_error_code(sock: &mut TcpStream, token: &CancelToken) -> String {
+    loop {
+        match protocol::read_frame(sock, token).expect("error frame") {
+            Frame::Error { code, .. } => return code,
+            _ => continue,
+        }
+    }
+}
+
+fn wait_sessions_closed(server: &Server) {
+    for _ in 0..200 {
+        if server.stats().sessions_open.load(std::sync::atomic::Ordering::Relaxed) == 0 {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("sessions never unwound");
+}
+
+#[test]
+fn wrong_version_hello_gets_unsupported_version_error() {
+    let server = start_server();
+    let token = guard_token();
+    let mut sock = connect(&server);
+    protocol::write_frame(
+        &mut sock,
+        &Frame::Hello { version: PROTOCOL_VERSION + 9, peer: "future".into(), artifacts: vec![] },
+        &token,
+    )
+    .unwrap();
+    assert_eq!(read_error_code(&mut sock, &token), ERR_VERSION);
+    drop(sock);
+    wait_sessions_closed(&server);
+    assert!(server.stats().errors_sent.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn non_hello_first_frame_is_a_protocol_violation() {
+    let server = start_server();
+    let token = guard_token();
+    let mut sock = connect(&server);
+    protocol::write_frame(&mut sock, &Frame::Credit { stream: 1, frames: 1 }, &token).unwrap();
+    assert_eq!(read_error_code(&mut sock, &token), ERR_PROTOCOL);
+    drop(sock);
+    wait_sessions_closed(&server);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_length_prefix_gets_oversized_frame_error() {
+    let server = start_server();
+    let token = guard_token();
+    let mut sock = connect(&server);
+    handshake(&mut sock, &token);
+    // A prefix claiming u32::MAX bytes: rejected before any allocation.
+    sock.write_all(&u32::MAX.to_be_bytes()).unwrap();
+    assert_eq!(read_error_code(&mut sock, &token), ERR_OVERSIZED);
+    drop(sock);
+    wait_sessions_closed(&server);
+    server.shutdown();
+}
+
+#[test]
+fn zero_length_prefix_gets_oversized_frame_error() {
+    let server = start_server();
+    let token = guard_token();
+    let mut sock = connect(&server);
+    handshake(&mut sock, &token);
+    sock.write_all(&0u32.to_be_bytes()).unwrap();
+    assert_eq!(read_error_code(&mut sock, &token), ERR_OVERSIZED);
+    drop(sock);
+    wait_sessions_closed(&server);
+    server.shutdown();
+}
+
+#[test]
+fn garbage_payload_gets_malformed_frame_error() {
+    let server = start_server();
+    let token = guard_token();
+    let mut sock = connect(&server);
+    handshake(&mut sock, &token);
+    let junk = b"this is not json at all {{{";
+    sock.write_all(&(junk.len() as u32).to_be_bytes()).unwrap();
+    sock.write_all(junk).unwrap();
+    assert_eq!(read_error_code(&mut sock, &token), ERR_MALFORMED);
+    drop(sock);
+    wait_sessions_closed(&server);
+    server.shutdown();
+}
+
+#[test]
+fn truncated_payload_tears_down_without_an_error_frame() {
+    let server = start_server();
+    let token = guard_token();
+    let mut sock = connect(&server);
+    handshake(&mut sock, &token);
+    // Claim 64 bytes, send 3, vanish: the server must just unwind.
+    sock.write_all(&64u32.to_be_bytes()).unwrap();
+    sock.write_all(b"abc").unwrap();
+    drop(sock);
+    wait_sessions_closed(&server);
+    assert_eq!(server.stats().streams_open.load(std::sync::atomic::Ordering::Relaxed), 0);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_artifact_errors_but_keeps_the_connection_usable() {
+    let server = start_server();
+    let token = guard_token();
+    let mut sock = connect(&server);
+    let artifacts = handshake(&mut sock, &token);
+    assert_eq!(artifacts, vec!["demo".to_string()]);
+    protocol::write_frame(
+        &mut sock,
+        &Frame::Subscribe { stream: 1, artifact: "nope".into(), count: 3, credit: 4 },
+        &token,
+    )
+    .unwrap();
+    assert_eq!(read_error_code(&mut sock, &token), ERR_UNKNOWN_ARTIFACT);
+    // The same connection can still subscribe to a real artifact.
+    protocol::write_frame(
+        &mut sock,
+        &Frame::Subscribe { stream: 2, artifact: "demo".into(), count: 3, credit: 4 },
+        &token,
+    )
+    .unwrap();
+    let mut got = 0u64;
+    loop {
+        match protocol::read_frame(&mut sock, &token).expect("stream frame") {
+            Frame::Data { stream, samples, .. } => {
+                assert_eq!(stream, 2);
+                got += samples.len() as u64;
+                protocol::write_frame(&mut sock, &Frame::Credit { stream: 2, frames: 1 }, &token)
+                    .unwrap();
+            }
+            Frame::Eof { stream, total } => {
+                assert_eq!(stream, 2);
+                assert_eq!(total, 3);
+                break;
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert_eq!(got, 3);
+    drop(sock);
+    wait_sessions_closed(&server);
+    server.shutdown();
+}
+
+#[test]
+fn duplicate_stream_id_is_a_protocol_violation() {
+    let server = start_server();
+    let token = guard_token();
+    let mut sock = connect(&server);
+    handshake(&mut sock, &token);
+    for _ in 0..2 {
+        protocol::write_frame(
+            &mut sock,
+            &Frame::Subscribe { stream: 5, artifact: "demo".into(), count: 2, credit: 1 },
+            &token,
+        )
+        .unwrap();
+    }
+    // Skip past DATA/EOF of the first subscription to the ERROR.
+    let code = read_error_code(&mut sock, &token);
+    assert_eq!(code, ERR_PROTOCOL);
+    drop(sock);
+    wait_sessions_closed(&server);
+    server.shutdown();
+}

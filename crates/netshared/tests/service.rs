@@ -1,0 +1,247 @@
+//! Concurrency and lifecycle: N concurrent clients get bitwise-correct
+//! streams, disconnects free their sessions, and silent clients are
+//! evicted by the reused orchestrator watchdog.
+//!
+//! lint: io-boundary — raw sockets simulate disconnecting and silent
+//! clients.
+
+use netshared::protocol::{self, Frame, PROTOCOL_VERSION};
+use netshared::{demo_bundle, pull, PullConfig, Server, ServerConfig};
+use orchestrator::CancelToken;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+fn guard_token() -> CancelToken {
+    let token = CancelToken::new();
+    let t = token.clone();
+    std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_secs(30));
+        t.cancel("test guard timeout");
+    });
+    token
+}
+
+fn bits(samples: &[doppelganger::GeneratedSample]) -> Vec<Vec<u32>> {
+    samples
+        .iter()
+        .map(|s| {
+            let mut row: Vec<u32> = s.meta.iter().map(|x| x.to_bits()).collect();
+            for r in &s.records {
+                row.extend(r.iter().map(|x| x.to_bits()));
+            }
+            row
+        })
+        .collect()
+}
+
+fn wait_zero(server: &Server) {
+    let stats = server.stats();
+    for _ in 0..400 {
+        if stats.sessions_open.load(Ordering::Relaxed) == 0
+            && stats.streams_open.load(Ordering::Relaxed) == 0
+        {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!(
+        "resources leaked: {} session(s), {} stream(s)",
+        stats.sessions_open.load(Ordering::Relaxed),
+        stats.streams_open.load(Ordering::Relaxed),
+    );
+}
+
+#[test]
+fn concurrent_clients_get_bitwise_identical_output_to_offline_sampling() {
+    let datasets: &[(&str, u64, u64)] = &[("ugr16", 11, 37), ("caida", 23, 50), ("dc", 5, 21)];
+    let server = Server::start(
+        ServerConfig { drain: Duration::from_millis(200), ..ServerConfig::default() },
+        datasets.iter().map(|(name, seed, _)| demo_bundle(name, *seed)).collect(),
+    )
+    .expect("server start");
+    let addr = server.local_addr().to_string();
+
+    // Two clients per dataset, all pulling at once.
+    let mut workers = Vec::new();
+    for &(name, _seed, count) in datasets {
+        for client in 0..2 {
+            let addr = addr.clone();
+            workers.push(std::thread::spawn(move || {
+                let token = guard_token();
+                let mut cfg = PullConfig::new(&addr, name, count);
+                cfg.credit = 1 + client as u32 * 3; // window sizes must not matter
+                cfg.peer = format!("{name}-client-{client}");
+                let result = pull(&cfg, &token).expect("pull");
+                (name, count, result)
+            }));
+        }
+    }
+    for worker in workers {
+        let (name, count, result) = worker.join().expect("client thread");
+        assert_eq!(result.samples.len() as u64, count);
+        assert_eq!(result.eof_total, count);
+        let mut names = result.server_artifacts.clone();
+        names.sort();
+        assert_eq!(names, vec!["caida", "dc", "ugr16"]);
+
+        let (_, seed, _) = datasets.iter().find(|(n, ..)| *n == name).unwrap();
+        let mut offline = demo_bundle(name, *seed).rebuild().expect("rebuild");
+        assert_eq!(
+            bits(&result.samples),
+            bits(&offline.sample_fast(count as usize)),
+            "{name}: streamed output diverged from offline sample_fast"
+        );
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.sessions_total.load(Ordering::Relaxed), 6);
+    assert!(stats.frames_sent.load(Ordering::Relaxed) >= 6);
+    assert_eq!(stats.eofs_sent.load(Ordering::Relaxed), 6);
+    wait_zero(&server);
+    assert_eq!(server.shutdown(), 0);
+}
+
+#[test]
+fn one_connection_can_multiplex_interleaved_streams() {
+    let server = Server::start(
+        ServerConfig { drain: Duration::from_millis(200), ..ServerConfig::default() },
+        vec![demo_bundle("a", 1), demo_bundle("b", 2)],
+    )
+    .expect("server start");
+    let token = guard_token();
+    let mut sock = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    protocol::configure(&sock).expect("configure");
+    protocol::write_frame(
+        &mut sock,
+        &Frame::Hello { version: PROTOCOL_VERSION, peer: "mux".into(), artifacts: vec![] },
+        &token,
+    )
+    .unwrap();
+    protocol::read_frame(&mut sock, &token).expect("server hello");
+    for (stream, artifact) in [(10u64, "a"), (20u64, "b")] {
+        protocol::write_frame(
+            &mut sock,
+            &Frame::Subscribe { stream, artifact: artifact.into(), count: 25, credit: 2 },
+            &token,
+        )
+        .unwrap();
+    }
+
+    let mut got: std::collections::BTreeMap<u64, Vec<doppelganger::GeneratedSample>> =
+        [(10, Vec::new()), (20, Vec::new())].into();
+    let mut eofs = 0;
+    let mut seqs: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    while eofs < 2 {
+        match protocol::read_frame(&mut sock, &token).expect("frame") {
+            Frame::Data { stream, seq, samples } => {
+                let next = seqs.entry(stream).or_insert(0);
+                assert_eq!(seq, *next, "stream {stream} out of order");
+                *next += 1;
+                got.get_mut(&stream).expect("known stream").extend(samples);
+                protocol::write_frame(&mut sock, &Frame::Credit { stream, frames: 1 }, &token)
+                    .unwrap();
+            }
+            Frame::Eof { total, .. } => {
+                assert_eq!(total, 25);
+                eofs += 1;
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    for (stream, seed) in [(10u64, 1u64), (20, 2)] {
+        let name = if stream == 10 { "a" } else { "b" };
+        let mut offline = demo_bundle(name, seed).rebuild().expect("rebuild");
+        assert_eq!(bits(&got[&stream]), bits(&offline.sample_fast(25)), "stream {stream}");
+    }
+    drop(sock);
+    wait_zero(&server);
+    server.shutdown();
+}
+
+#[test]
+fn disconnect_mid_stream_frees_the_session() {
+    let server = Server::start(
+        ServerConfig { drain: Duration::from_millis(200), ..ServerConfig::default() },
+        vec![demo_bundle("demo", 7)],
+    )
+    .expect("server start");
+    let token = guard_token();
+    let mut sock = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    protocol::configure(&sock).expect("configure");
+    protocol::write_frame(
+        &mut sock,
+        &Frame::Hello { version: PROTOCOL_VERSION, peer: "flaky".into(), artifacts: vec![] },
+        &token,
+    )
+    .unwrap();
+    protocol::read_frame(&mut sock, &token).expect("server hello");
+    protocol::write_frame(
+        &mut sock,
+        &Frame::Subscribe { stream: 1, artifact: "demo".into(), count: 1000, credit: 2 },
+        &token,
+    )
+    .unwrap();
+    // Take a couple of frames to prove the stream was live, then vanish.
+    for _ in 0..2 {
+        match protocol::read_frame(&mut sock, &token).expect("data") {
+            Frame::Data { .. } => {}
+            other => panic!("expected DATA, got {other:?}"),
+        }
+    }
+    assert_eq!(server.stats().sessions_open.load(Ordering::Relaxed), 1);
+    drop(sock);
+
+    // Producer, sender, and session threads must all unwind; the gauges
+    // return to zero without any explicit cleanup call.
+    wait_zero(&server);
+    assert_eq!(server.shutdown(), 0);
+}
+
+#[test]
+fn silent_client_is_evicted_by_the_idle_watchdog() {
+    let server = Server::start(
+        ServerConfig {
+            idle_timeout_secs: Some(0.3),
+            drain: Duration::from_millis(200),
+            ..ServerConfig::default()
+        },
+        vec![demo_bundle("demo", 7)],
+    )
+    .expect("server start");
+    let token = guard_token();
+    let mut sock = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    protocol::configure(&sock).expect("configure");
+    protocol::write_frame(
+        &mut sock,
+        &Frame::Hello { version: PROTOCOL_VERSION, peer: "silent".into(), artifacts: vec![] },
+        &token,
+    )
+    .unwrap();
+    protocol::read_frame(&mut sock, &token).expect("server hello");
+    // ... and then say nothing at all.
+
+    let stats = server.stats();
+    let mut ticks = 0;
+    while stats.evictions.load(Ordering::Relaxed) == 0 && ticks < 400 {
+        std::thread::sleep(Duration::from_millis(10));
+        ticks += 1;
+    }
+    assert!(stats.evictions.load(Ordering::Relaxed) >= 1, "watchdog never evicted");
+    wait_zero(&server);
+
+    // The eviction is visible in the orchestrator event log too.
+    let cancelled = server
+        .events()
+        .events()
+        .iter()
+        .any(|e| format!("{e:?}").contains("session-"));
+    assert!(cancelled, "no watchdog event recorded for the session");
+
+    // An active client on the same server is NOT evicted: activity beats
+    // the heartbeat on every frame.
+    let cfg = PullConfig::new(&server.local_addr().to_string(), "demo", 40);
+    let result = pull(&cfg, &token).expect("active pull");
+    assert_eq!(result.samples.len(), 40);
+    drop(sock);
+    server.shutdown();
+}

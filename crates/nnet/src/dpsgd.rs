@@ -13,9 +13,10 @@
 use crate::Parameterized;
 use rand::prelude::*;
 use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
 
 /// DP-SGD hyper-parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DpSgdConfig {
     /// Per-example gradient clipping norm `C`.
     pub clip_norm: f32,

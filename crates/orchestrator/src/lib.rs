@@ -45,7 +45,7 @@ pub mod events;
 pub mod manifest;
 pub mod pool;
 pub mod timing;
-pub(crate) mod watchdog;
+pub mod watchdog;
 
 pub use cancel::CancelToken;
 pub use chaos::{ChaosEntry, ChaosPlan, FaultClass, CHAOS_GRAMMAR};
@@ -54,4 +54,4 @@ pub use events::{Event, EventLog};
 pub use manifest::{atomic_write, fnv1a64, quarantine, Manifest, ManifestEntry};
 pub use pool::{run, JobStats, OrchestratorError, RunOptions, RunReport};
 pub use timing::{measure, thread_cpu_seconds, Heartbeat};
-pub use watchdog::WatchdogOptions;
+pub use watchdog::{WatchGuard, Watchdog, WatchdogOptions};

@@ -55,7 +55,11 @@ struct Watch {
 }
 
 /// The attempt registry plus the polling loop (see module docs).
-pub(crate) struct Watchdog {
+///
+/// Public since PR 7: the `netshared` daemon reuses it to evict idle
+/// client sessions (each session registers with its heartbeat + cancel
+/// token; staleness trips the token and the session unwinds).
+pub struct Watchdog {
     opts: WatchdogOptions,
     watches: Mutex<BTreeMap<u64, Watch>>,
     next_id: AtomicU64,
@@ -63,7 +67,7 @@ pub(crate) struct Watchdog {
 }
 
 /// RAII registration of one job attempt; dropping unregisters it.
-pub(crate) struct WatchGuard<'a> {
+pub struct WatchGuard<'a> {
     dog: &'a Watchdog,
     id: u64,
 }
@@ -76,7 +80,7 @@ impl Drop for WatchGuard<'_> {
 }
 
 impl Watchdog {
-    pub(crate) fn new(opts: WatchdogOptions) -> Self {
+    pub fn new(opts: WatchdogOptions) -> Self {
         Watchdog {
             opts,
             watches: Mutex::new(BTreeMap::new()),
@@ -86,12 +90,12 @@ impl Watchdog {
     }
 
     /// Whether any limit is configured (otherwise no thread is spawned).
-    pub(crate) fn enabled(&self) -> bool {
+    pub fn enabled(&self) -> bool {
         self.opts.max_job_secs.is_some() || self.opts.heartbeat_timeout_secs.is_some()
     }
 
     /// Registers a job attempt for supervision.
-    pub(crate) fn register(
+    pub fn register(
         &self,
         job: &str,
         attempt: u32,
@@ -113,13 +117,13 @@ impl Watchdog {
     }
 
     /// Stops the polling loop (idempotent).
-    pub(crate) fn stop(&self) {
+    pub fn stop(&self) {
         self.shutdown.cancel("watchdog shutdown");
     }
 
     /// The polling loop body; runs on a dedicated thread inside the worker
     /// scope until [`Watchdog::stop`].
-    pub(crate) fn run(&self, events: &EventLog) {
+    pub fn run(&self, events: &EventLog) {
         while !self.shutdown.wait_timeout(self.opts.poll) {
             self.sweep(events);
         }

@@ -89,6 +89,26 @@ mod imp {
             self.bits.store(v.to_bits(), Ordering::Relaxed);
         }
 
+        /// Add `delta` (negative to subtract) with a CAS loop, so
+        /// concurrent up/down movements (e.g. `netshared.streams.open`
+        /// from many sessions) never lose updates the way a
+        /// read-modify-`set` would.
+        pub fn add(&self, delta: f64) {
+            let mut cur = self.bits.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(cur) + delta).to_bits();
+                match self.bits.compare_exchange_weak(
+                    cur,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+
         /// Current value.
         pub fn get(&self) -> f64 {
             f64::from_bits(self.bits.load(Ordering::Relaxed))
@@ -432,6 +452,9 @@ mod noop {
         /// Feature-off: does nothing.
         #[inline(always)]
         pub fn set(&self, _v: f64) {}
+        /// Feature-off: does nothing.
+        #[inline(always)]
+        pub fn add(&self, _delta: f64) {}
         /// Feature-off: always zero.
         #[inline(always)]
         pub fn get(&self) -> f64 {

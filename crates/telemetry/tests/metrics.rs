@@ -51,6 +51,35 @@ fn first_registration_fixes_histogram_edges() {
 }
 
 #[test]
+fn gauge_add_moves_both_ways_and_survives_contention() {
+    let reg = Registry::new();
+    let g = reg.gauge("sessions.open");
+    g.add(3.0);
+    g.add(-1.0);
+    assert_eq!(g.get(), 2.0);
+    g.set(0.0);
+
+    // 4 threads × 1000 balanced up/down movements: a lossy
+    // read-modify-set would drift; the CAS loop must land on 0.
+    let reg = Arc::new(reg);
+    let handles: Vec<_> = (0..4u64)
+        .map(|_| {
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    reg.gauge("sessions.open").add(1.0);
+                    reg.gauge("sessions.open").add(-1.0);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(reg.gauge("sessions.open").get(), 0.0);
+}
+
+#[test]
 fn snapshots_are_deterministic_under_concurrent_recording() {
     let reg = Arc::new(Registry::new());
     let handles: Vec<_> = (0..4u64)

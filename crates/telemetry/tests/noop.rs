@@ -35,6 +35,7 @@ fn feature_off_metrics_are_zero_sized_noops() {
 
     let g = telemetry::metrics::gauge("x.loss");
     g.set(3.0);
+    g.add(2.0);
     assert_eq!(g.get(), 0.0);
 
     let h = telemetry::metrics::histogram("x.us", &[1.0]);

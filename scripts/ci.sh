@@ -8,6 +8,7 @@
 #   scripts/ci.sh        # run the full gate
 #   scripts/ci.sh bench  # run benchmarks and emit BENCH_<host>_<date>.json
 #   scripts/ci.sh chaos  # fault-matrix smoke through the CLI
+#   scripts/ci.sh serve  # netshared daemon + pull-client serving smoke
 #
 # Run from anywhere; operates on the repo root.
 set -euo pipefail
@@ -121,6 +122,69 @@ if [[ "${1:-}" == "chaos" ]]; then
   exit 0
 fi
 
+# Serving smoke: boot the real daemon on an ephemeral port, stream
+# concurrent pulls through the real client, and drive the graceful drain
+# over the stdin FIFO (the SIGTERM stand-in the daemon documents). Every
+# process runs under an outer `timeout`, so a wedged handshake fails the
+# gate instead of hanging it. Two same-count pulls of the same artifact
+# must agree byte-for-byte (each SUBSCRIBE rebuilds its generator
+# deterministically from the bundle), and the shutdown metrics snapshot
+# must carry serving evidence with zero drops.
+if [[ "${1:-}" == "serve" ]]; then
+  cargo build --release -p netshared -p netshare
+  daemon=target/release/netshared
+  cli=target/release/netshare_cli
+  sv="$(mktemp -d)"
+  trap 'rm -rf "$sv"' EXIT
+  mkfifo "$sv/ctl"
+  timeout 120 "$daemon" --demo demo:7 --demo tiny:3 \
+    --addr-file "$sv/addr" --capacity-bytes 8192 --drain-secs 1 \
+    --metrics-out "$sv/metrics.json" < "$sv/ctl" &
+  daemon_pid=$!
+  # Hold the FIFO's write end open so the daemon idles on stdin; this
+  # also unblocks its open-for-read.
+  exec 9> "$sv/ctl"
+
+  for _ in $(seq 100); do [[ -s "$sv/addr" ]] && break; sleep 0.1; done
+  [[ -s "$sv/addr" ]] || { echo "serve: daemon never wrote --addr-file" >&2; exit 1; }
+  addr="$(cat "$sv/addr")"
+
+  timeout 60 "$cli" pull "$addr" demo --count 64 --credit 2 --out "$sv/a.jsonl" &
+  pull_a=$!
+  timeout 60 "$cli" pull "$addr" demo --count 64 --credit 8 --out "$sv/b.jsonl" &
+  pull_b=$!
+  timeout 60 "$cli" pull "$addr" tiny --count 16 --out "$sv/c.jsonl"
+  wait "$pull_a"
+  wait "$pull_b"
+
+  [[ "$(wc -l < "$sv/a.jsonl")" == 64 ]] || { echo "serve: pull a short" >&2; exit 1; }
+  [[ "$(wc -l < "$sv/b.jsonl")" == 64 ]] || { echo "serve: pull b short" >&2; exit 1; }
+  [[ "$(wc -l < "$sv/c.jsonl")" == 16 ]] || { echo "serve: pull c short" >&2; exit 1; }
+  cmp "$sv/a.jsonl" "$sv/b.jsonl"
+
+  # Unknown artifacts must fail the client loudly (exit 1) while the
+  # daemon keeps serving.
+  rc=0
+  timeout 60 "$cli" pull "$addr" no-such-artifact --count 1 \
+    2> "$sv/unknown.err" || rc=$?
+  [[ "$rc" == 1 ]] || { echo "serve: expected exit 1 for unknown artifact, got $rc" >&2; exit 1; }
+  grep -q 'unknown-artifact' "$sv/unknown.err"
+
+  echo shutdown >&9
+  exec 9>&-
+  wait "$daemon_pid"
+
+  grep -q '"netshared.subscribes":3' "$sv/metrics.json"
+  grep -Eq '"netshared\.frames\.sent":[1-9]' "$sv/metrics.json"
+  grep -Eq '"netshared\.errors\.sent":[1-9]' "$sv/metrics.json"
+  if grep -Eq '"netshared\.stream\.drops":[1-9]' "$sv/metrics.json"; then
+    echo "serve: frames dropped during a clean run" >&2
+    exit 1
+  fi
+  echo "serve smoke: concurrent pulls agreed, drain clean, metrics complete"
+  exit 0
+fi
+
 # --workspace so member bins (netshare_cli, netshare-lint, bench_report)
 # are rebuilt too — the root package alone would leave them stale.
 cargo build --release --workspace
@@ -193,3 +257,7 @@ for metric in '"gemm.calls"' '"train.d_loss"' '"train.g_loss"' '"orchestrator.re
     || { echo "missing $metric in metrics snapshot" >&2; exit 1; }
 done
 echo "orchestrator smoke: fault retried, output identical, telemetry snapshot complete"
+
+# Serving smoke rides on the release binaries built above (separate shell,
+# so its EXIT trap doesn't clobber ours).
+"$0" serve
