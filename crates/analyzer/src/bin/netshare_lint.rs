@@ -4,7 +4,17 @@
 //! netshare-lint [--root DIR] [--format text|json] [--fix-dry-run]
 //!               [--deny RULE] [--warn RULE] [--allow RULE] [--list-rules]
 //!               [--file PATH [--as-crate NAME] [--as-role ROLE]]
+//!               [--workspace-graph] [--baseline PATH]
+//!               [--write-baseline PATH] [--diff FILE]...
 //! ```
+//!
+//! `--workspace-graph` runs the per-file rules plus the three
+//! cross-module passes (lock-order, capability graph, DP taint
+//! dataflow). `--diff FILE` (repeatable, implies the graph mode)
+//! restricts reporting to the reverse-dependency cone of the named
+//! files. `--baseline PATH` demotes findings listed in the committed
+//! baseline to non-fatal and warns about stale entries;
+//! `--write-baseline PATH` regenerates that file from the current run.
 //!
 //! Exit codes: 0 clean (or warnings only), 1 deny-level findings,
 //! 2 usage error.
@@ -13,7 +23,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use analyzer::config::{Config, Role, RuleId, Severity};
-use analyzer::report::Report;
+use analyzer::report::{Baseline, Report};
 
 struct Args {
     root: PathBuf,
@@ -24,6 +34,10 @@ struct Args {
     as_crate: Option<String>,
     as_role: Option<Role>,
     overrides: Vec<(RuleId, Severity)>,
+    workspace_graph: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    diff: Vec<String>,
 }
 
 #[derive(PartialEq)]
@@ -37,6 +51,8 @@ fn usage() -> String {
         "usage: netshare-lint [--root DIR] [--format text|json] [--fix-dry-run]\n\
          \x20                    [--deny RULE] [--warn RULE] [--allow RULE] [--list-rules]\n\
          \x20                    [--file PATH [--as-crate NAME] [--as-role lib|bin|test|bench]]\n\
+         \x20                    [--workspace-graph] [--baseline PATH]\n\
+         \x20                    [--write-baseline PATH] [--diff FILE]...\n\
          rules:\n",
     );
     for r in RuleId::ALL {
@@ -55,6 +71,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         as_crate: None,
         as_role: None,
         overrides: Vec::new(),
+        workspace_graph: false,
+        baseline: None,
+        write_baseline: None,
+        diff: Vec::new(),
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -85,6 +105,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     other => return Err(format!("unknown role `{other}`")),
                 })
             }
+            "--workspace-graph" => args.workspace_graph = true,
+            "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--write-baseline" => {
+                args.write_baseline = Some(PathBuf::from(value("--write-baseline")?))
+            }
+            "--diff" => args.diff.push(value("--diff")?),
             sev @ ("--deny" | "--warn" | "--allow") => {
                 let name = value(sev)?;
                 let rule = RuleId::parse(&name)
@@ -99,6 +125,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
         }
+    }
+    if args.file.is_some() && (args.workspace_graph || !args.diff.is_empty()) {
+        return Err("--file conflicts with --workspace-graph/--diff".into());
     }
     Ok(args)
 }
@@ -126,24 +155,48 @@ fn main() -> ExitCode {
         cfg.severities.insert(*rule, *sev);
     }
 
-    let report = match &args.file {
-        Some(path) => analyzer::lint_one_file(
-            &args.root,
-            path,
-            &cfg,
-            args.as_crate.as_deref(),
-            args.as_role,
-        )
-        .map(|diagnostics| Report { diagnostics, files_checked: 1 }),
-        None => analyzer::run_workspace(&args.root, &cfg),
+    let report = if let Some(path) = &args.file {
+        analyzer::lint_one_file(&args.root, path, &cfg, args.as_crate.as_deref(), args.as_role)
+            .map(|diagnostics| Report::new(diagnostics, 1))
+    } else if args.workspace_graph || !args.diff.is_empty() || args.write_baseline.is_some() {
+        let changed = if args.diff.is_empty() {
+            None
+        } else {
+            Some(args.diff.as_slice())
+        };
+        analyzer::run_workspace_graph(&args.root, &cfg, changed)
+    } else {
+        analyzer::run_workspace(&args.root, &cfg)
     };
-    let report = match report {
+    let mut report = match report {
         Ok(r) => r,
         Err(e) => {
             eprintln!("netshare-lint: io error: {e}");
             return ExitCode::from(2);
         }
     };
+
+    if let Some(path) = &args.write_baseline {
+        let text = Baseline::render(&report);
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("netshare-lint: cannot write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        let entries = text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()).count();
+        println!("netshare-lint: wrote {entries} baseline entries to {}", path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = &args.baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("netshare-lint: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        Baseline::parse(&text).apply(&mut report);
+    }
 
     if args.fix_dry_run {
         print!("{}", report.to_fix_dry_run());

@@ -1,0 +1,469 @@
+//! Workspace capability analysis (`capability-graph`).
+//!
+//! Every `fn` gets an effect manifest over six capabilities — `entropy`,
+//! `clock`, `net`, `fs`, `unsafe`, `panic` — from direct lexical
+//! evidence, then capabilities propagate caller-ward over the resolved
+//! call graph. Propagation is *absorbed* at sanctioned boundaries: a
+//! call into a file that is allowed to hold a capability (the entropy /
+//! clock whitelists, `lint: io-boundary` modules for `net`, shims,
+//! non-library roles, and `lint: caps(...)` declarations) does not taint
+//! the caller — that is the point of a sanctioned boundary. What remains
+//! is exactly the tag-at-the-leaf blindspot of the per-file rules: an
+//! untagged library helper that transitively reaches `.accept(` or
+//! `SystemTime::now` through other *unsanctioned* helpers.
+//!
+//! Only `entropy`, `clock`, and `net` deny ([`Config::deny_caps`]);
+//! `fs`, `unsafe`, and `panic` are manifest-only and appear in the JSON
+//! graph dump for auditing. Direct evidence already covered by the
+//! legacy leaf rules (`ambient-entropy`, `telemetry-clock`,
+//! `blocking-accept-loop`) is not re-reported; direct evidence those
+//! rules miss (`from_entropy`, `TcpListener::bind`, `TcpStream::connect`)
+//! fires here.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::{Config, Role, RuleId, Severity};
+use crate::engine::{Diagnostic, RelatedSite};
+use crate::graph::WorkspaceModel;
+use crate::lexer::TokKind;
+use crate::syntax::FileModel;
+
+/// Capability index space.
+pub const CAPS: [&str; 6] = ["entropy", "clock", "net", "fs", "unsafe", "panic"];
+
+/// One piece of direct evidence.
+#[derive(Debug, Clone)]
+struct Evidence {
+    line: u32,
+    what: String,
+    /// True when no legacy per-file rule covers this evidence kind.
+    novel: bool,
+}
+
+/// Pass output.
+pub struct CapAnalysis {
+    /// Deny findings (propagated or novel-direct deny-caps).
+    pub diagnostics: Vec<Diagnostic>,
+    /// `(module rel_path, capability names)` for every module that
+    /// carries any capability, sanctioned or not.
+    pub manifest: Vec<(String, Vec<String>)>,
+}
+
+/// Runs the pass.
+/// `(call line, callee file, callee fn line, callee name)` — the call
+/// through which a propagated capability was inherited.
+type Witness = (u32, usize, u32, String);
+
+pub fn analyze(model: &WorkspaceModel, cfg: &Config) -> CapAnalysis {
+    // Direct evidence per (file, fn, cap) — first witness wins.
+    let mut direct: Vec<Vec<BTreeMap<usize, Evidence>>> = Vec::new();
+    for file in &model.files {
+        let mut per_fn = vec![BTreeMap::new(); file.fns.len()];
+        if !file.meta.is_shim && !cfg.is_exempt(&file.meta.rel_path) {
+            collect_direct(file, &mut per_fn);
+        }
+        direct.push(per_fn);
+    }
+
+    // Propagated caps per (file, fn): start from direct, iterate to a
+    // fixpoint over resolved calls; record the witness call per cap.
+    let mut caps: Vec<Vec<BTreeSet<usize>>> = direct
+        .iter()
+        .map(|f| f.iter().map(|m| m.keys().copied().collect()).collect())
+        .collect();
+    // (file, fn, cap) -> the witness call the capability arrived through
+    let mut via: BTreeMap<(usize, usize, usize), Witness> = BTreeMap::new();
+    loop {
+        let mut changed = false;
+        for fi in 0..model.files.len() {
+            let file = &model.files[fi];
+            if file.meta.is_shim || cfg.is_exempt(&file.meta.rel_path) {
+                continue;
+            }
+            for call in &file.calls {
+                if file.in_test_region(call.line) {
+                    continue;
+                }
+                let Some(caller) = file.enclosing_fn(call.tok) else {
+                    continue;
+                };
+                for (tf, ti) in model.resolve_call(fi, call) {
+                    if tf == fi && ti == caller {
+                        continue;
+                    }
+                    let callee_file = &model.files[tf];
+                    let gained: Vec<usize> = caps[tf][ti]
+                        .iter()
+                        .copied()
+                        .filter(|&c| !sanctioned(callee_file, cfg, c))
+                        .filter(|c| !caps[fi][caller].contains(c))
+                        .collect();
+                    for c in gained {
+                        caps[fi][caller].insert(c);
+                        via.entry((fi, caller, c)).or_insert((
+                            call.line,
+                            tf,
+                            model.files[tf].fns[ti].line,
+                            call.name.clone(),
+                        ));
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Module manifests: union over fns.
+    let mut manifest = Vec::new();
+    for (fi, file) in model.files.iter().enumerate() {
+        let mut all: BTreeSet<usize> = BTreeSet::new();
+        for f in &caps[fi] {
+            all.extend(f.iter().copied());
+        }
+        if !all.is_empty() {
+            manifest.push((
+                file.meta.rel_path.clone(),
+                all.iter().map(|&c| CAPS[c].to_string()).collect(),
+            ));
+        }
+    }
+
+    // Findings: deny-caps in unsanctioned library files.
+    let deny: BTreeSet<usize> = CAPS
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| cfg.deny_caps.iter().any(|d| d == **n))
+        .map(|(i, _)| i)
+        .collect();
+    let mut diagnostics = Vec::new();
+    let mut seen: BTreeSet<(String, u32, usize)> = BTreeSet::new();
+    for (fi, file) in model.files.iter().enumerate() {
+        if file.meta.is_shim
+            || cfg.is_exempt(&file.meta.rel_path)
+            || file.meta.role != Role::Lib
+        {
+            continue;
+        }
+        for (ii, fn_caps) in caps[fi].iter().enumerate() {
+            for &c in fn_caps.iter().filter(|c| deny.contains(c)) {
+                if sanctioned(file, cfg, c) {
+                    continue;
+                }
+                if let Some(ev) = direct[fi][ii].get(&c) {
+                    if ev.novel && seen.insert((file.meta.rel_path.clone(), ev.line, c)) {
+                        diagnostics.push(direct_diag(file, c, ev, cfg));
+                    }
+                } else if let Some((line, tf, tline, name)) = via.get(&(fi, ii, c)) {
+                    if seen.insert((file.meta.rel_path.clone(), *line, c)) {
+                        diagnostics.push(propagated_diag(
+                            file,
+                            c,
+                            *line,
+                            name,
+                            (&model.files[*tf].meta.rel_path, *tline),
+                            cfg,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    for d in diagnostics.iter_mut() {
+        if let Some(file) = model.files.iter().find(|f| f.meta.rel_path == d.file) {
+            if let Some(w) = file
+                .waivers
+                .iter()
+                .find(|w| w.rule == d.rule && w.covers == d.line)
+            {
+                d.waived = true;
+                d.waiver_reason = Some(w.reason.clone());
+            }
+        }
+    }
+    CapAnalysis { diagnostics, manifest }
+}
+
+/// True when `file` may hold capability `c` without findings — and
+/// absorbs it instead of passing it to callers.
+fn sanctioned(file: &FileModel, cfg: &Config, c: usize) -> bool {
+    if file.meta.is_shim || file.meta.role != Role::Lib {
+        return true;
+    }
+    if file.caps_decl.iter().any(|d| d == CAPS[c]) {
+        return true;
+    }
+    let rel = &file.meta.rel_path;
+    match CAPS[c] {
+        "entropy" => cfg.entropy_whitelist.iter().any(|p| rel.starts_with(p)),
+        "clock" => cfg.clock_whitelist.iter().any(|p| rel.starts_with(p)),
+        "net" => file.io_tagged,
+        // fs/unsafe/panic are manifest-only: sanctioned everywhere.
+        _ => true,
+    }
+}
+
+fn collect_direct(file: &FileModel, per_fn: &mut [BTreeMap<usize, Evidence>]) {
+    let toks = &file.lexed.toks;
+    // lint: allow(panic-in-lib) every name passed below is a literal from CAPS
+    let cap_idx = |name: &str| CAPS.iter().position(|c| *c == name).unwrap();
+    let mut add = |file: &FileModel, tok: usize, cap: &str, what: &str, novel: bool| {
+        let line = toks[tok].line;
+        if file.in_test_region(line) {
+            return;
+        }
+        if let Some(fi) = file.enclosing_fn(tok) {
+            per_fn[fi].entry(cap_idx(cap)).or_insert(Evidence {
+                line,
+                what: what.to_string(),
+                novel,
+            });
+        }
+    };
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+        let prev2 = i.checked_sub(2).map(|p| toks[p].text.as_str());
+        let next = toks.get(i + 1).map(|n| n.text.as_str());
+        let is_method = prev == Some(".");
+        let is_call = next == Some("(");
+        match t.text.as_str() {
+            "thread_rng" if is_call => add(file, i, "entropy", "thread_rng()", false),
+            "from_entropy" if is_call && is_method => {
+                add(file, i, "entropy", ".from_entropy()", true)
+            }
+            "random" if is_call && prev == Some("::") && prev2 == Some("rand") => {
+                add(file, i, "entropy", "rand::random()", false)
+            }
+            "now" if is_call && prev == Some("::") => {
+                if prev2 == Some("SystemTime") {
+                    add(file, i, "clock", "SystemTime::now()", false);
+                } else if prev2 == Some("Instant") {
+                    add(file, i, "clock", "Instant::now()", false);
+                }
+            }
+            "monotonic_nanos" if is_call => {
+                add(file, i, "clock", "telemetry::clock::monotonic_nanos()", false)
+            }
+            "accept" if is_call && is_method => add(file, i, "net", ".accept(", false),
+            "read_exact" if is_call && is_method => add(file, i, "net", ".read_exact(", false),
+            "bind" if is_call && prev == Some("::") && prev2 == Some("TcpListener") => {
+                add(file, i, "net", "TcpListener::bind(", true)
+            }
+            "connect" if is_call && prev == Some("::") && prev2 == Some("TcpStream") => {
+                add(file, i, "net", "TcpStream::connect(", true)
+            }
+            "unsafe" => add(file, i, "unsafe", "unsafe", false),
+            "panic" if next == Some("!") => add(file, i, "panic", "panic!", false),
+            "unwrap" | "expect" if is_call && is_method => add(file, i, "panic", ".unwrap()", false),
+            "File" if next == Some("::") => add(file, i, "fs", "File::", false),
+            "OpenOptions" => add(file, i, "fs", "OpenOptions", false),
+            "read_to_string" | "create_dir_all" | "remove_file" | "rename"
+                if prev == Some("::") && prev2 == Some("fs") =>
+            {
+                add(file, i, "fs", "std::fs op", false)
+            }
+            _ => {}
+        }
+    }
+}
+
+fn direct_diag(file: &FileModel, c: usize, ev: &Evidence, cfg: &Config) -> Diagnostic {
+    Diagnostic {
+        rule: RuleId::CapabilityGraph,
+        severity: cfg.severity(RuleId::CapabilityGraph),
+        file: file.meta.rel_path.clone(),
+        line: ev.line,
+        message: format!(
+            "module uses the `{}` capability directly (`{}`) but is not \
+             sanctioned for it; move this behind a sanctioned boundary or \
+             declare it with `lint: caps({})`",
+            CAPS[c],
+            ev.what.trim_end_matches('('),
+            CAPS[c]
+        ),
+        snippet: file.snippet(ev.line),
+        suggestion: None,
+        waived: false,
+        waiver_reason: None,
+        related: Vec::new(),
+        baselined: false,
+    }
+}
+
+fn propagated_diag(
+    file: &FileModel,
+    c: usize,
+    line: u32,
+    callee: &str,
+    callee_site: (&String, u32),
+    cfg: &Config,
+) -> Diagnostic {
+    Diagnostic {
+        rule: RuleId::CapabilityGraph,
+        severity: cfg.severity(RuleId::CapabilityGraph),
+        file: file.meta.rel_path.clone(),
+        line,
+        message: format!(
+            "call to `{callee}` transitively reaches the `{}` capability \
+             through unsanctioned helpers; route it through a sanctioned \
+             boundary or declare `lint: caps({})` on this module",
+            CAPS[c], CAPS[c]
+        ),
+        snippet: file.snippet(line),
+        suggestion: None,
+        waived: false,
+        waiver_reason: None,
+        related: vec![RelatedSite {
+            file: callee_site.0.clone(),
+            line: callee_site.1,
+            note: format!("`{callee}` defined here carries `{}`", CAPS[c]),
+        }],
+        baselined: false,
+    }
+}
+
+/// True when nothing denies (used by tests).
+pub fn clean(a: &CapAnalysis) -> bool {
+    !a.diagnostics
+        .iter()
+        .any(|d| !d.waived && d.severity == Severity::Deny)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::classify;
+    use crate::graph::WorkspaceModel;
+    use crate::syntax::FileModel;
+
+    fn run(files: &[(&str, &str)]) -> CapAnalysis {
+        let cfg = Config::default();
+        let model = WorkspaceModel::build(
+            files
+                .iter()
+                .map(|(p, s)| FileModel::build(classify(p), &cfg, s.to_string()))
+                .collect(),
+        );
+        analyze(&model, &cfg)
+    }
+
+    #[test]
+    fn transitive_net_capability_trips_untagged_caller() {
+        let helper = "pub fn raw_read(sock: &mut TcpStream, buf: &mut [u8]) {\n\
+                      sock.read_exact(buf).unwrap();\n\
+                      }\n";
+        let caller = "use beta::raw_read;\n\
+                      pub fn pull(sock: &mut TcpStream) { let mut b = [0u8; 4]; raw_read(sock, &mut b); }\n";
+        let out = run(&[
+            ("crates/beta/src/lib.rs", helper),
+            ("crates/alpha/src/lib.rs", caller),
+        ]);
+        // Two findings: beta's direct evidence is covered by the legacy
+        // rule (not re-reported here), alpha's propagated use fires.
+        let prop: Vec<_> = out
+            .diagnostics
+            .iter()
+            .filter(|d| d.file == "crates/alpha/src/lib.rs")
+            .collect();
+        assert_eq!(prop.len(), 1, "{:?}", out.diagnostics);
+        assert!(prop[0].message.contains("`raw_read` transitively reaches the `net`"));
+        assert_eq!(prop[0].related[0].file, "crates/beta/src/lib.rs");
+    }
+
+    #[test]
+    fn io_tagged_callee_absorbs_net() {
+        let helper = "//! lint: io-boundary — sanctioned socket module\n\
+                      pub fn raw_read(sock: &mut TcpStream, buf: &mut [u8]) {\n\
+                      sock.read_exact(buf).unwrap();\n\
+                      }\n";
+        let caller = "use beta::raw_read;\n\
+                      pub fn pull(sock: &mut TcpStream) { let mut b = [0u8; 4]; raw_read(sock, &mut b); }\n";
+        let out = run(&[
+            ("crates/beta/src/lib.rs", helper),
+            ("crates/alpha/src/lib.rs", caller),
+        ]);
+        assert!(clean(&out), "{:?}", out.diagnostics);
+    }
+
+    #[test]
+    fn caps_declaration_sanctions_and_absorbs() {
+        let helper = "//! lint: caps(clock) — owns wall-clock reads for this crate\n\
+                      pub fn stamp() -> u64 { let t = SystemTime::now(); 0 }\n";
+        let caller = "pub fn log_stamp() { beta::stamp(); }\n";
+        let out = run(&[
+            ("crates/beta/src/lib.rs", helper),
+            ("crates/alpha/src/lib.rs", caller),
+        ]);
+        assert!(clean(&out), "{:?}", out.diagnostics);
+    }
+
+    #[test]
+    fn novel_direct_evidence_fires_without_legacy_overlap() {
+        let src = "pub fn dial() { let s = TcpStream::connect(\"127.0.0.1:1\"); }\n";
+        let out = run(&[("crates/alpha/src/lib.rs", src)]);
+        assert_eq!(out.diagnostics.len(), 1, "{:?}", out.diagnostics);
+        assert!(out.diagnostics[0].message.contains("`net` capability directly"));
+    }
+
+    #[test]
+    fn clock_propagates_through_unsanctioned_chain() {
+        let low = "pub fn raw_now() -> u64 { let t = SystemTime::now(); 0 }\n";
+        let mid = "pub fn helper() -> u64 { beta::raw_now() }\n";
+        let top = "pub fn timestamped() { gamma::helper(); }\n";
+        let out = run(&[
+            ("crates/beta/src/lib.rs", low),
+            ("crates/gamma/src/lib.rs", mid),
+            ("crates/alpha/src/lib.rs", top),
+        ]);
+        assert!(
+            out.diagnostics
+                .iter()
+                .any(|d| d.file == "crates/alpha/src/lib.rs"
+                    && d.message.contains("`helper` transitively reaches the `clock`")),
+            "{:?}",
+            out.diagnostics
+        );
+    }
+
+    #[test]
+    fn manifest_lists_all_six_capabilities() {
+        let src = "pub fn f() { unsafe { x(); } panic!(\"no\"); }\n";
+        let out = run(&[("crates/alpha/src/lib.rs", src)]);
+        let m = out
+            .manifest
+            .iter()
+            .find(|(p, _)| p == "crates/alpha/src/lib.rs")
+            .unwrap();
+        assert!(m.1.contains(&"unsafe".to_string()));
+        assert!(m.1.contains(&"panic".to_string()));
+        // Manifest-only caps never deny.
+        assert!(clean(&out));
+    }
+
+    #[test]
+    fn waiver_covers_capability_finding() {
+        let helper = "pub fn raw_now() -> u64 { let t = SystemTime::now(); 0 }\n";
+        let caller = "pub fn stamp() -> u64 {\n\
+                      // lint: allow(capability-graph) startup banner only, not on any data path\n\
+                      beta::raw_now()\n\
+                      }\n";
+        let out = run(&[
+            ("crates/beta/src/lib.rs", helper),
+            ("crates/alpha/src/lib.rs", caller),
+        ]);
+        let alpha: Vec<_> = out
+            .diagnostics
+            .iter()
+            .filter(|d| d.file == "crates/alpha/src/lib.rs")
+            .collect();
+        assert_eq!(alpha.len(), 1);
+        assert!(alpha[0].waived, "{:?}", alpha);
+    }
+}

@@ -3,7 +3,8 @@
 use std::collections::BTreeMap;
 use std::path::Path;
 
-/// The ten shipped rules.
+/// The thirteen shipped rules: ten per-file token scans plus three
+/// workspace-graph passes (see [`RuleId::GRAPH`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum RuleId {
     /// `HashMap`/`HashSet` in determinism-critical crates: unordered
@@ -46,11 +47,30 @@ pub enum RuleId {
     /// an untagged accept or `read_exact` loop blocks uninterruptibly
     /// and is invisible to drain/eviction.
     BlockingAcceptLoop,
+    /// Workspace-graph pass: cycles in the lock-acquisition order graph
+    /// (module A takes `a` then `b`, module B takes `b` then `a`),
+    /// recursive re-acquisition of a lock already held, inversions
+    /// against the canonical rank list, and guards held across blocking
+    /// calls (`wait`, `recv`, `accept`, `read_exact`, `push_blocking`).
+    /// Cross-module lock identity comes from `lint: lock-order(<name>)`
+    /// annotations on acquisition sites.
+    LockOrder,
+    /// Workspace-graph pass: a module whose functions transitively reach
+    /// a restricted capability (entropy, clock, raw socket I/O) through
+    /// calls into unsanctioned helpers — the tag-at-the-leaf blindspot
+    /// of `ambient-entropy`/`telemetry-clock`/`blocking-accept-loop`.
+    /// Modules declare intentional capabilities with `lint: caps(...)`.
+    CapabilityGraph,
+    /// Workspace-graph pass: intraprocedural taint from per-example
+    /// gradient accessors (`flat_gradients`, `gradients_mut`) to
+    /// serialization/event/metric sinks, cleared only by the sanctioned
+    /// noise path — `dp-post-noise` as a checked flow property.
+    DpTaintFlow,
 }
 
 impl RuleId {
     /// Every rule, in catalogue order.
-    pub const ALL: [RuleId; 10] = [
+    pub const ALL: [RuleId; 13] = [
         RuleId::NondeterministicIteration,
         RuleId::AmbientEntropy,
         RuleId::DpBoundary,
@@ -61,6 +81,16 @@ impl RuleId {
         RuleId::UnboundedWait,
         RuleId::AllocInStepLoop,
         RuleId::BlockingAcceptLoop,
+        RuleId::LockOrder,
+        RuleId::CapabilityGraph,
+        RuleId::DpTaintFlow,
+    ];
+
+    /// The graph passes — only run under `--workspace-graph`.
+    pub const GRAPH: [RuleId; 3] = [
+        RuleId::LockOrder,
+        RuleId::CapabilityGraph,
+        RuleId::DpTaintFlow,
     ];
 
     /// The kebab-case name used in diagnostics, waivers, and CLI flags.
@@ -76,6 +106,9 @@ impl RuleId {
             RuleId::UnboundedWait => "unbounded-wait",
             RuleId::AllocInStepLoop => "alloc-in-step-loop",
             RuleId::BlockingAcceptLoop => "blocking-accept-loop",
+            RuleId::LockOrder => "lock-order",
+            RuleId::CapabilityGraph => "capability-graph",
+            RuleId::DpTaintFlow => "dp-taint-flow",
         }
     }
 
@@ -110,6 +143,15 @@ impl RuleId {
             }
             RuleId::BlockingAcceptLoop => {
                 "raw .accept( / .read_exact( outside `lint: io-boundary`-tagged modules (use netshared::protocol's interruptible I/O)"
+            }
+            RuleId::LockOrder => {
+                "[workspace-graph] lock-order cycles, rank inversions, re-entrant acquisition, and guards held across blocking calls"
+            }
+            RuleId::CapabilityGraph => {
+                "[workspace-graph] untagged module transitively reaching entropy/clock/socket capabilities through calls (declare with `lint: caps(...)`)"
+            }
+            RuleId::DpTaintFlow => {
+                "[workspace-graph] per-example gradient data flowing to an event/metric/serialization sink before the sanctioned noise path clears it"
             }
         }
     }
@@ -196,6 +238,37 @@ pub struct Config {
     pub exempt_paths: Vec<String>,
     /// Per-rule severity.
     pub severities: BTreeMap<RuleId, Severity>,
+
+    // ---- workspace-graph pass configuration ----
+    /// Canonical lock rank order, most-outer first. An acquisition edge
+    /// from a later-ranked lock to an earlier-ranked one is an inversion
+    /// even when the reverse edge has not (yet) been observed. Names are
+    /// the `lint: lock-order(<name>)` annotation names.
+    pub lock_ranks: Vec<String>,
+    /// Method names that block uninterruptibly; a live lock guard in
+    /// scope at such a call is denied. (`wait_timeout` is deliberately
+    /// absent: bounded condvar waits atomically release their guard.)
+    pub blocking_calls: Vec<String>,
+    /// Free functions that acquire a lock passed as their first
+    /// argument (project-local guard helpers like orchestrator's
+    /// `lock(&shared.state, "...")`).
+    pub lock_helper_fns: Vec<String>,
+    /// Capabilities (by name) that deny when reached transitively by an
+    /// unsanctioned module; the rest are manifest-only.
+    pub deny_caps: Vec<String>,
+    /// Marker declaring a module's intentional capabilities, e.g.
+    /// `lint: caps(net, clock)`. Must open the comment.
+    pub caps_marker: String,
+    /// Crate dir names whose `Lib` files run the DP taint pass.
+    pub taint_crates: Vec<String>,
+    /// Identifiers whose call result is per-example gradient data.
+    pub taint_sources: Vec<String>,
+    /// Method/function names that externalize data (events, metrics,
+    /// serialization, wire frames).
+    pub taint_sinks: Vec<String>,
+    /// Identifiers of the sanctioned noise path; an assignment whose
+    /// right-hand side calls one clears taint from its target.
+    pub taint_sanitizers: Vec<String>,
 }
 
 impl Default for Config {
@@ -252,6 +325,44 @@ impl Default for Config {
             io_marker: "lint: io-boundary".to_string(),
             exempt_paths: ["crates/analyzer/tests/fixtures/"].map(String::from).to_vec(),
             severities,
+            lock_ranks: [
+                "orchestrator.sched_state",
+                "orchestrator.watchdog_watches",
+                "orchestrator.cancel_state",
+                "orchestrator.event_sinks",
+                "orchestrator.event_memory",
+                "orchestrator.manifest",
+                "netshared.session_registry",
+                "netshared.credit_budget",
+                "netshared.stream_state",
+                "netshared.socket_writer",
+                "telemetry.metrics_counters",
+                "telemetry.metrics_gauges",
+                "telemetry.metrics_histograms",
+            ]
+            .map(String::from)
+            .to_vec(),
+            blocking_calls: ["wait", "recv", "accept", "read_exact", "push_blocking"]
+                .map(String::from)
+                .to_vec(),
+            lock_helper_fns: ["lock"].map(String::from).to_vec(),
+            deny_caps: ["entropy", "clock", "net"].map(String::from).to_vec(),
+            caps_marker: "lint: caps(".to_string(),
+            taint_crates: ["nnet", "doppelganger", "core"].map(String::from).to_vec(),
+            taint_sources: ["flat_gradients", "gradients_mut"].map(String::from).to_vec(),
+            taint_sinks: [
+                "emit",
+                "record",
+                "serialize",
+                "to_string",
+                "write_frame",
+                "write_all",
+            ]
+            .map(String::from)
+            .to_vec(),
+            taint_sanitizers: ["sample", "add_noise", "sanitize_batch"]
+                .map(String::from)
+                .to_vec(),
         }
     }
 }

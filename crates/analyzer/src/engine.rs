@@ -31,15 +31,36 @@ pub struct Diagnostic {
     pub waived: bool,
     /// The waiver reason, when waived.
     pub waiver_reason: Option<String>,
+    /// Secondary sites participating in a graph finding (both ends of a
+    /// lock-order cycle, the call chain of a propagated capability).
+    /// Empty for per-file rules.
+    pub related: Vec<RelatedSite>,
+    /// True when a committed baseline entry covers this finding; like
+    /// `waived`, baselined findings are reported but never fail the run
+    /// (the ratchet: existing debt warns, new findings deny).
+    pub baselined: bool,
+}
+
+/// A secondary source location attached to a graph diagnostic.
+#[derive(Debug, Clone)]
+pub struct RelatedSite {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What this site contributes (e.g. "acquires a while holding b").
+    pub note: String,
 }
 
 /// A parsed `// lint: allow(<rule>) reason` waiver.
 #[derive(Debug, Clone)]
-struct Waiver {
-    rule: RuleId,
+pub struct Waiver {
+    /// The waived rule.
+    pub rule: RuleId,
     /// The code line this waiver covers.
-    covers: u32,
-    reason: String,
+    pub covers: u32,
+    /// The mandatory free-text justification.
+    pub reason: String,
 }
 
 /// Lints one file's source text.
@@ -134,6 +155,8 @@ impl Ctx<'_> {
             suggestion,
             waived: false,
             waiver_reason: None,
+            related: Vec::new(),
+            baselined: false,
         });
     }
 
@@ -145,7 +168,7 @@ impl Ctx<'_> {
 
 /// Extracts waivers from comments. A trailing waiver covers its own line;
 /// a standalone waiver covers the next line that holds a code token.
-fn parse_waivers(lexed: &Lexed) -> Vec<Waiver> {
+pub(crate) fn parse_waivers(lexed: &Lexed) -> Vec<Waiver> {
     let mut out = Vec::new();
     for c in &lexed.comments {
         let Some(idx) = c.text.find("lint: allow(") else {
@@ -175,7 +198,7 @@ fn next_code_line(lexed: &Lexed, after: u32) -> Option<u32> {
 
 /// Computes `(start_line, end_line)` spans of `#[cfg(test)]` items and
 /// `#[test]` functions by brace matching from the attribute.
-fn test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
+pub(crate) fn test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
     let mut out = Vec::new();
     let mut i = 0;
     while i < toks.len() {

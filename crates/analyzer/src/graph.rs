@@ -1,0 +1,225 @@
+//! The workspace model: every file's syntactic model plus name-based
+//! call resolution and the reverse-dependency cone used by `--diff`.
+//!
+//! Call resolution is deliberately conservative and purely nominal — no
+//! types exist at this layer. A call resolves to *every* function the
+//! name could plausibly mean under the narrowest scope that matches
+//! (same file, then same crate, then the crate named by the qualifier or
+//! an import). Over-approximating targets makes the capability pass
+//! over-taint, never under-taint, which is the right failure mode for a
+//! deny gate; precision is recovered with `lint: caps(...)` declarations.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::Role;
+use crate::syntax::{CallSite, FileModel};
+
+/// Reference to one `fn` item: (file index, fn index).
+pub type FnRef = (usize, usize);
+
+/// The whole workspace, syntactically.
+pub struct WorkspaceModel {
+    /// Every file's model, in deterministic (sorted-path) order.
+    pub files: Vec<FileModel>,
+    /// `crate dir name -> file indices`.
+    pub by_crate: BTreeMap<String, Vec<usize>>,
+    /// `import root segment -> crate dir name` (package-name aliases:
+    /// `netshare` -> `core`, `trace_synth` -> `trace-synth`).
+    pub crate_alias: BTreeMap<String, String>,
+    /// `(crate, fn name) -> fn refs` — the resolution index.
+    fn_index: BTreeMap<(String, String), Vec<FnRef>>,
+}
+
+impl WorkspaceModel {
+    /// Builds the model from per-file models.
+    pub fn build(files: Vec<FileModel>) -> WorkspaceModel {
+        let mut by_crate: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut fn_index: BTreeMap<(String, String), Vec<FnRef>> = BTreeMap::new();
+        for (fi, f) in files.iter().enumerate() {
+            by_crate.entry(f.meta.crate_name.clone()).or_default().push(fi);
+            for (ii, item) in f.fns.iter().enumerate() {
+                fn_index
+                    .entry((f.meta.crate_name.clone(), item.name.clone()))
+                    .or_default()
+                    .push((fi, ii));
+            }
+        }
+        let mut crate_alias: BTreeMap<String, String> = BTreeMap::new();
+        for name in by_crate.keys() {
+            crate_alias.insert(name.replace('-', "_"), name.clone());
+        }
+        // Package names that differ from their crate directory.
+        crate_alias.insert("netshare".to_string(), "core".to_string());
+        WorkspaceModel { files, by_crate, crate_alias, fn_index }
+    }
+
+    /// File stem (`buffer` for `.../buffer.rs`) of file `fi`.
+    pub fn stem(&self, fi: usize) -> String {
+        let rel = &self.files[fi].meta.rel_path;
+        let base = rel.rsplit('/').next().unwrap_or(rel);
+        base.trim_end_matches(".rs").to_string()
+    }
+
+    /// All fns named `name` inside crate `krate`.
+    fn in_crate(&self, krate: &str, name: &str) -> Vec<FnRef> {
+        self.fn_index
+            .get(&(krate.to_string(), name.to_string()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Resolves a call site in file `fi` to candidate targets. Empty when
+    /// the name is unknown everywhere reachable (std, shim-internal, …).
+    pub fn resolve_call(&self, fi: usize, call: &CallSite) -> Vec<FnRef> {
+        let file = &self.files[fi];
+        let krate = &file.meta.crate_name;
+
+        if call.method {
+            // Methods carry no path: resolve within the caller's crate
+            // only (cross-crate method calls need a capability
+            // declaration on the caller instead).
+            return self.in_crate(krate, &call.name);
+        }
+        if let Some(root) = &call.root_qualifier {
+            // `seg::…::name(…)` — root may be a crate, a sibling module
+            // file, `crate`/`self`, or a type brought in by `use`.
+            if root == "crate" || root == "self" || root == "super" {
+                return self.in_crate(krate, &call.name);
+            }
+            if let Some(target) = self.crate_alias.get(root) {
+                return self.in_crate(target, &call.name);
+            }
+            // Type or module name: find which crate exported it.
+            if let Some(imported_from) = file
+                .uses
+                .iter()
+                .find(|u| u.names.contains(root) && u.root != *root)
+                .map(|u| u.root.clone())
+            {
+                if let Some(target) = self.crate_alias.get(&imported_from) {
+                    return self.in_crate(target, &call.name);
+                }
+            }
+            // Fall through: same-crate module path (`module::helper()`).
+            return self.in_crate(krate, &call.name);
+        }
+        // Bare `name(…)`: innermost scope first — same file, else an
+        // import that names it, else same crate.
+        let here: Vec<FnRef> = self
+            .in_crate(krate, &call.name)
+            .into_iter()
+            .filter(|&(f, _)| f == fi)
+            .collect();
+        if !here.is_empty() {
+            return here;
+        }
+        if let Some(imported_from) = file
+            .uses
+            .iter()
+            .find(|u| u.names.iter().skip(1).any(|n| n == &call.name))
+            .map(|u| u.root.clone())
+        {
+            if let Some(target) = self.crate_alias.get(&imported_from) {
+                return self.in_crate(target, &call.name);
+            }
+        }
+        self.in_crate(krate, &call.name)
+    }
+
+    /// File-level dependency edges `caller file -> callee file`, from
+    /// resolved calls. Used (reversed) by the `--diff` cone.
+    pub fn file_deps(&self) -> Vec<BTreeSet<usize>> {
+        let mut deps: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); self.files.len()];
+        for (fi, file) in self.files.iter().enumerate() {
+            for call in &file.calls {
+                for (tf, _) in self.resolve_call(fi, call) {
+                    if tf != fi {
+                        deps[fi].insert(tf);
+                    }
+                }
+            }
+        }
+        deps
+    }
+
+    /// The reverse-dependency cone of `changed` (workspace-relative
+    /// paths): the changed files, every file in their crates, and —
+    /// transitively — every file with a resolved call into a cone file.
+    /// Returns file indices, sorted.
+    pub fn reverse_cone(&self, changed: &[String]) -> Vec<usize> {
+        let mut cone: BTreeSet<usize> = BTreeSet::new();
+        for (fi, f) in self.files.iter().enumerate() {
+            if changed.iter().any(|c| c == &f.meta.rel_path) {
+                cone.insert(fi);
+                // Intra-crate coupling is not tracked edge-by-edge;
+                // include crate siblings wholesale.
+                if f.meta.role == Role::Lib {
+                    for &sib in &self.by_crate[&f.meta.crate_name] {
+                        cone.insert(sib);
+                    }
+                }
+            }
+        }
+        let deps = self.file_deps();
+        loop {
+            let before = cone.len();
+            for (fi, d) in deps.iter().enumerate() {
+                if !cone.contains(&fi) && d.iter().any(|t| cone.contains(t)) {
+                    cone.insert(fi);
+                }
+            }
+            if cone.len() == before {
+                break;
+            }
+        }
+        cone.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{classify, Config};
+    use crate::syntax::FileModel;
+
+    fn ws(files: &[(&str, &str)]) -> WorkspaceModel {
+        let cfg = Config::default();
+        WorkspaceModel::build(
+            files
+                .iter()
+                .map(|(path, src)| FileModel::build(classify(path), &cfg, src.to_string()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn resolution_prefers_same_file_then_crate_then_import() {
+        let m = ws(&[
+            (
+                "crates/alpha/src/lib.rs",
+                "use beta::helper;\nfn local() {}\nfn caller() { local(); helper(); beta::remote(); }\n",
+            ),
+            ("crates/alpha/src/other.rs", "fn local() {}\n"),
+            ("crates/beta/src/lib.rs", "pub fn helper() {}\npub fn remote() {}\n"),
+        ]);
+        let calls = &m.files[0].calls;
+        let local = calls.iter().find(|c| c.name == "local").unwrap();
+        assert_eq!(m.resolve_call(0, local), vec![(0, 0)]);
+        let helper = calls.iter().find(|c| c.name == "helper").unwrap();
+        assert_eq!(m.resolve_call(0, helper), vec![(2, 0)]);
+        let remote = calls.iter().find(|c| c.name == "remote").unwrap();
+        assert_eq!(m.resolve_call(0, remote), vec![(2, 1)]);
+    }
+
+    #[test]
+    fn reverse_cone_pulls_in_callers_transitively() {
+        let m = ws(&[
+            ("crates/alpha/src/lib.rs", "pub fn base() {}\n"),
+            ("crates/beta/src/lib.rs", "fn mid() { alpha::base(); }\n"),
+            ("crates/gamma/src/lib.rs", "fn top() { beta::mid(); }\n"),
+            ("crates/delta/src/lib.rs", "fn unrelated() {}\n"),
+        ]);
+        let cone = m.reverse_cone(&["crates/alpha/src/lib.rs".to_string()]);
+        assert_eq!(cone, vec![0, 1, 2]);
+    }
+}

@@ -11,10 +11,15 @@
 //! be broken by the crates it checks (and builds in the offline
 //! workspace, where `syn` is unavailable).
 
+pub mod capability;
 pub mod config;
 pub mod engine;
+pub mod graph;
 pub mod lexer;
+pub mod locks;
 pub mod report;
+pub mod syntax;
+pub mod taint;
 
 use std::fs;
 use std::io;
@@ -22,7 +27,9 @@ use std::path::{Path, PathBuf};
 
 use config::{classify, relative_to, Config, FileMeta, Role};
 use engine::{lint_source, Diagnostic};
-use report::Report;
+use graph::WorkspaceModel;
+use report::{DiffInfo, GraphSummary, Report};
+use syntax::FileModel;
 
 /// Directory names never descended into.
 const SKIP_DIRS: [&str; 3] = ["target", ".git", ".claude"];
@@ -66,7 +73,71 @@ pub fn run_workspace(root: &Path, cfg: &Config) -> io::Result<Report> {
         let meta = classify(&rel);
         diagnostics.extend(lint_source(&meta, cfg, &src));
     }
-    Ok(Report { diagnostics, files_checked })
+    Ok(Report::new(diagnostics, files_checked))
+}
+
+/// Workspace-graph mode: the per-file rules plus the three cross-module
+/// passes (lock-order, capability graph, DP taint dataflow) over a
+/// resolved call graph of every `.rs` file under `root`.
+///
+/// With `changed = Some(files)` the run is a `--diff` run: the full
+/// graph is still built (cross-module passes need every edge), but only
+/// findings inside the reverse-dependency cone of the changed files are
+/// reported, and [`Report::diff`] records the cone size.
+pub fn run_workspace_graph(
+    root: &Path,
+    cfg: &Config,
+    changed: Option<&[String]>,
+) -> io::Result<Report> {
+    let paths = collect_rs_files(root)?;
+    let mut diagnostics = Vec::new();
+    let mut files = Vec::new();
+    let mut files_checked = 0usize;
+    for path in &paths {
+        let rel = relative_to(root, path);
+        if cfg.is_exempt(&rel) {
+            continue;
+        }
+        files_checked += 1;
+        let src = fs::read_to_string(path)?;
+        let meta = classify(&rel);
+        diagnostics.extend(lint_source(&meta, cfg, &src));
+        files.push(FileModel::build(meta, cfg, src));
+    }
+
+    let model = WorkspaceModel::build(files);
+    let lock_analysis = locks::analyze(&model, cfg);
+    let cap_analysis = capability::analyze(&model, cfg);
+    let mut graph = GraphSummary::default();
+    locks::fill_summary(&lock_analysis, &mut graph);
+    graph.capabilities = cap_analysis.manifest.clone();
+    diagnostics.extend(lock_analysis.diagnostics);
+    diagnostics.extend(cap_analysis.diagnostics);
+    diagnostics.extend(taint::analyze(&model, cfg));
+    diagnostics.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.name()).cmp(&(b.file.as_str(), b.line, b.rule.name()))
+    });
+
+    let mut report = Report::new(diagnostics, files_checked);
+    report.mode = "workspace-graph";
+    report.graph = Some(graph);
+
+    if let Some(changed) = changed {
+        let cone = model.reverse_cone(changed);
+        let keep: std::collections::BTreeSet<&str> = cone
+            .iter()
+            .map(|&fi| model.files[fi].meta.rel_path.as_str())
+            .collect();
+        report
+            .diagnostics
+            .retain(|d| keep.contains(d.file.as_str()));
+        report.mode = "diff";
+        report.diff = Some(DiffInfo {
+            changed: changed.len(),
+            cone: cone.len(),
+        });
+    }
+    Ok(report)
 }
 
 /// Lints a single file with optionally forced metadata — used by the

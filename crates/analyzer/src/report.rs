@@ -1,22 +1,80 @@
-//! Report rendering: human text and machine-readable JSON.
+//! Report rendering: human text and machine-readable JSON, plus the
+//! baseline ratchet.
 //!
 //! The JSON writer is hand-rolled (the analyzer has zero dependencies so
-//! it can never be broken by the crates it checks). Output shape:
+//! it can never be broken by the crates it checks). The shape below is
+//! frozen — CI and external tooling parse it; fields are only ever
+//! appended, never renamed or removed:
 //!
 //! ```json
 //! {
 //!   "tool": "netshare-lint",
+//!   "mode": "files",
 //!   "files_checked": 123,
-//!   "counts": { "deny": 0, "warn": 0, "waived": 4 },
+//!   "counts": { "deny": 0, "warn": 0, "waived": 4, "baselined": 0 },
 //!   "diagnostics": [ { "rule": "...", "severity": "...", "file": "...",
 //!                      "line": 1, "message": "...", "snippet": "...",
 //!                      "waived": false, "waiver_reason": null,
-//!                      "suggestion": null } ]
+//!                      "suggestion": null, "baselined": false,
+//!                      "related": [ { "file": "...", "line": 1,
+//!                                     "note": "..." } ] } ]
 //! }
 //! ```
+//!
+//! Under `--workspace-graph` two fields are appended: `"graph"` (the
+//! lock-order graph and per-module capability manifests) and, when a
+//! baseline is in play, `"baseline"` (`applied` entry count plus `stale`
+//! keys — entries no finding matched, which warn so debt only ratchets
+//! down). Under `--diff`, `"diff"` records the changed-file and cone
+//! sizes. Graph diagnostics carry their secondary sites in `related`:
+//! a lock-order cycle names *both* acquisition sites there.
 
 use crate::config::Severity;
 use crate::engine::Diagnostic;
+
+/// One observed lock-acquisition-order edge, for the JSON graph dump.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// Canonical name of the lock already held.
+    pub from: String,
+    /// Canonical name of the lock acquired under it.
+    pub to: String,
+    /// Workspace-relative file of the inner acquisition.
+    pub file: String,
+    /// 1-based line of the inner acquisition.
+    pub line: u32,
+}
+
+/// Workspace-graph summary attached to the report in graph mode.
+#[derive(Debug, Clone, Default)]
+pub struct GraphSummary {
+    /// Canonical lock names observed, sorted.
+    pub lock_names: Vec<String>,
+    /// Acquisition-order edges observed.
+    pub lock_edges: Vec<LockEdge>,
+    /// `(module rel_path, capability names)` — deny-capabilities each
+    /// module carries (directly or transitively), sanctioned or not.
+    pub capabilities: Vec<(String, Vec<String>)>,
+}
+
+/// Baseline application outcome.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineOutcome {
+    /// Findings demoted because a baseline entry covered them.
+    pub applied: usize,
+    /// Baseline keys no current finding matched — stale debt that
+    /// should be removed from the committed file.
+    pub stale: Vec<String>,
+}
+
+/// `--diff` cone statistics.
+#[derive(Debug, Clone, Default)]
+pub struct DiffInfo {
+    /// Files named as changed.
+    pub changed: usize,
+    /// Files analyzed after reverse-dependency expansion.
+    pub cone: usize,
+}
 
 /// Aggregated run result.
 #[derive(Debug)]
@@ -25,10 +83,30 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     /// Number of `.rs` files visited.
     pub files_checked: usize,
+    /// `"files"`, `"workspace-graph"`, or `"diff"`.
+    pub mode: &'static str,
+    /// Graph-mode summary.
+    pub graph: Option<GraphSummary>,
+    /// Baseline outcome, when `--baseline` was supplied.
+    pub baseline: Option<BaselineOutcome>,
+    /// Diff-mode statistics.
+    pub diff: Option<DiffInfo>,
 }
 
 impl Report {
-    /// Unwaived findings at `Deny` — these fail the run.
+    /// A plain per-file-mode report.
+    pub fn new(diagnostics: Vec<Diagnostic>, files_checked: usize) -> Report {
+        Report {
+            diagnostics,
+            files_checked,
+            mode: "files",
+            graph: None,
+            baseline: None,
+            diff: None,
+        }
+    }
+
+    /// Unwaived, unbaselined findings at `Deny` — these fail the run.
     pub fn deny_count(&self) -> usize {
         self.count(Severity::Deny)
     }
@@ -43,10 +121,15 @@ impl Report {
         self.diagnostics.iter().filter(|d| d.waived).count()
     }
 
+    /// Baselined findings (pre-existing debt, reported but not fatal).
+    pub fn baselined_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| !d.waived && d.baselined).count()
+    }
+
     fn count(&self, sev: Severity) -> usize {
         self.diagnostics
             .iter()
-            .filter(|d| !d.waived && d.severity == sev)
+            .filter(|d| !d.waived && !d.baselined && d.severity == sev)
             .count()
     }
 
@@ -65,6 +148,8 @@ impl Report {
         for d in &self.diagnostics {
             let tag = if d.waived {
                 "waived"
+            } else if d.baselined {
+                "baselined"
             } else {
                 d.severity.name()
             };
@@ -80,13 +165,23 @@ impl Report {
             if let Some(r) = &d.waiver_reason {
                 s.push_str(&format!("    waiver: {r}\n"));
             }
+            for site in &d.related {
+                s.push_str(&format!("    see {}:{} — {}\n", site.file, site.line, site.note));
+            }
+        }
+        if let Some(b) = &self.baseline {
+            for key in &b.stale {
+                s.push_str(&format!("stale baseline entry (remove it): {key}\n"));
+            }
         }
         s.push_str(&format!(
-            "netshare-lint: {} files checked, {} deny, {} warn, {} waived\n",
+            "netshare-lint[{}]: {} files checked, {} deny, {} warn, {} waived, {} baselined\n",
+            self.mode,
             self.files_checked,
             self.deny_count(),
             self.warn_count(),
-            self.waived_count()
+            self.waived_count(),
+            self.baselined_count()
         ));
         s
     }
@@ -116,12 +211,14 @@ impl Report {
     pub fn to_json(&self) -> String {
         let mut s = String::from("{");
         s.push_str("\"tool\":\"netshare-lint\",");
+        s.push_str(&format!("\"mode\":{},", json_str(self.mode)));
         s.push_str(&format!("\"files_checked\":{},", self.files_checked));
         s.push_str(&format!(
-            "\"counts\":{{\"deny\":{},\"warn\":{},\"waived\":{}}},",
+            "\"counts\":{{\"deny\":{},\"warn\":{},\"waived\":{},\"baselined\":{}}},",
             self.deny_count(),
             self.warn_count(),
-            self.waived_count()
+            self.waived_count(),
+            self.baselined_count()
         ));
         s.push_str("\"diagnostics\":[");
         for (i, d) in self.diagnostics.iter().enumerate() {
@@ -141,13 +238,165 @@ impl Report {
                 json_opt(d.waiver_reason.as_deref())
             ));
             s.push_str(&format!(
-                "\"suggestion\":{}",
+                "\"suggestion\":{},",
                 json_opt(d.suggestion.as_deref())
             ));
-            s.push('}');
+            s.push_str(&format!("\"baselined\":{},", d.baselined));
+            s.push_str("\"related\":[");
+            for (k, site) in d.related.iter().enumerate() {
+                if k > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"file\":{},\"line\":{},\"note\":{}}}",
+                    json_str(&site.file),
+                    site.line,
+                    json_str(&site.note)
+                ));
+            }
+            s.push_str("]}");
         }
-        s.push_str("]}");
+        s.push(']');
+        if let Some(g) = &self.graph {
+            s.push_str(",\"graph\":{\"lock_names\":[");
+            for (i, n) in g.lock_names.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&json_str(n));
+            }
+            s.push_str("],\"lock_edges\":[");
+            for (i, e) in g.lock_edges.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"from\":{},\"to\":{},\"file\":{},\"line\":{}}}",
+                    json_str(&e.from),
+                    json_str(&e.to),
+                    json_str(&e.file),
+                    e.line
+                ));
+            }
+            s.push_str("],\"capabilities\":{");
+            for (i, (module, caps)) in g.capabilities.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("{}:[", json_str(module)));
+                for (k, c) in caps.iter().enumerate() {
+                    if k > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&json_str(c));
+                }
+                s.push(']');
+            }
+            s.push_str("}}");
+        }
+        if let Some(b) = &self.baseline {
+            s.push_str(&format!(",\"baseline\":{{\"applied\":{},\"stale\":[", b.applied));
+            for (i, k) in b.stale.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&json_str(k));
+            }
+            s.push_str("]}");
+        }
+        if let Some(d) = &self.diff {
+            s.push_str(&format!(
+                ",\"diff\":{{\"changed\":{},\"cone\":{}}}",
+                d.changed, d.cone
+            ));
+        }
+        s.push('}');
         s
+    }
+}
+
+/// The ratcheting baseline: a committed set of known findings.
+///
+/// Keys are line-number-free — `rule|file|fingerprint` where the
+/// fingerprint is the offending snippet with whitespace collapsed — so
+/// unrelated edits moving a finding up or down a file do not invalidate
+/// the baseline, while any change to the offending line itself does.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// Keys, sorted and deduplicated.
+    pub keys: Vec<String>,
+}
+
+/// The baseline key of one diagnostic.
+pub fn baseline_key(d: &Diagnostic) -> String {
+    let fp: String = d.snippet.split_whitespace().collect::<Vec<_>>().join(" ");
+    format!("{}|{}|{}", d.rule.name(), d.file, fp)
+}
+
+impl Baseline {
+    /// Parses the committed format: one key per line, `#` comments and
+    /// blank lines ignored.
+    pub fn parse(text: &str) -> Baseline {
+        let mut keys: Vec<String> = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(String::from)
+            .collect();
+        keys.sort();
+        keys.dedup();
+        Baseline { keys }
+    }
+
+    /// Renders the committed format from a report's unwaived deny
+    /// findings (`--write-baseline`).
+    pub fn render(report: &Report) -> String {
+        let mut keys: Vec<String> = report
+            .diagnostics
+            .iter()
+            .filter(|d| !d.waived && d.severity == Severity::Deny)
+            .map(baseline_key)
+            .collect();
+        keys.sort();
+        keys.dedup();
+        let mut s = String::from(
+            "# netshare-lint baseline — known findings that do not fail CI.\n\
+             # One `rule|file|fingerprint` key per line. The ratchet: new\n\
+             # findings still deny; entries nothing matches are reported as\n\
+             # stale and must be deleted. Regenerate with --write-baseline.\n",
+        );
+        for k in &keys {
+            s.push_str(k);
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Applies the ratchet to `report`: findings covered by a key are
+    /// demoted to `baselined` (reported, not fatal); keys matching no
+    /// finding are recorded as stale.
+    pub fn apply(&self, report: &mut Report) {
+        let mut matched: Vec<bool> = vec![false; self.keys.len()];
+        let mut applied = 0usize;
+        for d in &mut report.diagnostics {
+            if d.waived {
+                continue;
+            }
+            let key = baseline_key(d);
+            if let Ok(i) = self.keys.binary_search(&key) {
+                matched[i] = true;
+                d.baselined = true;
+                applied += 1;
+            }
+        }
+        let stale: Vec<String> = self
+            .keys
+            .iter()
+            .zip(&matched)
+            .filter(|(_, m)| !**m)
+            .map(|(k, _)| k.clone())
+            .collect();
+        report.baseline = Some(BaselineOutcome { applied, stale });
     }
 }
 
@@ -181,6 +430,7 @@ fn json_opt(s: Option<&str>) -> String {
 mod tests {
     use super::*;
     use crate::config::RuleId;
+    use crate::engine::RelatedSite;
 
     fn diag(rule: RuleId, waived: bool, severity: Severity) -> Diagnostic {
         Diagnostic {
@@ -193,58 +443,104 @@ mod tests {
             suggestion: Some("let m = BTreeMap::new();".into()),
             waived,
             waiver_reason: waived.then(|| "reason".to_string()),
+            related: Vec::new(),
+            baselined: false,
         }
     }
 
     #[test]
     fn exit_code_tracks_unwaived_denies() {
-        let clean = Report { diagnostics: vec![], files_checked: 1 };
+        let clean = Report::new(vec![], 1);
         assert_eq!(clean.exit_code(), 0);
 
-        let waived = Report {
-            diagnostics: vec![diag(RuleId::FloatEq, true, Severity::Deny)],
-            files_checked: 1,
-        };
+        let waived = Report::new(vec![diag(RuleId::FloatEq, true, Severity::Deny)], 1);
         assert_eq!(waived.exit_code(), 0);
         assert_eq!(waived.waived_count(), 1);
 
-        let dirty = Report {
-            diagnostics: vec![diag(RuleId::FloatEq, false, Severity::Deny)],
-            files_checked: 1,
-        };
+        let dirty = Report::new(vec![diag(RuleId::FloatEq, false, Severity::Deny)], 1);
         assert_eq!(dirty.exit_code(), 1);
 
-        let warn_only = Report {
-            diagnostics: vec![diag(RuleId::FloatEq, false, Severity::Warn)],
-            files_checked: 1,
-        };
+        let warn_only = Report::new(vec![diag(RuleId::FloatEq, false, Severity::Warn)], 1);
         assert_eq!(warn_only.exit_code(), 0);
         assert_eq!(warn_only.warn_count(), 1);
     }
 
     #[test]
     fn json_escapes_and_structure() {
-        let r = Report {
-            diagnostics: vec![diag(RuleId::NondeterministicIteration, false, Severity::Deny)],
-            files_checked: 7,
-        };
+        let r = Report::new(
+            vec![diag(RuleId::NondeterministicIteration, false, Severity::Deny)],
+            7,
+        );
         let j = r.to_json();
-        assert!(j.starts_with("{\"tool\":\"netshare-lint\""));
+        assert!(j.starts_with("{\"tool\":\"netshare-lint\",\"mode\":\"files\""));
         assert!(j.contains("\"files_checked\":7"));
         assert!(j.contains("\"rule\":\"nondeterministic-iteration\""));
         assert!(j.contains("msg with \\\"quotes\\\""));
-        assert!(j.contains("\"counts\":{\"deny\":1,\"warn\":0,\"waived\":0}"));
+        assert!(j.contains("\"counts\":{\"deny\":1,\"warn\":0,\"waived\":0,\"baselined\":0}"));
+        assert!(j.contains("\"related\":[]"));
     }
 
     #[test]
     fn fix_dry_run_lists_rewrites() {
-        let r = Report {
-            diagnostics: vec![diag(RuleId::NondeterministicIteration, false, Severity::Deny)],
-            files_checked: 1,
-        };
+        let r = Report::new(
+            vec![diag(RuleId::NondeterministicIteration, false, Severity::Deny)],
+            1,
+        );
         let t = r.to_fix_dry_run();
         assert!(t.contains("- let m = HashMap::new();"));
         assert!(t.contains("+ let m = BTreeMap::new();"));
         assert!(t.contains("1 suggested rewrites"));
+    }
+
+    #[test]
+    fn related_sites_render_in_text_and_json() {
+        let mut d = diag(RuleId::LockOrder, false, Severity::Deny);
+        d.related.push(RelatedSite {
+            file: "crates/y/src/lib.rs".into(),
+            line: 9,
+            note: "acquires b while holding a".into(),
+        });
+        let r = Report::new(vec![d], 2);
+        assert!(r.to_text().contains("see crates/y/src/lib.rs:9 — acquires b while holding a"));
+        assert!(r
+            .to_json()
+            .contains("\"related\":[{\"file\":\"crates/y/src/lib.rs\",\"line\":9,\"note\":\"acquires b while holding a\"}]"));
+    }
+
+    #[test]
+    fn baseline_ratchets_known_findings_and_reports_stale() {
+        let known = diag(RuleId::FloatEq, false, Severity::Deny);
+        let mut report = Report::new(vec![known.clone()], 1);
+        let text = format!(
+            "# comment\n{}\nfloat-eq|crates/x/src/lib.rs|gone line\n",
+            baseline_key(&known)
+        );
+        let baseline = Baseline::parse(&text);
+        baseline.apply(&mut report);
+
+        assert_eq!(report.deny_count(), 0, "baselined finding must not deny");
+        assert_eq!(report.baselined_count(), 1);
+        let outcome = report.baseline.as_ref().unwrap();
+        assert_eq!(outcome.applied, 1);
+        assert_eq!(outcome.stale, vec!["float-eq|crates/x/src/lib.rs|gone line"]);
+
+        // A new finding in another file still denies.
+        let mut new_diag = diag(RuleId::FloatEq, false, Severity::Deny);
+        new_diag.file = "crates/z/src/lib.rs".into();
+        let mut report2 = Report::new(vec![new_diag], 1);
+        baseline.apply(&mut report2);
+        assert_eq!(report2.deny_count(), 1);
+    }
+
+    #[test]
+    fn baseline_round_trips_through_render() {
+        let r = Report::new(vec![diag(RuleId::FloatEq, false, Severity::Deny)], 1);
+        let rendered = Baseline::render(&r);
+        let parsed = Baseline::parse(&rendered);
+        assert_eq!(parsed.keys.len(), 1);
+        let mut r2 = Report::new(vec![diag(RuleId::FloatEq, false, Severity::Deny)], 1);
+        parsed.apply(&mut r2);
+        assert_eq!(r2.deny_count(), 0);
+        assert!(r2.baseline.unwrap().stale.is_empty());
     }
 }

@@ -1,0 +1,20 @@
+//! Fixture (capability-graph): two denies. `log_stamp` reaches the
+//! clock only transitively through `gamma::stamp` (nothing on this
+//! line looks like a clock read — exactly the hole the propagation
+//! closes), and `dial` opens a raw socket directly. Lint target only.
+
+pub fn log_stamp(rec: &mut Recorder) {
+    let when = gamma::stamp();
+    rec.note(when);
+}
+
+pub fn dial(addr: &str) -> Conn {
+    let sock = TcpStream::connect(addr);
+    Conn::wrap(sock)
+}
+
+pub fn audited_stamp(rec: &mut Recorder) {
+    // lint: allow(capability-graph) fixture: audited transitive clock use kept as the waived example
+    let when = gamma::stamp();
+    rec.seal(when);
+}

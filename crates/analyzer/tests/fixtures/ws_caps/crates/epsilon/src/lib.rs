@@ -1,0 +1,17 @@
+//! Fixture (capability-graph): the sanctioned counter-example.
+//! lint: caps(net, clock) — this module declares its effects; raw
+//! socket I/O and clock reads here land in the manifest but do not
+//! deny, and callers do not inherit them (the boundary absorbs).
+//! Lint target only.
+
+pub fn listen(addr: &str) -> Listener {
+    let l = TcpListener::bind(addr);
+    Listener::wrap(l)
+}
+
+pub fn stamped_dial(addr: &str) -> Conn {
+    let sock = TcpStream::connect(addr);
+    // lint: allow(ambient-entropy) fixture: declared-caps module may read the clock
+    let opened = SystemTime::now();
+    Conn::opened_at(sock, opened)
+}

@@ -1,0 +1,17 @@
+//! Fixture (lock-order): module A of the seeded inversion — acquires
+//! `ws.lock_a` then `ws.lock_b`. Module `beta` takes the opposite
+//! order, so the workspace pass must report the cycle naming BOTH
+//! acquisition sites. Lint target only; never compiled.
+
+pub fn forward(s: &Shared) {
+    let a = s.a.lock(); // lint: lock-order(ws.lock_a)
+    let b = s.b.lock(); // lint: lock-order(ws.lock_b)
+    use_both(a, b);
+}
+
+pub fn reentrant_waived(s: &Shared) {
+    let first = s.a.lock(); // lint: lock-order(ws.lock_a)
+    // lint: allow(lock-order) fixture: deliberate double-acquire kept as the waived example
+    let second = s.a.lock(); // lint: lock-order(ws.lock_a)
+    use_both(first, second);
+}

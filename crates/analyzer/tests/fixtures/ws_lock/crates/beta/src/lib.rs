@@ -1,0 +1,15 @@
+//! Fixture (lock-order): module B of the seeded inversion — acquires
+//! `ws.lock_b` then `ws.lock_a`, the reverse of `alpha::forward`, plus
+//! a blocking channel receive under a held guard. Lint target only.
+
+pub fn backward(s: &Shared) {
+    let b = s.b.lock(); // lint: lock-order(ws.lock_b)
+    let a = s.a.lock(); // lint: lock-order(ws.lock_a)
+    use_both(a, b);
+}
+
+pub fn stall(s: &Shared) {
+    let g = s.b.lock(); // lint: lock-order(ws.lock_b)
+    let msg = s.inbox.recv();
+    apply(g, msg);
+}

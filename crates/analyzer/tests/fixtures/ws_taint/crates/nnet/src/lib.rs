@@ -1,0 +1,32 @@
+//! Fixture (dp-taint-flow): per-example gradient data reaching sinks.
+//! Two denies (an emitted norm and a serialized gradient vector), one
+//! sanctioned noise path that clears taint, and one waived audit
+//! export. Lint target only; never compiled.
+
+pub fn leak_norm(model: &mut Model, events: &EventLog) {
+    let g = model.flat_gradients();
+    let norm = l2(&g);
+    events.emit(norm);
+}
+
+pub fn leak_serialized(model: &mut Model, out: &mut Sink) {
+    let g = model.flat_gradients();
+    let line = serialize(&g);
+    out.consume(line);
+}
+
+pub fn noised_ok(model: &mut Model, events: &EventLog, rng: &mut Rng) {
+    let g = model.flat_gradients();
+    let mut sum = accumulate(&g);
+    for s in sum.iter_mut() {
+        *s += noise.sample(rng);
+    }
+    events.emit(&sum);
+}
+
+pub fn audited(model: &mut Model, metrics: &Hist) {
+    let g = model.flat_gradients();
+    let norm = l2(&g);
+    // lint: allow(dp-taint-flow) fixture: audited pre-noise export kept as the waived example
+    metrics.record(norm);
+}

@@ -1,0 +1,159 @@
+//! Property tests for the hand-rolled lexer.
+//!
+//! The lexer is the foundation of every lint pass, and the constructs
+//! most likely to corrupt a naive scan are exactly the ones exercised
+//! here: nested block comments, raw strings whose bodies contain
+//! `"#`-shaped pseudo-terminators, and arbitrary hostile byte soup.
+//! The shimmed proptest has no string strategies, so inputs are built
+//! from `u8` vectors mapped through fragment vocabularies.
+
+use analyzer::lexer::{lex, TokKind};
+use proptest::prelude::*;
+
+/// Fragment vocabulary for structured source synthesis: every entry is
+/// a self-contained lexeme, so any concatenation (joined by spaces) is
+/// a valid token stream.
+const FRAGMENTS: &[&str] = &[
+    "fn", "let", "x", "self", "HashMap", "0xff", "1_000u64", "2e-3", "1.5", "..", "::", "->",
+    "==", "{", "}", "(", ")", ";", ",", "\"plain\"", "'a'", "'static", "r\"raw\"", "b\"bytes\"",
+    "r#type", "#", "&&", "unsafe",
+];
+
+/// Characters for hostile free-form input (includes every delimiter the
+/// lexer special-cases, quote flavors, and multibyte UTF-8).
+const HOSTILE: &[char] = &[
+    '/', '*', '"', '\'', 'r', 'b', '#', '\\', '\n', ' ', 'a', '0', '.', '_', '{', '}', '(',
+    ')', ':', ';', '=', '-', '>', '<', '!', '&', '|', 'é', '∑', '\t',
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any byte soup over the hostile alphabet must lex without
+    /// panicking — including inputs ending mid-comment, mid-string,
+    /// or mid-escape.
+    #[test]
+    fn lexer_never_panics_on_hostile_input(picks in prop::collection::vec(any::<u8>(), 0..400)) {
+        let src: String = picks
+            .iter()
+            .map(|&b| HOSTILE[b as usize % HOSTILE.len()])
+            .collect();
+        let lexed = lex(&src);
+        // Line numbers must stay within the source and never decrease.
+        let lines = src.lines().count().max(1) as u32;
+        let mut prev = 1u32;
+        for t in &lexed.toks {
+            prop_assert!(t.line >= 1 && t.line <= lines, "line {} of {lines}", t.line);
+            prop_assert!(t.line >= prev, "token lines must not decrease");
+            prev = t.line;
+        }
+    }
+
+    /// Block comments nest: `/* /* … */ */` at any depth is ONE
+    /// comment, and code resumes after the matching close.
+    #[test]
+    fn nested_block_comments_lex_as_one_comment(
+        depth in 1usize..10,
+        body_picks in prop::collection::vec(any::<u8>(), 0..30),
+    ) {
+        // Body avoids `/*` and `*/` pairs by construction.
+        let alphabet = ['a', ' ', '1', '.', '!', '#'];
+        let body: String = body_picks
+            .iter()
+            .map(|&b| alphabet[b as usize % alphabet.len()])
+            .collect();
+        let src = format!(
+            "before {}{body}{} after",
+            "/*".repeat(depth),
+            "*/".repeat(depth)
+        );
+        let lexed = lex(&src);
+        prop_assert_eq!(lexed.comments.len(), 1, "one nested comment: {:?}", lexed.comments);
+        let idents: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        prop_assert_eq!(idents, vec!["before", "after"]);
+    }
+
+    /// An unbalanced open comment (more opens than closes) swallows the
+    /// rest of the file without panicking and without producing tokens
+    /// from inside it.
+    #[test]
+    fn unclosed_nested_comment_swallows_tail(depth in 1usize..8, closes in 0usize..8) {
+        let closes = closes.min(depth.saturating_sub(1));
+        let src = format!("head {} tail", "/*".repeat(depth).to_string() + &"*/".repeat(closes));
+        let lexed = lex(&src);
+        let idents: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        prop_assert_eq!(idents, vec!["head"], "tail is inside the unclosed comment");
+    }
+
+    /// Raw strings with N hashes must NOT terminate on a `"` followed
+    /// by fewer than N hashes: the body survives verbatim and trailing
+    /// code still lexes.
+    #[test]
+    fn raw_strings_with_embedded_hash_quotes(
+        hashes in 1usize..5,
+        fake_terminators in 1usize..5,
+    ) {
+        // Each fake terminator is `"` + (hashes-1) `#` — one hash short
+        // of closing, so it must stay inside the string body.
+        let fake = format!("\"{}", "#".repeat(hashes - 1));
+        let body = format!("start{}end", fake.repeat(fake_terminators));
+        let h = "#".repeat(hashes);
+        let src = format!("let s = r{h}\"{body}\"{h}; trailing");
+        let lexed = lex(&src);
+        let strs: Vec<&str> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        prop_assert_eq!(strs.len(), 1, "exactly one string: {:?}", lexed.toks);
+        prop_assert!(strs[0].contains(&body), "body verbatim: {}", strs[0]);
+        prop_assert!(
+            lexed.toks.iter().any(|t| t.kind == TokKind::Ident && t.text == "trailing"),
+            "code after the raw string must lex"
+        );
+    }
+
+    /// Structured round-trip: joining vocabulary fragments with spaces
+    /// and newlines, every produced token's text is a verbatim
+    /// substring of its reported source line.
+    #[test]
+    fn token_text_round_trips_to_its_line(
+        picks in prop::collection::vec(any::<u8>(), 1..60),
+        break_every in 1usize..7,
+    ) {
+        let mut src = String::new();
+        for (i, &b) in picks.iter().enumerate() {
+            src.push_str(FRAGMENTS[b as usize % FRAGMENTS.len()]);
+            src.push(if i % break_every == 0 { '\n' } else { ' ' });
+        }
+        let lexed = lex(&src);
+        let lines: Vec<&str> = src.lines().collect();
+        for t in &lexed.toks {
+            let line = lines[(t.line - 1) as usize];
+            prop_assert!(
+                line.contains(&t.text),
+                "token `{}` not on its line {}: {line:?}",
+                t.text,
+                t.line
+            );
+        }
+        // Re-lexing the same source is deterministic.
+        let again = lex(&src);
+        prop_assert_eq!(lexed.toks.len(), again.toks.len());
+        for (a, b) in lexed.toks.iter().zip(again.toks.iter()) {
+            prop_assert_eq!(&a.text, &b.text);
+            prop_assert_eq!(a.line, b.line);
+        }
+    }
+}

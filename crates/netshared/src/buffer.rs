@@ -104,7 +104,7 @@ impl StreamBuf {
 
     fn lock(&self) -> std::sync::MutexGuard<'_, BufState> {
         // lint: allow(panic-in-lib) poisoned stream buffer lock is unrecoverable
-        self.state.lock().expect("stream buffer lock")
+        self.state.lock().expect("stream buffer lock") // lint: lock-order(netshared.stream_state)
     }
 
     /// Appends one encoded frame, blocking while the buffer is full.
@@ -112,7 +112,7 @@ impl StreamBuf {
     /// token fired before the frame fit.
     pub fn push(&self, bytes: Vec<u8>, token: &CancelToken) -> bool {
         let len = bytes.len();
-        let mut st = self.lock();
+        let mut st = self.lock(); // lint: lock-order(netshared.stream_state)
         let mut stalled = false;
         while !st.closed && st.stats.buffered_bytes + len > self.capacity {
             // An over-capacity frame may enter an empty buffer alone;
@@ -165,7 +165,7 @@ impl StreamBuf {
     /// Takes the next frame in sequence order, blocking while the buffer
     /// is empty and the producer still running.
     pub fn pull(&self, token: &CancelToken) -> Pulled {
-        let mut st = self.lock();
+        let mut st = self.lock(); // lint: lock-order(netshared.stream_state)
         loop {
             if st.closed {
                 return Pulled::Closed;
@@ -198,7 +198,7 @@ impl StreamBuf {
     /// Producer-side completion: after the bucket drains, pulls yield
     /// `Finished(total)`.
     pub fn finish(&self, total: u64) {
-        let mut st = self.lock();
+        let mut st = self.lock(); // lint: lock-order(netshared.stream_state)
         st.finished = Some(total);
         self.pull_cv.notify_all();
     }
@@ -206,7 +206,7 @@ impl StreamBuf {
     /// Consumer-side teardown: blocked pushes drop, blocked pulls end.
     /// Remaining buffered bytes are released from the gauge.
     pub fn close(&self) {
-        let mut st = self.lock();
+        let mut st = self.lock(); // lint: lock-order(netshared.stream_state)
         if !st.closed {
             st.closed = true;
             if st.stats.buffered_bytes > 0 {
@@ -221,12 +221,12 @@ impl StreamBuf {
 
     /// A snapshot of the running statistics.
     pub fn stats(&self) -> BufStats {
-        self.lock().stats
+        self.lock().stats // lint: lock-order(netshared.stream_state)
     }
 
     /// Waiter counters `(waiting_push, waiting_pull)` (diagnostics).
     pub fn waiters(&self) -> (u32, u32) {
-        let st = self.lock();
+        let st = self.lock(); // lint: lock-order(netshared.stream_state)
         (st.waiting_push, st.waiting_pull)
     }
 

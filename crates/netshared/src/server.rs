@@ -185,7 +185,7 @@ impl Server {
                             let handle =
                                 std::thread::spawn(move || run_session(sock, ctx));
                             sessions
-                                .lock()
+                                .lock() // lint: lock-order(netshared.session_registry)
                                 .expect("session registry lock") // lint: allow(panic-in-lib) poisoned session registry lock is unrecoverable
                                 .push((session_token, handle));
                         }
@@ -261,7 +261,7 @@ impl Server {
         }
         // Phase 2: cancel whatever is left and join every session.
         // lint: allow(panic-in-lib) poisoned session registry lock is unrecoverable
-        let sessions = std::mem::take(&mut *self.sessions.lock().expect("session registry lock"));
+        let sessions = std::mem::take(&mut *self.sessions.lock().expect("session registry lock")); // lint: lock-order(netshared.session_registry)
         let lingering = self.stats.sessions_open.load(Ordering::Relaxed).max(0) as usize;
         for (token, _) in &sessions {
             token.cancel("server shutdown");

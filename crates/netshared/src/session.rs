@@ -55,7 +55,7 @@ impl CreditGate {
 
     fn add(&self, frames: u32) {
         // lint: allow(panic-in-lib) poisoned credit lock is unrecoverable
-        let mut budget = self.budget.lock().expect("credit lock");
+        let mut budget = self.budget.lock().expect("credit lock"); // lint: lock-order(netshared.credit_budget)
         *budget += u64::from(frames);
         self.cv.notify_all();
     }
@@ -65,7 +65,7 @@ impl CreditGate {
     /// the token fired first.
     fn take(&self, token: &CancelToken) -> bool {
         // lint: allow(panic-in-lib) poisoned credit lock is unrecoverable
-        let mut budget = self.budget.lock().expect("credit lock");
+        let mut budget = self.budget.lock().expect("credit lock"); // lint: lock-order(netshared.credit_budget)
         let mut stalled = false;
         while *budget == 0 {
             if token.is_cancelled() {
@@ -117,7 +117,7 @@ struct StreamHandle {
 /// read side will observe the broken connection and tear down).
 fn send(writer: &Mutex<TcpStream>, frame: &Frame, token: &CancelToken) -> bool {
     // lint: allow(panic-in-lib) poisoned socket write lock is unrecoverable
-    let mut sock = writer.lock().expect("socket write lock");
+    let mut sock = writer.lock().expect("socket write lock"); // lint: lock-order(netshared.socket_writer)
     protocol::write_frame(&mut sock, frame, token).is_ok()
 }
 
@@ -246,7 +246,7 @@ fn dispatch(
         match buf.pull(&token) {
             Pulled::Frame(_, bytes) => {
                 // lint: allow(panic-in-lib) poisoned socket write lock is unrecoverable
-                let mut sock = writer.lock().expect("socket write lock");
+                let mut sock = writer.lock().expect("socket write lock"); // lint: lock-order(netshared.socket_writer)
                 if protocol::write_encoded(&mut sock, &bytes, &token).is_err() {
                     break;
                 }

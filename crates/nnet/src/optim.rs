@@ -119,6 +119,7 @@ impl GradClip {
             .sqrt();
         crate::sanitize::check_grad_norm("clip_global_norm", norm);
         telemetry::metrics::histogram("train.grad_norm", &telemetry::metrics::NORM_EDGES)
+            // lint: allow(dp-taint-flow) batch-aggregate norm on the non-DP training path; DP runs clip per example in dpsgd::sanitize_batch
             .record(norm as f64);
         if norm > max_norm && norm > 0.0 {
             let scale = max_norm / norm;

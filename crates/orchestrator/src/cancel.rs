@@ -45,7 +45,7 @@ impl CancelToken {
     /// reason is kept; later calls are no-ops.
     pub fn cancel(&self, reason: &str) {
         // lint: allow(panic-in-lib) poisoned cancel lock is unrecoverable
-        let mut st = self.inner.state.lock().expect("cancel token lock");
+        let mut st = self.inner.state.lock().expect("cancel token lock"); // lint: lock-order(orchestrator.cancel_state)
         if st.is_none() {
             *st = Some(reason.to_string());
         }
@@ -60,7 +60,7 @@ impl CancelToken {
     /// The cancellation reason, if cancelled.
     pub fn reason(&self) -> Option<String> {
         // lint: allow(panic-in-lib) poisoned cancel lock is unrecoverable
-        self.inner.state.lock().expect("cancel token lock").clone()
+        self.inner.state.lock().expect("cancel token lock").clone() // lint: lock-order(orchestrator.cancel_state)
     }
 
     /// Blocks for up to `dur`, returning early (with `true`) if the token
@@ -72,7 +72,7 @@ impl CancelToken {
     /// is the interruptible replacement for `std::thread::sleep`.
     pub fn wait_timeout(&self, dur: Duration) -> bool {
         // lint: allow(panic-in-lib) poisoned cancel lock is unrecoverable
-        let st = self.inner.state.lock().expect("cancel token lock");
+        let st = self.inner.state.lock().expect("cancel token lock"); // lint: lock-order(orchestrator.cancel_state)
         if st.is_some() {
             return true;
         }

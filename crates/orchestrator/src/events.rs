@@ -197,9 +197,18 @@ impl EventLog {
     /// successor of the old ad-hoc eprintln debugging).
     pub fn with_stderr(self) -> Self {
         self.sinks
-            .lock()
+            .lock() // lint: lock-order(orchestrator.event_sinks)
             .expect("event sink lock") // lint: allow(panic-in-lib) poisoned event lock is unrecoverable (lint: allow(panic-in-lib) poisoned event lock is unrecoverable)
             .push(Box::new(std::io::stderr()));
+        self
+    }
+
+    /// Adds an arbitrary writer sink (tests and embedders).
+    pub fn with_sink(self, sink: Box<dyn Write + Send>) -> Self {
+        self.sinks
+            .lock() // lint: lock-order(orchestrator.event_sinks)
+            .expect("event sink lock") // lint: allow(panic-in-lib) poisoned event lock is unrecoverable (lint: allow(panic-in-lib) poisoned event lock is unrecoverable)
+            .push(sink);
         self
     }
 
@@ -210,7 +219,7 @@ impl EventLog {
             .append(true)
             .open(path)?;
         self.sinks
-            .lock()
+            .lock() // lint: lock-order(orchestrator.event_sinks)
             .expect("event sink lock") // lint: allow(panic-in-lib) poisoned event lock is unrecoverable (lint: allow(panic-in-lib) poisoned event lock is unrecoverable)
             .push(Box::new(file));
         Ok(self)
@@ -222,19 +231,19 @@ impl EventLog {
             format!("{{\"EventSerializationError\":\"{e}\"}}")
         });
         {
-            let mut sinks = self.sinks.lock().expect("event sink lock"); // lint: allow(panic-in-lib) poisoned event lock is unrecoverable (lint: allow(panic-in-lib) poisoned event lock is unrecoverable)
+            let mut sinks = self.sinks.lock().expect("event sink lock"); // lint: allow(panic-in-lib) poisoned event lock is unrecoverable (lint: allow(panic-in-lib) poisoned event lock is unrecoverable) // lint: lock-order(orchestrator.event_sinks)
             for s in sinks.iter_mut() {
                 // Sink failures must never take training down; drop the line.
                 let _ = writeln!(s, "{line}");
                 let _ = s.flush();
             }
         }
-        self.memory.lock().expect("event memory lock").push(ev); // lint: allow(panic-in-lib) poisoned event lock is unrecoverable (lint: allow(panic-in-lib) poisoned event lock is unrecoverable)
+        self.memory.lock().expect("event memory lock").push(ev); // lint: allow(panic-in-lib) poisoned event lock is unrecoverable (lint: allow(panic-in-lib) poisoned event lock is unrecoverable) // lint: lock-order(orchestrator.event_memory)
     }
 
     /// A snapshot of every event emitted so far.
     pub fn events(&self) -> Vec<Event> {
-        self.memory.lock().expect("event memory lock").clone() // lint: allow(panic-in-lib) poisoned event lock is unrecoverable (lint: allow(panic-in-lib) poisoned event lock is unrecoverable)
+        self.memory.lock().expect("event memory lock").clone() // lint: allow(panic-in-lib) poisoned event lock is unrecoverable (lint: allow(panic-in-lib) poisoned event lock is unrecoverable) // lint: lock-order(orchestrator.event_memory)
     }
 }
 

@@ -476,7 +476,7 @@ fn worker_loop<P>(
     loop {
         // Claim a ready job (or leave: run finished / failed).
         let job_idx = {
-            let mut st = lock(&shared.state, "scheduler state");
+            let mut st = lock(&shared.state, "scheduler state"); // lint: lock-order(orchestrator.sched_state)
             loop {
                 if st.failure.is_some() || st.outputs.len() == plan.jobs.len() {
                     return;
@@ -496,7 +496,7 @@ fn worker_loop<P>(
 
         // Snapshot dependency outputs (Arc clones; cheap).
         let deps: BTreeMap<String, Arc<P>> = {
-            let st = lock(&shared.state, "scheduler state");
+            let st = lock(&shared.state, "scheduler state"); // lint: lock-order(orchestrator.sched_state)
             job.deps
                 .iter()
                 .map(|d| (d.clone(), Arc::clone(&st.outputs[&index[d.as_str()]])))
@@ -528,7 +528,7 @@ fn worker_loop<P>(
                     wall_seconds: wall,
                     cpu_seconds: cpu,
                 });
-                let mut st = lock(&shared.state, "scheduler state");
+                let mut st = lock(&shared.state, "scheduler state"); // lint: lock-order(orchestrator.sched_state)
                 st.outputs.insert(job_idx, Arc::new(payload));
                 st.executed[job_idx] = Some(JobStats {
                     attempts,
@@ -693,7 +693,7 @@ fn lock<'a, T>(m: &'a Mutex<T>, what: &'static str) -> std::sync::MutexGuard<'a,
 /// backoff and injected hang), and wakes every worker so the run winds
 /// down (pending jobs are cancelled; running jobs finish and persist).
 fn fail_run<P>(shared: &Shared<P>, err: OrchestratorError) {
-    let mut st = lock(&shared.state, "scheduler state");
+    let mut st = lock(&shared.state, "scheduler state"); // lint: lock-order(orchestrator.sched_state)
     if st.failure.is_none() {
         shared.run_cancel.cancel(&format!("run failed: {err}"));
         st.failure = Some(err);
@@ -735,7 +735,7 @@ fn persist<P: Serialize>(
         // Injected slow I/O: an interruptible stall before the write.
         let _ = ctx.run_cancel.wait_timeout(Duration::from_millis(300));
     }
-    let generation = lock(ctx.manifest, "manifest lock").next_generation(id);
+    let generation = lock(ctx.manifest, "manifest lock").next_generation(id); // lint: lock-order(orchestrator.manifest)
     let file = Manifest::payload_file(id, generation);
     let path = ctx.dir.join(&file);
     if fault_class == Some(FaultClass::CorruptTorn) {
@@ -767,7 +767,7 @@ fn persist<P: Serialize>(
             )?;
         }
     }
-    let mut m = lock(ctx.manifest, "manifest lock");
+    let mut m = lock(ctx.manifest, "manifest lock"); // lint: lock-order(orchestrator.manifest)
     m.record(ManifestEntry {
         id: id.to_string(),
         generation,

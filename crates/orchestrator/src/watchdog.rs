@@ -75,7 +75,7 @@ pub struct WatchGuard<'a> {
 impl Drop for WatchGuard<'_> {
     fn drop(&mut self) {
         // lint: allow(panic-in-lib) poisoned watchdog lock is unrecoverable
-        self.dog.watches.lock().expect("watchdog lock").remove(&self.id);
+        self.dog.watches.lock().expect("watchdog lock").remove(&self.id); // lint: lock-order(orchestrator.watchdog_watches)
     }
 }
 
@@ -112,7 +112,7 @@ impl Watchdog {
             tripped: false,
         };
         // lint: allow(panic-in-lib) poisoned watchdog lock is unrecoverable
-        self.watches.lock().expect("watchdog lock").insert(id, watch);
+        self.watches.lock().expect("watchdog lock").insert(id, watch); // lint: lock-order(orchestrator.watchdog_watches)
         WatchGuard { dog: self, id }
     }
 
@@ -130,38 +130,50 @@ impl Watchdog {
     }
 
     /// One poll: trips the cancel token of every blown watch.
+    ///
+    /// Trips are collected under the watches lock and emitted after it
+    /// is released: `EventLog::emit` takes the sink lock and runs sink
+    /// file I/O, and holding `watches` across that both stalls every
+    /// `register`/`beat` caller behind slow I/O and creates a
+    /// watches→sinks lock-order edge the lint's canonical ranks forbid.
     fn sweep(&self, events: &EventLog) {
-        // lint: allow(panic-in-lib) poisoned watchdog lock is unrecoverable
-        let mut watches = self.watches.lock().expect("watchdog lock");
-        for watch in watches.values_mut() {
-            if watch.tripped || watch.token.is_cancelled() {
-                continue;
-            }
-            let elapsed = watch.started.elapsed_seconds();
-            let reason = match (self.opts.max_job_secs, self.opts.heartbeat_timeout_secs) {
-                (Some(max), _) if elapsed >= max => {
-                    Some(format!("deadline exceeded: {elapsed:.1}s >= max-job-secs {max}"))
+        let mut tripped = Vec::new();
+        {
+            // lint: allow(panic-in-lib) poisoned watchdog lock is unrecoverable
+            let mut watches = self.watches.lock().expect("watchdog lock"); // lint: lock-order(orchestrator.watchdog_watches)
+            for watch in watches.values_mut() {
+                if watch.tripped || watch.token.is_cancelled() {
+                    continue;
                 }
-                (_, Some(stale)) => watch
-                    .heartbeat
-                    .age_seconds()
-                    .filter(|age| *age >= stale)
-                    .map(|age| {
-                        format!("heartbeat stale: last beat {age:.1}s ago >= timeout {stale}")
-                    }),
-                _ => None,
-            };
-            if let Some(reason) = reason {
-                watch.tripped = true;
-                watch.token.cancel(&reason);
-                telemetry::metrics::counter("orchestrator.watchdog_cancels").inc();
-                events.emit(Event::WatchdogCancelled {
-                    job: watch.job.clone(),
-                    attempt: watch.attempt,
-                    reason,
-                    elapsed_seconds: elapsed,
-                });
+                let elapsed = watch.started.elapsed_seconds();
+                let reason = match (self.opts.max_job_secs, self.opts.heartbeat_timeout_secs) {
+                    (Some(max), _) if elapsed >= max => {
+                        Some(format!("deadline exceeded: {elapsed:.1}s >= max-job-secs {max}"))
+                    }
+                    (_, Some(stale)) => watch
+                        .heartbeat
+                        .age_seconds()
+                        .filter(|age| *age >= stale)
+                        .map(|age| {
+                            format!("heartbeat stale: last beat {age:.1}s ago >= timeout {stale}")
+                        }),
+                    _ => None,
+                };
+                if let Some(reason) = reason {
+                    watch.tripped = true;
+                    watch.token.cancel(&reason);
+                    tripped.push(Event::WatchdogCancelled {
+                        job: watch.job.clone(),
+                        attempt: watch.attempt,
+                        reason,
+                        elapsed_seconds: elapsed,
+                    });
+                }
             }
+        }
+        for ev in tripped {
+            telemetry::metrics::counter("orchestrator.watchdog_cancels").inc();
+            events.emit(ev);
         }
     }
 }
@@ -195,6 +207,49 @@ mod tests {
             .filter(|e| matches!(e, Event::WatchdogCancelled { .. }))
             .collect();
         assert_eq!(cancels.len(), 1, "one event per trip: {cancels:?}");
+    }
+
+    #[test]
+    fn sweep_emits_after_releasing_the_watches_lock() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        // A sink that probes the watches lock from inside `emit`. If
+        // sweep still held it across the emit, try_lock would fail and
+        // the probe records the violation (a real sink doing file I/O
+        // there would stall every register/beat caller — and a sink
+        // that re-entered the watchdog would deadlock outright).
+        struct Probe {
+            dog: Arc<Watchdog>,
+            held_during_emit: Arc<AtomicBool>,
+        }
+        impl std::io::Write for Probe {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.dog.watches.try_lock().is_err() {
+                    self.held_during_emit.store(true, Ordering::SeqCst);
+                }
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let dog = Arc::new(Watchdog::new(opts(Some(0.0), None)));
+        let held = Arc::new(AtomicBool::new(false));
+        let events = EventLog::new().with_sink(Box::new(Probe {
+            dog: dog.clone(),
+            held_during_emit: held.clone(),
+        }));
+        let token = CancelToken::new();
+        let _guard = dog.register("chunk-1", 1, Heartbeat::new(), token.clone());
+        dog.sweep(&events);
+        assert!(token.is_cancelled());
+        assert_eq!(events.events().len(), 1);
+        assert!(
+            !held.load(Ordering::SeqCst),
+            "sweep must not hold the watches lock across EventLog::emit"
+        );
     }
 
     #[test]

@@ -309,14 +309,14 @@ mod imp {
         /// Counter handle for `name`, created on first use.
         pub fn counter(&self, name: &str) -> Arc<Counter> {
             // lint: allow(panic-in-lib) poisoned registry lock is unrecoverable
-            let mut map = self.counters.lock().expect("counter registry lock poisoned");
+            let mut map = self.counters.lock().expect("counter registry lock poisoned"); // lint: lock-order(telemetry.metrics_counters)
             Arc::clone(map.entry(name.to_string()).or_default())
         }
 
         /// Gauge handle for `name`, created on first use.
         pub fn gauge(&self, name: &str) -> Arc<Gauge> {
             // lint: allow(panic-in-lib) poisoned registry lock is unrecoverable
-            let mut map = self.gauges.lock().expect("gauge registry lock poisoned");
+            let mut map = self.gauges.lock().expect("gauge registry lock poisoned"); // lint: lock-order(telemetry.metrics_gauges)
             Arc::clone(map.entry(name.to_string()).or_default())
         }
 
@@ -325,7 +325,7 @@ mod imp {
         /// existing histogram unchanged.
         pub fn histogram(&self, name: &str, edges: &[f64]) -> Arc<Histogram> {
             // lint: allow(panic-in-lib) poisoned registry lock is unrecoverable
-            let mut map = self.histograms.lock().expect("histogram registry lock poisoned");
+            let mut map = self.histograms.lock().expect("histogram registry lock poisoned"); // lint: lock-order(telemetry.metrics_histograms)
             Arc::clone(
                 map.entry(name.to_string())
                     .or_insert_with(|| Arc::new(Histogram::new(edges))),
@@ -335,11 +335,11 @@ mod imp {
         /// Point-in-time, key-sorted copy of every metric.
         pub fn snapshot(&self) -> Snapshot {
             // lint: allow(panic-in-lib) poisoned registry lock is unrecoverable
-            let counters = self.counters.lock().expect("counter registry lock poisoned");
+            let counters = self.counters.lock().expect("counter registry lock poisoned"); // lint: lock-order(telemetry.metrics_counters)
             // lint: allow(panic-in-lib) poisoned registry lock is unrecoverable
-            let gauges = self.gauges.lock().expect("gauge registry lock poisoned");
+            let gauges = self.gauges.lock().expect("gauge registry lock poisoned"); // lint: lock-order(telemetry.metrics_gauges)
             // lint: allow(panic-in-lib) poisoned registry lock is unrecoverable
-            let histograms = self.histograms.lock().expect("histogram registry lock poisoned");
+            let histograms = self.histograms.lock().expect("histogram registry lock poisoned"); // lint: lock-order(telemetry.metrics_histograms)
             Snapshot {
                 counters: counters.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
                 gauges: gauges.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
@@ -351,11 +351,11 @@ mod imp {
         /// working but are no longer visible in snapshots). For tests.
         pub fn reset(&self) {
             // lint: allow(panic-in-lib) poisoned registry lock is unrecoverable
-            self.counters.lock().expect("counter registry lock poisoned").clear();
+            self.counters.lock().expect("counter registry lock poisoned").clear(); // lint: lock-order(telemetry.metrics_counters)
             // lint: allow(panic-in-lib) poisoned registry lock is unrecoverable
-            self.gauges.lock().expect("gauge registry lock poisoned").clear();
+            self.gauges.lock().expect("gauge registry lock poisoned").clear(); // lint: lock-order(telemetry.metrics_gauges)
             // lint: allow(panic-in-lib) poisoned registry lock is unrecoverable
-            self.histograms.lock().expect("histogram registry lock poisoned").clear();
+            self.histograms.lock().expect("histogram registry lock poisoned").clear(); // lint: lock-order(telemetry.metrics_histograms)
         }
     }
 

@@ -192,11 +192,27 @@ cargo test -q
 cargo bench -p bench --no-run
 
 # Static analysis gate: the workspace must be clippy-clean at -D warnings
-# and deny-clean under the in-tree linter (exit 1 on any deny finding).
+# and deny-clean under the in-tree linter's cross-module passes
+# (lock-order, capability-graph, dp-taint-flow) against the committed
+# baseline (exit 1 on any new deny finding; baselined debt is reported).
 cargo clippy --workspace --all-targets -- -D warnings
-cargo run -q --release -p analyzer --bin netshare-lint -- --format json \
-  > /dev/null
-echo "netshare-lint: workspace deny-clean"
+lint_start=$(date +%s)
+cargo run -q --release -p analyzer --bin netshare-lint -- \
+  --workspace-graph --baseline lint-baseline.txt --format json > /dev/null
+lint_elapsed=$(( $(date +%s) - lint_start ))
+# Budget: the graph passes must stay interactive-fast (<10s on the whole
+# workspace) or the pre-push --diff path stops being worth using.
+if [ "$lint_elapsed" -ge 10 ]; then
+  echo "netshare-lint: workspace-graph took ${lint_elapsed}s (budget 10s)" >&2
+  exit 1
+fi
+echo "netshare-lint: workspace-graph deny-clean in ${lint_elapsed}s"
+# --diff smoke: the incremental path over a synthetic change set (a hub
+# module with many reverse dependencies) must agree that it is clean.
+cargo run -q --release -p analyzer --bin netshare-lint -- \
+  --workspace-graph --baseline lint-baseline.txt \
+  --diff crates/orchestrator/src/events.rs --format json > /dev/null
+echo "netshare-lint: --diff cone clean"
 
 # Documentation gate: rustdoc must build warning-free (broken intra-doc
 # links, missing docs on public items per-crate lint settings).
