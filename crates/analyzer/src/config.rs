@@ -327,6 +327,7 @@ impl Default for Config {
             severities,
             lock_ranks: [
                 "orchestrator.sched_state",
+                "orchestrator.coord_state",
                 "orchestrator.watchdog_watches",
                 "orchestrator.cancel_state",
                 "orchestrator.event_sinks",

@@ -6,12 +6,31 @@
 //! netshare_cli synth-flows   real.csv  synthetic.csv  [options]
 //! netshare_cli synth-packets real.pcap synthetic.pcap [options]
 //! netshare_cli pull          host:port artifact       [pull options]
+//! netshare_cli coord         run-dir                  [coord options]
+//! netshare_cli gc            run-dir
 //!
 //! pull options (client of the `netshared` streaming daemon):
 //!   --count <N>        samples to pull (default 100)
 //!   --credit <C>       DATA-frame flow-control window (default 4)
 //!   --out <file>       write samples as JSONL there (default: stdout)
 //!   --metrics-out <f>  write the telemetry metrics snapshot (JSON) there
+//!
+//! coord options (multi-process scale-out; see OPERATIONS.md):
+//!   --chunks <N>       sim-chunk jobs after pretrain (default 4)
+//!   --steps <S>        sim steps per job (default 256)
+//!   --seed <U64>       sim seed (default 17)
+//!   --addr <A>         control-socket bind address (default 127.0.0.1:0)
+//!   --addr-file <f>    write the bound address there (for hand-started
+//!                      workers polling it)
+//!   --workers-procs <N>  netshare_worker processes to spawn (default 2;
+//!                      0 = spawn none, workers are started by hand)
+//!   --resume           skip jobs the manifest verifies
+//!   --retries <R>      requeues per failed job (default 2)
+//!   --max-job-secs <S> watchdog deadline per assignment (default: none)
+//!   --keep-generations <K>  verified generations kept per job
+//!
+//! `gc` sweeps `run-dir/objects/` of every object no manifest generation
+//! references (safe while no run is active; quarantine evidence is kept).
 //!
 //! options:
 //!   --n <count>        records/packets to generate (default: input size)
@@ -64,7 +83,11 @@ fn usage() -> ExitCode {
          [--workers W] [--ckpt-dir DIR] [--resume] [--retries R] [--max-job-secs S] \
          [--keep-generations K] [--rollback-budget B] [--metrics-out FILE]\n\
          \x20      netshare_cli pull <host:port> <artifact> \
-         [--count N] [--credit C] [--out FILE] [--metrics-out FILE]"
+         [--count N] [--credit C] [--out FILE] [--metrics-out FILE]\n\
+         \x20      netshare_cli coord <run-dir> [--chunks N] [--steps S] [--seed U64] \
+         [--addr A] [--addr-file FILE] [--workers-procs N] [--resume] [--retries R] \
+         [--max-job-secs S] [--keep-generations K]\n\
+         \x20      netshare_cli gc <run-dir>"
     );
     ExitCode::from(2)
 }
@@ -214,15 +237,112 @@ fn parse_pull_options(addr: &str, artifact: &str, args: &[String]) -> Result<Pul
     Ok(pull)
 }
 
-/// One validated invocation: local synthesis or a daemon pull.
+/// A `coord <run-dir>` invocation: serve a simulated chunk plan to
+/// external `netshare_worker` processes through the content store.
+struct CoordArgs {
+    dir: String,
+    chunks: usize,
+    steps: u64,
+    seed: u64,
+    addr: String,
+    addr_file: Option<std::path::PathBuf>,
+    worker_procs: usize,
+    resume: bool,
+    retries: u32,
+    max_job_secs: Option<f64>,
+    keep_generations: usize,
+}
+
+fn parse_coord_options(dir: &str, args: &[String]) -> Result<CoordArgs, String> {
+    let mut coord = CoordArgs {
+        dir: dir.to_string(),
+        chunks: 4,
+        steps: 256,
+        seed: 17,
+        addr: "127.0.0.1:0".to_string(),
+        addr_file: None,
+        worker_procs: 2,
+        resume: false,
+        retries: 2,
+        max_job_secs: None,
+        keep_generations: 3,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--chunks" => {
+                coord.chunks = value("--chunks")?.parse().map_err(|e| format!("--chunks: {e}"))?
+            }
+            "--steps" => {
+                coord.steps = value("--steps")?.parse().map_err(|e| format!("--steps: {e}"))?
+            }
+            "--seed" => coord.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--addr" => coord.addr = value("--addr")?,
+            "--addr-file" => coord.addr_file = Some(value("--addr-file")?.into()),
+            "--workers-procs" => {
+                coord.worker_procs = value("--workers-procs")?
+                    .parse()
+                    .map_err(|e| format!("--workers-procs: {e}"))?
+            }
+            "--resume" => coord.resume = true,
+            "--retries" => {
+                coord.retries = value("--retries")?.parse().map_err(|e| format!("--retries: {e}"))?
+            }
+            "--max-job-secs" => {
+                coord.max_job_secs = Some(
+                    value("--max-job-secs")?
+                        .parse()
+                        .map_err(|e| format!("--max-job-secs: {e}"))?,
+                )
+            }
+            "--keep-generations" => {
+                coord.keep_generations = value("--keep-generations")?
+                    .parse()
+                    .map_err(|e| format!("--keep-generations: {e}"))?
+            }
+            other => return Err(format!("unknown coord option {other}")),
+        }
+    }
+    if coord.chunks == 0 {
+        return Err("--chunks must be at least 1".into());
+    }
+    // The chaos hook rides the same env var as synth runs; grammar-check
+    // it here so a typo is a loud usage error before anything binds.
+    validate_injection_env(std::env::var("NETSHARE_INJECT_FAULT").ok().as_deref(), None)?;
+    Ok(coord)
+}
+
+/// One validated invocation: local synthesis, a daemon pull, a
+/// multi-process coordinator run, or a store sweep.
 enum Command {
     Synth { mode: String, input: String, output: String, opts: Box<Options> },
     Pull(PullArgs),
+    Coord(Box<CoordArgs>),
+    Gc { dir: String },
 }
 
 /// Full command-line validation: arity, mode, and options. Everything
 /// wrong here is the *caller's* invocation, not a runtime failure.
 fn parse_args(args: &[String]) -> Result<Command, UsageError> {
+    match args.first().map(String::as_str) {
+        Some("gc") => {
+            return match args {
+                [_, dir] => Ok(Command::Gc { dir: dir.clone() }),
+                _ => Err(UsageError("gc takes exactly one run directory".into())),
+            };
+        }
+        Some("coord") => {
+            let dir = args.get(1).ok_or_else(|| UsageError("coord needs a run directory".into()))?;
+            let coord = parse_coord_options(dir, &args[2..]).map_err(UsageError)?;
+            return Ok(Command::Coord(Box::new(coord)));
+        }
+        _ => {}
+    }
     if args.len() < 3 {
         return Err(UsageError("missing arguments".into()));
     }
@@ -365,6 +485,122 @@ fn run_pull(args: &PullArgs) -> Result<(), RunError> {
     Ok(())
 }
 
+/// Sweeps a run directory's content store of every object no manifest
+/// generation references (quarantine evidence is never touched).
+fn run_gc(dir: &str) -> Result<(), RunError> {
+    use orchestrator::ObjectStore;
+    let dir = std::path::Path::new(dir);
+    let live: std::collections::BTreeSet<u64> = orchestrator::Manifest::load(dir)
+        .map(|m| m.jobs.iter().map(|e| e.digest).collect())
+        .unwrap_or_default();
+    let store = orchestrator::FsStore::open(dir)
+        .map_err(|e| RunError::Runtime(format!("open store in {}: {e}", dir.display())))?;
+    let report = store
+        .sweep(&live)
+        .map_err(|e| RunError::Runtime(format!("sweep {}: {e}", dir.display())))?;
+    for digest in &report.removed {
+        println!("removed {digest:#018x}");
+    }
+    eprintln!(
+        "gc: removed {} unreferenced object(s), kept {} live, quarantined {} torn fragment(s)",
+        report.removed.len(),
+        report.kept,
+        report.quarantined_fragments,
+    );
+    Ok(())
+}
+
+/// Binds a coordinator, spawns `netshare_worker` processes against it,
+/// and serves a deterministic sim plan from the run directory's store.
+fn run_coord(args: &CoordArgs) -> Result<(), RunError> {
+    let dir = std::path::PathBuf::from(&args.dir);
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| RunError::Runtime(format!("create {}: {e}", dir.display())))?;
+    let plan = orchestrator::sim_plan(args.chunks, args.steps, args.seed);
+    let opts = orchestrator::CoordOptions {
+        run_key: format!("coord-sim-c{}-s{}-r{}", args.chunks, args.steps, args.seed),
+        resume: args.resume,
+        max_retries: args.retries,
+        keep_generations: args.keep_generations,
+        fault_spec: std::env::var("NETSHARE_INJECT_FAULT").ok(),
+        watchdog: orchestrator::WatchdogOptions {
+            max_job_secs: args.max_job_secs,
+            // Always armed for multi-process runs: stale heartbeats are
+            // how a worker SIGKILLed mid-execution is detected.
+            heartbeat_timeout_secs: Some(10.0),
+            poll: std::time::Duration::from_millis(100),
+        },
+        ..Default::default()
+    };
+    let coord = orchestrator::Coordinator::bind(&args.addr)
+        .map_err(|e| RunError::Runtime(e.to_string()))?;
+    let addr = coord.local_addr().to_string();
+    eprintln!("coordinator listening on {addr}");
+    if let Some(path) = &args.addr_file {
+        std::fs::write(path, &addr)
+            .map_err(|e| RunError::Runtime(format!("write {}: {e}", path.display())))?;
+    }
+
+    // Workers are siblings of this binary (Cargo puts every workspace bin
+    // in one directory); hand-started workers can join via --addr-file.
+    let mut children = Vec::new();
+    if args.worker_procs > 0 {
+        let worker_bin = std::env::current_exe()
+            .ok()
+            .and_then(|p| p.parent().map(|d| d.join("netshare_worker")))
+            .ok_or_else(|| RunError::Runtime("cannot locate netshare_worker".into()))?;
+        for w in 0..args.worker_procs {
+            let child = std::process::Command::new(&worker_bin)
+                .arg(&addr)
+                .arg("--worker-id")
+                .arg(format!("w{w}"))
+                .spawn()
+                .map_err(|e| {
+                    RunError::Runtime(format!("spawn {}: {e}", worker_bin.display()))
+                })?;
+            children.push(child);
+        }
+    }
+
+    let events = orchestrator::EventLog::new()
+        .with_file(&dir.join("events.jsonl"))
+        .map_err(|e| RunError::Runtime(format!("open events.jsonl: {e}")))?;
+    let result = coord.serve(&dir, &plan, &opts, &events);
+
+    // Reap workers but never fail on their exit codes: a kill-worker
+    // chaos run aborts one by design, and the run's own success already
+    // proves recovery.
+    for (w, child) in children.iter_mut().enumerate() {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => eprintln!("worker w{w} exited with {status}"),
+            Err(e) => eprintln!("worker w{w} unreapable: {e}"),
+        }
+    }
+
+    match result {
+        Ok(report) => {
+            eprintln!(
+                "coordinated run complete: {} executed, {} resumed, {} requeue(s), \
+                 {} worker connection(s), {:.2}s",
+                report.completed,
+                report.skipped,
+                report.requeues,
+                report.workers_seen,
+                report.wall_seconds,
+            );
+            for (job, digest) in &report.digests {
+                println!("{job} {digest:#018x}");
+            }
+            Ok(())
+        }
+        Err(e @ orchestrator::OrchestratorError::JobFailed { .. }) => {
+            Err(RunError::Training(e.to_string()))
+        }
+        Err(e) => Err(RunError::Runtime(e.to_string())),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Bad invocations get the usage text and exit 2; failures of a valid
@@ -377,19 +613,13 @@ fn main() -> ExitCode {
             return usage();
         }
     };
-    let (mode, input, output, opts) = match command {
-        Command::Pull(pull) => {
-            return match run_pull(&pull) {
-                Ok(()) => ExitCode::SUCCESS,
-                Err(RunError::Runtime(e)) | Err(RunError::Training(e)) => {
-                    eprintln!("error: {e}");
-                    ExitCode::FAILURE
-                }
-            };
-        }
-        Command::Synth { mode, input, output, opts } => (mode, input, output, opts),
+    let result = match command {
+        Command::Pull(pull) => run_pull(&pull),
+        Command::Coord(coord) => run_coord(&coord),
+        Command::Gc { dir } => run_gc(&dir),
+        Command::Synth { mode, input, output, opts } => run(&mode, &input, &output, &opts),
     };
-    match run(&mode, &input, &output, &opts) {
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(RunError::Runtime(e)) => {
             eprintln!("error: {e}");
@@ -543,6 +773,58 @@ mod tests {
         assert_eq!(p.credit, 8);
         assert_eq!(p.out.as_deref(), Some(std::path::Path::new("/tmp/s.jsonl")));
         assert_eq!(p.metrics_out.as_deref(), Some(std::path::Path::new("/tmp/m.json")));
+    }
+
+    fn coord(args: &[&str]) -> Result<CoordArgs, String> {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        match parse_args(&argv) {
+            Ok(Command::Coord(c)) => Ok(*c),
+            Ok(_) => Err("parsed as another command".into()),
+            Err(UsageError(e)) => Err(e),
+        }
+    }
+
+    #[test]
+    fn coord_mode_parses_defaults_and_flags() {
+        let c = coord(&["coord", "/tmp/run"]).unwrap();
+        assert_eq!(c.dir, "/tmp/run");
+        assert_eq!((c.chunks, c.steps, c.seed), (4, 256, 17));
+        assert_eq!(c.addr, "127.0.0.1:0");
+        assert_eq!(c.worker_procs, 2);
+        assert!(!c.resume && c.addr_file.is_none() && c.max_job_secs.is_none());
+        assert_eq!((c.retries, c.keep_generations), (2, 3));
+
+        let c = coord(&[
+            "coord", "/tmp/run",
+            "--chunks", "6", "--steps", "64", "--seed", "9",
+            "--addr", "127.0.0.1:7500", "--addr-file", "/tmp/a",
+            "--workers-procs", "0", "--resume", "--retries", "1",
+            "--max-job-secs", "30", "--keep-generations", "2",
+        ])
+        .unwrap();
+        assert_eq!((c.chunks, c.steps, c.seed), (6, 64, 9));
+        assert_eq!(c.addr, "127.0.0.1:7500");
+        assert_eq!(c.addr_file.as_deref(), Some(std::path::Path::new("/tmp/a")));
+        assert_eq!(c.worker_procs, 0, "0 means workers join by hand");
+        assert!(c.resume);
+        assert_eq!((c.retries, c.keep_generations), (1, 2));
+        assert_eq!(c.max_job_secs, Some(30.0));
+    }
+
+    #[test]
+    fn coord_mode_rejects_bad_invocations() {
+        assert!(coord(&["coord"]).is_err(), "run dir required");
+        assert!(coord(&["coord", "/tmp/run", "--chunks", "0"]).is_err(), "zero chunks");
+        assert!(coord(&["coord", "/tmp/run", "--workers-procs"]).is_err(), "value required");
+        assert!(coord(&["coord", "/tmp/run", "--credit", "4"]).is_err(), "pull-only flag");
+    }
+
+    #[test]
+    fn gc_mode_takes_exactly_one_directory() {
+        let a = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(matches!(parse_args(&a(&["gc", "/tmp/run"])), Ok(Command::Gc { dir }) if dir == "/tmp/run"));
+        assert!(parse_args(&a(&["gc"])).is_err());
+        assert!(parse_args(&a(&["gc", "/a", "/b"])).is_err());
     }
 
     #[test]

@@ -1,8 +1,14 @@
 //! Wire protocol: length-prefixed, versioned, serde-encoded frames.
 //!
-//! lint: io-boundary — this module is the sanctioned socket I/O layer;
+//! lint: io-boundary — this module is a sanctioned socket I/O layer;
 //! raw reads/writes anywhere else in the workspace trip the
 //! `blocking-accept-loop` lint.
+//!
+//! The byte-level framing (prefix grammar, cancel-aware resumable
+//! reads/writes, timeout configuration) lives in [`orchestrator::wire`]
+//! since the coordinator/worker control channel adopted the same
+//! grammar; this module keeps the daemon-specific [`Frame`] vocabulary
+//! and error codes, delegating the socket mechanics.
 //!
 //! ## Frame grammar (frozen, like the JSONL event schema)
 //!
@@ -34,9 +40,9 @@
 //! queue growth.
 
 use doppelganger::GeneratedSample;
+use orchestrator::wire::{self, WireError};
 use orchestrator::CancelToken;
 use serde::{Deserialize, Serialize};
-use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
@@ -49,7 +55,7 @@ pub const MAX_FRAME_BYTES: usize = 8 * 1024 * 1024;
 
 /// How long a blocked socket read/write waits before re-checking the
 /// cancel token; bounds shutdown latency.
-pub const IO_POLL: Duration = Duration::from_millis(50);
+pub const IO_POLL: Duration = wire::IO_POLL;
 
 /// `ERROR` code: peer's `HELLO.version` is not [`PROTOCOL_VERSION`].
 pub const ERR_VERSION: &str = "unsupported-version";
@@ -159,18 +165,22 @@ impl std::fmt::Display for ProtoError {
     }
 }
 
+/// Maps a byte-layer [`WireError`] into this protocol's error type.
+fn from_wire(e: WireError) -> ProtoError {
+    match e {
+        WireError::Closed => ProtoError::Closed,
+        WireError::Truncated => ProtoError::Truncated,
+        WireError::Oversized(n) => ProtoError::Oversized(n),
+        WireError::Io(m) => ProtoError::Io(m),
+        WireError::Cancelled => ProtoError::Cancelled,
+    }
+}
+
 /// Encodes a frame as its on-wire bytes (length prefix + JSON payload).
 pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, ProtoError> {
     let payload = serde_json::to_string(frame)
         .map_err(|e| ProtoError::Malformed(format!("encode: {e}")))?;
-    let payload = payload.into_bytes();
-    if payload.is_empty() || payload.len() > MAX_FRAME_BYTES {
-        return Err(ProtoError::Oversized(payload.len() as u64));
-    }
-    let mut out = Vec::with_capacity(4 + payload.len());
-    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-    out.extend_from_slice(&payload);
-    Ok(out)
+    wire::frame(payload.as_bytes(), MAX_FRAME_BYTES).map_err(from_wire)
 }
 
 /// Decodes one frame from payload bytes (the length prefix already
@@ -184,65 +194,12 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, ProtoError> {
 /// Marks a socket for interruptible I/O: blocked reads and writes wake
 /// every [`IO_POLL`] so the token can be checked.
 pub fn configure(stream: &TcpStream) -> Result<(), ProtoError> {
-    stream
-        .set_read_timeout(Some(IO_POLL))
-        .and_then(|_| stream.set_write_timeout(Some(IO_POLL)))
-        .map_err(|e| ProtoError::Io(e.to_string()))
-}
-
-/// Whether an I/O error kind means "timed out, try again" rather than a
-/// real fault. (Unix reports socket timeouts as `WouldBlock`, Windows as
-/// `TimedOut`; `Interrupted` is a plain EINTR.)
-fn is_retry(kind: std::io::ErrorKind) -> bool {
-    matches!(
-        kind,
-        std::io::ErrorKind::WouldBlock
-            | std::io::ErrorKind::TimedOut
-            | std::io::ErrorKind::Interrupted
-    )
-}
-
-/// Fills `buf` completely, resuming across socket timeouts so a partial
-/// read is never lost, and aborting if `token` fires. `clean_close` is
-/// what a 0-byte read at offset 0 means (`Closed` between frames,
-/// `Truncated` inside one).
-fn read_full(
-    stream: &mut TcpStream,
-    buf: &mut [u8],
-    token: &CancelToken,
-    clean_close: bool,
-) -> Result<(), ProtoError> {
-    let mut off = 0;
-    while off < buf.len() {
-        if token.is_cancelled() {
-            return Err(ProtoError::Cancelled);
-        }
-        match stream.read(&mut buf[off..]) {
-            Ok(0) => {
-                return Err(if clean_close && off == 0 {
-                    ProtoError::Closed
-                } else {
-                    ProtoError::Truncated
-                });
-            }
-            Ok(n) => off += n,
-            Err(e) if is_retry(e.kind()) => continue,
-            Err(e) => return Err(ProtoError::Io(e.to_string())),
-        }
-    }
-    Ok(())
+    wire::configure(stream).map_err(from_wire)
 }
 
 /// Reads one complete frame, blocking (interruptibly) until it arrives.
 pub fn read_frame(stream: &mut TcpStream, token: &CancelToken) -> Result<Frame, ProtoError> {
-    let mut prefix = [0u8; 4];
-    read_full(stream, &mut prefix, token, true)?;
-    let len = u32::from_be_bytes(prefix) as usize;
-    if len == 0 || len > MAX_FRAME_BYTES {
-        return Err(ProtoError::Oversized(len as u64));
-    }
-    let mut payload = vec![0u8; len];
-    read_full(stream, &mut payload, token, false)?;
+    let payload = wire::read_frame_bytes(stream, token, MAX_FRAME_BYTES).map_err(from_wire)?;
     decode_frame(&payload)
 }
 
@@ -253,19 +210,7 @@ pub fn write_encoded(
     bytes: &[u8],
     token: &CancelToken,
 ) -> Result<(), ProtoError> {
-    let mut off = 0;
-    while off < bytes.len() {
-        if token.is_cancelled() {
-            return Err(ProtoError::Cancelled);
-        }
-        match stream.write(&bytes[off..]) {
-            Ok(0) => return Err(ProtoError::Truncated),
-            Ok(n) => off += n,
-            Err(e) if is_retry(e.kind()) => continue,
-            Err(e) => return Err(ProtoError::Io(e.to_string())),
-        }
-    }
-    Ok(())
+    wire::write_all(stream, bytes, token).map_err(from_wire)
 }
 
 /// Encodes and writes one frame.

@@ -19,12 +19,17 @@
 //!         | <job> ':' <class> [':' <count>]   # count defaults to 1
 //! class  := panic | transient | hang | slow-io
 //!         | corrupt-flip | corrupt-truncate | corrupt-torn
+//!         | kill-worker
 //! ```
 //!
 //! `panic`, `transient`, and `hang` strike the job *attempt* (inside the
 //! scheduler's `catch_unwind` + retry machinery); `slow-io` and the
 //! `corrupt-*` classes strike the checkpoint *persist* path after the job
 //! body already succeeded, which is exactly where real corruption lands.
+//! `kill-worker` is a *process* fault: a `netshare_worker` assigned a
+//! matching job aborts the whole process (SIGABRT, no cleanup) before
+//! executing it — the in-process thread pool never fires it, since
+//! killing the only process would kill the run it is supposed to test.
 
 use crate::manifest::fnv1a64;
 use std::io::Write;
@@ -50,6 +55,9 @@ pub enum FaultClass {
     /// The write dies mid-temp-file: only a partial `.tmp.` file lands on
     /// disk and the manifest never records the generation.
     CorruptTorn,
+    /// The worker *process* aborts before executing the attempt (multi-
+    /// process runs only; simulates SIGKILL/OOM-kill of a worker box).
+    KillWorker,
 }
 
 impl FaultClass {
@@ -63,6 +71,7 @@ impl FaultClass {
             FaultClass::CorruptFlip => "corrupt-flip",
             FaultClass::CorruptTruncate => "corrupt-truncate",
             FaultClass::CorruptTorn => "corrupt-torn",
+            FaultClass::KillWorker => "kill-worker",
         }
     }
 
@@ -75,6 +84,7 @@ impl FaultClass {
             "corrupt-flip" => FaultClass::CorruptFlip,
             "corrupt-truncate" => FaultClass::CorruptTruncate,
             "corrupt-torn" => FaultClass::CorruptTorn,
+            "kill-worker" => FaultClass::KillWorker,
             _ => return None,
         })
     }
@@ -85,6 +95,12 @@ impl FaultClass {
             self,
             FaultClass::Panic | FaultClass::Transient | FaultClass::Hang
         )
+    }
+
+    /// Whether this class kills the whole worker process (neither an
+    /// attempt fault nor a persist fault; only multi-process runs fire it).
+    pub fn is_process_fault(self) -> bool {
+        matches!(self, FaultClass::KillWorker)
     }
 }
 
@@ -110,7 +126,7 @@ pub struct ChaosPlan {
 /// The grammar, as quoted by every parse error (and the CLI usage text).
 pub const CHAOS_GRAMMAR: &str = "expected `<job>:<count>`, `<job>:<class>[:<count>]`, or \
      `seed=<u64>` joined by `;` — classes: panic | transient | hang | \
-     slow-io | corrupt-flip | corrupt-truncate | corrupt-torn";
+     slow-io | corrupt-flip | corrupt-truncate | corrupt-torn | kill-worker";
 
 impl ChaosPlan {
     /// Parses a fault plan, rejecting malformed specs with an error that
@@ -175,10 +191,19 @@ impl ChaosPlan {
     }
 
     /// The persist-phase fault (slow-io / corrupt-*) to inject against the
-    /// checkpoint written after the given final attempt.
+    /// checkpoint written after the given final attempt. Process faults
+    /// are excluded: by persist time the attempt already executed, so a
+    /// kill-worker entry reaching here would fire in the wrong phase.
     pub fn persist_fault(&self, job: &str, attempt: u32) -> Option<&ChaosEntry> {
         self.entry(job, attempt)
-            .filter(|e| !e.class.is_attempt_fault())
+            .filter(|e| !e.class.is_attempt_fault() && !e.class.is_process_fault())
+    }
+
+    /// The process-phase fault (kill-worker) to inject before executing
+    /// the given attempt. Only `netshare_worker` processes consult this;
+    /// the in-process thread pool ignores process faults entirely.
+    pub fn process_fault(&self, job: &str, attempt: u32) -> Option<&ChaosEntry> {
+        self.entry(job, attempt).filter(|e| e.class.is_process_fault())
     }
 
     /// Deterministic corruption position source for `job`/`attempt`.
@@ -260,6 +285,19 @@ mod tests {
             assert!(err.contains("invalid fault spec"), "{bad} -> {err}");
             assert!(err.contains("corrupt-torn"), "grammar named: {bad} -> {err}");
         }
+    }
+
+    #[test]
+    fn kill_worker_is_a_process_fault_and_fires_in_no_other_phase() {
+        let plan = ChaosPlan::parse("chunk-1:kill-worker:1").unwrap();
+        let e = plan.process_fault("chunk-1", 0).unwrap();
+        assert_eq!(e.class, FaultClass::KillWorker);
+        assert!(plan.attempt_fault("chunk-1", 0).is_none());
+        assert!(plan.persist_fault("chunk-1", 0).is_none());
+        assert!(plan.process_fault("chunk-1", 1).is_none(), "count exhausted");
+        assert!(plan.process_fault("chunk-2", 0).is_none(), "other job");
+        assert!(FaultClass::KillWorker.is_process_fault());
+        assert!(!FaultClass::Panic.is_process_fault());
     }
 
     #[test]

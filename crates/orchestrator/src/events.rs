@@ -164,6 +164,21 @@ pub enum Event {
         /// The decayed learning rate the job resumed with.
         lr: f64,
     },
+    /// A worker process completed the control-channel handshake with the
+    /// coordinator (multi-process runs only).
+    WorkerJoined {
+        /// Worker-chosen name from its `WorkerHello`.
+        worker: String,
+    },
+    /// A worker's control connection ended while it still had assigned
+    /// jobs; the coordinator requeued them. Graceful drains (no inflight
+    /// work) emit nothing.
+    WorkerLost {
+        /// Worker name.
+        worker: String,
+        /// Job ids pulled back into the ready queue.
+        requeued: Vec<String>,
+    },
     /// The run finished (all jobs completed or verified).
     RunFinished {
         /// Wall-clock seconds of the whole run.
@@ -328,6 +343,11 @@ mod tests {
                 reason: "non-finite generator loss".into(),
                 rollback: 1,
                 lr: 0.0005,
+            },
+            Event::WorkerJoined { worker: "w0".into() },
+            Event::WorkerLost {
+                worker: "w0".into(),
+                requeued: vec!["chunk-1".into(), "chunk-2".into()],
             },
             Event::RunFinished {
                 wall_seconds: 1.0,

@@ -14,10 +14,14 @@
 //!   jobs from a shared queue; completion unlocks dependents. Job outputs
 //!   are pure functions of their inputs, so results are identical at any
 //!   worker count.
-//! * **On-disk checkpoints** ([`manifest`]): each completed job's payload is
-//!   serialized to `jobs/<id>.json` and registered in `manifest.json`, both
-//!   written atomically (temp file + rename) so a kill mid-write never
-//!   corrupts the run directory.
+//! * **Content-addressed checkpoints** ([`store`], [`manifest`]): each
+//!   completed job's payload is written to `objects/<fnv1a64-digest>.json`
+//!   — the digest of the bytes *is* the address — and `manifest.json` maps
+//!   `job@generation → digest` as a pure reference index. Both writes are
+//!   atomic (temp file + rename) so a kill mid-write never corrupts the
+//!   run directory; identical payloads across jobs, generations, and runs
+//!   are stored once, and `FsStore::sweep` garbage-collects objects no
+//!   manifest references.
 //! * **Resume**: a rerun with [`RunOptions::resume`] skips every job the
 //!   manifest can verify (run-key match + payload digest match) and loads
 //!   its payload from disk instead of recomputing it. Checkpoints are
@@ -34,24 +38,42 @@
 //!   attempts that blow their deadline or stop beating, converting hangs
 //!   into ordinary retried failures.
 //! * **JSONL events** ([`events`]): run/job lifecycle, retries, training
-//!   losses, quarantines, watchdog cancellations, and per-job wall/CPU
-//!   seconds stream to any combination of an in-memory buffer, a file,
-//!   and stderr.
+//!   losses, quarantines, watchdog cancellations, worker joins/losses,
+//!   and per-job wall/CPU seconds stream to any combination of an
+//!   in-memory buffer, a file, and stderr.
+//! * **Process scale-out** ([`coord`], [`worker`]): a [`coord::Coordinator`]
+//!   serves the same DAG over a local TCP control socket to
+//!   `netshare_worker` processes, which claim jobs, heartbeat over the
+//!   wire, and exchange results *by digest* through the shared store —
+//!   a SIGKILLed worker's jobs are detected (dead socket or stale
+//!   heartbeat) and requeued, and the final artifacts are bitwise
+//!   identical to a single-process run.
+
+#![warn(missing_docs)]
 
 pub mod cancel;
 pub mod chaos;
+pub mod coord;
 pub mod dag;
 pub mod events;
 pub mod manifest;
 pub mod pool;
+pub mod store;
 pub mod timing;
 pub mod watchdog;
+pub mod wire;
+pub mod worker;
 
 pub use cancel::CancelToken;
 pub use chaos::{ChaosEntry, ChaosPlan, FaultClass, CHAOS_GRAMMAR};
+pub use coord::{
+    sim_plan, CoordOptions, CoordReport, Coordinator, CtrlFrame, DistJob, DistPlan, COORD_VERSION,
+};
 pub use dag::{JobInputs, JobSpec, Plan};
 pub use events::{Event, EventLog};
 pub use manifest::{atomic_write, fnv1a64, quarantine, Manifest, ManifestEntry};
 pub use pool::{run, JobStats, OrchestratorError, RunOptions, RunReport};
+pub use store::{FsStore, GcReport, ObjectStore, PutOutcome};
 pub use timing::{measure, thread_cpu_seconds, Heartbeat};
 pub use watchdog::{WatchGuard, Watchdog, WatchdogOptions};
+pub use worker::{run_worker, ExecutorRegistry, WorkerOptions, WorkerReport};

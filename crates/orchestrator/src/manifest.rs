@@ -1,20 +1,28 @@
-//! On-disk checkpoints behind an atomic-write manifest, with generations.
+//! The ref index of the content-addressed store, with generations.
 //!
 //! Layout of a run directory:
 //!
 //! ```text
-//! <dir>/manifest.json               completed-job registry (atomic: tmp + rename)
-//! <dir>/jobs/<id>.gen<g>.json       one payload file per job *generation*
-//! <dir>/jobs/<file>.quarantine      a payload that failed verification
-//! <dir>/events.jsonl                the event stream (append-only)
+//! <dir>/manifest.json                  completed-job ref index (atomic: tmp + rename)
+//! <dir>/objects/<digest>.json          content-addressed payload blobs (see `store`)
+//! <dir>/objects/<file>.quarantine      a payload that failed verification
+//! <dir>/events.jsonl                   the event stream (append-only)
 //! ```
 //!
+//! Since the store became content-addressed (schema v3), the manifest is
+//! a *ref index*: each entry maps `job_id@generation` to the FNV-1a
+//! digest of its payload, and the payload lives at
+//! `objects/<digest as %016x>.json` — the digest is both the integrity
+//! check and the address. An object is live exactly while some entry
+//! references its digest; everything else is garbage for
+//! `netshare_cli gc` to sweep.
+//!
 //! The manifest is rewritten after *every* job completion, so a killed run
-//! preserves exactly the set of jobs whose payload files finished their
+//! preserves exactly the set of jobs whose payload objects finished their
 //! rename — a payload is only ever referenced by the manifest after it is
 //! fully on disk. Resume trusts an entry only when (a) the manifest's
 //! `run_key` matches the current configuration fingerprint and (b) the
-//! payload file's FNV-1a digest matches the recorded one.
+//! payload object's FNV-1a digest matches the recorded one.
 //!
 //! Each completion appends a new *generation* rather than replacing the
 //! previous one; the scheduler keeps the last K verified generations per
@@ -28,9 +36,10 @@ use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Manifest schema version. Bumped to 2 when entries gained generations;
-/// version-1 manifests fail deserialization and mean a fresh start.
-pub const MANIFEST_VERSION: u64 = 2;
+/// Manifest schema version. Bumped to 2 when entries gained generations
+/// and to 3 when payloads moved into the content-addressed `objects/`
+/// store; older versions fail the load gate and mean a fresh start.
+pub const MANIFEST_VERSION: u64 = 3;
 
 /// One completed job generation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -39,9 +48,12 @@ pub struct ManifestEntry {
     pub id: String,
     /// 1-based generation number (monotonic per job id).
     pub generation: u64,
-    /// Payload file, relative to the run directory.
+    /// Payload object file, relative to the run directory — derived from
+    /// `digest` (`objects/<digest>.json`); recorded redundantly so
+    /// quarantine paths and diagnostics need no recomputation.
     pub file: String,
-    /// FNV-1a 64 digest of the payload file bytes.
+    /// FNV-1a 64 digest of the payload bytes: both the integrity check
+    /// and the object's address in the store.
     pub digest: u64,
     /// Attempts the job took when it originally ran.
     pub attempts: u32,
@@ -78,14 +90,10 @@ impl Manifest {
         dir.join("manifest.json")
     }
 
-    /// The payload file (relative name) for one generation of a job id.
-    /// Ids are sanitized so any id yields a flat, safe file name.
-    pub fn payload_file(id: &str, generation: u64) -> String {
-        let safe: String = id
-            .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
-            .collect();
-        format!("jobs/{safe}.gen{generation}.json")
+    /// The payload object file (relative to the run directory) for a
+    /// digest — the content address every entry's `file` field records.
+    pub fn object_file(digest: u64) -> String {
+        crate::store::object_rel(digest)
     }
 
     /// Loads the manifest of `dir`, or `None` when absent, unparseable, or
@@ -136,8 +144,11 @@ impl Manifest {
     }
 
     /// Keeps only the newest `keep` generations of `id`, returning the
-    /// relative payload files of the dropped ones so the caller can delete
-    /// them. `keep` is clamped to at least 1.
+    /// relative payload files of the dropped ones. `keep` is clamped to
+    /// at least 1. With content addressing a file may back *several*
+    /// entries (dedup), so the caller must check no surviving entry still
+    /// references a returned file before deleting it — or leave deletion
+    /// to the GC sweep entirely.
     pub fn prune(&mut self, id: &str, keep: usize) -> Vec<String> {
         let keep = keep.max(1);
         let stale: Vec<(u64, String)> = self
@@ -220,7 +231,7 @@ mod tests {
 
     fn tmp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("orch-manifest-{tag}-{}", std::process::id()));
-        std::fs::create_dir_all(dir.join("jobs")).unwrap();
+        std::fs::create_dir_all(dir.join("objects")).unwrap();
         dir
     }
 
@@ -228,7 +239,7 @@ mod tests {
         ManifestEntry {
             id: id.into(),
             generation,
-            file: Manifest::payload_file(id, generation),
+            file: Manifest::object_file(digest),
             digest,
             attempts: 1,
             wall_seconds: 0.5,
@@ -251,7 +262,7 @@ mod tests {
     fn verified_payload_rejects_tampering() {
         let dir = tmp_dir("tamper");
         let payload = "{\"x\":1}";
-        let file = Manifest::payload_file("job-a", 1);
+        let file = Manifest::object_file(fnv1a64(payload.as_bytes()));
         atomic_write(&dir.join(&file), payload.as_bytes()).unwrap();
         let mut m = Manifest::new("k");
         m.record(entry("job-a", 1, fnv1a64(payload.as_bytes())));
@@ -268,11 +279,14 @@ mod tests {
     fn generations_fall_back_newest_to_oldest() {
         let dir = tmp_dir("generations");
         let good = "{\"x\":1}";
-        atomic_write(&dir.join(Manifest::payload_file("a", 1)), good.as_bytes()).unwrap();
-        atomic_write(&dir.join(Manifest::payload_file("a", 2)), b"corrupted").unwrap();
+        let gen2_digest = fnv1a64(b"what gen 2 should have been");
+        atomic_write(&dir.join(Manifest::object_file(fnv1a64(good.as_bytes()))), good.as_bytes())
+            .unwrap();
+        // Gen 2's object holds bytes that do not hash to its address.
+        atomic_write(&dir.join(Manifest::object_file(gen2_digest)), b"corrupted").unwrap();
         let mut m = Manifest::new("k");
         m.record(entry("a", 1, fnv1a64(good.as_bytes())));
-        m.record(entry("a", 2, fnv1a64(b"what gen 2 should have been")));
+        m.record(entry("a", 2, gen2_digest));
         assert_eq!(m.next_generation("a"), 3);
         assert_eq!(m.entry("a").unwrap().generation, 2, "newest is current");
         // Gen 2's digest fails, so the read-only walk lands on gen 1.
@@ -291,9 +305,9 @@ mod tests {
         assert_eq!(
             stale,
             vec![
-                Manifest::payload_file("a", 3),
-                Manifest::payload_file("a", 2),
-                Manifest::payload_file("a", 1),
+                Manifest::object_file(3),
+                Manifest::object_file(2),
+                Manifest::object_file(1),
             ]
         );
         let left: Vec<u64> = m.generations("a").iter().map(|e| e.generation).collect();
@@ -307,11 +321,11 @@ mod tests {
     #[test]
     fn quarantine_renames_preserving_bytes() {
         let dir = tmp_dir("quarantine");
-        let p = dir.join("jobs").join("a.gen1.json");
+        let p = dir.join("objects").join("00000000000000ab.json");
         std::fs::write(&p, b"bad bytes").unwrap();
         let dest = quarantine(&p).unwrap();
         assert!(!p.exists());
-        assert!(dest.to_string_lossy().ends_with("a.gen1.json.quarantine"));
+        assert!(dest.to_string_lossy().ends_with("00000000000000ab.json.quarantine"));
         assert_eq!(std::fs::read(&dest).unwrap(), b"bad bytes");
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -346,9 +360,10 @@ mod tests {
     }
 
     #[test]
-    fn payload_file_names_are_sanitized() {
-        assert_eq!(Manifest::payload_file("chunk-3", 1), "jobs/chunk-3.gen1.json");
-        assert_eq!(Manifest::payload_file("a/b c", 2), "jobs/a_b_c.gen2.json");
+    fn object_files_are_addressed_by_digest_alone() {
+        assert_eq!(Manifest::object_file(0xab), "objects/00000000000000ab.json");
+        // Identical content ⇒ identical address, whatever the job id.
+        assert_eq!(Manifest::object_file(7), Manifest::object_file(7));
     }
 
     #[test]

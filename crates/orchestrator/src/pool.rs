@@ -20,7 +20,8 @@ use crate::cancel::CancelToken;
 use crate::chaos::{self, ChaosPlan, FaultClass};
 use crate::dag::{JobInputs, Plan};
 use crate::events::{Event, EventLog};
-use crate::manifest::{atomic_write, fnv1a64, quarantine, Manifest, ManifestEntry};
+use crate::manifest::{fnv1a64, quarantine, Manifest, ManifestEntry};
+use crate::store::{FsStore, ObjectStore};
 use crate::timing::{measure, Heartbeat, Stopwatch};
 use crate::watchdog::{Watchdog, WatchdogOptions};
 use serde::{Deserialize, Serialize};
@@ -210,11 +211,14 @@ where
     let mut manifest = Manifest::new(opts.run_key.clone());
     let mut resumed: BTreeMap<usize, Arc<P>> = BTreeMap::new();
     let mut resumed_stats: BTreeMap<String, JobStats> = BTreeMap::new();
-    if let Some(dir) = &opts.checkpoint_dir {
-        std::fs::create_dir_all(dir.join("jobs")).map_err(|e| OrchestratorError::Io {
-            path: dir.join("jobs"),
+    let store = match &opts.checkpoint_dir {
+        Some(dir) => Some(FsStore::open(dir).map_err(|e| OrchestratorError::Io {
+            path: dir.join(crate::store::OBJECTS_DIR),
             message: e.to_string(),
-        })?;
+        })?),
+        None => None,
+    };
+    if let Some(dir) = &opts.checkpoint_dir {
         // Torn temp files from an interrupted atomic write are quarantined
         // up front, on fresh and resumed runs alike: nothing may ever
         // mistake half a payload for a checkpoint.
@@ -247,15 +251,11 @@ where
                 }
             }
             Some(_) => {
-                // Different configuration: every recorded generation (and
-                // any quarantine evidence) belongs to a run that can never
-                // be resumed again — clear the payload directory so stale
-                // files cannot linger beside the new run's generations.
-                if let Ok(rd) = std::fs::read_dir(dir.join("jobs")) {
-                    for e in rd.flatten() {
-                        let _ = std::fs::remove_file(e.path());
-                    }
-                }
+                // Different configuration: the old run's *references* are
+                // void, but its objects stay — they are content-addressed,
+                // so the new run can only ever trust one after a digest
+                // match (cross-run dedup), and anything left unreferenced
+                // is exactly what `netshare_cli gc` sweeps.
             }
             None => {}
         }
@@ -325,7 +325,10 @@ where
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(|| {
-                        worker_loop(plan, opts, events, &shared, &manifest, &dependents, &watchdog)
+                        worker_loop(
+                            plan, opts, events, &shared, &manifest, &dependents, &watchdog,
+                            store.as_ref(),
+                        )
                     })
                 })
                 .collect();
@@ -379,9 +382,14 @@ where
 }
 
 /// Quarantines leftover `.tmp.` files from interrupted atomic writes in
-/// the run directory and its `jobs/` subdirectory (best-effort).
-fn quarantine_stray_temp_files(dir: &Path, events: &EventLog) {
-    for sub in ["", "jobs"] {
+/// the run directory and its `jobs/` subdirectory (best-effort). Shared
+/// with the process coordinator ([`crate::coord`]), whose recovery path
+/// patrols the same directories.
+pub(crate) fn quarantine_stray_temp_files(dir: &Path, events: &EventLog) {
+    // "jobs" is the pre-v3 payload directory: still patrolled so a run
+    // directory carried forward from the path-named layout cannot hide a
+    // torn fragment there.
+    for sub in ["", crate::store::OBJECTS_DIR, "jobs"] {
         let scan = if sub.is_empty() { dir.to_path_buf() } else { dir.join(sub) };
         let Ok(rd) = std::fs::read_dir(&scan) else { continue };
         for e in rd.flatten() {
@@ -449,6 +457,7 @@ fn recover_job<P: Deserialize>(
 }
 
 /// One worker: pull ready jobs until the run completes or hard-fails.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop<P>(
     plan: &Plan<'_, P>,
     opts: &RunOptions,
@@ -457,6 +466,7 @@ fn worker_loop<P>(
     manifest: &Mutex<Manifest>,
     dependents: &[Vec<usize>],
     watchdog: &Watchdog,
+    store: Option<&FsStore>,
 ) where
     P: Serialize + Deserialize + Send + Sync,
 {
@@ -466,8 +476,9 @@ fn worker_loop<P>(
         .enumerate()
         .map(|(i, j)| (j.id.as_str(), i))
         .collect();
-    let persist_ctx = opts.checkpoint_dir.as_deref().map(|dir| PersistCtx {
+    let persist_ctx = opts.checkpoint_dir.as_deref().zip(store).map(|(dir, store)| PersistCtx {
         dir,
+        store,
         manifest,
         chaos: opts.chaos.as_ref(),
         run_cancel: &shared.run_cancel,
@@ -704,15 +715,19 @@ fn fail_run<P>(shared: &Shared<P>, err: OrchestratorError) {
 /// Everything the checkpoint-persistence path needs, bundled per worker.
 struct PersistCtx<'a> {
     dir: &'a Path,
+    store: &'a FsStore,
     manifest: &'a Mutex<Manifest>,
     chaos: Option<&'a ChaosPlan>,
     run_cancel: &'a CancelToken,
     keep: usize,
 }
 
-/// Serializes a payload, writes it as a new generation, re-persists the
-/// manifest referencing it, and prunes generations beyond the keep
-/// window. Persist-phase chaos faults (slow-io / corrupt-*) strike here.
+/// Serializes a payload, writes it into the content-addressed store, and
+/// re-persists the manifest with a new generation entry referencing the
+/// object's digest. Prunes generations beyond the keep window — deleting
+/// a pruned object only when no surviving entry still references it
+/// (dedup means one object can back several generations). Persist-phase
+/// chaos faults (slow-io / corrupt-*) strike here.
 fn persist<P: Serialize>(
     ctx: &PersistCtx<'_>,
     id: &str,
@@ -735,9 +750,9 @@ fn persist<P: Serialize>(
         // Injected slow I/O: an interruptible stall before the write.
         let _ = ctx.run_cancel.wait_timeout(Duration::from_millis(300));
     }
-    let generation = lock(ctx.manifest, "manifest lock").next_generation(id); // lint: lock-order(orchestrator.manifest)
-    let file = Manifest::payload_file(id, generation);
-    let path = ctx.dir.join(&file);
+    let digest = fnv1a64(text.as_bytes());
+    let file = Manifest::object_file(digest);
+    let path = ctx.store.object_path(digest);
     if fault_class == Some(FaultClass::CorruptTorn) {
         // Torn write: only a partial temp file lands and the manifest
         // never learns about this generation — exactly what a kill
@@ -748,7 +763,7 @@ fn persist<P: Serialize>(
             message: e.to_string(),
         });
     }
-    atomic_write(&path, text.as_bytes()).map_err(|e| OrchestratorError::Io {
+    ctx.store.put(text.as_bytes()).map_err(|e| OrchestratorError::Io {
         path: path.clone(),
         message: e.to_string(),
     })?;
@@ -756,7 +771,7 @@ fn persist<P: Serialize>(
         fault_class,
         Some(FaultClass::CorruptFlip) | Some(FaultClass::CorruptTruncate)
     ) {
-        // Post-write bit rot: the manifest digest describes the clean
+        // Post-write bit rot: the object's address describes the clean
         // bytes, so the next load must detect and quarantine this file.
         if let (Some(class), Some(plan)) = (fault_class, ctx.chaos) {
             chaos::corrupt_file(class, &path, plan.corruption_seed(id, final_attempt)).map_err(
@@ -768,19 +783,23 @@ fn persist<P: Serialize>(
         }
     }
     let mut m = lock(ctx.manifest, "manifest lock"); // lint: lock-order(orchestrator.manifest)
+    let generation = m.next_generation(id);
     m.record(ManifestEntry {
         id: id.to_string(),
         generation,
         file,
-        digest: fnv1a64(text.as_bytes()),
+        digest,
         attempts,
         wall_seconds,
         cpu_seconds,
     });
     for stale in m.prune(id, ctx.keep) {
         // Pruned generations were verified when written; plain deletion,
-        // not quarantine.
-        let _ = std::fs::remove_file(ctx.dir.join(stale));
+        // not quarantine — but only once no surviving entry shares the
+        // object (identical payloads dedup to one file).
+        if !m.jobs.iter().any(|e| e.file == stale) {
+            let _ = std::fs::remove_file(ctx.dir.join(stale));
+        }
     }
     m.store(ctx.dir).map_err(|e| OrchestratorError::Io {
         path: Manifest::path(ctx.dir),

@@ -80,6 +80,8 @@ impl Drop for WatchGuard<'_> {
 }
 
 impl Watchdog {
+    /// A watchdog with the given limits and no registered watches; call
+    /// [`Watchdog::run`] on a dedicated thread to start sweeping.
     pub fn new(opts: WatchdogOptions) -> Self {
         Watchdog {
             opts,

@@ -1,0 +1,484 @@
+//! Worker side of the multi-process seam: the claim/execute/report loop
+//! that `netshare_worker` runs against a [`crate::coord::Coordinator`].
+//!
+//! lint: io-boundary — this module owns the worker's control-channel
+//! socket; raw socket I/O anywhere else in the workspace trips the
+//! `blocking-accept-loop` lint.
+//!
+//! A worker is deliberately dumb: it holds no scheduler state, just a
+//! registry of named executors. It dials the coordinator, claims one job
+//! at a time, pulls dependency payloads out of the shared content store
+//! by digest, runs the executor under `catch_unwind` while a forwarding
+//! loop relays [`Heartbeat`] beats over the control channel, writes the
+//! result back through the store, and reports only the digest. Crashing
+//! at any point is safe: the coordinator requeues whatever the worker
+//! had claimed (connection loss or heartbeat staleness) and the store's
+//! atomic writes mean a half-written object is never visible under its
+//! address.
+//!
+//! Chaos faults travel *with the work*: the coordinator forwards its
+//! fault spec in `CoordHello` and the worker applies attempt faults
+//! (panic/transient/hang → `Fail` frames), persist faults (slow-io and
+//! the corrupt-* classes strike the object bytes so the coordinator's
+//! digest verification must catch them), and the process fault
+//! (`kill-worker` → [`std::process::abort`], no cleanup, simulating
+//! SIGKILL/OOM-kill of a worker box).
+
+use crate::cancel::CancelToken;
+use crate::chaos::{corrupt_file, write_torn, ChaosPlan, FaultClass};
+use crate::coord::{read_ctrl, send_ctrl, CtrlFrame, COORD_VERSION};
+use crate::store::{FsStore, ObjectStore};
+use crate::timing::{measure, Heartbeat};
+use crate::wire;
+use serde::Deserialize;
+use std::collections::BTreeMap;
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::Duration;
+
+/// Cadence of heartbeat frames relayed while an executor runs.
+const HEARTBEAT_EVERY: Duration = Duration::from_millis(100);
+
+/// Everything an executor sees about the assignment it is running.
+pub struct ExecCtx<'a> {
+    /// Job id.
+    pub job: &'a str,
+    /// Zero-based attempt number (global across workers).
+    pub attempt: u32,
+    /// The opaque spec from the plan (JSON with a `kind` discriminator).
+    pub spec: &'a str,
+    /// Dependency payload text, keyed by dependency job id (fetched from
+    /// the store and digest-verified before the executor starts).
+    pub deps: &'a BTreeMap<String, String>,
+    /// Liveness beacon: beat it from long loops or the coordinator's
+    /// staleness watchdog will cancel and requeue the attempt.
+    pub heartbeat: &'a Heartbeat,
+    /// Cooperative cancellation (process shutdown).
+    pub cancel: &'a CancelToken,
+}
+
+/// A named job body: spec + verified dependency payloads in, payload
+/// text out (persisted to the store by the claim loop, never by the
+/// executor itself).
+pub type Executor = Box<dyn Fn(&ExecCtx<'_>) -> Result<String, String> + Send + Sync>;
+
+/// Dispatch table from spec `kind` to [`Executor`].
+#[derive(Default)]
+pub struct ExecutorRegistry {
+    by_kind: BTreeMap<String, Executor>,
+}
+
+/// Peeks at a spec's `kind` discriminator without binding the rest of
+/// its schema (extra fields are ignored by the decoder).
+#[derive(Deserialize)]
+struct KindProbe {
+    kind: String,
+}
+
+impl ExecutorRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ExecutorRegistry::default()
+    }
+
+    /// The registry with every built-in executor (currently `sim-chunk`,
+    /// the deterministic training stand-in the scale-out tests use).
+    pub fn builtin() -> Self {
+        let mut r = ExecutorRegistry::new();
+        r.register("sim-chunk", Box::new(sim_chunk));
+        r
+    }
+
+    /// Registers (or replaces) the executor for a spec kind.
+    pub fn register(&mut self, kind: &str, exec: Executor) {
+        self.by_kind.insert(kind.to_string(), exec);
+    }
+
+    /// Resolves a spec to its executor via the `kind` discriminator.
+    pub fn resolve(&self, spec: &str) -> Result<&Executor, String> {
+        let probe: KindProbe = serde_json::from_str(spec)
+            .map_err(|e| format!("spec has no readable `kind` field: {e}"))?;
+        self.by_kind
+            .get(&probe.kind)
+            .ok_or_else(|| format!("no executor registered for kind `{}`", probe.kind))
+    }
+}
+
+/// Schema of the built-in `sim-chunk` spec (the `kind` field is the
+/// registry's dispatch key and is not re-read here).
+#[derive(Deserialize)]
+struct SimSpec {
+    seed: u64,
+    steps: u64,
+}
+
+/// The built-in executor: a seeded LCG "training loop" that folds every
+/// dependency payload into its state, beats the heartbeat as it goes,
+/// and emits a small JSON payload. Deterministic in `(spec, deps)`, so
+/// reruns on any worker topology produce bitwise-identical objects —
+/// which is exactly what the kill-worker equivalence tests assert.
+fn sim_chunk(ctx: &ExecCtx<'_>) -> Result<String, String> {
+    let spec: SimSpec =
+        serde_json::from_str(ctx.spec).map_err(|e| format!("bad sim-chunk spec: {e}"))?;
+    let mut h = spec.seed ^ 0xcbf2_9ce4_8422_2325;
+    for (id, text) in ctx.deps {
+        h ^= crate::manifest::fnv1a64(id.as_bytes());
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        h ^= crate::manifest::fnv1a64(text.as_bytes());
+    }
+    for step in 0..spec.steps {
+        h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407 ^ step);
+        if step % 16 == 0 {
+            ctx.heartbeat.beat(step);
+            if ctx.cancel.is_cancelled() {
+                return Err(format!(
+                    "cancelled at step {step}: {}",
+                    ctx.cancel.reason().unwrap_or_default()
+                ));
+            }
+        }
+    }
+    ctx.heartbeat.beat(spec.steps);
+    Ok(format!(
+        r#"{{"job":"{}","state":"{:016x}","steps":{}}}"#,
+        ctx.job, h, spec.steps
+    ))
+}
+
+/// Knobs of one worker process.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Name sent in `WorkerHello` (event attribution and diagnostics).
+    pub worker_id: String,
+    /// How long to keep retrying the initial connect (the coordinator
+    /// may bind after the worker launches).
+    pub connect_timeout: Duration,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions {
+            worker_id: format!("worker-{}", std::process::id()),
+            connect_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// What a drained worker did with its life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Jobs completed (verified object put + `Complete` sent).
+    pub completed: u64,
+    /// Attempts reported as `Fail` (injected faults, executor errors,
+    /// missing dependencies).
+    pub failed: u64,
+}
+
+/// Dials the coordinator at `addr` and runs the claim loop until the run
+/// drains (`Ok`), the run fails or the protocol breaks (`Err`), or
+/// `token` fires (`Ok` with whatever was done so far).
+pub fn run_worker(
+    addr: &str,
+    opts: &WorkerOptions,
+    registry: &ExecutorRegistry,
+    token: &CancelToken,
+) -> Result<WorkerReport, String> {
+    let mut sock = connect_with_retry(addr, opts.connect_timeout, token)?;
+    wire::configure(&sock).map_err(|e| e.to_string())?;
+    send_ctrl(
+        &mut sock,
+        &CtrlFrame::WorkerHello { version: COORD_VERSION, worker: opts.worker_id.clone() },
+        token,
+    )?;
+    let (store_dir, chaos) = match read_ctrl(&mut sock, token).map_err(|e| e.to_string())? {
+        CtrlFrame::CoordHello { version, store_dir, fault_spec, .. } => {
+            if version != COORD_VERSION {
+                return Err(format!(
+                    "coordinator speaks v{version}, worker v{COORD_VERSION}"
+                ));
+            }
+            let chaos = match fault_spec {
+                Some(spec) => Some(ChaosPlan::parse(&spec)?),
+                None => None,
+            };
+            (store_dir, chaos)
+        }
+        CtrlFrame::Error { code, message } => return Err(format!("{code}: {message}")),
+        other => return Err(format!("expected CoordHello, got {other:?}")),
+    };
+    let store = FsStore::open(Path::new(&store_dir))
+        .map_err(|e| format!("open store at {store_dir}: {e}"))?;
+
+    let mut report = WorkerReport { completed: 0, failed: 0 };
+    loop {
+        if token.is_cancelled() {
+            return Ok(report);
+        }
+        send_ctrl(&mut sock, &CtrlFrame::Claim, token)?;
+        match read_ctrl(&mut sock, token).map_err(|e| e.to_string())? {
+            CtrlFrame::Wait { poll_ms } => {
+                if token.wait_timeout(Duration::from_millis(poll_ms)) {
+                    return Ok(report);
+                }
+            }
+            CtrlFrame::Drained => return Ok(report),
+            CtrlFrame::Error { code, message } => return Err(format!("{code}: {message}")),
+            CtrlFrame::Assign { job, attempt, spec, deps } => {
+                telemetry::metrics::counter("worker.claims").inc();
+                execute_assignment(
+                    &mut sock,
+                    &store,
+                    registry,
+                    chaos.as_ref(),
+                    &job,
+                    attempt,
+                    &spec,
+                    &deps,
+                    token,
+                    &mut report,
+                )?;
+            }
+            other => return Err(format!("unexpected frame {other:?}")),
+        }
+    }
+}
+
+/// Retries `connect` until it lands, `deadline` passes, or `token` fires
+/// (the coordinator may not have bound yet when the worker launches).
+fn connect_with_retry(
+    addr: &str,
+    deadline: Duration,
+    token: &CancelToken,
+) -> Result<TcpStream, String> {
+    let clock = crate::timing::Stopwatch::start();
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if clock.elapsed_seconds() >= deadline.as_secs_f64() {
+                    return Err(format!("connect {addr}: {e}"));
+                }
+                if token.wait_timeout(Duration::from_millis(100)) {
+                    return Err("cancelled before connecting".to_string());
+                }
+            }
+        }
+    }
+}
+
+/// Runs one assignment end to end: chaos gates, dependency fetch,
+/// executor under `catch_unwind` with heartbeat relay, persist, report.
+#[allow(clippy::too_many_arguments)]
+fn execute_assignment(
+    sock: &mut TcpStream,
+    store: &FsStore,
+    registry: &ExecutorRegistry,
+    chaos: Option<&ChaosPlan>,
+    job: &str,
+    attempt: u32,
+    spec: &str,
+    dep_digests: &BTreeMap<String, u64>,
+    token: &CancelToken,
+    report: &mut WorkerReport,
+) -> Result<(), String> {
+    let fail = |sock: &mut TcpStream, report: &mut WorkerReport, error: String| {
+        telemetry::metrics::counter("worker.failures").inc();
+        report.failed += 1;
+        send_ctrl(sock, &CtrlFrame::Fail { job: job.to_string(), error }, token)
+    };
+
+    if let Some(plan) = chaos {
+        if plan.process_fault(job, attempt).is_some() {
+            // Simulated SIGKILL/OOM-kill: no unwinding, no Fail frame, no
+            // flushing — the coordinator finds out from the dead socket.
+            eprintln!("chaos: kill-worker fault on `{job}` attempt {attempt}, aborting");
+            std::process::abort();
+        }
+        if let Some(entry) = plan.attempt_fault(job, attempt) {
+            let error = match entry.class {
+                FaultClass::Hang => {
+                    // A real hang wedges this worker; the coordinator's
+                    // heartbeat watchdog requeues the job elsewhere. Block
+                    // until process shutdown, then report.
+                    while !token.wait_timeout(Duration::from_millis(50)) {}
+                    "injected hang (released by shutdown)".to_string()
+                }
+                FaultClass::Panic => "injected panic (chaos)".to_string(),
+                _ => "injected transient fault (chaos)".to_string(),
+            };
+            return fail(sock, report, error);
+        }
+    }
+
+    // Dependency payloads come from the store, digest-verified.
+    let mut deps = BTreeMap::new();
+    for (id, digest) in dep_digests {
+        match store.get(*digest).map_err(|e| e.to_string()).and_then(|b| {
+            String::from_utf8(b).map_err(|e| format!("dep not UTF-8: {e}"))
+        }) {
+            Ok(text) => {
+                deps.insert(id.clone(), text);
+            }
+            Err(e) => {
+                return fail(sock, report, format!("dependency `{id}` unavailable: {e}"));
+            }
+        }
+    }
+
+    let exec = match registry.resolve(spec) {
+        Ok(e) => e,
+        Err(e) => return fail(sock, report, e),
+    };
+
+    // The executor runs on its own thread so this thread can keep the
+    // control channel warm: the coordinator's staleness watchdog sees a
+    // beat every relay, and a genuinely stuck executor stops the relay's
+    // step counter from advancing.
+    let heartbeat = Heartbeat::new();
+    let (result, wall_seconds, cpu_seconds) = std::thread::scope(|s| {
+        let hb = &heartbeat;
+        let handle = s.spawn(move || {
+            measure(|| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    exec(&ExecCtx { job, attempt, spec, deps: &deps, heartbeat: hb, cancel: token })
+                }))
+            })
+        });
+        while !handle.is_finished() {
+            let _ = send_ctrl(
+                sock,
+                &CtrlFrame::Heartbeat { job: job.to_string(), steps: heartbeat.steps() },
+                token,
+            );
+            if token.wait_timeout(HEARTBEAT_EVERY) {
+                break;
+            }
+        }
+        // lint: allow(panic-in-lib) executor panics are caught inside the thread
+        handle.join().expect("executor thread")
+    });
+
+    let payload = match result {
+        Ok(Ok(text)) => text,
+        Ok(Err(e)) => return fail(sock, report, e),
+        Err(p) => {
+            let msg = p
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| p.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "executor panicked".to_string());
+            return fail(sock, report, format!("panicked: {msg}"));
+        }
+    };
+
+    // Persist-phase chaos strikes the object bytes themselves; the
+    // coordinator's digest verification must catch every corrupt class
+    // and requeue (the next attempt's put() heals the rotten object).
+    let digest = crate::manifest::fnv1a64(payload.as_bytes());
+    if let Some(entry) = chaos.and_then(|p| p.persist_fault(job, attempt)) {
+        match entry.class {
+            FaultClass::SlowIo => {
+                let _ = token.wait_timeout(Duration::from_millis(200));
+            }
+            FaultClass::CorruptTorn => {
+                // The "process" dies mid-write: only a temp fragment
+                // lands, the object never exists at its address.
+                write_torn(&store.object_path(digest), payload.as_bytes())
+                    .map_err(|e| format!("torn write: {e}"))?;
+                telemetry::metrics::counter("worker.completions").inc();
+                report.completed += 1;
+                return send_ctrl(
+                    sock,
+                    &CtrlFrame::Complete { job: job.to_string(), digest, wall_seconds, cpu_seconds },
+                    token,
+                );
+            }
+            FaultClass::CorruptFlip | FaultClass::CorruptTruncate => {
+                store.put(payload.as_bytes()).map_err(|e| format!("persist: {e}"))?;
+                let seed = chaos.map(|p| p.corruption_seed(job, attempt)).unwrap_or(0);
+                corrupt_file(entry.class, &store.object_path(digest), seed)
+                    .map_err(|e| format!("corrupt: {e}"))?;
+                telemetry::metrics::counter("worker.completions").inc();
+                report.completed += 1;
+                return send_ctrl(
+                    sock,
+                    &CtrlFrame::Complete { job: job.to_string(), digest, wall_seconds, cpu_seconds },
+                    token,
+                );
+            }
+            _ => {}
+        }
+    }
+    store.put(payload.as_bytes()).map_err(|e| format!("persist: {e}"))?;
+    telemetry::metrics::counter("worker.completions").inc();
+    report.completed += 1;
+    send_ctrl(
+        sock,
+        &CtrlFrame::Complete { job: job.to_string(), digest, wall_seconds, cpu_seconds },
+        token,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(
+        spec: &'a str,
+        deps: &'a BTreeMap<String, String>,
+        hb: &'a Heartbeat,
+        cancel: &'a CancelToken,
+    ) -> ExecCtx<'a> {
+        ExecCtx { job: "chunk-1", attempt: 0, spec, deps, heartbeat: hb, cancel }
+    }
+
+    #[test]
+    fn registry_dispatches_on_the_kind_discriminator() {
+        let reg = ExecutorRegistry::builtin();
+        assert!(reg.resolve(r#"{"kind":"sim-chunk","seed":1,"steps":4}"#).is_ok());
+        let ghost = reg.resolve(r#"{"kind":"ghost"}"#).err().unwrap();
+        assert!(ghost.contains("no executor registered"), "{ghost}");
+        let bad = reg.resolve("not json").err().unwrap();
+        assert!(bad.contains("kind"), "{bad}");
+    }
+
+    #[test]
+    fn sim_chunk_is_deterministic_in_spec_and_deps() {
+        let reg = ExecutorRegistry::builtin();
+        let hb = Heartbeat::new();
+        let cancel = CancelToken::new();
+        let spec = r#"{"kind":"sim-chunk","seed":7,"steps":64}"#;
+        let deps: BTreeMap<String, String> =
+            [("pretrain".to_string(), "base".to_string())].into_iter().collect();
+        let exec = reg.resolve(spec).unwrap();
+        let a = exec(&ctx(spec, &deps, &hb, &cancel)).unwrap();
+        let b = exec(&ctx(spec, &deps, &hb, &cancel)).unwrap();
+        assert_eq!(a, b, "same inputs, same payload");
+        assert!(hb.steps() >= 64, "executor beat its heartbeat");
+
+        let other_spec = r#"{"kind":"sim-chunk","seed":8,"steps":64}"#;
+        assert_ne!(a, exec(&ctx(other_spec, &deps, &hb, &cancel)).unwrap());
+        let other_deps: BTreeMap<String, String> =
+            [("pretrain".to_string(), "different".to_string())].into_iter().collect();
+        assert_ne!(a, exec(&ctx(spec, &other_deps, &hb, &cancel)).unwrap());
+    }
+
+    #[test]
+    fn sim_chunk_honors_cancellation() {
+        let reg = ExecutorRegistry::builtin();
+        let hb = Heartbeat::new();
+        let cancel = CancelToken::new();
+        cancel.cancel("test shutdown");
+        let spec = r#"{"kind":"sim-chunk","seed":7,"steps":1000000}"#;
+        let deps = BTreeMap::new();
+        let err = reg.resolve(spec).unwrap()(&ctx(spec, &deps, &hb, &cancel)).unwrap_err();
+        assert!(err.contains("cancelled"), "{err}");
+    }
+
+    #[test]
+    fn default_worker_options_name_the_process() {
+        let opts = WorkerOptions::default();
+        assert!(opts.worker_id.starts_with("worker-"));
+        assert!(opts.connect_timeout >= Duration::from_secs(1));
+    }
+}

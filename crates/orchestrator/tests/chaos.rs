@@ -4,10 +4,13 @@
 //! failure), slow I/O merely delays, and backoffs wake early when the
 //! run dies.
 
+use orchestrator::coord::{CoordOptions, Coordinator};
 use orchestrator::{
-    run, ChaosPlan, Event, EventLog, JobSpec, Manifest, Plan, RunOptions, WatchdogOptions,
+    run, sim_plan, ChaosPlan, Event, EventLog, FsStore, JobSpec, Manifest, ObjectStore, Plan,
+    RunOptions, WatchdogOptions,
 };
-use std::path::PathBuf;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 fn tmp_dir(tag: &str) -> PathBuf {
@@ -199,8 +202,8 @@ fn corrupt_torn_leaves_only_a_temp_fragment_that_resume_quarantines() {
     let first = run(&make_plan(), &opts, &EventLog::new()).unwrap();
     assert_eq!(first.outputs["j"].as_str(), "torn-payload", "run completes from memory");
     assert!(
-        !dir.join(Manifest::payload_file("j", 1)).exists(),
-        "torn write never produced the real payload file"
+        Manifest::load(&dir).unwrap().entry("j").is_none(),
+        "torn write never produced a referenced payload object"
     );
 
     opts.chaos = None;
@@ -214,7 +217,7 @@ fn corrupt_torn_leaves_only_a_temp_fragment_that_resume_quarantines() {
     });
     assert!(stray_quarantined, "the fragment was quarantined on resume");
     // Nothing non-quarantined with `.tmp.` may survive recovery.
-    let leftovers: Vec<String> = std::fs::read_dir(dir.join("jobs"))
+    let leftovers: Vec<String> = std::fs::read_dir(dir.join("objects"))
         .unwrap()
         .filter_map(|e| e.ok())
         .map(|e| e.file_name().to_string_lossy().into_owned())
@@ -255,6 +258,101 @@ fn run_failure_wakes_a_backoff_instead_of_sleeping_it_out() {
                  if job == "lagging" && error.contains("retry abandoned"))
     });
     assert!(abandoned, "the lagging job's backoff was interrupted: {:?}", events.events());
+}
+
+/// Runs a coordinated sim plan with `workers` real `netshare_worker`
+/// subprocesses (the binary Cargo built for this test run), returning
+/// the report, the job→digest map, and the worker exit statuses.
+fn coordinated_subprocess_run(
+    dir: &Path,
+    fault_spec: Option<&str>,
+    workers: usize,
+    events: &EventLog,
+) -> (orchestrator::CoordReport, Vec<Option<i32>>) {
+    let plan = sim_plan(3, 256, 42);
+    let opts = CoordOptions {
+        run_key: "kw".into(),
+        fault_spec: fault_spec.map(String::from),
+        // Heartbeat staleness is the SIGKILL detector for a worker that
+        // dies *mid-execution*; connection loss covers death before it.
+        watchdog: WatchdogOptions {
+            max_job_secs: None,
+            heartbeat_timeout_secs: Some(2.0),
+            poll: Duration::from_millis(20),
+        },
+        ..Default::default()
+    };
+    let coord = Coordinator::bind("127.0.0.1:0").unwrap();
+    let addr = coord.local_addr().to_string();
+    let mut children: Vec<std::process::Child> = (0..workers)
+        .map(|w| {
+            std::process::Command::new(env!("CARGO_BIN_EXE_netshare_worker"))
+                .arg(&addr)
+                .arg("--worker-id")
+                .arg(format!("proc-w{w}"))
+                .stderr(std::process::Stdio::null())
+                .spawn()
+                .unwrap()
+        })
+        .collect();
+    let report = coord.serve(dir, &plan, &opts, events).unwrap();
+    let statuses = children.iter_mut().map(|c| c.wait().unwrap().code()).collect();
+    (report, statuses)
+}
+
+#[test]
+fn kill_worker_fault_requeues_and_artifacts_match_an_uninterrupted_run() {
+    // Baseline: two worker processes, no faults.
+    let base_dir = tmp_dir("kw-base");
+    let (base, base_statuses) =
+        coordinated_subprocess_run(&base_dir, None, 2, &EventLog::new());
+    assert!(
+        base_statuses.iter().all(|s| *s == Some(0)),
+        "unfaulted workers drain cleanly: {base_statuses:?}"
+    );
+
+    // Faulted: the worker assigned chunk-2's first attempt aborts the
+    // whole process (simulated SIGKILL) before executing it.
+    let kill_dir = tmp_dir("kw-kill");
+    let events = EventLog::new();
+    let (killed, kill_statuses) =
+        coordinated_subprocess_run(&kill_dir, Some("chunk-2:kill-worker:1"), 2, &events);
+    assert!(
+        kill_statuses.iter().any(|s| *s != Some(0)),
+        "one worker died by abort: {kill_statuses:?}"
+    );
+
+    // The dead worker's job was requeued and announced.
+    assert!(killed.requeues >= 1);
+    let all = events.events();
+    assert!(
+        all.iter().any(|e| matches!(
+            e,
+            Event::WorkerLost { requeued, .. } if requeued.contains(&"chunk-2".to_string())
+        )),
+        "WorkerLost names the requeued job: {all:?}"
+    );
+
+    // Recovery equivalence: digests AND object bytes match the
+    // uninterrupted run, bitwise.
+    assert_eq!(base.digests, killed.digests);
+    let base_store = FsStore::open(&base_dir).unwrap();
+    let kill_store = FsStore::open(&kill_dir).unwrap();
+    for digest in base.digests.values() {
+        assert_eq!(
+            base_store.get(*digest).unwrap(),
+            kill_store.get(*digest).unwrap(),
+            "object {digest:#018x} differs"
+        );
+    }
+    let base_objects: BTreeMap<u64, ()> =
+        base_store.list().unwrap().into_iter().map(|d| (d, ())).collect();
+    let kill_objects: BTreeMap<u64, ()> =
+        kill_store.list().unwrap().into_iter().map(|d| (d, ())).collect();
+    assert_eq!(base_objects, kill_objects, "same object population");
+
+    std::fs::remove_dir_all(&base_dir).ok();
+    std::fs::remove_dir_all(&kill_dir).ok();
 }
 
 #[test]

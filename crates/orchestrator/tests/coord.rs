@@ -1,0 +1,263 @@
+//! Coordinator/worker integration: multi-worker runs over the local
+//! control socket must produce the same verified artifacts as the
+//! in-process pool — including dedup across reruns, resume skips, and
+//! hard failure when a job's retries are spent.
+
+use orchestrator::coord::{CoordOptions, Coordinator, DistJob, DistPlan};
+use orchestrator::worker::{run_worker, ExecutorRegistry, WorkerOptions};
+use orchestrator::{sim_plan, CancelToken, Event, EventLog, FsStore, Manifest, ObjectStore};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("orch-coord-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Serves `plan` from `dir` with `workers` in-thread claim loops, the way
+/// `netshare_cli coord` does with processes.
+fn run_coordinated(
+    dir: &Path,
+    plan: &DistPlan,
+    opts: &CoordOptions,
+    workers: usize,
+    events: &EventLog,
+) -> Result<orchestrator::CoordReport, orchestrator::OrchestratorError> {
+    let coord = Coordinator::bind("127.0.0.1:0").unwrap();
+    let addr = coord.local_addr().to_string();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    let wopts = WorkerOptions {
+                        worker_id: format!("w{w}"),
+                        connect_timeout: Duration::from_secs(5),
+                    };
+                    run_worker(&addr, &wopts, &ExecutorRegistry::builtin(), &CancelToken::new())
+                })
+            })
+            .collect();
+        let report = coord.serve(dir, plan, opts, events);
+        for h in handles {
+            let _ = h.join().unwrap();
+        }
+        report
+    })
+}
+
+#[test]
+fn two_workers_complete_a_sim_plan_with_verified_store_objects() {
+    let dir = tmp_dir("basic");
+    let plan = sim_plan(4, 128, 7);
+    let events = EventLog::new();
+    let report = run_coordinated(&dir, &plan, &CoordOptions::default(), 2, &events).unwrap();
+
+    assert_eq!(report.digests.len(), 5, "pretrain + 4 chunks");
+    assert_eq!(report.completed, 5);
+    assert_eq!(report.skipped, 0);
+    assert!(report.workers_seen >= 1, "at least one worker served the run");
+
+    // Every reported digest resolves through the store to the payload the
+    // report carries, and the manifest references it.
+    let store = FsStore::open(&dir).unwrap();
+    let manifest = Manifest::load(&dir).unwrap();
+    for (job, digest) in &report.digests {
+        let bytes = store.get(*digest).unwrap();
+        assert_eq!(String::from_utf8(bytes).unwrap(), report.payloads[job]);
+        assert_eq!(manifest.entry(job).unwrap().digest, *digest);
+        assert!(report.payloads[job].contains(&format!("\"job\":\"{job}\"")));
+    }
+
+    let all = events.events();
+    assert!(all.iter().any(|e| matches!(e, Event::WorkerJoined { .. })));
+    assert!(
+        all.iter().any(|e| matches!(e, Event::RunFinished { completed: 5, .. })),
+        "{all:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rerunning_the_same_plan_stores_identical_artifacts_once() {
+    let dir = tmp_dir("dedup");
+    let plan = sim_plan(3, 64, 11);
+    let opts = CoordOptions::default();
+    let first = run_coordinated(&dir, &plan, &opts, 2, &EventLog::new()).unwrap();
+    let store = FsStore::open(&dir).unwrap();
+    let objects_after_first = store.list().unwrap().len();
+
+    // Second run, no resume: every job re-executes, produces bitwise
+    // identical payloads, and the content store deduplicates them.
+    let second = run_coordinated(&dir, &plan, &opts, 2, &EventLog::new()).unwrap();
+    assert_eq!(first.digests, second.digests, "deterministic outputs");
+    assert_eq!(second.skipped, 0, "no resume: everything re-ran");
+    assert_eq!(
+        store.list().unwrap().len(),
+        objects_after_first,
+        "identical checkpoints across two runs are stored once"
+    );
+
+    // Both runs' manifest generations reference the same objects.
+    let manifest = Manifest::load(&dir).unwrap();
+    for job in first.digests.keys() {
+        let gens = manifest.generations(job);
+        assert_eq!(gens.len(), 2, "one generation per run");
+        assert_eq!(gens[0].digest, gens[1].digest);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_skips_verified_jobs_without_touching_workers() {
+    let dir = tmp_dir("resume");
+    let plan = sim_plan(2, 64, 3);
+    let opts = CoordOptions { run_key: "sim".into(), ..Default::default() };
+    let first = run_coordinated(&dir, &plan, &opts, 2, &EventLog::new()).unwrap();
+
+    let opts = CoordOptions { run_key: "sim".into(), resume: true, ..Default::default() };
+    let events = EventLog::new();
+    let second = run_coordinated(&dir, &plan, &opts, 1, &events).unwrap();
+    assert_eq!(second.skipped, 3, "all jobs satisfied from the manifest");
+    assert_eq!(second.completed, 0);
+    assert_eq!(second.digests, first.digests);
+    assert_eq!(
+        events.events().iter().filter(|e| matches!(e, Event::JobSkipped { .. })).count(),
+        3
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn exhausted_retries_fail_the_run_and_disconnect_workers() {
+    let dir = tmp_dir("fail");
+    let plan = sim_plan(2, 32, 5);
+    let opts = CoordOptions {
+        fault_spec: Some("chunk-1:transient:9".into()),
+        max_retries: 1,
+        ..Default::default()
+    };
+    let events = EventLog::new();
+    let err = run_coordinated(&dir, &plan, &opts, 2, &events).unwrap_err();
+    assert!(err.to_string().contains("chunk-1"), "{err}");
+    assert!(
+        events.events().iter().any(|e| matches!(
+            e,
+            Event::JobFailed { job, .. } if job == "chunk-1"
+        )),
+        "{:?}",
+        events.events()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn worker_side_faults_requeue_through_the_coordinator() {
+    let dir = tmp_dir("retry");
+    let plan = sim_plan(2, 32, 9);
+    // chunk-1's first attempt fails worker-side; the coordinator requeues
+    // and the second attempt (any worker) completes.
+    let opts = CoordOptions {
+        fault_spec: Some("chunk-1:transient:1".into()),
+        ..Default::default()
+    };
+    let events = EventLog::new();
+    let report = run_coordinated(&dir, &plan, &opts, 2, &events).unwrap();
+    assert_eq!(report.completed, 3);
+    assert!(report.requeues >= 1, "the injected failure was requeued");
+    assert!(
+        events.events().iter().any(|e| matches!(
+            e,
+            Event::JobRetried { job, error, .. }
+                if job == "chunk-1" && error.contains("injected transient")
+        )),
+        "{:?}",
+        events.events()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_result_objects_are_caught_by_coordinator_verification() {
+    let dir = tmp_dir("verify");
+    let plan = sim_plan(1, 32, 13);
+    // The worker completes chunk-1 but flips a bit in the stored object;
+    // the coordinator's digest re-read must reject it and requeue, and the
+    // healthy second attempt's put() heals the rotten object in place.
+    let opts = CoordOptions {
+        fault_spec: Some("chunk-1:corrupt-flip:1".into()),
+        ..Default::default()
+    };
+    let events = EventLog::new();
+    let report = run_coordinated(&dir, &plan, &opts, 1, &events).unwrap();
+    assert_eq!(report.completed, 2);
+    let store = FsStore::open(&dir).unwrap();
+    for digest in report.digests.values() {
+        store.get(*digest).expect("every recorded object verifies");
+    }
+    assert!(
+        events.events().iter().any(|e| matches!(
+            e,
+            Event::JobRetried { job, error, .. }
+                if job == "chunk-1" && error.contains("failed verification")
+        )),
+        "{:?}",
+        events.events()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn version_mismatch_is_rejected_at_the_handshake() {
+    use orchestrator::coord::{read_ctrl, send_ctrl, CtrlFrame};
+    use orchestrator::wire;
+
+    let dir = tmp_dir("version");
+    let plan = sim_plan(1, 16, 1);
+    let coord = Coordinator::bind("127.0.0.1:0").unwrap();
+    let addr = coord.local_addr();
+    let handle = std::thread::spawn(move || {
+        let token = CancelToken::new();
+        let mut sock = std::net::TcpStream::connect(addr).unwrap();
+        wire::configure(&sock).unwrap();
+        send_ctrl(
+            &mut sock,
+            &CtrlFrame::WorkerHello { version: 999, worker: "time-traveler".into() },
+            &token,
+        )
+        .unwrap();
+        let reply = read_ctrl(&mut sock, &token).unwrap();
+        assert!(
+            matches!(reply, CtrlFrame::Error { ref code, .. } if code == "unsupported-version"),
+            "{reply:?}"
+        );
+        // A conforming worker then drains the run so serve() returns.
+        let wopts = WorkerOptions { worker_id: "ok".into(), connect_timeout: Duration::from_secs(5) };
+        run_worker(&addr.to_string(), &wopts, &ExecutorRegistry::builtin(), &token).unwrap()
+    });
+    let report = coord
+        .serve(&dir, &plan, &CoordOptions::default(), &EventLog::new())
+        .unwrap();
+    assert_eq!(report.completed, 2);
+    handle.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dist_plan_spec_validation_matches_the_closure_path() {
+    let job = |id: &str, deps: &[&str]| DistJob {
+        id: id.into(),
+        deps: deps.iter().map(|s| s.to_string()).collect(),
+        spec: r#"{"kind":"sim-chunk","seed":0,"steps":1}"#.into(),
+    };
+    assert!(DistPlan::new(vec![job("", &[])]).is_err(), "empty id");
+    assert!(DistPlan::new(vec![job("a", &["a"])]).is_err(), "self-dep");
+    assert!(DistPlan::new(vec![
+        job("pretrain", &[]),
+        job("chunk-1", &["pretrain"]),
+        job("chunk-2", &["pretrain"]),
+    ])
+    .is_ok());
+}

@@ -57,8 +57,18 @@ fn resume_and_recover(dir: &Path) -> (String, Vec<Event>) {
     (report.outputs["a"].as_ref().clone(), quarantines)
 }
 
+/// Resolves the payload object of job `a`'s generation `generation` via
+/// the manifest — with content addressing, the path is derived from the
+/// recorded digest, so it must be captured *before* recovery drops the
+/// entry.
 fn gen_file(dir: &Path, generation: u64) -> PathBuf {
-    dir.join(Manifest::payload_file("a", generation))
+    let m = Manifest::load(dir).unwrap();
+    let entry = m
+        .generations("a")
+        .into_iter()
+        .find(|e| e.generation == generation)
+        .unwrap_or_else(|| panic!("generation {generation} not in manifest"));
+    dir.join(&entry.file)
 }
 
 #[test]
@@ -122,7 +132,8 @@ fn unparseable_json_with_matching_digest_is_quarantined_too() {
     // manifest digest to match the garbage: the JSON parse is the last
     // line of defense and must quarantine just the same.
     let garbage = b"{ not json";
-    std::fs::write(gen_file(&dir, 2), garbage).unwrap();
+    let g2 = gen_file(&dir, 2);
+    std::fs::write(&g2, garbage).unwrap();
     let mut m = Manifest::load(&dir).unwrap();
     for e in m.jobs.iter_mut() {
         if e.id == "a" && e.generation == 2 {
@@ -137,7 +148,7 @@ fn unparseable_json_with_matching_digest_is_quarantined_too() {
         &quarantines[..],
         [Event::CheckpointQuarantined { reason, .. }] if reason.contains("unparseable")
     ));
-    assert!(gen_file(&dir, 2).with_extension("json.quarantine").exists());
+    assert!(g2.with_extension("json.quarantine").exists());
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -145,13 +156,13 @@ fn unparseable_json_with_matching_digest_is_quarantined_too() {
 fn torn_temp_file_is_quarantined_without_disturbing_recovery() {
     let dir = two_generations("torn");
     // A kill between temp-write and rename leaves exactly this behind.
-    let stray = dir.join("jobs").join(".a.gen3.json.tmp.4242");
+    let stray = dir.join("objects").join(".deadbeefdeadbeef.json.tmp.4242");
     std::fs::write(&stray, b"\"v3").unwrap();
 
     let (payload, quarantines) = resume_and_recover(&dir);
     assert_eq!(payload, "v2", "intact newest generation still wins");
     assert!(!stray.exists());
-    assert!(stray.with_file_name(".a.gen3.json.tmp.4242.quarantine").exists());
+    assert!(stray.with_file_name(".deadbeefdeadbeef.json.tmp.4242.quarantine").exists());
     assert!(matches!(
         &quarantines[..],
         [Event::CheckpointQuarantined { job, reason, .. }]

@@ -241,8 +241,11 @@ fn corrupted_payload_reruns_only_that_job() {
         ..Default::default()
     };
     run(&make_plan(), &opts, &EventLog::new()).unwrap();
-    // Tamper with a's payload; its digest check must force a re-run.
-    let payload = dir.join(Manifest::payload_file("a", 1));
+    // Tamper with a's payload object; its digest check must force a
+    // re-run. The path comes from the manifest: payloads are addressed by
+    // content digest, not by job id.
+    let m = Manifest::load(&dir).unwrap();
+    let payload = dir.join(&m.entry("a").unwrap().file);
     std::fs::write(&payload, b"999").unwrap();
     let events = EventLog::new();
     let report = run(&make_plan(), &opts, &events).unwrap();

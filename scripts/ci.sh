@@ -9,6 +9,7 @@
 #   scripts/ci.sh bench  # run benchmarks and emit BENCH_<host>_<date>.json
 #   scripts/ci.sh chaos  # fault-matrix smoke through the CLI
 #   scripts/ci.sh serve  # netshared daemon + pull-client serving smoke
+#   scripts/ci.sh scale  # coordinator + worker processes + kill-worker + gc
 #
 # Run from anywhere; operates on the repo root.
 set -euo pipefail
@@ -185,6 +186,53 @@ if [[ "${1:-}" == "serve" ]]; then
   exit 0
 fi
 
+# Scale-out smoke: a coordinator with two real worker processes, one of
+# which is SIGKILL'd mid-run by the kill-worker chaos class. The faulted
+# run must still exit 0, record the requeue, and leave a content store
+# bitwise-identical to an uninterrupted baseline. Then `gc` must remove a
+# planted unreferenced object and nothing else, and a --resume rerun must
+# satisfy every job from the manifest without re-executing anything.
+if [[ "${1:-}" == "scale" ]]; then
+  cargo build --release -p netshare -p orchestrator
+  cli=target/release/netshare_cli
+  sc="$(mktemp -d)"
+  trap 'rm -rf "$sc"' EXIT
+  common=(--chunks 3 --steps 64 --seed 7 --workers-procs 2)
+
+  timeout 120 "$cli" coord "$sc/base" "${common[@]}" > "$sc/base.digests"
+
+  NETSHARE_INJECT_FAULT="chunk-2:kill-worker:1" timeout 120 \
+    "$cli" coord "$sc/faulted" "${common[@]}" > "$sc/faulted.digests"
+  cmp "$sc/base.digests" "$sc/faulted.digests"
+  grep -q '"WorkerLost"' "$sc/faulted/events.jsonl"
+  grep -q '"JobRetried"' "$sc/faulted/events.jsonl"
+  # The recovered store is the baseline store, object for object.
+  diff <(cd "$sc/base/objects" && sha256sum *.json | sort) \
+       <(cd "$sc/faulted/objects" && sha256sum *.json | sort)
+  echo "scale[kill-worker]: worker died, jobs requeued, artifacts identical"
+
+  # GC: a planted unreferenced object is removed; every live object stays.
+  live_count="$(ls "$sc/base/objects" | wc -l)"
+  junk="$sc/base/objects/00000000deadbeef.json"
+  echo '{"planted":"junk"}' > "$junk"
+  timeout 60 "$cli" gc "$sc/base" > "$sc/gc.out"
+  grep -q '0x00000000deadbeef' "$sc/gc.out"
+  [[ ! -e "$junk" ]] || { echo "scale[gc]: junk object survived" >&2; exit 1; }
+  [[ "$(ls "$sc/base/objects" | wc -l)" == "$live_count" ]] \
+    || { echo "scale[gc]: live object count changed" >&2; exit 1; }
+  echo "scale[gc]: removed exactly the unreferenced object"
+
+  # Resume: the manifest satisfies the whole plan, no worker executes.
+  timeout 120 "$cli" coord "$sc/base" "${common[@]}" --resume \
+    > "$sc/resume.digests" 2> "$sc/resume.err"
+  cmp "$sc/base.digests" "$sc/resume.digests"
+  grep -q '4 resumed' "$sc/resume.err"
+  echo "scale[resume]: all jobs satisfied from the manifest"
+
+  echo "scale smoke: kill-worker recovery, gc, and resume all clean"
+  exit 0
+fi
+
 # --workspace so member bins (netshare_cli, netshare-lint, bench_report)
 # are rebuilt too — the root package alone would leave them stale.
 cargo build --release --workspace
@@ -274,6 +322,7 @@ for metric in '"gemm.calls"' '"train.d_loss"' '"train.g_loss"' '"orchestrator.re
 done
 echo "orchestrator smoke: fault retried, output identical, telemetry snapshot complete"
 
-# Serving smoke rides on the release binaries built above (separate shell,
-# so its EXIT trap doesn't clobber ours).
+# Serving and scale-out smokes ride on the release binaries built above
+# (separate shells, so their EXIT traps don't clobber ours).
 "$0" serve
+"$0" scale

@@ -292,6 +292,34 @@ impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
     }
 }
 
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Same pair-sequence encoding as HashMap; iteration order is the
+        // key order, so the serialized form is deterministic.
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::msg("expected pair sequence for map"))?
+            .iter()
+            .map(|pair| {
+                let p = pair
+                    .as_seq()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| Error::msg("expected [key, value] pair"))?;
+                Ok((K::from_value(&p[0])?, V::from_value(&p[1])?))
+            })
+            .collect()
+    }
+}
+
 macro_rules! impl_tuple {
     ($(($($n:tt $t:ident),+)),+ $(,)?) => {$(
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {
@@ -350,6 +378,19 @@ mod tests {
         m.insert(3u32, "x".to_string());
         m.insert(9, "y".to_string());
         let back = HashMap::<u32, String>::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn btreemap_round_trips_in_key_order() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("b".to_string(), u64::MAX - 1);
+        m.insert("a".to_string(), 7u64);
+        let v = m.to_value();
+        let pairs = v.as_seq().unwrap();
+        assert_eq!(pairs[0].as_seq().unwrap()[0], Value::Str("a".into()));
+        let back =
+            std::collections::BTreeMap::<String, u64>::from_value(&v).unwrap();
         assert_eq!(back, m);
     }
 }
