@@ -333,6 +333,8 @@ impl Default for Config {
                 "orchestrator.event_sinks",
                 "orchestrator.event_memory",
                 "orchestrator.manifest",
+                "orchestrator.journal",
+                "orchestrator.netfault",
                 "netshared.session_registry",
                 "netshared.credit_budget",
                 "netshared.stream_state",

@@ -544,6 +544,15 @@ fn rule_telemetry_clock(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
 /// (`CancelToken::wait_timeout`, `Condvar::wait_timeout` — distinct
 /// identifiers, never flagged) are the sanctioned forms. Tests, benches,
 /// examples, and binaries may block freely.
+///
+/// Also flags fixed-sleep retry loops: a `wait_timeout` whose duration
+/// is a `Duration::from_*(<integer literal>)` constant, sitting inside a
+/// `loop`/`while`/`for` whose body never mentions a backoff. The wait
+/// itself is interruptible, but the loop is a retry policy, and a
+/// constant per-attempt delay polls a dead peer at full cadence forever;
+/// `orchestrator::Backoff` (exponential growth, seeded jitter) is the
+/// sanctioned shape, and any identifier containing `backoff` in the
+/// enclosing loop passes.
 fn rule_unbounded_wait(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
     if ctx.meta.is_shim
         || ctx.meta.role != Role::Lib
@@ -587,6 +596,63 @@ fn rule_unbounded_wait(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
                  `Condvar::wait_timeout` (or waive with the bound that makes \
                  this finite)"
             ),
+            None,
+        );
+    }
+
+    // Second pass: fixed-sleep retry loops. Collect every loop span up
+    // front (keyword index → closing-brace index; condition tokens land
+    // inside the span because the open brace follows the keyword), then
+    // flag constant-duration `wait_timeout` calls whose innermost
+    // enclosing loop never names a backoff.
+    let loop_spans: Vec<(usize, usize)> = toks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| {
+            t.kind == TokKind::Ident && matches!(t.text.as_str(), "loop" | "while" | "for")
+        })
+        .filter_map(|(kw, _)| brace_span_idx(toks, kw).map(|(_, close)| (kw, close)))
+        .collect();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "wait_timeout" {
+            continue;
+        }
+        // The argument must spell `Duration::from_*(<integer literal>)`
+        // within a short lexical window — a named constant or a computed
+        // duration is somebody's tuning knob, not a hardcoded poll.
+        let window = &toks[i..toks.len().min(i + 12)];
+        let fixed = window.iter().enumerate().any(|(k, w)| {
+            w.kind == TokKind::Ident
+                && w.text.starts_with("from_")
+                && window[..k].iter().any(|p| p.text == "Duration")
+                && window.get(k + 1).is_some_and(|p| p.text == "(")
+                && window.get(k + 2).is_some_and(|p| p.kind == TokKind::Int)
+        });
+        if !fixed || ctx.in_test_region(t.line) {
+            continue;
+        }
+        let Some(&(kw, close)) = loop_spans
+            .iter()
+            .filter(|(kw, close)| *kw < i && i <= *close)
+            .max_by_key(|(kw, _)| *kw)
+        else {
+            continue;
+        };
+        let has_backoff = toks[kw..=close]
+            .iter()
+            .any(|p| p.kind == TokKind::Ident && p.text.to_ascii_lowercase().contains("backoff"));
+        if has_backoff {
+            continue;
+        }
+        ctx.emit(
+            out,
+            RuleId::UnboundedWait,
+            t.line,
+            "fixed-sleep retry loop: a constant delay per attempt polls a \
+             dead peer at full cadence forever; grow the wait with \
+             `orchestrator::Backoff` (exponential, seeded jitter) or waive \
+             with the bound that makes this loop finite"
+                .to_string(),
             None,
         );
     }
@@ -862,6 +928,27 @@ mod tests {
         assert!(lint_as("crates/orchestrator/src/x.rs", in_tests).is_empty());
         // A field or free fn named `wait`/`sleep` is not a blocking call.
         assert!(lint_as("crates/core/src/x.rs", "let w = self.wait;\nfn sleep() {}\n").is_empty());
+    }
+
+    #[test]
+    fn unbounded_wait_flags_fixed_sleep_retry_loops() {
+        // A hardcoded per-attempt delay inside a loop is a flat poll.
+        let flat = "fn f(t: &T) {\n    while !t.wait_timeout(Duration::from_millis(50)) {\n    }\n}\n";
+        assert_eq!(
+            rules(&lint_as("crates/orchestrator/src/x.rs", flat)),
+            vec![(RuleId::UnboundedWait, 2, false)]
+        );
+        // Outside a loop, a fixed wait is a one-shot delay — fine.
+        let once = "fn f(t: &T) {\n    let _ = t.wait_timeout(Duration::from_millis(50));\n}\n";
+        assert!(lint_as("crates/orchestrator/src/x.rs", once).is_empty());
+        // A variable duration is a tuning knob, not a hardcoded poll.
+        let tunable = "fn f(t: &T, ms: u64) {\n    while !t.wait_timeout(Duration::from_millis(ms)) {\n    }\n}\n";
+        assert!(lint_as("crates/orchestrator/src/x.rs", tunable).is_empty());
+        // A loop that names a backoff is the sanctioned growing delay.
+        let grows = "fn f(t: &T, backoff: &mut B) {\n    loop {\n        if t.wait_timeout(Duration::from_millis(5)) { return; }\n        if backoff.sleep(t) { return; }\n    }\n}\n";
+        assert!(lint_as("crates/orchestrator/src/x.rs", grows).is_empty());
+        // Test code may poll flat.
+        assert!(lint_as("crates/orchestrator/tests/t.rs", flat).is_empty());
     }
 
     #[test]

@@ -68,7 +68,7 @@ fn every_rule_trips_on_its_fixture() {
         ("undocumented_unsafe.rs", "nnet", "undocumented-unsafe", 2, 1),
         ("panic_in_lib.rs", "netshare", "panic-in-lib", 3, 1),
         ("telemetry_clock.rs", "orchestrator", "telemetry-clock", 2, 1),
-        ("unbounded_wait.rs", "orchestrator", "unbounded-wait", 3, 1),
+        ("unbounded_wait.rs", "orchestrator", "unbounded-wait", 4, 2),
         ("alloc_in_step_loop.rs", "nnet", "alloc-in-step-loop", 3, 1),
         ("blocking_accept_loop.rs", "core", "blocking-accept-loop", 3, 1),
     ];

@@ -1,8 +1,9 @@
 //! Fixture: uninterruptible blocking in library code.
 //!
-//! Three deny findings (two `thread::sleep` forms, one timeout-less
-//! `Condvar::wait`) and one waived wait. The bounded forms
-//! (`wait_timeout`) at the bottom must not trip.
+//! Four deny findings (two `thread::sleep` forms, one timeout-less
+//! `Condvar::wait`, one fixed-sleep retry loop) and two waived waits.
+//! The bounded forms (`wait_timeout` with a variable duration, or a
+//! loop that names a backoff) at the bottom must not trip.
 
 use std::sync::{Condvar, Mutex};
 use std::thread;
@@ -41,4 +42,35 @@ pub fn bounded_waits_are_fine(m: &Mutex<bool>, cv: &Condvar, d: Duration) {
         Err(e) => e.into_inner(),
     };
     let _ = cv.wait_timeout(guard, d);
+}
+
+/// Deny: interruptible wait, but the loop around it is a retry policy
+/// with a hardcoded per-attempt delay — it polls a dead peer forever.
+pub fn polls_at_full_cadence(token: &CancelToken) {
+    while !token.wait_timeout(Duration::from_millis(50)) {
+        // keep polling
+    }
+}
+
+/// Waived: a deliberate injected hang, released by shutdown.
+pub fn injected_hang(token: &CancelToken) {
+    // lint: allow(unbounded-wait) deliberate injected fault, released by run shutdown
+    while !token.wait_timeout(Duration::from_millis(50)) {}
+}
+
+/// Clean: the delay is a caller-tuned variable, not a hardcoded poll.
+pub fn tunable_poll(token: &CancelToken, poll_ms: u64) {
+    while !token.wait_timeout(Duration::from_millis(poll_ms)) {}
+}
+
+/// Clean: the enclosing loop names a backoff, so the delay grows.
+pub fn reconnects_with_backoff(token: &CancelToken, backoff: &mut Backoff) {
+    loop {
+        if token.wait_timeout(Duration::from_millis(5)) {
+            return;
+        }
+        if backoff.sleep(token) {
+            return;
+        }
+    }
 }

@@ -12,6 +12,11 @@
 //! pull options (client of the `netshared` streaming daemon):
 //!   --count <N>        samples to pull (default 100)
 //!   --credit <C>       DATA-frame flow-control window (default 4)
+//!   --retries <R>      reconnects allowed on retryable serving faults
+//!                      (connection loss, `draining`, `overloaded`);
+//!                      resumes from the last delivered frame (default 0)
+//!   --backoff-ms <B>   base reconnect backoff in milliseconds, doubling
+//!                      per attempt with seeded jitter (default 100)
 //!   --out <file>       write samples as JSONL there (default: stdout)
 //!   --metrics-out <f>  write the telemetry metrics snapshot (JSON) there
 //!
@@ -50,17 +55,23 @@
 //!   --metrics-out <f>  write the telemetry metrics snapshot (JSON) there
 //! ```
 //!
-//! Exit codes: `0` success, `1` runtime failure (I/O, parse), `2` usage
-//! error (bad flags or a malformed injection spec), `3` training failure
-//! (a job exhausted its retries — watchdog cancellations, divergence past
-//! the rollback budget, panics).
+//! Exit codes: `0` success, `1` runtime failure (I/O, parse, a fatal
+//! protocol error on `pull`), `2` usage error (bad flags or a malformed
+//! injection spec), `3` training failure (a job exhausted its retries —
+//! watchdog cancellations, divergence past the rollback budget, panics),
+//! `4` pull retries exhausted (every attempt failed with a *retryable*
+//! serving fault — the server stayed down, draining, or overloaded —
+//! so re-running later may succeed, unlike exit 1).
 //!
 //! Chaos hooks for CI: `NETSHARE_INJECT_FAULT` takes a comma-separated
 //! list of `job:class:count` entries (classes `panic`, `transient`,
-//! `hang`, `slow-io`, `corrupt-flip`, `corrupt-truncate`, `corrupt-torn`;
-//! legacy `job:count` means transient), and `NETSHARE_INJECT_DIVERGENCE`
-//! takes `job:step` to poison a model mid-training. Malformed specs are
-//! usage errors (exit 2) that cite the grammar.
+//! `hang`, `slow-io`, `corrupt-flip`, `corrupt-truncate`, `corrupt-torn`,
+//! `kill-worker`, `kill-coord`; legacy `job:count` means transient), and
+//! `NETSHARE_INJECT_DIVERGENCE` takes `job:step` to poison a model
+//! mid-training. `NETSHARE_INJECT_NETFAULT` arms deterministic
+//! socket-layer faults in *this* process (classes `torn-frame`, `stall`,
+//! `reset`, `garbage-bytes`, as `class:count` joined by `;`). Malformed
+//! specs are usage errors (exit 2) that cite the grammar.
 
 use netshare::{postprocess, DpOptions, NetShare, NetShareConfig};
 use std::process::ExitCode;
@@ -83,7 +94,8 @@ fn usage() -> ExitCode {
          [--workers W] [--ckpt-dir DIR] [--resume] [--retries R] [--max-job-secs S] \
          [--keep-generations K] [--rollback-budget B] [--metrics-out FILE]\n\
          \x20      netshare_cli pull <host:port> <artifact> \
-         [--count N] [--credit C] [--out FILE] [--metrics-out FILE]\n\
+         [--count N] [--credit C] [--retries R] [--backoff-ms B] \
+         [--out FILE] [--metrics-out FILE]\n\
          \x20      netshare_cli coord <run-dir> [--chunks N] [--steps S] [--seed U64] \
          [--addr A] [--addr-file FILE] [--workers-procs N] [--resume] [--retries R] \
          [--max-job-secs S] [--keep-generations K]\n\
@@ -99,6 +111,7 @@ fn usage() -> ExitCode {
 fn validate_injection_env(
     fault: Option<&str>,
     divergence: Option<&str>,
+    netfault: Option<&str>,
 ) -> Result<(), String> {
     if let Some(spec) = fault {
         orchestrator::ChaosPlan::parse(spec)
@@ -107,6 +120,10 @@ fn validate_injection_env(
     if let Some(spec) = divergence {
         netshare::parse_divergence_spec(spec)
             .map_err(|e| format!("NETSHARE_INJECT_DIVERGENCE: {e}"))?;
+    }
+    if let Some(spec) = netfault {
+        orchestrator::NetFaultPlan::parse(spec)
+            .map_err(|e| format!("NETSHARE_INJECT_NETFAULT: {e}"))?;
     }
     Ok(())
 }
@@ -187,7 +204,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     // specs are grammar-checked here so a typo exits 2 before training.
     let fault = std::env::var("NETSHARE_INJECT_FAULT").ok();
     let divergence = std::env::var("NETSHARE_INJECT_DIVERGENCE").ok();
-    validate_injection_env(fault.as_deref(), divergence.as_deref())?;
+    let netfault = std::env::var("NETSHARE_INJECT_NETFAULT").ok();
+    validate_injection_env(fault.as_deref(), divergence.as_deref(), netfault.as_deref())?;
     cfg.orchestrator.fault_spec = fault;
     cfg.orchestrator.divergence_spec = divergence;
     Ok(Options { n, cfg, private_ips, metrics_out })
@@ -199,6 +217,8 @@ struct PullArgs {
     artifact: String,
     count: u64,
     credit: u32,
+    retries: u32,
+    backoff_ms: u64,
     out: Option<std::path::PathBuf>,
     metrics_out: Option<std::path::PathBuf>,
 }
@@ -209,6 +229,8 @@ fn parse_pull_options(addr: &str, artifact: &str, args: &[String]) -> Result<Pul
         artifact: artifact.to_string(),
         count: 100,
         credit: 4,
+        retries: 0,
+        backoff_ms: 100,
         out: None,
         metrics_out: None,
     };
@@ -226,6 +248,13 @@ fn parse_pull_options(addr: &str, artifact: &str, args: &[String]) -> Result<Pul
             "--credit" => {
                 pull.credit = value("--credit")?.parse().map_err(|e| format!("--credit: {e}"))?
             }
+            "--retries" => {
+                pull.retries = value("--retries")?.parse().map_err(|e| format!("--retries: {e}"))?
+            }
+            "--backoff-ms" => {
+                pull.backoff_ms =
+                    value("--backoff-ms")?.parse().map_err(|e| format!("--backoff-ms: {e}"))?
+            }
             "--out" => pull.out = Some(value("--out")?.into()),
             "--metrics-out" => pull.metrics_out = Some(value("--metrics-out")?.into()),
             other => return Err(format!("unknown pull option {other}")),
@@ -234,6 +263,12 @@ fn parse_pull_options(addr: &str, artifact: &str, args: &[String]) -> Result<Pul
     if pull.credit == 0 {
         return Err("--credit must be at least 1".into());
     }
+    if pull.backoff_ms == 0 {
+        return Err("--backoff-ms must be at least 1".into());
+    }
+    // The netfault hook arms in `main`; grammar-check it here so a typo
+    // is a loud usage error before the daemon is dialled.
+    validate_injection_env(None, None, std::env::var("NETSHARE_INJECT_NETFAULT").ok().as_deref())?;
     Ok(pull)
 }
 
@@ -313,7 +348,11 @@ fn parse_coord_options(dir: &str, args: &[String]) -> Result<CoordArgs, String> 
     }
     // The chaos hook rides the same env var as synth runs; grammar-check
     // it here so a typo is a loud usage error before anything binds.
-    validate_injection_env(std::env::var("NETSHARE_INJECT_FAULT").ok().as_deref(), None)?;
+    validate_injection_env(
+        std::env::var("NETSHARE_INJECT_FAULT").ok().as_deref(),
+        None,
+        std::env::var("NETSHARE_INJECT_NETFAULT").ok().as_deref(),
+    )?;
     Ok(coord)
 }
 
@@ -359,11 +398,14 @@ fn parse_args(args: &[String]) -> Result<Command, UsageError> {
 }
 
 /// How a valid invocation failed, mapped onto the exit-code taxonomy:
-/// `Runtime` → 1, `Training` → 3 (a late `Config` error — reachable only
-/// through the programmatic API — counts as runtime).
+/// `Runtime` → 1, `Training` → 3, `Exhausted` → 4 (a `pull` whose every
+/// attempt failed retryably — re-running later may succeed). A late
+/// `Config` error — reachable only through the programmatic API —
+/// counts as runtime.
 enum RunError {
     Runtime(String),
     Training(String),
+    Exhausted(String),
 }
 
 fn classify(e: netshare::PipelineError) -> RunError {
@@ -444,9 +486,14 @@ fn run_pull(args: &PullArgs) -> Result<(), RunError> {
         count: args.count,
         credit: args.credit,
         peer: "netshare_cli".to_string(),
+        retries: args.retries,
+        backoff: std::time::Duration::from_millis(args.backoff_ms),
     };
     let token = orchestrator::CancelToken::new();
-    let result = netshared::pull(&cfg, &token).map_err(RunError::Runtime)?;
+    let result = netshared::pull(&cfg, &token).map_err(|e| match e {
+        netshared::PullError::Retryable(m) => RunError::Exhausted(m),
+        netshared::PullError::Fatal(m) => RunError::Runtime(m),
+    })?;
     let mut lines = String::new();
     for sample in &result.samples {
         let line = serde_json::to_string(sample)
@@ -459,9 +506,10 @@ fn run_pull(args: &PullArgs) -> Result<(), RunError> {
             std::fs::write(path, lines)
                 .map_err(|e| RunError::Runtime(format!("write {}: {e}", path.display())))?;
             eprintln!(
-                "pulled {} samples ({} frames) of {:?} from {} to {}",
+                "pulled {} samples ({} frames, {} reconnects) of {:?} from {} to {}",
                 result.samples.len(),
                 result.frames,
+                result.reconnects,
                 args.artifact,
                 args.addr,
                 path.display(),
@@ -470,9 +518,10 @@ fn run_pull(args: &PullArgs) -> Result<(), RunError> {
         None => {
             print!("{lines}");
             eprintln!(
-                "pulled {} samples ({} frames) of {:?} from {}",
+                "pulled {} samples ({} frames, {} reconnects) of {:?} from {}",
                 result.samples.len(),
                 result.frames,
+                result.reconnects,
                 args.artifact,
                 args.addr,
             );
@@ -613,6 +662,12 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    // Parsing already grammar-checked the spec; arming is per-process, so
+    // a coord run's spawned workers re-arm from their inherited env.
+    if let Err(e) = orchestrator::netfault::init_from_env() {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
     let result = match command {
         Command::Pull(pull) => run_pull(&pull),
         Command::Coord(coord) => run_coord(&coord),
@@ -628,6 +683,10 @@ fn main() -> ExitCode {
         Err(RunError::Training(e)) => {
             eprintln!("error: {e}");
             ExitCode::from(3)
+        }
+        Err(RunError::Exhausted(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(4)
         }
     }
 }
@@ -709,18 +768,29 @@ mod tests {
 
     #[test]
     fn injection_env_grammar_is_validated() {
-        assert!(validate_injection_env(None, None).is_ok());
-        assert!(validate_injection_env(Some("chunk-1:1"), None).is_ok(), "legacy grammar");
-        assert!(validate_injection_env(Some("chunk-1:hang:2"), Some("chunk-1:40")).is_ok());
-        let err = validate_injection_env(Some("chunk-1:bogus"), None).unwrap_err();
+        assert!(validate_injection_env(None, None, None).is_ok());
+        assert!(validate_injection_env(Some("chunk-1:1"), None, None).is_ok(), "legacy grammar");
+        assert!(validate_injection_env(Some("chunk-1:hang:2"), Some("chunk-1:40"), None).is_ok());
+        let err = validate_injection_env(Some("chunk-1:bogus"), None, None).unwrap_err();
         assert!(
             err.contains("NETSHARE_INJECT_FAULT") && err.contains("expected"),
             "names the variable and the grammar: {err}"
         );
-        let err = validate_injection_env(None, Some("no-step")).unwrap_err();
+        let err = validate_injection_env(None, Some("no-step"), None).unwrap_err();
         assert!(
             err.contains("NETSHARE_INJECT_DIVERGENCE") && err.contains("expected `job:step`"),
             "{err}"
+        );
+    }
+
+    #[test]
+    fn netfault_env_grammar_is_validated() {
+        assert!(validate_injection_env(None, None, Some("torn-frame:1")).is_ok());
+        assert!(validate_injection_env(None, None, Some("stall:2;garbage-bytes:1;seed=9")).is_ok());
+        let err = validate_injection_env(None, None, Some("melt:1")).unwrap_err();
+        assert!(
+            err.contains("NETSHARE_INJECT_NETFAULT") && err.contains("torn-frame"),
+            "names the variable and cites the grammar: {err}"
         );
     }
 
@@ -761,16 +831,19 @@ mod tests {
         assert_eq!(p.artifact, "ugr16");
         assert_eq!(p.count, 100);
         assert_eq!(p.credit, 4);
+        assert_eq!((p.retries, p.backoff_ms), (0, 100), "no retries by default");
         assert!(p.out.is_none() && p.metrics_out.is_none());
 
         let p = pull(&[
             "pull", "localhost:9", "caida",
             "--count", "250", "--credit", "8",
+            "--retries", "5", "--backoff-ms", "50",
             "--out", "/tmp/s.jsonl", "--metrics-out", "/tmp/m.json",
         ])
         .unwrap();
         assert_eq!(p.count, 250);
         assert_eq!(p.credit, 8);
+        assert_eq!((p.retries, p.backoff_ms), (5, 50));
         assert_eq!(p.out.as_deref(), Some(std::path::Path::new("/tmp/s.jsonl")));
         assert_eq!(p.metrics_out.as_deref(), Some(std::path::Path::new("/tmp/m.json")));
     }
@@ -833,6 +906,8 @@ mod tests {
         assert!(pull(&["pull", "addr", "a", "--count"]).is_err(), "value required");
         assert!(pull(&["pull", "addr", "a", "--count", "many"]).is_err());
         assert!(pull(&["pull", "addr", "a", "--credit", "0"]).is_err(), "zero window");
+        assert!(pull(&["pull", "addr", "a", "--retries", "soon"]).is_err());
+        assert!(pull(&["pull", "addr", "a", "--backoff-ms", "0"]).is_err(), "zero backoff");
         assert!(pull(&["pull", "addr", "a", "--seed", "1"]).is_err(), "synth-only flag");
     }
 }

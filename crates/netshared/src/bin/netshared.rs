@@ -6,7 +6,7 @@
 //! netshared --artifact path.json [--artifact ...] [--demo name:seed ...]
 //!           [--addr 127.0.0.1:0] [--addr-file PATH]
 //!           [--capacity-bytes N] [--idle-timeout-secs S]
-//!           [--drain-secs S] [--metrics-out PATH]
+//!           [--drain-secs S] [--max-sessions N] [--metrics-out PATH]
 //! ```
 //!
 //! The daemon serves until stdin closes or a line reading `shutdown`
@@ -30,6 +30,7 @@ struct Args {
     capacity_bytes: usize,
     idle_timeout_secs: Option<f64>,
     drain_secs: f64,
+    max_sessions: Option<usize>,
     metrics_out: Option<String>,
 }
 
@@ -37,7 +38,7 @@ fn usage() -> String {
     "usage: netshared [--artifact BUNDLE.json ...] [--demo NAME:SEED ...]\n\
      \x20                [--addr HOST:PORT] [--addr-file PATH]\n\
      \x20                [--capacity-bytes N] [--idle-timeout-secs S]\n\
-     \x20                [--drain-secs S] [--metrics-out PATH]\n\
+     \x20                [--drain-secs S] [--max-sessions N] [--metrics-out PATH]\n\
      at least one --artifact or --demo is required"
         .to_string()
 }
@@ -51,6 +52,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         capacity_bytes: 64 * 1024,
         idle_timeout_secs: None,
         drain_secs: 2.0,
+        max_sessions: None,
         metrics_out: None,
     };
     let mut it = argv.iter();
@@ -96,6 +98,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|_| format!("--drain-secs must be a number, got {v:?}"))?;
             }
+            "--max-sessions" => {
+                let v = value("--max-sessions")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--max-sessions must be a usize, got {v:?}"))?;
+                if n == 0 {
+                    return Err("--max-sessions must be at least 1".to_string());
+                }
+                args.max_sessions = Some(n);
+            }
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -120,6 +132,7 @@ fn run(args: Args) -> Result<(), String> {
             capacity_bytes: args.capacity_bytes,
             idle_timeout_secs: args.idle_timeout_secs,
             drain: Duration::from_secs_f64(args.drain_secs.max(0.0)),
+            max_sessions: args.max_sessions,
         },
         bundles,
     )?;
@@ -158,6 +171,12 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // Arm deterministic socket-fault injection when the chaos harness
+    // asks for it; a malformed spec is a usage error, same as a flag.
+    if let Err(e) = orchestrator::netfault::init_from_env() {
+        eprintln!("netshared: {e}");
+        std::process::exit(2);
+    }
     if let Err(e) = run(args) {
         eprintln!("netshared: {e}");
         std::process::exit(1);
@@ -185,17 +204,21 @@ mod tests {
             "--idle-timeout-secs", "1.5",
             "--drain-secs", "0.5",
             "--addr", "127.0.0.1:0",
+            "--max-sessions", "3",
         ]))
         .unwrap();
         assert_eq!(args.demos, vec![("ugr16".to_string(), 7), ("caida".to_string(), 9)]);
         assert_eq!(args.capacity_bytes, 4096);
         assert_eq!(args.idle_timeout_secs, Some(1.5));
         assert_eq!(args.drain_secs, 0.5);
+        assert_eq!(args.max_sessions, Some(3));
     }
 
     #[test]
     fn parse_rejects_bad_demo_specs_and_unknown_flags() {
         assert!(parse_args(&s(&["--demo", "noseed"])).is_err());
+        assert!(parse_args(&s(&["--demo", "x:1", "--max-sessions", "0"])).is_err());
+        assert!(parse_args(&s(&["--demo", "x:1", "--max-sessions", "lots"])).is_err());
         assert!(parse_args(&s(&["--demo", ":3"])).is_err());
         assert!(parse_args(&s(&["--demo", "x:notanum"])).is_err());
         assert!(parse_args(&s(&["--bogus"])).is_err());

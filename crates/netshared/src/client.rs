@@ -1,12 +1,29 @@
 //! Client side of the protocol: the `pull` helper `netshare_cli pull`
 //! and the integration tests drive.
 //!
+//! ## Reconnecting pulls
+//!
+//! [`pull`] survives a serving interruption (daemon restart, connection
+//! reset, an injected socket fault) when [`PullConfig::retries`] is
+//! non-zero: every failure is classified as *retryable* or *fatal*
+//! ([`PullError`]), and on a retryable one the client sleeps out a
+//! seeded [`Backoff`] delay, reconnects, and re-subscribes with
+//! `from_seq` set to the next DATA frame it has not yet delivered
+//! (protocol v2). The server regenerates the stream deterministically
+//! and suppresses the already-delivered prefix, so a resumed pull's
+//! byte stream is identical to an uninterrupted one. Delivered progress
+//! refills the retry budget, so a long stream tolerates more faults
+//! than a short one without unbounded looping on a dead server.
+//!
 //! lint: io-boundary — connects and reads frames off the socket.
 
-use crate::protocol::{self, Frame, ProtoError, PROTOCOL_VERSION};
+use crate::protocol::{
+    self, Frame, ProtoError, ERR_DRAINING, ERR_OVERLOADED, MIN_VERSION, PROTOCOL_VERSION,
+};
 use doppelganger::GeneratedSample;
-use orchestrator::CancelToken;
+use orchestrator::{fnv1a64, Backoff, CancelToken};
 use std::net::TcpStream;
+use std::time::Duration;
 
 /// One `pull` request.
 #[derive(Debug, Clone)]
@@ -22,10 +39,19 @@ pub struct PullConfig {
     pub credit: u32,
     /// Client name sent in HELLO (diagnostics only).
     pub peer: String,
+    /// Reconnect attempts allowed per stretch of no progress; `0`
+    /// disables retries (single attempt, the v1 behaviour). The budget
+    /// refills whenever an attempt delivers at least one new frame.
+    pub retries: u32,
+    /// Base delay of the reconnect [`Backoff`] schedule (doubles per
+    /// attempt, capped at 16× base, with jitter seeded from the
+    /// artifact name so chaos runs replay identically).
+    pub backoff: Duration,
 }
 
 impl PullConfig {
-    /// A pull of `count` samples of `artifact` with a 4-frame window.
+    /// A pull of `count` samples of `artifact` with a 4-frame window
+    /// and no retries.
     pub fn new(addr: &str, artifact: &str, count: u64) -> Self {
         PullConfig {
             addr: addr.to_string(),
@@ -33,6 +59,8 @@ impl PullConfig {
             count,
             credit: 4,
             peer: "netshare_cli".to_string(),
+            retries: 0,
+            backoff: Duration::from_millis(100),
         }
     }
 }
@@ -42,20 +70,140 @@ impl PullConfig {
 pub struct PullResult {
     /// All samples, in stream order.
     pub samples: Vec<GeneratedSample>,
-    /// DATA frames received.
+    /// DATA frames received (resumed frames count once).
     pub frames: u64,
     /// Artifact names the server advertised in its HELLO.
     pub server_artifacts: Vec<String>,
     /// The EOF frame's total (equals `samples.len()`).
     pub eof_total: u64,
+    /// Reconnects performed before the stream completed.
+    pub reconnects: u64,
 }
 
-/// Subscribes to one stream and pulls it to EOF. Fails with a message on
-/// connection faults, protocol violations, or a server ERROR frame.
-pub fn pull(cfg: &PullConfig, token: &CancelToken) -> Result<PullResult, String> {
+/// Why a pull failed, split by whether retrying could help. The CLI
+/// maps the two arms to distinct exit codes (4 retryable-exhausted,
+/// 1 fatal).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PullError {
+    /// Transient: the connection dropped, the stream was cut mid-frame,
+    /// or the server answered `draining`/`overloaded`. Reconnecting
+    /// (possibly to a restarted server) may succeed. A pull that ran
+    /// out of retries reports the *last* retryable fault here.
+    Retryable(String),
+    /// Permanent: version mismatch, unknown artifact, a protocol
+    /// violation, an EOF total mismatch, or cancellation. Retrying
+    /// would fail identically.
+    Fatal(String),
+}
+
+impl PullError {
+    /// `true` for the [`PullError::Retryable`] arm.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, PullError::Retryable(_))
+    }
+}
+
+impl std::fmt::Display for PullError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PullError::Retryable(m) => write!(f, "{m}"),
+            PullError::Fatal(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for PullError {}
+
+/// Classifies a server ERROR frame: `draining` and `overloaded` invite
+/// a retry elsewhere/later; everything else is a verdict.
+fn classify_server_error(code: &str, message: &str) -> PullError {
+    let text = format!("server error {code}: {message}");
+    if code == ERR_DRAINING || code == ERR_OVERLOADED {
+        PullError::Retryable(text)
+    } else {
+        PullError::Fatal(text)
+    }
+}
+
+/// Maps a read/write-layer fault mid-conversation. Cancellation is
+/// fatal (retrying against the user's wishes); everything else —
+/// closed, truncated, garbage payloads, socket errors — could be a
+/// dying server and is retryable.
+fn classify_proto_error(context: &str, e: ProtoError) -> PullError {
+    match e {
+        ProtoError::Cancelled => PullError::Fatal("pull cancelled".to_string()),
+        other => PullError::Retryable(format!("{context}: {other}")),
+    }
+}
+
+/// Subscribes to one stream and pulls it to EOF, reconnecting across
+/// retryable faults per [`PullConfig::retries`] (see module docs).
+pub fn pull(cfg: &PullConfig, token: &CancelToken) -> Result<PullResult, PullError> {
     let _span = telemetry::span!("netshared/pull[{}]", cfg.artifact);
-    let mut sock = TcpStream::connect(&cfg.addr).map_err(|e| format!("connect {}: {e}", cfg.addr))?;
-    protocol::configure(&sock).map_err(|e| format!("configure: {e}"))?;
+    let mut samples = Vec::new();
+    let mut next_seq = 0u64;
+    let mut frames = 0u64;
+    let mut server_artifacts = Vec::new();
+    let mut reconnects = 0u64;
+    let mut budget = cfg.retries;
+    let cap = cfg.backoff.saturating_mul(16);
+    let mut backoff = Backoff::new(cfg.backoff, cap, fnv1a64(cfg.artifact.as_bytes()));
+
+    loop {
+        let frames_before = frames;
+        let attempt = pull_attempt(
+            cfg,
+            token,
+            &mut samples,
+            &mut next_seq,
+            &mut frames,
+            &mut server_artifacts,
+        );
+        match attempt {
+            Ok(eof_total) => {
+                return Ok(PullResult { samples, frames, server_artifacts, eof_total, reconnects })
+            }
+            Err(PullError::Retryable(m)) => {
+                if frames > frames_before {
+                    // Progress since the last fault: refill the budget
+                    // and restart the backoff schedule from its base.
+                    budget = cfg.retries;
+                    backoff.reset();
+                }
+                if budget == 0 {
+                    let verdict = if cfg.retries == 0 {
+                        m
+                    } else {
+                        format!("retries exhausted after {reconnects} reconnects: {m}")
+                    };
+                    return Err(PullError::Retryable(verdict));
+                }
+                budget -= 1;
+                reconnects += 1;
+                telemetry::metrics::counter("netshared.pull.reconnects").inc();
+                if backoff.sleep(token) {
+                    return Err(PullError::Fatal("pull cancelled".to_string()));
+                }
+            }
+            Err(fatal) => return Err(fatal),
+        }
+    }
+}
+
+/// One connect → handshake → subscribe-from-`next_seq` → drain attempt.
+/// Mutates the accumulated stream state in place so a retryable failure
+/// keeps everything delivered so far; returns the EOF total on success.
+fn pull_attempt(
+    cfg: &PullConfig,
+    token: &CancelToken,
+    samples: &mut Vec<GeneratedSample>,
+    next_seq: &mut u64,
+    frames: &mut u64,
+    server_artifacts: &mut Vec<String>,
+) -> Result<u64, PullError> {
+    let mut sock = TcpStream::connect(&cfg.addr)
+        .map_err(|e| PullError::Retryable(format!("connect {}: {e}", cfg.addr)))?;
+    protocol::configure(&sock).map_err(|e| classify_proto_error("configure", e))?;
 
     protocol::write_frame(
         &mut sock,
@@ -66,16 +214,27 @@ pub fn pull(cfg: &PullConfig, token: &CancelToken) -> Result<PullResult, String>
         },
         token,
     )
-    .map_err(|e| format!("handshake send: {e}"))?;
-    let server_artifacts = match protocol::read_frame(&mut sock, token) {
-        Ok(Frame::Hello { version, artifacts, .. }) if version == PROTOCOL_VERSION => artifacts,
-        Ok(Frame::Hello { version, .. }) => {
-            return Err(format!("server speaks protocol version {version}, want {PROTOCOL_VERSION}"))
+    .map_err(|e| classify_proto_error("handshake send", e))?;
+    match protocol::read_frame(&mut sock, token) {
+        Ok(Frame::Hello { version, artifacts, .. })
+            if (MIN_VERSION..=PROTOCOL_VERSION).contains(&version) =>
+        {
+            if version < 2 && *next_seq > 0 {
+                return Err(PullError::Fatal(format!(
+                    "server negotiated protocol v{version}, which cannot resume from seq {next_seq}"
+                )));
+            }
+            *server_artifacts = artifacts;
         }
-        Ok(Frame::Error { code, message, .. }) => return Err(format!("server error {code}: {message}")),
-        Ok(other) => return Err(format!("expected server HELLO, got {other:?}")),
-        Err(e) => return Err(format!("handshake recv: {e}")),
-    };
+        Ok(Frame::Hello { version, .. }) => {
+            return Err(PullError::Fatal(format!(
+                "server speaks protocol version {version}, want {MIN_VERSION}..={PROTOCOL_VERSION}"
+            )))
+        }
+        Ok(Frame::Error { code, message, .. }) => return Err(classify_server_error(&code, &message)),
+        Ok(other) => return Err(PullError::Fatal(format!("expected server HELLO, got {other:?}"))),
+        Err(e) => return Err(classify_proto_error("handshake recv", e)),
+    }
 
     const STREAM: u64 = 1;
     protocol::write_frame(
@@ -85,45 +244,96 @@ pub fn pull(cfg: &PullConfig, token: &CancelToken) -> Result<PullResult, String>
             artifact: cfg.artifact.clone(),
             count: cfg.count,
             credit: cfg.credit.max(1),
+            from_seq: *next_seq,
         },
         token,
     )
-    .map_err(|e| format!("subscribe send: {e}"))?;
+    .map_err(|e| classify_proto_error("subscribe send", e))?;
 
-    let mut samples = Vec::new();
-    let mut frames = 0u64;
-    let mut next_seq = 0u64;
     loop {
         match protocol::read_frame(&mut sock, token) {
             Ok(Frame::Data { stream, seq, samples: batch }) => {
                 if stream != STREAM {
-                    return Err(format!("DATA for unknown stream {stream}"));
+                    return Err(PullError::Fatal(format!("DATA for unknown stream {stream}")));
                 }
-                if seq != next_seq {
-                    return Err(format!("DATA out of order: seq {seq}, want {next_seq}"));
+                if seq < *next_seq {
+                    // Replayed frame (e.g. a resume answered below the
+                    // requested seq): already delivered, skip the bytes
+                    // but still top the credit window back up.
+                    protocol::write_frame(
+                        &mut sock,
+                        &Frame::Credit { stream: STREAM, frames: 1 },
+                        token,
+                    )
+                    .map_err(|e| classify_proto_error("credit send", e))?;
+                    continue;
                 }
-                next_seq += 1;
-                frames += 1;
+                if seq > *next_seq {
+                    // A gap means this connection lost frames; the
+                    // resumed stream is still intact server-side.
+                    return Err(PullError::Retryable(format!(
+                        "DATA out of order: seq {seq}, want {next_seq}"
+                    )));
+                }
+                *next_seq += 1;
+                *frames += 1;
                 samples.extend(batch);
                 // Restore the budget: one credit per consumed frame.
                 protocol::write_frame(&mut sock, &Frame::Credit { stream: STREAM, frames: 1 }, token)
-                    .map_err(|e| format!("credit send: {e}"))?;
+                    .map_err(|e| classify_proto_error("credit send", e))?;
             }
             Ok(Frame::Eof { stream, total }) => {
                 if stream != STREAM {
-                    return Err(format!("EOF for unknown stream {stream}"));
+                    return Err(PullError::Fatal(format!("EOF for unknown stream {stream}")));
                 }
                 if total != samples.len() as u64 {
-                    return Err(format!("EOF total {total} != {} received samples", samples.len()));
+                    return Err(PullError::Fatal(format!(
+                        "EOF total {total} != {} received samples",
+                        samples.len()
+                    )));
                 }
-                return Ok(PullResult { samples, frames, server_artifacts, eof_total: total });
+                return Ok(total);
             }
             Ok(Frame::Error { code, message, .. }) => {
-                return Err(format!("server error {code}: {message}"));
+                return Err(classify_server_error(&code, &message))
             }
-            Ok(other) => return Err(format!("unexpected frame {other:?}")),
-            Err(ProtoError::Cancelled) => return Err("pull cancelled".to_string()),
-            Err(e) => return Err(format!("stream recv: {e}")),
+            Ok(other) => return Err(PullError::Fatal(format!("unexpected frame {other:?}"))),
+            Err(e) => return Err(classify_proto_error("stream recv", e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_error_codes_split_into_retryable_and_fatal() {
+        assert!(classify_server_error(ERR_DRAINING, "x").is_retryable());
+        assert!(classify_server_error(ERR_OVERLOADED, "x").is_retryable());
+        assert!(!classify_server_error(protocol::ERR_UNKNOWN_ARTIFACT, "x").is_retryable());
+        assert!(!classify_server_error(protocol::ERR_VERSION, "x").is_retryable());
+        assert!(!classify_server_error(protocol::ERR_PROTOCOL, "x").is_retryable());
+    }
+
+    #[test]
+    fn transport_faults_retry_but_cancellation_is_final() {
+        assert!(classify_proto_error("recv", ProtoError::Closed).is_retryable());
+        assert!(classify_proto_error("recv", ProtoError::Truncated).is_retryable());
+        assert!(classify_proto_error("recv", ProtoError::Malformed("x".into())).is_retryable());
+        assert!(classify_proto_error("recv", ProtoError::Io("x".into())).is_retryable());
+        assert!(!classify_proto_error("recv", ProtoError::Cancelled).is_retryable());
+    }
+
+    #[test]
+    fn pull_with_no_retries_fails_fast_on_connect() {
+        // Port 1 is essentially never listening; the single attempt
+        // must come back retryable without sleeping.
+        let cfg = PullConfig::new("127.0.0.1:1", "demo", 4);
+        let token = CancelToken::new();
+        match pull(&cfg, &token) {
+            Err(PullError::Retryable(m)) => assert!(m.contains("connect"), "{m}"),
+            other => panic!("expected retryable connect failure, got {other:?}"),
         }
     }
 }

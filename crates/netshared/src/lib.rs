@@ -42,7 +42,7 @@ pub(crate) mod session;
 pub mod server;
 
 pub use buffer::{BufStats, StreamBuf};
-pub use client::{pull, PullConfig, PullResult};
+pub use client::{pull, PullConfig, PullError, PullResult};
 pub use demo::{demo_bundle, demo_config};
 pub use protocol::{Frame, ProtoError, MAX_FRAME_BYTES, PROTOCOL_VERSION};
 pub use server::{Server, ServerConfig, ServerStats};

@@ -47,7 +47,19 @@ use std::net::TcpStream;
 use std::time::Duration;
 
 /// Protocol version spoken by this build; bumped on any grammar change.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// * **v1** — the PR 7 grammar.
+/// * **v2** — `SUBSCRIBE` gains `from_seq` (resume a stream from a DATA
+///   frame index) and the retryable `overloaded` error code. v2 is a
+///   strict superset: `from_seq` is `#[serde(default)]`, so v1 JSON
+///   still decodes (as `from_seq = 0`, i.e. the whole stream) and the
+///   HELLO exchange negotiates down to a v1 peer (see [`MIN_VERSION`]).
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Oldest protocol version this build still speaks. The server accepts
+/// any client HELLO in `MIN_VERSION..=PROTOCOL_VERSION` and answers with
+/// the negotiated (minimum of the two) version.
+pub const MIN_VERSION: u32 = 1;
 
 /// Hard ceiling on one frame's payload (prefix values above it are
 /// rejected before any allocation happens).
@@ -70,6 +82,9 @@ pub const ERR_MALFORMED: &str = "malformed-frame";
 pub const ERR_PROTOCOL: &str = "protocol-violation";
 /// `ERROR` code: the server is draining and takes no new subscriptions.
 pub const ERR_DRAINING: &str = "draining";
+/// `ERROR` code: admission control shed this connection (`--max-sessions`
+/// reached). Retryable — clients back off and reconnect.
+pub const ERR_OVERLOADED: &str = "overloaded";
 
 /// One protocol frame. Field order and variant names are part of the
 /// frozen wire grammar.
@@ -97,6 +112,12 @@ pub enum Frame {
         count: u64,
         /// Initial DATA-frame budget.
         credit: u32,
+        /// First DATA frame wanted (v2): the server regenerates the
+        /// stream deterministically and suppresses frames below this
+        /// seq, so a reconnecting client resumes bitwise-identically.
+        /// Absent in v1 frames, which decode as 0 (the whole stream).
+        #[serde(default)]
+        from_seq: u64,
     },
     /// One batch of generated samples; consumes one credit.
     Data {
@@ -240,6 +261,34 @@ mod tests {
         assert!(matches!(decode_frame(&[0xff, 0xfe]), Err(ProtoError::Malformed(_))));
         assert!(matches!(decode_frame(b"{\"Nope\":{}}"), Err(ProtoError::Malformed(_))));
         assert!(matches!(decode_frame(b"[1,2"), Err(ProtoError::Malformed(_))));
+    }
+
+    #[test]
+    fn v1_subscribe_without_from_seq_decodes_as_zero() {
+        // Bytes a v1 client puts on the wire, verbatim: no `from_seq`.
+        let v1 = br#"{"Subscribe":{"stream":1,"artifact":"demo","count":10,"credit":4}}"#;
+        match decode_frame(v1).unwrap() {
+            Frame::Subscribe { stream, artifact, count, credit, from_seq } => {
+                assert_eq!((stream, count, credit, from_seq), (1, 10, 4, 0));
+                assert_eq!(artifact, "demo");
+            }
+            other => panic!("decoded as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v2_subscribe_round_trips_from_seq() {
+        let f = Frame::Subscribe {
+            stream: 3,
+            artifact: "demo".into(),
+            count: 100,
+            credit: 4,
+            from_seq: 17,
+        };
+        let bytes = encode_frame(&f).unwrap();
+        assert_eq!(decode_frame(&bytes[4..]).unwrap(), f);
+        // v2 is a strict superset of v1.
+        const { assert!(PROTOCOL_VERSION > MIN_VERSION) };
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //!    waits, and socket I/O all poll the token, so sessions unwind, and
 //!    every thread is joined before `shutdown` returns.
 
+use crate::protocol::{self, Frame, ERR_OVERLOADED};
 use crate::session::{run_session, SessionCtx};
 use doppelganger::ArtifactBundle;
 use orchestrator::watchdog::{Watchdog, WatchdogOptions};
@@ -44,6 +45,10 @@ pub struct ServerConfig {
     pub idle_timeout_secs: Option<f64>,
     /// Grace window for in-flight streams during [`Server::shutdown`].
     pub drain: Duration,
+    /// Admission control: with this many sessions open, new connections
+    /// are answered with a retryable `overloaded` ERROR and dropped
+    /// instead of growing the session registry (`None` = unlimited).
+    pub max_sessions: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +58,7 @@ impl Default for ServerConfig {
             capacity_bytes: 64 * 1024,
             idle_timeout_secs: None,
             drain: Duration::from_secs(2),
+            max_sessions: None,
         }
     }
 }
@@ -86,6 +92,9 @@ pub struct ServerStats {
     /// High-water mark of any single stream's buffered bytes — the
     /// bounded-memory invariant the backpressure suite pins.
     pub stream_max_buffered: AtomicU64,
+    /// Connections shed by `--max-sessions` admission control
+    /// (`netshared.shed`).
+    pub shed: AtomicU64,
 }
 
 /// Session registry entry: the session's cancel token plus its joinable
@@ -160,12 +169,43 @@ impl Server {
             let sessions = Arc::clone(&sessions);
             let watchdog = watchdog.clone();
             let capacity_bytes = cfg.capacity_bytes.max(1);
+            let max_sessions = cfg.max_sessions;
             let next_id = AtomicU64::new(0);
             std::thread::spawn(move || {
                 let _span = telemetry::span!("netshared/accept");
                 while !token.wait_timeout(Duration::ZERO) {
                     match listener.accept() {
-                        Ok((sock, _peer)) => {
+                        Ok((mut sock, _peer)) => {
+                            // Admission control: at the session cap, shed
+                            // the connection with a retryable `overloaded`
+                            // ERROR instead of letting the registry (and
+                            // the kernel accept queue behind it) grow.
+                            let at_cap = max_sessions.is_some_and(|max| {
+                                stats.sessions_open.load(Ordering::Relaxed) >= max as i64
+                            });
+                            if at_cap {
+                                stats.shed.fetch_add(1, Ordering::Relaxed);
+                                stats.errors_sent.fetch_add(1, Ordering::Relaxed);
+                                telemetry::metrics::counter("netshared.shed").inc();
+                                telemetry::metrics::counter("netshared.errors.sent").inc();
+                                if sock.set_nonblocking(false).is_ok()
+                                    && protocol::configure(&sock).is_ok()
+                                {
+                                    let _ = protocol::write_frame(
+                                        &mut sock,
+                                        &Frame::Error {
+                                            stream: None,
+                                            code: ERR_OVERLOADED.to_string(),
+                                            message: format!(
+                                                "session limit {} reached; retry later",
+                                                max_sessions.unwrap_or(0)
+                                            ),
+                                        },
+                                        &token,
+                                    );
+                                }
+                                continue;
+                            }
                             let id = next_id.fetch_add(1, Ordering::Relaxed);
                             stats.sessions_total.fetch_add(1, Ordering::Relaxed);
                             // Sessions do their own (timeout-based) blocking I/O.

@@ -142,10 +142,18 @@ fn send_error(
 /// the batch when the encoding exceeds the buffer capacity (or the wire
 /// ceiling), so one frame never monopolizes the whole buffer. Returns
 /// `false` once the stream is closed or a single sample cannot fit.
+///
+/// Frames with `seq < from_seq` are *suppressed*: they are still encoded
+/// and still advance `next_seq` — so batch-split decisions, frame
+/// boundaries, and downstream seq numbers are bitwise-identical to an
+/// uninterrupted stream — but their bytes never enter the buffer. This
+/// is what makes a v2 resume (`SUBSCRIBE.from_seq`) exact: the producer
+/// replays the deterministic generation and skips the delivered prefix.
 fn push_samples(
     stream: u64,
     samples: &[GeneratedSample],
     next_seq: &mut u64,
+    from_seq: u64,
     buf: &StreamBuf,
     token: &CancelToken,
 ) -> bool {
@@ -155,12 +163,15 @@ fn push_samples(
     let frame = Frame::Data { stream, seq: *next_seq, samples: samples.to_vec() };
     let split = |next_seq: &mut u64| {
         let mid = samples.len() / 2;
-        push_samples(stream, &samples[..mid], next_seq, buf, token)
-            && push_samples(stream, &samples[mid..], next_seq, buf, token)
+        push_samples(stream, &samples[..mid], next_seq, from_seq, buf, token)
+            && push_samples(stream, &samples[mid..], next_seq, from_seq, buf, token)
     };
     match protocol::encode_frame(&frame) {
         Ok(bytes) if bytes.len() <= buf.capacity() || samples.len() == 1 => {
-            if buf.push(bytes, token) {
+            if *next_seq < from_seq {
+                *next_seq += 1; // suppressed: the client already has it
+                true
+            } else if buf.push(bytes, token) {
                 *next_seq += 1;
                 true
             } else {
@@ -180,6 +191,7 @@ fn push_samples(
 fn produce(
     stream: u64,
     count: u64,
+    from_seq: u64,
     bundle: Arc<ArtifactBundle>,
     buf: Arc<StreamBuf>,
     token: CancelToken,
@@ -222,10 +234,12 @@ fn produce(
         if token.is_cancelled() {
             return;
         }
-        if !push_samples(stream, &batch, &mut next_seq, &buf, &token) {
+        if !push_samples(stream, &batch, &mut next_seq, from_seq, &buf, &token) {
             return;
         }
     }
+    // EOF carries the *full* stream total even on a resume: the client
+    // checks its cumulative sample count across reconnects against it.
     buf.finish(cursor.produced() as u64);
 }
 
@@ -331,9 +345,16 @@ fn serve_client(
         Err(_) => return,
     };
 
-    // Handshake: the client speaks first.
-    match protocol::read_frame(&mut reader, &ctx.token) {
-        Ok(Frame::Hello { version, .. }) if version == PROTOCOL_VERSION => {}
+    // Handshake: the client speaks first; the server accepts any version
+    // in `MIN_VERSION..=PROTOCOL_VERSION` and answers with the
+    // negotiated (minimum) version, so v1 clients keep working against a
+    // v2 server (`from_seq` is additive; v1 simply never sends it).
+    let negotiated = match protocol::read_frame(&mut reader, &ctx.token) {
+        Ok(Frame::Hello { version, .. })
+            if (protocol::MIN_VERSION..=PROTOCOL_VERSION).contains(&version) =>
+        {
+            version
+        }
         Ok(Frame::Hello { version, .. }) => {
             send_error(
                 &writer,
@@ -341,7 +362,10 @@ fn serve_client(
                 &ctx.stats,
                 None,
                 ERR_VERSION,
-                format!("server speaks version {PROTOCOL_VERSION}, client sent {version}"),
+                format!(
+                    "server speaks versions {}..={PROTOCOL_VERSION}, client sent {version}",
+                    protocol::MIN_VERSION
+                ),
             );
             return;
         }
@@ -360,13 +384,13 @@ fn serve_client(
             report_read_error(&writer, ctx, e);
             return;
         }
-    }
+    };
     heartbeat.beat(0);
     let artifacts: Vec<String> = ctx.bundles.keys().cloned().collect();
     if !send(
         &writer,
         &Frame::Hello {
-            version: PROTOCOL_VERSION,
+            version: negotiated,
             peer: "netshared".to_string(),
             artifacts,
         },
@@ -402,7 +426,7 @@ fn handle_frame(
     streams: &mut BTreeMap<u64, StreamHandle>,
 ) -> bool {
     match frame {
-        Frame::Subscribe { stream, artifact, count, credit } => {
+        Frame::Subscribe { stream, artifact, count, credit, from_seq } => {
             if ctx.draining.load(Ordering::Relaxed) {
                 send_error(
                     writer,
@@ -446,7 +470,7 @@ fn handle_frame(
                 let (token, writer) = (ctx.token.clone(), Arc::clone(writer));
                 let stats = Arc::clone(&ctx.stats);
                 std::thread::spawn(move || {
-                    produce(stream, count, bundle, buf, token, writer, stats)
+                    produce(stream, count, from_seq, bundle, buf, token, writer, stats)
                 })
             };
             let sender = {

@@ -63,7 +63,7 @@ fn stalled_client_bounds_memory_and_does_not_slow_others() {
     assert!(matches!(hello, Frame::Hello { .. }));
     protocol::write_frame(
         &mut stalled,
-        &Frame::Subscribe { stream: 1, artifact: "demo".into(), count: 500, credit: 1 },
+        &Frame::Subscribe { stream: 1, artifact: "demo".into(), count: 500, credit: 1, from_seq: 0 },
         &token,
     )
     .unwrap();

@@ -90,8 +90,9 @@ proptest! {
         artifact in arb_string(),
         count in any::<u64>(),
         credit in any::<u32>(),
+        from_seq in any::<u64>(),
     ) {
-        assert_round_trip(Frame::Subscribe { stream, artifact, count, credit })?;
+        assert_round_trip(Frame::Subscribe { stream, artifact, count, credit, from_seq })?;
     }
 
     #[test]
@@ -347,7 +348,7 @@ fn unknown_artifact_errors_but_keeps_the_connection_usable() {
     assert_eq!(artifacts, vec!["demo".to_string()]);
     protocol::write_frame(
         &mut sock,
-        &Frame::Subscribe { stream: 1, artifact: "nope".into(), count: 3, credit: 4 },
+        &Frame::Subscribe { stream: 1, artifact: "nope".into(), count: 3, credit: 4, from_seq: 0 },
         &token,
     )
     .unwrap();
@@ -355,7 +356,7 @@ fn unknown_artifact_errors_but_keeps_the_connection_usable() {
     // The same connection can still subscribe to a real artifact.
     protocol::write_frame(
         &mut sock,
-        &Frame::Subscribe { stream: 2, artifact: "demo".into(), count: 3, credit: 4 },
+        &Frame::Subscribe { stream: 2, artifact: "demo".into(), count: 3, credit: 4, from_seq: 0 },
         &token,
     )
     .unwrap();
@@ -391,7 +392,7 @@ fn duplicate_stream_id_is_a_protocol_violation() {
     for _ in 0..2 {
         protocol::write_frame(
             &mut sock,
-            &Frame::Subscribe { stream: 5, artifact: "demo".into(), count: 2, credit: 1 },
+            &Frame::Subscribe { stream: 5, artifact: "demo".into(), count: 2, credit: 1, from_seq: 0 },
             &token,
         )
         .unwrap();

@@ -1,0 +1,181 @@
+//! Crash-tolerant serving: `from_seq` resume must be bitwise identical
+//! to an uninterrupted stream, and a reconnecting client must survive a
+//! daemon that dies mid-stream and comes back on the same port — with
+//! the assembled output indistinguishable from a single clean pull.
+//!
+//! lint: io-boundary — raw protocol sockets drive resume scenarios.
+
+use doppelganger::GeneratedSample;
+use netshared::protocol::{self, Frame, PROTOCOL_VERSION};
+use netshared::{demo_bundle, pull, PullConfig, Server, ServerConfig};
+use orchestrator::CancelToken;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+fn guard_token() -> CancelToken {
+    let token = CancelToken::new();
+    let t = token.clone();
+    std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_secs(45));
+        t.cancel("test guard timeout");
+    });
+    token
+}
+
+fn bits(samples: &[GeneratedSample]) -> Vec<Vec<u32>> {
+    samples
+        .iter()
+        .map(|s| {
+            let mut row: Vec<u32> = s.meta.iter().map(|x| x.to_bits()).collect();
+            for r in &s.records {
+                row.extend(r.iter().map(|x| x.to_bits()));
+            }
+            row
+        })
+        .collect()
+}
+
+/// Subscribes over the raw protocol and drains the stream, returning the
+/// `(seq, samples)` frames received plus the EOF total.
+fn collect_frames(
+    addr: &str,
+    artifact: &str,
+    count: u64,
+    from_seq: u64,
+    token: &CancelToken,
+) -> (Vec<(u64, Vec<GeneratedSample>)>, u64) {
+    let mut sock = std::net::TcpStream::connect(addr).expect("connect");
+    protocol::configure(&sock).expect("configure");
+    protocol::write_frame(
+        &mut sock,
+        &Frame::Hello { version: PROTOCOL_VERSION, peer: "resume".into(), artifacts: vec![] },
+        token,
+    )
+    .unwrap();
+    match protocol::read_frame(&mut sock, token).expect("server hello") {
+        Frame::Hello { version, .. } => assert_eq!(version, PROTOCOL_VERSION),
+        other => panic!("expected HELLO, got {other:?}"),
+    }
+    protocol::write_frame(
+        &mut sock,
+        &Frame::Subscribe { stream: 1, artifact: artifact.into(), count, credit: 8, from_seq },
+        token,
+    )
+    .unwrap();
+    let mut frames = Vec::new();
+    loop {
+        match protocol::read_frame(&mut sock, token).expect("frame") {
+            Frame::Data { stream, seq, samples } => {
+                assert_eq!(stream, 1);
+                frames.push((seq, samples));
+                protocol::write_frame(&mut sock, &Frame::Credit { stream: 1, frames: 1 }, token)
+                    .unwrap();
+            }
+            Frame::Eof { stream, total } => {
+                assert_eq!(stream, 1);
+                return (frames, total);
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn from_seq_resume_is_bitwise_identical_to_the_uninterrupted_stream() {
+    let server = Server::start(
+        ServerConfig { drain: Duration::from_millis(200), ..ServerConfig::default() },
+        vec![demo_bundle("demo", 7)],
+    )
+    .expect("server start");
+    let addr = server.local_addr().to_string();
+    let token = guard_token();
+
+    let (full, full_total) = collect_frames(&addr, "demo", 60, 0, &token);
+    assert_eq!(full_total, 60);
+    assert!(full.len() >= 2, "need at least two frames to resume between");
+
+    // Resume from every frame boundary: the suffix must be the same
+    // frames, same seqs, same bits — and EOF still reports the full
+    // stream total so a client can validate completeness.
+    for mid in [1, full.len() / 2, full.len() - 1] {
+        let (resumed, total) = collect_frames(&addr, "demo", 60, mid as u64, &token);
+        assert_eq!(total, full_total, "EOF total is the stream total, not the suffix");
+        assert_eq!(resumed.len(), full.len() - mid, "resume at frame {mid}");
+        for ((seq_a, samples_a), (seq_b, samples_b)) in resumed.iter().zip(&full[mid..]) {
+            assert_eq!(seq_a, seq_b);
+            assert_eq!(bits(samples_a), bits(samples_b), "frame {seq_a} diverged");
+        }
+    }
+
+    // Resuming past the end of the stream yields EOF alone.
+    let (empty, total) = collect_frames(&addr, "demo", 60, 10_000, &token);
+    assert!(empty.is_empty(), "no frames past the end");
+    assert_eq!(total, 60);
+    server.shutdown();
+}
+
+#[test]
+fn reconnecting_pull_survives_a_daemon_restart_mid_stream() {
+    const COUNT: u64 = 20_000;
+    // A small buffer cap forces many small DATA frames, so the kill
+    // below is guaranteed to land with most of the stream unsent.
+    let server = Server::start(
+        ServerConfig { drain: Duration::ZERO, capacity_bytes: 2048, ..ServerConfig::default() },
+        vec![demo_bundle("demo", 7)],
+    )
+    .expect("server start");
+    let addr = server.local_addr().to_string();
+
+    let puller = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let token = guard_token();
+            let mut cfg = PullConfig::new(&addr, "demo", COUNT);
+            cfg.credit = 2; // many round trips: the kill lands mid-stream
+            cfg.retries = 40;
+            cfg.backoff = Duration::from_millis(20);
+            pull(&cfg, &token)
+        })
+    };
+
+    // Wait until the stream is demonstrably live, then die without
+    // draining — an abrupt daemon crash from the client's side.
+    let stats = server.stats();
+    let mut ticks = 0;
+    while stats.frames_sent.load(Ordering::Relaxed) < 2 && ticks < 1000 {
+        std::thread::sleep(Duration::from_millis(5));
+        ticks += 1;
+    }
+    assert!(stats.frames_sent.load(Ordering::Relaxed) >= 2, "stream never started");
+    server.shutdown();
+
+    // Restart on the SAME address (std listeners set SO_REUSEADDR, so
+    // TIME_WAIT does not block the rebind). The client's retry budget
+    // absorbs the refused connects in between.
+    let revived = Server::start(
+        ServerConfig {
+            addr: addr.clone(),
+            drain: Duration::from_millis(200),
+            capacity_bytes: 2048,
+            ..ServerConfig::default()
+        },
+        vec![demo_bundle("demo", 7)],
+    )
+    .expect("server restart");
+
+    let result = puller.join().expect("client thread").expect("reconnecting pull");
+    assert_eq!(result.samples.len() as u64, COUNT);
+    assert_eq!(result.eof_total, COUNT);
+    assert!(result.reconnects >= 1, "the kill should have forced at least one reconnect");
+
+    // The spliced stream is bitwise identical to offline sampling: the
+    // restarted daemon regenerated the prefix and resumed exactly where
+    // the dead one stopped.
+    let mut offline = demo_bundle("demo", 7).rebuild().expect("rebuild");
+    assert_eq!(
+        bits(&result.samples),
+        bits(&offline.sample_fast(COUNT as usize)),
+        "resumed pull diverged from offline sampling"
+    );
+    revived.shutdown();
+}

@@ -121,7 +121,7 @@ fn one_connection_can_multiplex_interleaved_streams() {
     for (stream, artifact) in [(10u64, "a"), (20u64, "b")] {
         protocol::write_frame(
             &mut sock,
-            &Frame::Subscribe { stream, artifact: artifact.into(), count: 25, credit: 2 },
+            &Frame::Subscribe { stream, artifact: artifact.into(), count: 25, credit: 2, from_seq: 0 },
             &token,
         )
         .unwrap();
@@ -177,7 +177,7 @@ fn disconnect_mid_stream_frees_the_session() {
     protocol::read_frame(&mut sock, &token).expect("server hello");
     protocol::write_frame(
         &mut sock,
-        &Frame::Subscribe { stream: 1, artifact: "demo".into(), count: 1000, credit: 2 },
+        &Frame::Subscribe { stream: 1, artifact: "demo".into(), count: 1000, credit: 2, from_seq: 0 },
         &token,
     )
     .unwrap();

@@ -84,6 +84,12 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // Arm socket-fault injection from the environment a `coord` parent
+    // passed down; malformed specs are usage errors here too.
+    if let Err(e) = orchestrator::netfault::init_from_env() {
+        eprintln!("netshare_worker: {e}");
+        std::process::exit(2);
+    }
     let addr = match args.addr {
         Some(a) => a,
         // lint: allow(panic-in-bin) parse_args guarantees one of the two is set

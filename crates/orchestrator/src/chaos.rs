@@ -58,6 +58,11 @@ pub enum FaultClass {
     /// The worker *process* aborts before executing the attempt (multi-
     /// process runs only; simulates SIGKILL/OOM-kill of a worker box).
     KillWorker,
+    /// The *coordinator* process aborts while completing the matching
+    /// job — after the payload landed in the store and the journal, but
+    /// before the manifest records it (the worst-case crash window a
+    /// `--resume` journal replay must heal). Workers never fire this.
+    KillCoord,
 }
 
 impl FaultClass {
@@ -72,6 +77,7 @@ impl FaultClass {
             FaultClass::CorruptTruncate => "corrupt-truncate",
             FaultClass::CorruptTorn => "corrupt-torn",
             FaultClass::KillWorker => "kill-worker",
+            FaultClass::KillCoord => "kill-coord",
         }
     }
 
@@ -85,6 +91,7 @@ impl FaultClass {
             "corrupt-truncate" => FaultClass::CorruptTruncate,
             "corrupt-torn" => FaultClass::CorruptTorn,
             "kill-worker" => FaultClass::KillWorker,
+            "kill-coord" => FaultClass::KillCoord,
             _ => return None,
         })
     }
@@ -101,6 +108,13 @@ impl FaultClass {
     /// attempt fault nor a persist fault; only multi-process runs fire it).
     pub fn is_process_fault(self) -> bool {
         matches!(self, FaultClass::KillWorker)
+    }
+
+    /// Whether this class kills the coordinator process. Only the
+    /// coordinator's completion path consults it; a worker handed a
+    /// kill-coord entry treats it as inert.
+    pub fn is_coord_fault(self) -> bool {
+        matches!(self, FaultClass::KillCoord)
     }
 }
 
@@ -126,7 +140,7 @@ pub struct ChaosPlan {
 /// The grammar, as quoted by every parse error (and the CLI usage text).
 pub const CHAOS_GRAMMAR: &str = "expected `<job>:<count>`, `<job>:<class>[:<count>]`, or \
      `seed=<u64>` joined by `;` — classes: panic | transient | hang | \
-     slow-io | corrupt-flip | corrupt-truncate | corrupt-torn | kill-worker";
+     slow-io | corrupt-flip | corrupt-truncate | corrupt-torn | kill-worker | kill-coord";
 
 impl ChaosPlan {
     /// Parses a fault plan, rejecting malformed specs with an error that
@@ -195,8 +209,11 @@ impl ChaosPlan {
     /// are excluded: by persist time the attempt already executed, so a
     /// kill-worker entry reaching here would fire in the wrong phase.
     pub fn persist_fault(&self, job: &str, attempt: u32) -> Option<&ChaosEntry> {
-        self.entry(job, attempt)
-            .filter(|e| !e.class.is_attempt_fault() && !e.class.is_process_fault())
+        self.entry(job, attempt).filter(|e| {
+            !e.class.is_attempt_fault()
+                && !e.class.is_process_fault()
+                && !e.class.is_coord_fault()
+        })
     }
 
     /// The process-phase fault (kill-worker) to inject before executing
@@ -204,6 +221,15 @@ impl ChaosPlan {
     /// the in-process thread pool ignores process faults entirely.
     pub fn process_fault(&self, job: &str, attempt: u32) -> Option<&ChaosEntry> {
         self.entry(job, attempt).filter(|e| e.class.is_process_fault())
+    }
+
+    /// The coordinator-phase fault (kill-coord) to inject while
+    /// completing the given job. `attempt` counts completions the
+    /// coordinator has processed for the job (normally 0). Only
+    /// [`crate::coord`] consults this; workers and the in-process pool
+    /// ignore coordinator faults entirely.
+    pub fn coord_fault(&self, job: &str, attempt: u32) -> Option<&ChaosEntry> {
+        self.entry(job, attempt).filter(|e| e.class.is_coord_fault())
     }
 
     /// Deterministic corruption position source for `job`/`attempt`.
@@ -298,6 +324,21 @@ mod tests {
         assert!(plan.process_fault("chunk-2", 0).is_none(), "other job");
         assert!(FaultClass::KillWorker.is_process_fault());
         assert!(!FaultClass::Panic.is_process_fault());
+    }
+
+    #[test]
+    fn kill_coord_is_a_coordinator_fault_and_fires_in_no_other_phase() {
+        let plan = ChaosPlan::parse("chunk-1:kill-coord").unwrap();
+        let e = plan.coord_fault("chunk-1", 0).unwrap();
+        assert_eq!(e.class, FaultClass::KillCoord);
+        assert!(plan.attempt_fault("chunk-1", 0).is_none());
+        assert!(plan.persist_fault("chunk-1", 0).is_none());
+        assert!(plan.process_fault("chunk-1", 0).is_none());
+        assert!(plan.coord_fault("chunk-1", 1).is_none(), "count exhausted");
+        assert!(plan.coord_fault("chunk-2", 0).is_none(), "other job");
+        assert!(FaultClass::KillCoord.is_coord_fault());
+        assert!(!FaultClass::KillWorker.is_coord_fault());
+        assert!(plan.process_fault("chunk-1", 0).is_none(), "workers treat it as inert");
     }
 
     #[test]

@@ -48,8 +48,10 @@
 //! bounded by `max_retries`, exactly like thread-pool attempts.
 
 use crate::cancel::CancelToken;
+use crate::chaos::ChaosPlan;
 use crate::dag::{JobInputs, JobSpec, Plan};
 use crate::events::{Event, EventLog};
+use crate::journal::{Journal, JournalRecord};
 use crate::manifest::{fnv1a64, quarantine, Manifest, ManifestEntry};
 use crate::pool::{JobStats, OrchestratorError};
 use crate::store::{FsStore, ObjectStore};
@@ -453,6 +455,63 @@ fn serve_impl(
         // content-addressed, so only a digest match can resurrect one
         // (cross-run dedup) and `netshare_cli gc` sweeps the rest.
     }
+
+    // ---- journal recovery (the WAL heals what the manifest missed) ---
+    // A coordinator killed after journalling a `Completed` but before
+    // the manifest recorded it stranded verified work; replay finds
+    // those digests, re-verifies them through the store, and repairs
+    // the manifest. See [`crate::journal`].
+    if !opts.resume {
+        Journal::reset(dir).map_err(|e| OrchestratorError::Io {
+            path: dir.join(crate::journal::JOURNAL_FILE),
+            message: e.to_string(),
+        })?;
+    }
+    let journal = Journal::open(dir).map_err(|e| OrchestratorError::Io {
+        path: dir.join(crate::journal::JOURNAL_FILE),
+        message: e.to_string(),
+    })?;
+    let mut healed: Vec<Event> = Vec::new();
+    if opts.resume {
+        for record in Journal::replay(dir, &opts.run_key) {
+            let JournalRecord::Completed { job, digest } = record else { continue };
+            let Some(&i) = index.get(job.as_str()) else { continue };
+            if done.contains_key(&i) {
+                continue;
+            }
+            // Same trust boundary as every recovery: bytes must hash
+            // back to the journalled address and decode as UTF-8.
+            let Ok(bytes) = store.get(digest) else { continue };
+            let Ok(text) = String::from_utf8(bytes) else { continue };
+            let generation = manifest.next_generation(&job);
+            manifest.record(ManifestEntry {
+                id: job.clone(),
+                generation,
+                file: Manifest::object_file(digest),
+                digest,
+                attempts: 1,
+                wall_seconds: 0.0,
+                cpu_seconds: 0.0,
+            });
+            stats[i] = Some(JobStats {
+                attempts: 1,
+                wall_seconds: 0.0,
+                cpu_seconds: 0.0,
+                skipped: true,
+            });
+            done.insert(i, digest);
+            payloads.insert(i, text);
+            telemetry::metrics::counter("coord.journal_recoveries").inc();
+            healed.push(Event::JournalRecovered { job, digest });
+        }
+    }
+    journal
+        .append(&JournalRecord::Started { run_key: opts.run_key.clone() })
+        .map_err(|e| OrchestratorError::Io {
+            path: dir.join(crate::journal::JOURNAL_FILE),
+            message: e.to_string(),
+        })?;
+
     manifest.store(dir).map_err(|e| OrchestratorError::Io {
         path: Manifest::path(dir),
         message: e.to_string(),
@@ -470,6 +529,9 @@ fn serve_impl(
         if done.contains_key(&i) {
             events.emit(Event::JobSkipped { job: job.id.clone() });
         }
+    }
+    for ev in healed {
+        events.emit(ev);
     }
 
     let mut remaining = vec![0usize; n];
@@ -509,6 +571,13 @@ fn serve_impl(
         message: format!("set_nonblocking: {e}"),
     })?;
 
+    // `kill-coord` chaos fires coordinator-side in `handle_complete`;
+    // every other class is interpreted worker-side (the spec travels in
+    // `CoordHello`). The CLI validated the spec, so a parse failure here
+    // just disables coordinator-side faults.
+    let chaos: Option<ChaosPlan> =
+        opts.fault_spec.as_deref().and_then(|s| ChaosPlan::parse(s).ok());
+
     let ctx = SessionCtx {
         plan,
         opts,
@@ -519,6 +588,8 @@ fn serve_impl(
         watchdog: &watchdog,
         store: &store,
         store_dir: &store_dir,
+        journal: &journal,
+        chaos: chaos.as_ref(),
     };
 
     std::thread::scope(|s| {
@@ -623,6 +694,8 @@ struct SessionCtx<'a> {
     watchdog: &'a Watchdog,
     store: &'a FsStore,
     store_dir: &'a str,
+    journal: &'a Journal,
+    chaos: Option<&'a ChaosPlan>,
 }
 
 impl Copy for SessionCtx<'_> {}
@@ -636,6 +709,20 @@ impl Clone for SessionCtx<'_> {
 fn lock_state(shared: &CoordShared) -> std::sync::MutexGuard<'_, CoordState> {
     // lint: allow(panic-in-lib) poisoned scheduler lock is unrecoverable
     shared.state.lock().expect("coordinator state") // lint: lock-order(orchestrator.coord_state)
+}
+
+/// Emits scheduler events, journalling every retried attempt first so
+/// `--resume` replay sees the abandonment even if the event sink is a
+/// buffer that dies with the process.
+fn publish(ctx: &SessionCtx<'_>, events: Vec<Event>) {
+    for ev in events {
+        if let Event::JobRetried { job, error, .. } = &ev {
+            let _ = ctx
+                .journal
+                .append(&JournalRecord::Requeued { job: job.clone(), error: error.clone() });
+        }
+        ctx.events.emit(ev);
+    }
 }
 
 /// Requeues job `idx` (or fails the run when its attempts are spent).
@@ -699,9 +786,7 @@ fn sweep_tripped(ctx: &SessionCtx<'_>) {
             out.extend(requeue_locked(&mut st, ctx.plan, ctx.opts, i, &error, ctx.shared));
         }
     }
-    for ev in out {
-        ctx.events.emit(ev);
-    }
+    publish(ctx, out);
 }
 
 /// One worker connection: handshake, then claim/heartbeat/complete until
@@ -793,9 +878,7 @@ fn session(mut sock: TcpStream, ctx: &SessionCtx<'_>) {
                         out = requeue_locked(&mut st, ctx.plan, ctx.opts, i, &error, ctx.shared);
                     }
                 }
-                for ev in out {
-                    ctx.events.emit(ev);
-                }
+                publish(ctx, out);
             }
             other => {
                 let _ = send_ctrl(
@@ -834,9 +917,7 @@ fn session(mut sock: TcpStream, ctx: &SessionCtx<'_>) {
         telemetry::metrics::counter("coord.workers_lost").inc();
         ctx.events.emit(Event::WorkerLost { worker: worker.clone(), requeued: lost_jobs });
     }
-    for ev in out {
-        ctx.events.emit(ev);
-    }
+    publish(ctx, out);
     drop(guards);
 }
 
@@ -890,6 +971,11 @@ fn next_assignment<'w>(
         }
     };
     if let Some((job, attempt)) = started {
+        let _ = ctx.journal.append(&JournalRecord::Assigned {
+            job: job.clone(),
+            attempt,
+            worker: worker.to_string(),
+        });
         ctx.events.emit(Event::JobStarted { job, attempt });
     }
     frame
@@ -928,6 +1014,24 @@ fn handle_complete(
                 return;
             }
             let attempts = st.attempts[i].max(1);
+            // WAL ordering: the completion is durable (journal line +
+            // content store) *before* the manifest generation exists,
+            // so a coordinator killed in between is healed by replay.
+            // An append failure degrades to manifest-only durability —
+            // the run itself stays correct.
+            let _ = ctx
+                .journal
+                .append(&JournalRecord::Completed { job: job.clone(), digest });
+            if let Some(plan) = ctx.chaos {
+                if plan.coord_fault(job, attempts - 1).is_some() {
+                    // `kill-coord`: die inside the journal→manifest
+                    // window — the exact crash `--resume` must heal.
+                    eprintln!(
+                        "coordinator: injected kill-coord while completing `{job}`"
+                    );
+                    std::process::abort();
+                }
+            }
             // Record under the manifest lock while holding the state
             // lock: coord_state ranks above manifest, and publishing
             // before persisting would let a crash orphan the result.
@@ -1000,9 +1104,7 @@ fn handle_complete(
             out = requeue_locked(&mut st, ctx.plan, ctx.opts, i, &error, ctx.shared);
         }
     }
-    for ev in out {
-        ctx.events.emit(ev);
-    }
+    publish(ctx, out);
 }
 
 /// The run directory a store is rooted in (its `objects/` parent).

@@ -179,6 +179,16 @@ pub enum Event {
         /// Job ids pulled back into the ready queue.
         requeued: Vec<String>,
     },
+    /// A completion the manifest missed was healed from the write-ahead
+    /// journal on resume: the journal recorded the digest, the store
+    /// re-verified the payload, and the manifest was repaired (a
+    /// coordinator crashed in the journal→manifest window).
+    JournalRecovered {
+        /// Job id.
+        job: String,
+        /// Content address of the store-verified payload.
+        digest: u64,
+    },
     /// The run finished (all jobs completed or verified).
     RunFinished {
         /// Wall-clock seconds of the whole run.
@@ -349,6 +359,7 @@ mod tests {
                 worker: "w0".into(),
                 requeued: vec!["chunk-1".into(), "chunk-2".into()],
             },
+            Event::JournalRecovered { job: "chunk-1".into(), digest: 0xfeed_u64 << 40 },
             Event::RunFinished {
                 wall_seconds: 1.0,
                 cpu_seconds: 2.0,

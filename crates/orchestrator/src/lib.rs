@@ -51,12 +51,15 @@
 
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod cancel;
 pub mod chaos;
 pub mod coord;
 pub mod dag;
 pub mod events;
+pub mod journal;
 pub mod manifest;
+pub mod netfault;
 pub mod pool;
 pub mod store;
 pub mod timing;
@@ -64,13 +67,16 @@ pub mod watchdog;
 pub mod wire;
 pub mod worker;
 
+pub use backoff::Backoff;
 pub use cancel::CancelToken;
 pub use chaos::{ChaosEntry, ChaosPlan, FaultClass, CHAOS_GRAMMAR};
+pub use netfault::{NetFaultClass, NetFaultPlan, NETFAULT_GRAMMAR};
 pub use coord::{
     sim_plan, CoordOptions, CoordReport, Coordinator, CtrlFrame, DistJob, DistPlan, COORD_VERSION,
 };
 pub use dag::{JobInputs, JobSpec, Plan};
 pub use events::{Event, EventLog};
+pub use journal::{Journal, JournalRecord};
 pub use manifest::{atomic_write, fnv1a64, quarantine, Manifest, ManifestEntry};
 pub use pool::{run, JobStats, OrchestratorError, RunOptions, RunReport};
 pub use store::{FsStore, GcReport, ObjectStore, PutOutcome};

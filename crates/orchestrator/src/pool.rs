@@ -627,6 +627,7 @@ where
                         FaultClass::Hang => {
                             // Block until the watchdog (or run failure)
                             // cancels this attempt.
+                            // lint: allow(unbounded-wait) deliberate injected hang, released by the watchdog or run cancel
                             while !inputs.cancel.wait_timeout(Duration::from_millis(50)) {
                                 if run_cancel.is_cancelled() {
                                     break;

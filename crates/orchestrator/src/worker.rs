@@ -23,10 +23,22 @@
 //! digest verification must catch them), and the process fault
 //! (`kill-worker` → [`std::process::abort`], no cleanup, simulating
 //! SIGKILL/OOM-kill of a worker box).
+//!
+//! A dropped control channel is not fatal: the worker re-dials and
+//! re-handshakes up to [`WorkerOptions::reconnects`] times under seeded
+//! exponential [`Backoff`], so it survives a coordinator that crashes
+//! and is restarted with `--resume`. Reconnecting is safe because the
+//! coordinator requeues a disconnected worker's assignments, executors
+//! are deterministic, and the store dedups identical payloads — a
+//! re-run attempt converges on the same digest. Protocol-level faults
+//! (version skew, `run-failed`, malformed frames) stay fatal: retrying
+//! cannot fix them.
 
+use crate::backoff::Backoff;
 use crate::cancel::CancelToken;
 use crate::chaos::{corrupt_file, write_torn, ChaosPlan, FaultClass};
-use crate::coord::{read_ctrl, send_ctrl, CtrlFrame, COORD_VERSION};
+use crate::coord::{read_ctrl, send_ctrl, CtrlError, CtrlFrame, COORD_VERSION};
+use crate::manifest::fnv1a64;
 use crate::store::{FsStore, ObjectStore};
 use crate::timing::{measure, Heartbeat};
 use crate::wire;
@@ -153,6 +165,13 @@ pub struct WorkerOptions {
     /// How long to keep retrying the initial connect (the coordinator
     /// may bind after the worker launches).
     pub connect_timeout: Duration,
+    /// How many times a dropped control channel is re-dialed before the
+    /// worker gives up. Completing a job refills the budget, so a
+    /// long-lived worker is not starved by unrelated earlier drops.
+    pub reconnects: u32,
+    /// Base delay of the reconnect backoff (doubles per consecutive
+    /// failure, seeded jitter, capped at 16x the base).
+    pub reconnect_backoff: Duration,
 }
 
 impl Default for WorkerOptions {
@@ -160,6 +179,8 @@ impl Default for WorkerOptions {
         WorkerOptions {
             worker_id: format!("worker-{}", std::process::id()),
             connect_timeout: Duration::from_secs(10),
+            reconnects: 3,
+            reconnect_backoff: Duration::from_millis(100),
         }
     }
 }
@@ -174,55 +195,127 @@ pub struct WorkerReport {
     pub failed: u64,
 }
 
+/// Why one control-channel session ended early.
+enum SessionError {
+    /// The socket died (coordinator crash, reset, torn frame) — a fresh
+    /// dial may land on a restarted coordinator.
+    Transport(String),
+    /// Version skew, run failure, or a protocol violation — retrying
+    /// cannot change the outcome.
+    Fatal(String),
+}
+
 /// Dials the coordinator at `addr` and runs the claim loop until the run
 /// drains (`Ok`), the run fails or the protocol breaks (`Err`), or
-/// `token` fires (`Ok` with whatever was done so far).
+/// `token` fires (`Ok` with whatever was done so far). A dropped control
+/// channel is re-dialed up to `opts.reconnects` times with seeded
+/// exponential backoff; completing a job refills the budget.
 pub fn run_worker(
     addr: &str,
     opts: &WorkerOptions,
     registry: &ExecutorRegistry,
     token: &CancelToken,
 ) -> Result<WorkerReport, String> {
-    let mut sock = connect_with_retry(addr, opts.connect_timeout, token)?;
-    wire::configure(&sock).map_err(|e| e.to_string())?;
+    let mut report = WorkerReport { completed: 0, failed: 0 };
+    let mut budget = opts.reconnects;
+    let cap = opts.reconnect_backoff.saturating_mul(16);
+    let mut backoff =
+        Backoff::new(opts.reconnect_backoff, cap, fnv1a64(opts.worker_id.as_bytes()));
+    // The first dial tolerates a coordinator that has not bound yet;
+    // re-dials keep the window short so an orphaned worker (coordinator
+    // gone for good) drains its budget in seconds, not minutes.
+    let mut connect_window = opts.connect_timeout;
+    loop {
+        let before = report.completed;
+        match run_session(addr, connect_window, opts, registry, token, &mut report) {
+            Ok(()) => return Ok(report),
+            Err(SessionError::Fatal(e)) => return Err(e),
+            Err(SessionError::Transport(e)) => {
+                if token.is_cancelled() {
+                    return Ok(report);
+                }
+                if report.completed > before {
+                    budget = opts.reconnects;
+                    backoff.reset();
+                }
+                if budget == 0 {
+                    return Err(format!(
+                        "control channel lost and reconnects exhausted: {e}"
+                    ));
+                }
+                budget -= 1;
+                telemetry::metrics::counter("worker.reconnects").inc();
+                eprintln!(
+                    "worker[{}]: control channel lost ({e}); reconnecting ({budget} left)",
+                    opts.worker_id
+                );
+                if backoff.sleep(token) {
+                    return Ok(report);
+                }
+                connect_window = opts.connect_timeout.min(Duration::from_secs(2));
+            }
+        }
+    }
+}
+
+/// One control-channel session: dial, handshake, claim until drained.
+/// Clean exits (drained, cancelled) are `Ok`; everything else is
+/// classified for the reconnect loop above.
+fn run_session(
+    addr: &str,
+    connect_window: Duration,
+    opts: &WorkerOptions,
+    registry: &ExecutorRegistry,
+    token: &CancelToken,
+    report: &mut WorkerReport,
+) -> Result<(), SessionError> {
+    let mut sock =
+        connect_with_retry(addr, connect_window, token).map_err(SessionError::Transport)?;
+    wire::configure(&sock).map_err(|e| SessionError::Transport(e.to_string()))?;
     send_ctrl(
         &mut sock,
         &CtrlFrame::WorkerHello { version: COORD_VERSION, worker: opts.worker_id.clone() },
         token,
-    )?;
-    let (store_dir, chaos) = match read_ctrl(&mut sock, token).map_err(|e| e.to_string())? {
+    )
+    .map_err(SessionError::Transport)?;
+    let (store_dir, chaos) = match read_session_ctrl(&mut sock, token)? {
         CtrlFrame::CoordHello { version, store_dir, fault_spec, .. } => {
             if version != COORD_VERSION {
-                return Err(format!(
+                return Err(SessionError::Fatal(format!(
                     "coordinator speaks v{version}, worker v{COORD_VERSION}"
-                ));
+                )));
             }
             let chaos = match fault_spec {
-                Some(spec) => Some(ChaosPlan::parse(&spec)?),
+                Some(spec) => Some(ChaosPlan::parse(&spec).map_err(SessionError::Fatal)?),
                 None => None,
             };
             (store_dir, chaos)
         }
-        CtrlFrame::Error { code, message } => return Err(format!("{code}: {message}")),
-        other => return Err(format!("expected CoordHello, got {other:?}")),
+        CtrlFrame::Error { code, message } => {
+            return Err(SessionError::Fatal(format!("{code}: {message}")));
+        }
+        other => {
+            return Err(SessionError::Fatal(format!("expected CoordHello, got {other:?}")));
+        }
     };
     let store = FsStore::open(Path::new(&store_dir))
-        .map_err(|e| format!("open store at {store_dir}: {e}"))?;
+        .map_err(|e| SessionError::Fatal(format!("open store at {store_dir}: {e}")))?;
 
-    let mut report = WorkerReport { completed: 0, failed: 0 };
     loop {
         if token.is_cancelled() {
-            return Ok(report);
+            return Ok(());
         }
-        send_ctrl(&mut sock, &CtrlFrame::Claim, token)?;
-        match read_ctrl(&mut sock, token).map_err(|e| e.to_string())? {
+        send_ctrl(&mut sock, &CtrlFrame::Claim, token).map_err(SessionError::Transport)?;
+        match read_session_ctrl(&mut sock, token)? {
             CtrlFrame::Wait { poll_ms } => {
                 if token.wait_timeout(Duration::from_millis(poll_ms)) {
-                    return Ok(report);
+                    return Ok(());
                 }
             }
-            CtrlFrame::Drained => return Ok(report),
-            CtrlFrame::Error { code, message } => return Err(format!("{code}: {message}")),
+            CtrlFrame::Drained => return Ok(()),
+            CtrlFrame::Error { code, message } => {
+                return Err(SessionError::Fatal(format!("{code}: {message}")));
+            }
             CtrlFrame::Assign { job, attempt, spec, deps } => {
                 telemetry::metrics::counter("worker.claims").inc();
                 execute_assignment(
@@ -235,22 +328,43 @@ pub fn run_worker(
                     &spec,
                     &deps,
                     token,
-                    &mut report,
-                )?;
+                    report,
+                )
+                .map_err(SessionError::Transport)?;
             }
-            other => return Err(format!("unexpected frame {other:?}")),
+            other => {
+                return Err(SessionError::Fatal(format!("unexpected frame {other:?}")));
+            }
         }
     }
 }
 
+/// Reads one frame, classifying the failure: byte-layer faults are
+/// transport (reconnectable), undecodable payloads are protocol-fatal.
+fn read_session_ctrl(
+    sock: &mut TcpStream,
+    token: &CancelToken,
+) -> Result<CtrlFrame, SessionError> {
+    read_ctrl(sock, token).map_err(|e| match e {
+        CtrlError::Wire(w) => SessionError::Transport(w.to_string()),
+        CtrlError::Malformed(m) => {
+            SessionError::Fatal(format!("malformed control frame: {m}"))
+        }
+    })
+}
+
 /// Retries `connect` until it lands, `deadline` passes, or `token` fires
 /// (the coordinator may not have bound yet when the worker launches).
+/// Dial attempts back off exponentially with seeded jitter so a fleet of
+/// workers launched together does not thundering-herd the listener.
 fn connect_with_retry(
     addr: &str,
     deadline: Duration,
     token: &CancelToken,
 ) -> Result<TcpStream, String> {
     let clock = crate::timing::Stopwatch::start();
+    let mut backoff =
+        Backoff::new(Duration::from_millis(25), Duration::from_millis(250), fnv1a64(addr.as_bytes()));
     loop {
         match TcpStream::connect(addr) {
             Ok(s) => return Ok(s),
@@ -258,7 +372,7 @@ fn connect_with_retry(
                 if clock.elapsed_seconds() >= deadline.as_secs_f64() {
                     return Err(format!("connect {addr}: {e}"));
                 }
-                if token.wait_timeout(Duration::from_millis(100)) {
+                if backoff.sleep(token) {
                     return Err("cancelled before connecting".to_string());
                 }
             }
@@ -300,6 +414,7 @@ fn execute_assignment(
                     // A real hang wedges this worker; the coordinator's
                     // heartbeat watchdog requeues the job elsewhere. Block
                     // until process shutdown, then report.
+                    // lint: allow(unbounded-wait) deliberate injected hang, released by process shutdown
                     while !token.wait_timeout(Duration::from_millis(50)) {}
                     "injected hang (released by shutdown)".to_string()
                 }

@@ -5,7 +5,10 @@
 
 use orchestrator::coord::{CoordOptions, Coordinator, DistJob, DistPlan};
 use orchestrator::worker::{run_worker, ExecutorRegistry, WorkerOptions};
-use orchestrator::{sim_plan, CancelToken, Event, EventLog, FsStore, Manifest, ObjectStore};
+use orchestrator::{
+    sim_plan, CancelToken, Event, EventLog, FsStore, Journal, JournalRecord, Manifest,
+    ObjectStore,
+};
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
@@ -35,6 +38,7 @@ fn run_coordinated(
                     let wopts = WorkerOptions {
                         worker_id: format!("w{w}"),
                         connect_timeout: Duration::from_secs(5),
+                        ..WorkerOptions::default()
                     };
                     run_worker(&addr, &wopts, &ExecutorRegistry::builtin(), &CancelToken::new())
                 })
@@ -234,7 +238,11 @@ fn version_mismatch_is_rejected_at_the_handshake() {
             "{reply:?}"
         );
         // A conforming worker then drains the run so serve() returns.
-        let wopts = WorkerOptions { worker_id: "ok".into(), connect_timeout: Duration::from_secs(5) };
+        let wopts = WorkerOptions {
+            worker_id: "ok".into(),
+            connect_timeout: Duration::from_secs(5),
+            ..WorkerOptions::default()
+        };
         run_worker(&addr.to_string(), &wopts, &ExecutorRegistry::builtin(), &token).unwrap()
     });
     let report = coord
@@ -260,4 +268,64 @@ fn dist_plan_spec_validation_matches_the_closure_path() {
         job("chunk-2", &["pretrain"]),
     ])
     .is_ok());
+}
+
+#[test]
+fn journal_replay_heals_a_completion_the_manifest_missed() {
+    let dir = tmp_dir("journal-heal");
+    let plan = sim_plan(2, 64, 11);
+    let opts = CoordOptions { run_key: "sim".into(), ..Default::default() };
+    let first = run_coordinated(&dir, &plan, &opts, 2, &EventLog::new()).unwrap();
+
+    // Simulate a coordinator killed inside the journal→manifest window:
+    // the store object and the journal's `Completed` line survived, but
+    // the manifest entry for one job was never written.
+    let mut manifest = Manifest::load(&dir).unwrap();
+    manifest.jobs.retain(|e| e.id != "chunk-1");
+    manifest.store(&dir).unwrap();
+
+    let opts = CoordOptions { run_key: "sim".into(), resume: true, ..Default::default() };
+    let events = EventLog::new();
+    let second = run_coordinated(&dir, &plan, &opts, 1, &events).unwrap();
+    assert_eq!(second.digests, first.digests, "healed run is bitwise identical");
+    assert_eq!(second.skipped, 3, "manifest recovery plus journal healing skip everything");
+    assert!(
+        events.events().iter().any(|e| matches!(
+            e,
+            Event::JournalRecovered { job, digest }
+                if job == "chunk-1" && *digest == first.digests["chunk-1"]
+        )),
+        "healing is announced"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_fresh_run_resets_the_journal_and_records_the_schedule() {
+    let dir = tmp_dir("journal-fresh");
+    let plan = sim_plan(1, 32, 5);
+    let opts = CoordOptions { run_key: "a".into(), ..Default::default() };
+    run_coordinated(&dir, &plan, &opts, 1, &EventLog::new()).unwrap();
+    let records = Journal::replay(&dir, "a");
+    for job in ["pretrain", "chunk-1"] {
+        assert!(
+            records.iter().any(
+                |r| matches!(r, JournalRecord::Assigned { job: j, .. } if j == job)
+            ),
+            "{job} assigned"
+        );
+        assert!(
+            records.iter().any(
+                |r| matches!(r, JournalRecord::Completed { job: j, .. } if j == job)
+            ),
+            "{job} completed"
+        );
+    }
+
+    // A later non-resume run (any key) truncates the history.
+    let opts = CoordOptions { run_key: "b".into(), ..Default::default() };
+    run_coordinated(&dir, &plan, &opts, 1, &EventLog::new()).unwrap();
+    assert!(Journal::replay(&dir, "a").is_empty(), "fresh runs reset the journal");
+    assert!(!Journal::replay(&dir, "b").is_empty());
+    std::fs::remove_dir_all(&dir).ok();
 }

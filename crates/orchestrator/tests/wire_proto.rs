@@ -1,0 +1,178 @@
+//! Hostile-input property tests for the byte-layer wire grammar and the
+//! coordinator control protocol.
+//!
+//! The wire layer fronts every socket in the workspace (`coord`/`worker`
+//! control channel and, by delegation, the `netshared` serving
+//! protocol), so its decoder meets attacker-shaped bytes: junk prefixes,
+//! truncated frames, absurd length declarations, payloads that are not
+//! JSON, JSON that is not a control frame. None of that may panic,
+//! allocate the declared (rather than the received) size, or surface as
+//! anything but a typed error.
+
+use orchestrator::coord::{read_ctrl, send_ctrl, CtrlError, CtrlFrame, COORD_VERSION};
+use orchestrator::wire::{self, WireError};
+use orchestrator::CancelToken;
+use proptest::prelude::*;
+use std::io::Write;
+use std::net::{Shutdown, TcpListener, TcpStream};
+
+const MAX: usize = 4096;
+
+/// A connected loopback pair, both ends configured for interruptible I/O.
+fn pair() -> (TcpStream, TcpStream) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let client = TcpStream::connect(addr).unwrap();
+    let (server, _) = listener.accept().unwrap();
+    wire::configure(&client).unwrap();
+    wire::configure(&server).unwrap();
+    (client, server)
+}
+
+/// Writes raw bytes and half-closes so the reader sees EOF, not a stall.
+/// The sender is returned alongside so it outlives the read.
+fn send_raw(bytes: &[u8]) -> (TcpStream, TcpStream) {
+    let (mut client, server) = pair();
+    client.write_all(bytes).unwrap();
+    client.shutdown(Shutdown::Write).unwrap();
+    (server, client)
+}
+
+/// Strings the shim can generate cheaply, including JSON metacharacters.
+fn arb_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u8>(), 0..24).prop_map(|bytes| {
+        bytes
+            .into_iter()
+            .map(|b| char::from_u32(0x20 + (b as u32 % 0x5f)).unwrap_or('?'))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn junk_byte_streams_never_panic_the_frame_reader(
+        bytes in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let (mut server, _client) = send_raw(&bytes);
+        let token = CancelToken::new();
+        match wire::read_frame_bytes(&mut server, &token, MAX) {
+            // Junk can spell a valid frame; the payload must then match
+            // the declared length, bounded by the ceiling.
+            Ok(payload) => {
+                prop_assert!(!payload.is_empty());
+                prop_assert!(payload.len() <= MAX);
+            }
+            Err(
+                WireError::Closed
+                | WireError::Truncated
+                | WireError::Oversized(_)
+                | WireError::Io(_),
+            ) => {}
+            Err(other) => {
+                return Err(TestCaseError::Fail(format!("unexpected error {other:?}")));
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_length_prefixes_report_the_close(
+        cut in 0usize..4,
+    ) {
+        // A peer that dies inside the 4-byte prefix: 0 bytes is a clean
+        // close between frames, 1–3 bytes is a truncation.
+        let (mut server, _client) = send_raw(&42u32.to_be_bytes()[..cut]);
+        let token = CancelToken::new();
+        let got = wire::read_frame_bytes(&mut server, &token, MAX);
+        if cut == 0 {
+            prop_assert_eq!(got, Err(WireError::Closed));
+        } else {
+            prop_assert_eq!(got, Err(WireError::Truncated));
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_report_the_close(
+        declared in 2u32..64,
+        short in 1u32..64,
+    ) {
+        // The prefix promises more bytes than ever arrive.
+        let have = (short % (declared - 1)) as usize;
+        let mut bytes = declared.to_be_bytes().to_vec();
+        bytes.extend(std::iter::repeat_n(0xAB, have));
+        let (mut server, _client) = send_raw(&bytes);
+        let token = CancelToken::new();
+        prop_assert_eq!(
+            wire::read_frame_bytes(&mut server, &token, MAX),
+            Err(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn oversized_declarations_are_rejected_without_allocating(
+        excess in 1u32..1_000_000,
+    ) {
+        // Only the 4 prefix bytes travel: if the reader tried to slurp
+        // the declared length it would block forever; rejecting on the
+        // prefix alone proves no allocation of attacker-chosen size.
+        let declared = MAX as u32 + excess;
+        let (mut server, _client) = send_raw(&declared.to_be_bytes());
+        let token = CancelToken::new();
+        prop_assert_eq!(
+            wire::read_frame_bytes(&mut server, &token, MAX),
+            Err(WireError::Oversized(declared as u64))
+        );
+    }
+
+    #[test]
+    fn non_json_control_payloads_are_malformed_not_fatal(
+        payload in prop::collection::vec(any::<u8>(), 1..48),
+    ) {
+        let framed = wire::frame(&payload, MAX).unwrap();
+        let (mut server, _client) = send_raw(&framed);
+        let token = CancelToken::new();
+        match read_ctrl(&mut server, &token) {
+            // Arbitrary bytes occasionally spell a real frame — fine.
+            Ok(_) => {}
+            Err(CtrlError::Malformed(_)) | Err(CtrlError::Wire(_)) => {}
+        }
+    }
+
+    #[test]
+    fn hostile_json_strings_cannot_break_framing(
+        worker in arb_string(),
+        job in arb_string(),
+        error in arb_string(),
+    ) {
+        // Round-trip frames whose string fields carry quotes, braces,
+        // and backslashes: the length prefix, not the content, delimits.
+        let (mut client, mut server) = pair();
+        let token = CancelToken::new();
+        for frame in [
+            CtrlFrame::WorkerHello { version: COORD_VERSION, worker: worker.clone() },
+            CtrlFrame::Fail { job: job.clone(), error: error.clone() },
+            CtrlFrame::Heartbeat { job: job.clone(), steps: u64::MAX },
+        ] {
+            if let Err(e) = send_ctrl(&mut client, &frame, &token) {
+                return Err(TestCaseError::Fail(format!("send failed: {e}")));
+            }
+            match read_ctrl(&mut server, &token) {
+                Ok(back) => prop_assert_eq!(back, frame),
+                Err(e) => {
+                    return Err(TestCaseError::Fail(format!("read failed: {e}")));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_length_prefix_is_oversized_not_a_spin() {
+    let (mut server, _client) = send_raw(&0u32.to_be_bytes());
+    let token = CancelToken::new();
+    assert_eq!(
+        wire::read_frame_bytes(&mut server, &token, MAX),
+        Err(WireError::Oversized(0))
+    );
+}

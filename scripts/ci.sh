@@ -10,6 +10,7 @@
 #   scripts/ci.sh chaos  # fault-matrix smoke through the CLI
 #   scripts/ci.sh serve  # netshared daemon + pull-client serving smoke
 #   scripts/ci.sh scale  # coordinator + worker processes + kill-worker + gc
+#   scripts/ci.sh serve-chaos  # netfault matrix + daemon kill -9 + kill-coord
 #
 # Run from anywhere; operates on the repo root.
 set -euo pipefail
@@ -233,6 +234,118 @@ if [[ "${1:-}" == "scale" ]]; then
   exit 0
 fi
 
+# Serving chaos: every socket-layer fault class through the real client,
+# a daemon SIGKILL'd mid-stream and restarted on the same port, and a
+# coordinator SIGKILL'd mid-completion then resumed from its journal.
+# Every recovery must be *bitwise* — same bytes as the undisturbed run —
+# and every process runs under an outer `timeout` so a wedged retry loop
+# fails the gate instead of hanging it.
+if [[ "${1:-}" == "serve-chaos" ]]; then
+  cargo build --release -p netshared -p netshare -p orchestrator
+  daemon=target/release/netshared
+  cli=target/release/netshare_cli
+  sx="$(mktemp -d)"
+  daemon_pid=""
+  trap 'rm -rf "$sx"; [[ -n "$daemon_pid" ]] && kill -9 "$daemon_pid" 2>/dev/null; true' EXIT
+
+  # --- netfault matrix -----------------------------------------------
+  # The client process arms the fault shim; the daemon stays healthy.
+  # Each class must leave the pulled bytes identical to the clean pull:
+  # write-path faults (torn-frame, reset) kill the session and force a
+  # reconnect, garbage-bytes corrupts a read into a retryable error, and
+  # stall merely delays. A retry budget absorbs them all.
+  # `sleep 300 |` holds stdin open (the daemon exits on stdin EOF, so the
+  # sleep doubles as a dead-man's switch); the daemon is last in the
+  # pipeline, so $! is its real PID and SIGKILL lands on it directly.
+  sleep 300 | "$daemon" --demo demo:7 \
+    --addr-file "$sx/addr" --capacity-bytes 4096 --drain-secs 1 &
+  daemon_pid=$!
+  for _ in $(seq 100); do [[ -s "$sx/addr" ]] && break; sleep 0.1; done
+  [[ -s "$sx/addr" ]] || { echo "serve-chaos: daemon never wrote --addr-file" >&2; exit 1; }
+  addr="$(cat "$sx/addr")"
+
+  timeout 60 "$cli" pull "$addr" demo --count 128 --credit 2 --out "$sx/clean.jsonl"
+  for class in torn-frame stall reset garbage-bytes; do
+    NETSHARE_INJECT_NETFAULT="$class:1;seed=11" timeout 120 "$cli" pull "$addr" demo \
+      --count 128 --credit 2 --retries 8 --backoff-ms 20 \
+      --out "$sx/$class.jsonl" 2> "$sx/$class.err"
+    cmp "$sx/clean.jsonl" "$sx/$class.jsonl"
+    if [[ "$class" != "stall" ]]; then
+      grep -Eq '[1-9][0-9]* reconnects' "$sx/$class.err" \
+        || { echo "serve-chaos[$class]: no reconnect recorded" >&2; exit 1; }
+    fi
+    echo "serve-chaos[$class]: recovered, output identical"
+  done
+
+  # Exhausted budget must be the *retryable* exit code (4), not a
+  # generic failure: the caller's retry-later loop keys off it.
+  rc=0
+  NETSHARE_INJECT_NETFAULT="reset:20;seed=3" timeout 120 "$cli" pull "$addr" demo \
+    --count 128 --retries 2 --backoff-ms 10 --out "$sx/exhausted.jsonl" \
+    2> "$sx/exhausted.err" || rc=$?
+  [[ "$rc" == 4 ]] || { echo "serve-chaos[exhausted]: expected exit 4, got $rc" >&2; exit 1; }
+  grep -q 'retries exhausted' "$sx/exhausted.err"
+  echo "serve-chaos[exhausted]: budget ran out with exit 4"
+
+  # --- daemon SIGKILL mid-stream -------------------------------------
+  # A large pull against a small frame cap keeps the stream alive for
+  # seconds; the daemon dies ungracefully underneath it and a fresh
+  # daemon takes over the same port. The client's resumable SUBSCRIBE
+  # (from_seq) must splice the two halves into exactly the bytes a
+  # one-daemon pull produces.
+  # 100k samples ≈ 2–3s of streaming in release builds, so the 0.5s kill
+  # below lands mid-stream with wide margins on both sides.
+  timeout 120 "$cli" pull "$addr" demo --count 100000 --credit 2 \
+    --out "$sx/whole.jsonl"
+  timeout 120 "$cli" pull "$addr" demo --count 100000 --credit 2 \
+    --retries 60 --backoff-ms 50 --out "$sx/spliced.jsonl" \
+    2> "$sx/spliced.err" &
+  pull_pid=$!
+  sleep 0.5
+  # No `wait` here: the daemon shares a pipeline job with its stdin
+  # keep-alive, and waiting on its PID would block on the sleep too.
+  # SIGKILL closes the listener synchronously; SO_REUSEADDR rebinds.
+  kill -9 "$daemon_pid" 2>/dev/null || true
+  sleep 300 | "$daemon" --demo demo:7 --addr "$addr" \
+    --capacity-bytes 4096 --drain-secs 1 &
+  daemon_pid=$!
+  wait "$pull_pid" || { echo "serve-chaos[kill-daemon]: spliced pull failed" >&2; exit 1; }
+  cmp "$sx/whole.jsonl" "$sx/spliced.jsonl"
+  grep -Eq '[1-9][0-9]* reconnects' "$sx/spliced.err" \
+    || { echo "serve-chaos[kill-daemon]: pull never reconnected" >&2; exit 1; }
+  kill -9 "$daemon_pid" 2>/dev/null || true
+  daemon_pid=""
+  echo "serve-chaos[kill-daemon]: stream spliced across the restart, bytes identical"
+
+  # --- coordinator SIGKILL + journal resume --------------------------
+  # kill-coord aborts the coordinator after the journal records a
+  # completion but before the manifest does — the worst-case torn state.
+  # --resume must heal that job from the journal + content store without
+  # re-executing it, finish the rest, and land bitwise on the baseline.
+  common=(--chunks 3 --steps 64 --seed 7 --workers-procs 2)
+  timeout 120 "$cli" coord "$sx/base" "${common[@]}" > "$sx/base.digests"
+
+  rc=0
+  NETSHARE_INJECT_FAULT="chunk-1:kill-coord:1" timeout 120 \
+    "$cli" coord "$sx/torn" "${common[@]}" > /dev/null 2> "$sx/torn.err" || rc=$?
+  [[ "$rc" != 0 ]] || { echo "serve-chaos[kill-coord]: coordinator survived its own kill" >&2; exit 1; }
+  grep -q 'injected kill-coord' "$sx/torn.err"
+  [[ -s "$sx/torn/journal.jsonl" ]] \
+    || { echo "serve-chaos[kill-coord]: no journal left behind" >&2; exit 1; }
+
+  timeout 120 "$cli" coord "$sx/torn" "${common[@]}" --resume \
+    > "$sx/torn.digests" 2> "$sx/resume.err"
+  cmp "$sx/base.digests" "$sx/torn.digests"
+  grep -q '"JournalRecovered"' "$sx/torn/events.jsonl"
+  # The healed store is the baseline store, object for object.
+  diff <(cd "$sx/base/objects" && sha256sum *.json | sort) \
+       <(cd "$sx/torn/objects" && sha256sum *.json | sort)
+  echo "serve-chaos[kill-coord]: journal healed the torn completion, artifacts identical"
+
+  echo "serve-chaos: netfault matrix, daemon restart, and coord resume all bitwise-clean"
+  exit 0
+fi
+
 # --workspace so member bins (netshare_cli, netshare-lint, bench_report)
 # are rebuilt too — the root package alone would leave them stale.
 cargo build --release --workspace
@@ -322,7 +435,9 @@ for metric in '"gemm.calls"' '"train.d_loss"' '"train.g_loss"' '"orchestrator.re
 done
 echo "orchestrator smoke: fault retried, output identical, telemetry snapshot complete"
 
-# Serving and scale-out smokes ride on the release binaries built above
-# (separate shells, so their EXIT traps don't clobber ours).
+# Serving, scale-out, and serving-chaos smokes ride on the release
+# binaries built above (separate shells, so their EXIT traps don't
+# clobber ours).
 "$0" serve
 "$0" scale
+"$0" serve-chaos

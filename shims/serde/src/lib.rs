@@ -131,6 +131,21 @@ pub fn __field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
     T::from_value(&entry.1).map_err(|e| Error::msg(format!("field `{name}`: {}", e.0)))
 }
 
+/// Derive-macro helper for `#[serde(default)]` fields: like [`__field`],
+/// but an *absent* field deserializes as `T::default()` (a present field
+/// must still decode — schema evolution tolerates omission, not garbage).
+pub fn __field_or_default<T: Deserialize + Default>(v: &Value, name: &str) -> Result<T, Error> {
+    let map = v
+        .as_map()
+        .ok_or_else(|| Error::msg(format!("expected map while reading field `{name}`")))?;
+    match map.iter().find(|(k, _)| k == name) {
+        Some(entry) => {
+            T::from_value(&entry.1).map_err(|e| Error::msg(format!("field `{name}`: {}", e.0)))
+        }
+        None => Ok(T::default()),
+    }
+}
+
 macro_rules! impl_int {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

@@ -5,8 +5,9 @@
 //! the value-tree `serde::Serialize`/`serde::Deserialize` traits defined by
 //! the sibling `serde` shim. Supported shapes are exactly what the
 //! workspace declares: named-field structs (optionally generic, with
-//! `#[serde(skip)]` fields restored via `Default`), and enums with unit,
-//! tuple, and struct variants using serde's externally-tagged encoding.
+//! `#[serde(skip)]` fields restored via `Default` and `#[serde(default)]`
+//! fields tolerated when absent), and enums with unit, tuple, and struct
+//! variants using serde's externally-tagged encoding.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -16,17 +17,20 @@ struct GenericParam {
     bounds: String,
 }
 
-/// A named struct field and whether `#[serde(skip)]` was present.
+/// A named field and the serde attributes it carried: `skip` (never on
+/// the wire, restored via `Default`) and `default` (serialized normally,
+/// but tolerated when absent on decode — the schema-evolution attribute).
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 /// Enum variant payload shapes.
 enum Payload {
     Unit,
     Tuple(usize),
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
 struct Variant {
@@ -81,19 +85,24 @@ fn ident_str(t: Option<&TokenTree>) -> Option<String> {
     }
 }
 
-/// Advances past `#[...]` attributes; returns true if any was `serde(skip)`.
-fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+/// Advances past `#[...]` attributes; returns the `(skip, default)`
+/// serde flags any of them carried.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> (bool, bool) {
     let mut saw_skip = false;
+    let mut saw_default = false;
     while is_punct(tokens.get(*i), '#') {
         if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
             let s = g.stream().to_string();
             if s.starts_with("serde") && s.contains("skip") {
                 saw_skip = true;
             }
+            if s.starts_with("serde") && s.contains("default") {
+                saw_default = true;
+            }
         }
         *i += 2;
     }
-    saw_skip
+    (saw_skip, saw_default)
 }
 
 /// Advances past `pub`, `pub(crate)`, `pub(in ...)`.
@@ -233,7 +242,7 @@ fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<Field>, String> {
     let mut fields = Vec::new();
     let mut i = 0usize;
     while i < tokens.len() {
-        let skip = skip_attrs(tokens, &mut i);
+        let (skip, default) = skip_attrs(tokens, &mut i);
         if i >= tokens.len() {
             break;
         }
@@ -245,7 +254,7 @@ fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<Field>, String> {
         }
         i += 1;
         skip_type(tokens, &mut i);
-        fields.push(Field { name, skip });
+        fields.push(Field { name, skip, default });
     }
     Ok(fields)
 }
@@ -269,12 +278,7 @@ fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
                 i += 1;
                 let inner: Vec<TokenTree> = g.stream().into_iter().collect();
-                Payload::Struct(
-                    parse_named_fields(&inner)?
-                        .into_iter()
-                        .map(|f| f.name)
-                        .collect(),
-                )
+                Payload::Struct(parse_named_fields(&inner)?)
             }
             _ => Payload::Unit,
         };
@@ -399,13 +403,15 @@ fn gen_serialize(input: &Input) -> String {
                         ));
                     }
                     Payload::Struct(fields) => {
-                        let pats = fields.join(", ");
+                        let pats =
+                            fields.iter().map(|f| f.name.as_str()).collect::<Vec<_>>().join(", ");
                         let pushes: Vec<String> = fields
                             .iter()
                             .map(|f| {
                                 format!(
-                                    "(::std::string::String::from({f:?}), \
-                                     ::serde::Serialize::to_value({f}))"
+                                    "(::std::string::String::from({:?}), \
+                                     ::serde::Serialize::to_value({}))",
+                                    f.name, f.name
                                 )
                             })
                             .collect();
@@ -442,6 +448,8 @@ fn gen_deserialize(input: &Input) -> String {
                 .map(|f| {
                     if f.skip {
                         format!("{}: ::std::default::Default::default()", f.name)
+                    } else if f.default {
+                        format!("{}: ::serde::__field_or_default(__v, {:?})?", f.name, f.name)
                     } else {
                         format!("{}: ::serde::__field(__v, {:?})?", f.name, f.name)
                     }
@@ -485,7 +493,18 @@ fn gen_deserialize(input: &Input) -> String {
                     Payload::Struct(fields) => {
                         let inits: Vec<String> = fields
                             .iter()
-                            .map(|f| format!("{f}: ::serde::__field(__payload, {f:?})?"))
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: ::std::default::Default::default()", f.name)
+                                } else if f.default {
+                                    format!(
+                                        "{}: ::serde::__field_or_default(__payload, {:?})?",
+                                        f.name, f.name
+                                    )
+                                } else {
+                                    format!("{}: ::serde::__field(__payload, {:?})?", f.name, f.name)
+                                }
+                            })
                             .collect();
                         payload_arms.push_str(&format!(
                             "{:?} => ::std::result::Result::Ok(Self::{} {{ {} }}),\n",
